@@ -1,0 +1,91 @@
+//! BLA-like bilateral attribute inference (non-embedding baseline).
+//!
+//! BLA \[45\] jointly infers user links and attributes by iterative bilateral
+//! propagation; it is the paper's non-embedding comparator for Table 4. The
+//! stand-in propagates attribute evidence over the symmetrized graph:
+//!
+//! ```text
+//!   S⁽⁰⁾ = R_train (row-normalized);   S⁽ˡ⁾ = λ·P_u·S⁽ˡ⁻¹⁾ + (1−λ)·S⁽⁰⁾
+//! ```
+//!
+//! and scores `(v, r)` by `S⁽ᵗ⁾[v, r]` — i.e. smoothed neighborhood
+//! attribute frequency. Like BLA it uses no latent space and no edge
+//! direction, which is why PANE outperforms it on directed attributed
+//! graphs (the Table-4 shape).
+
+use pane_graph::{AttributedGraph, DanglingPolicy};
+use pane_linalg::DenseMatrix;
+
+/// Fitted BLA-like propagation model.
+pub struct BlaLite {
+    /// Propagated score matrix (`n × d`).
+    pub scores: DenseMatrix,
+}
+
+impl BlaLite {
+    /// Fits with damping `lambda ∈ (0,1)` and `iters` propagation rounds.
+    pub fn fit(g: &AttributedGraph, lambda: f64, iters: usize) -> Self {
+        assert!((0.0..1.0).contains(&lambda), "lambda must be in [0,1)");
+        let und = g.symmetrize();
+        let p = und.random_walk_matrix(DanglingPolicy::SelfLoop);
+        let s0 = und.attr_row_normalized().to_dense();
+        let mut cur = s0.clone();
+        let mut scratch = DenseMatrix::zeros(s0.rows(), s0.cols());
+        for _ in 0..iters {
+            p.mul_dense_into(&cur, &mut scratch);
+            scratch.scale_inplace(lambda);
+            scratch.axpy_inplace(1.0 - lambda, &s0);
+            std::mem::swap(&mut cur, &mut scratch);
+        }
+        BlaLite { scores: cur }
+    }
+}
+
+impl pane_eval::scoring::AttrScorer for BlaLite {
+    fn attr_score(&self, v: usize, r: usize) -> f64 {
+        self.scores.get(v, r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pane_eval::split::split_attribute_entries;
+    use pane_eval::tasks::attr_inference::evaluate_attr_scorer;
+    use pane_graph::gen::{generate_sbm, SbmConfig};
+
+    #[test]
+    fn infers_attributes_above_chance() {
+        let g = generate_sbm(&SbmConfig {
+            nodes: 300,
+            communities: 4,
+            attributes: 24,
+            attrs_per_node: 5.0,
+            attr_noise: 0.1,
+            p_in: 0.9,
+            seed: 11,
+            ..Default::default()
+        });
+        let split = split_attribute_entries(&g, 0.2, 2);
+        let model = BlaLite::fit(&split.residual, 0.7, 6);
+        let r = evaluate_attr_scorer(&model, &split);
+        assert!(r.auc > 0.7, "BLA-like AUC {}", r.auc);
+    }
+
+    #[test]
+    fn propagation_spreads_mass_to_neighbors() {
+        // Path v0 - v1; only v0 has the attribute. After propagation v1
+        // must score above an unrelated node v2.
+        let mut b = pane_graph::GraphBuilder::new(3, 1);
+        b.add_edge(0, 1);
+        let g = b.build();
+        let mut bb = pane_graph::GraphBuilder::new(3, 1);
+        bb.add_edge(0, 1);
+        bb.add_attribute(0, 0, 1.0);
+        let g2 = bb.build();
+        let _ = g;
+        let m = BlaLite::fit(&g2, 0.5, 3);
+        assert!(m.scores.get(1, 0) > m.scores.get(2, 0));
+        assert!(m.scores.get(0, 0) > m.scores.get(1, 0));
+    }
+}

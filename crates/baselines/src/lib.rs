@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+//! Competitor stand-ins for the PANE evaluation (§5 of the paper).
+//!
+//! The paper compares against ten systems. They are Python/GPU codebases
+//! that cannot be vendored here, so each *family* of competitors is
+//! represented by a from-scratch Rust method that uses exactly the
+//! information that family uses (see DESIGN.md §4 for the substitution
+//! argument):
+//!
+//! | paper competitor(s) | family | our stand-in |
+//! |---------------------|--------|--------------|
+//! | NRP | homogeneous, direction-aware PPR factorization | [`NrpLite`] |
+//! | TADW, HSCA, AANE | proximity × attribute matrix factorization | [`TadwLite`] |
+//! | STNE, DGI (topology-dominant) | topology-only embedding | [`TopoSvd`] |
+//! | ARGA (attribute auto-encoder flavor) | attribute-only embedding | [`AttrSvd`] |
+//! | CAN, PRRE (undirected joint models) | undirected node+attribute co-embedding | [`CanLite`] |
+//! | BANE, LQANR | quantized joint embedding | [`BaneLite`] |
+//! | BLA | non-embedding attribute inference | [`BlaLite`] |
+//! | PANE-R (paper's own ablation, §5.7) | PANE with random init | [`pane_r::PaneR`] |
+//!
+//! GATNE targets attributed *heterogeneous* networks; on our single-typed
+//! graphs its information content reduces to the CAN family and it is not
+//! reproduced separately.
+//!
+//! Every stand-in implements a common constructor pattern
+//! (`fit(&AttributedGraph, dims, seed) -> embedding matrices`) and plugs
+//! into `pane-eval`'s scorer traits.
+
+pub mod bla_lite;
+pub mod can_lite;
+pub mod nrp_lite;
+pub mod pane_r;
+pub mod svd_baselines;
+pub mod tadw_lite;
+
+pub use bla_lite::BlaLite;
+pub use can_lite::CanLite;
+pub use nrp_lite::NrpLite;
+pub use pane_r::PaneR;
+pub use svd_baselines::{AttrSvd, BaneLite, TopoSvd};
+pub use tadw_lite::TadwLite;

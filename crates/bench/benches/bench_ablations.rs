@@ -1,0 +1,74 @@
+//! Criterion benchmarks for the design-choice ablations DESIGN.md calls
+//! out: the parameter sensitivities of Figure 4 (k, ε) as micro-benchmarks,
+//! the GreedyInit-vs-random ablation (§5.7), and the dangling-node policy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pane_core::{Pane, PaneConfig};
+use pane_datasets::DatasetZoo;
+use pane_graph::DanglingPolicy;
+
+fn bench_vs_k(c: &mut Criterion) {
+    let g = DatasetZoo::CoraLike.generate_scaled(0.25, 1).graph;
+    let mut group = c.benchmark_group("time_vs_k");
+    group.sample_size(10);
+    for k in [16usize, 64, 128] {
+        let cfg = PaneConfig::builder().dimension(k).seed(1).build();
+        group.bench_with_input(BenchmarkId::new("k", k), &k, |b, _| {
+            b.iter(|| Pane::new(cfg.clone()).embed(&g).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_vs_eps(c: &mut Criterion) {
+    let g = DatasetZoo::CoraLike.generate_scaled(0.25, 2).graph;
+    let mut group = c.benchmark_group("time_vs_eps");
+    group.sample_size(10);
+    for eps in [0.25f64, 0.05, 0.005] {
+        let cfg = PaneConfig::builder().dimension(32).error_threshold(eps).seed(1).build();
+        group.bench_with_input(BenchmarkId::new("eps", format!("{eps}")), &eps, |b, _| {
+            b.iter(|| Pane::new(cfg.clone()).embed(&g).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_greedy_vs_random_init(c: &mut Criterion) {
+    let g = DatasetZoo::CoraLike.generate_scaled(0.25, 3).graph;
+    let cfg = PaneConfig::builder().dimension(32).ccd_sweeps(3).seed(1).build();
+    let mut group = c.benchmark_group("init_ablation_3_sweeps");
+    group.sample_size(10);
+    group.bench_function("pane_greedy", |b| {
+        b.iter(|| Pane::new(cfg.clone()).embed(&g).unwrap());
+    });
+    group.bench_function("pane_random (PANE-R)", |b| {
+        b.iter(|| pane_baselines::PaneR::new(cfg.clone()).embed(&g).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_dangling_policy(c: &mut Criterion) {
+    let g = DatasetZoo::CiteseerLike.generate_scaled(0.25, 4).graph;
+    let mut group = c.benchmark_group("dangling_policy");
+    group.sample_size(10);
+    for (name, policy) in [
+        ("self_loop", DanglingPolicy::SelfLoop),
+        ("absorb", DanglingPolicy::Absorb),
+        ("uniform_jump", DanglingPolicy::UniformJump),
+    ] {
+        let cfg = PaneConfig::builder().dimension(32).dangling(policy).seed(1).build();
+        group.bench_function(name, |b| {
+            b.iter(|| Pane::new(cfg.clone()).embed(&g).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_vs_k,
+    bench_vs_eps,
+    bench_greedy_vs_random_init,
+    bench_dangling_policy
+);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Criterion micro-benchmarks for the substrate kernels: sparse × dense
+//! products (APMI's inner loop), dense products (GreedyInit/CCD), QR,
+//! Jacobi SVD and RandSVD.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pane_graph::gen::{generate_sbm, SbmConfig};
+use pane_linalg::{jacobi_svd, rand_svd, thin_qr, DenseMatrix, RandSvdConfig};
+use pane_sparse::CsrMatrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn walk_matrix(n: usize, deg: f64, seed: u64) -> CsrMatrix {
+    let g = generate_sbm(&SbmConfig {
+        nodes: n,
+        communities: 8,
+        avg_out_degree: deg,
+        attributes: 16,
+        attrs_per_node: 2.0,
+        seed,
+        ..Default::default()
+    });
+    g.random_walk_matrix(pane_graph::DanglingPolicy::SelfLoop)
+}
+
+fn bench_spmm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spmm");
+    for &n in &[2_000usize, 8_000] {
+        let p = walk_matrix(n, 8.0, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let b = DenseMatrix::gaussian(n, 64, &mut rng);
+        group.bench_with_input(BenchmarkId::new("serial", n), &n, |bch, _| {
+            bch.iter(|| p.mul_dense(&b));
+        });
+        group.bench_with_input(BenchmarkId::new("par4", n), &n, |bch, _| {
+            bch.iter(|| p.mul_dense_par(&b, 4));
+        });
+    }
+    group.finish();
+}
+
+fn bench_dense_products(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dense_products");
+    let mut rng = StdRng::seed_from_u64(3);
+    let a = DenseMatrix::gaussian(2_000, 64, &mut rng);
+    let y = DenseMatrix::gaussian(400, 64, &mut rng);
+    group.bench_function("matmul_transb(2000x64 . 400x64T)", |b| {
+        b.iter(|| a.matmul_transb(&y));
+    });
+    group.bench_function("tr_matmul(2000x64T . 2000x64)", |b| {
+        b.iter(|| a.tr_matmul(&a));
+    });
+    group.finish();
+}
+
+fn bench_factorizations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("factorizations");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(4);
+    let tall = DenseMatrix::gaussian(4_000, 40, &mut rng);
+    group.bench_function("thin_qr(4000x40)", |b| {
+        b.iter(|| thin_qr(&tall));
+    });
+    let small = DenseMatrix::gaussian(48, 40, &mut rng);
+    group.bench_function("jacobi_svd(48x40)", |b| {
+        b.iter(|| jacobi_svd(&small));
+    });
+    let aff = DenseMatrix::gaussian(4_000, 200, &mut rng);
+    group.bench_function("rand_svd(4000x200, rank 32, q=3)", |b| {
+        b.iter(|| rand_svd(&aff, &RandSvdConfig::new(32, 3, 7)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_spmm, bench_dense_products, bench_factorizations);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! **Figure 2** — node classification micro-F1 vs training fraction
+//! (0.1 … 0.9) for every dataset and method.
+//!
+//! Protocol (§5.4): embed the full graph, train one-vs-rest linear
+//! classifiers on `[X_f ‖ X_b]` (normalized halves), predict held-out
+//! nodes' labels top-k, average 5 repeats. Macro-F1 is recorded in the TSV
+//! as well (the paper omits it "for brevity"; we keep it).
+//!
+//! On the large datasets the labeled set is subsampled to at most
+//! `CLASS_NODE_CAP` nodes before training — the classifier, not the
+//! embedding, would otherwise dominate the harness runtime.
+
+use pane_bench::methods::{node_features, HarnessParams, MethodKind};
+use pane_bench::report::Report;
+use pane_bench::{scale_from_env, threads_from_env};
+use pane_datasets::DatasetZoo;
+use pane_eval::scoring::NodeFeatureSource;
+use pane_eval::tasks::node_class::{node_classification, NodeClassOptions};
+use pane_linalg::DenseMatrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Maximum labeled nodes fed to the classifier per dataset.
+const CLASS_NODE_CAP: usize = 3000;
+
+struct Precomputed<'a> {
+    x: &'a DenseMatrix,
+}
+
+impl NodeFeatureSource for Precomputed<'_> {
+    fn node_features(&self, v: usize) -> Vec<f64> {
+        self.x.row(v).to_vec()
+    }
+    fn feature_dim(&self) -> usize {
+        self.x.cols()
+    }
+}
+
+fn main() {
+    let scale = scale_from_env();
+    let params = HarnessParams { threads: threads_from_env(), ..Default::default() };
+    let fractions = [0.1, 0.3, 0.5, 0.7, 0.9];
+    let datasets: Vec<DatasetZoo> = match std::env::var("PANE_DATASETS").ok().as_deref() {
+        Some("small") => DatasetZoo::SMALL.to_vec(),
+        _ => DatasetZoo::ALL.to_vec(),
+    };
+
+    let mut rep = Report::new(
+        "fig2_node_classification",
+        &["dataset", "method", "train_frac", "micro_f1", "macro_f1"],
+    );
+
+    for zoo in datasets {
+        let ds = zoo.generate_scaled(scale, 42);
+        let g = &ds.graph;
+        eprintln!("[fig2] generated {} ({})", zoo.name(), g.stats());
+
+        // Subsample labeled nodes once per dataset (shared across methods).
+        let mut keep: Vec<bool> = vec![true; g.num_nodes()];
+        let labeled = (0..g.num_nodes()).filter(|&v| !g.labels_of(v).is_empty()).count();
+        if labeled > CLASS_NODE_CAP {
+            let mut rng = StdRng::seed_from_u64(7);
+            let p = CLASS_NODE_CAP as f64 / labeled as f64;
+            for k in keep.iter_mut() {
+                *k = rng.gen::<f64>() < p;
+            }
+        }
+        let labels: Vec<Vec<u32>> = (0..g.num_nodes())
+            .map(|v| if keep[v] { g.labels_of(v).to_vec() } else { Vec::new() })
+            .collect();
+
+        for kind in MethodKind::CLASS {
+            let Some((x, fit_secs)) = node_features(kind, g, &params) else {
+                eprintln!("[fig2] {} skipped on {}", kind.name(), zoo.name());
+                continue;
+            };
+            eprintln!("[fig2] {} embedded {} in {:.1}s", kind.name(), zoo.name(), fit_secs);
+            let src = Precomputed { x: &x };
+            for &frac in &fractions {
+                let opts = NodeClassOptions { train_frac: frac, repeats: 3, seed: 3, epochs: 80, ..Default::default() };
+                let r = node_classification(&src, &labels, g.num_labels(), &opts);
+                rep.row(&[
+                    zoo.name().into(),
+                    kind.name().into(),
+                    format!("{frac}"),
+                    format!("{:.3}", r.micro_f1),
+                    format!("{:.3}", r.macro_f1),
+                ]);
+            }
+        }
+    }
+    rep.finish().expect("write results");
+}

@@ -1,0 +1,49 @@
+//! **Figure 3** — running time of every method on every dataset (the
+//! paper's log-scale bar charts, as a table).
+//!
+//! The timing is the embedding/fit time under the link-prediction protocol
+//! (the paper's reported time also excludes data loading and output).
+
+use pane_bench::methods::{eval_link, HarnessParams, MethodKind};
+use pane_bench::report::Report;
+use pane_bench::{scale_from_env, threads_from_env};
+use pane_datasets::DatasetZoo;
+use pane_eval::split::split_edges;
+
+fn main() {
+    let scale = scale_from_env();
+    let params = HarnessParams { threads: threads_from_env(), ..Default::default() };
+    let datasets: Vec<DatasetZoo> = match std::env::var("PANE_DATASETS").ok().as_deref() {
+        Some("small") => DatasetZoo::SMALL.to_vec(),
+        _ => DatasetZoo::ALL.to_vec(),
+    };
+
+    let mut header: Vec<String> = vec!["method".into()];
+    header.extend(datasets.iter().map(|z| format!("{} (s)", z.name())));
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut rep = Report::new("fig3_running_time", &header_refs);
+
+    let splits: Vec<_> = datasets
+        .iter()
+        .map(|z| {
+            let ds = z.generate_scaled(scale, 42);
+            eprintln!("[fig3] generated {} ({})", z.name(), ds.graph.stats());
+            split_edges(&ds.graph, 0.3, 9)
+        })
+        .collect();
+
+    for kind in MethodKind::LINK {
+        let mut cells = vec![kind.name().to_string()];
+        for (z, split) in datasets.iter().zip(&splits) {
+            match eval_link(kind, split, &params) {
+                Some(eval) => {
+                    eprintln!("[fig3] {} on {}: {:.2}s", kind.name(), z.name(), eval.fit_secs);
+                    cells.push(format!("{:.2}", eval.fit_secs));
+                }
+                None => cells.push("-".into()),
+            }
+        }
+        rep.row(&cells);
+    }
+    rep.finish().expect("write results");
+}

@@ -1,0 +1,84 @@
+//! **Figure 4** — efficiency with varying parameters on the two largest
+//! harness datasets (Google+-like and TWeibo-like):
+//!
+//! * 4a: speedup of parallel PANE vs single-thread at nb ∈ {1, 2, 5, 10, 20};
+//! * 4b: running time vs space budget k ∈ {16, 32, 64, 128, 256};
+//! * 4c: running time vs error threshold ε ∈ {0.001, 0.005, 0.015, 0.05, 0.25}.
+//!
+//! Note on 4a: this container exposes **one CPU core**, so wall-clock
+//! speedups saturate at ~1×; the table additionally reports the per-thread
+//! work share (ideal n_b-way partition), which is what the block
+//! decomposition guarantees and what multi-core hardware turns into the
+//! paper's near-linear speedups.
+
+use pane_bench::report::Report;
+use pane_bench::{scale_from_env, timed};
+use pane_core::{Pane, PaneConfig};
+use pane_datasets::DatasetZoo;
+
+fn cfg(k: usize, eps: f64, nb: usize) -> PaneConfig {
+    PaneConfig::builder()
+        .dimension(k)
+        .alpha(0.5)
+        .error_threshold(eps)
+        .threads(nb)
+        .seed(42)
+        .build()
+}
+
+fn main() {
+    let scale = scale_from_env();
+    let datasets = [DatasetZoo::GooglePlusLike, DatasetZoo::TWeiboLike];
+    let graphs: Vec<_> = datasets
+        .iter()
+        .map(|z| {
+            let ds = z.generate_scaled(scale, 42);
+            eprintln!("[fig4] generated {} ({})", z.name(), ds.graph.stats());
+            ds.graph
+        })
+        .collect();
+
+    // 4a: speedup vs nb.
+    let mut rep_a = Report::new(
+        "fig4a_speedup_vs_threads",
+        &["dataset", "nb", "time (s)", "speedup", "work_share"],
+    );
+    for (z, g) in datasets.iter().zip(&graphs) {
+        let (_, base) = timed(|| Pane::new(cfg(64, 0.015, 1)).embed(g).unwrap());
+        for nb in [1usize, 2, 5, 10, 20] {
+            let (_, secs) = timed(|| Pane::new(cfg(64, 0.015, nb)).embed(g).unwrap());
+            rep_a.row(&[
+                z.name().into(),
+                nb.to_string(),
+                format!("{secs:.2}"),
+                format!("{:.2}", base / secs),
+                format!("1/{nb}"),
+            ]);
+            eprintln!("[fig4a] {} nb={nb}: {secs:.2}s", z.name());
+        }
+    }
+    rep_a.finish().expect("write results");
+
+    // 4b: time vs k.
+    let mut rep_b = Report::new("fig4b_time_vs_k", &["dataset", "k", "time (s)"]);
+    for (z, g) in datasets.iter().zip(&graphs) {
+        for k in [16usize, 32, 64, 128, 256] {
+            let (_, secs) = timed(|| Pane::new(cfg(k, 0.015, 4)).embed(g).unwrap());
+            rep_b.row(&[z.name().into(), k.to_string(), format!("{secs:.2}")]);
+            eprintln!("[fig4b] {} k={k}: {secs:.2}s", z.name());
+        }
+    }
+    rep_b.finish().expect("write results");
+
+    // 4c: time vs epsilon.
+    let mut rep_c = Report::new("fig4c_time_vs_eps", &["dataset", "eps", "t", "time (s)"]);
+    for (z, g) in datasets.iter().zip(&graphs) {
+        for eps in [0.001, 0.005, 0.015, 0.05, 0.25] {
+            let t = pane_core::iterations_for(eps, 0.5);
+            let (_, secs) = timed(|| Pane::new(cfg(64, eps, 4)).embed(g).unwrap());
+            rep_c.row(&[z.name().into(), format!("{eps}"), t.to_string(), format!("{secs:.2}")]);
+            eprintln!("[fig4c] {} eps={eps}: {secs:.2}s", z.name());
+        }
+    }
+    rep_c.finish().expect("write results");
+}

@@ -1,0 +1,61 @@
+//! **Figure 5** — attribute-inference AUC with varying k, nb, ε and α on
+//! the five small datasets.
+
+use pane_bench::methods::HarnessParams;
+use pane_bench::report::Report;
+use pane_bench::scale_from_env;
+use pane_core::Pane;
+use pane_datasets::DatasetZoo;
+use pane_eval::scoring::PaneScorer;
+use pane_eval::split::{split_attribute_entries, AttrSplit};
+use pane_eval::tasks::evaluate_attr_scorer;
+
+fn run(split: &AttrSplit, k: usize, nb: usize, eps: f64, alpha: f64) -> f64 {
+    let cfg = pane_core::PaneConfig::builder()
+        .dimension(k)
+        .alpha(alpha)
+        .error_threshold(eps)
+        .threads(nb)
+        .seed(42)
+        .build();
+    let emb = Pane::new(cfg).embed(&split.residual).expect("embed");
+    evaluate_attr_scorer(&PaneScorer::new(&emb), split).auc
+}
+
+fn main() {
+    let scale = scale_from_env();
+    let p = HarnessParams::default();
+    let splits: Vec<(DatasetZoo, AttrSplit)> = DatasetZoo::SMALL
+        .iter()
+        .map(|z| {
+            let ds = z.generate_scaled(scale, 42);
+            eprintln!("[fig5] generated {} ({})", z.name(), ds.graph.stats());
+            (*z, split_attribute_entries(&ds.graph, 0.2, 7))
+        })
+        .collect();
+
+    let mut rep = Report::new("fig5_attr_inference_params", &["dataset", "param", "value", "AUC"]);
+    for (z, split) in &splits {
+        for k in [16usize, 32, 64, 128, 256] {
+            let auc = run(split, k, 1, p.epsilon, p.alpha);
+            rep.row(&[z.name().into(), "k".into(), k.to_string(), format!("{auc:.3}")]);
+            eprintln!("[fig5] {} k={k}: {auc:.3}", z.name());
+        }
+        for nb in [1usize, 2, 5, 10, 20] {
+            let auc = run(split, p.k, nb, p.epsilon, p.alpha);
+            rep.row(&[z.name().into(), "nb".into(), nb.to_string(), format!("{auc:.3}")]);
+            eprintln!("[fig5] {} nb={nb}: {auc:.3}", z.name());
+        }
+        for eps in [0.001, 0.005, 0.015, 0.05, 0.25] {
+            let auc = run(split, p.k, 1, eps, p.alpha);
+            rep.row(&[z.name().into(), "eps".into(), format!("{eps}"), format!("{auc:.3}")]);
+            eprintln!("[fig5] {} eps={eps}: {auc:.3}", z.name());
+        }
+        for alpha in [0.1, 0.3, 0.5, 0.7, 0.9] {
+            let auc = run(split, p.k, 1, p.epsilon, alpha);
+            rep.row(&[z.name().into(), "alpha".into(), format!("{alpha}"), format!("{auc:.3}")]);
+            eprintln!("[fig5] {} alpha={alpha}: {auc:.3}", z.name());
+        }
+    }
+    rep.finish().expect("write results");
+}

@@ -1,0 +1,67 @@
+//! **Figures 7 & 8** — effectiveness of GreedyInit (§5.7): running time vs
+//! AUC for PANE and PANE-R (random init) at CCD sweep counts
+//! t ∈ {1, 2, 5, 10, 20}, on the Facebook-, Pubmed- and Flickr-like
+//! datasets, for link prediction (Fig. 7) and attribute inference (Fig. 8).
+
+use pane_baselines::PaneR;
+use pane_bench::report::Report;
+use pane_bench::{scale_from_env, timed};
+use pane_core::{Pane, PaneConfig};
+use pane_datasets::DatasetZoo;
+use pane_eval::scoring::PaneScorer;
+use pane_eval::split::{split_attribute_entries, split_edges};
+use pane_eval::tasks::link_pred::evaluate_link_scorer;
+use pane_eval::tasks::evaluate_attr_scorer;
+
+fn cfg(sweeps: usize) -> PaneConfig {
+    PaneConfig::builder()
+        .dimension(64)
+        .alpha(0.5)
+        .error_threshold(0.015)
+        .ccd_sweeps(sweeps)
+        .seed(42)
+        .build()
+}
+
+fn main() {
+    let scale = scale_from_env();
+    let datasets = [DatasetZoo::FacebookLike, DatasetZoo::PubmedLike, DatasetZoo::FlickrLike];
+    let sweeps = [1usize, 2, 5, 10, 20];
+
+    let mut rep7 = Report::new("fig7_greedy_init_link", &["dataset", "init", "t", "time (s)", "AUC"]);
+    let mut rep8 = Report::new("fig8_greedy_init_attr", &["dataset", "init", "t", "time (s)", "AUC"]);
+
+    for zoo in datasets {
+        let ds = zoo.generate_scaled(scale, 42);
+        eprintln!("[fig7/8] generated {} ({})", zoo.name(), ds.graph.stats());
+        let link_split = split_edges(&ds.graph, 0.3, 9);
+        let attr_split = split_attribute_entries(&ds.graph, 0.2, 7);
+        let sym = ds.graph.is_undirected();
+
+        for t in sweeps {
+            // PANE with GreedyInit.
+            let (emb, secs) = timed(|| Pane::new(cfg(t)).embed(&link_split.residual).unwrap());
+            let auc = evaluate_link_scorer(&PaneScorer::new(&emb), &link_split, sym).auc;
+            rep7.row(&[zoo.name().into(), "greedy".into(), t.to_string(), format!("{secs:.2}"), format!("{auc:.3}")]);
+            eprintln!("[fig7] {} greedy t={t}: {secs:.2}s AUC {auc:.3}", zoo.name());
+
+            // PANE-R.
+            let (emb_r, secs_r) = timed(|| PaneR::new(cfg(t)).embed(&link_split.residual).unwrap());
+            let auc_r = evaluate_link_scorer(&PaneScorer::new(&emb_r), &link_split, sym).auc;
+            rep7.row(&[zoo.name().into(), "random".into(), t.to_string(), format!("{secs_r:.2}"), format!("{auc_r:.3}")]);
+            eprintln!("[fig7] {} random t={t}: {secs_r:.2}s AUC {auc_r:.3}", zoo.name());
+
+            // Figure 8: attribute inference on the attribute split.
+            let (emb_a, secs_a) = timed(|| Pane::new(cfg(t)).embed(&attr_split.residual).unwrap());
+            let auc_a = evaluate_attr_scorer(&PaneScorer::new(&emb_a), &attr_split).auc;
+            rep8.row(&[zoo.name().into(), "greedy".into(), t.to_string(), format!("{secs_a:.2}"), format!("{auc_a:.3}")]);
+
+            let (emb_ar, secs_ar) = timed(|| PaneR::new(cfg(t)).embed(&attr_split.residual).unwrap());
+            let auc_ar = evaluate_attr_scorer(&PaneScorer::new(&emb_ar), &attr_split).auc;
+            rep8.row(&[zoo.name().into(), "random".into(), t.to_string(), format!("{secs_ar:.2}"), format!("{auc_ar:.3}")]);
+            eprintln!("[fig8] {} t={t}: greedy {auc_a:.3} vs random {auc_ar:.3}", zoo.name());
+        }
+    }
+    rep7.finish().expect("write results");
+    rep8.finish().expect("write results");
+}

@@ -1,0 +1,47 @@
+//! **Table 3** — dataset statistics: the paper's real datasets next to our
+//! generated analogues at the current `PANE_SCALE`.
+
+use pane_bench::report::Report;
+use pane_bench::scale_from_env;
+use pane_datasets::DatasetZoo;
+
+fn human(x: f64) -> String {
+    if x >= 1e6 {
+        format!("{:.1}M", x / 1e6)
+    } else if x >= 1e3 {
+        format!("{:.1}K", x / 1e3)
+    } else {
+        format!("{x:.0}")
+    }
+}
+
+fn main() {
+    let scale = scale_from_env();
+    let mut rep = Report::new(
+        "table3_datasets",
+        &[
+            "dataset", "|V| paper", "|V| ours", "|E_V| paper", "|E_V| ours", "|R| paper", "|R| ours",
+            "|E_R| paper", "|E_R| ours", "|L| paper", "|L| ours", "directed",
+        ],
+    );
+    for zoo in DatasetZoo::ALL {
+        let paper = zoo.paper_stats();
+        let ds = zoo.generate_scaled(scale, 42);
+        let s = ds.graph.stats();
+        rep.row(&[
+            zoo.name().into(),
+            human(paper.nodes),
+            human(s.nodes as f64),
+            human(paper.edges),
+            human(s.edges as f64),
+            human(paper.attributes),
+            human(s.attributes as f64),
+            human(paper.attr_entries),
+            human(s.attribute_entries as f64),
+            paper.labels.to_string(),
+            s.labels.to_string(),
+            paper.directed.to_string(),
+        ]);
+    }
+    rep.finish().expect("write results");
+}

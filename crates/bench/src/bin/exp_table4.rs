@@ -1,0 +1,64 @@
+//! **Table 4** — attribute inference AUC/AP per dataset per method.
+//!
+//! Protocol (§5.2): 80/20 split of the attribute entries; methods train on
+//! the residual graph; rank hidden positives vs sampled zero entries.
+//! Methods: BLA-like, CAN-like, PANE-R, PANE (single), PANE (parallel);
+//! the other competitors have no attribute embeddings (as in the paper,
+//! where only CAN among the ANE methods can infer attributes).
+
+use pane_bench::methods::{eval_attr, HarnessParams, MethodKind};
+use pane_bench::report::Report;
+use pane_bench::{scale_from_env, threads_from_env};
+use pane_datasets::DatasetZoo;
+use pane_eval::split::split_attribute_entries;
+
+fn main() {
+    let scale = scale_from_env();
+    let params = HarnessParams { threads: threads_from_env(), ..Default::default() };
+    let datasets: Vec<DatasetZoo> = match std::env::var("PANE_DATASETS").ok().as_deref() {
+        Some("small") => DatasetZoo::SMALL.to_vec(),
+        _ => DatasetZoo::ALL.to_vec(),
+    };
+
+    let mut header: Vec<String> = vec!["method".into()];
+    for z in &datasets {
+        header.push(format!("{} AUC", z.name()));
+        header.push(format!("{} AP", z.name()));
+    }
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut rep = Report::new("table4_attribute_inference", &header_refs);
+
+    let splits: Vec<_> = datasets
+        .iter()
+        .map(|z| {
+            let ds = z.generate_scaled(scale, 42);
+            eprintln!("[table4] generated {} ({})", z.name(), ds.graph.stats());
+            split_attribute_entries(&ds.graph, 0.2, 7)
+        })
+        .collect();
+
+    for kind in MethodKind::ATTR {
+        let mut cells = vec![kind.name().to_string()];
+        for (z, split) in datasets.iter().zip(&splits) {
+            match eval_attr(kind, split, &params) {
+                Some(eval) => {
+                    eprintln!(
+                        "[table4] {} on {}: {} ({:.1}s)",
+                        kind.name(),
+                        z.name(),
+                        eval.result,
+                        eval.fit_secs
+                    );
+                    cells.push(format!("{:.3}", eval.result.auc));
+                    cells.push(format!("{:.3}", eval.result.ap));
+                }
+                None => {
+                    cells.push("-".into());
+                    cells.push("-".into());
+                }
+            }
+        }
+        rep.row(&cells);
+    }
+    rep.finish().expect("write results");
+}

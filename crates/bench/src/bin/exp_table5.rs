@@ -1,0 +1,64 @@
+//! **Table 5** — link prediction AUC/AP per dataset per method.
+//!
+//! Protocol (§5.3): remove 30% of edges, train on the residual graph, rank
+//! removed edges against equal negatives. PANE/NRP score direction-aware
+//! (Eq. 22 / X_f·X_b); single-embedding competitors get the best of the
+//! four scorers.
+
+use pane_bench::methods::{eval_link, HarnessParams, MethodKind};
+use pane_bench::report::Report;
+use pane_bench::{scale_from_env, threads_from_env};
+use pane_datasets::DatasetZoo;
+use pane_eval::split::split_edges;
+
+fn main() {
+    let scale = scale_from_env();
+    let params = HarnessParams { threads: threads_from_env(), ..Default::default() };
+    let datasets: Vec<DatasetZoo> = match std::env::var("PANE_DATASETS").ok().as_deref() {
+        Some("small") => DatasetZoo::SMALL.to_vec(),
+        _ => DatasetZoo::ALL.to_vec(),
+    };
+
+    let mut header: Vec<String> = vec!["method".into()];
+    for z in &datasets {
+        header.push(format!("{} AUC", z.name()));
+        header.push(format!("{} AP", z.name()));
+    }
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut rep = Report::new("table5_link_prediction", &header_refs);
+
+    let splits: Vec<_> = datasets
+        .iter()
+        .map(|z| {
+            let ds = z.generate_scaled(scale, 42);
+            eprintln!("[table5] generated {} ({})", z.name(), ds.graph.stats());
+            split_edges(&ds.graph, 0.3, 9)
+        })
+        .collect();
+
+    for kind in MethodKind::LINK {
+        let mut cells = vec![kind.name().to_string()];
+        for (z, split) in datasets.iter().zip(&splits) {
+            match eval_link(kind, split, &params) {
+                Some(eval) => {
+                    eprintln!(
+                        "[table5] {} on {}: {} via {} ({:.1}s)",
+                        kind.name(),
+                        z.name(),
+                        eval.result,
+                        eval.detail,
+                        eval.fit_secs
+                    );
+                    cells.push(format!("{:.3}", eval.result.auc));
+                    cells.push(format!("{:.3}", eval.result.ap));
+                }
+                None => {
+                    cells.push("-".into());
+                    cells.push("-".into());
+                }
+            }
+        }
+        rep.row(&cells);
+    }
+    rep.finish().expect("write results");
+}

@@ -1,0 +1,61 @@
+//! Runs every experiment binary in sequence (Table 2 → Figure 8),
+//! regenerating all of `results/`. Equivalent to invoking each
+//! `exp_*` binary yourself; honors `PANE_SCALE`, `PANE_THREADS`,
+//! `PANE_DATASETS` and `PANE_RESULTS_DIR`.
+
+use std::process::Command;
+
+/// (binary, default PANE_SCALE override). The parameter-grid figures run
+/// at 0.6 scale by default so the full suite fits a single-core budget;
+/// setting PANE_SCALE explicitly overrides everything.
+const BINS: [(&str, Option<&str>); 10] = [
+    ("exp_table2", None),
+    ("exp_table3", None),
+    ("exp_table4", None),
+    ("exp_table5", None),
+    ("exp_fig2", None),
+    ("exp_fig3", None),
+    ("exp_fig4", Some("0.6")),
+    ("exp_fig5", Some("0.6")),
+    ("exp_fig6", Some("0.6")),
+    ("exp_fig7_8", None),
+];
+
+fn main() {
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    let user_scale = std::env::var("PANE_SCALE").ok();
+    let mut failed = Vec::new();
+    for (bin, default_scale) in BINS {
+        let path = dir.join(bin);
+        eprintln!("=== running {bin} ===");
+        let mut cmd = Command::new(&path);
+        match (&user_scale, default_scale) {
+            (Some(s), _) => {
+                cmd.env("PANE_SCALE", s);
+            }
+            (None, Some(s)) => {
+                cmd.env("PANE_SCALE", s);
+            }
+            (None, None) => {}
+        }
+        let status = cmd.status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{bin} exited with {s}");
+                failed.push(bin);
+            }
+            Err(e) => {
+                eprintln!("{bin} failed to start: {e} (build with `cargo build --release -p pane-bench` first)");
+                failed.push(bin);
+            }
+        }
+    }
+    if failed.is_empty() {
+        eprintln!("all experiments completed; see results/");
+    } else {
+        eprintln!("failed: {failed:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,64 @@
+//! Shared harness for the experiment binaries (one per table/figure of the
+//! paper — see DESIGN.md §5 for the index and EXPERIMENTS.md for results).
+//!
+//! Every binary:
+//!
+//! 1. generates the dataset zoo entries it needs (scale adjustable via the
+//!    `PANE_SCALE` environment variable, default 1.0);
+//! 2. fits the relevant methods through the uniform [`methods`] wrappers;
+//! 3. writes a TSV file and a human-readable table under `results/`.
+
+pub mod methods;
+pub mod report;
+
+use std::time::Instant;
+
+/// Scale factor for dataset generation (`PANE_SCALE`, default 1.0).
+pub fn scale_from_env() -> f64 {
+    std::env::var("PANE_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&s| s > 0.0)
+        .unwrap_or(1.0)
+}
+
+/// Threads used for "PANE (parallel)" runs (`PANE_THREADS`, default 4 — the
+/// experiments still *exercise* the nb-way block decomposition even on a
+/// single-core host; wall-clock speedups then reflect the hardware).
+pub fn threads_from_env() -> usize {
+    std::env::var("PANE_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&t| t > 0)
+        .unwrap_or(4)
+}
+
+/// Times a closure, returning (result, seconds).
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed().as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_parsing_defaults() {
+        std::env::remove_var("PANE_SCALE");
+        assert_eq!(scale_from_env(), 1.0);
+        std::env::set_var("PANE_SCALE", "0.25");
+        assert_eq!(scale_from_env(), 0.25);
+        std::env::set_var("PANE_SCALE", "-3");
+        assert_eq!(scale_from_env(), 1.0);
+        std::env::remove_var("PANE_SCALE");
+    }
+
+    #[test]
+    fn timed_measures() {
+        let (v, secs) = timed(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(secs >= 0.0);
+    }
+}

@@ -1,0 +1,116 @@
+//! TSV + pretty-table result writer.
+
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Collects rows for one experiment and writes them to `results/`.
+pub struct Report {
+    name: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Report {
+    /// Starts a report called `name` (becomes `results/<name>.tsv`).
+    pub fn new(name: &str, header: &[&str]) -> Self {
+        Self {
+            name: name.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringified cells).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Convenience: appends a row of `&str`/`String` mixed display items.
+    pub fn row_display(&mut self, cells: &[&dyn std::fmt::Display]) {
+        let strs: Vec<String> = cells.iter().map(|c| format!("{c}")).collect();
+        self.row(&strs);
+    }
+
+    /// Root results directory: `$PANE_RESULTS_DIR` or `results/`.
+    pub fn results_dir() -> PathBuf {
+        std::env::var("PANE_RESULTS_DIR").map(PathBuf::from).unwrap_or_else(|_| PathBuf::from("results"))
+    }
+
+    /// Writes `<dir>/<name>.tsv` and returns the rendered pretty table.
+    pub fn finish(&self) -> std::io::Result<String> {
+        let dir = Self::results_dir();
+        fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{}.tsv", self.name));
+        self.write_tsv(&path)?;
+        let pretty = self.pretty();
+        println!("{pretty}");
+        println!("[written {}]", path.display());
+        Ok(pretty)
+    }
+
+    fn write_tsv(&self, path: &Path) -> std::io::Result<()> {
+        let mut f = std::io::BufWriter::new(fs::File::create(path)?);
+        writeln!(f, "{}", self.header.join("\t"))?;
+        for row in &self.rows {
+            writeln!(f, "{}", row.join("\t"))?;
+        }
+        f.flush()
+    }
+
+    /// Renders an aligned text table.
+    pub fn pretty(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::new();
+            for (c, w) in cells.iter().zip(widths) {
+                line.push_str(&format!("{c:<w$}  ", w = w));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&format!("== {} ==\n", self.name));
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + widths.len() * 2));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_alignment_and_tsv() {
+        std::env::set_var("PANE_RESULTS_DIR", std::env::temp_dir().join("pane_report_test").to_str().unwrap());
+        let mut r = Report::new("unit_test_report", &["method", "auc"]);
+        r.row(&["pane".into(), "0.95".into()]);
+        r.row(&["longer-method-name".into(), "0.5".into()]);
+        let pretty = r.finish().unwrap();
+        assert!(pretty.contains("method"));
+        assert!(pretty.contains("longer-method-name"));
+        let tsv = std::fs::read_to_string(Report::results_dir().join("unit_test_report.tsv")).unwrap();
+        assert!(tsv.starts_with("method\tauc\n"));
+        assert_eq!(tsv.lines().count(), 3);
+        std::env::remove_var("PANE_RESULTS_DIR");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut r = Report::new("x", &["a", "b"]);
+        r.row(&["only-one".into()]);
+    }
+}

@@ -1,0 +1,276 @@
+//! `pane` — command-line interface to the PANE reproduction.
+//!
+//! ```text
+//! pane embed    --edges E.txt [--attrs A.txt] [--labels L.txt] [--undirected]
+//!               [--dim 128] [--alpha 0.5] [--eps 0.015] [--threads 1]
+//!               [--seed 0] --output EMB [--text]
+//! pane generate --zoo cora-like [--scale 1.0] [--seed 42] --out-dir DIR
+//! pane stats    --edges E.txt [--attrs A.txt] [--labels L.txt] [--undirected]
+//! pane topk     --embedding EMB [--text] --node V [--k 10]
+//!               [--mode attrs|links|similar]
+//! ```
+
+mod args;
+
+use args::{ArgError, Args};
+use pane_core::{EmbeddingQuery, Pane, PaneConfig};
+use pane_datasets::DatasetZoo;
+use pane_graph::io::load_graph;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() || raw[0] == "--help" || raw[0] == "help" {
+        print_help();
+        return ExitCode::SUCCESS;
+    }
+    let cmd = raw.remove(0);
+    let result = match cmd.as_str() {
+        "embed" => cmd_embed(raw),
+        "generate" => cmd_generate(raw),
+        "stats" => cmd_stats(raw),
+        "topk" => cmd_topk(raw),
+        "evaluate" => cmd_evaluate(raw),
+        "convert" => cmd_convert(raw),
+        other => Err(format!("unknown command '{other}' (try `pane help`)").into()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+fn print_help() {
+    println!(
+        "pane — scalable attributed network embedding (PANE, VLDB 2020 reproduction)\n\n\
+         commands:\n\
+           embed     embed a graph given as text files, write the embedding\n\
+           generate  generate a synthetic dataset from the zoo\n\
+           stats     print Table-3-style statistics of a graph\n\
+           topk      query a saved embedding (top attributes / links / similar nodes)\n\
+           evaluate  run the three-task quality report on a graph\n\
+           convert   convert a text graph to the fast binary format (or back)\n\n\
+         run `pane <command>` with no options to see its usage in the error message."
+    );
+}
+
+fn load_from_args(a: &Args) -> Result<pane_graph::AttributedGraph, Box<dyn std::error::Error>> {
+    let edges = PathBuf::from(a.require("edges")?);
+    let attrs = a.get("attrs").map(PathBuf::from);
+    let labels = a.get("labels").map(PathBuf::from);
+    let g = load_graph(
+        &edges,
+        attrs.as_deref(),
+        labels.as_deref(),
+        None,
+        None,
+        a.flag("undirected"),
+    )?;
+    Ok(g)
+}
+
+fn reject_positionals(a: &Args) -> Result<(), ArgError> {
+    if let Some(extra) = a.positional().first() {
+        return Err(ArgError(format!("unexpected argument '{extra}'")));
+    }
+    Ok(())
+}
+
+fn cmd_embed(raw: Vec<String>) -> CliResult {
+    let a = Args::parse(raw, &["undirected", "text"])?;
+    reject_positionals(&a)?;
+    a.reject_unknown(&["edges", "attrs", "labels", "dim", "alpha", "eps", "threads", "seed", "output"])?;
+    let g = load_from_args(&a)?;
+    eprintln!("loaded graph: {}", g.stats());
+
+    let config = PaneConfig::builder()
+        .dimension(a.get_parsed("dim", 128usize)?)
+        .alpha(a.get_parsed("alpha", 0.5f64)?)
+        .error_threshold(a.get_parsed("eps", 0.015f64)?)
+        .threads(a.get_parsed("threads", 1usize)?)
+        .seed(a.get_parsed("seed", 0u64)?)
+        .try_build()?;
+    let output = PathBuf::from(a.require("output")?);
+
+    let emb = Pane::new(config).embed(&g)?;
+    eprintln!(
+        "embedded in {:.2}s (affinity {:.2}s, init {:.2}s, ccd {:.2}s); objective {:.3e}",
+        emb.timings.total_secs(),
+        emb.timings.affinity_secs,
+        emb.timings.init_secs,
+        emb.timings.ccd_secs,
+        emb.objective
+    );
+    if a.flag("text") {
+        pane_core::save_text(&emb, &output)?;
+    } else {
+        pane_core::save_binary(&emb, &output)?;
+    }
+    eprintln!("wrote {}", output.display());
+    Ok(())
+}
+
+fn cmd_generate(raw: Vec<String>) -> CliResult {
+    let a = Args::parse(raw, &[])?;
+    reject_positionals(&a)?;
+    a.reject_unknown(&["zoo", "scale", "seed", "out-dir"])?;
+    let name = a.require("zoo")?;
+    let zoo = DatasetZoo::ALL
+        .into_iter()
+        .find(|z| z.name() == name)
+        .ok_or_else(|| {
+            let names: Vec<&str> = DatasetZoo::ALL.iter().map(|z| z.name()).collect();
+            ArgError(format!("unknown zoo entry '{name}'; options: {}", names.join(", ")))
+        })?;
+    let scale = a.get_parsed("scale", 1.0f64)?;
+    let seed = a.get_parsed("seed", 42u64)?;
+    let dir = PathBuf::from(a.require("out-dir")?);
+    std::fs::create_dir_all(&dir)?;
+
+    let ds = zoo.generate_scaled(scale, seed);
+    eprintln!("generated {}: {}", zoo.name(), ds.graph.stats());
+    pane_graph::io::save_graph(
+        &ds.graph,
+        &dir.join("edges.txt"),
+        &dir.join("attributes.txt"),
+        &dir.join("labels.txt"),
+    )?;
+    eprintln!("wrote edges.txt, attributes.txt, labels.txt under {}", dir.display());
+    Ok(())
+}
+
+fn cmd_stats(raw: Vec<String>) -> CliResult {
+    let a = Args::parse(raw, &["undirected"])?;
+    reject_positionals(&a)?;
+    a.reject_unknown(&["edges", "attrs", "labels"])?;
+    let g = load_from_args(&a)?;
+    let s = g.stats();
+    println!("{s}");
+    // Extra diagnostics beyond Table 3.
+    let n = g.num_nodes().max(1);
+    let dangling = (0..g.num_nodes()).filter(|&v| g.out_degree(v) == 0).count();
+    let attributed = (0..g.num_nodes()).filter(|&v| !g.node_attributes(v).0.is_empty()).count();
+    println!("avg out-degree: {:.2}", g.num_edges() as f64 / n as f64);
+    println!("dangling nodes: {dangling} ({:.1}%)", 100.0 * dangling as f64 / n as f64);
+    println!("attributed nodes: {attributed} ({:.1}%)", 100.0 * attributed as f64 / n as f64);
+    println!(
+        "avg attributes per node: {:.2}",
+        g.num_attribute_entries() as f64 / n as f64
+    );
+    let deg = pane_graph::analysis::degree_stats(&g);
+    println!(
+        "out-degree min/median/max: {}/{}/{} (top-1% share {:.1}%)",
+        deg.min,
+        deg.median,
+        deg.max,
+        deg.top1pct_share * 100.0
+    );
+    println!(
+        "largest weakly connected component: {:.1}%",
+        pane_graph::analysis::largest_component_fraction(&g) * 100.0
+    );
+    Ok(())
+}
+
+fn cmd_evaluate(raw: Vec<String>) -> CliResult {
+    let a = Args::parse(raw, &["undirected"])?;
+    reject_positionals(&a)?;
+    a.reject_unknown(&["edges", "attrs", "labels", "dim", "alpha", "eps", "threads", "seed", "binary"])?;
+    let g = if let Some(bin) = a.get("binary") {
+        pane_graph::io_binary::load_graph_binary(std::path::Path::new(bin))?
+    } else {
+        load_from_args(&a)?
+    };
+    eprintln!("loaded graph: {}", g.stats());
+    let config = PaneConfig::builder()
+        .dimension(a.get_parsed("dim", 64usize)?)
+        .alpha(a.get_parsed("alpha", 0.5f64)?)
+        .error_threshold(a.get_parsed("eps", 0.015f64)?)
+        .threads(a.get_parsed("threads", 1usize)?)
+        .seed(a.get_parsed("seed", 0u64)?)
+        .try_build()?;
+    let card = pane_eval::report_card(&g, &pane_eval::ReportOptions::default(), |residual| {
+        Pane::new(config.clone()).embed(residual).expect("embedding failed")
+    });
+    println!("{card}");
+    Ok(())
+}
+
+fn cmd_convert(raw: Vec<String>) -> CliResult {
+    let a = Args::parse(raw, &["undirected"])?;
+    reject_positionals(&a)?;
+    a.reject_unknown(&["edges", "attrs", "labels", "output", "binary"])?;
+    let out = PathBuf::from(a.require("output")?);
+    if let Some(bin) = a.get("binary") {
+        // binary -> text triple (output is a directory)
+        let g = pane_graph::io_binary::load_graph_binary(std::path::Path::new(bin))?;
+        std::fs::create_dir_all(&out)?;
+        pane_graph::io::save_graph(&g, &out.join("edges.txt"), &out.join("attributes.txt"), &out.join("labels.txt"))?;
+        eprintln!("wrote text graph under {}", out.display());
+    } else {
+        // text -> binary
+        let g = load_from_args(&a)?;
+        pane_graph::io_binary::save_graph_binary(&g, &out)?;
+        eprintln!("wrote binary graph {} ({})", out.display(), g.stats());
+    }
+    Ok(())
+}
+
+fn cmd_topk(raw: Vec<String>) -> CliResult {
+    let a = Args::parse(raw, &["text"])?;
+    reject_positionals(&a)?;
+    a.reject_unknown(&["embedding", "node", "k", "mode"])?;
+    let path = PathBuf::from(a.require("embedding")?);
+    let emb = if a.flag("text") {
+        pane_core::load_text(&path)?
+    } else {
+        pane_core::load_binary(&path)?
+    };
+    let node: usize = a.get_parsed("node", 0usize)?;
+    if node >= emb.forward.rows() {
+        return Err(format!("node {node} out of range (n = {})", emb.forward.rows()).into());
+    }
+    let k: usize = a.get_parsed("k", 10usize)?;
+    let mode = a.get("mode").unwrap_or("attrs");
+    let q = EmbeddingQuery::new(&emb);
+    let results = match mode {
+        "attrs" => q.top_attributes(node, k),
+        "links" => q.recommend_links(node, k, &[]),
+        "similar" => q.similar_nodes(node, k),
+        other => return Err(format!("unknown mode '{other}' (attrs|links|similar)").into()),
+    };
+    println!("top-{k} {mode} for node {node}:");
+    for s in results {
+        println!("  {} {:.4}", s.index, s.score);
+    }
+    Ok(())
+}
+
+/// Integration tests exercise the binary end-to-end via assert-less spawns
+/// in `tests/cli.rs`; unit tests for the parser live in [`args`].
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zoo_lookup_matches_names() {
+        for z in DatasetZoo::ALL {
+            let found = DatasetZoo::ALL.into_iter().find(|x| x.name() == z.name());
+            assert_eq!(found, Some(z));
+        }
+    }
+
+    #[test]
+    fn reject_positionals_works() {
+        let a = Args::parse(vec!["stray".to_string()], &[]).unwrap();
+        assert!(reject_positionals(&a).is_err());
+        let b = Args::parse(vec![], &[]).unwrap();
+        assert!(reject_positionals(&b).is_ok());
+    }
+}

@@ -1,0 +1,205 @@
+//! End-to-end tests of the `pane` binary: generate → stats → embed → topk.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn pane_bin() -> PathBuf {
+    // target/debug/pane next to this test binary's directory.
+    let mut p = std::env::current_exe().unwrap();
+    p.pop(); // deps/
+    p.pop(); // debug/
+    p.push("pane");
+    p
+}
+
+fn run(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(pane_bin()).args(args).output().expect("spawn pane");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn workdir(name: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("pane_cli_{}_{name}", std::process::id()));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+#[test]
+fn full_workflow() {
+    let dir = workdir("flow");
+    let dir_s = dir.to_str().unwrap();
+
+    // generate
+    let (ok, _, err) = run(&["generate", "--zoo", "cora-like", "--scale", "0.05", "--seed", "1", "--out-dir", dir_s]);
+    assert!(ok, "generate failed: {err}");
+    assert!(dir.join("edges.txt").exists());
+
+    // stats
+    let edges = dir.join("edges.txt");
+    let attrs = dir.join("attributes.txt");
+    let labels = dir.join("labels.txt");
+    let (ok, out, err) = run(&[
+        "stats",
+        "--edges",
+        edges.to_str().unwrap(),
+        "--attrs",
+        attrs.to_str().unwrap(),
+        "--labels",
+        labels.to_str().unwrap(),
+    ]);
+    assert!(ok, "stats failed: {err}");
+    assert!(out.contains("|V|="), "stats output: {out}");
+    assert!(out.contains("avg out-degree"));
+
+    // embed (binary output)
+    let emb = dir.join("emb.bin");
+    let (ok, _, err) = run(&[
+        "embed",
+        "--edges",
+        edges.to_str().unwrap(),
+        "--attrs",
+        attrs.to_str().unwrap(),
+        "--dim",
+        "16",
+        "--threads",
+        "2",
+        "--output",
+        emb.to_str().unwrap(),
+    ]);
+    assert!(ok, "embed failed: {err}");
+    assert!(emb.exists());
+    assert!(err.contains("objective"), "embed stderr: {err}");
+
+    // topk over the saved embedding
+    for mode in ["attrs", "links", "similar"] {
+        let (ok, out, err) = run(&[
+            "topk",
+            "--embedding",
+            emb.to_str().unwrap(),
+            "--node",
+            "0",
+            "--k",
+            "5",
+            "--mode",
+            mode,
+        ]);
+        assert!(ok, "topk {mode} failed: {err}");
+        assert!(out.lines().count() >= 2, "topk {mode} output: {out}");
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn text_embedding_roundtrip() {
+    let dir = workdir("text");
+    let dir_s = dir.to_str().unwrap();
+    run(&["generate", "--zoo", "pubmed-like", "--scale", "0.01", "--seed", "2", "--out-dir", dir_s]);
+    let emb = dir.join("emb.txt");
+    let (ok, _, err) = run(&[
+        "embed",
+        "--edges",
+        dir.join("edges.txt").to_str().unwrap(),
+        "--attrs",
+        dir.join("attributes.txt").to_str().unwrap(),
+        "--dim",
+        "8",
+        "--output",
+        emb.to_str().unwrap(),
+        "--text",
+    ]);
+    assert!(ok, "text embed failed: {err}");
+    let content = std::fs::read_to_string(&emb).unwrap();
+    assert!(content.starts_with("# PANE embedding v1"));
+    let (ok, out, err) = run(&[
+        "topk",
+        "--embedding",
+        emb.to_str().unwrap(),
+        "--text",
+        "--node",
+        "1",
+    ]);
+    assert!(ok, "topk over text failed: {err}");
+    assert!(out.contains("top-10 attrs"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn errors_are_reported() {
+    // Unknown command.
+    let (ok, _, err) = run(&["frobnicate"]);
+    assert!(!ok);
+    assert!(err.contains("unknown command"));
+
+    // Missing required option.
+    let (ok, _, err) = run(&["embed", "--dim", "8"]);
+    assert!(!ok);
+    assert!(err.contains("--edges"));
+
+    // Bad zoo name lists the options.
+    let (ok, _, err) = run(&["generate", "--zoo", "nope", "--out-dir", "/tmp"]);
+    assert!(!ok);
+    assert!(err.contains("cora-like"));
+
+    // Nonexistent file.
+    let (ok, _, err) = run(&["stats", "--edges", "/definitely/not/here.txt"]);
+    assert!(!ok);
+    assert!(err.contains("error"));
+}
+
+#[test]
+fn help_prints_commands() {
+    let (ok, out, _) = run(&["help"]);
+    assert!(ok);
+    for cmd in ["embed", "generate", "stats", "topk"] {
+        assert!(out.contains(cmd), "help missing {cmd}");
+    }
+}
+
+#[test]
+fn evaluate_and_convert_commands() {
+    let dir = workdir("eval");
+    let dir_s = dir.to_str().unwrap();
+    run(&["generate", "--zoo", "cora-like", "--scale", "0.06", "--seed", "3", "--out-dir", dir_s]);
+    let edges = dir.join("edges.txt");
+    let attrs = dir.join("attributes.txt");
+    let labels = dir.join("labels.txt");
+
+    // evaluate on the text graph
+    let (ok, out, err) = run(&[
+        "evaluate",
+        "--edges", edges.to_str().unwrap(),
+        "--attrs", attrs.to_str().unwrap(),
+        "--labels", labels.to_str().unwrap(),
+        "--dim", "16",
+    ]);
+    assert!(ok, "evaluate failed: {err}");
+    assert!(out.contains("link prediction"), "evaluate output: {out}");
+    assert!(out.contains("attribute inference"));
+
+    // convert text -> binary and evaluate the binary
+    let bin = dir.join("graph.bin");
+    let (ok, _, err) = run(&[
+        "convert",
+        "--edges", edges.to_str().unwrap(),
+        "--attrs", attrs.to_str().unwrap(),
+        "--labels", labels.to_str().unwrap(),
+        "--output", bin.to_str().unwrap(),
+    ]);
+    assert!(ok, "convert failed: {err}");
+    assert!(bin.exists());
+    let (ok, out, err) = run(&["evaluate", "--binary", bin.to_str().unwrap(), "--dim", "16"]);
+    assert!(ok, "evaluate --binary failed: {err}");
+    assert!(out.contains("micro-F1"), "binary evaluate output: {out}");
+
+    // convert back to text
+    let back = dir.join("back");
+    let (ok, _, err) = run(&["convert", "--binary", bin.to_str().unwrap(), "--output", back.to_str().unwrap()]);
+    assert!(ok, "convert back failed: {err}");
+    assert!(back.join("edges.txt").exists());
+
+    std::fs::remove_dir_all(&dir).ok();
+}

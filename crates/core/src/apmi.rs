@@ -1,0 +1,366 @@
+//! APMI — Approximation of the affinity matrices via Pointwise Mutual
+//! Information (Algorithm 2).
+//!
+//! Instead of sampling random walks, APMI computes the truncated series
+//!
+//! ```text
+//!   P_f^{(t)} = α Σ_{ℓ=0..t} (1-α)^ℓ P^ℓ  R_r        (n × d)
+//!   P_b^{(t)} = α Σ_{ℓ=0..t} (1-α)^ℓ (Pᵀ)^ℓ R_c      (n × d)
+//! ```
+//!
+//! by the recurrences `P_f^{(ℓ)} = (1-α)·P·P_f^{(ℓ-1)} + α·P_f^{(0)}` with
+//! `P_f^{(0)} = R_r` (and symmetrically with `Pᵀ`, `R_c`), which costs
+//! `O(m·d·t)` instead of the naive `O(m·n·t)`.
+//!
+//! **A note on the recurrence.** Unrolling it gives
+//! `P_f^{(t)} = Σ_{ℓ=0..t-1} α(1-α)^ℓ P^ℓ R_r + (1-α)^t P^t R_r`: the final
+//! term carries weight `(1-α)^t` rather than `α(1-α)^t`, i.e. the recurrence
+//! *includes the entire tail mass* `Σ_{ℓ≥t}α(1-α)^ℓ` collapsed onto the t-th
+//! hop. This makes `P_f^{(t)}` row-stochastic for every `t` (when `P` is),
+//! is what Algorithm 2 literally computes, and satisfies the same Lemma 3.1
+//! bound (the deviation from `P_f` is at most the tail mass
+//! `(1-α)^{t+1} ≤ ε` in every entry).
+//!
+//! After `t` iterations, `P̂_f^{(t)}` is column-normalized, `P̂_b^{(t)}`
+//! row-normalized, and the SPMI transform of Eqs. (2)–(3) is applied:
+//! `F' = ln(n·P̂_f + 1)`, `B' = ln(d·P̂_b + 1)`.
+
+use pane_linalg::DenseMatrix;
+use pane_sparse::CsrMatrix;
+
+/// The pair of approximate affinity matrices returned by APMI.
+#[derive(Debug, Clone)]
+pub struct AffinityPair {
+    /// `F' ∈ R^{n×d}` — forward (node → attribute) affinity.
+    pub forward: DenseMatrix,
+    /// `B' ∈ R^{n×d}` — backward (attribute → node) affinity.
+    pub backward: DenseMatrix,
+}
+
+/// Inputs shared by [`apmi`] and [`crate::papmi::papmi`].
+pub struct ApmiInputs<'a> {
+    /// Random-walk matrix `P = D⁻¹A` (`n × n`).
+    pub p: &'a CsrMatrix,
+    /// Its transpose `Pᵀ` (precomputed once; both phases need it).
+    pub pt: &'a CsrMatrix,
+    /// Row-normalized attribute matrix `R_r` (`n × d`).
+    pub rr: &'a CsrMatrix,
+    /// Column-normalized attribute matrix `R_c` (`n × d`).
+    pub rc: &'a CsrMatrix,
+    /// Stopping probability `α`.
+    pub alpha: f64,
+    /// Iteration count `t`.
+    pub t: usize,
+}
+
+impl<'a> ApmiInputs<'a> {
+    fn validate(&self) {
+        let n = self.p.rows();
+        assert_eq!(self.p.cols(), n, "P must be square");
+        assert_eq!(self.pt.rows(), n, "Pᵀ shape mismatch");
+        assert_eq!(self.pt.cols(), n, "Pᵀ shape mismatch");
+        assert_eq!(self.rr.rows(), n, "R_r row mismatch");
+        assert_eq!(self.rc.rows(), n, "R_c row mismatch");
+        assert_eq!(self.rr.cols(), self.rc.cols(), "R_r/R_c column mismatch");
+        assert!(self.alpha > 0.0 && self.alpha < 1.0, "alpha must be in (0,1)");
+    }
+}
+
+/// Algorithm 2 (single-threaded). Returns `(F', B')`.
+pub fn apmi(inputs: &ApmiInputs<'_>) -> AffinityPair {
+    inputs.validate();
+    let (pf, pb) = propagate(inputs, None);
+    finish(pf, pb, None)
+}
+
+/// The iterative propagation (Lines 2–5 of Algorithm 2). When `nb` is
+/// `Some`, the dense right-hand side is processed in that many column
+/// blocks by parallel workers (Lines 2–8 of Algorithm 6); the arithmetic
+/// per entry is identical, which is why Lemma 4.1 holds exactly.
+pub(crate) fn propagate(inputs: &ApmiInputs<'_>, nb: Option<usize>) -> (DenseMatrix, DenseMatrix) {
+    let d = inputs.rr.cols();
+    match nb {
+        None => {
+            let pf0 = inputs.rr.to_dense();
+            let pb0 = inputs.rc.to_dense();
+            let pf = iterate(inputs.p, &pf0, inputs.alpha, inputs.t);
+            let pb = iterate(inputs.pt, &pb0, inputs.alpha, inputs.t);
+            (pf, pb)
+        }
+        Some(nb) => {
+            // Column-block partition of R (Algorithm 6, lines 2–6): thread i
+            // owns attribute block R_i and iterates its own dense panel.
+            let ranges = pane_parallel::even_ranges_nonempty(d, nb);
+            let rr_dense = inputs.rr.to_dense();
+            let rc_dense = inputs.rc.to_dense();
+            let pf_blocks = pane_parallel::map_blocks(&ranges, |_, range| {
+                let pf0 = rr_dense.col_block(range);
+                iterate(inputs.p, &pf0, inputs.alpha, inputs.t)
+            });
+            let pb_blocks = pane_parallel::map_blocks(&ranges, |_, range| {
+                let pb0 = rc_dense.col_block(range);
+                iterate(inputs.pt, &pb0, inputs.alpha, inputs.t)
+            });
+            // Lines 7–8: concatenate the per-thread panels horizontally.
+            (DenseMatrix::hstack(&pf_blocks), DenseMatrix::hstack(&pb_blocks))
+        }
+    }
+}
+
+/// `X^{(ℓ)} = (1-α)·M·X^{(ℓ-1)} + α·X^{(0)}` for `t` steps.
+fn iterate(m: &CsrMatrix, x0: &DenseMatrix, alpha: f64, t: usize) -> DenseMatrix {
+    let mut x = x0.clone();
+    let mut scratch = DenseMatrix::zeros(x0.rows(), x0.cols());
+    for _ in 0..t {
+        m.mul_dense_into(&x, &mut scratch);
+        scratch.scale_inplace(1.0 - alpha);
+        scratch.axpy_inplace(alpha, x0);
+        std::mem::swap(&mut x, &mut scratch);
+    }
+    x
+}
+
+/// Normalization + SPMI transform (Lines 6–8 of Algorithm 2 / Lines 9–13 of
+/// Algorithm 6). `nb = Some(_)` applies the log transform in parallel node
+/// row blocks; per-entry arithmetic is unchanged.
+pub(crate) fn finish(pf: DenseMatrix, pb: DenseMatrix, nb: Option<usize>) -> AffinityPair {
+    let n = pf.rows() as f64;
+    let d = pf.cols() as f64;
+
+    // Column-normalize P_f^{(t)}; row-normalize P_b^{(t)}.
+    let col_sums = pf.col_sums();
+    let row_sums = pb.row_sums();
+    let mut forward = pf;
+    let mut backward = pb;
+
+    let transform = |forward: &mut DenseMatrix, backward: &mut DenseMatrix, rows: std::ops::Range<usize>| {
+        for i in rows {
+            let frow = forward.row_mut(i);
+            for (j, v) in frow.iter_mut().enumerate() {
+                let s = col_sums[j];
+                *v = if s > 0.0 { (n * *v / s + 1.0).ln() } else { 0.0 };
+            }
+            let rs = row_sums[i];
+            let brow = backward.row_mut(i);
+            for v in brow.iter_mut() {
+                *v = if rs > 0.0 { (d * *v / rs + 1.0).ln() } else { 0.0 };
+            }
+        }
+    };
+
+    let all_rows = 0..forward.rows();
+    match nb {
+        None => transform(&mut forward, &mut backward, all_rows),
+        Some(nb) => {
+            let rows = forward.rows();
+            let cols = forward.cols();
+            let ranges = pane_parallel::even_ranges_nonempty(rows, nb);
+            // Split both matrices into matching row blocks and transform in
+            // parallel; closures capture the shared normalizers immutably.
+            let fw = &col_sums;
+            let bw = &row_sums;
+            let mut fdat = std::mem::replace(&mut forward, DenseMatrix::zeros(0, 0)).into_vec();
+            let mut bdat = std::mem::replace(&mut backward, DenseMatrix::zeros(0, 0)).into_vec();
+            crossbeam_scope_rows(&mut fdat, &mut bdat, cols, &ranges, |range, fblock, bblock| {
+                for (bi, _i) in range.clone().enumerate() {
+                    let frow = &mut fblock[bi * cols..(bi + 1) * cols];
+                    for (j, v) in frow.iter_mut().enumerate() {
+                        let s = fw[j];
+                        *v = if s > 0.0 { (n * *v / s + 1.0).ln() } else { 0.0 };
+                    }
+                    let rs = bw[range.start + bi];
+                    let brow = &mut bblock[bi * cols..(bi + 1) * cols];
+                    for v in brow.iter_mut() {
+                        *v = if rs > 0.0 { (d * *v / rs + 1.0).ln() } else { 0.0 };
+                    }
+                }
+            });
+            forward = DenseMatrix::from_vec(rows, cols, fdat);
+            backward = DenseMatrix::from_vec(rows, cols, bdat);
+        }
+    }
+
+    AffinityPair { forward, backward }
+}
+
+/// Runs `f(range, forward_rows, backward_rows)` over matching row blocks of
+/// two same-shape row-major buffers, one scoped worker per block.
+fn crossbeam_scope_rows<F>(
+    fdat: &mut [f64],
+    bdat: &mut [f64],
+    cols: usize,
+    ranges: &[std::ops::Range<usize>],
+    f: F,
+) where
+    F: Fn(std::ops::Range<usize>, &mut [f64], &mut [f64]) + Sync,
+{
+    if ranges.len() <= 1 {
+        if let Some(r) = ranges.first() {
+            f(r.clone(), fdat, bdat);
+        }
+        return;
+    }
+    crossbeam::thread::scope(|s| {
+        let mut frest = fdat;
+        let mut brest = bdat;
+        for r in ranges {
+            let take = (r.end - r.start) * cols;
+            let (fh, ft) = frest.split_at_mut(take);
+            let (bh, bt) = brest.split_at_mut(take);
+            frest = ft;
+            brest = bt;
+            let f = &f;
+            let r = r.clone();
+            s.spawn(move |_| f(r, fh, bh));
+        }
+    })
+    .expect("apmi: worker panicked");
+}
+
+#[cfg(test)]
+mod tests {
+
+    use super::*;
+    use pane_graph::{toy, AttributedGraph, DanglingPolicy};
+
+    pub(crate) fn toy_inputs(g: &AttributedGraph, alpha: f64, t: usize) -> (CsrMatrix, CsrMatrix, CsrMatrix, CsrMatrix, f64, usize) {
+        let p = g.random_walk_matrix(DanglingPolicy::SelfLoop);
+        let pt = p.transpose();
+        let rr = g.attr_row_normalized();
+        let rc = g.attr_col_normalized();
+        (p, pt, rr, rc, alpha, t)
+    }
+
+    fn run_apmi(g: &AttributedGraph, alpha: f64, t: usize) -> AffinityPair {
+        let (p, pt, rr, rc, alpha, t) = toy_inputs(g, alpha, t);
+        apmi(&ApmiInputs { p: &p, pt: &pt, rr: &rr, rc: &rc, alpha, t })
+    }
+
+    /// Dense reference implementation of the recurrence, for cross-checking.
+    fn dense_reference(g: &AttributedGraph, alpha: f64, t: usize) -> (DenseMatrix, DenseMatrix) {
+        let p = g.random_walk_matrix(DanglingPolicy::SelfLoop).to_dense();
+        let rr = g.attr_row_normalized().to_dense();
+        let rc = g.attr_col_normalized().to_dense();
+        let pt = p.transpose();
+        let mut pf = rr.clone();
+        let mut pb = rc.clone();
+        for _ in 0..t {
+            let mut nf = p.matmul(&pf);
+            nf.scale_inplace(1.0 - alpha);
+            nf.axpy_inplace(alpha, &rr);
+            pf = nf;
+            let mut nb2 = pt.matmul(&pb);
+            nb2.scale_inplace(1.0 - alpha);
+            nb2.axpy_inplace(alpha, &rc);
+            pb = nb2;
+        }
+        (pf, pb)
+    }
+
+    #[test]
+    fn propagation_matches_dense_reference() {
+        let g = toy::figure1_graph();
+        let (p, pt, rr, rc, alpha, t) = toy_inputs(&g, 0.15, 5);
+        let inputs = ApmiInputs { p: &p, pt: &pt, rr: &rr, rc: &rc, alpha, t };
+        let (pf, pb) = propagate(&inputs, None);
+        let (rf, rb) = dense_reference(&g, 0.15, 5);
+        assert!(pf.max_abs_diff(&rf) < 1e-12);
+        assert!(pb.max_abs_diff(&rb) < 1e-12);
+    }
+
+    #[test]
+    fn pf_rows_stay_stochastic() {
+        // With the SelfLoop policy P is row-stochastic, and R_r rows sum to
+        // 1 for attributed terminal nodes; on a graph where *every* node has
+        // attributes, P_f^{(t)} rows must sum to exactly 1 for every t.
+        let mut b = pane_graph::GraphBuilder::new(4, 2);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(2, 3);
+        b.add_edge(3, 0);
+        for v in 0..4 {
+            b.add_attribute(v, v % 2, 1.0);
+        }
+        let g = b.build();
+        let (p, pt, rr, rc, alpha, t) = toy_inputs(&g, 0.5, 7);
+        let inputs = ApmiInputs { p: &p, pt: &pt, rr: &rr, rc: &rc, alpha, t };
+        let (pf, _) = propagate(&inputs, None);
+        for s in pf.row_sums() {
+            assert!((s - 1.0).abs() < 1e-12, "row sum {s}");
+        }
+    }
+
+    #[test]
+    fn affinities_are_finite_and_nonnegative() {
+        let g = toy::figure1_graph();
+        let aff = run_apmi(&g, 0.15, 9);
+        for m in [&aff.forward, &aff.backward] {
+            for &v in m.data() {
+                assert!(v.is_finite() && v >= 0.0, "bad affinity {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn qualitative_table2_properties() {
+        use pane_graph::toy::{attrs::*, nodes::*, EXAMPLE_ALPHA};
+        let g = toy::figure1_graph();
+        let aff = run_apmi(&g, EXAMPLE_ALPHA, 40);
+        let f = &aff.forward;
+        let bm = &aff.backward;
+        // v1 has high affinity with r1 (connected via v3, v4, v5).
+        assert!(f.get(V1, R1) > f.get(V1, R3), "forward: v1 should prefer r1 over r3");
+        assert!(bm.get(V1, R1) > 0.0);
+        // v5's forward affinity ranks r3 above r1 (the misleading case)...
+        assert!(f.get(V5, R3) > f.get(V5, R1), "v5 forward should prefer r3");
+        // ...but combining forward + backward repairs the ranking (v5 owns r1).
+        let combined_r1 = f.get(V5, R1) + bm.get(V5, R1);
+        let combined_r3 = f.get(V5, R3) + bm.get(V5, R3);
+        assert!(combined_r1 > combined_r3, "combined affinity should prefer owned r1");
+        // v6 strongly prefers its own r3 in the forward direction.
+        assert!(f.get(V6, R3) > f.get(V6, R1));
+    }
+
+    #[test]
+    fn more_iterations_converge() {
+        // P_f^{(t)} converges geometrically; successive iterates contract.
+        let g = toy::figure1_graph();
+        let (p, pt, rr, rc, ..) = toy_inputs(&g, 0.3, 0);
+        let make = |t: usize| {
+            let inputs = ApmiInputs { p: &p, pt: &pt, rr: &rr, rc: &rc, alpha: 0.3, t };
+            propagate(&inputs, None).0
+        };
+        let d5 = make(5).max_abs_diff(&make(30));
+        let d15 = make(15).max_abs_diff(&make(30));
+        assert!(d15 < d5, "not converging: d5={d5} d15={d15}");
+        assert!(d15 < (1.0_f64 - 0.3).powi(15), "slower than geometric");
+    }
+
+    #[test]
+    fn matches_monte_carlo_on_fully_attributed_graph() {
+        use pane_graph::walks::{RestartRule, WalkSimulator};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        // Every node has an attribute, so the matrix form and the sampled
+        // walks agree exactly in expectation.
+        let mut b = pane_graph::GraphBuilder::new(5, 3);
+        let edges = [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2), (1, 4)];
+        for (s, t) in edges {
+            b.add_edge(s, t);
+        }
+        for v in 0..5 {
+            b.add_attribute(v, v % 3, 1.0);
+            if v % 2 == 0 {
+                b.add_attribute(v, (v + 1) % 3, 0.5);
+            }
+        }
+        let g = b.build();
+        let alpha = 0.4;
+        let aff = run_apmi(&g, alpha, 60);
+        let sim = WalkSimulator::new(&g, alpha, DanglingPolicy::SelfLoop, RestartRule::Discard);
+        let mut rng = StdRng::seed_from_u64(17);
+        let (fe, be) = sim.empirical_affinities(40_000, &mut rng);
+        assert!(aff.forward.max_abs_diff(&fe) < 0.06, "forward diff {}", aff.forward.max_abs_diff(&fe));
+        assert!(aff.backward.max_abs_diff(&be) < 0.06, "backward diff {}", aff.backward.max_abs_diff(&be));
+    }
+}

@@ -1,0 +1,357 @@
+//! Cyclic coordinate descent with dynamically maintained residuals
+//! (Algorithm 4: SVDCCD; Algorithm 8: PSVDCCD).
+//!
+//! Each sweep has two phases:
+//!
+//! * **X phase** (`Y` fixed): for every node `v` and coordinate `l`,
+//!   `μ_f(v,l) = S_f[v]·Y[:,l] / ‖Y[:,l]‖²`, then `X_f[v,l] −= μ_f` and the
+//!   rank-1 residual update `S_f[v] −= μ_f·Y[:,l]ᵀ` (Eqs. 13, 16, 18);
+//!   symmetrically for `X_b`/`S_b`.
+//! * **Y phase** (`X_f`, `X_b` fixed): for every attribute `r` and `l`,
+//!   `μ_y(r,l) = (X_f[:,l]·S_f[:,r] + X_b[:,l]·S_b[:,r]) /
+//!   (‖X_f[:,l]‖² + ‖X_b[:,l]‖²)`, then `Y[r,l] −= μ_y` and column updates
+//!   of both residuals (Eqs. 15, 17, 20).
+//!
+//! Implementation notes (beyond the paper's pseudocode):
+//!
+//! * each coordinate update is the **exact minimizer** of the objective in
+//!   that coordinate, so the objective `‖S_f‖² + ‖S_b‖²` is monotonically
+//!   non-increasing — property-tested;
+//! * the X phase touches only row `v` of `X_*`/`S_*` and the Y phase only
+//!   row `r` of `Y` and column `r` of `S_*`; updates are therefore
+//!   independent across nodes / across attributes, which is why PSVDCCD
+//!   (node blocks for X, attribute blocks for Y) produces **bit-identical**
+//!   results to the serial sweep — also tested;
+//! * for cache-friendliness the fixed factor is used through a transposed
+//!   copy (`Yᵀ` in the X phase, `X_fᵀ`/`X_bᵀ` in the Y phase), making every
+//!   inner loop a contiguous dot/axpy, and the Y phase gathers each residual
+//!   column into a dense buffer once instead of striding `k` times;
+//! * a zero denominator (an all-zero coordinate column) skips the update
+//!   (`μ = 0`), which is the correct minimizer of a constant function.
+
+use crate::greedy_init::InitState;
+use pane_linalg::{vecops, DenseMatrix};
+use pane_parallel::{even_ranges_nonempty, ColumnBlocksMut};
+
+/// Current objective value `O = ‖S_f‖² + ‖S_b‖²` (Eq. 4 evaluated via the
+/// maintained residuals).
+pub fn objective(state: &InitState) -> f64 {
+    state.sf.frob_norm_sq() + state.sb.frob_norm_sq()
+}
+
+/// Runs `sweeps` full CCD sweeps over `state`, using `nb` worker threads
+/// (`nb = 1` reproduces Algorithm 4 exactly; `nb > 1` is Algorithm 8's
+/// parallel schedule, which returns the same bits).
+pub fn ccd_sweeps(state: &mut InitState, sweeps: usize, nb: usize) {
+    let n = state.xf.rows();
+    let d = state.y.rows();
+    let k2 = state.xf.cols();
+    assert_eq!(state.xb.shape(), (n, k2));
+    assert_eq!(state.y.cols(), k2);
+    assert_eq!(state.sf.shape(), (n, d));
+    assert_eq!(state.sb.shape(), (n, d));
+    if n == 0 || d == 0 || k2 == 0 {
+        return;
+    }
+
+    for _ in 0..sweeps {
+        x_phase(state, nb);
+        y_phase(state, nb);
+    }
+}
+
+/// Lines 3–9 of Algorithm 4 / lines 3–10 of Algorithm 8.
+fn x_phase(state: &mut InitState, nb: usize) {
+    let n = state.xf.rows();
+    let d = state.sf.cols();
+    let k2 = state.xf.cols();
+    // Y is fixed for the whole phase: transpose once, precompute ‖Y[:,l]‖².
+    let yt = state.y.transpose(); // k/2 × d, row l = Y[:,l]
+    let ynorm: Vec<f64> = (0..k2).map(|l| vecops::norm2_sq(yt.row(l))).collect();
+
+    let ranges = even_ranges_nonempty(n, nb);
+    let update_rows = |range: std::ops::Range<usize>, xf: &mut [f64], xb: &mut [f64], sf: &mut [f64], sb: &mut [f64]| {
+        for bi in 0..(range.end - range.start) {
+            let xf_row = &mut xf[bi * k2..(bi + 1) * k2];
+            let xb_row = &mut xb[bi * k2..(bi + 1) * k2];
+            let sf_row = &mut sf[bi * d..(bi + 1) * d];
+            let sb_row = &mut sb[bi * d..(bi + 1) * d];
+            for l in 0..k2 {
+                if ynorm[l] <= 0.0 {
+                    continue;
+                }
+                let ytl = yt.row(l);
+                let mu_f = vecops::dot(sf_row, ytl) / ynorm[l];
+                xf_row[l] -= mu_f;
+                vecops::axpy(-mu_f, ytl, sf_row); // Eq. 18
+                let mu_b = vecops::dot(sb_row, ytl) / ynorm[l];
+                xb_row[l] -= mu_b;
+                vecops::axpy(-mu_b, ytl, sb_row); // Eq. 19
+            }
+        }
+    };
+
+    if ranges.len() <= 1 {
+        update_rows(0..n, state.xf.data_mut(), state.xb.data_mut(), state.sf.data_mut(), state.sb.data_mut());
+        return;
+    }
+    crossbeam::thread::scope(|s| {
+        let mut xf_rest = state.xf.data_mut();
+        let mut xb_rest = state.xb.data_mut();
+        let mut sf_rest = state.sf.data_mut();
+        let mut sb_rest = state.sb.data_mut();
+        for r in &ranges {
+            let rows = r.end - r.start;
+            let (xf_h, xf_t) = xf_rest.split_at_mut(rows * k2);
+            let (xb_h, xb_t) = xb_rest.split_at_mut(rows * k2);
+            let (sf_h, sf_t) = sf_rest.split_at_mut(rows * d);
+            let (sb_h, sb_t) = sb_rest.split_at_mut(rows * d);
+            xf_rest = xf_t;
+            xb_rest = xb_t;
+            sf_rest = sf_t;
+            sb_rest = sb_t;
+            let f = &update_rows;
+            let r = r.clone();
+            s.spawn(move |_| f(r, xf_h, xb_h, sf_h, sb_h));
+        }
+    })
+    .expect("ccd x-phase worker panicked");
+}
+
+/// Lines 10–14 of Algorithm 4 / lines 11–16 of Algorithm 8.
+fn y_phase(state: &mut InitState, nb: usize) {
+    let n = state.xf.rows();
+    let d = state.y.rows();
+    let k2 = state.y.cols();
+    // X_f, X_b fixed for the whole phase.
+    let xft = state.xf.transpose(); // k/2 × n
+    let xbt = state.xb.transpose();
+    let xnorm: Vec<f64> = (0..k2)
+        .map(|l| vecops::norm2_sq(xft.row(l)) + vecops::norm2_sq(xbt.row(l)))
+        .collect();
+
+    let ranges = even_ranges_nonempty(d, nb);
+    let update_attrs = |range: std::ops::Range<usize>,
+                        y_rows: &mut [f64],
+                        sf_cols: &mut pane_parallel::ColumnBlockMut<'_>,
+                        sb_cols: &mut pane_parallel::ColumnBlockMut<'_>| {
+        let mut sf_col = vec![0.0; n];
+        let mut sb_col = vec![0.0; n];
+        for (bi, r) in range.clone().enumerate() {
+            sf_cols.gather_column(r, &mut sf_col);
+            sb_cols.gather_column(r, &mut sb_col);
+            let y_row = &mut y_rows[bi * k2..(bi + 1) * k2];
+            for l in 0..k2 {
+                if xnorm[l] <= 0.0 {
+                    continue;
+                }
+                let xfl = xft.row(l);
+                let xbl = xbt.row(l);
+                let mu_y = (vecops::dot(xfl, &sf_col) + vecops::dot(xbl, &sb_col)) / xnorm[l];
+                y_row[l] -= mu_y;
+                vecops::axpy(-mu_y, xfl, &mut sf_col); // Eq. 20
+                vecops::axpy(-mu_y, xbl, &mut sb_col);
+            }
+            sf_cols.scatter_column(r, &sf_col);
+            sb_cols.scatter_column(r, &sb_col);
+        }
+    };
+
+    let mut sf_owner = ColumnBlocksMut::new(state.sf.data_mut(), n, d);
+    let sf_blocks = sf_owner.split(&ranges);
+    let mut sb_owner = ColumnBlocksMut::new(state.sb.data_mut(), n, d);
+    let sb_blocks = sb_owner.split(&ranges);
+
+    if ranges.len() <= 1 {
+        if let ((Some(mut sfb), Some(mut sbb)), Some(r)) = (
+            (sf_blocks.into_iter().next(), sb_blocks.into_iter().next()),
+            ranges.first(),
+        ) {
+            update_attrs(r.clone(), state.y.data_mut(), &mut sfb, &mut sbb);
+        }
+        return;
+    }
+    crossbeam::thread::scope(|s| {
+        let mut y_rest = state.y.data_mut();
+        for ((r, mut sfb), mut sbb) in ranges.iter().zip(sf_blocks).zip(sb_blocks) {
+            let rows = r.end - r.start;
+            let (y_h, y_t) = y_rest.split_at_mut(rows * k2);
+            y_rest = y_t;
+            let f = &update_attrs;
+            let r = r.clone();
+            s.spawn(move |_| f(r, y_h, &mut sfb, &mut sbb));
+        }
+    })
+    .expect("ccd y-phase worker panicked");
+}
+
+/// Algorithm 4: GreedyInit (done by the caller) followed by `sweeps` CCD
+/// sweeps; returns the final objective value for convenience.
+pub fn svdccd(state: &mut InitState, sweeps: usize, nb: usize) -> f64 {
+    ccd_sweeps(state, sweeps, nb);
+    objective(state)
+}
+
+/// Workspace variant kept for API symmetry with the paper's Algorithm 4
+/// signature (`SVDCCD(F', B', k, t)`): builds the init state internally.
+pub struct CcdWorkspace;
+
+impl CcdWorkspace {
+    /// One-call driver: GreedyInit + CCD.
+    pub fn run(
+        f: &DenseMatrix,
+        b: &DenseMatrix,
+        opts: &crate::greedy_init::InitOptions,
+        sweeps: usize,
+        nb: usize,
+        split_merge: bool,
+    ) -> InitState {
+        let mut state = if split_merge && nb > 1 {
+            crate::greedy_init::sm_greedy_init(f, b, opts, nb)
+        } else {
+            crate::greedy_init::greedy_init(f, b, opts, nb)
+        };
+        ccd_sweeps(&mut state, sweeps, nb);
+        state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy_init::{greedy_init, InitOptions};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(n: usize, d: usize, k2: usize, seed: u64) -> (DenseMatrix, DenseMatrix, InitState) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let f = DenseMatrix::uniform(n, d, 0.0, 2.0, &mut rng);
+        let b = DenseMatrix::uniform(n, d, 0.0, 2.0, &mut rng);
+        let opts = InitOptions { half_dim: k2, power_iters: 2, oversample: 4, seed };
+        let st = greedy_init(&f, &b, &opts, 1);
+        (f, b, st)
+    }
+
+    /// Random init used by the PANE-R ablation and by tests here.
+    fn random_state(f: &DenseMatrix, b: &DenseMatrix, k2: usize, seed: u64) -> InitState {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = f.rows();
+        let d = f.cols();
+        let xf = DenseMatrix::gaussian(n, k2, &mut rng);
+        let xb = DenseMatrix::gaussian(n, k2, &mut rng);
+        let y = DenseMatrix::gaussian(d, k2, &mut rng);
+        let mut sf = xf.matmul_transb(&y);
+        sf.axpy_inplace(-1.0, f);
+        let mut sb = xb.matmul_transb(&y);
+        sb.axpy_inplace(-1.0, b);
+        InitState { xf, xb, y, sf, sb }
+    }
+
+    #[test]
+    fn objective_monotonically_non_increasing() {
+        let (_f, _b, mut st) = setup(25, 10, 4, 1);
+        let mut prev = objective(&st);
+        for _ in 0..6 {
+            ccd_sweeps(&mut st, 1, 1);
+            let cur = objective(&st);
+            assert!(cur <= prev + 1e-9, "objective rose: {prev} -> {cur}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn residual_invariant_maintained() {
+        let (f, b, mut st) = setup(20, 8, 3, 2);
+        ccd_sweeps(&mut st, 4, 1);
+        let (sf, sb) = st.fresh_residuals(&f, &b, 1);
+        assert!(st.sf.max_abs_diff(&sf) < 1e-9, "Sf drifted by {}", st.sf.max_abs_diff(&sf));
+        assert!(st.sb.max_abs_diff(&sb) < 1e-9);
+    }
+
+    #[test]
+    fn parallel_sweeps_bit_identical() {
+        let (_f, _b, st0) = setup(33, 13, 5, 3);
+        let mut serial = st0.clone();
+        ccd_sweeps(&mut serial, 3, 1);
+        for nb in [2, 4, 7] {
+            let mut par = st0.clone();
+            ccd_sweeps(&mut par, 3, nb);
+            assert_eq!(serial.xf.data(), par.xf.data(), "nb={nb}: Xf differs");
+            assert_eq!(serial.xb.data(), par.xb.data(), "nb={nb}: Xb differs");
+            assert_eq!(serial.y.data(), par.y.data(), "nb={nb}: Y differs");
+            assert_eq!(serial.sf.data(), par.sf.data(), "nb={nb}: Sf differs");
+        }
+    }
+
+    #[test]
+    fn ccd_fixes_perturbed_solution() {
+        // Start from an exactly factorizable pair, perturb one coordinate;
+        // CCD must restore a near-zero objective.
+        let mut rng = StdRng::seed_from_u64(4);
+        let xf = DenseMatrix::gaussian(15, 3, &mut rng);
+        let y = DenseMatrix::gaussian(6, 3, &mut rng);
+        let f = xf.matmul_transb(&y);
+        let b = f.clone();
+        let mut st = InitState {
+            xf: xf.clone(),
+            xb: xf.clone(),
+            y: y.clone(),
+            sf: DenseMatrix::zeros(15, 6),
+            sb: DenseMatrix::zeros(15, 6),
+        };
+        // Perturb.
+        st.xf.add_at(0, 0, 5.0);
+        let (sf, sb) = st.fresh_residuals(&f, &b, 1);
+        st.sf = sf;
+        st.sb = sb;
+        assert!(objective(&st) > 1.0);
+        ccd_sweeps(&mut st, 8, 1);
+        assert!(objective(&st) < 1e-6, "objective after repair: {}", objective(&st));
+    }
+
+    #[test]
+    fn greedy_init_converges_faster_than_random() {
+        let (f, b, greedy) = setup(40, 16, 4, 5);
+        let mut g = greedy;
+        let mut r = random_state(&f, &b, 4, 55);
+        // Same number of sweeps from both starts.
+        ccd_sweeps(&mut g, 2, 1);
+        ccd_sweeps(&mut r, 2, 1);
+        assert!(
+            objective(&g) < objective(&r),
+            "greedy {} should beat random {} at equal sweeps",
+            objective(&g),
+            objective(&r)
+        );
+    }
+
+    #[test]
+    fn zero_coordinate_columns_are_skipped() {
+        let (f, b, mut st) = setup(10, 5, 3, 6);
+        // Zero out one Y column and its X counterparts: the sweep must not
+        // produce NaNs from 0/0.
+        for i in 0..st.y.rows() {
+            st.y.set(i, 1, 0.0);
+        }
+        let (sf, sb) = st.fresh_residuals(&f, &b, 1);
+        st.sf = sf;
+        st.sb = sb;
+        ccd_sweeps(&mut st, 2, 1);
+        assert!(st.xf.data().iter().all(|v| v.is_finite()));
+        assert!(st.y.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn empty_dimensions_are_noops() {
+        let f = DenseMatrix::zeros(0, 0);
+        let mut st = InitState {
+            xf: DenseMatrix::zeros(0, 2),
+            xb: DenseMatrix::zeros(0, 2),
+            y: DenseMatrix::zeros(0, 2),
+            sf: DenseMatrix::zeros(0, 0),
+            sb: DenseMatrix::zeros(0, 0),
+        };
+        ccd_sweeps(&mut st, 3, 2);
+        let _ = f;
+    }
+}

@@ -1,0 +1,252 @@
+//! Embedding persistence: save/load `X_f`, `X_b`, `Y` in a text and a
+//! binary format.
+//!
+//! The binary format is a fixed little-endian layout
+//! (`magic ‖ n ‖ d ‖ k/2 ‖ X_f ‖ X_b ‖ Y`), suitable for memory-mapped or
+//! streamed consumption by downstream services; the text format is
+//! line-oriented (`node: values…`) for inspection and interop with the
+//! Python tooling the original evaluation used.
+
+use crate::pane::{PaneEmbedding, PaneTimings};
+use pane_linalg::DenseMatrix;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Magic bytes of the binary format (version 1).
+pub const BINARY_MAGIC: &[u8; 8] = b"PANEEMB1";
+
+/// Errors from loading an embedding.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file is not a recognizable embedding dump.
+    Format(String),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "I/O error: {e}"),
+            PersistError::Format(m) => write!(f, "format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+/// Writes the embedding in the binary format.
+pub fn save_binary(emb: &PaneEmbedding, path: &Path) -> Result<(), PersistError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(BINARY_MAGIC)?;
+    let (n, k2) = emb.forward.shape();
+    let d = emb.attribute.rows();
+    for dim in [n as u64, d as u64, k2 as u64] {
+        w.write_all(&dim.to_le_bytes())?;
+    }
+    for m in [&emb.forward, &emb.backward, &emb.attribute] {
+        for &v in m.data() {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads an embedding written by [`save_binary`].
+pub fn load_binary(path: &Path) -> Result<PaneEmbedding, PersistError> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != BINARY_MAGIC {
+        return Err(PersistError::Format(format!(
+            "bad magic {:?} (expected {:?})",
+            magic, BINARY_MAGIC
+        )));
+    }
+    let mut dims = [0u64; 3];
+    for d in dims.iter_mut() {
+        let mut buf = [0u8; 8];
+        r.read_exact(&mut buf)?;
+        *d = u64::from_le_bytes(buf);
+    }
+    let (n, d, k2) = (dims[0] as usize, dims[1] as usize, dims[2] as usize);
+    // Sanity cap: refuse absurd headers instead of OOM-ing on corruption.
+    let total = n
+        .checked_mul(k2)
+        .and_then(|x| x.checked_mul(2))
+        .and_then(|x| x.checked_add(d.checked_mul(k2)?))
+        .ok_or_else(|| PersistError::Format("dimension overflow".into()))?;
+    let mut read_matrix = |rows: usize, cols: usize| -> Result<DenseMatrix, PersistError> {
+        let mut data = vec![0.0f64; rows * cols];
+        for v in data.iter_mut() {
+            let mut buf = [0u8; 8];
+            r.read_exact(&mut buf)?;
+            *v = f64::from_le_bytes(buf);
+        }
+        Ok(DenseMatrix::from_vec(rows, cols, data))
+    };
+    let forward = read_matrix(n, k2)?;
+    let backward = read_matrix(n, k2)?;
+    let attribute = read_matrix(d, k2)?;
+    let _ = total;
+    Ok(PaneEmbedding {
+        forward,
+        backward,
+        attribute,
+        timings: PaneTimings::default(),
+        objective: f64::NAN, // not stored; recompute against F'/B' if needed
+    })
+}
+
+/// Writes the embedding in the text format (three sections).
+pub fn save_text(emb: &PaneEmbedding, path: &Path) -> Result<(), PersistError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    let (n, k2) = emb.forward.shape();
+    let d = emb.attribute.rows();
+    writeln!(w, "# PANE embedding v1")?;
+    writeln!(w, "{n} {d} {k2}")?;
+    for (section, m) in [("forward", &emb.forward), ("backward", &emb.backward), ("attribute", &emb.attribute)] {
+        writeln!(w, "# {section}")?;
+        for i in 0..m.rows() {
+            let row: Vec<String> = m.row(i).iter().map(|v| format!("{v:.17e}")).collect();
+            writeln!(w, "{i} {}", row.join(" "))?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads an embedding written by [`save_text`].
+pub fn load_text(path: &Path) -> Result<PaneEmbedding, PersistError> {
+    let mut lines = BufReader::new(File::open(path)?).lines();
+    let next_data_line = |lines: &mut dyn Iterator<Item = io::Result<String>>| -> Result<Option<String>, PersistError> {
+        for line in lines {
+            let line = line?;
+            if !line.trim_start().starts_with('#') && !line.trim().is_empty() {
+                return Ok(Some(line));
+            }
+        }
+        Ok(None)
+    };
+    let header = next_data_line(&mut lines)?.ok_or_else(|| PersistError::Format("empty file".into()))?;
+    let dims: Vec<usize> = header
+        .split_whitespace()
+        .map(|t| t.parse().map_err(|e| PersistError::Format(format!("bad header: {e}"))))
+        .collect::<Result<_, _>>()?;
+    if dims.len() != 3 {
+        return Err(PersistError::Format(format!("header must be 'n d k2', got '{header}'")));
+    }
+    let (n, d, k2) = (dims[0], dims[1], dims[2]);
+    let mut read_matrix = |rows: usize| -> Result<DenseMatrix, PersistError> {
+        let mut m = DenseMatrix::zeros(rows, k2);
+        for _ in 0..rows {
+            let line = next_data_line(&mut lines)?
+                .ok_or_else(|| PersistError::Format("unexpected end of file".into()))?;
+            let mut toks = line.split_whitespace();
+            let idx: usize = toks
+                .next()
+                .ok_or_else(|| PersistError::Format("missing row index".into()))?
+                .parse()
+                .map_err(|e| PersistError::Format(format!("bad row index: {e}")))?;
+            if idx >= rows {
+                return Err(PersistError::Format(format!("row index {idx} out of range {rows}")));
+            }
+            let row = m.row_mut(idx);
+            for (j, slot) in row.iter_mut().enumerate() {
+                let tok = toks
+                    .next()
+                    .ok_or_else(|| PersistError::Format(format!("row {idx}: missing value {j}")))?;
+                *slot = tok.parse().map_err(|e| PersistError::Format(format!("row {idx}: {e}")))?;
+            }
+        }
+        Ok(m)
+    };
+    let forward = read_matrix(n)?;
+    let backward = read_matrix(n)?;
+    let attribute = read_matrix(d)?;
+    Ok(PaneEmbedding {
+        forward,
+        backward,
+        attribute,
+        timings: PaneTimings::default(),
+        objective: f64::NAN,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Pane, PaneConfig};
+    use pane_graph::toy::figure1_graph;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("pane_persist_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn example_embedding() -> PaneEmbedding {
+        let g = figure1_graph();
+        let cfg = PaneConfig::builder().dimension(4).alpha(0.15).seed(3).build();
+        Pane::new(cfg).embed(&g).unwrap()
+    }
+
+    #[test]
+    fn binary_roundtrip_is_bit_exact() {
+        let emb = example_embedding();
+        let p = tmp("emb.bin");
+        save_binary(&emb, &p).unwrap();
+        let back = load_binary(&p).unwrap();
+        assert_eq!(emb.forward.data(), back.forward.data());
+        assert_eq!(emb.backward.data(), back.backward.data());
+        assert_eq!(emb.attribute.data(), back.attribute.data());
+    }
+
+    #[test]
+    fn text_roundtrip_is_bit_exact() {
+        // %.17e prints f64 losslessly.
+        let emb = example_embedding();
+        let p = tmp("emb.txt");
+        save_text(&emb, &p).unwrap();
+        let back = load_text(&p).unwrap();
+        assert_eq!(emb.forward.data(), back.forward.data());
+        assert_eq!(emb.attribute.data(), back.attribute.data());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let p = tmp("bad.bin");
+        std::fs::write(&p, b"NOTPANE!").unwrap();
+        match load_binary(&p) {
+            Err(PersistError::Format(m)) => assert!(m.contains("magic")),
+            other => panic!("expected format error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_binary_rejected() {
+        let emb = example_embedding();
+        let p = tmp("trunc.bin");
+        save_binary(&emb, &p).unwrap();
+        let bytes = std::fs::read(&p).unwrap();
+        std::fs::write(&p, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(matches!(load_binary(&p), Err(PersistError::Io(_))));
+    }
+
+    #[test]
+    fn malformed_text_rejected() {
+        let p = tmp("bad.txt");
+        std::fs::write(&p, "# PANE embedding v1\n2 2\n").unwrap();
+        assert!(matches!(load_text(&p), Err(PersistError::Format(_))));
+        std::fs::write(&p, "# PANE embedding v1\n1 1 2\n0 1.0 not_a_number\n").unwrap();
+        assert!(matches!(load_text(&p), Err(PersistError::Format(_))));
+    }
+}

@@ -1,0 +1,122 @@
+//! Cross-module property tests for the core pipeline, driven by random
+//! SBM graphs (structure-heavy inputs rather than pure random matrices).
+
+#![cfg(test)]
+
+use crate::apmi::{apmi, ApmiInputs};
+use crate::ccd::{ccd_sweeps, objective};
+use crate::greedy_init::{greedy_init, InitOptions};
+use crate::{Pane, PaneConfig};
+use pane_graph::gen::{generate_sbm, SbmConfig};
+use pane_graph::DanglingPolicy;
+use proptest::prelude::*;
+
+fn random_graph(seed: u64, nodes: usize) -> pane_graph::AttributedGraph {
+    generate_sbm(&SbmConfig {
+        nodes,
+        communities: 3,
+        avg_out_degree: 4.0,
+        attributes: 12,
+        attrs_per_node: 3.0,
+        seed,
+        ..Default::default()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// APMI outputs are finite, non-negative, bounded by ln(n+1)/ln(d+1),
+    /// for arbitrary graphs, alphas and iteration counts.
+    #[test]
+    fn prop_apmi_outputs_well_formed(
+        seed in 0u64..1000,
+        nodes in 30usize..120,
+        alpha in 0.1f64..0.9,
+        t in 1usize..12,
+    ) {
+        let g = random_graph(seed, nodes);
+        let p = g.random_walk_matrix(DanglingPolicy::SelfLoop);
+        let pt = p.transpose();
+        let rr = g.attr_row_normalized();
+        let rc = g.attr_col_normalized();
+        let aff = apmi(&ApmiInputs { p: &p, pt: &pt, rr: &rr, rc: &rc, alpha, t });
+        let fmax = (g.num_nodes() as f64 + 1.0).ln();
+        let bmax = (g.num_attributes() as f64 + 1.0).ln();
+        for &v in aff.forward.data() {
+            prop_assert!(v.is_finite() && v >= 0.0 && v <= fmax + 1e-9, "F entry {v}");
+        }
+        for &v in aff.backward.data() {
+            prop_assert!(v.is_finite() && v >= 0.0 && v <= bmax + 1e-9, "B entry {v}");
+        }
+    }
+
+    /// CCD never increases the objective, from greedy *or* degenerate
+    /// starting points, serial or parallel.
+    #[test]
+    fn prop_ccd_monotone(seed in 0u64..1000, nb in 1usize..5, sweeps in 1usize..4) {
+        let g = random_graph(seed, 60);
+        let p = g.random_walk_matrix(DanglingPolicy::SelfLoop);
+        let pt = p.transpose();
+        let rr = g.attr_row_normalized();
+        let rc = g.attr_col_normalized();
+        let aff = apmi(&ApmiInputs { p: &p, pt: &pt, rr: &rr, rc: &rc, alpha: 0.5, t: 4 });
+        let opts = InitOptions { half_dim: 4, power_iters: 2, oversample: 4, seed };
+        let mut st = greedy_init(&aff.forward, &aff.backward, &opts, 1);
+        let mut prev = objective(&st);
+        for _ in 0..sweeps {
+            ccd_sweeps(&mut st, 1, nb);
+            let cur = objective(&st);
+            prop_assert!(cur <= prev + 1e-9 * (1.0 + prev), "objective rose {prev} -> {cur}");
+            prev = cur;
+        }
+    }
+
+    /// End-to-end embedding is invariant to the thread count in shape and
+    /// comparable in quality, for arbitrary graphs.
+    #[test]
+    fn prop_thread_count_is_quality_neutral(seed in 0u64..300) {
+        let g = random_graph(seed, 80);
+        let mk = |threads: usize| {
+            Pane::new(
+                PaneConfig::builder().dimension(8).threads(threads).seed(7).build(),
+            )
+            .embed(&g)
+            .unwrap()
+        };
+        let a = mk(1);
+        let b = mk(3);
+        prop_assert_eq!(a.forward.shape(), b.forward.shape());
+        let scale = 1.0 + a.objective.max(b.objective);
+        prop_assert!((a.objective - b.objective).abs() / scale < 0.35,
+            "serial {} vs parallel {}", a.objective, b.objective);
+    }
+
+    /// Attribute scores of owned attributes beat the per-node average score
+    /// for most nodes — the learnability property every task depends on.
+    #[test]
+    fn prop_owned_attributes_score_high(seed in 0u64..300) {
+        let g = random_graph(seed, 100);
+        let emb = Pane::new(PaneConfig::builder().dimension(16).seed(3).build())
+            .embed(&g)
+            .unwrap();
+        let d = g.num_attributes();
+        let mut wins = 0usize;
+        let mut trials = 0usize;
+        for v in 0..g.num_nodes() {
+            let (owned, _) = g.node_attributes(v);
+            if owned.is_empty() {
+                continue;
+            }
+            let mean: f64 = (0..d).map(|r| emb.attribute_score(v, r)).sum::<f64>() / d as f64;
+            let owned_mean: f64 =
+                owned.iter().map(|&r| emb.attribute_score(v, r as usize)).sum::<f64>() / owned.len() as f64;
+            trials += 1;
+            if owned_mean > mean {
+                wins += 1;
+            }
+        }
+        prop_assert!(trials > 0);
+        prop_assert!(wins * 10 >= trials * 8, "owned attrs beat mean on only {wins}/{trials} nodes");
+    }
+}

@@ -1,0 +1,180 @@
+//! Query helpers over a fitted embedding: top-k attribute inference,
+//! top-k link recommendation, and nearest-neighbor search in embedding
+//! space. These are the operations a downstream service actually issues
+//! against the vectors PANE produces.
+
+use crate::pane::PaneEmbedding;
+use pane_linalg::{vecops, DenseMatrix};
+
+/// A scored item (index + score), ordered by descending score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scored {
+    /// Item index (node or attribute id).
+    pub index: usize,
+    /// Score (larger = better).
+    pub score: f64,
+}
+
+fn top_k(scores: impl Iterator<Item = (usize, f64)>, k: usize) -> Vec<Scored> {
+    // Simple selection: collect + partial sort. k is small in practice.
+    let mut all: Vec<Scored> = scores.map(|(index, score)| Scored { index, score }).collect();
+    all.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("NaN score").then(a.index.cmp(&b.index)));
+    all.truncate(k);
+    all
+}
+
+/// Query interface over an embedding.
+pub struct EmbeddingQuery<'a> {
+    emb: &'a PaneEmbedding,
+    gram: DenseMatrix,
+}
+
+impl<'a> EmbeddingQuery<'a> {
+    /// Wraps an embedding, precomputing the `YᵀY` Gram matrix once.
+    pub fn new(emb: &'a PaneEmbedding) -> Self {
+        Self { gram: emb.link_gram(), emb }
+    }
+
+    /// Top-`k` attributes for node `v` by Eq. (21) affinity.
+    pub fn top_attributes(&self, v: usize, k: usize) -> Vec<Scored> {
+        let d = self.emb.attribute.rows();
+        top_k((0..d).map(|r| (r, self.emb.attribute_score(v, r))), k)
+    }
+
+    /// Top-`k` nodes for attribute `r` (reverse attribute inference:
+    /// "which nodes most plausibly carry r?").
+    pub fn top_nodes_for_attribute(&self, r: usize, k: usize) -> Vec<Scored> {
+        let n = self.emb.forward.rows();
+        top_k((0..n).map(|v| (v, self.emb.attribute_score(v, r))), k)
+    }
+
+    /// Top-`k` link recommendations *from* `src` by Eq. (22), excluding
+    /// `src` itself and any indices in `exclude` (typically its existing
+    /// out-neighbors).
+    pub fn recommend_links(&self, src: usize, k: usize, exclude: &[u32]) -> Vec<Scored> {
+        let n = self.emb.forward.rows();
+        // Precompute X_f[src]·G once: score(dst) = q · X_b[dst].
+        let k2 = self.emb.forward.cols();
+        let mut q = vec![0.0; k2];
+        let xf = self.emb.forward.row(src);
+        for a in 0..k2 {
+            if xf[a] != 0.0 {
+                vecops::axpy(xf[a], self.gram.row(a), &mut q);
+            }
+        }
+        top_k(
+            (0..n).filter(|&dst| dst != src && !exclude.contains(&(dst as u32))).map(|dst| {
+                (dst, vecops::dot(&q, self.emb.backward.row(dst)))
+            }),
+            k,
+        )
+    }
+
+    /// Top-`k` nodes most similar to `v` by cosine over the concatenated
+    /// `[X_f ‖ X_b]` features (the classifier representation).
+    pub fn similar_nodes(&self, v: usize, k: usize) -> Vec<Scored> {
+        let n = self.emb.forward.rows();
+        let target = self.emb.classifier_features(v);
+        top_k(
+            (0..n).filter(|&u| u != v).map(|u| {
+                let f = self.emb.classifier_features(u);
+                (u, vecops::cosine(&target, &f))
+            }),
+            k,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Pane, PaneConfig};
+    use pane_graph::gen::{generate_sbm, SbmConfig};
+
+    fn fixture() -> (pane_graph::AttributedGraph, PaneEmbedding) {
+        let g = generate_sbm(&SbmConfig {
+            nodes: 200,
+            communities: 4,
+            avg_out_degree: 6.0,
+            attributes: 20,
+            attrs_per_node: 4.0,
+            attr_noise: 0.05,
+            seed: 31,
+            ..Default::default()
+        });
+        let emb = Pane::new(PaneConfig::builder().dimension(32).seed(5).build()).embed(&g).unwrap();
+        (g, emb)
+    }
+
+    #[test]
+    fn top_attributes_rank_owned_high() {
+        let (g, emb) = fixture();
+        let q = EmbeddingQuery::new(&emb);
+        let mut hits = 0;
+        let mut trials = 0;
+        for v in (0..g.num_nodes()).step_by(13) {
+            let (owned, _) = g.node_attributes(v);
+            if owned.is_empty() {
+                continue;
+            }
+            let top: Vec<usize> = q.top_attributes(v, 8).into_iter().map(|s| s.index).collect();
+            trials += 1;
+            if owned.iter().any(|&a| top.contains(&(a as usize))) {
+                hits += 1;
+            }
+        }
+        assert!(hits * 10 >= trials * 7, "owned attributes rarely in top-8: {hits}/{trials}");
+    }
+
+    #[test]
+    fn top_k_is_sorted_and_truncated() {
+        let (_, emb) = fixture();
+        let q = EmbeddingQuery::new(&emb);
+        let top = q.top_attributes(0, 5);
+        assert_eq!(top.len(), 5);
+        for w in top.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn recommend_links_respects_exclusions() {
+        let (g, emb) = fixture();
+        let q = EmbeddingQuery::new(&emb);
+        let src = 3;
+        let (nbrs, _) = g.out_neighbors(src);
+        let rec = q.recommend_links(src, 10, nbrs);
+        for s in &rec {
+            assert_ne!(s.index, src);
+            assert!(!nbrs.contains(&(s.index as u32)), "recommended an existing neighbor");
+        }
+        // Recommendations favor the same community (homophily signal).
+        let src_label = g.labels_of(src)[0];
+        let same = rec.iter().filter(|s| g.labels_of(s.index).contains(&src_label)).count();
+        assert!(same * 2 >= rec.len(), "only {same}/{} recommendations intra-community", rec.len());
+    }
+
+    #[test]
+    fn similar_nodes_prefer_same_community() {
+        let (g, emb) = fixture();
+        let q = EmbeddingQuery::new(&emb);
+        let v = 10;
+        let label = g.labels_of(v)[0];
+        let sim = q.similar_nodes(v, 10);
+        let same = sim.iter().filter(|s| g.labels_of(s.index).contains(&label)).count();
+        assert!(same * 2 >= sim.len(), "only {same}/{} similar nodes share the community", sim.len());
+    }
+
+    #[test]
+    fn recommend_matches_link_score() {
+        let (g, emb) = fixture();
+        let q = EmbeddingQuery::new(&emb);
+        let gram = emb.link_gram();
+        let rec = q.recommend_links(0, 3, &[]);
+        for s in rec {
+            let direct = emb.link_score_with(&gram, 0, s.index);
+            assert!((direct - s.score).abs() < 1e-10, "query score diverges from Eq. 22");
+        }
+        let _ = g;
+    }
+}

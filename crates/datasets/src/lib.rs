@@ -1,0 +1,315 @@
+#![warn(missing_docs)]
+//! The dataset zoo — synthetic analogues of the eight datasets in Table 3
+//! of the PANE paper.
+//!
+//! The real datasets (Cora … MAG, up to 59.3M nodes / 0.98B edges) are not
+//! redistributable and exceed single-core CI budgets; each zoo entry is a
+//! seeded [`pane_graph::gen::SbmConfig`] shaped to the dataset's
+//! character — node/edge/attribute ratios, label count, directedness,
+//! single- vs multi-label — at a laptop-friendly default scale. The real
+//! Table 3 statistics are kept alongside ([`DatasetZoo::paper_stats`]) so
+//! `exp_table3` can print paper-vs-generated side by side, and
+//! [`DatasetZoo::generate_scaled`] lets the scalability experiments grow or
+//! shrink any entry.
+//!
+//! Users with the real dumps can load them through [`pane_graph::io`]
+//! instead; every experiment binary accepts either source.
+
+use pane_graph::gen::{generate_sbm, SbmConfig};
+use pane_graph::AttributedGraph;
+
+/// The real-dataset statistics from Table 3 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperStats {
+    /// `|V|`.
+    pub nodes: f64,
+    /// `|E_V|`.
+    pub edges: f64,
+    /// `|R|`.
+    pub attributes: f64,
+    /// `|E_R|`.
+    pub attr_entries: f64,
+    /// `|L|`.
+    pub labels: usize,
+    /// Whether the paper treats the dataset as directed.
+    pub directed: bool,
+}
+
+/// A generated dataset plus its provenance.
+pub struct GeneratedDataset {
+    /// Which zoo entry produced it.
+    pub zoo: DatasetZoo,
+    /// Scale factor used.
+    pub scale: f64,
+    /// The graph.
+    pub graph: AttributedGraph,
+}
+
+/// The eight dataset analogues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetZoo {
+    /// Cora-like: small directed citation graph, sparse edges, rich
+    /// binary bag-of-words attributes, 7 classes.
+    CoraLike,
+    /// Citeseer-like: small directed citation graph, very sparse edges,
+    /// the largest attribute-to-node ratio, 6 classes.
+    CiteseerLike,
+    /// Facebook-like: small dense undirected social graph, many ego-circle
+    /// labels (multi-label).
+    FacebookLike,
+    /// Pubmed-like: mid-size directed citation graph, few attributes but
+    /// many attribute entries, 3 classes.
+    PubmedLike,
+    /// Flickr-like: mid-size dense undirected social graph, wide attribute
+    /// space, 9 classes.
+    FlickrLike,
+    /// Google+-like: large directed social graph, dense edges, many
+    /// attribute entries per node, hundreds of labels (multi-label).
+    GooglePlusLike,
+    /// TWeibo-like: very large directed social graph, modest attributes,
+    /// 8 age-band labels.
+    TWeiboLike,
+    /// MAG-like: the largest directed citation graph, modest attribute
+    /// space, 100 field-of-study labels (multi-label).
+    MagLike,
+}
+
+impl DatasetZoo {
+    /// All eight entries, in Table 3 order.
+    pub const ALL: [DatasetZoo; 8] = [
+        DatasetZoo::CoraLike,
+        DatasetZoo::CiteseerLike,
+        DatasetZoo::FacebookLike,
+        DatasetZoo::PubmedLike,
+        DatasetZoo::FlickrLike,
+        DatasetZoo::GooglePlusLike,
+        DatasetZoo::TWeiboLike,
+        DatasetZoo::MagLike,
+    ];
+
+    /// The five small/mid entries used by the parameter-sensitivity
+    /// experiments (Figures 5–6 use Cora, Citeseer, Facebook, Pubmed,
+    /// Flickr).
+    pub const SMALL: [DatasetZoo; 5] = [
+        DatasetZoo::CoraLike,
+        DatasetZoo::CiteseerLike,
+        DatasetZoo::FacebookLike,
+        DatasetZoo::PubmedLike,
+        DatasetZoo::FlickrLike,
+    ];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetZoo::CoraLike => "cora-like",
+            DatasetZoo::CiteseerLike => "citeseer-like",
+            DatasetZoo::FacebookLike => "facebook-like",
+            DatasetZoo::PubmedLike => "pubmed-like",
+            DatasetZoo::FlickrLike => "flickr-like",
+            DatasetZoo::GooglePlusLike => "google+-like",
+            DatasetZoo::TWeiboLike => "tweibo-like",
+            DatasetZoo::MagLike => "mag-like",
+        }
+    }
+
+    /// The corresponding real-dataset statistics (Table 3).
+    pub fn paper_stats(&self) -> PaperStats {
+        let k = 1e3;
+        let m = 1e6;
+        match self {
+            DatasetZoo::CoraLike => PaperStats { nodes: 2.7 * k, edges: 5.4 * k, attributes: 1.4 * k, attr_entries: 49.2 * k, labels: 7, directed: true },
+            DatasetZoo::CiteseerLike => PaperStats { nodes: 3.3 * k, edges: 4.7 * k, attributes: 3.7 * k, attr_entries: 105.2 * k, labels: 6, directed: true },
+            DatasetZoo::FacebookLike => PaperStats { nodes: 4.0 * k, edges: 88.2 * k, attributes: 1.3 * k, attr_entries: 33.3 * k, labels: 193, directed: false },
+            DatasetZoo::PubmedLike => PaperStats { nodes: 19.7 * k, edges: 44.3 * k, attributes: 0.5 * k, attr_entries: 988.0 * k, labels: 3, directed: true },
+            DatasetZoo::FlickrLike => PaperStats { nodes: 7.6 * k, edges: 479.5 * k, attributes: 12.1 * k, attr_entries: 182.5 * k, labels: 9, directed: false },
+            DatasetZoo::GooglePlusLike => PaperStats { nodes: 107.6 * k, edges: 13.7 * m, attributes: 15.9 * k, attr_entries: 300.6 * m, labels: 468, directed: true },
+            DatasetZoo::TWeiboLike => PaperStats { nodes: 2.3 * m, edges: 50.7 * m, attributes: 1.7 * k, attr_entries: 16.8 * m, labels: 8, directed: true },
+            DatasetZoo::MagLike => PaperStats { nodes: 59.3 * m, edges: 978.2 * m, attributes: 2.0 * k, attr_entries: 434.4 * m, labels: 100, directed: true },
+        }
+    }
+
+    /// Generator template at default scale (scale = 1.0). The small
+    /// datasets keep their real node counts; the three large ones are
+    /// shrunk to single-core-tractable sizes (documented in DESIGN.md §4)
+    /// while preserving degree, attribute and label ratios.
+    pub fn config(&self, scale: f64, seed: u64) -> SbmConfig {
+        assert!(scale > 0.0, "scale must be positive");
+        let s = |x: usize| ((x as f64 * scale).round() as usize).max(8);
+        let base = SbmConfig { gamma: 2.5, p_in: 0.8, attr_noise: 0.15, extra_label_prob: 0.15, seed, ..SbmConfig::default() };
+        match self {
+            DatasetZoo::CoraLike => SbmConfig {
+                nodes: s(2708),
+                communities: 7,
+                avg_out_degree: 2.0,
+                attributes: 700.min_nonzero(scale),
+                attrs_per_node: 18.0,
+                undirected: false,
+                ..base
+            },
+            DatasetZoo::CiteseerLike => SbmConfig {
+                nodes: s(3300),
+                communities: 6,
+                avg_out_degree: 1.5,
+                attributes: 1200.min_nonzero(scale),
+                attrs_per_node: 32.0,
+                undirected: false,
+                ..base
+            },
+            DatasetZoo::FacebookLike => SbmConfig {
+                nodes: s(4000),
+                communities: 24,
+                avg_out_degree: 11.0, // undirected doubling brings |E_V| near 88K
+                attributes: 650.min_nonzero(scale),
+                attrs_per_node: 8.0,
+                undirected: true,
+                multi_label: true,
+                ..base
+            },
+            DatasetZoo::PubmedLike => SbmConfig {
+                nodes: s(8000),
+                communities: 3,
+                avg_out_degree: 2.3,
+                attributes: 400.min_nonzero(scale),
+                attrs_per_node: 40.0,
+                undirected: false,
+                ..base
+            },
+            DatasetZoo::FlickrLike => SbmConfig {
+                nodes: s(5000),
+                communities: 9,
+                avg_out_degree: 25.0,
+                attributes: 900.min_nonzero(scale),
+                attrs_per_node: 24.0,
+                undirected: true,
+                ..base
+            },
+            DatasetZoo::GooglePlusLike => SbmConfig {
+                nodes: s(15000),
+                communities: 60,
+                avg_out_degree: 25.0,
+                attributes: 600.min_nonzero(scale),
+                attrs_per_node: 40.0,
+                undirected: false,
+                multi_label: true,
+                ..base
+            },
+            DatasetZoo::TWeiboLike => SbmConfig {
+                nodes: s(40000),
+                communities: 8,
+                avg_out_degree: 18.0,
+                attributes: 300.min_nonzero(scale),
+                attrs_per_node: 7.0,
+                undirected: false,
+                ..base
+            },
+            DatasetZoo::MagLike => SbmConfig {
+                nodes: s(60000),
+                communities: 40,
+                avg_out_degree: 16.0,
+                attributes: 250.min_nonzero(scale),
+                attrs_per_node: 7.0,
+                undirected: false,
+                multi_label: true,
+                ..base
+            },
+        }
+    }
+
+    /// Generates at default scale.
+    pub fn generate(&self, seed: u64) -> GeneratedDataset {
+        self.generate_scaled(1.0, seed)
+    }
+
+    /// Generates at the given scale factor (node count scales linearly;
+    /// attribute space scales with √scale to keep `F'` tractable).
+    pub fn generate_scaled(&self, scale: f64, seed: u64) -> GeneratedDataset {
+        let cfg = self.config(scale, seed);
+        GeneratedDataset { zoo: *self, scale, graph: generate_sbm(&cfg) }
+    }
+}
+
+/// Attribute-count scaling helper: `d · min(1, √scale)`, at least 4.
+trait MinNonzero {
+    fn min_nonzero(self, scale: f64) -> usize;
+}
+
+impl MinNonzero for usize {
+    fn min_nonzero(self, scale: f64) -> usize {
+        let factor = scale.sqrt().min(1.0);
+        ((self as f64 * factor).round() as usize).max(4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_entries_generate_small_scale() {
+        for zoo in DatasetZoo::ALL {
+            let ds = zoo.generate_scaled(0.02, 1);
+            let g = &ds.graph;
+            assert!(g.num_nodes() >= 8, "{}: too few nodes", zoo.name());
+            assert!(g.num_edges() > 0, "{}: no edges", zoo.name());
+            assert!(g.num_attribute_entries() > 0, "{}: no attributes", zoo.name());
+            assert!(g.num_labels() > 0, "{}: no labels", zoo.name());
+        }
+    }
+
+    #[test]
+    fn directedness_matches_paper() {
+        for zoo in DatasetZoo::ALL {
+            let ds = zoo.generate_scaled(0.02, 2);
+            assert_eq!(
+                !ds.graph.is_undirected(),
+                zoo.paper_stats().directed,
+                "{}: directedness mismatch",
+                zoo.name()
+            );
+        }
+    }
+
+    #[test]
+    fn label_counts_match_config() {
+        let ds = DatasetZoo::CoraLike.generate_scaled(0.1, 3);
+        assert_eq!(ds.graph.num_labels(), 7);
+        let ds = DatasetZoo::PubmedLike.generate_scaled(0.1, 3);
+        assert_eq!(ds.graph.num_labels(), 3);
+    }
+
+    #[test]
+    fn multi_label_entries_have_multilabel_nodes() {
+        let ds = DatasetZoo::FacebookLike.generate_scaled(0.2, 4);
+        let multi = (0..ds.graph.num_nodes())
+            .filter(|&v| ds.graph.labels_of(v).len() > 1)
+            .count();
+        assert!(multi > 0, "facebook-like should be multi-label");
+    }
+
+    #[test]
+    fn scaling_changes_node_count_linearly() {
+        let small = DatasetZoo::CoraLike.generate_scaled(0.1, 5);
+        let big = DatasetZoo::CoraLike.generate_scaled(0.2, 5);
+        let ratio = big.graph.num_nodes() as f64 / small.graph.num_nodes() as f64;
+        assert!((ratio - 2.0).abs() < 0.1, "ratio {ratio}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = DatasetZoo::FlickrLike.generate_scaled(0.05, 7);
+        let b = DatasetZoo::FlickrLike.generate_scaled(0.05, 7);
+        assert_eq!(a.graph.adjacency(), b.graph.adjacency());
+    }
+
+    #[test]
+    fn default_scale_ratios_are_sane() {
+        // Spot-check the cora-like default against Table 3 ratios: ~2 edges
+        // and ~18 attribute entries per node.
+        let ds = DatasetZoo::CoraLike.generate(1);
+        let g = &ds.graph;
+        let epn = g.num_edges() as f64 / g.num_nodes() as f64;
+        assert!((1.0..=2.5).contains(&epn), "edges per node {epn}");
+        let apn = g.num_attribute_entries() as f64 / g.num_nodes() as f64;
+        assert!((14.0..=20.0).contains(&apn), "attr entries per node {apn}");
+    }
+}

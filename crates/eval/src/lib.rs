@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+//! Evaluation harness for the PANE reproduction (§5 of the paper).
+//!
+//! Three downstream tasks measure embedding utility:
+//!
+//! * **attribute inference** (§5.2, Table 4) — predict hidden entries of the
+//!   attribute matrix; scored by AUC and average precision;
+//! * **link prediction** (§5.3, Table 5) — predict removed edges against
+//!   sampled non-edges; PANE scores pairs with Eq. (22), single-embedding
+//!   competitors get the best of the paper's four scorers (inner product,
+//!   cosine, Hamming, edge features);
+//! * **node classification** (§5.4, Figure 2) — one-vs-rest linear
+//!   classifiers on `[X_f ‖ X_b]`, micro-/macro-F1 over training fractions.
+//!
+//! Submodules:
+//!
+//! * [`metrics`] — AUC, average precision, micro/macro F1;
+//! * [`classify`] — from-scratch logistic regression and Pegasos linear SVM
+//!   with a one-vs-rest wrapper (stand-in for the paper's LIBLINEAR SVM);
+//! * [`scoring`] — the pair-scoring strategies and the traits connecting
+//!   embedding models to tasks;
+//! * [`split`] — seeded train/test splits for edges and attribute entries;
+//! * [`tasks`] — end-to-end task runners used by the experiment binaries.
+
+// Indexed loops in the numeric kernels are deliberate (they keep the
+// zip-free auto-vectorizable shape the perf guide recommends).
+#![allow(clippy::needless_range_loop)]
+pub mod classify;
+pub mod metrics;
+pub mod metrics_ranking;
+pub mod report_card;
+pub mod scoring;
+pub mod split;
+pub mod tasks;
+
+pub use metrics::{average_precision, macro_f1, micro_f1, roc_auc};
+pub use metrics_ranking::{ndcg_at_k, precision_at_k, recall_at_k, reciprocal_rank};
+pub use report_card::{report_card, ReportCard, ReportOptions};
+pub use scoring::{AttrScorer, LinkScorer, NodeFeatureSource, PairScore};
+pub use split::{split_attribute_entries, split_edges, AttrSplit, EdgeSplit};

@@ -1,0 +1,238 @@
+//! Ranking and classification metrics.
+
+/// Area under the ROC curve via the Mann–Whitney U statistic, with average
+/// ranks for tied scores. Returns 0.5 when either class is empty.
+pub fn roc_auc(scores: &[f64], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "roc_auc: length mismatch");
+    let npos = labels.iter().filter(|&&l| l).count();
+    let nneg = labels.len() - npos;
+    if npos == 0 || nneg == 0 {
+        return 0.5;
+    }
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("NaN score"));
+    // Assign average ranks to ties (1-based ranks).
+    let mut rank_sum_pos = 0.0;
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + 1 + j + 1) as f64 / 2.0;
+        for &idx in &order[i..=j] {
+            if labels[idx] {
+                rank_sum_pos += avg_rank;
+            }
+        }
+        i = j + 1;
+    }
+    let u = rank_sum_pos - (npos * (npos + 1)) as f64 / 2.0;
+    u / (npos as f64 * nneg as f64)
+}
+
+/// Average precision: mean of precision@k over the ranks k of the positive
+/// examples (descending score order; ties broken by index for determinism).
+pub fn average_precision(scores: &[f64], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "average_precision: length mismatch");
+    let npos = labels.iter().filter(|&&l| l).count();
+    if npos == 0 {
+        return 0.0;
+    }
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("NaN score").then(a.cmp(&b)));
+    let mut hits = 0usize;
+    let mut ap = 0.0;
+    for (k, &idx) in order.iter().enumerate() {
+        if labels[idx] {
+            hits += 1;
+            ap += hits as f64 / (k + 1) as f64;
+        }
+    }
+    ap / npos as f64
+}
+
+/// Micro-averaged F1 over multi-label predictions: global TP/FP/FN counts.
+pub fn micro_f1(truth: &[Vec<u32>], predicted: &[Vec<u32>]) -> f64 {
+    assert_eq!(truth.len(), predicted.len(), "micro_f1: length mismatch");
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut fne = 0usize;
+    for (t, p) in truth.iter().zip(predicted) {
+        for l in p {
+            if t.contains(l) {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+        }
+        for l in t {
+            if !p.contains(l) {
+                fne += 1;
+            }
+        }
+    }
+    f1_from_counts(tp, fp, fne)
+}
+
+/// Macro-averaged F1: per-label F1, averaged over labels that appear in the
+/// ground truth or the predictions.
+pub fn macro_f1(truth: &[Vec<u32>], predicted: &[Vec<u32>]) -> f64 {
+    assert_eq!(truth.len(), predicted.len(), "macro_f1: length mismatch");
+    let mut labels: Vec<u32> = truth.iter().chain(predicted).flatten().copied().collect();
+    labels.sort_unstable();
+    labels.dedup();
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let mut sum = 0.0;
+    for l in &labels {
+        let mut tp = 0usize;
+        let mut fp = 0usize;
+        let mut fne = 0usize;
+        for (t, p) in truth.iter().zip(predicted) {
+            let in_t = t.contains(l);
+            let in_p = p.contains(l);
+            match (in_t, in_p) {
+                (true, true) => tp += 1,
+                (false, true) => fp += 1,
+                (true, false) => fne += 1,
+                (false, false) => {}
+            }
+        }
+        sum += f1_from_counts(tp, fp, fne);
+    }
+    sum / labels.len() as f64
+}
+
+fn f1_from_counts(tp: usize, fp: usize, fne: usize) -> f64 {
+    if tp == 0 {
+        return 0.0;
+    }
+    let p = tp as f64 / (tp + fp) as f64;
+    let r = tp as f64 / (tp + fne) as f64;
+    2.0 * p * r / (p + r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn auc_perfect_and_inverted() {
+        let scores = [0.9, 0.8, 0.3, 0.1];
+        let labels = [true, true, false, false];
+        assert_eq!(roc_auc(&scores, &labels), 1.0);
+        let inv = [false, false, true, true];
+        assert_eq!(roc_auc(&scores, &inv), 0.0);
+    }
+
+    #[test]
+    fn auc_with_ties_is_half_credit() {
+        let scores = [0.5, 0.5, 0.5, 0.5];
+        let labels = [true, false, true, false];
+        assert!((roc_auc(&scores, &labels) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_degenerate_classes() {
+        assert_eq!(roc_auc(&[1.0, 2.0], &[true, true]), 0.5);
+        assert_eq!(roc_auc(&[], &[]), 0.5);
+    }
+
+    #[test]
+    fn auc_hand_computed() {
+        // scores: pos {3, 1}, neg {2, 0}; pairs won: (3>2),(3>0),(1>0) = 3/4.
+        let scores = [3.0, 1.0, 2.0, 0.0];
+        let labels = [true, true, false, false];
+        assert!((roc_auc(&scores, &labels) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ap_perfect_ranking() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [true, true, false, false];
+        assert!((average_precision(&scores, &labels) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ap_hand_computed() {
+        // Ranking: pos, neg, pos, neg → AP = (1/1 + 2/3) / 2 = 5/6.
+        let scores = [0.9, 0.8, 0.7, 0.6];
+        let labels = [true, false, true, false];
+        assert!((average_precision(&scores, &labels) - 5.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ap_no_positives() {
+        assert_eq!(average_precision(&[1.0], &[false]), 0.0);
+    }
+
+    #[test]
+    fn micro_f1_hand_computed() {
+        let truth = vec![vec![0, 1], vec![2]];
+        let pred = vec![vec![0], vec![2, 1]];
+        // tp=2 (0 and 2), fp=1 (label 1 on node 2), fn=1 (label 1 on node 1)
+        // P = 2/3, R = 2/3 → F1 = 2/3.
+        assert!((micro_f1(&truth, &pred) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn macro_f1_hand_computed() {
+        let truth = vec![vec![0], vec![1]];
+        let pred = vec![vec![0], vec![0]];
+        // label 0: tp=1, fp=1, fn=0 → F1 = 2/3; label 1: tp=0 → 0.
+        assert!((macro_f1(&truth, &pred) - (2.0 / 3.0) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_multilabel_scores_one() {
+        let truth = vec![vec![0, 2], vec![1]];
+        assert_eq!(micro_f1(&truth, &truth), 1.0);
+        assert_eq!(macro_f1(&truth, &truth), 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_auc_in_unit_interval(
+            scores in proptest::collection::vec(-1e3f64..1e3, 2..64),
+            seed in 0u64..100,
+        ) {
+            let labels: Vec<bool> = scores.iter().enumerate().map(|(i, _)| (i as u64 + seed).is_multiple_of(3)).collect();
+            let auc = roc_auc(&scores, &labels);
+            prop_assert!((0.0..=1.0).contains(&auc));
+        }
+
+        #[test]
+        fn prop_auc_invariant_to_monotone_transform(
+            scores in proptest::collection::vec(0.01f64..10.0, 4..32),
+        ) {
+            let labels: Vec<bool> = scores.iter().enumerate().map(|(i, _)| i % 2 == 0).collect();
+            let a1 = roc_auc(&scores, &labels);
+            let transformed: Vec<f64> = scores.iter().map(|s| s.ln() * 3.0 + 7.0).collect();
+            let a2 = roc_auc(&transformed, &labels);
+            prop_assert!((a1 - a2).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_ap_at_least_prevalence(
+            scores in proptest::collection::vec(-10.0f64..10.0, 4..40),
+        ) {
+            // AP of any ranking >= AP of the worst ranking ~ prevalence bound
+            // sanity: AP is within [0, 1].
+            let labels: Vec<bool> = scores.iter().enumerate().map(|(i, _)| i % 3 == 0).collect();
+            let ap = average_precision(&scores, &labels);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&ap));
+        }
+
+        #[test]
+        fn prop_f1_bounded(seed in 0u64..1000) {
+            let truth: Vec<Vec<u32>> = (0..10).map(|i| vec![((seed + i) % 4) as u32]).collect();
+            let pred: Vec<Vec<u32>> = (0..10).map(|i| vec![((seed * 3 + i * 7) % 4) as u32]).collect();
+            for f in [micro_f1(&truth, &pred), macro_f1(&truth, &pred)] {
+                prop_assert!((0.0..=1.0).contains(&f));
+            }
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Ranking metrics for the top-k query workloads: precision@k, recall@k,
+//! NDCG@k and mean reciprocal rank. These complement AUC/AP for evaluating
+//! [`pane_core::EmbeddingQuery`]-style retrieval.
+
+use std::collections::HashSet;
+
+fn ranked_indices(scores: &[f64]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("NaN score").then(a.cmp(&b)));
+    order
+}
+
+/// Precision@k: fraction of the top-k ranked items that are relevant.
+/// Returns 0.0 for `k == 0`.
+pub fn precision_at_k(scores: &[f64], relevant: &[usize], k: usize) -> f64 {
+    assert_relevant_in_range(scores.len(), relevant);
+    if k == 0 {
+        return 0.0;
+    }
+    let rel: HashSet<usize> = relevant.iter().copied().collect();
+    let top = ranked_indices(scores);
+    let k = k.min(top.len());
+    if k == 0 {
+        return 0.0;
+    }
+    top[..k].iter().filter(|i| rel.contains(i)).count() as f64 / k as f64
+}
+
+/// Recall@k: fraction of the relevant items found in the top-k.
+/// Returns 0.0 when there are no relevant items.
+pub fn recall_at_k(scores: &[f64], relevant: &[usize], k: usize) -> f64 {
+    assert_relevant_in_range(scores.len(), relevant);
+    if relevant.is_empty() {
+        return 0.0;
+    }
+    let rel: HashSet<usize> = relevant.iter().copied().collect();
+    let top = ranked_indices(scores);
+    let k = k.min(top.len());
+    top[..k].iter().filter(|i| rel.contains(i)).count() as f64 / rel.len() as f64
+}
+
+/// NDCG@k with binary relevance: DCG@k / IDCG@k. Returns 0.0 when there
+/// are no relevant items.
+pub fn ndcg_at_k(scores: &[f64], relevant: &[usize], k: usize) -> f64 {
+    assert_relevant_in_range(scores.len(), relevant);
+    if relevant.is_empty() || k == 0 {
+        return 0.0;
+    }
+    let rel: HashSet<usize> = relevant.iter().copied().collect();
+    let top = ranked_indices(scores);
+    let k = k.min(top.len());
+    let dcg: f64 = top[..k]
+        .iter()
+        .enumerate()
+        .filter(|(_, i)| rel.contains(i))
+        .map(|(pos, _)| 1.0 / ((pos + 2) as f64).log2())
+        .sum();
+    let ideal_hits = rel.len().min(k);
+    let idcg: f64 = (0..ideal_hits).map(|pos| 1.0 / ((pos + 2) as f64).log2()).sum();
+    if idcg == 0.0 {
+        0.0
+    } else {
+        dcg / idcg
+    }
+}
+
+/// Mean reciprocal rank of the first relevant item (0.0 if none).
+pub fn reciprocal_rank(scores: &[f64], relevant: &[usize]) -> f64 {
+    assert_relevant_in_range(scores.len(), relevant);
+    let rel: HashSet<usize> = relevant.iter().copied().collect();
+    for (pos, i) in ranked_indices(scores).into_iter().enumerate() {
+        if rel.contains(&i) {
+            return 1.0 / (pos + 1) as f64;
+        }
+    }
+    0.0
+}
+
+fn assert_relevant_in_range(n: usize, relevant: &[usize]) {
+    for &r in relevant {
+        assert!(r < n, "relevant index {r} out of range (n = {n})");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    // scores ranking: idx 3 (0.9) > idx 0 (0.8) > idx 2 (0.4) > idx 1 (0.1)
+    const SCORES: [f64; 4] = [0.8, 0.1, 0.4, 0.9];
+
+    #[test]
+    fn precision_hand_checked() {
+        let relevant = [3, 2];
+        assert_eq!(precision_at_k(&SCORES, &relevant, 1), 1.0); // top = {3}
+        assert_eq!(precision_at_k(&SCORES, &relevant, 2), 0.5); // {3, 0}
+        assert_eq!(precision_at_k(&SCORES, &relevant, 4), 0.5);
+        assert_eq!(precision_at_k(&SCORES, &relevant, 0), 0.0);
+    }
+
+    #[test]
+    fn recall_hand_checked() {
+        let relevant = [3, 2];
+        assert_eq!(recall_at_k(&SCORES, &relevant, 1), 0.5);
+        assert_eq!(recall_at_k(&SCORES, &relevant, 3), 1.0);
+        assert_eq!(recall_at_k(&SCORES, &[], 3), 0.0);
+    }
+
+    #[test]
+    fn ndcg_perfect_and_worst() {
+        // Relevant items ranked 1st and 2nd → NDCG = 1.
+        assert!((ndcg_at_k(&SCORES, &[3, 0], 2) - 1.0).abs() < 1e-12);
+        // Relevant item ranked last of 4 at k=4:
+        // DCG = 1/log2(5), IDCG = 1/log2(2) = 1.
+        let got = ndcg_at_k(&SCORES, &[1], 4);
+        assert!((got - 1.0 / 5f64.log2()).abs() < 1e-12);
+        // Not found within k.
+        assert_eq!(ndcg_at_k(&SCORES, &[1], 2), 0.0);
+    }
+
+    #[test]
+    fn mrr_hand_checked() {
+        assert_eq!(reciprocal_rank(&SCORES, &[3]), 1.0);
+        assert_eq!(reciprocal_rank(&SCORES, &[0]), 0.5);
+        assert_eq!(reciprocal_rank(&SCORES, &[1]), 0.25);
+        assert_eq!(reciprocal_rank(&SCORES, &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn relevance_bounds_checked() {
+        precision_at_k(&SCORES, &[9], 2);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_metrics_in_unit_interval(
+            scores in proptest::collection::vec(-10.0f64..10.0, 1..40),
+            seed in 0u64..100,
+            k in 1usize..10,
+        ) {
+            let relevant: Vec<usize> = (0..scores.len()).filter(|i| (*i as u64 + seed) % 3 == 0).collect();
+            for m in [
+                precision_at_k(&scores, &relevant, k),
+                recall_at_k(&scores, &relevant, k),
+                ndcg_at_k(&scores, &relevant, k),
+                reciprocal_rank(&scores, &relevant),
+            ] {
+                prop_assert!((0.0..=1.0 + 1e-12).contains(&m));
+            }
+        }
+
+        #[test]
+        fn prop_recall_monotone_in_k(
+            scores in proptest::collection::vec(-10.0f64..10.0, 2..30),
+        ) {
+            let relevant: Vec<usize> = (0..scores.len()).step_by(2).collect();
+            let mut prev = 0.0;
+            for k in 1..=scores.len() {
+                let r = recall_at_k(&scores, &relevant, k);
+                prop_assert!(r >= prev - 1e-12);
+                prev = r;
+            }
+            prop_assert!((prev - 1.0).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! Pair-scoring strategies connecting embeddings to tasks.
+//!
+//! PANE scores node–attribute pairs with Eq. (21) and node–node pairs with
+//! Eq. (22) (direction-aware, via the forward/backward split). The paper's
+//! single-embedding competitors are evaluated with "four ways to calculate
+//! the link prediction score …: inner product …, cosine similarity …,
+//! Hamming distance …, as well as edge feature" (§5.3), reporting the best —
+//! [`PairScore`] implements all four and
+//! [`crate::tasks::link_pred::best_of_four`] replicates the protocol.
+
+use crate::classify::{BinaryClassifier, LogisticRegression};
+use pane_core::PaneEmbedding;
+use pane_graph::AttributedGraph;
+use pane_linalg::{vecops, DenseMatrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Scores directed node pairs; larger = more likely an edge.
+pub trait LinkScorer {
+    /// Score of the directed pair `(src, dst)`.
+    fn link_score(&self, src: usize, dst: usize) -> f64;
+}
+
+/// Scores node–attribute pairs; larger = more likely associated.
+pub trait AttrScorer {
+    /// Score of node `v` carrying attribute `r`.
+    fn attr_score(&self, v: usize, r: usize) -> f64;
+}
+
+/// Produces per-node classifier features.
+pub trait NodeFeatureSource {
+    /// Feature vector of node `v`.
+    fn node_features(&self, v: usize) -> Vec<f64>;
+    /// Dimension of the feature vectors.
+    fn feature_dim(&self) -> usize;
+}
+
+/// PANE's scorer: wraps an embedding and precomputes `G = YᵀY` so Eq. (22)
+/// costs `O(k²)` per pair.
+pub struct PaneScorer<'a> {
+    emb: &'a PaneEmbedding,
+    gram: DenseMatrix,
+}
+
+impl<'a> PaneScorer<'a> {
+    /// Builds the scorer (one `O(dk²)` Gram computation).
+    pub fn new(emb: &'a PaneEmbedding) -> Self {
+        Self { gram: emb.link_gram(), emb }
+    }
+}
+
+impl LinkScorer for PaneScorer<'_> {
+    fn link_score(&self, src: usize, dst: usize) -> f64 {
+        self.emb.link_score_with(&self.gram, src, dst)
+    }
+}
+
+impl AttrScorer for PaneScorer<'_> {
+    fn attr_score(&self, v: usize, r: usize) -> f64 {
+        self.emb.attribute_score(v, r)
+    }
+}
+
+impl NodeFeatureSource for PaneScorer<'_> {
+    fn node_features(&self, v: usize) -> Vec<f64> {
+        self.emb.classifier_features(v)
+    }
+
+    fn feature_dim(&self) -> usize {
+        self.emb.forward.cols() + self.emb.backward.cols()
+    }
+}
+
+/// The four link scorers used for single-embedding competitors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PairScore {
+    /// `x_i · x_j`.
+    InnerProduct,
+    /// `cos(x_i, x_j)`.
+    Cosine,
+    /// Negative Hamming distance of the sign-binarized embeddings
+    /// (the method BANE uses on its binary codes).
+    Hamming,
+    /// Logistic regression on the Hadamard product `x_i ⊙ x_j`, trained on
+    /// residual-graph edges vs sampled non-edges (node2vec-style).
+    EdgeFeature,
+}
+
+impl PairScore {
+    /// All four variants, for best-of sweeps.
+    pub const ALL: [PairScore; 4] = [
+        PairScore::InnerProduct,
+        PairScore::Cosine,
+        PairScore::Hamming,
+        PairScore::EdgeFeature,
+    ];
+
+    /// Short name for result tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PairScore::InnerProduct => "inner",
+            PairScore::Cosine => "cosine",
+            PairScore::Hamming => "hamming",
+            PairScore::EdgeFeature => "edgefeat",
+        }
+    }
+}
+
+/// A single-embedding model (one vector per node) with a fixed scorer.
+pub struct SingleEmbeddingScorer<'a> {
+    x: &'a DenseMatrix,
+    method: PairScore,
+    /// Trained edge-feature model (only for [`PairScore::EdgeFeature`]).
+    edge_model: Option<LogisticRegression>,
+}
+
+impl<'a> SingleEmbeddingScorer<'a> {
+    /// Builds a scorer. For [`PairScore::EdgeFeature`], `train_graph` (the
+    /// residual graph) must be given: a logistic regression is fitted on the
+    /// Hadamard features of its edges vs. sampled non-edges.
+    pub fn new(x: &'a DenseMatrix, method: PairScore, train_graph: Option<&AttributedGraph>, seed: u64) -> Self {
+        let edge_model = if method == PairScore::EdgeFeature {
+            let g = train_graph.expect("EdgeFeature scorer needs the residual graph for training");
+            Some(train_edge_model(x, g, seed))
+        } else {
+            None
+        };
+        Self { x, method, edge_model }
+    }
+}
+
+fn hadamard(a: &[f64], b: &[f64]) -> Vec<f64> {
+    a.iter().zip(b).map(|(x, y)| x * y).collect()
+}
+
+fn train_edge_model(x: &DenseMatrix, g: &AttributedGraph, seed: u64) -> LogisticRegression {
+    let n = g.num_nodes();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0EDCE);
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    let mut y: Vec<f64> = Vec::new();
+    // Cap the training set so the scorer stays cheap on larger graphs.
+    let cap = 20_000usize;
+    let stride = (g.num_edges() / cap).max(1);
+    for (idx, (i, j, _)) in g.adjacency().iter().enumerate() {
+        if idx % stride != 0 {
+            continue;
+        }
+        rows.push(hadamard(x.row(i), x.row(j)));
+        y.push(1.0);
+    }
+    let pos = rows.len();
+    let mut guard = 0;
+    while y.len() < pos * 2 && guard < pos * 100 + 100 {
+        guard += 1;
+        let i = rng.gen_range(0..n);
+        let j = rng.gen_range(0..n);
+        if i != j && g.adjacency().get(i, j) == 0.0 {
+            rows.push(hadamard(x.row(i), x.row(j)));
+            y.push(-1.0);
+        }
+    }
+    let mut lr = LogisticRegression::new();
+    lr.epochs = 60;
+    lr.fit(&DenseMatrix::from_rows(&rows), &y);
+    lr
+}
+
+impl LinkScorer for SingleEmbeddingScorer<'_> {
+    fn link_score(&self, src: usize, dst: usize) -> f64 {
+        let a = self.x.row(src);
+        let b = self.x.row(dst);
+        match self.method {
+            PairScore::InnerProduct => vecops::dot(a, b),
+            PairScore::Cosine => vecops::cosine(a, b),
+            PairScore::Hamming => a
+                .iter()
+                .zip(b)
+                .filter(|(x, y)| (x.is_sign_positive()) == (y.is_sign_positive()))
+                .count() as f64,
+            PairScore::EdgeFeature => {
+                let feats = hadamard(a, b);
+                self.edge_model.as_ref().expect("edge model trained at construction").decision(&feats)
+            }
+        }
+    }
+}
+
+/// Inner-product attribute scorer for models that co-embed attributes with
+/// a single node vector (CAN-style): `score(v, r) = x_v · y_r`.
+pub struct CoEmbeddingAttrScorer<'a> {
+    /// Node embeddings (`n × k`).
+    pub x: &'a DenseMatrix,
+    /// Attribute embeddings (`d × k`).
+    pub y: &'a DenseMatrix,
+}
+
+impl AttrScorer for CoEmbeddingAttrScorer<'_> {
+    fn attr_score(&self, v: usize, r: usize) -> f64 {
+        vecops::dot(self.x.row(v), self.y.row(r))
+    }
+}
+
+/// Feature source over a plain embedding matrix (row = node), with per-row
+/// L2 normalization.
+pub struct MatrixFeatureSource<'a> {
+    /// The embedding matrix.
+    pub x: &'a DenseMatrix,
+}
+
+impl NodeFeatureSource for MatrixFeatureSource<'_> {
+    fn node_features(&self, v: usize) -> Vec<f64> {
+        let mut f = self.x.row(v).to_vec();
+        vecops::normalize(&mut f, 1e-300);
+        f
+    }
+
+    fn feature_dim(&self) -> usize {
+        self.x.cols()
+    }
+}
+
+/// Symmetrized wrapper: `score(i,j) + score(j,i)` — what PANE and NRP use on
+/// undirected graphs (§5.3).
+pub struct Symmetrized<S>(pub S);
+
+impl<S: LinkScorer> LinkScorer for Symmetrized<S> {
+    fn link_score(&self, src: usize, dst: usize) -> f64 {
+        self.0.link_score(src, dst) + self.0.link_score(dst, src)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pane_graph::GraphBuilder;
+
+    fn emb() -> DenseMatrix {
+        DenseMatrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![0.9, 0.1],
+            vec![-1.0, 0.2],
+        ])
+    }
+
+    #[test]
+    fn inner_and_cosine() {
+        let x = emb();
+        let s = SingleEmbeddingScorer::new(&x, PairScore::InnerProduct, None, 0);
+        assert!(s.link_score(0, 1) > s.link_score(0, 2));
+        let c = SingleEmbeddingScorer::new(&x, PairScore::Cosine, None, 0);
+        assert!(c.link_score(0, 1) > 0.9);
+        assert!(c.link_score(0, 2) < 0.0);
+    }
+
+    #[test]
+    fn hamming_counts_matching_signs() {
+        let x = emb();
+        let s = SingleEmbeddingScorer::new(&x, PairScore::Hamming, None, 0);
+        assert_eq!(s.link_score(0, 1), 2.0); // both coords same sign
+        assert_eq!(s.link_score(0, 2), 1.0); // only second coord matches
+    }
+
+    #[test]
+    fn edge_feature_scorer_learns() {
+        // Tight cluster {0,1} linked, node 2 disconnected & opposite.
+        let mut b = GraphBuilder::new(3, 1);
+        b.add_edge(0, 1);
+        b.add_edge(1, 0);
+        let g = b.build();
+        let x = emb();
+        let s = SingleEmbeddingScorer::new(&x, PairScore::EdgeFeature, Some(&g), 1);
+        assert!(s.link_score(0, 1) > s.link_score(0, 2));
+    }
+
+    #[test]
+    fn symmetrized_is_symmetric() {
+        let x = emb();
+        // Inner product is already symmetric; wrapping doubles it.
+        let base = SingleEmbeddingScorer::new(&x, PairScore::InnerProduct, None, 0);
+        let b01 = base.link_score(0, 1);
+        let s = Symmetrized(base);
+        assert!((s.link_score(0, 1) - 2.0 * b01).abs() < 1e-12);
+        assert_eq!(s.link_score(0, 1), s.link_score(1, 0));
+    }
+
+    #[test]
+    fn matrix_feature_source_normalizes() {
+        let x = emb();
+        let fs = MatrixFeatureSource { x: &x };
+        let f = fs.node_features(1);
+        assert_eq!(f.len(), fs.feature_dim());
+        assert!((vecops::norm2(&f) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn co_embedding_attr_scorer() {
+        let x = emb();
+        let y = DenseMatrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]);
+        let s = CoEmbeddingAttrScorer { x: &x, y: &y };
+        assert!(s.attr_score(0, 0) > s.attr_score(0, 1));
+        assert!(s.attr_score(2, 0) < 0.0);
+    }
+}

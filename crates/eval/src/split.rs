@@ -1,0 +1,263 @@
+//! Seeded train/test splits for the three tasks.
+
+use pane_graph::{AttributedGraph, GraphBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Link-prediction split (§5.3): a residual graph with `test_frac` of the
+/// edges removed, the removed edges as positives, and an equal number of
+/// sampled non-edges as negatives.
+pub struct EdgeSplit {
+    /// The graph with test edges removed (train on this).
+    pub residual: AttributedGraph,
+    /// Removed (held-out) edges — the positive test pairs.
+    pub test_edges: Vec<(u32, u32)>,
+    /// Sampled non-edges — the negative test pairs.
+    pub negative_edges: Vec<(u32, u32)>,
+}
+
+/// Removes `test_frac` of the edges uniformly at random (seeded) and samples
+/// the same number of non-edges.
+///
+/// For undirected graphs each undirected pair is removed atomically (both
+/// directions) and appears once in the test set.
+pub fn split_edges(g: &AttributedGraph, test_frac: f64, seed: u64) -> EdgeSplit {
+    assert!((0.0..1.0).contains(&test_frac), "test_frac must be in [0,1)");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = g.num_nodes();
+
+    // Collect candidate edges: all directed edges, or one canonical
+    // direction per undirected pair.
+    let undirected = g.is_undirected();
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(g.num_edges());
+    for (i, j, _) in g.adjacency().iter() {
+        if undirected && i > j {
+            continue;
+        }
+        edges.push((i as u32, j as u32));
+    }
+    // Seeded Fisher–Yates shuffle.
+    for i in (1..edges.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        edges.swap(i, j);
+    }
+    let n_test = (edges.len() as f64 * test_frac).round() as usize;
+    let (test, train) = edges.split_at(n_test.min(edges.len()));
+
+    let mut b = GraphBuilder::new(n, g.num_attributes());
+    if undirected {
+        b = b.undirected();
+    }
+    for &(s, t) in train {
+        b.add_edge(s as usize, t as usize);
+    }
+    for (v, r, w) in g.attributes().iter() {
+        b.add_attribute(v, r, w);
+    }
+    for v in 0..n {
+        for &l in g.labels_of(v) {
+            b.add_label(v, l as usize);
+        }
+    }
+    let residual = b.build();
+
+    // Sample negatives: uniformly random ordered pairs that are non-edges
+    // of the *original* graph (and not self-loops).
+    let mut negative_edges = Vec::with_capacity(test.len());
+    let mut guard = 0usize;
+    while negative_edges.len() < test.len() && guard < test.len() * 1000 + 1000 {
+        guard += 1;
+        let s = rng.gen_range(0..n);
+        let t = rng.gen_range(0..n);
+        if s == t || g.adjacency().get(s, t) != 0.0 {
+            continue;
+        }
+        if undirected && g.adjacency().get(t, s) != 0.0 {
+            continue;
+        }
+        negative_edges.push((s as u32, t as u32));
+    }
+
+    EdgeSplit { residual, test_edges: test.to_vec(), negative_edges }
+}
+
+/// Attribute-inference split (§5.2): hide `test_frac` of the non-zero
+/// entries of `R`; train on the rest.
+pub struct AttrSplit {
+    /// The graph with test associations removed.
+    pub residual: AttributedGraph,
+    /// Held-out `(node, attr)` positives.
+    pub test_entries: Vec<(u32, u32)>,
+    /// Sampled zero entries as negatives (same count).
+    pub negative_entries: Vec<(u32, u32)>,
+}
+
+/// Hides `test_frac` of the node–attribute associations.
+pub fn split_attribute_entries(g: &AttributedGraph, test_frac: f64, seed: u64) -> AttrSplit {
+    assert!((0.0..1.0).contains(&test_frac), "test_frac must be in [0,1)");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9E3779B97F4A7C15);
+    let n = g.num_nodes();
+    let d = g.num_attributes();
+
+    let mut entries: Vec<(u32, u32, f64)> = g
+        .attributes()
+        .iter()
+        .map(|(v, r, w)| (v as u32, r as u32, w))
+        .collect();
+    for i in (1..entries.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        entries.swap(i, j);
+    }
+    let n_test = (entries.len() as f64 * test_frac).round() as usize;
+    let (test, train) = entries.split_at(n_test.min(entries.len()));
+
+    let mut b = GraphBuilder::new(n, d);
+    if g.is_undirected() {
+        b = b.undirected();
+    }
+    for (i, j, _) in g.adjacency().iter() {
+        if g.is_undirected() && i > j {
+            continue;
+        }
+        b.add_edge(i, j);
+    }
+    for &(v, r, w) in train {
+        b.add_attribute(v as usize, r as usize, w);
+    }
+    for v in 0..n {
+        for &l in g.labels_of(v) {
+            b.add_label(v, l as usize);
+        }
+    }
+    let residual = b.build();
+
+    let mut negative_entries = Vec::with_capacity(test.len());
+    let mut guard = 0usize;
+    while negative_entries.len() < test.len() && guard < test.len() * 1000 + 1000 {
+        guard += 1;
+        let v = rng.gen_range(0..n);
+        let r = rng.gen_range(0..d);
+        if g.attributes().get(v, r) == 0.0 {
+            negative_entries.push((v as u32, r as u32));
+        }
+    }
+
+    AttrSplit {
+        residual,
+        test_entries: test.iter().map(|&(v, r, _)| (v, r)).collect(),
+        negative_entries,
+    }
+}
+
+/// Seeded split of node indices into (train, test) by `train_frac`.
+pub fn split_nodes(n: usize, train_frac: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
+    assert!((0.0..=1.0).contains(&train_frac), "train_frac must be in [0,1]");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xABCDEF);
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        idx.swap(i, j);
+    }
+    let cut = (n as f64 * train_frac).round() as usize;
+    let (train, test) = idx.split_at(cut.min(n));
+    (train.to_vec(), test.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pane_graph::gen::{generate_sbm, SbmConfig};
+
+    fn graph(seed: u64, undirected: bool) -> AttributedGraph {
+        generate_sbm(&SbmConfig {
+            nodes: 150,
+            communities: 3,
+            avg_out_degree: 6.0,
+            attributes: 20,
+            attrs_per_node: 4.0,
+            undirected,
+            seed,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn edge_split_counts() {
+        let g = graph(1, false);
+        let s = split_edges(&g, 0.3, 7);
+        let expect_removed = (g.num_edges() as f64 * 0.3).round() as usize;
+        assert_eq!(s.test_edges.len(), expect_removed);
+        assert_eq!(s.negative_edges.len(), expect_removed);
+        assert_eq!(s.residual.num_edges(), g.num_edges() - expect_removed);
+        // Attributes and labels preserved.
+        assert_eq!(s.residual.num_attribute_entries(), g.num_attribute_entries());
+        assert_eq!(s.residual.num_labels(), g.num_labels());
+    }
+
+    #[test]
+    fn edge_split_test_edges_absent_from_residual() {
+        let g = graph(2, false);
+        let s = split_edges(&g, 0.25, 9);
+        for &(a, b) in &s.test_edges {
+            assert_eq!(s.residual.adjacency().get(a as usize, b as usize), 0.0);
+            assert_ne!(g.adjacency().get(a as usize, b as usize), 0.0);
+        }
+        for &(a, b) in &s.negative_edges {
+            assert_eq!(g.adjacency().get(a as usize, b as usize), 0.0);
+            assert_ne!(a, b);
+        }
+    }
+
+    #[test]
+    fn edge_split_undirected_removes_pairs() {
+        let g = graph(3, true);
+        let s = split_edges(&g, 0.3, 11);
+        for &(a, b) in &s.test_edges {
+            assert_eq!(s.residual.adjacency().get(a as usize, b as usize), 0.0);
+            assert_eq!(s.residual.adjacency().get(b as usize, a as usize), 0.0, "reverse of removed pair survived");
+        }
+        // Residual stays symmetric.
+        for (i, j, _) in s.residual.adjacency().iter() {
+            assert!(s.residual.adjacency().get(j, i) > 0.0);
+        }
+    }
+
+    #[test]
+    fn edge_split_deterministic() {
+        let g = graph(4, false);
+        let s1 = split_edges(&g, 0.3, 5);
+        let s2 = split_edges(&g, 0.3, 5);
+        assert_eq!(s1.test_edges, s2.test_edges);
+        assert_eq!(s1.negative_edges, s2.negative_edges);
+        let s3 = split_edges(&g, 0.3, 6);
+        assert_ne!(s1.test_edges, s3.test_edges);
+    }
+
+    #[test]
+    fn attr_split_counts_and_disjointness() {
+        let g = graph(5, false);
+        let s = split_attribute_entries(&g, 0.2, 1);
+        let expect = (g.num_attribute_entries() as f64 * 0.2).round() as usize;
+        assert_eq!(s.test_entries.len(), expect);
+        assert_eq!(s.negative_entries.len(), expect);
+        assert_eq!(s.residual.num_attribute_entries(), g.num_attribute_entries() - expect);
+        for &(v, r) in &s.test_entries {
+            assert_eq!(s.residual.attributes().get(v as usize, r as usize), 0.0);
+        }
+        for &(v, r) in &s.negative_entries {
+            assert_eq!(g.attributes().get(v as usize, r as usize), 0.0);
+        }
+        // Topology untouched.
+        assert_eq!(s.residual.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn node_split_partitions() {
+        let (train, test) = split_nodes(100, 0.3, 2);
+        assert_eq!(train.len(), 30);
+        assert_eq!(test.len(), 70);
+        let mut all: Vec<usize> = train.iter().chain(&test).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,24 @@
+//! End-to-end task runners used by the experiment binaries.
+
+pub mod attr_inference;
+pub mod link_pred;
+pub mod node_class;
+
+pub use attr_inference::evaluate_attr_scorer;
+pub use link_pred::{best_of_four, evaluate_link_scorer};
+pub use node_class::{classification_sweep, node_classification, NodeClassOptions, NodeClassResult};
+
+/// A (AUC, AP) result pair — the columns of Tables 4 and 5.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AucAp {
+    /// Area under the ROC curve.
+    pub auc: f64,
+    /// Average precision.
+    pub ap: f64,
+}
+
+impl std::fmt::Display for AucAp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AUC={:.3} AP={:.3}", self.auc, self.ap)
+    }
+}

@@ -1,0 +1,198 @@
+//! Node classification (§5.4, Figure 2).
+//!
+//! Protocol: sample a fraction of the nodes to train one-vs-rest linear
+//! classifiers on the embedding features, predict the remaining nodes'
+//! labels (top-k with k = the node's true label count, the standard
+//! multi-label protocol), report micro-/macro-F1 averaged over repeats.
+
+use crate::classify::{LearnerKind, OneVsRest};
+use crate::metrics::{macro_f1, micro_f1};
+use crate::scoring::NodeFeatureSource;
+use crate::split::split_nodes;
+use pane_linalg::DenseMatrix;
+
+/// Options for a classification run.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeClassOptions {
+    /// Fraction of labeled nodes used for training.
+    pub train_frac: f64,
+    /// Number of repeats (the paper uses 5); results are averaged.
+    pub repeats: usize,
+    /// Which linear learner to train.
+    pub learner: LearnerKind,
+    /// Base seed; repeat `i` uses `seed + i`.
+    pub seed: u64,
+    /// Per-label training budget (logistic epochs).
+    pub epochs: usize,
+}
+
+impl Default for NodeClassOptions {
+    fn default() -> Self {
+        Self { train_frac: 0.5, repeats: 5, learner: LearnerKind::Logistic, seed: 0, epochs: 200 }
+    }
+}
+
+/// Averaged micro-/macro-F1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeClassResult {
+    /// Micro-averaged F1.
+    pub micro_f1: f64,
+    /// Macro-averaged F1.
+    pub macro_f1: f64,
+}
+
+impl std::fmt::Display for NodeClassResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "micro-F1={:.3} macro-F1={:.3}", self.micro_f1, self.macro_f1)
+    }
+}
+
+/// Runs node classification on features from `source` for the labeled nodes
+/// of `labels` (nodes with empty label sets are skipped entirely).
+pub fn node_classification<S: NodeFeatureSource>(
+    source: &S,
+    labels: &[Vec<u32>],
+    num_labels: usize,
+    opts: &NodeClassOptions,
+) -> NodeClassResult {
+    assert!(num_labels > 0, "need at least one label");
+    let labeled: Vec<usize> = (0..labels.len()).filter(|&v| !labels[v].is_empty()).collect();
+    assert!(labeled.len() >= 4, "need at least 4 labeled nodes, have {}", labeled.len());
+
+    // Materialize features once.
+    let dim = source.feature_dim();
+    let mut feats = DenseMatrix::zeros(labeled.len(), dim);
+    for (row, &v) in labeled.iter().enumerate() {
+        let f = source.node_features(v);
+        assert_eq!(f.len(), dim, "inconsistent feature dimension");
+        feats.row_mut(row).copy_from_slice(&f);
+    }
+    let local_labels: Vec<Vec<u32>> = labeled.iter().map(|&v| labels[v].clone()).collect();
+
+    let mut micro_sum = 0.0;
+    let mut macro_sum = 0.0;
+    for rep in 0..opts.repeats {
+        let (train_idx, test_idx) = split_nodes(labeled.len(), opts.train_frac, opts.seed + rep as u64);
+        let (train_idx, test_idx) = if train_idx.is_empty() || test_idx.is_empty() {
+            // Degenerate fraction: fall back to leave-one-out-ish split.
+            (vec![0], (1..labeled.len()).collect())
+        } else {
+            (train_idx, test_idx)
+        };
+        let mut x_train = DenseMatrix::zeros(train_idx.len(), dim);
+        let mut y_train: Vec<Vec<u32>> = Vec::with_capacity(train_idx.len());
+        for (row, &i) in train_idx.iter().enumerate() {
+            x_train.row_mut(row).copy_from_slice(feats.row(i));
+            y_train.push(local_labels[i].clone());
+        }
+        let ovr = OneVsRest::fit_with_budget(opts.learner, &x_train, &y_train, num_labels, opts.seed + rep as u64, opts.epochs);
+        let mut truth = Vec::with_capacity(test_idx.len());
+        let mut pred = Vec::with_capacity(test_idx.len());
+        for &i in &test_idx {
+            let k = local_labels[i].len();
+            pred.push(ovr.predict_top_k(feats.row(i), k));
+            truth.push(local_labels[i].clone());
+        }
+        micro_sum += micro_f1(&truth, &pred);
+        macro_sum += macro_f1(&truth, &pred);
+    }
+    NodeClassResult {
+        micro_f1: micro_sum / opts.repeats as f64,
+        macro_f1: macro_sum / opts.repeats as f64,
+    }
+}
+
+/// Figure-2 sweep: micro-F1 at each training fraction.
+pub fn classification_sweep<S: NodeFeatureSource>(
+    source: &S,
+    labels: &[Vec<u32>],
+    num_labels: usize,
+    fractions: &[f64],
+    base: &NodeClassOptions,
+) -> Vec<(f64, NodeClassResult)> {
+    fractions
+        .iter()
+        .map(|&frac| {
+            let opts = NodeClassOptions { train_frac: frac, ..*base };
+            (frac, node_classification(source, labels, num_labels, &opts))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scoring::MatrixFeatureSource;
+
+    /// Features that encode the label perfectly vs pure noise.
+    fn perfect_features(labels: &[Vec<u32>], num_labels: usize) -> DenseMatrix {
+        let mut x = DenseMatrix::zeros(labels.len(), num_labels);
+        for (v, ls) in labels.iter().enumerate() {
+            for &l in ls {
+                x.set(v, l as usize, 1.0);
+            }
+        }
+        x
+    }
+
+    fn labels_fixture(n: usize, c: usize) -> Vec<Vec<u32>> {
+        (0..n).map(|v| vec![(v % c) as u32]).collect()
+    }
+
+    #[test]
+    fn perfect_features_reach_high_f1() {
+        let labels = labels_fixture(120, 4);
+        let x = perfect_features(&labels, 4);
+        let src = MatrixFeatureSource { x: &x };
+        let r = node_classification(&src, &labels, 4, &NodeClassOptions::default());
+        assert!(r.micro_f1 > 0.95, "micro {}", r.micro_f1);
+        assert!(r.macro_f1 > 0.95, "macro {}", r.macro_f1);
+    }
+
+    #[test]
+    fn noise_features_fail() {
+        let labels = labels_fixture(120, 4);
+        let mut x = DenseMatrix::zeros(120, 4);
+        let mut state = 7u64;
+        for v in x.data_mut().iter_mut() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            *v = ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5;
+        }
+        let src = MatrixFeatureSource { x: &x };
+        let r = node_classification(&src, &labels, 4, &NodeClassOptions::default());
+        assert!(r.micro_f1 < 0.55, "noise should score near chance, got {}", r.micro_f1);
+    }
+
+    #[test]
+    fn unlabeled_nodes_are_skipped() {
+        let mut labels = labels_fixture(60, 3);
+        labels[10].clear();
+        labels[20].clear();
+        let x = perfect_features(&labels, 3);
+        let src = MatrixFeatureSource { x: &x };
+        let r = node_classification(&src, &labels, 3, &NodeClassOptions::default());
+        assert!(r.micro_f1 > 0.9);
+    }
+
+    #[test]
+    fn sweep_is_monotonic_ish_for_perfect_features() {
+        let labels = labels_fixture(150, 3);
+        let x = perfect_features(&labels, 3);
+        let src = MatrixFeatureSource { x: &x };
+        let sweep = classification_sweep(&src, &labels, 3, &[0.1, 0.5, 0.9], &NodeClassOptions::default());
+        assert_eq!(sweep.len(), 3);
+        for (_, r) in &sweep {
+            assert!(r.micro_f1 > 0.9);
+        }
+    }
+
+    #[test]
+    fn svm_learner_also_works() {
+        let labels = labels_fixture(100, 2);
+        let x = perfect_features(&labels, 2);
+        let src = MatrixFeatureSource { x: &x };
+        let opts = NodeClassOptions { learner: LearnerKind::Svm, repeats: 2, ..Default::default() };
+        let r = node_classification(&src, &labels, 2, &opts);
+        assert!(r.micro_f1 > 0.9, "svm micro {}", r.micro_f1);
+    }
+}

@@ -1,0 +1,208 @@
+//! Structural diagnostics of attributed graphs: degree distributions,
+//! weakly connected components, and attribute coverage.
+//!
+//! Used by the CLI's `stats` command and by the dataset-zoo documentation
+//! to check that generated graphs have the heavy-tailed, mostly-connected
+//! shape of the paper's datasets.
+
+use crate::graph::AttributedGraph;
+
+/// Degree distribution summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum out-degree.
+    pub min: usize,
+    /// Maximum out-degree.
+    pub max: usize,
+    /// Mean out-degree.
+    pub mean: f64,
+    /// Median out-degree.
+    pub median: usize,
+    /// Fraction of total out-degree held by the top 1% of nodes — a quick
+    /// heavy-tail indicator (≫ 0.01 for power-law graphs).
+    pub top1pct_share: f64,
+}
+
+/// Computes out-degree statistics.
+pub fn degree_stats(g: &AttributedGraph) -> DegreeStats {
+    let n = g.num_nodes();
+    if n == 0 {
+        return DegreeStats { min: 0, max: 0, mean: 0.0, median: 0, top1pct_share: 0.0 };
+    }
+    let mut degs: Vec<usize> = (0..n).map(|v| g.out_degree(v)).collect();
+    degs.sort_unstable();
+    let total: usize = degs.iter().sum();
+    let top = (n / 100).max(1);
+    let top_sum: usize = degs[n - top..].iter().sum();
+    DegreeStats {
+        min: degs[0],
+        max: degs[n - 1],
+        mean: total as f64 / n as f64,
+        median: degs[n / 2],
+        top1pct_share: if total == 0 { 0.0 } else { top_sum as f64 / total as f64 },
+    }
+}
+
+/// Union–find over node ids.
+struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        Self { parent: (0..n as u32).collect(), rank: vec![0; n] }
+    }
+
+    fn find(&mut self, x: u32) -> u32 {
+        let mut root = x;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        match self.rank[ra as usize].cmp(&self.rank[rb as usize]) {
+            std::cmp::Ordering::Less => self.parent[ra as usize] = rb,
+            std::cmp::Ordering::Greater => self.parent[rb as usize] = ra,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb as usize] = ra;
+                self.rank[ra as usize] += 1;
+            }
+        }
+    }
+}
+
+/// Weakly connected components: returns `(component_id_per_node,
+/// component_sizes)` with ids in `0..sizes.len()`, ordered by first
+/// appearance.
+pub fn weakly_connected_components(g: &AttributedGraph) -> (Vec<u32>, Vec<usize>) {
+    let n = g.num_nodes();
+    let mut uf = UnionFind::new(n);
+    for (i, j, _) in g.adjacency().iter() {
+        uf.union(i as u32, j as u32);
+    }
+    let mut ids = vec![u32::MAX; n];
+    let mut sizes = Vec::new();
+    for v in 0..n {
+        let root = uf.find(v as u32) as usize;
+        if ids[root] == u32::MAX {
+            ids[root] = sizes.len() as u32;
+            sizes.push(0);
+        }
+        let id = ids[root];
+        if v != root {
+            ids[v] = id;
+        }
+        sizes[id as usize] += 1;
+    }
+    (ids, sizes)
+}
+
+/// Fraction of nodes in the largest weakly connected component.
+pub fn largest_component_fraction(g: &AttributedGraph) -> f64 {
+    let n = g.num_nodes();
+    if n == 0 {
+        return 0.0;
+    }
+    let (_, sizes) = weakly_connected_components(g);
+    *sizes.iter().max().unwrap_or(&0) as f64 / n as f64
+}
+
+/// Attribute coverage: fraction of nodes with at least one attribute, and
+/// fraction of attributes carried by at least one node.
+pub fn attribute_coverage(g: &AttributedGraph) -> (f64, f64) {
+    let n = g.num_nodes();
+    let d = g.num_attributes();
+    if n == 0 || d == 0 {
+        return (0.0, 0.0);
+    }
+    let covered_nodes = (0..n).filter(|&v| !g.node_attributes(v).0.is_empty()).count();
+    let mut attr_seen = vec![false; d];
+    for (_, r, _) in g.attributes().iter() {
+        attr_seen[r] = true;
+    }
+    let covered_attrs = attr_seen.iter().filter(|&&b| b).count();
+    (covered_nodes as f64 / n as f64, covered_attrs as f64 / d as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::gen::{generate_sbm, SbmConfig};
+
+    fn two_islands() -> AttributedGraph {
+        // {0,1,2} cycle and {3,4} pair; node 5 isolated.
+        let mut b = GraphBuilder::new(6, 2);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(2, 0);
+        b.add_edge(3, 4);
+        b.add_attribute(0, 0, 1.0);
+        b.add_attribute(3, 1, 1.0);
+        b.build()
+    }
+
+    #[test]
+    fn components_found() {
+        let g = two_islands();
+        let (ids, sizes) = weakly_connected_components(&g);
+        assert_eq!(sizes.len(), 3);
+        let mut sorted = sizes.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![1, 2, 3]);
+        // Same component for the cycle.
+        assert_eq!(ids[0], ids[1]);
+        assert_eq!(ids[1], ids[2]);
+        assert_ne!(ids[0], ids[3]);
+        assert_eq!(ids[3], ids[4]);
+        assert!((largest_component_fraction(&g) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degree_stats_hand_checked() {
+        let g = two_islands();
+        let s = degree_stats(&g);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 1);
+        assert!((s.mean - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coverage_hand_checked() {
+        let g = two_islands();
+        let (nodes, attrs) = attribute_coverage(&g);
+        assert!((nodes - 2.0 / 6.0).abs() < 1e-12);
+        assert!((attrs - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sbm_graphs_are_mostly_connected_and_heavy_tailed() {
+        let g = generate_sbm(&SbmConfig { nodes: 1500, avg_out_degree: 8.0, seed: 5, ..Default::default() });
+        assert!(largest_component_fraction(&g) > 0.85, "generator output too fragmented");
+        let s = degree_stats(&g);
+        assert!(s.top1pct_share > 0.03, "degrees not heavy-tailed: {}", s.top1pct_share);
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let g = GraphBuilder::new(0, 0).build();
+        let (ids, sizes) = weakly_connected_components(&g);
+        assert!(ids.is_empty() && sizes.is_empty());
+        assert_eq!(largest_component_fraction(&g), 0.0);
+        assert_eq!(degree_stats(&g).mean, 0.0);
+    }
+}

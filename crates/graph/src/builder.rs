@@ -1,0 +1,240 @@
+//! Incremental construction of [`AttributedGraph`]s.
+
+use crate::graph::AttributedGraph;
+use pane_sparse::CooMatrix;
+
+/// Builder accumulating edges, attribute associations and labels.
+///
+/// Duplicate edges are collapsed to weight 1 (the adjacency is binary per
+/// §2.1: `A[v_i, v_j] = 1` iff the edge exists); duplicate node–attribute
+/// associations sum their weights; self-loops are allowed (they are
+/// meaningful for the random-walk model) but can be stripped with
+/// [`GraphBuilder::forbid_self_loops`].
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    n: usize,
+    d: usize,
+    edges: Vec<(u32, u32)>,
+    /// Weighted edges, kept separately; mixing weighted and unweighted
+    /// edges is allowed (unweighted count as weight 1).
+    weighted_edges: Vec<(u32, u32, f64)>,
+    attrs: CooMatrix,
+    labels: Vec<Vec<u32>>,
+    num_labels: usize,
+    undirected: bool,
+    forbid_self_loops: bool,
+}
+
+impl GraphBuilder {
+    /// Builder for a graph with `n` nodes and `d` attributes.
+    pub fn new(n: usize, d: usize) -> Self {
+        Self {
+            n,
+            d,
+            edges: Vec::new(),
+            weighted_edges: Vec::new(),
+            attrs: CooMatrix::new(n, d),
+            labels: vec![Vec::new(); n],
+            num_labels: 0,
+            undirected: false,
+            forbid_self_loops: false,
+        }
+    }
+
+    /// Declares the graph undirected: every added edge will also insert its
+    /// reverse at [`build`](Self::build) time.
+    pub fn undirected(mut self) -> Self {
+        self.undirected = true;
+        self
+    }
+
+    /// Drops self-loops instead of keeping them.
+    pub fn forbid_self_loops(mut self) -> Self {
+        self.forbid_self_loops = true;
+        self
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Number of attributes.
+    pub fn num_attributes(&self) -> usize {
+        self.d
+    }
+
+    /// Adds the directed edge `(src, dst)`.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, src: usize, dst: usize) {
+        assert!(src < self.n && dst < self.n, "edge ({src},{dst}) out of bounds (n={})", self.n);
+        if self.forbid_self_loops && src == dst {
+            return;
+        }
+        self.edges.push((src as u32, dst as u32));
+    }
+
+    /// Adds the directed edge `(src, dst)` with weight `w` — an extension
+    /// beyond the paper's binary adjacency (§2.1); the random-walk model
+    /// generalizes naturally (transition probabilities follow the weights).
+    /// Duplicate weighted edges sum their weights.
+    ///
+    /// # Panics
+    /// Panics if out of range or `w` is not finite/positive.
+    pub fn add_weighted_edge(&mut self, src: usize, dst: usize, w: f64) {
+        assert!(src < self.n && dst < self.n, "edge ({src},{dst}) out of bounds (n={})", self.n);
+        assert!(w.is_finite() && w > 0.0, "edge weight must be finite and positive, got {w}");
+        if self.forbid_self_loops && src == dst {
+            return;
+        }
+        self.weighted_edges.push((src as u32, dst as u32, w));
+    }
+
+    /// Associates node `v` with attribute `r` at weight `w` (summed over
+    /// duplicates).
+    ///
+    /// # Panics
+    /// Panics if out of range or `w` is not finite/positive.
+    pub fn add_attribute(&mut self, v: usize, r: usize, w: f64) {
+        assert!(w.is_finite() && w > 0.0, "attribute weight must be finite and positive, got {w}");
+        self.attrs.push(v, r, w);
+    }
+
+    /// Adds a label to node `v`.
+    pub fn add_label(&mut self, v: usize, label: usize) {
+        assert!(v < self.n, "label target {v} out of bounds");
+        let l = label as u32;
+        if !self.labels[v].contains(&l) {
+            self.labels[v].push(l);
+        }
+        self.num_labels = self.num_labels.max(label + 1);
+    }
+
+    /// Finalizes into an [`AttributedGraph`].
+    pub fn build(mut self) -> AttributedGraph {
+        let cap = (self.edges.len() + self.weighted_edges.len()) * if self.undirected { 2 } else { 1 };
+        let mut coo = CooMatrix::with_capacity(self.n, self.n, cap);
+        // Deduplicate unweighted edges by sorting; those entries are binary.
+        let mut edges = std::mem::take(&mut self.edges);
+        if self.undirected {
+            let reversed: Vec<(u32, u32)> = edges.iter().map(|&(s, t)| (t, s)).collect();
+            edges.extend(reversed);
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        for (s, t) in edges {
+            coo.push(s as usize, t as usize, 1.0);
+        }
+        // Weighted edges sum duplicates (COO merge does the summing).
+        for (s, t, w) in std::mem::take(&mut self.weighted_edges) {
+            coo.push(s as usize, t as usize, w);
+            if self.undirected {
+                coo.push(t as usize, s as usize, w);
+            }
+        }
+        let adjacency = coo.to_csr();
+        let attributes = self.attrs.to_csr();
+        for row in &mut self.labels {
+            row.sort_unstable();
+        }
+        AttributedGraph::from_parts(adjacency, attributes, self.labels, self.num_labels, self.undirected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_edges_and_sum_attrs() {
+        let mut b = GraphBuilder::new(3, 2);
+        b.add_edge(0, 1);
+        b.add_edge(0, 1); // duplicate
+        b.add_edge(1, 2);
+        b.add_attribute(0, 1, 0.5);
+        b.add_attribute(0, 1, 0.25);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.adjacency().get(0, 1), 1.0);
+        assert_eq!(g.attributes().get(0, 1), 0.75);
+    }
+
+    #[test]
+    fn undirected_inserts_reverses() {
+        let mut b = GraphBuilder::new(3, 1).undirected();
+        b.add_edge(0, 1);
+        b.add_edge(1, 0); // explicit reverse must not double-count
+        b.add_edge(1, 2);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 4);
+        assert!(g.is_undirected());
+        assert_eq!(g.adjacency().get(2, 1), 1.0);
+    }
+
+    #[test]
+    fn self_loop_policy() {
+        let mut keep = GraphBuilder::new(2, 1);
+        keep.add_edge(0, 0);
+        assert_eq!(keep.build().num_edges(), 1);
+        let mut drop = GraphBuilder::new(2, 1).forbid_self_loops();
+        drop.add_edge(0, 0);
+        assert_eq!(drop.build().num_edges(), 0);
+    }
+
+    #[test]
+    fn labels_dedup_and_count() {
+        let mut b = GraphBuilder::new(2, 1);
+        b.add_label(0, 3);
+        b.add_label(0, 3);
+        b.add_label(1, 0);
+        let g = b.build();
+        assert_eq!(g.labels_of(0), &[3]);
+        assert_eq!(g.num_labels(), 4); // ids 0..=3
+    }
+
+    #[test]
+    fn weighted_edges_sum_and_mix() {
+        let mut b = GraphBuilder::new(3, 1);
+        b.add_weighted_edge(0, 1, 2.0);
+        b.add_weighted_edge(0, 1, 0.5); // summed
+        b.add_edge(1, 2); // binary
+        let g = b.build();
+        assert_eq!(g.adjacency().get(0, 1), 2.5);
+        assert_eq!(g.adjacency().get(1, 2), 1.0);
+        // Walk matrix follows the weights.
+        let p = g.random_walk_matrix(crate::graph::DanglingPolicy::SelfLoop);
+        assert!((p.get(0, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_undirected_mirrors() {
+        let mut b = GraphBuilder::new(2, 1).undirected();
+        b.add_weighted_edge(0, 1, 3.0);
+        let g = b.build();
+        assert_eq!(g.adjacency().get(0, 1), 3.0);
+        assert_eq!(g.adjacency().get(1, 0), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight")]
+    fn weighted_edge_weight_checked() {
+        let mut b = GraphBuilder::new(2, 1);
+        b.add_weighted_edge(0, 1, f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn edge_bounds_checked() {
+        let mut b = GraphBuilder::new(2, 1);
+        b.add_edge(0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn attribute_weight_checked() {
+        let mut b = GraphBuilder::new(2, 1);
+        b.add_attribute(0, 0, 0.0);
+    }
+}

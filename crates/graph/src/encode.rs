@@ -1,0 +1,165 @@
+//! One-hot encoding of raw attribute tables.
+//!
+//! §2.1 of the paper: *"for a categorical attribute such as marital status,
+//! we first apply a pre-processing step that transforms the attribute into a
+//! set of binary ones through one-hot encoding."* This module performs that
+//! step: given a table whose columns are declared categorical or numeric, it
+//! produces the final attribute index space and the weighted node–attribute
+//! associations to feed a [`crate::GraphBuilder`].
+
+use std::collections::BTreeMap;
+
+/// Declared type of a raw attribute column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnKind {
+    /// Values are category names; each distinct value becomes one binary
+    /// attribute with weight 1.
+    Categorical,
+    /// Values are non-negative numbers used directly as weights; the column
+    /// maps to a single attribute. Zero/empty values produce no association.
+    Numeric,
+}
+
+/// A raw value in the input table.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RawValue {
+    /// Missing value: produces no association.
+    Missing,
+    /// A category name (for [`ColumnKind::Categorical`]).
+    Category(String),
+    /// A number (for [`ColumnKind::Numeric`]); must be finite and `>= 0`.
+    Number(f64),
+}
+
+/// Result of encoding: the attribute dictionary and the associations.
+#[derive(Debug, Clone)]
+pub struct Encoded {
+    /// Total number of encoded attributes `d`.
+    pub num_attributes: usize,
+    /// Human-readable name per encoded attribute (e.g. `"city=Paris"`).
+    pub attribute_names: Vec<String>,
+    /// `(node, attribute, weight)` triples, weight > 0.
+    pub associations: Vec<(usize, usize, f64)>,
+}
+
+/// One-hot-encodes a node × column table.
+///
+/// `columns[c]` describes column `c`; `table[v][c]` is node `v`'s raw value
+/// in that column. Column names are used to build attribute names.
+///
+/// # Panics
+/// Panics on ragged tables, on a [`RawValue::Category`] in a numeric column
+/// (and vice versa), or on negative/non-finite numbers.
+pub fn one_hot_encode(column_names: &[&str], columns: &[ColumnKind], table: &[Vec<RawValue>]) -> Encoded {
+    assert_eq!(column_names.len(), columns.len(), "column name/kind count mismatch");
+    for (v, row) in table.iter().enumerate() {
+        assert_eq!(row.len(), columns.len(), "row {v} has wrong arity");
+    }
+
+    // First pass: build the dictionary (deterministic order: column order,
+    // then lexicographic category order).
+    let mut attribute_names: Vec<String> = Vec::new();
+    let mut col_base: Vec<usize> = Vec::with_capacity(columns.len());
+    let mut cat_maps: Vec<BTreeMap<String, usize>> = Vec::with_capacity(columns.len());
+    for (c, kind) in columns.iter().enumerate() {
+        col_base.push(attribute_names.len());
+        match kind {
+            ColumnKind::Numeric => {
+                attribute_names.push(column_names[c].to_string());
+                cat_maps.push(BTreeMap::new());
+            }
+            ColumnKind::Categorical => {
+                let mut cats: BTreeMap<String, usize> = BTreeMap::new();
+                for row in table {
+                    if let RawValue::Category(s) = &row[c] {
+                        cats.entry(s.clone()).or_insert(0);
+                    }
+                }
+                for (i, (name, slot)) in cats.iter_mut().enumerate() {
+                    *slot = i;
+                    attribute_names.push(format!("{}={}", column_names[c], name));
+                }
+                cat_maps.push(cats);
+            }
+        }
+    }
+
+    // Second pass: emit associations.
+    let mut associations = Vec::new();
+    for (v, row) in table.iter().enumerate() {
+        for (c, kind) in columns.iter().enumerate() {
+            match (&row[c], kind) {
+                (RawValue::Missing, _) => {}
+                (RawValue::Number(x), ColumnKind::Numeric) => {
+                    assert!(x.is_finite() && *x >= 0.0, "numeric value must be finite and >= 0, got {x}");
+                    if *x > 0.0 {
+                        associations.push((v, col_base[c], *x));
+                    }
+                }
+                (RawValue::Category(s), ColumnKind::Categorical) => {
+                    let idx = cat_maps[c][s];
+                    associations.push((v, col_base[c] + idx, 1.0));
+                }
+                (val, kind) => panic!("column {c} declared {kind:?} but node {v} holds {val:?}"),
+            }
+        }
+    }
+
+    Encoded { num_attributes: attribute_names.len(), attribute_names, associations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cat(s: &str) -> RawValue {
+        RawValue::Category(s.to_string())
+    }
+
+    #[test]
+    fn mixed_table() {
+        let table = vec![
+            vec![cat("red"), RawValue::Number(2.0)],
+            vec![cat("blue"), RawValue::Number(0.0)],
+            vec![RawValue::Missing, RawValue::Number(1.5)],
+        ];
+        let enc = one_hot_encode(
+            &["color", "score"],
+            &[ColumnKind::Categorical, ColumnKind::Numeric],
+            &table,
+        );
+        assert_eq!(enc.num_attributes, 3); // blue, red, score
+        assert_eq!(enc.attribute_names, vec!["color=blue", "color=red", "score"]);
+        // node 0: red (idx 1), score=2
+        assert!(enc.associations.contains(&(0, 1, 1.0)));
+        assert!(enc.associations.contains(&(0, 2, 2.0)));
+        // node 1: blue only (score 0 dropped)
+        assert!(enc.associations.contains(&(1, 0, 1.0)));
+        assert_eq!(enc.associations.iter().filter(|a| a.0 == 1).count(), 1);
+        // node 2: score only
+        assert!(enc.associations.contains(&(2, 2, 1.5)));
+    }
+
+    #[test]
+    fn deterministic_category_order() {
+        let t1 = vec![vec![cat("b")], vec![cat("a")]];
+        let t2 = vec![vec![cat("a")], vec![cat("b")]];
+        let e1 = one_hot_encode(&["x"], &[ColumnKind::Categorical], &t1);
+        let e2 = one_hot_encode(&["x"], &[ColumnKind::Categorical], &t2);
+        assert_eq!(e1.attribute_names, e2.attribute_names);
+    }
+
+    #[test]
+    #[should_panic(expected = "declared")]
+    fn kind_mismatch_detected() {
+        let table = vec![vec![RawValue::Number(1.0)]];
+        one_hot_encode(&["x"], &[ColumnKind::Categorical], &table);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn negative_number_rejected() {
+        let table = vec![vec![RawValue::Number(-1.0)]];
+        one_hot_encode(&["x"], &[ColumnKind::Numeric], &table);
+    }
+}

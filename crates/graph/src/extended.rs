@@ -1,0 +1,125 @@
+//! The **extended graph** `G` of §2.1 / Figure 1: the input graph plus one
+//! extra node per attribute, with a pair of opposite weighted edges for
+//! every node–attribute association.
+//!
+//! PANE never materializes this graph — APMI operates on `P`, `R_r`, `R_c`
+//! directly — but the extended graph is the paper's conceptual object, and
+//! building it explicitly lets tests verify that the two-phase walk
+//! (node-walk, then one attribute hop) matches a plain random walk on the
+//! extended structure. It is also handy for exporting to visualization
+//! tools.
+
+use crate::graph::AttributedGraph;
+use pane_sparse::{CooMatrix, CsrMatrix};
+
+/// The extended graph: nodes `0..n` are the original nodes, nodes
+/// `n..n+d` are the attribute nodes.
+pub struct ExtendedGraph {
+    /// `(n+d) × (n+d)` weighted adjacency.
+    pub adjacency: CsrMatrix,
+    /// Number of original nodes `n`.
+    pub num_nodes: usize,
+    /// Number of attribute nodes `d`.
+    pub num_attributes: usize,
+}
+
+impl ExtendedGraph {
+    /// Builds the extended graph: original edges keep weight 1 (or their
+    /// weight), and each association `(v, r, w)` adds `v → n+r` and
+    /// `n+r → v`, both with weight `w` (§2.1: "a pair of edges with
+    /// opposing directions ... with an edge weight w").
+    pub fn build(g: &AttributedGraph) -> Self {
+        let n = g.num_nodes();
+        let d = g.num_attributes();
+        let total = n + d;
+        let mut coo = CooMatrix::with_capacity(total, total, g.num_edges() + 2 * g.num_attribute_entries());
+        for (i, j, w) in g.adjacency().iter() {
+            coo.push(i, j, w);
+        }
+        for (v, r, w) in g.attributes().iter() {
+            coo.push(v, n + r, w);
+            coo.push(n + r, v, w);
+        }
+        Self { adjacency: coo.to_csr(), num_nodes: n, num_attributes: d }
+    }
+
+    /// Global index of attribute `r`.
+    pub fn attribute_node(&self, r: usize) -> usize {
+        assert!(r < self.num_attributes);
+        self.num_nodes + r
+    }
+
+    /// Whether global index `x` is an attribute node.
+    pub fn is_attribute_node(&self, x: usize) -> bool {
+        x >= self.num_nodes
+    }
+
+    /// Total node count `n + d`.
+    pub fn total_nodes(&self) -> usize {
+        self.num_nodes + self.num_attributes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toy::figure1_graph;
+
+    #[test]
+    fn structure_matches_figure_1() {
+        let g = figure1_graph();
+        let ext = ExtendedGraph::build(&g);
+        assert_eq!(ext.total_nodes(), 6 + 3);
+        // Original edges preserved.
+        for (i, j, _) in g.adjacency().iter() {
+            assert!(ext.adjacency.get(i, j) > 0.0, "lost edge ({i},{j})");
+        }
+        // Attribute associations become opposite edge pairs.
+        for (v, r, w) in g.attributes().iter() {
+            let a = ext.attribute_node(r);
+            assert_eq!(ext.adjacency.get(v, a), w);
+            assert_eq!(ext.adjacency.get(a, v), w);
+        }
+        // Edge count: |E_V| + 2·|E_R|.
+        assert_eq!(ext.adjacency.nnz(), g.num_edges() + 2 * g.num_attribute_entries());
+    }
+
+    #[test]
+    fn attribute_node_classification() {
+        let g = figure1_graph();
+        let ext = ExtendedGraph::build(&g);
+        assert!(!ext.is_attribute_node(5));
+        assert!(ext.is_attribute_node(6));
+        assert_eq!(ext.attribute_node(0), 6);
+    }
+
+    /// The terminal-then-one-attribute-hop distribution of the paper's
+    /// forward walk equals, on the extended graph, the distribution of
+    /// "walk on original nodes, then take one weighted step restricted to
+    /// attribute nodes". This pins down the extended graph's edge weights.
+    #[test]
+    fn one_hop_attribute_step_matches_rr() {
+        let g = figure1_graph();
+        let ext = ExtendedGraph::build(&g);
+        let rr = g.attr_row_normalized();
+        let n = g.num_nodes();
+        for v in 0..n {
+            // Normalize v's extended out-edges restricted to attribute nodes.
+            let (cols, vals) = ext.adjacency.row(v);
+            let attr_mass: f64 = cols
+                .iter()
+                .zip(vals)
+                .filter(|(&c, _)| (c as usize) >= n)
+                .map(|(_, &w)| w)
+                .sum();
+            for (&c, &w) in cols.iter().zip(vals) {
+                if (c as usize) >= n {
+                    let r = c as usize - n;
+                    let expect = rr.get(v, r);
+                    let got = w / attr_mass;
+                    assert!((got - expect).abs() < 1e-12, "v{v}, r{r}: {got} vs {expect}");
+                }
+            }
+        }
+    }
+}

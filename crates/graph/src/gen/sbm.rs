@@ -1,0 +1,293 @@
+//! Directed degree-corrected SBM with community-correlated attributes.
+
+use crate::builder::GraphBuilder;
+use crate::gen::alias::AliasTable;
+use crate::graph::AttributedGraph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the generator. See the module docs of [`crate::gen`] for
+/// the role of each knob.
+#[derive(Debug, Clone)]
+pub struct SbmConfig {
+    /// Number of nodes `n`.
+    pub nodes: usize,
+    /// Number of communities (also the number of primary labels).
+    pub communities: usize,
+    /// Expected out-degree (expected edge count is `nodes * avg_out_degree`).
+    pub avg_out_degree: f64,
+    /// Probability that an edge's target is drawn from the source's own
+    /// community (homophily); the rest are drawn globally.
+    pub p_in: f64,
+    /// Power-law exponent of the degree weights (`> 1`; 2.5 is typical).
+    pub gamma: f64,
+    /// Number of attributes `d`.
+    pub attributes: usize,
+    /// Expected node–attribute associations per node.
+    pub attrs_per_node: f64,
+    /// Probability that an attribute draw ignores the community pool and
+    /// picks uniformly from all attributes (0 = perfectly clustered).
+    pub attr_noise: f64,
+    /// Whether nodes may receive extra labels beyond their community.
+    pub multi_label: bool,
+    /// Per-node probability of one extra random label (if `multi_label`).
+    pub extra_label_prob: f64,
+    /// Symmetrize all edges.
+    pub undirected: bool,
+    /// RNG seed; identical configs generate identical graphs.
+    pub seed: u64,
+}
+
+impl Default for SbmConfig {
+    fn default() -> Self {
+        Self {
+            nodes: 1000,
+            communities: 5,
+            avg_out_degree: 8.0,
+            p_in: 0.8,
+            gamma: 2.5,
+            attributes: 100,
+            attrs_per_node: 10.0,
+            attr_noise: 0.2,
+            multi_label: false,
+            extra_label_prob: 0.1,
+            undirected: false,
+            seed: 0,
+        }
+    }
+}
+
+impl SbmConfig {
+    fn validate(&self) {
+        assert!(self.nodes > 0, "nodes must be positive");
+        assert!(self.communities > 0 && self.communities <= self.nodes, "bad community count");
+        assert!(self.avg_out_degree > 0.0, "avg_out_degree must be positive");
+        assert!((0.0..=1.0).contains(&self.p_in), "p_in must be a probability");
+        assert!(self.gamma > 1.0, "gamma must exceed 1");
+        assert!(self.attributes > 0, "attributes must be positive");
+        assert!(self.attrs_per_node >= 0.0, "attrs_per_node must be non-negative");
+        assert!((0.0..=1.0).contains(&self.attr_noise), "attr_noise must be a probability");
+        assert!((0.0..=1.0).contains(&self.extra_label_prob), "extra_label_prob must be a probability");
+    }
+}
+
+/// Generates an attributed graph from the config (deterministic per seed).
+pub fn generate_sbm(cfg: &SbmConfig) -> AttributedGraph {
+    cfg.validate();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let n = cfg.nodes;
+    let c = cfg.communities;
+
+    // Balanced community assignment, then a seeded shuffle so community ids
+    // are not correlated with node ids.
+    let mut community: Vec<u32> = (0..n).map(|i| (i % c) as u32).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        community.swap(i, j);
+    }
+
+    // Pareto-distributed degree weights: w = u^{-1/(gamma-1)}, capped to
+    // keep the max degree below ~sqrt(n * avg) (avoids one node absorbing
+    // the whole edge budget on small graphs).
+    let cap = ((n as f64) * cfg.avg_out_degree).sqrt().max(4.0);
+    let weights: Vec<f64> = (0..n)
+        .map(|_| {
+            let u: f64 = rng.gen::<f64>().max(1e-12);
+            u.powf(-1.0 / (cfg.gamma - 1.0)).min(cap)
+        })
+        .collect();
+
+    // Global and per-community alias tables over degree weights.
+    let global = AliasTable::new(&weights);
+    let mut members: Vec<Vec<u32>> = vec![Vec::new(); c];
+    for (v, &cm) in community.iter().enumerate() {
+        members[cm as usize].push(v as u32);
+    }
+    let community_tables: Vec<Option<AliasTable>> = members
+        .iter()
+        .map(|ms| {
+            if ms.is_empty() {
+                None
+            } else {
+                let ws: Vec<f64> = ms.iter().map(|&v| weights[v as usize]).collect();
+                Some(AliasTable::new(&ws))
+            }
+        })
+        .collect();
+
+    let m_target = (n as f64 * cfg.avg_out_degree).round() as usize;
+    let mut builder = GraphBuilder::new(n, cfg.attributes).forbid_self_loops();
+    if cfg.undirected {
+        builder = builder.undirected();
+    }
+    for _ in 0..m_target {
+        let src = global.sample(&mut rng);
+        let dst = if rng.gen::<f64>() < cfg.p_in {
+            let cm = community[src] as usize;
+            let table = community_tables[cm].as_ref().expect("community of src is non-empty");
+            members[cm][table.sample(&mut rng)] as usize
+        } else {
+            global.sample(&mut rng)
+        };
+        if src != dst {
+            builder.add_edge(src, dst);
+        }
+    }
+
+    // Community attribute pools: contiguous, disjoint, equally sized.
+    let pool_size = (cfg.attributes / c).max(1);
+    let frac = cfg.attrs_per_node.fract();
+    for v in 0..n {
+        let cm = community[v] as usize;
+        let pool_start = (cm * pool_size) % cfg.attributes;
+        let mut picked: Vec<usize> = Vec::new();
+        let k = cfg.attrs_per_node.floor() as usize + usize::from(rng.gen::<f64>() < frac);
+        for _ in 0..k {
+            let attr = if rng.gen::<f64>() < cfg.attr_noise {
+                rng.gen_range(0..cfg.attributes)
+            } else {
+                pool_start + rng.gen_range(0..pool_size.min(cfg.attributes - pool_start).max(1))
+            };
+            if !picked.contains(&attr) {
+                picked.push(attr);
+                builder.add_attribute(v, attr, 1.0);
+            }
+        }
+        builder.add_label(v, cm);
+        if cfg.multi_label && rng.gen::<f64>() < cfg.extra_label_prob {
+            builder.add_label(v, rng.gen_range(0..c));
+        }
+    }
+
+    let g = builder.build();
+    debug_assert_eq!(g.num_nodes(), n);
+    g
+}
+
+/// Fraction of edges whose endpoints share a primary label — a quick
+/// homophily diagnostic used by tests and dataset docs.
+pub fn edge_homophily(g: &AttributedGraph) -> f64 {
+    let mut intra = 0usize;
+    let mut total = 0usize;
+    for (i, j, _) in g.adjacency().iter() {
+        let li = g.labels_of(i).first();
+        let lj = g.labels_of(j).first();
+        if let (Some(a), Some(b)) = (li, lj) {
+            total += 1;
+            if a == b {
+                intra += 1;
+            }
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        intra as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> SbmConfig {
+        SbmConfig {
+            nodes: 400,
+            communities: 4,
+            avg_out_degree: 6.0,
+            p_in: 0.85,
+            attributes: 40,
+            attrs_per_node: 5.0,
+            attr_noise: 0.15,
+            seed: 11,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g1 = generate_sbm(&small_cfg());
+        let g2 = generate_sbm(&small_cfg());
+        assert_eq!(g1.num_edges(), g2.num_edges());
+        assert_eq!(g1.adjacency(), g2.adjacency());
+        assert_eq!(g1.attributes(), g2.attributes());
+        let mut other = small_cfg();
+        other.seed = 12;
+        let g3 = generate_sbm(&other);
+        assert_ne!(g1.adjacency(), g3.adjacency());
+    }
+
+    #[test]
+    fn sizes_are_close_to_requested() {
+        let g = generate_sbm(&small_cfg());
+        assert_eq!(g.num_nodes(), 400);
+        assert_eq!(g.num_attributes(), 40);
+        // Dedup and self-loop removal lose some edges; stay within 30%.
+        let m = g.num_edges() as f64;
+        assert!(m > 400.0 * 6.0 * 0.7, "too few edges: {m}");
+        assert!(m <= 400.0 * 6.0, "too many edges: {m}");
+        let apn = g.num_attribute_entries() as f64 / 400.0;
+        assert!((apn - 5.0).abs() < 1.0, "attrs per node {apn}");
+        assert_eq!(g.num_labels(), 4);
+    }
+
+    #[test]
+    fn homophily_controlled_by_p_in() {
+        let hi = edge_homophily(&generate_sbm(&small_cfg()));
+        let mut rnd = small_cfg();
+        rnd.p_in = 0.0;
+        let lo = edge_homophily(&generate_sbm(&rnd));
+        assert!(hi > 0.7, "expected strong homophily, got {hi}");
+        assert!(lo < 0.45, "expected near-random homophily, got {lo}");
+    }
+
+    #[test]
+    fn attributes_correlate_with_communities() {
+        let g = generate_sbm(&small_cfg());
+        let pool_size = 40 / 4;
+        let mut in_pool = 0usize;
+        let mut total = 0usize;
+        for (v, r, _) in g.attributes().iter() {
+            let cm = g.labels_of(v)[0] as usize;
+            total += 1;
+            if r / pool_size == cm {
+                in_pool += 1;
+            }
+        }
+        let frac = in_pool as f64 / total as f64;
+        // noise 0.15 with 1/4 of random draws landing in-pool anyway.
+        assert!(frac > 0.8, "attribute-community correlation too weak: {frac}");
+    }
+
+    #[test]
+    fn multi_label_adds_labels() {
+        let mut cfg = small_cfg();
+        cfg.multi_label = true;
+        cfg.extra_label_prob = 0.5;
+        let g = generate_sbm(&cfg);
+        let multi = (0..g.num_nodes()).filter(|&v| g.labels_of(v).len() > 1).count();
+        assert!(multi > 50, "expected many multi-labelled nodes, got {multi}");
+    }
+
+    #[test]
+    fn undirected_graphs_are_symmetric() {
+        let mut cfg = small_cfg();
+        cfg.undirected = true;
+        let g = generate_sbm(&cfg);
+        for (i, j, _) in g.adjacency().iter() {
+            assert!(g.adjacency().get(j, i) > 0.0, "missing reverse of ({i},{j})");
+        }
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        let g = generate_sbm(&SbmConfig { nodes: 2000, avg_out_degree: 8.0, seed: 3, ..small_cfg() });
+        let mut degs: Vec<usize> = (0..g.num_nodes()).map(|v| g.out_degree(v)).collect();
+        degs.sort_unstable_by(|a, b| b.cmp(a));
+        let top1pct: usize = degs[..20].iter().sum();
+        let total: usize = degs.iter().sum();
+        // In a power-law graph the top 1% of nodes holds far more than 1%
+        // of the out-degree mass.
+        assert!(top1pct as f64 / total as f64 > 0.05, "degrees look uniform");
+    }
+}

@@ -1,0 +1,328 @@
+//! The attributed graph type and its derived matrices.
+
+use pane_sparse::CsrMatrix;
+
+/// How the random-walk matrix `P = D⁻¹A` treats nodes with no out-edges.
+///
+/// The paper defines `P = D⁻¹A` without addressing out-degree-0 nodes (its
+/// datasets have few). The choice matters for Lemma 3.1, which needs `P`
+/// sub-stochastic:
+///
+/// * [`SelfLoop`](DanglingPolicy::SelfLoop) (default) — a walk at a dangling
+///   node stays there until it terminates; `P` stays row-stochastic, which
+///   matches the RWR convention of Tong et al. \[38\] and keeps every walk
+///   well-defined.
+/// * [`Absorb`](DanglingPolicy::Absorb) — the row stays zero; walk mass
+///   reaching the node and not terminating vanishes (the walk "falls off").
+/// * [`UniformJump`](DanglingPolicy::UniformJump) — the walk jumps to a
+///   uniformly random node (PageRank-style). Dense rows are materialized
+///   sparsely only for the affected nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DanglingPolicy {
+    /// Stay in place (row-stochastic; default).
+    #[default]
+    SelfLoop,
+    /// Zero row (sub-stochastic).
+    Absorb,
+    /// Jump to a uniformly random node.
+    UniformJump,
+}
+
+/// An attributed, directed graph `G = (V, E_V, R, E_R)` with optional node
+/// labels.
+///
+/// Construction goes through [`crate::GraphBuilder`] (or the loaders in
+/// [`crate::io`] / generators in [`crate::gen`]), which validate inputs and
+/// deduplicate.
+#[derive(Debug, Clone)]
+pub struct AttributedGraph {
+    /// `n × n` adjacency; `adj[i][j] = 1` iff edge `(v_i, v_j) ∈ E_V`.
+    adjacency: CsrMatrix,
+    /// `n × d` attribute matrix; `attr[i][j] = w_{i,j}` for `(v_i, r_j, w) ∈ E_R`.
+    attributes: CsrMatrix,
+    /// Per-node label sets (possibly empty), used for node classification.
+    labels: Vec<Vec<u32>>,
+    /// Total number of distinct labels (`|L|` in Table 3).
+    num_labels: usize,
+    /// Whether the graph was declared undirected (edges were symmetrized).
+    undirected: bool,
+}
+
+impl AttributedGraph {
+    /// Assembles a graph from pre-built parts. Intended for
+    /// [`crate::GraphBuilder`]; invariants are debug-asserted.
+    pub(crate) fn from_parts(
+        adjacency: CsrMatrix,
+        attributes: CsrMatrix,
+        labels: Vec<Vec<u32>>,
+        num_labels: usize,
+        undirected: bool,
+    ) -> Self {
+        debug_assert_eq!(adjacency.rows(), adjacency.cols());
+        debug_assert_eq!(adjacency.rows(), attributes.rows());
+        debug_assert_eq!(labels.len(), adjacency.rows());
+        Self { adjacency, attributes, labels, num_labels, undirected }
+    }
+
+    /// Number of nodes `n`.
+    pub fn num_nodes(&self) -> usize {
+        self.adjacency.rows()
+    }
+
+    /// Number of directed edges `m` (an undirected input counts twice).
+    pub fn num_edges(&self) -> usize {
+        self.adjacency.nnz()
+    }
+
+    /// Number of attributes `d`.
+    pub fn num_attributes(&self) -> usize {
+        self.attributes.cols()
+    }
+
+    /// Number of node–attribute associations `|E_R|`.
+    pub fn num_attribute_entries(&self) -> usize {
+        self.attributes.nnz()
+    }
+
+    /// Number of distinct labels `|L|`.
+    pub fn num_labels(&self) -> usize {
+        self.num_labels
+    }
+
+    /// Whether the graph was built as undirected.
+    pub fn is_undirected(&self) -> bool {
+        self.undirected
+    }
+
+    /// The adjacency matrix `A`.
+    pub fn adjacency(&self) -> &CsrMatrix {
+        &self.adjacency
+    }
+
+    /// The attribute matrix `R ∈ R^{n×d}`.
+    pub fn attributes(&self) -> &CsrMatrix {
+        &self.attributes
+    }
+
+    /// Labels of node `v`.
+    pub fn labels_of(&self, v: usize) -> &[u32] {
+        &self.labels[v]
+    }
+
+    /// All per-node label sets.
+    pub fn labels(&self) -> &[Vec<u32>] {
+        &self.labels
+    }
+
+    /// Out-degree of node `v`.
+    pub fn out_degree(&self, v: usize) -> usize {
+        self.adjacency.row_nnz(v)
+    }
+
+    /// Out-neighbors of `v` with edge weights.
+    pub fn out_neighbors(&self, v: usize) -> (&[u32], &[f64]) {
+        self.adjacency.row(v)
+    }
+
+    /// Attributes of `v` with weights.
+    pub fn node_attributes(&self, v: usize) -> (&[u32], &[f64]) {
+        self.attributes.row(v)
+    }
+
+    /// The random-walk matrix `P = D⁻¹A` under the given dangling policy.
+    pub fn random_walk_matrix(&self, policy: DanglingPolicy) -> CsrMatrix {
+        let n = self.num_nodes();
+        let sums = self.adjacency.row_sums();
+        match policy {
+            DanglingPolicy::Absorb => self.adjacency.normalize_rows(),
+            DanglingPolicy::SelfLoop => {
+                let dangling: Vec<usize> = (0..n).filter(|&i| sums[i] == 0.0).collect();
+                if dangling.is_empty() {
+                    return self.adjacency.normalize_rows();
+                }
+                let mut coo = pane_sparse::CooMatrix::with_capacity(n, n, self.adjacency.nnz() + dangling.len());
+                for (i, j, v) in self.adjacency.iter() {
+                    coo.push(i, j, v / sums[i]);
+                }
+                for &i in &dangling {
+                    coo.push(i, i, 1.0);
+                }
+                coo.to_csr()
+            }
+            DanglingPolicy::UniformJump => {
+                let dangling: Vec<usize> = (0..n).filter(|&i| sums[i] == 0.0).collect();
+                if dangling.is_empty() {
+                    return self.adjacency.normalize_rows();
+                }
+                let mut coo = pane_sparse::CooMatrix::with_capacity(n, n, self.adjacency.nnz() + dangling.len() * n);
+                for (i, j, v) in self.adjacency.iter() {
+                    coo.push(i, j, v / sums[i]);
+                }
+                let unif = 1.0 / n as f64;
+                for &i in &dangling {
+                    for j in 0..n {
+                        coo.push(i, j, unif);
+                    }
+                }
+                coo.to_csr()
+            }
+        }
+    }
+
+    /// Row-normalized attribute matrix `R_r`: `R_r[v, r] = R[v, r] / Σ_r R[v, r]`
+    /// — the probability that a forward walk terminating at `v` picks
+    /// attribute `r` (Eq. 1 / §2.2). Attribute-less nodes keep a zero row;
+    /// APMI's recurrence then realizes the paper's footnote-1 restart rule.
+    pub fn attr_row_normalized(&self) -> CsrMatrix {
+        self.attributes.normalize_rows()
+    }
+
+    /// Column-normalized attribute matrix `R_c`: `R_c[v, r] = R[v, r] / Σ_v R[v, r]`
+    /// — the probability that a backward walk from attribute `r` starts at
+    /// node `v` (Eq. 1 / §2.2).
+    pub fn attr_col_normalized(&self) -> CsrMatrix {
+        self.attributes.normalize_cols()
+    }
+
+    /// Returns the symmetrized graph (every edge doubled in both
+    /// directions), per §2.1: "if G is undirected, then we treat each edge
+    /// `(v_i, v_j)` as a pair of directed edges".
+    pub fn symmetrize(&self) -> AttributedGraph {
+        let n = self.num_nodes();
+        let mut coo = pane_sparse::CooMatrix::with_capacity(n, n, self.adjacency.nnz() * 2);
+        for (i, j, v) in self.adjacency.iter() {
+            coo.push(i, j, v);
+            // Add the reverse edge unless it already exists (avoids summing
+            // duplicates; preserves the weight of the forward direction).
+            if self.adjacency.get(j, i) == 0.0 {
+                coo.push(j, i, v);
+            }
+        }
+        let adj = coo.to_csr();
+        AttributedGraph::from_parts(adj, self.attributes.clone(), self.labels.clone(), self.num_labels, true)
+    }
+
+    /// Summary line in the spirit of Table 3.
+    pub fn stats(&self) -> GraphStats {
+        GraphStats {
+            nodes: self.num_nodes(),
+            edges: self.num_edges(),
+            attributes: self.num_attributes(),
+            attribute_entries: self.num_attribute_entries(),
+            labels: self.num_labels,
+        }
+    }
+}
+
+/// Dataset statistics (the columns of Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GraphStats {
+    /// `|V|`.
+    pub nodes: usize,
+    /// `|E_V|`.
+    pub edges: usize,
+    /// `|R|`.
+    pub attributes: usize,
+    /// `|E_R|`.
+    pub attribute_entries: usize,
+    /// `|L|`.
+    pub labels: usize,
+}
+
+impl std::fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "|V|={} |E_V|={} |R|={} |E_R|={} |L|={}",
+            self.nodes, self.edges, self.attributes, self.attribute_entries, self.labels
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn line_graph() -> AttributedGraph {
+        // v0 -> v1 -> v2, v2 dangling; attrs: v0:r0, v1:r0+r1.
+        let mut b = GraphBuilder::new(3, 2);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_attribute(0, 0, 1.0);
+        b.add_attribute(1, 0, 2.0);
+        b.add_attribute(1, 1, 2.0);
+        b.build()
+    }
+
+    #[test]
+    fn counts() {
+        let g = line_graph();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.num_attributes(), 2);
+        assert_eq!(g.num_attribute_entries(), 3);
+        assert_eq!(g.out_degree(0), 1);
+        assert_eq!(g.out_degree(2), 0);
+    }
+
+    #[test]
+    fn walk_matrix_self_loop() {
+        let g = line_graph();
+        let p = g.random_walk_matrix(DanglingPolicy::SelfLoop);
+        assert_eq!(p.get(0, 1), 1.0);
+        assert_eq!(p.get(2, 2), 1.0, "dangling node gets a self loop");
+        assert!(p.row_sums().iter().all(|&s| (s - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn walk_matrix_absorb() {
+        let g = line_graph();
+        let p = g.random_walk_matrix(DanglingPolicy::Absorb);
+        assert_eq!(p.row_sums()[2], 0.0);
+    }
+
+    #[test]
+    fn walk_matrix_uniform_jump() {
+        let g = line_graph();
+        let p = g.random_walk_matrix(DanglingPolicy::UniformJump);
+        let s = p.row_sums();
+        assert!((s[2] - 1.0).abs() < 1e-12);
+        assert!((p.get(2, 0) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn attr_normalizations() {
+        let g = line_graph();
+        let rr = g.attr_row_normalized();
+        assert_eq!(rr.get(0, 0), 1.0);
+        assert_eq!(rr.get(1, 0), 0.5);
+        assert_eq!(rr.get(1, 1), 0.5);
+        // node 2 has no attributes: zero row.
+        assert_eq!(rr.row_sums()[2], 0.0);
+        let rc = g.attr_col_normalized();
+        assert!((rc.get(0, 0) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((rc.get(1, 0) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(rc.get(1, 1), 1.0);
+    }
+
+    #[test]
+    fn symmetrize_doubles_edges() {
+        let g = line_graph();
+        let u = g.symmetrize();
+        assert!(u.is_undirected());
+        assert_eq!(u.num_edges(), 4);
+        assert_eq!(u.adjacency().get(1, 0), 1.0);
+        assert_eq!(u.adjacency().get(2, 1), 1.0);
+        // Symmetrizing twice is idempotent.
+        assert_eq!(u.symmetrize().num_edges(), 4);
+    }
+
+    #[test]
+    fn stats_display() {
+        let g = line_graph();
+        let s = g.stats();
+        assert_eq!(s.nodes, 3);
+        assert_eq!(format!("{s}"), "|V|=3 |E_V|=2 |R|=2 |E_R|=3 |L|=0");
+    }
+}

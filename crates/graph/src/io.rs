@@ -1,0 +1,295 @@
+//! Plain-text loaders and writers for attributed graphs.
+//!
+//! The formats mirror what the paper's datasets ship as:
+//!
+//! * **edge list** — one `src dst` pair per line (whitespace separated);
+//! * **attribute triples** — one `node attr weight` per line (weight
+//!   optional, default 1.0) — the `E_R` tuples of §2.1;
+//! * **labels** — one `node label [label ...]` per line (multi-label).
+//!
+//! Lines starting with `#` or `%` are comments. All loaders are buffered
+//! (these files reach hundreds of millions of lines for MAG-scale data).
+
+use crate::builder::GraphBuilder;
+use crate::graph::AttributedGraph;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Errors raised by the loaders.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying file error.
+    Io(io::Error),
+    /// Malformed line, with file kind, line number and message.
+    Parse {
+        /// Which loader raised the error ("edge", "attribute", "label", …).
+        kind: &'static str,
+        /// 1-based line number (0 for binary formats).
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "I/O error: {e}"),
+            IoError::Parse { kind, line, message } => {
+                write!(f, "parse error in {kind} file, line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<io::Error> for IoError {
+    fn from(e: io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+fn is_comment(line: &str) -> bool {
+    let t = line.trim_start();
+    t.is_empty() || t.starts_with('#') || t.starts_with('%')
+}
+
+/// Streams `(src, dst)` pairs from an edge-list reader.
+pub fn parse_edges<R: BufRead>(reader: R) -> Result<Vec<(usize, usize)>, IoError> {
+    let mut out = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        if is_comment(&line) {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let parse = |tok: Option<&str>, what: &str| -> Result<usize, IoError> {
+            tok.ok_or_else(|| IoError::Parse {
+                kind: "edge",
+                line: lineno + 1,
+                message: format!("missing {what}"),
+            })?
+            .parse()
+            .map_err(|e| IoError::Parse { kind: "edge", line: lineno + 1, message: format!("bad {what}: {e}") })
+        };
+        let s = parse(it.next(), "source")?;
+        let t = parse(it.next(), "target")?;
+        out.push((s, t));
+    }
+    Ok(out)
+}
+
+/// Streams `(node, attr, weight)` triples from an attribute reader.
+pub fn parse_attributes<R: BufRead>(reader: R) -> Result<Vec<(usize, usize, f64)>, IoError> {
+    let mut out = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        if is_comment(&line) {
+            continue;
+        }
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        if toks.len() < 2 || toks.len() > 3 {
+            return Err(IoError::Parse {
+                kind: "attribute",
+                line: lineno + 1,
+                message: format!("expected 'node attr [weight]', got {} tokens", toks.len()),
+            });
+        }
+        let parse_idx = |tok: &str, what: &str| -> Result<usize, IoError> {
+            tok.parse().map_err(|e| IoError::Parse {
+                kind: "attribute",
+                line: lineno + 1,
+                message: format!("bad {what}: {e}"),
+            })
+        };
+        let v = parse_idx(toks[0], "node")?;
+        let r = parse_idx(toks[1], "attribute")?;
+        let w = if toks.len() == 3 {
+            toks[2].parse().map_err(|e| IoError::Parse {
+                kind: "attribute",
+                line: lineno + 1,
+                message: format!("bad weight: {e}"),
+            })?
+        } else {
+            1.0
+        };
+        out.push((v, r, w));
+    }
+    Ok(out)
+}
+
+/// Streams `node label [label ...]` lines from a label reader.
+pub fn parse_labels<R: BufRead>(reader: R) -> Result<Vec<(usize, Vec<usize>)>, IoError> {
+    let mut out = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        if is_comment(&line) {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let v: usize = it
+            .next()
+            .ok_or_else(|| IoError::Parse { kind: "label", line: lineno + 1, message: "empty line".into() })?
+            .parse()
+            .map_err(|e| IoError::Parse { kind: "label", line: lineno + 1, message: format!("bad node: {e}") })?;
+        let mut labels = Vec::new();
+        for tok in it {
+            labels.push(tok.parse().map_err(|e| IoError::Parse {
+                kind: "label",
+                line: lineno + 1,
+                message: format!("bad label: {e}"),
+            })?);
+        }
+        out.push((v, labels));
+    }
+    Ok(out)
+}
+
+/// Loads an attributed graph from separate files.
+///
+/// `num_nodes`/`num_attributes` may be `None`, in which case they are
+/// inferred as `1 + max index` seen across the files.
+pub fn load_graph(
+    edges_path: &Path,
+    attrs_path: Option<&Path>,
+    labels_path: Option<&Path>,
+    num_nodes: Option<usize>,
+    num_attributes: Option<usize>,
+    undirected: bool,
+) -> Result<AttributedGraph, IoError> {
+    let edges = parse_edges(BufReader::new(File::open(edges_path)?))?;
+    let attrs = match attrs_path {
+        Some(p) => parse_attributes(BufReader::new(File::open(p)?))?,
+        None => Vec::new(),
+    };
+    let labels = match labels_path {
+        Some(p) => parse_labels(BufReader::new(File::open(p)?))?,
+        None => Vec::new(),
+    };
+
+    let n = num_nodes.unwrap_or_else(|| {
+        let me = edges.iter().map(|&(s, t)| s.max(t) + 1).max().unwrap_or(0);
+        let ma = attrs.iter().map(|&(v, _, _)| v + 1).max().unwrap_or(0);
+        let ml = labels.iter().map(|&(v, _)| v + 1).max().unwrap_or(0);
+        me.max(ma).max(ml)
+    });
+    let d = num_attributes.unwrap_or_else(|| attrs.iter().map(|&(_, r, _)| r + 1).max().unwrap_or(0));
+
+    let mut b = GraphBuilder::new(n, d);
+    if undirected {
+        b = b.undirected();
+    }
+    for (s, t) in edges {
+        b.add_edge(s, t);
+    }
+    for (v, r, w) in attrs {
+        b.add_attribute(v, r, w);
+    }
+    for (v, ls) in labels {
+        for l in ls {
+            b.add_label(v, l);
+        }
+    }
+    Ok(b.build())
+}
+
+/// Writes the graph back out as the three text files.
+pub fn save_graph(g: &AttributedGraph, edges_path: &Path, attrs_path: &Path, labels_path: &Path) -> Result<(), IoError> {
+    let mut ew = BufWriter::new(File::create(edges_path)?);
+    writeln!(ew, "# src dst")?;
+    for (i, j, _) in g.adjacency().iter() {
+        writeln!(ew, "{i} {j}")?;
+    }
+    ew.flush()?;
+
+    let mut aw = BufWriter::new(File::create(attrs_path)?);
+    writeln!(aw, "# node attr weight")?;
+    for (v, r, w) in g.attributes().iter() {
+        writeln!(aw, "{v} {r} {w}")?;
+    }
+    aw.flush()?;
+
+    let mut lw = BufWriter::new(File::create(labels_path)?);
+    writeln!(lw, "# node labels...")?;
+    for v in 0..g.num_nodes() {
+        let ls = g.labels_of(v);
+        if !ls.is_empty() {
+            let body: Vec<String> = ls.iter().map(|l| l.to_string()).collect();
+            writeln!(lw, "{v} {}", body.join(" "))?;
+        }
+    }
+    lw.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parse_edges_with_comments() {
+        let text = "# header\n0 1\n\n% other comment\n2 0\n";
+        let e = parse_edges(Cursor::new(text)).unwrap();
+        assert_eq!(e, vec![(0, 1), (2, 0)]);
+    }
+
+    #[test]
+    fn parse_edges_rejects_garbage() {
+        let err = parse_edges(Cursor::new("0 x\n")).unwrap_err();
+        let msg = format!("{err}");
+        assert!(msg.contains("line 1"), "{msg}");
+    }
+
+    #[test]
+    fn parse_attributes_defaults_weight() {
+        let text = "0 3\n1 2 0.5\n";
+        let a = parse_attributes(Cursor::new(text)).unwrap();
+        assert_eq!(a, vec![(0, 3, 1.0), (1, 2, 0.5)]);
+    }
+
+    #[test]
+    fn parse_attributes_arity_checked() {
+        assert!(parse_attributes(Cursor::new("0 1 2 3\n")).is_err());
+        assert!(parse_attributes(Cursor::new("0\n")).is_err());
+    }
+
+    #[test]
+    fn parse_labels_multi() {
+        let l = parse_labels(Cursor::new("3 0 2 5\n1 4\n")).unwrap();
+        assert_eq!(l, vec![(3, vec![0, 2, 5]), (1, vec![4])]);
+    }
+
+    #[test]
+    fn roundtrip_through_files() {
+        let dir = std::env::temp_dir().join(format!("pane_io_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let (ep, ap, lp) = (dir.join("e.txt"), dir.join("a.txt"), dir.join("l.txt"));
+
+        let mut b = GraphBuilder::new(4, 3);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(3, 0);
+        b.add_attribute(0, 0, 1.0);
+        b.add_attribute(2, 1, 2.5);
+        b.add_label(0, 1);
+        b.add_label(2, 0);
+        b.add_label(2, 1);
+        let g = b.build();
+
+        save_graph(&g, &ep, &ap, &lp).unwrap();
+        let g2 = load_graph(&ep, Some(&ap), Some(&lp), Some(4), Some(3), false).unwrap();
+        assert_eq!(g2.num_edges(), 3);
+        assert_eq!(g2.attributes().get(2, 1), 2.5);
+        assert_eq!(g2.labels_of(2), &[0, 1]);
+
+        // Inference of n and d from content.
+        let g3 = load_graph(&ep, Some(&ap), Some(&lp), None, None, false).unwrap();
+        assert_eq!(g3.num_nodes(), 4);
+        assert_eq!(g3.num_attributes(), 2); // max attr index 1 -> d=2
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

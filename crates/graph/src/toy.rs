@@ -1,0 +1,111 @@
+//! The running example of the paper (Figure 1, Table 2).
+//!
+//! The paper's Figure 1 shows an extended graph with 6 nodes `v1..v6`, 3
+//! attributes `r1..r3` and unit attribute weights. The figure itself is an
+//! image, so the exact edge list is not recoverable from the text; this
+//! module builds a graph **consistent with every property the prose
+//! states**:
+//!
+//! * `v1` and `v2` carry no attributes (§2.1, example description);
+//! * `v1` "is connected to `r1` via many different intermediate nodes,
+//!   i.e. `v3, v4, v5`" — so `v1` has edges toward `v3, v4, v5`, each of
+//!   which owns `r1`;
+//! * `v5` "owns `r1` but not `r3`" yet has **higher forward affinity with
+//!   `r3` than with `r1`" — so `v5`'s out-neighborhood is dominated by
+//!   `r3`-owners (`v6`), while the backward affinity repairs the ranking;
+//! * `(v3, r1, w_{3,1}) ∈ E_R`.
+//!
+//! `exp_table2` (see `pane-bench`) prints this graph's exact forward and
+//! backward affinities at `α = 0.15` next to Monte-Carlo estimates, playing
+//! the role of Table 2; the qualitative assertions above are unit-tested.
+
+use crate::builder::GraphBuilder;
+use crate::graph::AttributedGraph;
+
+/// Node ids of the running example (`V1 == 0`, …).
+pub mod nodes {
+    /// v1 (no attributes).
+    pub const V1: usize = 0;
+    /// v2 (no attributes).
+    pub const V2: usize = 1;
+    /// v3 (owns r1, r2).
+    pub const V3: usize = 2;
+    /// v4 (owns r1).
+    pub const V4: usize = 3;
+    /// v5 (owns r1, r2).
+    pub const V5: usize = 4;
+    /// v6 (owns r3).
+    pub const V6: usize = 5;
+}
+
+/// Attribute ids of the running example.
+pub mod attrs {
+    /// r1.
+    pub const R1: usize = 0;
+    /// r2.
+    pub const R2: usize = 1;
+    /// r3.
+    pub const R3: usize = 2;
+}
+
+/// The paper's default stopping probability for the example (§2.3).
+pub const EXAMPLE_ALPHA: f64 = 0.15;
+
+/// Builds the Figure-1 running example graph.
+pub fn figure1_graph() -> AttributedGraph {
+    use attrs::*;
+    use nodes::*;
+    let mut b = GraphBuilder::new(6, 3);
+    // v1 reaches r1 through v3, v4, v5 (bidirectional links as drawn).
+    b.add_edge(V1, V3);
+    b.add_edge(V3, V1);
+    b.add_edge(V1, V4);
+    b.add_edge(V4, V1);
+    b.add_edge(V1, V5);
+    b.add_edge(V5, V1);
+    // v2 sits next to v3 and v4.
+    b.add_edge(V2, V3);
+    b.add_edge(V3, V2);
+    b.add_edge(V2, V4);
+    // v5 points at v6 (the r3 owner), giving v5 high *forward* affinity to
+    // r3; v6 has no out-edges, so backward walks from r3 stay at v6 and the
+    // backward affinity B[v5, r3] stays low — exactly the asymmetry the
+    // example illustrates.
+    b.add_edge(V5, V6);
+
+    // Attribute associations, all with weight 1 (as the example assumes).
+    b.add_attribute(V3, R1, 1.0);
+    b.add_attribute(V3, R2, 1.0);
+    b.add_attribute(V4, R1, 1.0);
+    b.add_attribute(V5, R1, 1.0);
+    b.add_attribute(V5, R2, 1.0);
+    b.add_attribute(V6, R3, 1.0);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stated_properties_hold() {
+        let g = figure1_graph();
+        assert_eq!(g.num_nodes(), 6);
+        assert_eq!(g.num_attributes(), 3);
+        // v1 and v2 have no attributes.
+        assert_eq!(g.node_attributes(nodes::V1).0.len(), 0);
+        assert_eq!(g.node_attributes(nodes::V2).0.len(), 0);
+        // v3, v4, v5 own r1.
+        for v in [nodes::V3, nodes::V4, nodes::V5] {
+            assert!(g.attributes().get(v, attrs::R1) > 0.0, "v{} should own r1", v + 1);
+        }
+        // v5 owns r1 but not r3.
+        assert!(g.attributes().get(nodes::V5, attrs::R3) == 0.0);
+        // v6 owns r3.
+        assert!(g.attributes().get(nodes::V6, attrs::R3) > 0.0);
+        // v1 links to the three intermediates.
+        for v in [nodes::V3, nodes::V4, nodes::V5] {
+            assert!(g.adjacency().get(nodes::V1, v) > 0.0);
+        }
+    }
+}

@@ -1,0 +1,326 @@
+//! Monte-Carlo simulation of the paper's random-walk model (§2.2).
+//!
+//! PANE never actually samples walks — APMI computes the walk distributions
+//! in closed form. This simulator exists for two purposes:
+//!
+//! 1. **ground truth for tests**: sampled estimates of `p_f`/`p_b` must
+//!    converge to APMI's `P_f^{(t)}`/`P_b^{(t)}` as `n_r → ∞` and `t → ∞`;
+//! 2. **Table 2**: the paper's running-example affinities are "calculated
+//!    based on Equations (2) and (3), using simulated random walks".
+//!
+//! A **forward walk** from node `v_i`: at each step terminate with
+//! probability `α`, otherwise move to a uniformly random out-neighbor.
+//! On termination at `v_l`, pick attribute `r_j` with probability
+//! `R_r[v_l, r_j]`; the walk yields the pair `(v_i, r_j)`.
+//!
+//! A **backward walk** from attribute `r_j`: pick a start node
+//! `v_l ~ R_c[·, r_j]`, walk the same way, and yield `(r_j, v_i)` for the
+//! terminal node `v_i`.
+//!
+//! Nodes without attributes (footnote 1 of the paper): the walk "restarts
+//! from the source node and repeats the process". Note this *conditions*
+//! the output distribution on eventually hitting an attributed node, which
+//! renormalizes `p_f(v_i, ·)` by the success probability, whereas the
+//! matrix form (Eq. 5) leaves the lost mass unnormalized. The two coincide
+//! exactly when every node carries at least one attribute; otherwise they
+//! differ by a per-row factor. [`RestartRule`] exposes both semantics; use
+//! [`RestartRule::Discard`] when validating APMI.
+
+use crate::graph::{AttributedGraph, DanglingPolicy};
+use pane_linalg::DenseMatrix;
+use pane_sparse::CsrMatrix;
+use rand::Rng;
+
+/// What to do when a walk terminates at a node with no attributes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RestartRule {
+    /// Restart the walk from the source (the paper's footnote 1).
+    #[default]
+    RestartFromSource,
+    /// Count the walk as yielding no pair (matches the matrix form, Eq. 5).
+    Discard,
+}
+
+/// Cumulative-weight tables for O(log nnz) weighted sampling from the rows
+/// of a sparse matrix.
+struct RowSampler {
+    matrix: CsrMatrix,
+    /// Per-entry cumulative weights, aligned with the CSR value array; each
+    /// row's run ends at the row's total weight.
+    cumsums: Vec<f64>,
+    /// Start offset of each row's run inside `cumsums` (`rows + 1` entries).
+    offsets: Vec<usize>,
+    /// Per-row total weight.
+    totals: Vec<f64>,
+}
+
+impl RowSampler {
+    fn new(matrix: CsrMatrix) -> Self {
+        let mut cumsums = Vec::with_capacity(matrix.nnz());
+        let mut offsets = Vec::with_capacity(matrix.rows() + 1);
+        let mut totals = Vec::with_capacity(matrix.rows());
+        offsets.push(0);
+        for i in 0..matrix.rows() {
+            let (_, vals) = matrix.row(i);
+            let mut acc = 0.0;
+            for &v in vals {
+                acc += v;
+                cumsums.push(acc);
+            }
+            offsets.push(cumsums.len());
+            totals.push(acc);
+        }
+        Self { matrix, cumsums, offsets, totals }
+    }
+
+    /// Samples a column index of row `i` proportionally to the weights, or
+    /// `None` for an empty/zero row.
+    fn sample<R: Rng + ?Sized>(&self, i: usize, rng: &mut R) -> Option<u32> {
+        let total = self.totals[i];
+        if total <= 0.0 {
+            return None;
+        }
+        let (cols, vals) = self.matrix.row(i);
+        debug_assert!(!vals.is_empty());
+        let run = &self.cumsums[self.offsets[i]..self.offsets[i + 1]];
+        let x = rng.gen::<f64>() * total;
+        let pos = run.partition_point(|&c| c <= x).min(vals.len() - 1);
+        Some(cols[pos])
+    }
+}
+
+/// Simulator of forward/backward random walks on the extended graph.
+pub struct WalkSimulator {
+    /// Walk matrix sampler: neighbors weighted as in `P` rows.
+    p: RowSampler,
+    /// `R_r` sampler: terminal node → attribute.
+    rr: RowSampler,
+    /// `R_cᵀ` sampler: attribute → start node.
+    rct: RowSampler,
+    alpha: f64,
+    restart: RestartRule,
+    /// Hard cap on restarts so graphs with unreachable attributes terminate.
+    max_restarts: usize,
+    n: usize,
+    d: usize,
+}
+
+impl WalkSimulator {
+    /// Builds a simulator for `graph` with stopping probability `alpha`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < alpha < 1`.
+    pub fn new(graph: &AttributedGraph, alpha: f64, policy: DanglingPolicy, restart: RestartRule) -> Self {
+        assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1), got {alpha}");
+        let p = graph.random_walk_matrix(policy);
+        let rr = graph.attr_row_normalized();
+        let rct = graph.attr_col_normalized().transpose();
+        Self {
+            p: RowSampler::new(p),
+            rr: RowSampler::new(rr),
+            rct: RowSampler::new(rct),
+            alpha,
+            restart,
+            max_restarts: 1000,
+            n: graph.num_nodes(),
+            d: graph.num_attributes(),
+        }
+    }
+
+    /// Walks from `start` until termination; returns the terminal node.
+    fn terminal_node<R: Rng + ?Sized>(&self, start: usize, rng: &mut R) -> usize {
+        let mut cur = start;
+        loop {
+            if rng.gen::<f64>() < self.alpha {
+                return cur;
+            }
+            match self.p.sample(cur, rng) {
+                Some(next) => cur = next as usize,
+                // Absorb policy: the walk has nowhere to go; under RWR
+                // semantics it can only end here.
+                None => return cur,
+            }
+        }
+    }
+
+    /// One forward walk from `v`; returns the sampled attribute, or `None`
+    /// if the walk yields no pair (per the restart rule / restart cap).
+    pub fn forward_walk<R: Rng + ?Sized>(&self, v: usize, rng: &mut R) -> Option<u32> {
+        for _ in 0..=self.max_restarts {
+            let vl = self.terminal_node(v, rng);
+            match self.rr.sample(vl, rng) {
+                Some(attr) => return Some(attr),
+                None => match self.restart {
+                    RestartRule::Discard => return None,
+                    RestartRule::RestartFromSource => continue,
+                },
+            }
+        }
+        None
+    }
+
+    /// One backward walk from attribute `r`; returns the terminal node, or
+    /// `None` if no node carries `r`.
+    pub fn backward_walk<R: Rng + ?Sized>(&self, r: usize, rng: &mut R) -> Option<u32> {
+        let start = self.rct.sample(r, rng)?;
+        Some(self.terminal_node(start as usize, rng) as u32)
+    }
+
+    /// Estimates `p_f` by sampling `nr` forward walks per node.
+    pub fn estimate_forward<R: Rng + ?Sized>(&self, nr: usize, rng: &mut R) -> DenseMatrix {
+        let mut pf = DenseMatrix::zeros(self.n, self.d);
+        let inc = 1.0 / nr as f64;
+        for v in 0..self.n {
+            for _ in 0..nr {
+                if let Some(r) = self.forward_walk(v, rng) {
+                    pf.add_at(v, r as usize, inc);
+                }
+            }
+        }
+        pf
+    }
+
+    /// Estimates `p_b` by sampling `nr` backward walks per attribute.
+    pub fn estimate_backward<R: Rng + ?Sized>(&self, nr: usize, rng: &mut R) -> DenseMatrix {
+        let mut pb = DenseMatrix::zeros(self.n, self.d);
+        let inc = 1.0 / nr as f64;
+        for r in 0..self.d {
+            for _ in 0..nr {
+                if let Some(v) = self.backward_walk(r, rng) {
+                    pb.add_at(v as usize, r, inc);
+                }
+            }
+        }
+        pb
+    }
+
+    /// Empirical forward/backward affinities via Equations (2) and (3)
+    /// applied to sampled walk frequencies.
+    pub fn empirical_affinities<R: Rng + ?Sized>(&self, nr: usize, rng: &mut R) -> (DenseMatrix, DenseMatrix) {
+        let pf = self.estimate_forward(nr, rng);
+        let pb = self.estimate_backward(nr, rng);
+        (affinity_from_forward(&pf), affinity_from_backward(&pb))
+    }
+}
+
+/// Eq. (2): `F[v,r] = ln(n · p_f(v,r) / Σ_u p_f(u,r) + 1)`.
+pub fn affinity_from_forward(pf: &DenseMatrix) -> DenseMatrix {
+    let n = pf.rows();
+    let col = pf.col_sums();
+    let mut f = pf.clone();
+    for i in 0..f.rows() {
+        let row = f.row_mut(i);
+        for (j, x) in row.iter_mut().enumerate() {
+            *x = if col[j] > 0.0 { (n as f64 * *x / col[j] + 1.0).ln() } else { 0.0 };
+        }
+    }
+    f
+}
+
+/// Eq. (3): `B[v,r] = ln(d · p_b(v,r) / Σ_s p_b(v,s) + 1)`.
+pub fn affinity_from_backward(pb: &DenseMatrix) -> DenseMatrix {
+    let d = pb.cols();
+    let rowsum = pb.row_sums();
+    let mut b = pb.clone();
+    for i in 0..b.rows() {
+        let s = rowsum[i];
+        let row = b.row_mut(i);
+        for x in row.iter_mut() {
+            *x = if s > 0.0 { (d as f64 * *x / s + 1.0).ln() } else { 0.0 };
+        }
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Two nodes: v0 -> v1, each with its own attribute.
+    fn two_node_graph() -> AttributedGraph {
+        let mut b = GraphBuilder::new(2, 2);
+        b.add_edge(0, 1);
+        b.add_edge(1, 0);
+        b.add_attribute(0, 0, 1.0);
+        b.add_attribute(1, 1, 1.0);
+        b.build()
+    }
+
+    #[test]
+    fn forward_walk_distribution_matches_closed_form() {
+        // For the 2-cycle with alpha: P(stop at start) = a + (1-a)^2 a + ...
+        // = a / (1 - (1-a)^2); P(stop at other) = (1-a)a / (1 - (1-a)^2).
+        let g = two_node_graph();
+        let alpha = 0.5;
+        let sim = WalkSimulator::new(&g, alpha, DanglingPolicy::SelfLoop, RestartRule::Discard);
+        let mut rng = StdRng::seed_from_u64(99);
+        let nr = 60_000;
+        let pf = sim.estimate_forward(nr, &mut rng);
+        let q = 1.0 - alpha;
+        let stay = alpha / (1.0 - q * q);
+        let go = q * alpha / (1.0 - q * q);
+        assert!((pf.get(0, 0) - stay).abs() < 0.01, "{} vs {}", pf.get(0, 0), stay);
+        assert!((pf.get(0, 1) - go).abs() < 0.01);
+        assert!((pf.get(1, 1) - stay).abs() < 0.01);
+    }
+
+    #[test]
+    fn backward_walk_distribution() {
+        let g = two_node_graph();
+        let alpha = 0.5;
+        let sim = WalkSimulator::new(&g, alpha, DanglingPolicy::SelfLoop, RestartRule::Discard);
+        let mut rng = StdRng::seed_from_u64(7);
+        let pb = sim.estimate_backward(60_000, &mut rng);
+        // Attribute 0 is owned only by v0, so backward walks start at v0.
+        let q = 1.0 - alpha;
+        let stay = alpha / (1.0 - q * q);
+        assert!((pb.get(0, 0) - stay).abs() < 0.01);
+        assert!((pb.get(1, 0) - (1.0 - stay)).abs() < 0.01);
+    }
+
+    #[test]
+    fn restart_rule_conditions_distribution() {
+        // v0 has no attributes; v0 -> v1 (attr r0), v0 -> v2 (no attrs, sink).
+        let mut b = GraphBuilder::new(3, 1);
+        b.add_edge(0, 1);
+        b.add_edge(0, 2);
+        b.add_attribute(1, 0, 1.0);
+        let g = b.build();
+        let sim_restart = WalkSimulator::new(&g, 0.3, DanglingPolicy::SelfLoop, RestartRule::RestartFromSource);
+        let sim_discard = WalkSimulator::new(&g, 0.3, DanglingPolicy::SelfLoop, RestartRule::Discard);
+        let mut rng = StdRng::seed_from_u64(1);
+        let nr = 20_000;
+        let pf_r = sim_restart.estimate_forward(nr, &mut rng);
+        let pf_d = sim_discard.estimate_forward(nr, &mut rng);
+        // With restarts every successful walk ends at r0: probability 1.
+        assert!((pf_r.get(0, 0) - 1.0).abs() < 0.02, "{}", pf_r.get(0, 0));
+        // Without restarts only the walks reaching v1 count: strictly less.
+        assert!(pf_d.get(0, 0) < 0.7, "{}", pf_d.get(0, 0));
+    }
+
+    #[test]
+    fn affinity_formulas_hand_checked() {
+        let pf = DenseMatrix::from_rows(&[vec![0.4, 0.0], vec![0.2, 0.6]]);
+        let f = affinity_from_forward(&pf);
+        // col sums: 0.6, 0.6; n = 2
+        assert!((f.get(0, 0) - (2.0 * 0.4 / 0.6 + 1.0f64).ln()).abs() < 1e-12);
+        assert_eq!(f.get(0, 1), 0.0f64.ln().max(0.0)); // 0 -> ln(1) = 0
+        let pb = DenseMatrix::from_rows(&[vec![0.4, 0.0], vec![0.2, 0.6]]);
+        let bm = affinity_from_backward(&pb);
+        // row 1 sum: 0.8; d = 2
+        assert!((bm.get(1, 1) - (2.0 * 0.6 / 0.8 + 1.0f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn walks_never_panic_on_edgeless_graph() {
+        let b = GraphBuilder::new(3, 2);
+        let g = b.build(); // no edges, no attributes
+        let sim = WalkSimulator::new(&g, 0.5, DanglingPolicy::SelfLoop, RestartRule::RestartFromSource);
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(sim.forward_walk(0, &mut rng), None);
+        assert_eq!(sim.backward_walk(0, &mut rng), None);
+    }
+}

@@ -1,0 +1,250 @@
+//! One-sided Jacobi SVD.
+//!
+//! Used as the "small exact SVD" inside RandSVD: after sketching, the
+//! problem is reduced to an `ℓ × d` (or `ℓ × ℓ`) matrix with tiny `ℓ`,
+//! for which one-sided Jacobi is simple, accurate (it computes even tiny
+//! singular values to high relative accuracy) and has no LAPACK dependency.
+//!
+//! The method orthogonalizes the **columns** of a working copy `W` of the
+//! input by a sequence of plane rotations `W ← W·J(p,q,θ)`, accumulating the
+//! rotations into `V`. At convergence `W = U·Σ` with `U` orthonormal, so
+//! `A = U·Σ·Vᵀ`.
+
+use crate::dense::DenseMatrix;
+use crate::vecops;
+
+/// Singular value decomposition `A = U · diag(s) · Vᵀ`.
+pub struct JacobiSvd {
+    /// `n × r` with orthonormal columns.
+    pub u: DenseMatrix,
+    /// Singular values, descending, length `r`.
+    pub s: Vec<f64>,
+    /// `m × r` with orthonormal columns.
+    pub v: DenseMatrix,
+    /// Number of sweeps performed.
+    pub sweeps: usize,
+}
+
+/// Maximum number of sweeps before giving up (converges in ~10 for the
+/// matrix sizes used here; 60 is a generous safety margin).
+const MAX_SWEEPS: usize = 60;
+
+/// Relative off-diagonal tolerance for convergence.
+const TOL: f64 = 1e-13;
+
+/// Full-rank one-sided Jacobi SVD of `a` (`n × m`).
+///
+/// Returns factors of rank `r = min(n, m)`. For numerical rank deficiency
+/// the trailing singular values are ≈0 and the matching `U` columns are the
+/// (arbitrary) orthonormal completion produced by column normalization of
+/// near-zero columns — callers truncate by `s` when they care.
+///
+/// Internally transposes wide inputs so the working matrix is always tall.
+pub fn jacobi_svd(a: &DenseMatrix) -> JacobiSvd {
+    if a.rows() >= a.cols() {
+        jacobi_svd_tall(a)
+    } else {
+        // A = U Σ Vᵀ  ⇔  Aᵀ = V Σ Uᵀ
+        let t = jacobi_svd_tall(&a.transpose());
+        JacobiSvd { u: t.v, s: t.s, v: t.u, sweeps: t.sweeps }
+    }
+}
+
+fn jacobi_svd_tall(a: &DenseMatrix) -> JacobiSvd {
+    let n = a.rows();
+    let m = a.cols();
+    debug_assert!(n >= m);
+    // Work on the transpose so "columns" of A are contiguous rows here.
+    let mut wt = a.transpose(); // m × n
+    let mut vt = DenseMatrix::identity(m); // accumulates V as rows of Vᵀ... see below
+
+    // We accumulate rotations in V directly: represent V as row-major m × m,
+    // and rotate its *rows* p and q the same way we rotate W's columns
+    // (rows of wt). This yields V with V[i][j] = rotation product, and at
+    // convergence A·V = U·Σ, i.e. A = U·Σ·Vᵀ with V = vt viewed as m × m
+    // where column j of V is... we maintain the invariant wt = (A·V)ᵀ, so V
+    // is updated as V ← V·J, meaning rows of vtᵀ... To keep indexing simple
+    // we store `v` as m × m row-major and update rows p, q with the same
+    // rotation coefficients, maintaining wt.row(j) = (A · v_col_j)ᵀ where
+    // v_col_j = v.row(j). So at the end, V (with columns v_col_j) has
+    // row-major representation = vᵀ; we transpose once when packaging.
+    let frob = a.frob_norm();
+    let mut sweeps = 0;
+    if frob > 0.0 {
+        for sweep in 0..MAX_SWEEPS {
+            sweeps = sweep + 1;
+            let mut rotated = false;
+            for p in 0..m {
+                for q in (p + 1)..m {
+                    let (wp, wq) = pair_mut(&mut wt, p, q, n);
+                    let app = vecops::norm2_sq(wp);
+                    let aqq = vecops::norm2_sq(wq);
+                    let apq = vecops::dot(wp, wq);
+                    if apq.abs() <= TOL * (app * aqq).sqrt() || apq == 0.0 {
+                        continue;
+                    }
+                    rotated = true;
+                    // Classic Jacobi rotation annihilating the (p,q) Gram entry.
+                    let zeta = (aqq - app) / (2.0 * apq);
+                    let t = zeta.signum() / (zeta.abs() + (1.0 + zeta * zeta).sqrt());
+                    let c = 1.0 / (1.0 + t * t).sqrt();
+                    let s = c * t;
+                    rotate(wp, wq, c, s);
+                    let (vp, vq) = pair_mut(&mut vt, p, q, m);
+                    rotate(vp, vq, c, s);
+                }
+            }
+            if !rotated {
+                break;
+            }
+        }
+    }
+
+    // Singular values = column norms of the rotated A (rows of wt).
+    let mut order: Vec<usize> = (0..m).collect();
+    let norms: Vec<f64> = (0..m).map(|j| vecops::norm2(wt.row(j))).collect();
+    order.sort_by(|&i, &j| norms[j].partial_cmp(&norms[i]).unwrap());
+
+    let mut u = DenseMatrix::zeros(n, m);
+    let mut v = DenseMatrix::zeros(m, m);
+    let mut s = Vec::with_capacity(m);
+    for (out_j, &src_j) in order.iter().enumerate() {
+        let sigma = norms[src_j];
+        s.push(sigma);
+        if sigma > 0.0 {
+            let inv = 1.0 / sigma;
+            for i in 0..n {
+                u.set(i, out_j, wt.get(src_j, i) * inv);
+            }
+        }
+        for i in 0..m {
+            v.set(i, out_j, vt.get(src_j, i));
+        }
+    }
+    JacobiSvd { u, s, v, sweeps }
+}
+
+/// Two distinct rows as mutable slices.
+fn pair_mut(mat: &mut DenseMatrix, p: usize, q: usize, width: usize) -> (&mut [f64], &mut [f64]) {
+    debug_assert!(p < q);
+    let data = mat.data_mut();
+    let (head, tail) = data.split_at_mut(q * width);
+    (&mut head[p * width..p * width + width], &mut tail[..width])
+}
+
+/// Applies the rotation `[c -s; s c]` to the pair of vectors.
+#[inline]
+fn rotate(x: &mut [f64], y: &mut [f64], c: f64, s: f64) {
+    for i in 0..x.len() {
+        let xi = x[i];
+        let yi = y[i];
+        x[i] = c * xi - s * yi;
+        y[i] = s * xi + c * yi;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn reconstruct(svd: &JacobiSvd) -> DenseMatrix {
+        // U · diag(s) · Vᵀ
+        let mut us = svd.u.clone();
+        for i in 0..us.rows() {
+            for (j, &sv) in svd.s.iter().enumerate() {
+                us.set(i, j, us.get(i, j) * sv);
+            }
+        }
+        us.matmul_transb(&svd.v)
+    }
+
+    #[test]
+    fn svd_of_diagonal() {
+        let a = DenseMatrix::from_rows(&[
+            vec![3.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 2.0],
+            vec![0.0, 0.0, 0.0],
+        ]);
+        let svd = jacobi_svd(&a);
+        assert!((svd.s[0] - 3.0).abs() < 1e-12);
+        assert!((svd.s[1] - 2.0).abs() < 1e-12);
+        assert!((svd.s[2] - 1.0).abs() < 1e-12);
+        assert!(reconstruct(&svd).max_abs_diff(&a) < 1e-12);
+    }
+
+    #[test]
+    fn svd_random_tall() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let a = DenseMatrix::gaussian(30, 6, &mut rng);
+        let svd = jacobi_svd(&a);
+        assert!(svd.u.is_orthonormal(1e-10));
+        assert!(svd.v.is_orthonormal(1e-10));
+        assert!(reconstruct(&svd).max_abs_diff(&a) < 1e-10);
+        for w in svd.s.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12, "singular values not sorted");
+        }
+    }
+
+    #[test]
+    fn svd_random_wide() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let a = DenseMatrix::gaussian(5, 19, &mut rng);
+        let svd = jacobi_svd(&a);
+        assert_eq!(svd.u.shape(), (5, 5));
+        assert_eq!(svd.v.shape(), (19, 5));
+        assert!(svd.u.is_orthonormal(1e-10));
+        assert!(svd.v.is_orthonormal(1e-10));
+        assert!(reconstruct(&svd).max_abs_diff(&a) < 1e-10);
+    }
+
+    #[test]
+    fn svd_rank_deficient() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let u = DenseMatrix::gaussian(12, 2, &mut rng);
+        let v = DenseMatrix::gaussian(5, 2, &mut rng);
+        let a = u.matmul_transb(&v); // rank <= 2
+        let svd = jacobi_svd(&a);
+        assert!(svd.s[2] < 1e-10 * svd.s[0].max(1.0));
+        assert!(reconstruct(&svd).max_abs_diff(&a) < 1e-9);
+    }
+
+    #[test]
+    fn svd_zero_matrix() {
+        let a = DenseMatrix::zeros(4, 3);
+        let svd = jacobi_svd(&a);
+        assert!(svd.s.iter().all(|&x| x == 0.0));
+        assert!(reconstruct(&svd).max_abs_diff(&a) < 1e-15);
+    }
+
+    #[test]
+    fn singular_values_match_gram_eigenvalues() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let a = DenseMatrix::gaussian(10, 4, &mut rng);
+        let svd = jacobi_svd(&a);
+        // Σ σ_i² = ‖A‖_F²
+        let sumsq: f64 = svd.s.iter().map(|x| x * x).sum();
+        assert!((sumsq - a.frob_norm_sq()).abs() < 1e-9 * a.frob_norm_sq());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(20))]
+
+        #[test]
+        fn prop_svd_invariants(seed in 0u64..10_000, n in 2usize..20, m in 2usize..20) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let a = DenseMatrix::gaussian(n, m, &mut rng);
+            let svd = jacobi_svd(&a);
+            prop_assert!(svd.u.is_orthonormal(1e-9));
+            prop_assert!(svd.v.is_orthonormal(1e-9));
+            prop_assert!(reconstruct(&svd).max_abs_diff(&a) < 1e-8);
+            prop_assert!(svd.s.iter().all(|&x| x >= 0.0));
+            for w in svd.s.windows(2) {
+                prop_assert!(w[0] >= w[1] - 1e-10);
+            }
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Thin QR factorization via modified Gram–Schmidt.
+//!
+//! RandSVD repeatedly orthonormalizes tall sketch matrices (`n × ℓ` with
+//! `ℓ ≪ n`). Modified Gram–Schmidt with a second re-orthogonalization pass
+//! ("MGS2") is numerically adequate here: the loss of orthogonality of MGS2
+//! is `O(ε)` independent of the condition number, at twice the flops —
+//! a good trade for the small `ℓ` used by PANE (`ℓ = k/2 + oversampling`).
+//!
+//! Rank deficiency (a column that becomes numerically zero after projection)
+//! is handled the way randomized SVD wants it handled: the column of `Q` is
+//! replaced by a deterministic pseudo-random direction re-orthogonalized
+//! against the previous columns, and the corresponding `R` entries stay 0.
+//! This keeps `Q` a full orthonormal basis, and `QR = A` still holds because
+//! the replaced column is multiplied by zero rows of `R`.
+
+use crate::dense::DenseMatrix;
+use crate::vecops;
+
+/// Result of a thin QR factorization `A = Q·R`.
+pub struct QrFactors {
+    /// `n × ℓ` with orthonormal columns.
+    pub q: DenseMatrix,
+    /// `ℓ × ℓ` upper triangular.
+    pub r: DenseMatrix,
+    /// Number of columns that were numerically rank-deficient.
+    pub deficient: usize,
+}
+
+/// Numerical tolerance below which a projected column is treated as zero,
+/// relative to the largest original column norm.
+const RANK_TOL: f64 = 1e-12;
+
+/// Thin QR of a tall matrix (`rows >= cols` is not required but is the
+/// intended use; wide inputs still produce a valid factorization of the
+/// leading `cols` directions).
+pub fn thin_qr(a: &DenseMatrix) -> QrFactors {
+    let n = a.rows();
+    let l = a.cols();
+    // Work on the transpose so each column is contiguous.
+    let mut qt = a.transpose(); // l × n, row i = column i of A
+    let mut r = DenseMatrix::zeros(l, l);
+    let mut deficient = 0;
+
+    let scale = (0..l)
+        .map(|j| vecops::norm2(qt.row(j)))
+        .fold(0.0_f64, f64::max)
+        .max(1.0);
+
+    for j in 0..l {
+        // Project out previous directions — two passes (MGS2).
+        for _pass in 0..2 {
+            for i in 0..j {
+                let (qi, qj) = rows_pair(&mut qt, i, j, n);
+                let c = vecops::dot(qi, qj);
+                vecops::axpy(-c, qi, qj);
+                r.add_at(i, j, c);
+            }
+        }
+        let norm = vecops::norm2(qt.row(j));
+        if norm <= RANK_TOL * scale {
+            deficient += 1;
+            // Replace with a deterministic direction orthogonal to previous
+            // columns; R[j][j] stays 0 so A = QR is preserved.
+            refill_column(&mut qt, j, n);
+        } else {
+            r.set(j, j, norm);
+            vecops::scale(1.0 / norm, qt.row_mut(j));
+        }
+    }
+    QrFactors { q: qt.transpose(), r, deficient }
+}
+
+/// Gets two distinct rows of the transposed working matrix as
+/// (&, &mut) slices.
+fn rows_pair(qt: &mut DenseMatrix, i: usize, j: usize, n: usize) -> (&[f64], &mut [f64]) {
+    debug_assert!(i < j);
+    let data = qt.data_mut();
+    let (head, tail) = data.split_at_mut(j * n);
+    (&head[i * n..i * n + n], &mut tail[..n])
+}
+
+/// Fills column `j` with a normalized pseudo-random direction orthogonal to
+/// columns `0..j`. Uses a splitmix-style hash so the result is deterministic.
+fn refill_column(qt: &mut DenseMatrix, j: usize, n: usize) {
+    let mut state = 0x9E37_79B9_7F4A_7C15_u64 ^ (j as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    {
+        let row = qt.row_mut(j);
+        for v in row.iter_mut() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            // Map to roughly uniform in [-1, 1).
+            *v = ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0;
+        }
+    }
+    for _pass in 0..2 {
+        for i in 0..j {
+            let (qi, qj) = rows_pair(qt, i, j, n);
+            let c = vecops::dot(qi, qj);
+            vecops::axpy(-c, qi, qj);
+        }
+    }
+    let norm = vecops::norm2(qt.row(j));
+    if norm > 0.0 {
+        vecops::scale(1.0 / norm, qt.row_mut(j));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn reconstruct(f: &QrFactors) -> DenseMatrix {
+        f.q.matmul(&f.r)
+    }
+
+    #[test]
+    fn qr_reconstructs_random_tall() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = DenseMatrix::gaussian(40, 7, &mut rng);
+        let f = thin_qr(&a);
+        assert_eq!(f.deficient, 0);
+        assert!(f.q.is_orthonormal(1e-10));
+        assert!(reconstruct(&f).max_abs_diff(&a) < 1e-10);
+        // R upper triangular
+        for i in 0..7 {
+            for j in 0..i {
+                assert_eq!(f.r.get(i, j), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn qr_handles_rank_deficiency() {
+        // Third column = sum of first two.
+        let mut rng = StdRng::seed_from_u64(12);
+        let base = DenseMatrix::gaussian(20, 2, &mut rng);
+        let mut a = DenseMatrix::zeros(20, 3);
+        for i in 0..20 {
+            a.set(i, 0, base.get(i, 0));
+            a.set(i, 1, base.get(i, 1));
+            a.set(i, 2, base.get(i, 0) + base.get(i, 1));
+        }
+        let f = thin_qr(&a);
+        assert_eq!(f.deficient, 1);
+        assert!(f.q.is_orthonormal(1e-9));
+        assert!(reconstruct(&f).max_abs_diff(&a) < 1e-9);
+    }
+
+    #[test]
+    fn qr_of_orthonormal_is_identityish() {
+        let q0 = DenseMatrix::identity(6);
+        let f = thin_qr(&q0);
+        assert!(f.q.max_abs_diff(&q0) < 1e-12);
+        assert!(f.r.max_abs_diff(&DenseMatrix::identity(6)) < 1e-12);
+    }
+
+    #[test]
+    fn qr_all_zero_matrix() {
+        let a = DenseMatrix::zeros(10, 3);
+        let f = thin_qr(&a);
+        assert_eq!(f.deficient, 3);
+        assert!(f.q.is_orthonormal(1e-9));
+        assert!(reconstruct(&f).max_abs_diff(&a) < 1e-12);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn prop_qr_invariants(seed in 0u64..10_000, n in 4usize..40, l in 1usize..8) {
+            let l = l.min(n);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let a = DenseMatrix::gaussian(n, l, &mut rng);
+            let f = thin_qr(&a);
+            prop_assert!(f.q.is_orthonormal(1e-9));
+            prop_assert!(reconstruct(&f).max_abs_diff(&a) < 1e-8);
+        }
+
+        #[test]
+        fn prop_qr_badly_scaled(seed in 0u64..10_000) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut a = DenseMatrix::gaussian(30, 5, &mut rng);
+            // Scale the columns over 12 orders of magnitude.
+            for i in 0..30 {
+                for j in 0..5 {
+                    let s = 10f64.powi((j as i32 - 2) * 6);
+                    a.set(i, j, a.get(i, j) * s);
+                }
+            }
+            let f = thin_qr(&a);
+            prop_assert!(f.q.is_orthonormal(1e-8));
+            let rel = reconstruct(&f).max_abs_diff(&a) / a.frob_norm().max(1.0);
+            prop_assert!(rel < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Gaussian sampling for randomized sketching.
+//!
+//! RandSVD needs a dense Gaussian test matrix `Ω`. The `rand` crate only
+//! ships uniform distributions in its core (the normal distribution lives in
+//! the separate `rand_distr` crate, which is outside our dependency budget),
+//! so we implement the Marsaglia polar method here. It produces pairs of
+//! independent `N(0,1)` samples; the spare sample is cached.
+
+use rand::Rng;
+
+/// A standard-normal sampler caching the second Marsaglia-polar deviate.
+#[derive(Debug, Default, Clone)]
+pub struct NormalSampler {
+    spare: Option<f64>,
+}
+
+impl NormalSampler {
+    /// Creates a sampler with an empty cache.
+    pub fn new() -> Self {
+        Self { spare: None }
+    }
+
+    /// Draws one `N(0, 1)` sample.
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        if let Some(v) = self.spare.take() {
+            return v;
+        }
+        loop {
+            // u, v uniform on (-1, 1); accept when inside the unit disc.
+            let u: f64 = rng.gen::<f64>() * 2.0 - 1.0;
+            let v: f64 = rng.gen::<f64>() * 2.0 - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let m = (-2.0 * s.ln() / s).sqrt();
+                self.spare = Some(v * m);
+                return u * m;
+            }
+        }
+    }
+
+    /// Fills `out` with i.i.d. `N(0, 1)` samples.
+    pub fn fill<R: Rng + ?Sized>(&mut self, rng: &mut R, out: &mut [f64]) {
+        for slot in out.iter_mut() {
+            *slot = self.sample(rng);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn moments_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut s = NormalSampler::new();
+        let n = 40_000;
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        for _ in 0..n {
+            let x = s.sample(&mut rng);
+            sum += x;
+            sumsq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.03, "mean {mean} too far from 0");
+        assert!((var - 1.0).abs() < 0.05, "variance {var} too far from 1");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let draw = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut s = NormalSampler::new();
+            (0..8).map(|_| s.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(42), draw(42));
+        assert_ne!(draw(42), draw(43));
+    }
+
+    #[test]
+    fn fill_matches_repeated_sample() {
+        let mut rng1 = StdRng::seed_from_u64(1);
+        let mut rng2 = StdRng::seed_from_u64(1);
+        let mut s1 = NormalSampler::new();
+        let mut s2 = NormalSampler::new();
+        let mut buf = [0.0; 9];
+        s1.fill(&mut rng1, &mut buf);
+        let manual: Vec<f64> = (0..9).map(|_| s2.sample(&mut rng2)).collect();
+        assert_eq!(buf.to_vec(), manual);
+    }
+}

@@ -1,0 +1,95 @@
+//! Pseudo-inverse and least-squares solves via the Jacobi SVD.
+//!
+//! The alternating-least-squares baselines (TADW-like) repeatedly solve
+//! small normal-equation systems (`k × k` with `k ≤ 256`); SVD-based
+//! pseudo-inversion is plenty fast at that size and handles rank deficiency
+//! gracefully (singular values below `rcond · σ_max` are dropped).
+
+use crate::dense::DenseMatrix;
+use crate::jacobi::jacobi_svd;
+
+/// Relative condition cutoff for the pseudo-inverse.
+pub const DEFAULT_RCOND: f64 = 1e-12;
+
+/// Moore–Penrose pseudo-inverse `A⁺` (shape `m × n` for an `n × m` input).
+pub fn pinv(a: &DenseMatrix, rcond: f64) -> DenseMatrix {
+    let svd = jacobi_svd(a);
+    let smax = svd.s.first().copied().unwrap_or(0.0);
+    let cut = rcond * smax;
+    // A⁺ = V · diag(1/σ) · Uᵀ
+    let r = svd.s.len();
+    let mut v_scaled = svd.v.clone(); // m × r
+    for i in 0..v_scaled.rows() {
+        let row = v_scaled.row_mut(i);
+        for j in 0..r {
+            row[j] = if svd.s[j] > cut && svd.s[j] > 0.0 { row[j] / svd.s[j] } else { 0.0 };
+        }
+    }
+    v_scaled.matmul_transb(&svd.u)
+}
+
+/// Least-squares solution `X = argmin ‖A·X − B‖_F` (via `X = A⁺·B`).
+pub fn lstsq(a: &DenseMatrix, b: &DenseMatrix, rcond: f64) -> DenseMatrix {
+    assert_eq!(a.rows(), b.rows(), "lstsq: row mismatch");
+    pinv(a, rcond).matmul(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pinv_of_invertible_is_inverse() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = DenseMatrix::gaussian(5, 5, &mut rng);
+        let ainv = pinv(&a, DEFAULT_RCOND);
+        let prod = a.matmul(&ainv);
+        assert!(prod.max_abs_diff(&DenseMatrix::identity(5)) < 1e-8);
+    }
+
+    #[test]
+    fn pinv_penrose_conditions() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = DenseMatrix::gaussian(8, 4, &mut rng);
+        let ap = pinv(&a, DEFAULT_RCOND);
+        // A A⁺ A = A and A⁺ A A⁺ = A⁺.
+        assert!(a.matmul(&ap).matmul(&a).max_abs_diff(&a) < 1e-9);
+        assert!(ap.matmul(&a).matmul(&ap).max_abs_diff(&ap) < 1e-9);
+    }
+
+    #[test]
+    fn pinv_rank_deficient() {
+        // Rank-1 matrix.
+        let a = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]]);
+        let ap = pinv(&a, DEFAULT_RCOND);
+        assert!(a.matmul(&ap).matmul(&a).max_abs_diff(&a) < 1e-9);
+    }
+
+    #[test]
+    fn lstsq_recovers_exact_solution() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = DenseMatrix::gaussian(10, 3, &mut rng);
+        let x_true = DenseMatrix::gaussian(3, 2, &mut rng);
+        let b = a.matmul(&x_true);
+        let x = lstsq(&a, &b, DEFAULT_RCOND);
+        assert!(x.max_abs_diff(&x_true) < 1e-9);
+    }
+
+    #[test]
+    fn lstsq_overdetermined_minimizes_residual() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = DenseMatrix::gaussian(20, 3, &mut rng);
+        let b = DenseMatrix::gaussian(20, 1, &mut rng);
+        let x = lstsq(&a, &b, DEFAULT_RCOND);
+        let r0 = a.matmul(&x).sub(&b).frob_norm();
+        // Perturbing the solution must not reduce the residual.
+        for di in 0..3 {
+            let mut xp = x.clone();
+            xp.add_at(di, 0, 1e-3);
+            let rp = a.matmul(&xp).sub(&b).frob_norm();
+            assert!(rp >= r0 - 1e-12, "perturbation improved LS residual");
+        }
+    }
+}

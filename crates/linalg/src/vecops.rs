@@ -1,0 +1,163 @@
+//! BLAS-level-1 kernels on `f64` slices.
+//!
+//! These are the innermost loops of the CCD solver (Equations 16–20 of the
+//! paper evaluate row·column dot products and rank-1 row updates millions of
+//! times), so they are written to auto-vectorize: plain indexed loops over
+//! equal-length slices with the bounds check hoisted by an assert.
+
+/// Dot product `x · y`.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    let mut acc = 0.0;
+    for i in 0..x.len() {
+        acc += x[i] * y[i];
+    }
+    acc
+}
+
+/// `y += a * x` (the classic axpy).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for i in 0..x.len() {
+        y[i] += a * x[i];
+    }
+}
+
+/// `x *= a`.
+#[inline]
+pub fn scale(a: f64, x: &mut [f64]) {
+    for v in x.iter_mut() {
+        *v *= a;
+    }
+}
+
+/// Euclidean norm `‖x‖₂`, computed without over/underflow for the value
+/// ranges appearing in PANE (affinities are `ln(1 + ·) ≥ 0` and bounded by
+/// `ln(n+1)`).
+#[inline]
+pub fn norm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// Squared Euclidean norm `‖x‖₂²`.
+#[inline]
+pub fn norm2_sq(x: &[f64]) -> f64 {
+    dot(x, x)
+}
+
+/// Sum of the entries.
+#[inline]
+pub fn sum(x: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for &v in x {
+        acc += v;
+    }
+    acc
+}
+
+/// Largest absolute entry (0 for an empty slice).
+#[inline]
+pub fn max_abs(x: &[f64]) -> f64 {
+    x.iter().fold(0.0_f64, |m, &v| m.max(v.abs()))
+}
+
+/// In-place normalization to unit Euclidean norm. Vectors with norm below
+/// `tiny` are left untouched (returned `false`).
+#[inline]
+pub fn normalize(x: &mut [f64], tiny: f64) -> bool {
+    let n = norm2(x);
+    if n <= tiny {
+        return false;
+    }
+    scale(1.0 / n, x);
+    true
+}
+
+/// Cosine similarity; 0.0 when either vector is (near-)zero.
+#[inline]
+pub fn cosine(x: &[f64], y: &[f64]) -> f64 {
+    let nx = norm2(x);
+    let ny = norm2(y);
+    if nx <= f64::EPSILON || ny <= f64::EPSILON {
+        return 0.0;
+    }
+    dot(x, y) / (nx * ny)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn dot_basic() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn axpy_basic() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, -1.0], &mut y);
+        assert_eq!(y, vec![7.0, -1.0]);
+    }
+
+    #[test]
+    fn norm_and_normalize() {
+        let mut x = vec![3.0, 4.0];
+        assert_eq!(norm2(&x), 5.0);
+        assert!(normalize(&mut x, 1e-300));
+        assert!((norm2(&x) - 1.0).abs() < 1e-12);
+        let mut z = vec![0.0, 0.0];
+        assert!(!normalize(&mut z, 1e-300));
+        assert_eq!(z, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn cosine_bounds_and_degenerate() {
+        assert_eq!(cosine(&[0.0], &[1.0]), 0.0);
+        assert!((cosine(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-12);
+        assert!((cosine(&[1.0, 0.0], &[-1.0, 0.0]) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_abs_basic() {
+        assert_eq!(max_abs(&[]), 0.0);
+        assert_eq!(max_abs(&[-3.0, 2.0]), 3.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_dot_symmetric(v in proptest::collection::vec(-1e3f64..1e3, 0..64)) {
+            let w: Vec<f64> = v.iter().rev().cloned().collect();
+            prop_assert!((dot(&v, &w) - dot(&w, &v)).abs() < 1e-9 * (1.0 + dot(&v, &v).abs()));
+        }
+
+        #[test]
+        fn prop_cauchy_schwarz(
+            x in proptest::collection::vec(-1e2f64..1e2, 1..32),
+            seed in 0u64..1000,
+        ) {
+            let y: Vec<f64> = x.iter().map(|v| v * ((seed % 7) as f64 + 0.5)).collect();
+            prop_assert!(dot(&x, &y).abs() <= norm2(&x) * norm2(&y) + 1e-6);
+        }
+
+        #[test]
+        fn prop_cosine_in_range(
+            x in proptest::collection::vec(-1e2f64..1e2, 1..32),
+            y in proptest::collection::vec(-1e2f64..1e2, 1..32),
+        ) {
+            let n = x.len().min(y.len());
+            let c = cosine(&x[..n], &y[..n]);
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&c));
+        }
+    }
+}

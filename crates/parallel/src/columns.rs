@@ -1,0 +1,215 @@
+//! Disjoint **column-block** views of a row-major matrix.
+//!
+//! The Y-phase of PSVDCCD (Algorithm 8, lines 11–16) has `nb` threads update
+//! `Y[R_h]`, `S_f[:, R_h]` and `S_b[:, R_h]` for *disjoint attribute blocks*
+//! `R_h`. With a row-major `S_f`, each thread therefore writes a strided but
+//! disjoint set of entries. Rust's slice API cannot express "disjoint column
+//! stripes of one buffer", so this module provides a small checked wrapper:
+//!
+//! * [`ColumnBlocksMut::split`] verifies that the requested column ranges are
+//!   pairwise disjoint and in-bounds, then hands out one [`ColumnBlockMut`]
+//!   per range;
+//! * each [`ColumnBlockMut`] only ever dereferences entries `(row, col)` with
+//!   `col` inside its own range (checked by `debug_assert!` on every access
+//!   and by construction of its accessors), so the aliasing contract holds.
+//!
+//! Safety argument: the raw pointer is shared, but the set of addresses
+//! reachable from block `i` is `{ base + r*cols + c : c ∈ range_i }`, and the
+//! ranges are verified disjoint, hence no two blocks can alias. The parent
+//! borrow `&mut [f64]` is held by `ColumnBlocksMut` for the full lifetime of
+//! the views, preventing any other access to the buffer.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// Owner of the mutable borrow; produces disjoint column-block views.
+pub struct ColumnBlocksMut<'a> {
+    ptr: *mut f64,
+    rows: usize,
+    cols: usize,
+    _marker: PhantomData<&'a mut [f64]>,
+}
+
+// The owner itself is only used to create the views on the calling thread.
+unsafe impl<'a> Send for ColumnBlocksMut<'a> {}
+
+impl<'a> ColumnBlocksMut<'a> {
+    /// Wraps a row-major `rows`×`cols` buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn new(data: &'a mut [f64], rows: usize, cols: usize) -> Self {
+        assert_eq!(data.len(), rows * cols, "matrix buffer size mismatch");
+        Self { ptr: data.as_mut_ptr(), rows, cols, _marker: PhantomData }
+    }
+
+    /// Splits into one view per column range.
+    ///
+    /// # Panics
+    /// Panics if the ranges overlap or exceed `cols`. Ranges need not cover
+    /// all columns and may be given in any order, but must be disjoint.
+    pub fn split(&mut self, ranges: &[Range<usize>]) -> Vec<ColumnBlockMut<'_>> {
+        let mut sorted: Vec<Range<usize>> = ranges.to_vec();
+        sorted.sort_by_key(|r| r.start);
+        for w in sorted.windows(2) {
+            assert!(w[0].end <= w[1].start, "column ranges overlap: {:?} and {:?}", w[0], w[1]);
+        }
+        if let Some(last) = sorted.last() {
+            assert!(last.end <= self.cols, "column range {last:?} out of bounds (cols = {})", self.cols);
+        }
+        ranges
+            .iter()
+            .map(|r| ColumnBlockMut {
+                ptr: self.ptr,
+                rows: self.rows,
+                cols: self.cols,
+                range: r.clone(),
+                _marker: PhantomData,
+            })
+            .collect()
+    }
+}
+
+/// A mutable view restricted to columns `range` of a row-major matrix.
+pub struct ColumnBlockMut<'a> {
+    ptr: *mut f64,
+    rows: usize,
+    cols: usize,
+    range: Range<usize>,
+    _marker: PhantomData<&'a mut [f64]>,
+}
+
+// Safe to move to a worker thread: by construction the reachable address
+// sets of distinct blocks are disjoint (see module docs).
+unsafe impl<'a> Send for ColumnBlockMut<'a> {}
+
+impl<'a> ColumnBlockMut<'a> {
+    /// Column range this view may touch.
+    pub fn range(&self) -> Range<usize> {
+        self.range.clone()
+    }
+
+    /// Number of rows of the underlying matrix.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    #[inline]
+    fn check(&self, row: usize, col: usize) {
+        debug_assert!(row < self.rows, "row {row} out of bounds ({})", self.rows);
+        debug_assert!(
+            self.range.contains(&col),
+            "column {col} outside this block's range {:?}",
+            self.range
+        );
+    }
+
+    /// Reads entry `(row, col)`; `col` must lie in this block's range.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        self.check(row, col);
+        unsafe { *self.ptr.add(row * self.cols + col) }
+    }
+
+    /// Writes entry `(row, col)`; `col` must lie in this block's range.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, v: f64) {
+        self.check(row, col);
+        unsafe { *self.ptr.add(row * self.cols + col) = v }
+    }
+
+    /// Adds `v` to entry `(row, col)`.
+    #[inline]
+    pub fn add(&mut self, row: usize, col: usize, v: f64) {
+        self.check(row, col);
+        unsafe { *self.ptr.add(row * self.cols + col) += v }
+    }
+
+    /// Copies column `col` (length `rows`) into `out`.
+    pub fn gather_column(&self, col: usize, out: &mut [f64]) {
+        assert_eq!(out.len(), self.rows);
+        self.check(0, col);
+        for (row, slot) in out.iter_mut().enumerate() {
+            *slot = unsafe { *self.ptr.add(row * self.cols + col) };
+        }
+    }
+
+    /// Writes `src` (length `rows`) into column `col`.
+    pub fn scatter_column(&mut self, col: usize, src: &[f64]) {
+        assert_eq!(src.len(), self.rows);
+        self.check(0, col);
+        for (row, &v) in src.iter().enumerate() {
+            unsafe { *self.ptr.add(row * self.cols + col) = v };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::even_ranges;
+
+    #[test]
+    fn disjoint_column_writes() {
+        let rows = 4;
+        let cols = 6;
+        let mut data = vec![0.0; rows * cols];
+        let ranges = even_ranges(cols, 3);
+        let mut owner = ColumnBlocksMut::new(&mut data, rows, cols);
+        let blocks = owner.split(&ranges);
+        crossbeam::thread::scope(|s| {
+            for (bi, mut b) in blocks.into_iter().enumerate() {
+                s.spawn(move |_| {
+                    for c in b.range() {
+                        for r in 0..b.rows() {
+                            b.set(r, c, (bi * 100 + r * 10 + c) as f64);
+                        }
+                    }
+                });
+            }
+        })
+        .unwrap();
+        for r in 0..rows {
+            for c in 0..cols {
+                let bi = c / 2; // 6 cols, 3 blocks of 2
+                assert_eq!(data[r * cols + c], (bi * 100 + r * 10 + c) as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip() {
+        let rows = 3;
+        let cols = 4;
+        let mut data: Vec<f64> = (0..rows * cols).map(|x| x as f64).collect();
+        let mut owner = ColumnBlocksMut::new(&mut data, rows, cols);
+        let mut blocks = owner.split(std::slice::from_ref(&(1..3)));
+        let b = &mut blocks[0];
+        let mut col = vec![0.0; rows];
+        b.gather_column(2, &mut col);
+        assert_eq!(col, vec![2.0, 6.0, 10.0]);
+        col.iter_mut().for_each(|v| *v += 0.5);
+        b.scatter_column(2, &col);
+        // Views dropped here; the owner's borrow ends with the scope.
+        drop(blocks);
+        let _ = owner;
+        assert_eq!(data[0 * cols + 2], 2.5);
+        assert_eq!(data[2 * cols + 2], 10.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn overlapping_ranges_rejected() {
+        let mut data = vec![0.0; 4];
+        let mut owner = ColumnBlocksMut::new(&mut data, 2, 2);
+        let _ = owner.split(&[0..1, 0..2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_range_rejected() {
+        let mut data = vec![0.0; 4];
+        let mut owner = ColumnBlocksMut::new(&mut data, 2, 2);
+        let _ = owner.split(std::slice::from_ref(&(1..3)));
+    }
+}

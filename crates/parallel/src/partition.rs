@@ -1,0 +1,113 @@
+//! Equal-size partitioning of index sets.
+//!
+//! Algorithm 5 (parallel PANE) begins by partitioning the node set `V` and
+//! the attribute set `R` "into nb subsets with equal size". We follow the
+//! standard balanced split: the first `n % nb` blocks get one extra element,
+//! so block sizes differ by at most one and concatenating the blocks in
+//! order recovers `0..n` exactly.
+
+use std::ops::Range;
+
+/// Splits `0..n` into `nb` contiguous ranges whose sizes differ by at most 1.
+///
+/// When `nb > n`, the trailing ranges are empty (they are kept so that block
+/// indices remain stable); use [`even_ranges_nonempty`] if empty blocks are
+/// undesirable. `nb == 0` is treated as 1.
+pub fn even_ranges(n: usize, nb: usize) -> Vec<Range<usize>> {
+    let nb = nb.max(1);
+    let base = n / nb;
+    let extra = n % nb;
+    let mut out = Vec::with_capacity(nb);
+    let mut start = 0;
+    for i in 0..nb {
+        let len = base + usize::from(i < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    debug_assert_eq!(start, n);
+    out
+}
+
+/// Like [`even_ranges`], but drops empty trailing ranges, guaranteeing every
+/// returned block is non-empty (unless `n == 0`, where it returns no blocks).
+pub fn even_ranges_nonempty(n: usize, nb: usize) -> Vec<Range<usize>> {
+    let mut r = even_ranges(n, nb);
+    r.retain(|x| !x.is_empty());
+    r
+}
+
+/// Index of the block containing `idx`, or `None` if out of range.
+pub fn block_of(ranges: &[Range<usize>], idx: usize) -> Option<usize> {
+    ranges.iter().position(|r| r.contains(&idx))
+}
+
+/// Asserts that `ranges` is a sorted, contiguous, exact partition of `0..n`.
+pub fn assert_partition(ranges: &[Range<usize>], n: usize) {
+    let mut expect = 0usize;
+    for (i, r) in ranges.iter().enumerate() {
+        assert_eq!(
+            r.start, expect,
+            "partition block {i} starts at {} but previous block ended at {expect}",
+            r.start
+        );
+        assert!(r.start <= r.end, "partition block {i} is reversed");
+        expect = r.end;
+    }
+    assert_eq!(expect, n, "partition covers 0..{expect}, expected 0..{n}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn covers_exactly() {
+        for n in 0..40 {
+            for nb in 1..10 {
+                let r = even_ranges(n, nb);
+                assert_eq!(r.len(), nb);
+                assert_partition(&r, n);
+                let min = r.iter().map(|x| x.len()).min().unwrap();
+                let max = r.iter().map(|x| x.len()).max().unwrap();
+                assert!(max - min <= 1, "unbalanced: n={n} nb={nb}");
+            }
+        }
+    }
+
+    #[test]
+    fn nonempty_variant_drops_empties() {
+        let r = even_ranges_nonempty(3, 8);
+        assert_eq!(r.len(), 3);
+        assert!(r.iter().all(|x| !x.is_empty()));
+        assert!(even_ranges_nonempty(0, 4).is_empty());
+    }
+
+    #[test]
+    fn zero_blocks_treated_as_one() {
+        let r = even_ranges(5, 0);
+        assert_eq!(r, vec![0..5]);
+    }
+
+    #[test]
+    fn block_lookup() {
+        let r = even_ranges(10, 3); // [0..4, 4..7, 7..10]
+        assert_eq!(block_of(&r, 0), Some(0));
+        assert_eq!(block_of(&r, 3), Some(0));
+        assert_eq!(block_of(&r, 4), Some(1));
+        assert_eq!(block_of(&r, 9), Some(2));
+        assert_eq!(block_of(&r, 10), None);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_partition_exact(n in 0usize..500, nb in 1usize..33) {
+            let r = even_ranges(n, nb);
+            assert_partition(&r, n);
+            // Every index belongs to exactly one block.
+            for idx in 0..n {
+                prop_assert!(block_of(&r, idx).is_some());
+            }
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Triplet (COO) builder for sparse matrices.
+//!
+//! Graph loaders and generators accumulate `(row, col, value)` triplets in
+//! arbitrary order, possibly with duplicates (e.g. a multi-edge in an input
+//! file, or repeated node–attribute associations). [`CooMatrix::to_csr`]
+//! sorts, merges duplicates by summation, and produces a [`CsrMatrix`].
+
+use crate::csr::CsrMatrix;
+
+/// A sparse matrix under construction, as unsorted triplets.
+#[derive(Debug, Clone, Default)]
+pub struct CooMatrix {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(u32, u32, f64)>,
+}
+
+impl CooMatrix {
+    /// Empty builder with fixed dimensions.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows <= u32::MAX as usize && cols <= u32::MAX as usize, "dimensions exceed u32 index space");
+        Self { rows, cols, entries: Vec::new() }
+    }
+
+    /// Empty builder with a capacity hint.
+    pub fn with_capacity(rows: usize, cols: usize, cap: usize) -> Self {
+        let mut m = Self::new(rows, cols);
+        m.entries.reserve(cap);
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of accumulated triplets (duplicates not merged yet).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no triplets have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Adds a triplet.
+    ///
+    /// # Panics
+    /// Panics if the coordinates are out of bounds.
+    pub fn push(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.rows, "row {row} out of bounds ({})", self.rows);
+        assert!(col < self.cols, "col {col} out of bounds ({})", self.cols);
+        self.entries.push((row as u32, col as u32, value));
+    }
+
+    /// Converts to CSR, summing duplicate coordinates and dropping exact
+    /// zeros produced by cancellation.
+    pub fn to_csr(mut self) -> CsrMatrix {
+        self.entries.sort_unstable_by_key(|&(r, c, _)| ((r as u64) << 32) | c as u64);
+        let mut indptr = vec![0usize; self.rows + 1];
+        let mut indices: Vec<u32> = Vec::with_capacity(self.entries.len());
+        let mut values: Vec<f64> = Vec::with_capacity(self.entries.len());
+        let mut iter = self.entries.into_iter().peekable();
+        while let Some((r, c, mut v)) = iter.next() {
+            while let Some(&(r2, c2, v2)) = iter.peek() {
+                if r2 == r && c2 == c {
+                    v += v2;
+                    iter.next();
+                } else {
+                    break;
+                }
+            }
+            if v != 0.0 {
+                indices.push(c);
+                values.push(v);
+                indptr[r as usize + 1] += 1;
+            }
+        }
+        for i in 0..self.rows {
+            indptr[i + 1] += indptr[i];
+        }
+        CsrMatrix::from_raw(self.rows, self.cols, indptr, indices, values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_convert() {
+        let mut coo = CooMatrix::new(3, 4);
+        coo.push(2, 1, 5.0);
+        coo.push(0, 0, 1.0);
+        coo.push(0, 3, 2.0);
+        coo.push(2, 1, 1.5); // duplicate, summed
+        let csr = coo.to_csr();
+        assert_eq!(csr.nnz(), 3);
+        assert_eq!(csr.get(0, 0), 1.0);
+        assert_eq!(csr.get(0, 3), 2.0);
+        assert_eq!(csr.get(2, 1), 6.5);
+        assert_eq!(csr.get(1, 2), 0.0);
+    }
+
+    #[test]
+    fn cancellation_drops_entry() {
+        let mut coo = CooMatrix::new(1, 1);
+        coo.push(0, 0, 2.0);
+        coo.push(0, 0, -2.0);
+        let csr = coo.to_csr();
+        assert_eq!(csr.nnz(), 0);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let coo = CooMatrix::new(0, 0);
+        assert!(coo.is_empty());
+        let csr = coo.to_csr();
+        assert_eq!(csr.nnz(), 0);
+        assert_eq!(csr.rows(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_rejected() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(2, 0, 1.0);
+    }
+}

@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+//! Sparse matrix substrate for the PANE reproduction.
+//!
+//! The only large sparse operator in PANE is the random-walk matrix
+//! `P = D⁻¹A` (and its transpose), applied repeatedly to `n × ℓ` dense
+//! blocks in APMI/PAPMI: `P_f^{(ℓ)} = (1-α)·P·P_f^{(ℓ-1)} + α·P_f^{(0)}`.
+//! The attribute matrix `R` and its normalizations are also sparse.
+//!
+//! This crate provides:
+//!
+//! * [`CooMatrix`] — a triplet builder with duplicate summing;
+//! * [`CsrMatrix`] — compressed sparse row storage with transpose,
+//!   row/column scaling, and dense products [`CsrMatrix::mul_dense`] /
+//!   [`CsrMatrix::mul_dense_par`] (block-parallel over output rows);
+//! * conversions to/from [`pane_linalg::DenseMatrix`] for tests and small
+//!   examples.
+//!
+//! Indices are `u32` (the paper's graphs stay below 2³² nodes; MAG has
+//! 59.3M), which halves index memory versus `usize`.
+
+// Indexed loops in the numeric kernels are deliberate.
+#![allow(clippy::needless_range_loop)]
+pub mod coo;
+pub mod csr;
+
+pub use coo::CooMatrix;
+pub use csr::CsrMatrix;

@@ -1,0 +1,78 @@
+//! Warm re-embedding of an evolving graph — the paper's §7 future-work
+//! scenario ("time-varying graphs where attributes and node connections
+//! change over time"), implemented via `pane_core::incremental`.
+//!
+//! A stream of edge batches arrives; after each batch we compare a full
+//! cold re-embedding against a warm restart from the previous embedding
+//! with just 2 CCD sweeps.
+//!
+//! ```sh
+//! cargo run --release --example evolving_graph
+//! ```
+
+use pane::pane_core::incremental::reembed_warm;
+use pane::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    // Initial snapshot.
+    let base = DatasetZoo::TWeiboLike.generate_scaled(0.04, 3).graph;
+    println!("snapshot 0: {}", base.stats());
+
+    let config = PaneConfig::builder().dimension(32).threads(2).seed(5).build();
+    let t0 = Instant::now();
+    let mut current = Pane::new(config.clone()).embed(&base).expect("embed");
+    println!("cold embed: {:.2}s (objective {:.3e})\n", t0.elapsed().as_secs_f64(), current.objective);
+
+    // Simulate 3 update batches: each rewires ~3% of the edges.
+    let mut graph = base;
+    for step in 1..=3 {
+        graph = rewire(&graph, step as u64 * 1000 + 7, 0.03);
+        println!("snapshot {step}: {}", graph.stats());
+
+        let t_cold = Instant::now();
+        let cold = Pane::new(config.clone()).embed(&graph).expect("embed");
+        let cold_secs = t_cold.elapsed().as_secs_f64();
+
+        let t_warm = Instant::now();
+        let warm = reembed_warm(&config, &graph, &current, 2).expect("warm re-embed");
+        let warm_secs = t_warm.elapsed().as_secs_f64();
+
+        println!(
+            "  cold: {cold_secs:.2}s -> objective {:.3e}\n  warm: {warm_secs:.2}s -> objective {:.3e}  ({:.1}x faster, {:+.1}% objective)",
+            cold.objective,
+            warm.objective,
+            cold_secs / warm_secs,
+            100.0 * (warm.objective - cold.objective) / cold.objective,
+        );
+        current = warm;
+    }
+}
+
+/// Rewires a fraction of the edges to random targets (seeded).
+fn rewire(g: &AttributedGraph, seed: u64, frac: f64) -> AttributedGraph {
+    let n = g.num_nodes();
+    let mut state = seed | 1;
+    let mut rand = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 33) as usize
+    };
+    let mut b = GraphBuilder::new(n, g.num_attributes());
+    let threshold = (frac * u32::MAX as f64) as usize;
+    for (i, j, _) in g.adjacency().iter() {
+        if rand() % (u32::MAX as usize) < threshold {
+            b.add_edge(i, rand() % n);
+        } else {
+            b.add_edge(i, j);
+        }
+    }
+    for (v, r, w) in g.attributes().iter() {
+        b.add_attribute(v, r, w);
+    }
+    for v in 0..n {
+        for &l in g.labels_of(v) {
+            b.add_label(v, l as usize);
+        }
+    }
+    b.build()
+}

@@ -1,0 +1,60 @@
+//! Quickstart: embed a small attributed graph and inspect the outputs.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use pane::prelude::*;
+
+fn main() {
+    // 1. Build (or load) an attributed, directed graph. Here: a synthetic
+    //    citation-network analogue with 7 communities.
+    let dataset = DatasetZoo::CoraLike.generate_scaled(0.25, 7);
+    let graph = &dataset.graph;
+    println!("graph: {}", graph.stats());
+
+    // 2. Configure PANE. The paper's defaults are k = 128, alpha = 0.5,
+    //    eps = 0.015; we shrink k for this small example.
+    let config = PaneConfig::builder()
+        .dimension(32)
+        .alpha(0.5)
+        .error_threshold(0.015)
+        .threads(2) // > 1 switches to the parallel algorithms (Algs. 5-8)
+        .seed(42)
+        .build();
+
+    // 3. Embed.
+    let embedding = Pane::new(config).embed(graph).expect("embedding should succeed");
+    println!(
+        "embedded in {:.2}s (affinity {:.2}s, init {:.2}s, ccd {:.2}s), objective {:.1}",
+        embedding.timings.total_secs(),
+        embedding.timings.affinity_secs,
+        embedding.timings.init_secs,
+        embedding.timings.ccd_secs,
+        embedding.objective,
+    );
+    println!(
+        "shapes: X_f {:?}, X_b {:?}, Y {:?}",
+        embedding.forward.shape(),
+        embedding.backward.shape(),
+        embedding.attribute.shape()
+    );
+
+    // 4. Use the embeddings.
+    // 4a. Node-attribute affinity (Eq. 21): does node 0 carry attribute 3?
+    println!("attribute_score(v0, r3) = {:.3}", embedding.attribute_score(0, 3));
+
+    // 4b. Direction-aware link scores (Eq. 22).
+    let gram = embedding.link_gram();
+    let (neighbors, _) = graph.out_neighbors(0);
+    if let Some(&nb) = neighbors.first() {
+        let to_neighbor = embedding.link_score_with(&gram, 0, nb as usize);
+        let far = (graph.num_nodes() / 2 + 1).min(graph.num_nodes() - 1);
+        let to_far = embedding.link_score_with(&gram, 0, far);
+        println!("link score to a real neighbor: {to_neighbor:.3}, to a random node: {to_far:.3}");
+    }
+
+    // 4c. Classifier features: [X_f ‖ X_b], halves normalized.
+    let feats = embedding.classifier_features(0);
+    println!("classifier feature dim = {}", feats.len());
+}
