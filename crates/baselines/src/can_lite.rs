@@ -30,15 +30,28 @@ impl CanLite {
     /// Fits with per-side dimension `dim/2` (the same budget split PANE
     /// uses, for a fair comparison at equal budget `dim`).
     pub fn fit(g: &AttributedGraph, dim: usize, alpha: f64, iters: usize, seed: u64) -> Self {
-        assert!(dim >= 2 && dim.is_multiple_of(2), "dim must be even and >= 2");
+        assert!(
+            dim >= 2 && dim.is_multiple_of(2),
+            "dim must be even and >= 2"
+        );
         let und = g.symmetrize();
         let p = und.random_walk_matrix(DanglingPolicy::SelfLoop);
         let pt = p.transpose();
         let rr = und.attr_row_normalized();
         let rc = und.attr_col_normalized();
-        let aff = apmi(&ApmiInputs { p: &p, pt: &pt, rr: &rr, rc: &rc, alpha, t: iters });
+        let aff = apmi(&ApmiInputs {
+            p: &p,
+            pt: &pt,
+            rr: &rr,
+            rc: &rc,
+            alpha,
+            t: iters,
+        });
         let svd = rand_svd(&aff.forward, &RandSvdConfig::new(dim / 2, 3, seed));
-        CanLite { x: svd.u_sigma(), y: svd.v }
+        CanLite {
+            x: svd.u_sigma(),
+            y: svd.v,
+        }
     }
 
     /// Node embedding matrix for the single-embedding link protocol.
@@ -91,7 +104,12 @@ mod tests {
 
     #[test]
     fn shapes_are_consistent() {
-        let g = generate_sbm(&SbmConfig { nodes: 80, attributes: 12, seed: 10, ..Default::default() });
+        let g = generate_sbm(&SbmConfig {
+            nodes: 80,
+            attributes: 12,
+            seed: 10,
+            ..Default::default()
+        });
         let m = CanLite::fit(&g, 16, 0.5, 4, 3);
         assert_eq!(m.x.shape(), (80, 8));
         assert_eq!(m.y.shape(), (12, 8));

@@ -34,7 +34,10 @@ impl NrpLite {
     /// Fits on the graph topology. `dim` is the total budget `k` (split
     /// into two `k/2` halves, like PANE's).
     pub fn fit(g: &AttributedGraph, dim: usize, alpha: f64, iters: usize, seed: u64) -> Self {
-        assert!(dim >= 2 && dim.is_multiple_of(2), "dim must be even and >= 2");
+        assert!(
+            dim >= 2 && dim.is_multiple_of(2),
+            "dim must be even and >= 2"
+        );
         let k2 = dim / 2;
         let p = g.random_walk_matrix(DanglingPolicy::SelfLoop);
         let pt = p.transpose();
@@ -50,7 +53,10 @@ impl NrpLite {
         }
         let xb = z;
         let xf = ppr_apply(&p, &xb, alpha, iters);
-        Self { forward: xf, backward: xb }
+        Self {
+            forward: xf,
+            backward: xb,
+        }
     }
 
     /// Directed link score `p(src → dst) = X_f[src] · X_b[dst]`.
@@ -126,7 +132,11 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let g = generate_sbm(&SbmConfig { nodes: 100, seed: 2, ..Default::default() });
+        let g = generate_sbm(&SbmConfig {
+            nodes: 100,
+            seed: 2,
+            ..Default::default()
+        });
         let m1 = NrpLite::fit(&g, 16, 0.5, 4, 7);
         let m2 = NrpLite::fit(&g, 16, 0.5, 4, 7);
         assert_eq!(m1.forward.data(), m2.forward.data());
@@ -134,7 +144,12 @@ mod tests {
 
     #[test]
     fn scores_are_asymmetric_on_directed_graphs() {
-        let g = generate_sbm(&SbmConfig { nodes: 150, avg_out_degree: 5.0, seed: 3, ..Default::default() });
+        let g = generate_sbm(&SbmConfig {
+            nodes: 150,
+            avg_out_degree: 5.0,
+            seed: 3,
+            ..Default::default()
+        });
         let m = NrpLite::fit(&g, 16, 0.5, 5, 1);
         let mut asym = 0usize;
         let mut checked = 0usize;
@@ -144,6 +159,9 @@ mod tests {
             }
             checked += 1;
         }
-        assert!(asym * 2 > checked, "scores look symmetric ({asym}/{checked})");
+        assert!(
+            asym * 2 > checked,
+            "scores look symmetric ({asym}/{checked})"
+        );
     }
 }

@@ -7,7 +7,9 @@
 //! `t ∈ {1, 2, 5, 10, 20}` for both, showing GreedyInit converging much
 //! faster at equal time.
 
-use pane_core::{ccd_sweeps, papmi, ApmiInputs, InitState, PaneConfig, PaneEmbedding, PaneError, PaneTimings};
+use pane_core::{
+    ccd_sweeps, papmi, ApmiInputs, InitState, PaneConfig, PaneEmbedding, PaneError, PaneTimings,
+};
 use pane_graph::AttributedGraph;
 use pane_linalg::DenseMatrix;
 use rand::rngs::StdRng;
@@ -44,7 +46,17 @@ impl PaneR {
         let pt = p.transpose();
         let rr = graph.attr_row_normalized();
         let rc = graph.attr_col_normalized();
-        let aff = papmi(&ApmiInputs { p: &p, pt: &pt, rr: &rr, rc: &rc, alpha: cfg.alpha, t }, nb);
+        let aff = papmi(
+            &ApmiInputs {
+                p: &p,
+                pt: &pt,
+                rr: &rr,
+                rc: &rc,
+                alpha: cfg.alpha,
+                t,
+            },
+            nb,
+        );
         let affinity_secs = t0.elapsed().as_secs_f64();
 
         // Random init: Gaussian entries scaled so the initial products have
@@ -55,7 +67,10 @@ impl PaneR {
         let d = graph.num_attributes();
         let k2 = cfg.half_dim();
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xBADC0FFE);
-        let scale = (aff.forward.frob_norm_sq() / (n * d) as f64).sqrt().max(1e-12) / (k2 as f64).sqrt();
+        let scale = (aff.forward.frob_norm_sq() / (n * d) as f64)
+            .sqrt()
+            .max(1e-12)
+            / (k2 as f64).sqrt();
         let mut xf = DenseMatrix::gaussian(n, k2, &mut rng);
         let mut xb = DenseMatrix::gaussian(n, k2, &mut rng);
         let mut y = DenseMatrix::gaussian(d, k2, &mut rng);
@@ -78,7 +93,11 @@ impl PaneR {
             forward: state.xf,
             backward: state.xb,
             attribute: state.y,
-            timings: PaneTimings { affinity_secs, init_secs, ccd_secs },
+            timings: PaneTimings {
+                affinity_secs,
+                init_secs,
+                ccd_secs,
+            },
             objective,
         })
     }
@@ -102,7 +121,11 @@ mod tests {
     }
 
     fn cfg(sweeps: usize) -> PaneConfig {
-        PaneConfig::builder().dimension(16).ccd_sweeps(sweeps).seed(1).build()
+        PaneConfig::builder()
+            .dimension(16)
+            .ccd_sweeps(sweeps)
+            .seed(1)
+            .build()
     }
 
     #[test]
@@ -125,7 +148,12 @@ mod tests {
         let g = graph();
         let few = PaneR::new(cfg(1)).embed(&g).unwrap();
         let many = PaneR::new(cfg(12)).embed(&g).unwrap();
-        assert!(many.objective < few.objective, "{} !< {}", many.objective, few.objective);
+        assert!(
+            many.objective < few.objective,
+            "{} !< {}",
+            many.objective,
+            few.objective
+        );
     }
 
     #[test]

@@ -143,7 +143,13 @@ mod tests {
 
     #[test]
     fn attr_svd_handles_tiny_attribute_space() {
-        let g = generate_sbm(&SbmConfig { nodes: 50, attributes: 2, attrs_per_node: 1.0, seed: 7, ..Default::default() });
+        let g = generate_sbm(&SbmConfig {
+            nodes: 50,
+            attributes: 2,
+            attrs_per_node: 1.0,
+            seed: 7,
+            ..Default::default()
+        });
         let m = AttrSvd::fit(&g, 16, 0);
         assert_eq!(m.x.rows(), 50);
         assert!(m.x.cols() <= 2);

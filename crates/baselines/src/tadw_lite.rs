@@ -38,7 +38,10 @@ impl TadwLite {
     /// # Panics
     /// Panics if the graph exceeds [`MAX_NODES`] (the method is quadratic).
     pub fn fit(g: &AttributedGraph, dim: usize, iters: usize, seed: u64) -> Self {
-        assert!(dim >= 2 && dim.is_multiple_of(2), "dim must be even and >= 2");
+        assert!(
+            dim >= 2 && dim.is_multiple_of(2),
+            "dim must be even and >= 2"
+        );
         assert!(
             g.num_nodes() <= MAX_NODES,
             "TADW-like baseline materializes an n×n matrix; {} nodes exceeds the {} cap",
@@ -70,9 +73,9 @@ impl TadwLite {
         let t_pinv_t = pinv(&t, 1e-10).transpose(); // n × q
         for _ in 0..iters.max(1) {
             let z = t.matmul_transb(&h); // n × k/2
-            // W = argmin ‖M − W·Zᵀ‖ = M·(Zᵀ)⁺ = M·(Z⁺)ᵀ.
+                                         // W = argmin ‖M − W·Zᵀ‖ = M·(Zᵀ)⁺ = M·(Z⁺)ᵀ.
             w = m.matmul(&pinv(&z, 1e-10).transpose()); // (n×n)·(n×k/2)
-            // H = argmin ‖M − W·H·Tᵀ‖ = W⁺·M·(Tᵀ)⁺ = W⁺·(M·(T⁺)ᵀ).
+                                                        // H = argmin ‖M − W·H·Tᵀ‖ = W⁺·M·(Tᵀ)⁺ = W⁺·(M·(T⁺)ᵀ).
             let mt = m.matmul(&t_pinv_t); // n × q, M on the left again
             h = pinv(&w, 1e-10).matmul(&mt); // (k/2×n)·(n×q)
         }
@@ -119,7 +122,12 @@ mod tests {
 
     #[test]
     fn als_reduces_reconstruction_error() {
-        let g = generate_sbm(&SbmConfig { nodes: 120, attributes: 20, seed: 5, ..Default::default() });
+        let g = generate_sbm(&SbmConfig {
+            nodes: 120,
+            attributes: 20,
+            seed: 5,
+            ..Default::default()
+        });
         let und = g.symmetrize();
         let p = und.random_walk_matrix(DanglingPolicy::SelfLoop).to_dense();
         let mut m = p.matmul(&p);
@@ -128,7 +136,12 @@ mod tests {
         let err = |model: &TadwLite| model.w.matmul_transb(&model.th).sub(&m).frob_norm();
         let short = TadwLite::fit(&g, 16, 1, 7);
         let long = TadwLite::fit(&g, 16, 5, 7);
-        assert!(err(&long) <= err(&short) + 1e-9, "ALS diverged: {} -> {}", err(&short), err(&long));
+        assert!(
+            err(&long) <= err(&short) + 1e-9,
+            "ALS diverged: {} -> {}",
+            err(&short),
+            err(&long)
+        );
         // And it must beat the zero model.
         assert!(err(&long) < m.frob_norm());
     }
@@ -136,7 +149,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "cap")]
     fn node_cap_enforced() {
-        let g = generate_sbm(&SbmConfig { nodes: MAX_NODES + 1, avg_out_degree: 1.0, seed: 6, ..Default::default() });
+        let g = generate_sbm(&SbmConfig {
+            nodes: MAX_NODES + 1,
+            avg_out_degree: 1.0,
+            seed: 6,
+            ..Default::default()
+        });
         let _ = TadwLite::fit(&g, 8, 1, 0);
     }
 }

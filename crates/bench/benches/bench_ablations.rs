@@ -25,7 +25,11 @@ fn bench_vs_eps(c: &mut Criterion) {
     let mut group = c.benchmark_group("time_vs_eps");
     group.sample_size(10);
     for eps in [0.25f64, 0.05, 0.005] {
-        let cfg = PaneConfig::builder().dimension(32).error_threshold(eps).seed(1).build();
+        let cfg = PaneConfig::builder()
+            .dimension(32)
+            .error_threshold(eps)
+            .seed(1)
+            .build();
         group.bench_with_input(BenchmarkId::new("eps", format!("{eps}")), &eps, |b, _| {
             b.iter(|| Pane::new(cfg.clone()).embed(&g).unwrap());
         });
@@ -35,7 +39,11 @@ fn bench_vs_eps(c: &mut Criterion) {
 
 fn bench_greedy_vs_random_init(c: &mut Criterion) {
     let g = DatasetZoo::CoraLike.generate_scaled(0.25, 3).graph;
-    let cfg = PaneConfig::builder().dimension(32).ccd_sweeps(3).seed(1).build();
+    let cfg = PaneConfig::builder()
+        .dimension(32)
+        .ccd_sweeps(3)
+        .seed(1)
+        .build();
     let mut group = c.benchmark_group("init_ablation_3_sweeps");
     group.sample_size(10);
     group.bench_function("pane_greedy", |b| {
@@ -56,7 +64,11 @@ fn bench_dangling_policy(c: &mut Criterion) {
         ("absorb", DanglingPolicy::Absorb),
         ("uniform_jump", DanglingPolicy::UniformJump),
     ] {
-        let cfg = PaneConfig::builder().dimension(32).dangling(policy).seed(1).build();
+        let cfg = PaneConfig::builder()
+            .dimension(32)
+            .dangling(policy)
+            .seed(1)
+            .build();
         group.bench_function(name, |b| {
             b.iter(|| Pane::new(cfg.clone()).embed(&g).unwrap());
         });

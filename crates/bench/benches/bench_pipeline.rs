@@ -8,10 +8,12 @@
 //! * the pair scorers (Eq. 21 / Eq. 22 vs the four competitor scorers).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pane_core::{apmi, ccd_sweeps, greedy_init, papmi, sm_greedy_init, ApmiInputs, InitOptions, Pane, PaneConfig};
+use pane_core::{
+    apmi, ccd_sweeps, greedy_init, papmi, sm_greedy_init, ApmiInputs, InitOptions, Pane, PaneConfig,
+};
 use pane_datasets::DatasetZoo;
-use pane_eval::scoring::{PairScore, PaneScorer, SingleEmbeddingScorer};
 use pane_eval::scoring::LinkScorer;
+use pane_eval::scoring::{PairScore, PaneScorer, SingleEmbeddingScorer};
 use pane_graph::{AttributedGraph, DanglingPolicy};
 use pane_sparse::CsrMatrix;
 
@@ -25,13 +27,25 @@ struct Prepared {
 fn prepare(g: &AttributedGraph) -> Prepared {
     let p = g.random_walk_matrix(DanglingPolicy::SelfLoop);
     let pt = p.transpose();
-    Prepared { p, pt, rr: g.attr_row_normalized(), rc: g.attr_col_normalized() }
+    Prepared {
+        p,
+        pt,
+        rr: g.attr_row_normalized(),
+        rc: g.attr_col_normalized(),
+    }
 }
 
 fn bench_apmi(c: &mut Criterion) {
     let g = DatasetZoo::CoraLike.generate_scaled(0.5, 1).graph;
     let pre = prepare(&g);
-    let ins = ApmiInputs { p: &pre.p, pt: &pre.pt, rr: &pre.rr, rc: &pre.rc, alpha: 0.5, t: 6 };
+    let ins = ApmiInputs {
+        p: &pre.p,
+        pt: &pre.pt,
+        rr: &pre.rr,
+        rc: &pre.rc,
+        alpha: 0.5,
+        t: 6,
+    };
     let mut group = c.benchmark_group("apmi");
     group.sample_size(10);
     group.bench_function("apmi(cora-like/2, t=6)", |b| b.iter(|| apmi(&ins)));
@@ -46,9 +60,21 @@ fn bench_apmi(c: &mut Criterion) {
 fn bench_init(c: &mut Criterion) {
     let g = DatasetZoo::CoraLike.generate_scaled(0.5, 2).graph;
     let pre = prepare(&g);
-    let ins = ApmiInputs { p: &pre.p, pt: &pre.pt, rr: &pre.rr, rc: &pre.rc, alpha: 0.5, t: 6 };
+    let ins = ApmiInputs {
+        p: &pre.p,
+        pt: &pre.pt,
+        rr: &pre.rr,
+        rc: &pre.rc,
+        alpha: 0.5,
+        t: 6,
+    };
     let aff = apmi(&ins);
-    let opts = InitOptions { half_dim: 32, power_iters: 3, oversample: 8, seed: 5 };
+    let opts = InitOptions {
+        half_dim: 32,
+        power_iters: 3,
+        oversample: 8,
+        seed: 5,
+    };
     let mut group = c.benchmark_group("init");
     group.sample_size(10);
     group.bench_function("greedy_init", |b| {
@@ -63,9 +89,21 @@ fn bench_init(c: &mut Criterion) {
 fn bench_ccd_sweep(c: &mut Criterion) {
     let g = DatasetZoo::CoraLike.generate_scaled(0.5, 3).graph;
     let pre = prepare(&g);
-    let ins = ApmiInputs { p: &pre.p, pt: &pre.pt, rr: &pre.rr, rc: &pre.rc, alpha: 0.5, t: 6 };
+    let ins = ApmiInputs {
+        p: &pre.p,
+        pt: &pre.pt,
+        rr: &pre.rr,
+        rc: &pre.rc,
+        alpha: 0.5,
+        t: 6,
+    };
     let aff = apmi(&ins);
-    let opts = InitOptions { half_dim: 32, power_iters: 3, oversample: 8, seed: 5 };
+    let opts = InitOptions {
+        half_dim: 32,
+        power_iters: 3,
+        oversample: 8,
+        seed: 5,
+    };
     let state0 = greedy_init(&aff.forward, &aff.backward, &opts, 1);
     let mut group = c.benchmark_group("ccd_sweep");
     group.sample_size(10);
@@ -100,21 +138,45 @@ fn bench_scorers(c: &mut Criterion) {
     let cfg = PaneConfig::builder().dimension(32).seed(1).build();
     let emb = Pane::new(cfg).embed(&g).unwrap();
     let scorer = PaneScorer::new(&emb);
-    let pairs: Vec<(usize, usize)> = (0..1000).map(|i| (i % g.num_nodes(), (i * 7 + 3) % g.num_nodes())).collect();
+    let pairs: Vec<(usize, usize)> = (0..1000)
+        .map(|i| (i % g.num_nodes(), (i * 7 + 3) % g.num_nodes()))
+        .collect();
     let mut group = c.benchmark_group("scorers_1000_pairs");
     group.bench_function("pane_eq22", |b| {
-        b.iter(|| pairs.iter().map(|&(s, t)| scorer.link_score(s, t)).sum::<f64>());
+        b.iter(|| {
+            pairs
+                .iter()
+                .map(|&(s, t)| scorer.link_score(s, t))
+                .sum::<f64>()
+        });
     });
     let inner = SingleEmbeddingScorer::new(&emb.forward, PairScore::InnerProduct, None, 0);
     group.bench_function("inner_product", |b| {
-        b.iter(|| pairs.iter().map(|&(s, t)| inner.link_score(s, t)).sum::<f64>());
+        b.iter(|| {
+            pairs
+                .iter()
+                .map(|&(s, t)| inner.link_score(s, t))
+                .sum::<f64>()
+        });
     });
     let cos = SingleEmbeddingScorer::new(&emb.forward, PairScore::Cosine, None, 0);
     group.bench_function("cosine", |b| {
-        b.iter(|| pairs.iter().map(|&(s, t)| cos.link_score(s, t)).sum::<f64>());
+        b.iter(|| {
+            pairs
+                .iter()
+                .map(|&(s, t)| cos.link_score(s, t))
+                .sum::<f64>()
+        });
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_apmi, bench_init, bench_ccd_sweep, bench_end_to_end, bench_scorers);
+criterion_group!(
+    benches,
+    bench_apmi,
+    bench_init,
+    bench_ccd_sweep,
+    bench_end_to_end,
+    bench_scorers
+);
 criterion_main!(benches);

@@ -71,5 +71,10 @@ fn bench_factorizations(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_spmm, bench_dense_products, bench_factorizations);
+criterion_group!(
+    benches,
+    bench_spmm,
+    bench_dense_products,
+    bench_factorizations
+);
 criterion_main!(benches);

@@ -38,7 +38,10 @@ impl NodeFeatureSource for Precomputed<'_> {
 
 fn main() {
     let scale = scale_from_env();
-    let params = HarnessParams { threads: threads_from_env(), ..Default::default() };
+    let params = HarnessParams {
+        threads: threads_from_env(),
+        ..Default::default()
+    };
     let fractions = [0.1, 0.3, 0.5, 0.7, 0.9];
     let datasets: Vec<DatasetZoo> = match std::env::var("PANE_DATASETS").ok().as_deref() {
         Some("small") => DatasetZoo::SMALL.to_vec(),
@@ -57,7 +60,9 @@ fn main() {
 
         // Subsample labeled nodes once per dataset (shared across methods).
         let mut keep: Vec<bool> = vec![true; g.num_nodes()];
-        let labeled = (0..g.num_nodes()).filter(|&v| !g.labels_of(v).is_empty()).count();
+        let labeled = (0..g.num_nodes())
+            .filter(|&v| !g.labels_of(v).is_empty())
+            .count();
         if labeled > CLASS_NODE_CAP {
             let mut rng = StdRng::seed_from_u64(7);
             let p = CLASS_NODE_CAP as f64 / labeled as f64;
@@ -66,7 +71,13 @@ fn main() {
             }
         }
         let labels: Vec<Vec<u32>> = (0..g.num_nodes())
-            .map(|v| if keep[v] { g.labels_of(v).to_vec() } else { Vec::new() })
+            .map(|v| {
+                if keep[v] {
+                    g.labels_of(v).to_vec()
+                } else {
+                    Vec::new()
+                }
+            })
             .collect();
 
         for kind in MethodKind::CLASS {
@@ -74,10 +85,21 @@ fn main() {
                 eprintln!("[fig2] {} skipped on {}", kind.name(), zoo.name());
                 continue;
             };
-            eprintln!("[fig2] {} embedded {} in {:.1}s", kind.name(), zoo.name(), fit_secs);
+            eprintln!(
+                "[fig2] {} embedded {} in {:.1}s",
+                kind.name(),
+                zoo.name(),
+                fit_secs
+            );
             let src = Precomputed { x: &x };
             for &frac in &fractions {
-                let opts = NodeClassOptions { train_frac: frac, repeats: 3, seed: 3, epochs: 80, ..Default::default() };
+                let opts = NodeClassOptions {
+                    train_frac: frac,
+                    repeats: 3,
+                    seed: 3,
+                    epochs: 80,
+                    ..Default::default()
+                };
                 let r = node_classification(&src, &labels, g.num_labels(), &opts);
                 rep.row(&[
                     zoo.name().into(),

@@ -12,7 +12,10 @@ use pane_eval::split::split_edges;
 
 fn main() {
     let scale = scale_from_env();
-    let params = HarnessParams { threads: threads_from_env(), ..Default::default() };
+    let params = HarnessParams {
+        threads: threads_from_env(),
+        ..Default::default()
+    };
     let datasets: Vec<DatasetZoo> = match std::env::var("PANE_DATASETS").ok().as_deref() {
         Some("small") => DatasetZoo::SMALL.to_vec(),
         _ => DatasetZoo::ALL.to_vec(),
@@ -37,7 +40,12 @@ fn main() {
         for (z, split) in datasets.iter().zip(&splits) {
             match eval_link(kind, split, &params) {
                 Some(eval) => {
-                    eprintln!("[fig3] {} on {}: {:.2}s", kind.name(), z.name(), eval.fit_secs);
+                    eprintln!(
+                        "[fig3] {} on {}: {:.2}s",
+                        kind.name(),
+                        z.name(),
+                        eval.fit_secs
+                    );
                     cells.push(format!("{:.2}", eval.fit_secs));
                 }
                 None => cells.push("-".into()),

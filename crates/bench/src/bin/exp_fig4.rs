@@ -22,6 +22,9 @@ fn cfg(k: usize, eps: f64, nb: usize) -> PaneConfig {
         .alpha(0.5)
         .error_threshold(eps)
         .threads(nb)
+        // 4a times the paper's parallel pipeline (Algorithm 5 incl.
+        // split-merge init), not the thread-invariant library default.
+        .init_strategy(pane_core::InitStrategy::for_threads(nb))
         .seed(42)
         .build()
 }
@@ -76,7 +79,12 @@ fn main() {
         for eps in [0.001, 0.005, 0.015, 0.05, 0.25] {
             let t = pane_core::iterations_for(eps, 0.5);
             let (_, secs) = timed(|| Pane::new(cfg(64, eps, 4)).embed(g).unwrap());
-            rep_c.row(&[z.name().into(), format!("{eps}"), t.to_string(), format!("{secs:.2}")]);
+            rep_c.row(&[
+                z.name().into(),
+                format!("{eps}"),
+                t.to_string(),
+                format!("{secs:.2}"),
+            ]);
             eprintln!("[fig4c] {} eps={eps}: {secs:.2}s", z.name());
         }
     }

@@ -16,6 +16,9 @@ fn run(split: &AttrSplit, k: usize, nb: usize, eps: f64, alpha: f64) -> f64 {
         .alpha(alpha)
         .error_threshold(eps)
         .threads(nb)
+        // The nb sweep reproduces the paper's split-merge ablation; the
+        // default Greedy init is bit-invariant in nb and would flatline it.
+        .init_strategy(pane_core::InitStrategy::for_threads(nb))
         .seed(42)
         .build();
     let emb = Pane::new(cfg).embed(&split.residual).expect("embed");
@@ -34,26 +37,49 @@ fn main() {
         })
         .collect();
 
-    let mut rep = Report::new("fig5_attr_inference_params", &["dataset", "param", "value", "AUC"]);
+    let mut rep = Report::new(
+        "fig5_attr_inference_params",
+        &["dataset", "param", "value", "AUC"],
+    );
     for (z, split) in &splits {
         for k in [16usize, 32, 64, 128, 256] {
             let auc = run(split, k, 1, p.epsilon, p.alpha);
-            rep.row(&[z.name().into(), "k".into(), k.to_string(), format!("{auc:.3}")]);
+            rep.row(&[
+                z.name().into(),
+                "k".into(),
+                k.to_string(),
+                format!("{auc:.3}"),
+            ]);
             eprintln!("[fig5] {} k={k}: {auc:.3}", z.name());
         }
         for nb in [1usize, 2, 5, 10, 20] {
             let auc = run(split, p.k, nb, p.epsilon, p.alpha);
-            rep.row(&[z.name().into(), "nb".into(), nb.to_string(), format!("{auc:.3}")]);
+            rep.row(&[
+                z.name().into(),
+                "nb".into(),
+                nb.to_string(),
+                format!("{auc:.3}"),
+            ]);
             eprintln!("[fig5] {} nb={nb}: {auc:.3}", z.name());
         }
         for eps in [0.001, 0.005, 0.015, 0.05, 0.25] {
             let auc = run(split, p.k, 1, eps, p.alpha);
-            rep.row(&[z.name().into(), "eps".into(), format!("{eps}"), format!("{auc:.3}")]);
+            rep.row(&[
+                z.name().into(),
+                "eps".into(),
+                format!("{eps}"),
+                format!("{auc:.3}"),
+            ]);
             eprintln!("[fig5] {} eps={eps}: {auc:.3}", z.name());
         }
         for alpha in [0.1, 0.3, 0.5, 0.7, 0.9] {
             let auc = run(split, p.k, 1, p.epsilon, alpha);
-            rep.row(&[z.name().into(), "alpha".into(), format!("{alpha}"), format!("{auc:.3}")]);
+            rep.row(&[
+                z.name().into(),
+                "alpha".into(),
+                format!("{alpha}"),
+                format!("{auc:.3}"),
+            ]);
             eprintln!("[fig5] {} alpha={alpha}: {auc:.3}", z.name());
         }
     }

@@ -10,8 +10,8 @@ use pane_core::{Pane, PaneConfig};
 use pane_datasets::DatasetZoo;
 use pane_eval::scoring::PaneScorer;
 use pane_eval::split::{split_attribute_entries, split_edges};
-use pane_eval::tasks::link_pred::evaluate_link_scorer;
 use pane_eval::tasks::evaluate_attr_scorer;
+use pane_eval::tasks::link_pred::evaluate_link_scorer;
 
 fn cfg(sweeps: usize) -> PaneConfig {
     PaneConfig::builder()
@@ -25,11 +25,21 @@ fn cfg(sweeps: usize) -> PaneConfig {
 
 fn main() {
     let scale = scale_from_env();
-    let datasets = [DatasetZoo::FacebookLike, DatasetZoo::PubmedLike, DatasetZoo::FlickrLike];
+    let datasets = [
+        DatasetZoo::FacebookLike,
+        DatasetZoo::PubmedLike,
+        DatasetZoo::FlickrLike,
+    ];
     let sweeps = [1usize, 2, 5, 10, 20];
 
-    let mut rep7 = Report::new("fig7_greedy_init_link", &["dataset", "init", "t", "time (s)", "AUC"]);
-    let mut rep8 = Report::new("fig8_greedy_init_attr", &["dataset", "init", "t", "time (s)", "AUC"]);
+    let mut rep7 = Report::new(
+        "fig7_greedy_init_link",
+        &["dataset", "init", "t", "time (s)", "AUC"],
+    );
+    let mut rep8 = Report::new(
+        "fig8_greedy_init_attr",
+        &["dataset", "init", "t", "time (s)", "AUC"],
+    );
 
     for zoo in datasets {
         let ds = zoo.generate_scaled(scale, 42);
@@ -42,24 +52,58 @@ fn main() {
             // PANE with GreedyInit.
             let (emb, secs) = timed(|| Pane::new(cfg(t)).embed(&link_split.residual).unwrap());
             let auc = evaluate_link_scorer(&PaneScorer::new(&emb), &link_split, sym).auc;
-            rep7.row(&[zoo.name().into(), "greedy".into(), t.to_string(), format!("{secs:.2}"), format!("{auc:.3}")]);
-            eprintln!("[fig7] {} greedy t={t}: {secs:.2}s AUC {auc:.3}", zoo.name());
+            rep7.row(&[
+                zoo.name().into(),
+                "greedy".into(),
+                t.to_string(),
+                format!("{secs:.2}"),
+                format!("{auc:.3}"),
+            ]);
+            eprintln!(
+                "[fig7] {} greedy t={t}: {secs:.2}s AUC {auc:.3}",
+                zoo.name()
+            );
 
             // PANE-R.
             let (emb_r, secs_r) = timed(|| PaneR::new(cfg(t)).embed(&link_split.residual).unwrap());
             let auc_r = evaluate_link_scorer(&PaneScorer::new(&emb_r), &link_split, sym).auc;
-            rep7.row(&[zoo.name().into(), "random".into(), t.to_string(), format!("{secs_r:.2}"), format!("{auc_r:.3}")]);
-            eprintln!("[fig7] {} random t={t}: {secs_r:.2}s AUC {auc_r:.3}", zoo.name());
+            rep7.row(&[
+                zoo.name().into(),
+                "random".into(),
+                t.to_string(),
+                format!("{secs_r:.2}"),
+                format!("{auc_r:.3}"),
+            ]);
+            eprintln!(
+                "[fig7] {} random t={t}: {secs_r:.2}s AUC {auc_r:.3}",
+                zoo.name()
+            );
 
             // Figure 8: attribute inference on the attribute split.
             let (emb_a, secs_a) = timed(|| Pane::new(cfg(t)).embed(&attr_split.residual).unwrap());
             let auc_a = evaluate_attr_scorer(&PaneScorer::new(&emb_a), &attr_split).auc;
-            rep8.row(&[zoo.name().into(), "greedy".into(), t.to_string(), format!("{secs_a:.2}"), format!("{auc_a:.3}")]);
+            rep8.row(&[
+                zoo.name().into(),
+                "greedy".into(),
+                t.to_string(),
+                format!("{secs_a:.2}"),
+                format!("{auc_a:.3}"),
+            ]);
 
-            let (emb_ar, secs_ar) = timed(|| PaneR::new(cfg(t)).embed(&attr_split.residual).unwrap());
+            let (emb_ar, secs_ar) =
+                timed(|| PaneR::new(cfg(t)).embed(&attr_split.residual).unwrap());
             let auc_ar = evaluate_attr_scorer(&PaneScorer::new(&emb_ar), &attr_split).auc;
-            rep8.row(&[zoo.name().into(), "random".into(), t.to_string(), format!("{secs_ar:.2}"), format!("{auc_ar:.3}")]);
-            eprintln!("[fig8] {} t={t}: greedy {auc_a:.3} vs random {auc_ar:.3}", zoo.name());
+            rep8.row(&[
+                zoo.name().into(),
+                "random".into(),
+                t.to_string(),
+                format!("{secs_ar:.2}"),
+                format!("{auc_ar:.3}"),
+            ]);
+            eprintln!(
+                "[fig8] {} t={t}: greedy {auc_a:.3} vs random {auc_ar:.3}",
+                zoo.name()
+            );
         }
     }
     rep7.finish().expect("write results");

@@ -27,7 +27,14 @@ fn main() {
     let pt = p.transpose();
     let rr = g.attr_row_normalized();
     let rc = g.attr_col_normalized();
-    let aff = apmi(&ApmiInputs { p: &p, pt: &pt, rr: &rr, rc: &rc, alpha, t: 60 });
+    let aff = apmi(&ApmiInputs {
+        p: &p,
+        pt: &pt,
+        rr: &rr,
+        rc: &rc,
+        alpha,
+        t: 60,
+    });
 
     // Monte-Carlo estimate (the paper's "simulated random walks").
     let sim = WalkSimulator::new(&g, alpha, DanglingPolicy::SelfLoop, RestartRule::Discard);
@@ -35,12 +42,19 @@ fn main() {
     let (f_mc, b_mc) = sim.empirical_affinities(200_000, &mut rng);
 
     // Embedding approximation.
-    let cfg = PaneConfig::builder().dimension(6).alpha(alpha).error_threshold(0.001).seed(7).build();
+    let cfg = PaneConfig::builder()
+        .dimension(6)
+        .alpha(alpha)
+        .error_threshold(0.001)
+        .seed(7)
+        .build();
     let emb = Pane::new(cfg).embed(&g).expect("toy graph embeds");
 
     let mut rep = Report::new(
         "table2_running_example",
-        &["pair", "F (APMI)", "F (MC)", "Xf·Y", "B (APMI)", "B (MC)", "Xb·Y"],
+        &[
+            "pair", "F (APMI)", "F (MC)", "Xf·Y", "B (APMI)", "B (MC)", "Xb·Y",
+        ],
     );
     for v in 0..g.num_nodes() {
         for r in 0..g.num_attributes() {
@@ -72,5 +86,8 @@ fn main() {
         "  combined F+B repairs v5's ranking (prefers r1):    {}",
         f.get(V5, R1) + b.get(V5, R1) > f.get(V5, R3) + b.get(V5, R3)
     );
-    println!("  v1 (attribute-less) has high affinity with r1:     {}", f.get(V1, R1) > f.get(V1, R3));
+    println!(
+        "  v1 (attribute-less) has high affinity with r1:     {}",
+        f.get(V1, R1) > f.get(V1, R3)
+    );
 }

@@ -20,8 +20,18 @@ fn main() {
     let mut rep = Report::new(
         "table3_datasets",
         &[
-            "dataset", "|V| paper", "|V| ours", "|E_V| paper", "|E_V| ours", "|R| paper", "|R| ours",
-            "|E_R| paper", "|E_R| ours", "|L| paper", "|L| ours", "directed",
+            "dataset",
+            "|V| paper",
+            "|V| ours",
+            "|E_V| paper",
+            "|E_V| ours",
+            "|R| paper",
+            "|R| ours",
+            "|E_R| paper",
+            "|E_R| ours",
+            "|L| paper",
+            "|L| ours",
+            "directed",
         ],
     );
     for zoo in DatasetZoo::ALL {

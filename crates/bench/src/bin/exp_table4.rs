@@ -14,7 +14,10 @@ use pane_eval::split::split_attribute_entries;
 
 fn main() {
     let scale = scale_from_env();
-    let params = HarnessParams { threads: threads_from_env(), ..Default::default() };
+    let params = HarnessParams {
+        threads: threads_from_env(),
+        ..Default::default()
+    };
     let datasets: Vec<DatasetZoo> = match std::env::var("PANE_DATASETS").ok().as_deref() {
         Some("small") => DatasetZoo::SMALL.to_vec(),
         _ => DatasetZoo::ALL.to_vec(),

@@ -111,18 +111,29 @@ pub struct HarnessParams {
 
 impl Default for HarnessParams {
     fn default() -> Self {
-        Self { k: 64, alpha: 0.5, epsilon: 0.015, threads: 4, seed: 42 }
+        Self {
+            k: 64,
+            alpha: 0.5,
+            epsilon: 0.015,
+            threads: 4,
+            seed: 42,
+        }
     }
 }
 
 impl HarnessParams {
-    /// PaneConfig for the given thread count.
+    /// PaneConfig for the given thread count. Multi-threaded runs select
+    /// the paper's full parallel pipeline (Algorithm 5, split–merge init)
+    /// via [`pane_core::InitStrategy::for_threads`]: the experiments exist
+    /// to measure its quality/speed trade-off, which the library's
+    /// thread-invariant default Greedy init would hide.
     pub fn pane_config(&self, threads: usize) -> PaneConfig {
         PaneConfig::builder()
             .dimension(self.k)
             .alpha(self.alpha)
             .error_threshold(self.epsilon)
             .threads(threads)
+            .init_strategy(pane_core::InitStrategy::for_threads(threads))
             .seed(self.seed)
             .build()
     }
@@ -155,24 +166,41 @@ pub fn eval_link(kind: MethodKind, split: &EdgeSplit, p: &HarnessParams) -> Opti
     let symmetric = g.is_undirected();
     match kind {
         MethodKind::PaneSingle | MethodKind::PaneParallel => {
-            let threads = if kind == MethodKind::PaneParallel { p.threads } else { 1 };
+            let threads = if kind == MethodKind::PaneParallel {
+                p.threads
+            } else {
+                1
+            };
             let (emb, fit_secs) = crate::timed(|| Pane::new(p.pane_config(threads)).embed(g).ok());
             let emb = emb?;
             let scorer = PaneScorer::new(&emb);
             let result = evaluate_link_scorer(&scorer, split, symmetric);
-            Some(TaskEval { result, fit_secs, detail: "eq22".into() })
+            Some(TaskEval {
+                result,
+                fit_secs,
+                detail: "eq22".into(),
+            })
         }
         MethodKind::PaneR => {
             let (emb, fit_secs) = crate::timed(|| PaneR::new(p.pane_config(1)).embed(g).ok());
             let emb = emb?;
             let scorer = PaneScorer::new(&emb);
             let result = evaluate_link_scorer(&scorer, split, symmetric);
-            Some(TaskEval { result, fit_secs, detail: "eq22".into() })
+            Some(TaskEval {
+                result,
+                fit_secs,
+                detail: "eq22".into(),
+            })
         }
         MethodKind::NrpLite => {
-            let (model, fit_secs) = crate::timed(|| NrpLite::fit(g, p.k, p.alpha, p.iters(), p.seed));
+            let (model, fit_secs) =
+                crate::timed(|| NrpLite::fit(g, p.k, p.alpha, p.iters(), p.seed));
             let result = evaluate_link_scorer(&model, split, symmetric);
-            Some(TaskEval { result, fit_secs, detail: "xf·xb".into() })
+            Some(TaskEval {
+                result,
+                fit_secs,
+                detail: "xf·xb".into(),
+            })
         }
         MethodKind::TadwLite => {
             if g.num_nodes() > TADW_HARNESS_CAP {
@@ -181,27 +209,50 @@ pub fn eval_link(kind: MethodKind, split: &EdgeSplit, p: &HarnessParams) -> Opti
             let (model, fit_secs) = crate::timed(|| TadwLite::fit(g, p.k, 4, p.seed));
             let x = model.embedding();
             let (result, which) = best_of_four(&x, split, true, p.seed);
-            Some(TaskEval { result, fit_secs, detail: which.into() })
+            Some(TaskEval {
+                result,
+                fit_secs,
+                detail: which.into(),
+            })
         }
         MethodKind::CanLite => {
-            let (model, fit_secs) = crate::timed(|| CanLite::fit(g, p.k, p.alpha, p.iters(), p.seed));
+            let (model, fit_secs) =
+                crate::timed(|| CanLite::fit(g, p.k, p.alpha, p.iters(), p.seed));
             let (result, which) = best_of_four(model.node_embedding(), split, true, p.seed);
-            Some(TaskEval { result, fit_secs, detail: which.into() })
+            Some(TaskEval {
+                result,
+                fit_secs,
+                detail: which.into(),
+            })
         }
         MethodKind::BaneLite => {
-            let (model, fit_secs) = crate::timed(|| BaneLite::fit(g, p.k, p.alpha, p.iters(), p.seed));
+            let (model, fit_secs) =
+                crate::timed(|| BaneLite::fit(g, p.k, p.alpha, p.iters(), p.seed));
             let (result, which) = best_of_four(&model.x, split, true, p.seed);
-            Some(TaskEval { result, fit_secs, detail: which.into() })
+            Some(TaskEval {
+                result,
+                fit_secs,
+                detail: which.into(),
+            })
         }
         MethodKind::TopoSvd => {
-            let (model, fit_secs) = crate::timed(|| TopoSvd::fit(g, p.k, p.alpha, p.iters(), p.seed));
+            let (model, fit_secs) =
+                crate::timed(|| TopoSvd::fit(g, p.k, p.alpha, p.iters(), p.seed));
             let (result, which) = best_of_four(&model.x, split, true, p.seed);
-            Some(TaskEval { result, fit_secs, detail: which.into() })
+            Some(TaskEval {
+                result,
+                fit_secs,
+                detail: which.into(),
+            })
         }
         MethodKind::AttrSvd => {
             let (model, fit_secs) = crate::timed(|| AttrSvd::fit(g, p.k, p.seed));
             let (result, which) = best_of_four(&model.x, split, true, p.seed);
-            Some(TaskEval { result, fit_secs, detail: which.into() })
+            Some(TaskEval {
+                result,
+                fit_secs,
+                detail: which.into(),
+            })
         }
         MethodKind::BlaLite => None, // not a link predictor
     }
@@ -213,29 +264,50 @@ pub fn eval_attr(kind: MethodKind, split: &AttrSplit, p: &HarnessParams) -> Opti
     let g = &split.residual;
     match kind {
         MethodKind::PaneSingle | MethodKind::PaneParallel => {
-            let threads = if kind == MethodKind::PaneParallel { p.threads } else { 1 };
+            let threads = if kind == MethodKind::PaneParallel {
+                p.threads
+            } else {
+                1
+            };
             let (emb, fit_secs) = crate::timed(|| Pane::new(p.pane_config(threads)).embed(g).ok());
             let emb = emb?;
             let scorer = PaneScorer::new(&emb);
             let result = evaluate_attr_scorer(&scorer, split);
-            Some(TaskEval { result, fit_secs, detail: "eq21".into() })
+            Some(TaskEval {
+                result,
+                fit_secs,
+                detail: "eq21".into(),
+            })
         }
         MethodKind::PaneR => {
             let (emb, fit_secs) = crate::timed(|| PaneR::new(p.pane_config(1)).embed(g).ok());
             let emb = emb?;
             let scorer = PaneScorer::new(&emb);
             let result = evaluate_attr_scorer(&scorer, split);
-            Some(TaskEval { result, fit_secs, detail: "eq21".into() })
+            Some(TaskEval {
+                result,
+                fit_secs,
+                detail: "eq21".into(),
+            })
         }
         MethodKind::CanLite => {
-            let (model, fit_secs) = crate::timed(|| CanLite::fit(g, p.k, p.alpha, p.iters(), p.seed));
+            let (model, fit_secs) =
+                crate::timed(|| CanLite::fit(g, p.k, p.alpha, p.iters(), p.seed));
             let result = evaluate_attr_scorer(&model, split);
-            Some(TaskEval { result, fit_secs, detail: "x·y".into() })
+            Some(TaskEval {
+                result,
+                fit_secs,
+                detail: "x·y".into(),
+            })
         }
         MethodKind::BlaLite => {
             let (model, fit_secs) = crate::timed(|| BlaLite::fit(g, 0.7, p.iters()));
             let result = evaluate_attr_scorer(&model, split);
-            Some(TaskEval { result, fit_secs, detail: "propagation".into() })
+            Some(TaskEval {
+                result,
+                fit_secs,
+                detail: "propagation".into(),
+            })
         }
         _ => None,
     }
@@ -243,7 +315,11 @@ pub fn eval_attr(kind: MethodKind, split: &AttrSplit, p: &HarnessParams) -> Opti
 
 /// Fits `kind` on the full graph and returns per-node classifier features.
 /// `None` if the method cannot produce node features on this input.
-pub fn node_features(kind: MethodKind, g: &AttributedGraph, p: &HarnessParams) -> Option<(DenseMatrix, f64)> {
+pub fn node_features(
+    kind: MethodKind,
+    g: &AttributedGraph,
+    p: &HarnessParams,
+) -> Option<(DenseMatrix, f64)> {
     fn collect<S: NodeFeatureSource>(src: &S, n: usize) -> DenseMatrix {
         let dim = src.feature_dim();
         let mut x = DenseMatrix::zeros(n, dim);
@@ -255,7 +331,11 @@ pub fn node_features(kind: MethodKind, g: &AttributedGraph, p: &HarnessParams) -
     let n = g.num_nodes();
     match kind {
         MethodKind::PaneSingle | MethodKind::PaneParallel => {
-            let threads = if kind == MethodKind::PaneParallel { p.threads } else { 1 };
+            let threads = if kind == MethodKind::PaneParallel {
+                p.threads
+            } else {
+                1
+            };
             let (emb, secs) = crate::timed(|| Pane::new(p.pane_config(threads)).embed(g).ok());
             let emb = emb?;
             let scorer = PaneScorer::new(&emb);
@@ -313,7 +393,11 @@ mod tests {
     use pane_eval::split::{split_attribute_entries, split_edges};
 
     fn params() -> HarnessParams {
-        HarnessParams { k: 16, threads: 2, ..Default::default() }
+        HarnessParams {
+            k: 16,
+            threads: 2,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -323,7 +407,12 @@ mod tests {
         for kind in MethodKind::LINK {
             let out = eval_link(kind, &split, &params());
             let eval = out.unwrap_or_else(|| panic!("{} should run on a small graph", kind.name()));
-            assert!((0.0..=1.0).contains(&eval.result.auc), "{}: auc {}", kind.name(), eval.result.auc);
+            assert!(
+                (0.0..=1.0).contains(&eval.result.auc),
+                "{}: auc {}",
+                kind.name(),
+                eval.result.auc
+            );
         }
         // BLA declines link prediction.
         assert!(eval_link(MethodKind::BlaLite, &split, &params()).is_none());

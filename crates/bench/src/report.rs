@@ -35,7 +35,9 @@ impl Report {
 
     /// Root results directory: `$PANE_RESULTS_DIR` or `results/`.
     pub fn results_dir() -> PathBuf {
-        std::env::var("PANE_RESULTS_DIR").map(PathBuf::from).unwrap_or_else(|_| PathBuf::from("results"))
+        std::env::var("PANE_RESULTS_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| PathBuf::from("results"))
     }
 
     /// Writes `<dir>/<name>.tsv` and returns the rendered pretty table.
@@ -94,14 +96,21 @@ mod tests {
 
     #[test]
     fn pretty_alignment_and_tsv() {
-        std::env::set_var("PANE_RESULTS_DIR", std::env::temp_dir().join("pane_report_test").to_str().unwrap());
+        std::env::set_var(
+            "PANE_RESULTS_DIR",
+            std::env::temp_dir()
+                .join("pane_report_test")
+                .to_str()
+                .unwrap(),
+        );
         let mut r = Report::new("unit_test_report", &["method", "auc"]);
         r.row(&["pane".into(), "0.95".into()]);
         r.row(&["longer-method-name".into(), "0.5".into()]);
         let pretty = r.finish().unwrap();
         assert!(pretty.contains("method"));
         assert!(pretty.contains("longer-method-name"));
-        let tsv = std::fs::read_to_string(Report::results_dir().join("unit_test_report.tsv")).unwrap();
+        let tsv =
+            std::fs::read_to_string(Report::results_dir().join("unit_test_report.tsv")).unwrap();
         assert!(tsv.starts_with("method\tauc\n"));
         assert_eq!(tsv.lines().count(), 3);
         std::env::remove_var("PANE_RESULTS_DIR");

@@ -29,7 +29,10 @@ impl std::error::Error for ArgError {}
 impl Args {
     /// Parses raw tokens. `known_flags` take no value; every other
     /// `--key` consumes the next token as its value.
-    pub fn parse<I: IntoIterator<Item = String>>(tokens: I, known_flags: &[&str]) -> Result<Self, ArgError> {
+    pub fn parse<I: IntoIterator<Item = String>>(
+        tokens: I,
+        known_flags: &[&str],
+    ) -> Result<Self, ArgError> {
         let mut out = Args::default();
         let mut it = tokens.into_iter().peekable();
         while let Some(tok) = it.next() {
@@ -61,7 +64,8 @@ impl Args {
 
     /// Required string option.
     pub fn require(&self, key: &str) -> Result<&str, ArgError> {
-        self.get(key).ok_or_else(|| ArgError(format!("--{key} is required")))
+        self.get(key)
+            .ok_or_else(|| ArgError(format!("--{key} is required")))
     }
 
     /// Typed option with default.
@@ -106,8 +110,15 @@ mod tests {
 
     #[test]
     fn parse_mixed() {
-        let a = Args::parse(toks("embed --edges e.txt --undirected -k ignored --dim 64"), &["undirected"]).unwrap();
-        assert_eq!(a.positional(), &["embed".to_string(), "-k".into(), "ignored".into()]);
+        let a = Args::parse(
+            toks("embed --edges e.txt --undirected -k ignored --dim 64"),
+            &["undirected"],
+        )
+        .unwrap();
+        assert_eq!(
+            a.positional(),
+            &["embed".to_string(), "-k".into(), "ignored".into()]
+        );
         assert_eq!(a.get("edges"), Some("e.txt"));
         assert!(a.flag("undirected"));
         assert_eq!(a.get_parsed::<usize>("dim", 0).unwrap(), 64);

@@ -85,7 +85,9 @@ fn reject_positionals(a: &Args) -> Result<(), ArgError> {
 fn cmd_embed(raw: Vec<String>) -> CliResult {
     let a = Args::parse(raw, &["undirected", "text"])?;
     reject_positionals(&a)?;
-    a.reject_unknown(&["edges", "attrs", "labels", "dim", "alpha", "eps", "threads", "seed", "output"])?;
+    a.reject_unknown(&[
+        "edges", "attrs", "labels", "dim", "alpha", "eps", "threads", "seed", "output",
+    ])?;
     let g = load_from_args(&a)?;
     eprintln!("loaded graph: {}", g.stats());
 
@@ -126,7 +128,10 @@ fn cmd_generate(raw: Vec<String>) -> CliResult {
         .find(|z| z.name() == name)
         .ok_or_else(|| {
             let names: Vec<&str> = DatasetZoo::ALL.iter().map(|z| z.name()).collect();
-            ArgError(format!("unknown zoo entry '{name}'; options: {}", names.join(", ")))
+            ArgError(format!(
+                "unknown zoo entry '{name}'; options: {}",
+                names.join(", ")
+            ))
         })?;
     let scale = a.get_parsed("scale", 1.0f64)?;
     let seed = a.get_parsed("seed", 42u64)?;
@@ -141,7 +146,10 @@ fn cmd_generate(raw: Vec<String>) -> CliResult {
         &dir.join("attributes.txt"),
         &dir.join("labels.txt"),
     )?;
-    eprintln!("wrote edges.txt, attributes.txt, labels.txt under {}", dir.display());
+    eprintln!(
+        "wrote edges.txt, attributes.txt, labels.txt under {}",
+        dir.display()
+    );
     Ok(())
 }
 
@@ -155,10 +163,18 @@ fn cmd_stats(raw: Vec<String>) -> CliResult {
     // Extra diagnostics beyond Table 3.
     let n = g.num_nodes().max(1);
     let dangling = (0..g.num_nodes()).filter(|&v| g.out_degree(v) == 0).count();
-    let attributed = (0..g.num_nodes()).filter(|&v| !g.node_attributes(v).0.is_empty()).count();
+    let attributed = (0..g.num_nodes())
+        .filter(|&v| !g.node_attributes(v).0.is_empty())
+        .count();
     println!("avg out-degree: {:.2}", g.num_edges() as f64 / n as f64);
-    println!("dangling nodes: {dangling} ({:.1}%)", 100.0 * dangling as f64 / n as f64);
-    println!("attributed nodes: {attributed} ({:.1}%)", 100.0 * attributed as f64 / n as f64);
+    println!(
+        "dangling nodes: {dangling} ({:.1}%)",
+        100.0 * dangling as f64 / n as f64
+    );
+    println!(
+        "attributed nodes: {attributed} ({:.1}%)",
+        100.0 * attributed as f64 / n as f64
+    );
     println!(
         "avg attributes per node: {:.2}",
         g.num_attribute_entries() as f64 / n as f64
@@ -181,7 +197,9 @@ fn cmd_stats(raw: Vec<String>) -> CliResult {
 fn cmd_evaluate(raw: Vec<String>) -> CliResult {
     let a = Args::parse(raw, &["undirected"])?;
     reject_positionals(&a)?;
-    a.reject_unknown(&["edges", "attrs", "labels", "dim", "alpha", "eps", "threads", "seed", "binary"])?;
+    a.reject_unknown(&[
+        "edges", "attrs", "labels", "dim", "alpha", "eps", "threads", "seed", "binary",
+    ])?;
     let g = if let Some(bin) = a.get("binary") {
         pane_graph::io_binary::load_graph_binary(std::path::Path::new(bin))?
     } else {
@@ -196,7 +214,9 @@ fn cmd_evaluate(raw: Vec<String>) -> CliResult {
         .seed(a.get_parsed("seed", 0u64)?)
         .try_build()?;
     let card = pane_eval::report_card(&g, &pane_eval::ReportOptions::default(), |residual| {
-        Pane::new(config.clone()).embed(residual).expect("embedding failed")
+        Pane::new(config.clone())
+            .embed(residual)
+            .expect("embedding failed")
     });
     println!("{card}");
     Ok(())
@@ -211,7 +231,12 @@ fn cmd_convert(raw: Vec<String>) -> CliResult {
         // binary -> text triple (output is a directory)
         let g = pane_graph::io_binary::load_graph_binary(std::path::Path::new(bin))?;
         std::fs::create_dir_all(&out)?;
-        pane_graph::io::save_graph(&g, &out.join("edges.txt"), &out.join("attributes.txt"), &out.join("labels.txt"))?;
+        pane_graph::io::save_graph(
+            &g,
+            &out.join("edges.txt"),
+            &out.join("attributes.txt"),
+            &out.join("labels.txt"),
+        )?;
         eprintln!("wrote text graph under {}", out.display());
     } else {
         // text -> binary

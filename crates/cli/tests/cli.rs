@@ -3,17 +3,13 @@
 use std::path::PathBuf;
 use std::process::Command;
 
-fn pane_bin() -> PathBuf {
-    // target/debug/pane next to this test binary's directory.
-    let mut p = std::env::current_exe().unwrap();
-    p.pop(); // deps/
-    p.pop(); // debug/
-    p.push("pane");
-    p
-}
-
 fn run(args: &[&str]) -> (bool, String, String) {
-    let out = Command::new(pane_bin()).args(args).output().expect("spawn pane");
+    // Cargo-provided absolute path to the freshly built `pane` binary —
+    // hermetic with respect to cwd, PATH, and target-dir layout.
+    let out = Command::new(env!("CARGO_BIN_EXE_pane"))
+        .args(args)
+        .output()
+        .expect("spawn pane");
     (
         out.status.success(),
         String::from_utf8_lossy(&out.stdout).into_owned(),
@@ -22,7 +18,10 @@ fn run(args: &[&str]) -> (bool, String, String) {
 }
 
 fn workdir(name: &str) -> PathBuf {
-    let d = std::env::temp_dir().join(format!("pane_cli_{}_{name}", std::process::id()));
+    // Cargo-owned scratch space (target/tmp), namespaced by pid so
+    // concurrent `cargo test` invocations cannot collide.
+    let d = PathBuf::from(env!("CARGO_TARGET_TMPDIR"))
+        .join(format!("pane_cli_{}_{name}", std::process::id()));
     std::fs::create_dir_all(&d).unwrap();
     d
 }
@@ -33,7 +32,17 @@ fn full_workflow() {
     let dir_s = dir.to_str().unwrap();
 
     // generate
-    let (ok, _, err) = run(&["generate", "--zoo", "cora-like", "--scale", "0.05", "--seed", "1", "--out-dir", dir_s]);
+    let (ok, _, err) = run(&[
+        "generate",
+        "--zoo",
+        "cora-like",
+        "--scale",
+        "0.05",
+        "--seed",
+        "1",
+        "--out-dir",
+        dir_s,
+    ]);
     assert!(ok, "generate failed: {err}");
     assert!(dir.join("edges.txt").exists());
 
@@ -97,7 +106,17 @@ fn full_workflow() {
 fn text_embedding_roundtrip() {
     let dir = workdir("text");
     let dir_s = dir.to_str().unwrap();
-    run(&["generate", "--zoo", "pubmed-like", "--scale", "0.01", "--seed", "2", "--out-dir", dir_s]);
+    run(&[
+        "generate",
+        "--zoo",
+        "pubmed-like",
+        "--scale",
+        "0.01",
+        "--seed",
+        "2",
+        "--out-dir",
+        dir_s,
+    ]);
     let emb = dir.join("emb.txt");
     let (ok, _, err) = run(&[
         "embed",
@@ -140,9 +159,17 @@ fn errors_are_reported() {
     assert!(err.contains("--edges"));
 
     // Bad zoo name lists the options.
-    let (ok, _, err) = run(&["generate", "--zoo", "nope", "--out-dir", "/tmp"]);
+    let dir = workdir("badzoo");
+    let (ok, _, err) = run(&[
+        "generate",
+        "--zoo",
+        "nope",
+        "--out-dir",
+        dir.to_str().unwrap(),
+    ]);
     assert!(!ok);
     assert!(err.contains("cora-like"));
+    std::fs::remove_dir_all(&dir).ok();
 
     // Nonexistent file.
     let (ok, _, err) = run(&["stats", "--edges", "/definitely/not/here.txt"]);
@@ -163,7 +190,17 @@ fn help_prints_commands() {
 fn evaluate_and_convert_commands() {
     let dir = workdir("eval");
     let dir_s = dir.to_str().unwrap();
-    run(&["generate", "--zoo", "cora-like", "--scale", "0.06", "--seed", "3", "--out-dir", dir_s]);
+    run(&[
+        "generate",
+        "--zoo",
+        "cora-like",
+        "--scale",
+        "0.06",
+        "--seed",
+        "3",
+        "--out-dir",
+        dir_s,
+    ]);
     let edges = dir.join("edges.txt");
     let attrs = dir.join("attributes.txt");
     let labels = dir.join("labels.txt");
@@ -171,10 +208,14 @@ fn evaluate_and_convert_commands() {
     // evaluate on the text graph
     let (ok, out, err) = run(&[
         "evaluate",
-        "--edges", edges.to_str().unwrap(),
-        "--attrs", attrs.to_str().unwrap(),
-        "--labels", labels.to_str().unwrap(),
-        "--dim", "16",
+        "--edges",
+        edges.to_str().unwrap(),
+        "--attrs",
+        attrs.to_str().unwrap(),
+        "--labels",
+        labels.to_str().unwrap(),
+        "--dim",
+        "16",
     ]);
     assert!(ok, "evaluate failed: {err}");
     assert!(out.contains("link prediction"), "evaluate output: {out}");
@@ -184,10 +225,14 @@ fn evaluate_and_convert_commands() {
     let bin = dir.join("graph.bin");
     let (ok, _, err) = run(&[
         "convert",
-        "--edges", edges.to_str().unwrap(),
-        "--attrs", attrs.to_str().unwrap(),
-        "--labels", labels.to_str().unwrap(),
-        "--output", bin.to_str().unwrap(),
+        "--edges",
+        edges.to_str().unwrap(),
+        "--attrs",
+        attrs.to_str().unwrap(),
+        "--labels",
+        labels.to_str().unwrap(),
+        "--output",
+        bin.to_str().unwrap(),
     ]);
     assert!(ok, "convert failed: {err}");
     assert!(bin.exists());
@@ -197,7 +242,13 @@ fn evaluate_and_convert_commands() {
 
     // convert back to text
     let back = dir.join("back");
-    let (ok, _, err) = run(&["convert", "--binary", bin.to_str().unwrap(), "--output", back.to_str().unwrap()]);
+    let (ok, _, err) = run(&[
+        "convert",
+        "--binary",
+        bin.to_str().unwrap(),
+        "--output",
+        back.to_str().unwrap(),
+    ]);
     assert!(ok, "convert back failed: {err}");
     assert!(back.join("edges.txt").exists());
 

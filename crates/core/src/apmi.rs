@@ -62,7 +62,10 @@ impl<'a> ApmiInputs<'a> {
         assert_eq!(self.rr.rows(), n, "R_r row mismatch");
         assert_eq!(self.rc.rows(), n, "R_c row mismatch");
         assert_eq!(self.rr.cols(), self.rc.cols(), "R_r/R_c column mismatch");
-        assert!(self.alpha > 0.0 && self.alpha < 1.0, "alpha must be in (0,1)");
+        assert!(
+            self.alpha > 0.0 && self.alpha < 1.0,
+            "alpha must be in (0,1)"
+        );
     }
 }
 
@@ -102,7 +105,10 @@ pub(crate) fn propagate(inputs: &ApmiInputs<'_>, nb: Option<usize>) -> (DenseMat
                 iterate(inputs.pt, &pb0, inputs.alpha, inputs.t)
             });
             // Lines 7–8: concatenate the per-thread panels horizontally.
-            (DenseMatrix::hstack(&pf_blocks), DenseMatrix::hstack(&pb_blocks))
+            (
+                DenseMatrix::hstack(&pf_blocks),
+                DenseMatrix::hstack(&pb_blocks),
+            )
         }
     }
 }
@@ -133,20 +139,29 @@ pub(crate) fn finish(pf: DenseMatrix, pb: DenseMatrix, nb: Option<usize>) -> Aff
     let mut forward = pf;
     let mut backward = pb;
 
-    let transform = |forward: &mut DenseMatrix, backward: &mut DenseMatrix, rows: std::ops::Range<usize>| {
-        for i in rows {
-            let frow = forward.row_mut(i);
-            for (j, v) in frow.iter_mut().enumerate() {
-                let s = col_sums[j];
-                *v = if s > 0.0 { (n * *v / s + 1.0).ln() } else { 0.0 };
+    let transform =
+        |forward: &mut DenseMatrix, backward: &mut DenseMatrix, rows: std::ops::Range<usize>| {
+            for i in rows {
+                let frow = forward.row_mut(i);
+                for (j, v) in frow.iter_mut().enumerate() {
+                    let s = col_sums[j];
+                    *v = if s > 0.0 {
+                        (n * *v / s + 1.0).ln()
+                    } else {
+                        0.0
+                    };
+                }
+                let rs = row_sums[i];
+                let brow = backward.row_mut(i);
+                for v in brow.iter_mut() {
+                    *v = if rs > 0.0 {
+                        (d * *v / rs + 1.0).ln()
+                    } else {
+                        0.0
+                    };
+                }
             }
-            let rs = row_sums[i];
-            let brow = backward.row_mut(i);
-            for v in brow.iter_mut() {
-                *v = if rs > 0.0 { (d * *v / rs + 1.0).ln() } else { 0.0 };
-            }
-        }
-    };
+        };
 
     let all_rows = 0..forward.rows();
     match nb {
@@ -161,20 +176,34 @@ pub(crate) fn finish(pf: DenseMatrix, pb: DenseMatrix, nb: Option<usize>) -> Aff
             let bw = &row_sums;
             let mut fdat = std::mem::replace(&mut forward, DenseMatrix::zeros(0, 0)).into_vec();
             let mut bdat = std::mem::replace(&mut backward, DenseMatrix::zeros(0, 0)).into_vec();
-            crossbeam_scope_rows(&mut fdat, &mut bdat, cols, &ranges, |range, fblock, bblock| {
-                for (bi, _i) in range.clone().enumerate() {
-                    let frow = &mut fblock[bi * cols..(bi + 1) * cols];
-                    for (j, v) in frow.iter_mut().enumerate() {
-                        let s = fw[j];
-                        *v = if s > 0.0 { (n * *v / s + 1.0).ln() } else { 0.0 };
+            scope_rows(
+                &mut fdat,
+                &mut bdat,
+                cols,
+                &ranges,
+                |range, fblock, bblock| {
+                    for (bi, _i) in range.clone().enumerate() {
+                        let frow = &mut fblock[bi * cols..(bi + 1) * cols];
+                        for (j, v) in frow.iter_mut().enumerate() {
+                            let s = fw[j];
+                            *v = if s > 0.0 {
+                                (n * *v / s + 1.0).ln()
+                            } else {
+                                0.0
+                            };
+                        }
+                        let rs = bw[range.start + bi];
+                        let brow = &mut bblock[bi * cols..(bi + 1) * cols];
+                        for v in brow.iter_mut() {
+                            *v = if rs > 0.0 {
+                                (d * *v / rs + 1.0).ln()
+                            } else {
+                                0.0
+                            };
+                        }
                     }
-                    let rs = bw[range.start + bi];
-                    let brow = &mut bblock[bi * cols..(bi + 1) * cols];
-                    for v in brow.iter_mut() {
-                        *v = if rs > 0.0 { (d * *v / rs + 1.0).ln() } else { 0.0 };
-                    }
-                }
-            });
+                },
+            );
             forward = DenseMatrix::from_vec(rows, cols, fdat);
             backward = DenseMatrix::from_vec(rows, cols, bdat);
         }
@@ -185,7 +214,7 @@ pub(crate) fn finish(pf: DenseMatrix, pb: DenseMatrix, nb: Option<usize>) -> Aff
 
 /// Runs `f(range, forward_rows, backward_rows)` over matching row blocks of
 /// two same-shape row-major buffers, one scoped worker per block.
-fn crossbeam_scope_rows<F>(
+fn scope_rows<F>(
     fdat: &mut [f64],
     bdat: &mut [f64],
     cols: usize,
@@ -200,7 +229,7 @@ fn crossbeam_scope_rows<F>(
         }
         return;
     }
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let mut frest = fdat;
         let mut brest = bdat;
         for r in ranges {
@@ -211,10 +240,9 @@ fn crossbeam_scope_rows<F>(
             brest = bt;
             let f = &f;
             let r = r.clone();
-            s.spawn(move |_| f(r, fh, bh));
+            s.spawn(move || f(r, fh, bh));
         }
-    })
-    .expect("apmi: worker panicked");
+    });
 }
 
 #[cfg(test)]
@@ -223,7 +251,11 @@ mod tests {
     use super::*;
     use pane_graph::{toy, AttributedGraph, DanglingPolicy};
 
-    pub(crate) fn toy_inputs(g: &AttributedGraph, alpha: f64, t: usize) -> (CsrMatrix, CsrMatrix, CsrMatrix, CsrMatrix, f64, usize) {
+    pub(crate) fn toy_inputs(
+        g: &AttributedGraph,
+        alpha: f64,
+        t: usize,
+    ) -> (CsrMatrix, CsrMatrix, CsrMatrix, CsrMatrix, f64, usize) {
         let p = g.random_walk_matrix(DanglingPolicy::SelfLoop);
         let pt = p.transpose();
         let rr = g.attr_row_normalized();
@@ -233,7 +265,14 @@ mod tests {
 
     fn run_apmi(g: &AttributedGraph, alpha: f64, t: usize) -> AffinityPair {
         let (p, pt, rr, rc, alpha, t) = toy_inputs(g, alpha, t);
-        apmi(&ApmiInputs { p: &p, pt: &pt, rr: &rr, rc: &rc, alpha, t })
+        apmi(&ApmiInputs {
+            p: &p,
+            pt: &pt,
+            rr: &rr,
+            rc: &rc,
+            alpha,
+            t,
+        })
     }
 
     /// Dense reference implementation of the recurrence, for cross-checking.
@@ -261,7 +300,14 @@ mod tests {
     fn propagation_matches_dense_reference() {
         let g = toy::figure1_graph();
         let (p, pt, rr, rc, alpha, t) = toy_inputs(&g, 0.15, 5);
-        let inputs = ApmiInputs { p: &p, pt: &pt, rr: &rr, rc: &rc, alpha, t };
+        let inputs = ApmiInputs {
+            p: &p,
+            pt: &pt,
+            rr: &rr,
+            rc: &rc,
+            alpha,
+            t,
+        };
         let (pf, pb) = propagate(&inputs, None);
         let (rf, rb) = dense_reference(&g, 0.15, 5);
         assert!(pf.max_abs_diff(&rf) < 1e-12);
@@ -283,7 +329,14 @@ mod tests {
         }
         let g = b.build();
         let (p, pt, rr, rc, alpha, t) = toy_inputs(&g, 0.5, 7);
-        let inputs = ApmiInputs { p: &p, pt: &pt, rr: &rr, rc: &rc, alpha, t };
+        let inputs = ApmiInputs {
+            p: &p,
+            pt: &pt,
+            rr: &rr,
+            rc: &rc,
+            alpha,
+            t,
+        };
         let (pf, _) = propagate(&inputs, None);
         for s in pf.row_sums() {
             assert!((s - 1.0).abs() < 1e-12, "row sum {s}");
@@ -309,14 +362,20 @@ mod tests {
         let f = &aff.forward;
         let bm = &aff.backward;
         // v1 has high affinity with r1 (connected via v3, v4, v5).
-        assert!(f.get(V1, R1) > f.get(V1, R3), "forward: v1 should prefer r1 over r3");
+        assert!(
+            f.get(V1, R1) > f.get(V1, R3),
+            "forward: v1 should prefer r1 over r3"
+        );
         assert!(bm.get(V1, R1) > 0.0);
         // v5's forward affinity ranks r3 above r1 (the misleading case)...
         assert!(f.get(V5, R3) > f.get(V5, R1), "v5 forward should prefer r3");
         // ...but combining forward + backward repairs the ranking (v5 owns r1).
         let combined_r1 = f.get(V5, R1) + bm.get(V5, R1);
         let combined_r3 = f.get(V5, R3) + bm.get(V5, R3);
-        assert!(combined_r1 > combined_r3, "combined affinity should prefer owned r1");
+        assert!(
+            combined_r1 > combined_r3,
+            "combined affinity should prefer owned r1"
+        );
         // v6 strongly prefers its own r3 in the forward direction.
         assert!(f.get(V6, R3) > f.get(V6, R1));
     }
@@ -327,7 +386,14 @@ mod tests {
         let g = toy::figure1_graph();
         let (p, pt, rr, rc, ..) = toy_inputs(&g, 0.3, 0);
         let make = |t: usize| {
-            let inputs = ApmiInputs { p: &p, pt: &pt, rr: &rr, rc: &rc, alpha: 0.3, t };
+            let inputs = ApmiInputs {
+                p: &p,
+                pt: &pt,
+                rr: &rr,
+                rc: &rc,
+                alpha: 0.3,
+                t,
+            };
             propagate(&inputs, None).0
         };
         let d5 = make(5).max_abs_diff(&make(30));
@@ -360,7 +426,15 @@ mod tests {
         let sim = WalkSimulator::new(&g, alpha, DanglingPolicy::SelfLoop, RestartRule::Discard);
         let mut rng = StdRng::seed_from_u64(17);
         let (fe, be) = sim.empirical_affinities(40_000, &mut rng);
-        assert!(aff.forward.max_abs_diff(&fe) < 0.06, "forward diff {}", aff.forward.max_abs_diff(&fe));
-        assert!(aff.backward.max_abs_diff(&be) < 0.06, "backward diff {}", aff.backward.max_abs_diff(&be));
+        assert!(
+            aff.forward.max_abs_diff(&fe) < 0.06,
+            "forward diff {}",
+            aff.forward.max_abs_diff(&fe)
+        );
+        assert!(
+            aff.backward.max_abs_diff(&be) < 0.06,
+            "backward diff {}",
+            aff.backward.max_abs_diff(&be)
+        );
     }
 }

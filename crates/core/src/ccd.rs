@@ -70,7 +70,11 @@ fn x_phase(state: &mut InitState, nb: usize) {
     let ynorm: Vec<f64> = (0..k2).map(|l| vecops::norm2_sq(yt.row(l))).collect();
 
     let ranges = even_ranges_nonempty(n, nb);
-    let update_rows = |range: std::ops::Range<usize>, xf: &mut [f64], xb: &mut [f64], sf: &mut [f64], sb: &mut [f64]| {
+    let update_rows = |range: std::ops::Range<usize>,
+                       xf: &mut [f64],
+                       xb: &mut [f64],
+                       sf: &mut [f64],
+                       sb: &mut [f64]| {
         for bi in 0..(range.end - range.start) {
             let xf_row = &mut xf[bi * k2..(bi + 1) * k2];
             let xb_row = &mut xb[bi * k2..(bi + 1) * k2];
@@ -92,10 +96,16 @@ fn x_phase(state: &mut InitState, nb: usize) {
     };
 
     if ranges.len() <= 1 {
-        update_rows(0..n, state.xf.data_mut(), state.xb.data_mut(), state.sf.data_mut(), state.sb.data_mut());
+        update_rows(
+            0..n,
+            state.xf.data_mut(),
+            state.xb.data_mut(),
+            state.sf.data_mut(),
+            state.sb.data_mut(),
+        );
         return;
     }
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let mut xf_rest = state.xf.data_mut();
         let mut xb_rest = state.xb.data_mut();
         let mut sf_rest = state.sf.data_mut();
@@ -112,10 +122,9 @@ fn x_phase(state: &mut InitState, nb: usize) {
             sb_rest = sb_t;
             let f = &update_rows;
             let r = r.clone();
-            s.spawn(move |_| f(r, xf_h, xb_h, sf_h, sb_h));
+            s.spawn(move || f(r, xf_h, xb_h, sf_h, sb_h));
         }
-    })
-    .expect("ccd x-phase worker panicked");
+    });
 }
 
 /// Lines 10–14 of Algorithm 4 / lines 11–16 of Algorithm 8.
@@ -171,7 +180,7 @@ fn y_phase(state: &mut InitState, nb: usize) {
         }
         return;
     }
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let mut y_rest = state.y.data_mut();
         for ((r, mut sfb), mut sbb) in ranges.iter().zip(sf_blocks).zip(sb_blocks) {
             let rows = r.end - r.start;
@@ -179,10 +188,9 @@ fn y_phase(state: &mut InitState, nb: usize) {
             y_rest = y_t;
             let f = &update_attrs;
             let r = r.clone();
-            s.spawn(move |_| f(r, y_h, &mut sfb, &mut sbb));
+            s.spawn(move || f(r, y_h, &mut sfb, &mut sbb));
         }
-    })
-    .expect("ccd y-phase worker panicked");
+    });
 }
 
 /// Algorithm 4: GreedyInit (done by the caller) followed by `sweeps` CCD
@@ -227,7 +235,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         let f = DenseMatrix::uniform(n, d, 0.0, 2.0, &mut rng);
         let b = DenseMatrix::uniform(n, d, 0.0, 2.0, &mut rng);
-        let opts = InitOptions { half_dim: k2, power_iters: 2, oversample: 4, seed };
+        let opts = InitOptions {
+            half_dim: k2,
+            power_iters: 2,
+            oversample: 4,
+            seed,
+        };
         let st = greedy_init(&f, &b, &opts, 1);
         (f, b, st)
     }
@@ -264,7 +277,11 @@ mod tests {
         let (f, b, mut st) = setup(20, 8, 3, 2);
         ccd_sweeps(&mut st, 4, 1);
         let (sf, sb) = st.fresh_residuals(&f, &b, 1);
-        assert!(st.sf.max_abs_diff(&sf) < 1e-9, "Sf drifted by {}", st.sf.max_abs_diff(&sf));
+        assert!(
+            st.sf.max_abs_diff(&sf) < 1e-9,
+            "Sf drifted by {}",
+            st.sf.max_abs_diff(&sf)
+        );
         assert!(st.sb.max_abs_diff(&sb) < 1e-9);
     }
 
@@ -306,7 +323,11 @@ mod tests {
         st.sb = sb;
         assert!(objective(&st) > 1.0);
         ccd_sweeps(&mut st, 8, 1);
-        assert!(objective(&st) < 1e-6, "objective after repair: {}", objective(&st));
+        assert!(
+            objective(&st) < 1e-6,
+            "objective after repair: {}",
+            objective(&st)
+        );
     }
 
     #[test]

@@ -27,6 +27,36 @@ impl std::fmt::Display for PaneError {
 
 impl std::error::Error for PaneError {}
 
+/// Which embedding initializer [`crate::Pane::embed`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InitStrategy {
+    /// One global RandSVD (Algorithm 3). `threads` only parallelizes the
+    /// dense products, whose per-element summation order is fixed, so the
+    /// embedding is **bit-identical for every thread count** — this is the
+    /// default because it makes `seed` a complete determinism contract.
+    #[default]
+    Greedy,
+    /// Split–merge per-block RandSVD (Algorithm 7). Scales the SVD itself
+    /// but the output depends on the block count (= `threads`); choose this
+    /// explicitly when the affinity matrix is too tall for one RandSVD.
+    SplitMerge,
+}
+
+impl InitStrategy {
+    /// The paper's own coupling (Algorithms 1 vs 5): split–merge init
+    /// whenever more than one worker is used. Experiment binaries that
+    /// reproduce the paper's thread ablations use this; the library default
+    /// stays [`InitStrategy::Greedy`] so that `seed` alone determines the
+    /// output bit-for-bit regardless of `threads`.
+    pub fn for_threads(threads: usize) -> Self {
+        if threads > 1 {
+            InitStrategy::SplitMerge
+        } else {
+            InitStrategy::Greedy
+        }
+    }
+}
+
 /// Hyper-parameters of PANE (Table 1 / §5.1 of the paper).
 #[derive(Debug, Clone)]
 pub struct PaneConfig {
@@ -41,8 +71,12 @@ pub struct PaneConfig {
     pub error_threshold: f64,
     /// Number of worker threads `n_b`; 1 selects the single-threaded
     /// algorithms (Algorithms 1–4), >1 the parallel ones (Algorithms 5–8).
+    /// With the default [`InitStrategy::Greedy`] the output is bit-identical
+    /// for every value (Lemma 4.1 lifted to the whole pipeline).
     /// Paper default: 10.
     pub threads: usize,
+    /// Initializer choice; see [`InitStrategy`].
+    pub init: InitStrategy,
     /// Override for the number of CCD sweeps; `None` couples it to the APMI
     /// iteration count `t` as Algorithm 1 does. (Figures 7–8 vary this.)
     pub ccd_sweeps: Option<usize>,
@@ -63,6 +97,7 @@ impl Default for PaneConfig {
             alpha: 0.5,
             error_threshold: 0.015,
             threads: 1,
+            init: InitStrategy::Greedy,
             ccd_sweeps: None,
             dangling: DanglingPolicy::SelfLoop,
             seed: 0,
@@ -75,7 +110,9 @@ impl Default for PaneConfig {
 impl PaneConfig {
     /// Starts a builder with the paper's defaults.
     pub fn builder() -> PaneConfigBuilder {
-        PaneConfigBuilder { cfg: Self::default() }
+        PaneConfigBuilder {
+            cfg: Self::default(),
+        }
     }
 
     /// Validates all invariants, returning a message on failure.
@@ -87,7 +124,10 @@ impl PaneConfig {
             )));
         }
         if !(self.alpha > 0.0 && self.alpha < 1.0) {
-            return Err(PaneError::BadConfig(format!("alpha must be in (0,1), got {}", self.alpha)));
+            return Err(PaneError::BadConfig(format!(
+                "alpha must be in (0,1), got {}",
+                self.alpha
+            )));
         }
         if !(self.error_threshold > 0.0 && self.error_threshold < 1.0) {
             return Err(PaneError::BadConfig(format!(
@@ -150,6 +190,12 @@ impl PaneConfigBuilder {
     /// Sets the worker-thread count `n_b`.
     pub fn threads(mut self, nb: usize) -> Self {
         self.cfg.threads = nb;
+        self
+    }
+
+    /// Selects the initializer (default: [`InitStrategy::Greedy`]).
+    pub fn init_strategy(mut self, init: InitStrategy) -> Self {
+        self.cfg.init = init;
         self
     }
 
@@ -230,13 +276,19 @@ mod tests {
         assert!(PaneConfig::builder().dimension(3).try_build().is_err());
         assert!(PaneConfig::builder().dimension(0).try_build().is_err());
         assert!(PaneConfig::builder().alpha(1.0).try_build().is_err());
-        assert!(PaneConfig::builder().error_threshold(0.0).try_build().is_err());
+        assert!(PaneConfig::builder()
+            .error_threshold(0.0)
+            .try_build()
+            .is_err());
         assert!(PaneConfig::builder().threads(0).try_build().is_err());
     }
 
     #[test]
     fn sweeps_default_to_iterations() {
-        let c = PaneConfig::builder().alpha(0.5).error_threshold(0.25).build();
+        let c = PaneConfig::builder()
+            .alpha(0.5)
+            .error_threshold(0.25)
+            .build();
         assert_eq!(c.sweeps(), c.iterations());
         assert_eq!(c.sweeps(), 1);
     }

@@ -40,7 +40,12 @@ pub struct InitState {
 impl InitState {
     /// Recomputes both residuals from scratch (`O(ndk)`); used by tests to
     /// check the maintained residuals never drift.
-    pub fn fresh_residuals(&self, f: &DenseMatrix, b: &DenseMatrix, nb: usize) -> (DenseMatrix, DenseMatrix) {
+    pub fn fresh_residuals(
+        &self,
+        f: &DenseMatrix,
+        b: &DenseMatrix,
+        nb: usize,
+    ) -> (DenseMatrix, DenseMatrix) {
         let mut sf = self.xf.matmul_transb_par(&self.y, nb);
         sf.axpy_inplace(-1.0, f);
         let mut sb = self.xb.matmul_transb_par(&self.y, nb);
@@ -84,7 +89,12 @@ pub fn greedy_init(f: &DenseMatrix, b: &DenseMatrix, opts: &InitOptions, nb: usi
 }
 
 /// Algorithm 7 (split–merge, `nb` workers).
-pub fn sm_greedy_init(f: &DenseMatrix, b: &DenseMatrix, opts: &InitOptions, nb: usize) -> InitState {
+pub fn sm_greedy_init(
+    f: &DenseMatrix,
+    b: &DenseMatrix,
+    opts: &InitOptions,
+    nb: usize,
+) -> InitState {
     assert_eq!(f.shape(), b.shape(), "F'/B' shape mismatch");
     let n = f.rows();
     let d = f.cols();
@@ -109,7 +119,12 @@ pub fn sm_greedy_init(f: &DenseMatrix, b: &DenseMatrix, opts: &InitOptions, nb: 
     });
 
     // Lines 4–6: stack Vᵢᵀ into V ∈ R^{(nb·k/2)×d}, factorize once more.
-    let stacked = DenseMatrix::vstack(&blocks.iter().map(|(_, v)| v.transpose()).collect::<Vec<_>>());
+    let stacked = DenseMatrix::vstack(
+        &blocks
+            .iter()
+            .map(|(_, v)| v.transpose())
+            .collect::<Vec<_>>(),
+    );
     let cfg = RandSvdConfig {
         rank: k2,
         power_iters: opts.power_iters,
@@ -164,7 +179,12 @@ mod tests {
     #[test]
     fn greedy_init_residuals_consistent() {
         let (f, b) = affinity_like(40, 12, 6, 1);
-        let opts = InitOptions { half_dim: 4, power_iters: 3, oversample: 4, seed: 9 };
+        let opts = InitOptions {
+            half_dim: 4,
+            power_iters: 3,
+            oversample: 4,
+            seed: 9,
+        };
         let st = greedy_init(&f, &b, &opts, 1);
         let (sf, sb) = st.fresh_residuals(&f, &b, 1);
         assert!(st.sf.max_abs_diff(&sf) < 1e-10);
@@ -174,13 +194,21 @@ mod tests {
     #[test]
     fn greedy_init_beats_random_start() {
         let (f, b) = affinity_like(60, 20, 5, 2);
-        let opts = InitOptions { half_dim: 5, power_iters: 3, oversample: 6, seed: 3 };
+        let opts = InitOptions {
+            half_dim: 5,
+            power_iters: 3,
+            oversample: 6,
+            seed: 3,
+        };
         let st = greedy_init(&f, &b, &opts, 1);
         let obj = st.sf.frob_norm_sq() + st.sb.frob_norm_sq();
         // Random init: Xf, Xb, Y gaussian — objective near ||F||² + ||B||²
         // plus noise energy; greedy must be far below that.
         let baseline = f.frob_norm_sq() + b.frob_norm_sq();
-        assert!(obj < 0.2 * baseline, "greedy objective {obj} vs baseline {baseline}");
+        assert!(
+            obj < 0.2 * baseline,
+            "greedy objective {obj} vs baseline {baseline}"
+        );
     }
 
     /// Lemma 4.2 at t = ∞ (exact SVD path): X_f·Yᵀ = F', YᵀY = I, S_f = 0,
@@ -191,7 +219,12 @@ mod tests {
         let d = 6;
         let (f, b) = affinity_like(n, d, 6, 4);
         // half_dim = d forces the exact-SVD fallback inside rand_svd.
-        let opts = InitOptions { half_dim: d, power_iters: 0, oversample: 0, seed: 5 };
+        let opts = InitOptions {
+            half_dim: d,
+            power_iters: 0,
+            oversample: 0,
+            seed: 5,
+        };
         for (name, st) in [
             ("greedy", greedy_init(&f, &b, &opts, 1)),
             ("split-merge", sm_greedy_init(&f, &b, &opts, 3)),
@@ -201,14 +234,23 @@ mod tests {
             assert!(st.y.is_orthonormal(1e-8), "{name}: Y not orthonormal");
             assert!(st.sf.frob_norm() < 1e-8, "{name}: Sf != 0");
             let sby = st.sb.matmul(&st.y);
-            assert!(sby.frob_norm() < 1e-7, "{name}: SbY != 0 ({})", sby.frob_norm());
+            assert!(
+                sby.frob_norm() < 1e-7,
+                "{name}: SbY != 0 ({})",
+                sby.frob_norm()
+            );
         }
     }
 
     #[test]
     fn split_merge_close_to_serial() {
         let (f, b) = affinity_like(80, 16, 6, 6);
-        let opts = InitOptions { half_dim: 6, power_iters: 4, oversample: 6, seed: 11 };
+        let opts = InitOptions {
+            half_dim: 6,
+            power_iters: 4,
+            oversample: 6,
+            seed: 11,
+        };
         let serial = greedy_init(&f, &b, &opts, 1);
         let par = sm_greedy_init(&f, &b, &opts, 4);
         // Embeddings differ (basis rotation), but the *objective value*
@@ -225,7 +267,12 @@ mod tests {
     #[test]
     fn sm_residuals_consistent() {
         let (f, b) = affinity_like(50, 14, 5, 7);
-        let opts = InitOptions { half_dim: 4, power_iters: 2, oversample: 4, seed: 1 };
+        let opts = InitOptions {
+            half_dim: 4,
+            power_iters: 2,
+            oversample: 4,
+            seed: 1,
+        };
         let st = sm_greedy_init(&f, &b, &opts, 3);
         let (sf, sb) = st.fresh_residuals(&f, &b, 2);
         assert!(st.sf.max_abs_diff(&sf) < 1e-10);
@@ -235,7 +282,12 @@ mod tests {
     #[test]
     fn single_block_falls_back_to_serial() {
         let (f, b) = affinity_like(10, 5, 3, 8);
-        let opts = InitOptions { half_dim: 3, power_iters: 2, oversample: 2, seed: 2 };
+        let opts = InitOptions {
+            half_dim: 3,
+            power_iters: 2,
+            oversample: 2,
+            seed: 2,
+        };
         let a = greedy_init(&f, &b, &opts, 1);
         let c = sm_greedy_init(&f, &b, &opts, 1);
         assert_eq!(a.xf, c.xf);

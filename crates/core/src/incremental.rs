@@ -61,7 +61,14 @@ pub fn reembed_warm(
     let rr = graph.attr_row_normalized();
     let rc = graph.attr_col_normalized();
     let aff = papmi(
-        &ApmiInputs { p: &p, pt: &pt, rr: &rr, rc: &rc, alpha: config.alpha, t: config.iterations() },
+        &ApmiInputs {
+            p: &p,
+            pt: &pt,
+            rr: &rr,
+            rc: &rc,
+            alpha: config.alpha,
+            t: config.iterations(),
+        },
         nb,
     );
     let affinity_secs = t0.elapsed().as_secs_f64();
@@ -86,7 +93,11 @@ pub fn reembed_warm(
         forward: state.xf,
         backward: state.xb,
         attribute: state.y,
-        timings: PaneTimings { affinity_secs, init_secs, ccd_secs },
+        timings: PaneTimings {
+            affinity_secs,
+            init_secs,
+            ccd_secs,
+        },
     })
 }
 
@@ -135,7 +146,9 @@ mod tests {
         let mut b = GraphBuilder::new(n, g.num_attributes());
         let mut state = seed | 1;
         let mut rand = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as usize
         };
         for (i, j, _) in g.adjacency().iter() {
@@ -206,7 +219,12 @@ mod tests {
     fn shape_mismatch_is_reported() {
         let g0 = base_graph(3);
         let old = Pane::new(cfg()).embed(&g0).unwrap();
-        let smaller = generate_sbm(&SbmConfig { nodes: 100, attributes: 24, seed: 5, ..Default::default() });
+        let smaller = generate_sbm(&SbmConfig {
+            nodes: 100,
+            attributes: 24,
+            seed: 5,
+            ..Default::default()
+        });
         match reembed_warm(&cfg(), &smaller, &old, 1) {
             Err(PaneError::BadConfig(m)) => assert!(m.contains("shape")),
             other => panic!("expected shape error, got {other:?}"),
@@ -220,7 +238,11 @@ mod tests {
         let grown = grow_embedding(&old, 10);
         assert_eq!(grown.forward.rows(), old.forward.rows() + 10);
         assert_eq!(grown.forward.row(0), old.forward.row(0));
-        assert!(grown.forward.row(old.forward.rows()).iter().all(|&v| v == 0.0));
+        assert!(grown
+            .forward
+            .row(old.forward.rows())
+            .iter()
+            .all(|&v| v == 0.0));
     }
 
     #[test]
@@ -253,7 +275,9 @@ mod tests {
         let warm = reembed_warm(&cfg(), &g1, &grown, 3).unwrap();
         assert_eq!(warm.forward.rows(), n + 10);
         // New nodes got non-trivial embeddings from the sweeps.
-        let new_norm: f64 = (n..n + 10).map(|v| pane_linalg::vecops::norm2(warm.forward.row(v))).sum();
+        let new_norm: f64 = (n..n + 10)
+            .map(|v| pane_linalg::vecops::norm2(warm.forward.row(v)))
+            .sum();
         assert!(new_norm > 1e-6, "new nodes still zero after warm sweeps");
     }
 }

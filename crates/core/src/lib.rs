@@ -38,7 +38,7 @@ pub mod query;
 
 pub use apmi::{apmi, AffinityPair, ApmiInputs};
 pub use ccd::{ccd_sweeps, objective, svdccd, CcdWorkspace};
-pub use config::{PaneConfig, PaneConfigBuilder, PaneError};
+pub use config::{InitStrategy, PaneConfig, PaneConfigBuilder, PaneError};
 pub use greedy_init::{greedy_init, sm_greedy_init, InitOptions, InitState};
 pub use incremental::{grow_embedding, reembed_warm};
 pub use pane::{Pane, PaneEmbedding, PaneTimings};
@@ -49,8 +49,14 @@ pub use query::{EmbeddingQuery, Scored};
 /// Number of APMI/CCD iterations implied by an error threshold:
 /// `t = ⌈log(ε)/log(1−α)⌉ − 1`, clamped to at least 1 (Algorithm 1, line 1).
 pub fn iterations_for(epsilon: f64, alpha: f64) -> usize {
-    assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0,1), got {epsilon}");
-    assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1), got {alpha}");
+    assert!(
+        epsilon > 0.0 && epsilon < 1.0,
+        "epsilon must be in (0,1), got {epsilon}"
+    );
+    assert!(
+        alpha > 0.0 && alpha < 1.0,
+        "alpha must be in (0,1), got {alpha}"
+    );
     let t = (epsilon.ln() / (1.0 - alpha).ln()).ceil() - 1.0;
     (t.max(1.0)) as usize
 }
@@ -77,7 +83,10 @@ mod tests {
             for &eps in &[0.001, 0.015, 0.25] {
                 let t = iterations_for(eps, alpha);
                 let tail = (1.0 - alpha).powi(t as i32 + 1);
-                assert!(tail <= eps * (1.0 + 1e-9), "alpha={alpha} eps={eps}: tail {tail}");
+                assert!(
+                    tail <= eps * (1.0 + 1e-9),
+                    "alpha={alpha} eps={eps}: tail {tail}"
+                );
             }
         }
     }

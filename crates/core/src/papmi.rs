@@ -49,12 +49,27 @@ mod tests {
     fn lemma_4_1_exact_equality_toy() {
         let g = toy::figure1_graph();
         let (p, pt, rr, rc, alpha, t) = inputs_for(&g, 0.15, 8);
-        let inputs = ApmiInputs { p: &p, pt: &pt, rr: &rr, rc: &rc, alpha, t };
+        let inputs = ApmiInputs {
+            p: &p,
+            pt: &pt,
+            rr: &rr,
+            rc: &rc,
+            alpha,
+            t,
+        };
         let serial = apmi(&inputs);
         for nb in [2, 3, 5, 7] {
             let par = papmi(&inputs, nb);
-            assert_eq!(serial.forward.data(), par.forward.data(), "nb={nb} forward differs");
-            assert_eq!(serial.backward.data(), par.backward.data(), "nb={nb} backward differs");
+            assert_eq!(
+                serial.forward.data(),
+                par.forward.data(),
+                "nb={nb} forward differs"
+            );
+            assert_eq!(
+                serial.backward.data(),
+                par.backward.data(),
+                "nb={nb} backward differs"
+            );
         }
     }
 
@@ -70,7 +85,14 @@ mod tests {
             ..Default::default()
         });
         let (p, pt, rr, rc, alpha, t) = inputs_for(&g, 0.5, 5);
-        let inputs = ApmiInputs { p: &p, pt: &pt, rr: &rr, rc: &rc, alpha, t };
+        let inputs = ApmiInputs {
+            p: &p,
+            pt: &pt,
+            rr: &rr,
+            rc: &rc,
+            alpha,
+            t,
+        };
         let serial = apmi(&inputs);
         for nb in [2, 4, 10] {
             let par = papmi(&inputs, nb);
@@ -83,7 +105,14 @@ mod tests {
     fn more_threads_than_attributes() {
         let g = toy::figure1_graph(); // d = 3
         let (p, pt, rr, rc, alpha, t) = inputs_for(&g, 0.15, 4);
-        let inputs = ApmiInputs { p: &p, pt: &pt, rr: &rr, rc: &rc, alpha, t };
+        let inputs = ApmiInputs {
+            p: &p,
+            pt: &pt,
+            rr: &rr,
+            rc: &rc,
+            alpha,
+            t,
+        };
         let serial = apmi(&inputs);
         let par = papmi(&inputs, 16);
         assert_eq!(serial.forward.data(), par.forward.data());
@@ -93,7 +122,14 @@ mod tests {
     fn nb_one_is_serial_path() {
         let g = toy::figure1_graph();
         let (p, pt, rr, rc, alpha, t) = inputs_for(&g, 0.15, 4);
-        let inputs = ApmiInputs { p: &p, pt: &pt, rr: &rr, rc: &rc, alpha, t };
+        let inputs = ApmiInputs {
+            p: &p,
+            pt: &pt,
+            rr: &rr,
+            rc: &rc,
+            alpha,
+            t,
+        };
         let a = apmi(&inputs);
         let b = papmi(&inputs, 1);
         assert_eq!(a.forward.data(), b.forward.data());

@@ -113,7 +113,11 @@ pub fn save_text(emb: &PaneEmbedding, path: &Path) -> Result<(), PersistError> {
     let d = emb.attribute.rows();
     writeln!(w, "# PANE embedding v1")?;
     writeln!(w, "{n} {d} {k2}")?;
-    for (section, m) in [("forward", &emb.forward), ("backward", &emb.backward), ("attribute", &emb.attribute)] {
+    for (section, m) in [
+        ("forward", &emb.forward),
+        ("backward", &emb.backward),
+        ("attribute", &emb.attribute),
+    ] {
         writeln!(w, "# {section}")?;
         for i in 0..m.rows() {
             let row: Vec<String> = m.row(i).iter().map(|v| format!("{v:.17e}")).collect();
@@ -136,13 +140,19 @@ pub fn load_text(path: &Path) -> Result<PaneEmbedding, PersistError> {
         }
         Ok(None)
     };
-    let header = next_data_line(&mut lines)?.ok_or_else(|| PersistError::Format("empty file".into()))?;
+    let header =
+        next_data_line(&mut lines)?.ok_or_else(|| PersistError::Format("empty file".into()))?;
     let dims: Vec<usize> = header
         .split_whitespace()
-        .map(|t| t.parse().map_err(|e| PersistError::Format(format!("bad header: {e}"))))
+        .map(|t| {
+            t.parse()
+                .map_err(|e| PersistError::Format(format!("bad header: {e}")))
+        })
         .collect::<Result<_, _>>()?;
     if dims.len() != 3 {
-        return Err(PersistError::Format(format!("header must be 'n d k2', got '{header}'")));
+        return Err(PersistError::Format(format!(
+            "header must be 'n d k2', got '{header}'"
+        )));
     }
     let (n, d, k2) = (dims[0], dims[1], dims[2]);
     let mut read_matrix = |rows: usize| -> Result<DenseMatrix, PersistError> {
@@ -157,14 +167,18 @@ pub fn load_text(path: &Path) -> Result<PaneEmbedding, PersistError> {
                 .parse()
                 .map_err(|e| PersistError::Format(format!("bad row index: {e}")))?;
             if idx >= rows {
-                return Err(PersistError::Format(format!("row index {idx} out of range {rows}")));
+                return Err(PersistError::Format(format!(
+                    "row index {idx} out of range {rows}"
+                )));
             }
             let row = m.row_mut(idx);
             for (j, slot) in row.iter_mut().enumerate() {
                 let tok = toks
                     .next()
                     .ok_or_else(|| PersistError::Format(format!("row {idx}: missing value {j}")))?;
-                *slot = tok.parse().map_err(|e| PersistError::Format(format!("row {idx}: {e}")))?;
+                *slot = tok
+                    .parse()
+                    .map_err(|e| PersistError::Format(format!("row {idx}: {e}")))?;
             }
         }
         Ok(m)
@@ -195,7 +209,11 @@ mod tests {
 
     fn example_embedding() -> PaneEmbedding {
         let g = figure1_graph();
-        let cfg = PaneConfig::builder().dimension(4).alpha(0.15).seed(3).build();
+        let cfg = PaneConfig::builder()
+            .dimension(4)
+            .alpha(0.15)
+            .seed(3)
+            .build();
         Pane::new(cfg).embed(&g).unwrap()
     }
 

@@ -17,8 +17,15 @@ pub struct Scored {
 
 fn top_k(scores: impl Iterator<Item = (usize, f64)>, k: usize) -> Vec<Scored> {
     // Simple selection: collect + partial sort. k is small in practice.
-    let mut all: Vec<Scored> = scores.map(|(index, score)| Scored { index, score }).collect();
-    all.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("NaN score").then(a.index.cmp(&b.index)));
+    let mut all: Vec<Scored> = scores
+        .map(|(index, score)| Scored { index, score })
+        .collect();
+    all.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .expect("NaN score")
+            .then(a.index.cmp(&b.index))
+    });
     all.truncate(k);
     all
 }
@@ -32,7 +39,10 @@ pub struct EmbeddingQuery<'a> {
 impl<'a> EmbeddingQuery<'a> {
     /// Wraps an embedding, precomputing the `YᵀY` Gram matrix once.
     pub fn new(emb: &'a PaneEmbedding) -> Self {
-        Self { gram: emb.link_gram(), emb }
+        Self {
+            gram: emb.link_gram(),
+            emb,
+        }
     }
 
     /// Top-`k` attributes for node `v` by Eq. (21) affinity.
@@ -63,9 +73,9 @@ impl<'a> EmbeddingQuery<'a> {
             }
         }
         top_k(
-            (0..n).filter(|&dst| dst != src && !exclude.contains(&(dst as u32))).map(|dst| {
-                (dst, vecops::dot(&q, self.emb.backward.row(dst)))
-            }),
+            (0..n)
+                .filter(|&dst| dst != src && !exclude.contains(&(dst as u32)))
+                .map(|dst| (dst, vecops::dot(&q, self.emb.backward.row(dst)))),
             k,
         )
     }
@@ -102,7 +112,9 @@ mod tests {
             seed: 31,
             ..Default::default()
         });
-        let emb = Pane::new(PaneConfig::builder().dimension(32).seed(5).build()).embed(&g).unwrap();
+        let emb = Pane::new(PaneConfig::builder().dimension(32).seed(5).build())
+            .embed(&g)
+            .unwrap();
         (g, emb)
     }
 
@@ -117,13 +129,20 @@ mod tests {
             if owned.is_empty() {
                 continue;
             }
-            let top: Vec<usize> = q.top_attributes(v, 8).into_iter().map(|s| s.index).collect();
+            let top: Vec<usize> = q
+                .top_attributes(v, 8)
+                .into_iter()
+                .map(|s| s.index)
+                .collect();
             trials += 1;
             if owned.iter().any(|&a| top.contains(&(a as usize))) {
                 hits += 1;
             }
         }
-        assert!(hits * 10 >= trials * 7, "owned attributes rarely in top-8: {hits}/{trials}");
+        assert!(
+            hits * 10 >= trials * 7,
+            "owned attributes rarely in top-8: {hits}/{trials}"
+        );
     }
 
     #[test]
@@ -146,12 +165,22 @@ mod tests {
         let rec = q.recommend_links(src, 10, nbrs);
         for s in &rec {
             assert_ne!(s.index, src);
-            assert!(!nbrs.contains(&(s.index as u32)), "recommended an existing neighbor");
+            assert!(
+                !nbrs.contains(&(s.index as u32)),
+                "recommended an existing neighbor"
+            );
         }
         // Recommendations favor the same community (homophily signal).
         let src_label = g.labels_of(src)[0];
-        let same = rec.iter().filter(|s| g.labels_of(s.index).contains(&src_label)).count();
-        assert!(same * 2 >= rec.len(), "only {same}/{} recommendations intra-community", rec.len());
+        let same = rec
+            .iter()
+            .filter(|s| g.labels_of(s.index).contains(&src_label))
+            .count();
+        assert!(
+            same * 2 >= rec.len(),
+            "only {same}/{} recommendations intra-community",
+            rec.len()
+        );
     }
 
     #[test]
@@ -161,8 +190,15 @@ mod tests {
         let v = 10;
         let label = g.labels_of(v)[0];
         let sim = q.similar_nodes(v, 10);
-        let same = sim.iter().filter(|s| g.labels_of(s.index).contains(&label)).count();
-        assert!(same * 2 >= sim.len(), "only {same}/{} similar nodes share the community", sim.len());
+        let same = sim
+            .iter()
+            .filter(|s| g.labels_of(s.index).contains(&label))
+            .count();
+        assert!(
+            same * 2 >= sim.len(),
+            "only {same}/{} similar nodes share the community",
+            sim.len()
+        );
     }
 
     #[test]
@@ -173,7 +209,10 @@ mod tests {
         let rec = q.recommend_links(0, 3, &[]);
         for s in rec {
             let direct = emb.link_score_with(&gram, 0, s.index);
-            assert!((direct - s.score).abs() < 1e-10, "query score diverges from Eq. 22");
+            assert!(
+                (direct - s.score).abs() < 1e-10,
+                "query score diverges from Eq. 22"
+            );
         }
         let _ = g;
     }

@@ -117,14 +117,70 @@ impl DatasetZoo {
         let k = 1e3;
         let m = 1e6;
         match self {
-            DatasetZoo::CoraLike => PaperStats { nodes: 2.7 * k, edges: 5.4 * k, attributes: 1.4 * k, attr_entries: 49.2 * k, labels: 7, directed: true },
-            DatasetZoo::CiteseerLike => PaperStats { nodes: 3.3 * k, edges: 4.7 * k, attributes: 3.7 * k, attr_entries: 105.2 * k, labels: 6, directed: true },
-            DatasetZoo::FacebookLike => PaperStats { nodes: 4.0 * k, edges: 88.2 * k, attributes: 1.3 * k, attr_entries: 33.3 * k, labels: 193, directed: false },
-            DatasetZoo::PubmedLike => PaperStats { nodes: 19.7 * k, edges: 44.3 * k, attributes: 0.5 * k, attr_entries: 988.0 * k, labels: 3, directed: true },
-            DatasetZoo::FlickrLike => PaperStats { nodes: 7.6 * k, edges: 479.5 * k, attributes: 12.1 * k, attr_entries: 182.5 * k, labels: 9, directed: false },
-            DatasetZoo::GooglePlusLike => PaperStats { nodes: 107.6 * k, edges: 13.7 * m, attributes: 15.9 * k, attr_entries: 300.6 * m, labels: 468, directed: true },
-            DatasetZoo::TWeiboLike => PaperStats { nodes: 2.3 * m, edges: 50.7 * m, attributes: 1.7 * k, attr_entries: 16.8 * m, labels: 8, directed: true },
-            DatasetZoo::MagLike => PaperStats { nodes: 59.3 * m, edges: 978.2 * m, attributes: 2.0 * k, attr_entries: 434.4 * m, labels: 100, directed: true },
+            DatasetZoo::CoraLike => PaperStats {
+                nodes: 2.7 * k,
+                edges: 5.4 * k,
+                attributes: 1.4 * k,
+                attr_entries: 49.2 * k,
+                labels: 7,
+                directed: true,
+            },
+            DatasetZoo::CiteseerLike => PaperStats {
+                nodes: 3.3 * k,
+                edges: 4.7 * k,
+                attributes: 3.7 * k,
+                attr_entries: 105.2 * k,
+                labels: 6,
+                directed: true,
+            },
+            DatasetZoo::FacebookLike => PaperStats {
+                nodes: 4.0 * k,
+                edges: 88.2 * k,
+                attributes: 1.3 * k,
+                attr_entries: 33.3 * k,
+                labels: 193,
+                directed: false,
+            },
+            DatasetZoo::PubmedLike => PaperStats {
+                nodes: 19.7 * k,
+                edges: 44.3 * k,
+                attributes: 0.5 * k,
+                attr_entries: 988.0 * k,
+                labels: 3,
+                directed: true,
+            },
+            DatasetZoo::FlickrLike => PaperStats {
+                nodes: 7.6 * k,
+                edges: 479.5 * k,
+                attributes: 12.1 * k,
+                attr_entries: 182.5 * k,
+                labels: 9,
+                directed: false,
+            },
+            DatasetZoo::GooglePlusLike => PaperStats {
+                nodes: 107.6 * k,
+                edges: 13.7 * m,
+                attributes: 15.9 * k,
+                attr_entries: 300.6 * m,
+                labels: 468,
+                directed: true,
+            },
+            DatasetZoo::TWeiboLike => PaperStats {
+                nodes: 2.3 * m,
+                edges: 50.7 * m,
+                attributes: 1.7 * k,
+                attr_entries: 16.8 * m,
+                labels: 8,
+                directed: true,
+            },
+            DatasetZoo::MagLike => PaperStats {
+                nodes: 59.3 * m,
+                edges: 978.2 * m,
+                attributes: 2.0 * k,
+                attr_entries: 434.4 * m,
+                labels: 100,
+                directed: true,
+            },
         }
     }
 
@@ -135,7 +191,14 @@ impl DatasetZoo {
     pub fn config(&self, scale: f64, seed: u64) -> SbmConfig {
         assert!(scale > 0.0, "scale must be positive");
         let s = |x: usize| ((x as f64 * scale).round() as usize).max(8);
-        let base = SbmConfig { gamma: 2.5, p_in: 0.8, attr_noise: 0.15, extra_label_prob: 0.15, seed, ..SbmConfig::default() };
+        let base = SbmConfig {
+            gamma: 2.5,
+            p_in: 0.8,
+            attr_noise: 0.15,
+            extra_label_prob: 0.15,
+            seed,
+            ..SbmConfig::default()
+        };
         match self {
             DatasetZoo::CoraLike => SbmConfig {
                 nodes: s(2708),
@@ -224,7 +287,11 @@ impl DatasetZoo {
     /// attribute space scales with √scale to keep `F'` tractable).
     pub fn generate_scaled(&self, scale: f64, seed: u64) -> GeneratedDataset {
         let cfg = self.config(scale, seed);
-        GeneratedDataset { zoo: *self, scale, graph: generate_sbm(&cfg) }
+        GeneratedDataset {
+            zoo: *self,
+            scale,
+            graph: generate_sbm(&cfg),
+        }
     }
 }
 
@@ -251,7 +318,11 @@ mod tests {
             let g = &ds.graph;
             assert!(g.num_nodes() >= 8, "{}: too few nodes", zoo.name());
             assert!(g.num_edges() > 0, "{}: no edges", zoo.name());
-            assert!(g.num_attribute_entries() > 0, "{}: no attributes", zoo.name());
+            assert!(
+                g.num_attribute_entries() > 0,
+                "{}: no attributes",
+                zoo.name()
+            );
             assert!(g.num_labels() > 0, "{}: no labels", zoo.name());
         }
     }

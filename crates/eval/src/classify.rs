@@ -38,7 +38,13 @@ pub struct LogisticRegression {
 impl LogisticRegression {
     /// Defaults tuned for unit-normalized embedding features.
     pub fn new() -> Self {
-        Self { weights: Vec::new(), bias: 0.0, lambda: 1e-4, epochs: 200, lr: 0.5 }
+        Self {
+            weights: Vec::new(),
+            bias: 0.0,
+            lambda: 1e-4,
+            epochs: 200,
+            lr: 0.5,
+        }
     }
 }
 
@@ -102,7 +108,13 @@ pub struct PegasosSvm {
 impl PegasosSvm {
     /// Defaults for unit-normalized features.
     pub fn new() -> Self {
-        Self { weights: Vec::new(), bias: 0.0, lambda: 1e-4, iters: 20_000, seed: 0 }
+        Self {
+            weights: Vec::new(),
+            bias: 0.0,
+            lambda: 1e-4,
+            iters: 20_000,
+            seed: 0,
+        }
     }
 }
 
@@ -163,7 +175,13 @@ impl OneVsRest {
     /// default training budget (200 logistic epochs / 20k Pegasos steps).
     ///
     /// `labels[i]` is the label set of sample `i` (row `i` of `x`).
-    pub fn fit(kind: LearnerKind, x: &DenseMatrix, labels: &[Vec<u32>], num_labels: usize, seed: u64) -> Self {
+    pub fn fit(
+        kind: LearnerKind,
+        x: &DenseMatrix,
+        labels: &[Vec<u32>],
+        num_labels: usize,
+        seed: u64,
+    ) -> Self {
         Self::fit_with_budget(kind, x, labels, num_labels, seed, 200)
     }
 
@@ -231,7 +249,9 @@ mod tests {
         let mut y = Vec::new();
         let mut state = 42u64;
         let mut noise = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 0.4
         };
         for i in 0..n_per {
@@ -247,7 +267,11 @@ mod tests {
     fn accuracy<C: BinaryClassifier>(c: &C, x: &DenseMatrix, y: &[f64]) -> f64 {
         let mut hits = 0;
         for i in 0..x.rows() {
-            let pred = if c.decision(x.row(i)) >= 0.0 { 1.0 } else { -1.0 };
+            let pred = if c.decision(x.row(i)) >= 0.0 {
+                1.0
+            } else {
+                -1.0
+            };
             if pred == y[i] {
                 hits += 1;
             }
@@ -286,7 +310,10 @@ mod tests {
         let mut labels: Vec<Vec<u32>> = Vec::new();
         for i in 0..25 {
             let a = 0.5 + (i as f64) * 0.02;
-            for (l, (sx, sy)) in [(1.0, 1.0), (-1.0, 1.0), (-1.0, -1.0), (1.0, -1.0)].iter().enumerate() {
+            for (l, (sx, sy)) in [(1.0, 1.0), (-1.0, 1.0), (-1.0, -1.0), (1.0, -1.0)]
+                .iter()
+                .enumerate()
+            {
                 rows.push(vec![sx * a, sy * a]);
                 labels.push(vec![l as u32]);
             }
@@ -300,7 +327,11 @@ mod tests {
                 hits += 1;
             }
         }
-        assert!(hits as f64 / labels.len() as f64 > 0.95, "{hits}/{}", labels.len());
+        assert!(
+            hits as f64 / labels.len() as f64 > 0.95,
+            "{hits}/{}",
+            labels.len()
+        );
     }
 
     #[test]

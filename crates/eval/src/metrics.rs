@@ -34,13 +34,22 @@ pub fn roc_auc(scores: &[f64], labels: &[bool]) -> f64 {
 /// Average precision: mean of precision@k over the ranks k of the positive
 /// examples (descending score order; ties broken by index for determinism).
 pub fn average_precision(scores: &[f64], labels: &[bool]) -> f64 {
-    assert_eq!(scores.len(), labels.len(), "average_precision: length mismatch");
+    assert_eq!(
+        scores.len(),
+        labels.len(),
+        "average_precision: length mismatch"
+    );
     let npos = labels.iter().filter(|&&l| l).count();
     if npos == 0 {
         return 0.0;
     }
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("NaN score").then(a.cmp(&b)));
+    order.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .expect("NaN score")
+            .then(a.cmp(&b))
+    });
     let mut hits = 0usize;
     let mut ap = 0.0;
     for (k, &idx) in order.iter().enumerate() {

@@ -6,7 +6,12 @@ use std::collections::HashSet;
 
 fn ranked_indices(scores: &[f64]) -> Vec<usize> {
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("NaN score").then(a.cmp(&b)));
+    order.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .expect("NaN score")
+            .then(a.cmp(&b))
+    });
     order
 }
 
@@ -56,7 +61,9 @@ pub fn ndcg_at_k(scores: &[f64], relevant: &[usize], k: usize) -> f64 {
         .map(|(pos, _)| 1.0 / ((pos + 2) as f64).log2())
         .sum();
     let ideal_hits = rel.len().min(k);
-    let idcg: f64 = (0..ideal_hits).map(|pos| 1.0 / ((pos + 2) as f64).log2()).sum();
+    let idcg: f64 = (0..ideal_hits)
+        .map(|pos| 1.0 / ((pos + 2) as f64).log2())
+        .sum();
     if idcg == 0.0 {
         0.0
     } else {
@@ -140,7 +147,7 @@ mod tests {
             seed in 0u64..100,
             k in 1usize..10,
         ) {
-            let relevant: Vec<usize> = (0..scores.len()).filter(|i| (*i as u64 + seed) % 3 == 0).collect();
+            let relevant: Vec<usize> = (0..scores.len()).filter(|i| (*i as u64 + seed).is_multiple_of(3)).collect();
             for m in [
                 precision_at_k(&scores, &relevant, k),
                 recall_at_k(&scores, &relevant, k),

@@ -29,7 +29,13 @@ pub struct ReportOptions {
 
 impl Default for ReportOptions {
     fn default() -> Self {
-        Self { link_test_frac: 0.3, attr_test_frac: 0.2, class_train_frac: 0.5, repeats: 3, seed: 0 }
+        Self {
+            link_test_frac: 0.3,
+            attr_test_frac: 0.2,
+            class_train_frac: 0.5,
+            repeats: 3,
+            seed: 0,
+        }
     }
 }
 
@@ -53,9 +59,10 @@ impl std::fmt::Display for ReportCard {
         writeln!(f, "  link prediction     : {}", self.link)?;
         writeln!(f, "  attribute inference : {}", self.attribute)?;
         match self.classification {
-            Some((micro, macro_)) => {
-                writeln!(f, "  node classification : micro-F1={micro:.3} macro-F1={macro_:.3}")?
-            }
+            Some((micro, macro_)) => writeln!(
+                f,
+                "  node classification : micro-F1={micro:.3} macro-F1={macro_:.3}"
+            )?,
             None => writeln!(f, "  node classification : (no labels)")?,
         }
         write!(f, "  embedding time      : {:.2}s", self.embed_secs)
@@ -78,7 +85,9 @@ where
     let attr_emb = embed(&attr_split.residual);
     let attribute = evaluate_attr_scorer(&PaneScorer::new(&attr_emb), &attr_split);
 
-    let labeled = (0..g.num_nodes()).filter(|&v| !g.labels_of(v).is_empty()).count();
+    let labeled = (0..g.num_nodes())
+        .filter(|&v| !g.labels_of(v).is_empty())
+        .count();
     let classification = if g.num_labels() > 0 && labeled >= 8 {
         let full_emb = embed(g);
         let scorer = PaneScorer::new(&full_emb);
@@ -94,7 +103,12 @@ where
         None
     };
 
-    ReportCard { link, attribute, classification, embed_secs: t0.elapsed().as_secs_f64() }
+    ReportCard {
+        link,
+        attribute,
+        classification,
+        embed_secs: t0.elapsed().as_secs_f64(),
+    }
 }
 
 #[cfg(test)]

@@ -45,7 +45,10 @@ pub struct PaneScorer<'a> {
 impl<'a> PaneScorer<'a> {
     /// Builds the scorer (one `O(dk²)` Gram computation).
     pub fn new(emb: &'a PaneEmbedding) -> Self {
-        Self { gram: emb.link_gram(), emb }
+        Self {
+            gram: emb.link_gram(),
+            emb,
+        }
     }
 }
 
@@ -118,14 +121,23 @@ impl<'a> SingleEmbeddingScorer<'a> {
     /// Builds a scorer. For [`PairScore::EdgeFeature`], `train_graph` (the
     /// residual graph) must be given: a logistic regression is fitted on the
     /// Hadamard features of its edges vs. sampled non-edges.
-    pub fn new(x: &'a DenseMatrix, method: PairScore, train_graph: Option<&AttributedGraph>, seed: u64) -> Self {
+    pub fn new(
+        x: &'a DenseMatrix,
+        method: PairScore,
+        train_graph: Option<&AttributedGraph>,
+        seed: u64,
+    ) -> Self {
         let edge_model = if method == PairScore::EdgeFeature {
             let g = train_graph.expect("EdgeFeature scorer needs the residual graph for training");
             Some(train_edge_model(x, g, seed))
         } else {
             None
         };
-        Self { x, method, edge_model }
+        Self {
+            x,
+            method,
+            edge_model,
+        }
     }
 }
 
@@ -179,7 +191,10 @@ impl LinkScorer for SingleEmbeddingScorer<'_> {
                 .count() as f64,
             PairScore::EdgeFeature => {
                 let feats = hadamard(a, b);
-                self.edge_model.as_ref().expect("edge model trained at construction").decision(&feats)
+                self.edge_model
+                    .as_ref()
+                    .expect("edge model trained at construction")
+                    .decision(&feats)
             }
         }
     }
@@ -235,11 +250,7 @@ mod tests {
     use pane_graph::GraphBuilder;
 
     fn emb() -> DenseMatrix {
-        DenseMatrix::from_rows(&[
-            vec![1.0, 0.0],
-            vec![0.9, 0.1],
-            vec![-1.0, 0.2],
-        ])
+        DenseMatrix::from_rows(&[vec![1.0, 0.0], vec![0.9, 0.1], vec![-1.0, 0.2]])
     }
 
     #[test]

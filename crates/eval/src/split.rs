@@ -22,7 +22,10 @@ pub struct EdgeSplit {
 /// For undirected graphs each undirected pair is removed atomically (both
 /// directions) and appears once in the test set.
 pub fn split_edges(g: &AttributedGraph, test_frac: f64, seed: u64) -> EdgeSplit {
-    assert!((0.0..1.0).contains(&test_frac), "test_frac must be in [0,1)");
+    assert!(
+        (0.0..1.0).contains(&test_frac),
+        "test_frac must be in [0,1)"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let n = g.num_nodes();
 
@@ -78,7 +81,11 @@ pub fn split_edges(g: &AttributedGraph, test_frac: f64, seed: u64) -> EdgeSplit 
         negative_edges.push((s as u32, t as u32));
     }
 
-    EdgeSplit { residual, test_edges: test.to_vec(), negative_edges }
+    EdgeSplit {
+        residual,
+        test_edges: test.to_vec(),
+        negative_edges,
+    }
 }
 
 /// Attribute-inference split (§5.2): hide `test_frac` of the non-zero
@@ -94,7 +101,10 @@ pub struct AttrSplit {
 
 /// Hides `test_frac` of the node–attribute associations.
 pub fn split_attribute_entries(g: &AttributedGraph, test_frac: f64, seed: u64) -> AttrSplit {
-    assert!((0.0..1.0).contains(&test_frac), "test_frac must be in [0,1)");
+    assert!(
+        (0.0..1.0).contains(&test_frac),
+        "test_frac must be in [0,1)"
+    );
     let mut rng = StdRng::seed_from_u64(seed ^ 0x9E3779B97F4A7C15);
     let n = g.num_nodes();
     let d = g.num_attributes();
@@ -151,7 +161,10 @@ pub fn split_attribute_entries(g: &AttributedGraph, test_frac: f64, seed: u64) -
 
 /// Seeded split of node indices into (train, test) by `train_frac`.
 pub fn split_nodes(n: usize, train_frac: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
-    assert!((0.0..=1.0).contains(&train_frac), "train_frac must be in [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&train_frac),
+        "train_frac must be in [0,1]"
+    );
     let mut rng = StdRng::seed_from_u64(seed ^ 0xABCDEF);
     let mut idx: Vec<usize> = (0..n).collect();
     for i in (1..n).rev() {
@@ -190,7 +203,10 @@ mod tests {
         assert_eq!(s.negative_edges.len(), expect_removed);
         assert_eq!(s.residual.num_edges(), g.num_edges() - expect_removed);
         // Attributes and labels preserved.
-        assert_eq!(s.residual.num_attribute_entries(), g.num_attribute_entries());
+        assert_eq!(
+            s.residual.num_attribute_entries(),
+            g.num_attribute_entries()
+        );
         assert_eq!(s.residual.num_labels(), g.num_labels());
     }
 
@@ -214,7 +230,11 @@ mod tests {
         let s = split_edges(&g, 0.3, 11);
         for &(a, b) in &s.test_edges {
             assert_eq!(s.residual.adjacency().get(a as usize, b as usize), 0.0);
-            assert_eq!(s.residual.adjacency().get(b as usize, a as usize), 0.0, "reverse of removed pair survived");
+            assert_eq!(
+                s.residual.adjacency().get(b as usize, a as usize),
+                0.0,
+                "reverse of removed pair survived"
+            );
         }
         // Residual stays symmetric.
         for (i, j, _) in s.residual.adjacency().iter() {
@@ -240,7 +260,10 @@ mod tests {
         let expect = (g.num_attribute_entries() as f64 * 0.2).round() as usize;
         assert_eq!(s.test_entries.len(), expect);
         assert_eq!(s.negative_entries.len(), expect);
-        assert_eq!(s.residual.num_attribute_entries(), g.num_attribute_entries() - expect);
+        assert_eq!(
+            s.residual.num_attribute_entries(),
+            g.num_attribute_entries() - expect
+        );
         for &(v, r) in &s.test_entries {
             assert_eq!(s.residual.attributes().get(v as usize, r as usize), 0.0);
         }

@@ -23,7 +23,10 @@ pub fn evaluate_attr_scorer<S: AttrScorer>(scorer: &S, split: &AttrSplit) -> Auc
         scores.push(scorer.attr_score(v as usize, r as usize));
         labels.push(false);
     }
-    AucAp { auc: roc_auc(&scores, &labels), ap: average_precision(&scores, &labels) }
+    AucAp {
+        auc: roc_auc(&scores, &labels),
+        ap: average_precision(&scores, &labels),
+    }
 }
 
 #[cfg(test)]

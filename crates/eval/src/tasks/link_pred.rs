@@ -15,7 +15,11 @@ use pane_linalg::DenseMatrix;
 /// Evaluates a link scorer on a prepared split. When `symmetric` is set the
 /// score of `(i,j)` is `s(i,j) + s(j,i)` (the paper's protocol for
 /// undirected graphs).
-pub fn evaluate_link_scorer<S: LinkScorer>(scorer: &S, split: &EdgeSplit, symmetric: bool) -> AucAp {
+pub fn evaluate_link_scorer<S: LinkScorer>(
+    scorer: &S,
+    split: &EdgeSplit,
+    symmetric: bool,
+) -> AucAp {
     let total = split.test_edges.len() + split.negative_edges.len();
     let mut scores = Vec::with_capacity(total);
     let mut labels = Vec::with_capacity(total);
@@ -35,14 +39,25 @@ pub fn evaluate_link_scorer<S: LinkScorer>(scorer: &S, split: &EdgeSplit, symmet
         scores.push(eval(scorer, a, b));
         labels.push(false);
     }
-    AucAp { auc: roc_auc(&scores, &labels), ap: average_precision(&scores, &labels) }
+    AucAp {
+        auc: roc_auc(&scores, &labels),
+        ap: average_precision(&scores, &labels),
+    }
 }
 
 /// The paper's competitor protocol: try all four scorers on a
 /// single-embedding model and report the best (by AUC), together with the
 /// winning scorer's name.
-pub fn best_of_four(x: &DenseMatrix, split: &EdgeSplit, symmetric: bool, seed: u64) -> (AucAp, &'static str) {
-    let mut best = AucAp { auc: f64::NEG_INFINITY, ap: 0.0 };
+pub fn best_of_four(
+    x: &DenseMatrix,
+    split: &EdgeSplit,
+    symmetric: bool,
+    seed: u64,
+) -> (AucAp, &'static str) {
+    let mut best = AucAp {
+        auc: f64::NEG_INFINITY,
+        ap: 0.0,
+    };
     let mut best_name = "none";
     for method in PairScore::ALL {
         let train_graph = (method == PairScore::EdgeFeature).then_some(&split.residual);
@@ -78,7 +93,12 @@ mod tests {
 
     #[test]
     fn oracle_is_perfect() {
-        let g = generate_sbm(&SbmConfig { nodes: 150, avg_out_degree: 5.0, seed: 4, ..Default::default() });
+        let g = generate_sbm(&SbmConfig {
+            nodes: 150,
+            avg_out_degree: 5.0,
+            seed: 4,
+            ..Default::default()
+        });
         let split = split_edges(&g, 0.3, 5);
         let r = evaluate_link_scorer(&Oracle { g: &g }, &split, false);
         assert_eq!(r.auc, 1.0);
@@ -102,7 +122,11 @@ mod tests {
             x.set(v, g.labels_of(v)[0] as usize, 1.0);
         }
         let (best, name) = best_of_four(&x, &split, false, 0);
-        assert!(best.auc > 0.6, "community features should beat chance, got {}", best.auc);
+        assert!(
+            best.auc > 0.6,
+            "community features should beat chance, got {}",
+            best.auc
+        );
         assert_ne!(name, "none");
     }
 
@@ -115,7 +139,12 @@ mod tests {
                 (src as f64) - (dst as f64)
             }
         }
-        let g = generate_sbm(&SbmConfig { nodes: 60, avg_out_degree: 4.0, seed: 8, ..Default::default() });
+        let g = generate_sbm(&SbmConfig {
+            nodes: 60,
+            avg_out_degree: 4.0,
+            seed: 8,
+            ..Default::default()
+        });
         let split = split_edges(&g, 0.3, 9);
         let asym = evaluate_link_scorer(&Fwd, &split, false);
         let sym = evaluate_link_scorer(&Fwd, &split, true);

@@ -6,7 +6,9 @@ pub mod node_class;
 
 pub use attr_inference::evaluate_attr_scorer;
 pub use link_pred::{best_of_four, evaluate_link_scorer};
-pub use node_class::{classification_sweep, node_classification, NodeClassOptions, NodeClassResult};
+pub use node_class::{
+    classification_sweep, node_classification, NodeClassOptions, NodeClassResult,
+};
 
 /// A (AUC, AP) result pair — the columns of Tables 4 and 5.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -28,7 +28,13 @@ pub struct NodeClassOptions {
 
 impl Default for NodeClassOptions {
     fn default() -> Self {
-        Self { train_frac: 0.5, repeats: 5, learner: LearnerKind::Logistic, seed: 0, epochs: 200 }
+        Self {
+            train_frac: 0.5,
+            repeats: 5,
+            learner: LearnerKind::Logistic,
+            seed: 0,
+            epochs: 200,
+        }
     }
 }
 
@@ -43,7 +49,11 @@ pub struct NodeClassResult {
 
 impl std::fmt::Display for NodeClassResult {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "micro-F1={:.3} macro-F1={:.3}", self.micro_f1, self.macro_f1)
+        write!(
+            f,
+            "micro-F1={:.3} macro-F1={:.3}",
+            self.micro_f1, self.macro_f1
+        )
     }
 }
 
@@ -56,8 +66,14 @@ pub fn node_classification<S: NodeFeatureSource>(
     opts: &NodeClassOptions,
 ) -> NodeClassResult {
     assert!(num_labels > 0, "need at least one label");
-    let labeled: Vec<usize> = (0..labels.len()).filter(|&v| !labels[v].is_empty()).collect();
-    assert!(labeled.len() >= 4, "need at least 4 labeled nodes, have {}", labeled.len());
+    let labeled: Vec<usize> = (0..labels.len())
+        .filter(|&v| !labels[v].is_empty())
+        .collect();
+    assert!(
+        labeled.len() >= 4,
+        "need at least 4 labeled nodes, have {}",
+        labeled.len()
+    );
 
     // Materialize features once.
     let dim = source.feature_dim();
@@ -72,7 +88,8 @@ pub fn node_classification<S: NodeFeatureSource>(
     let mut micro_sum = 0.0;
     let mut macro_sum = 0.0;
     for rep in 0..opts.repeats {
-        let (train_idx, test_idx) = split_nodes(labeled.len(), opts.train_frac, opts.seed + rep as u64);
+        let (train_idx, test_idx) =
+            split_nodes(labeled.len(), opts.train_frac, opts.seed + rep as u64);
         let (train_idx, test_idx) = if train_idx.is_empty() || test_idx.is_empty() {
             // Degenerate fraction: fall back to leave-one-out-ish split.
             (vec![0], (1..labeled.len()).collect())
@@ -85,7 +102,14 @@ pub fn node_classification<S: NodeFeatureSource>(
             x_train.row_mut(row).copy_from_slice(feats.row(i));
             y_train.push(local_labels[i].clone());
         }
-        let ovr = OneVsRest::fit_with_budget(opts.learner, &x_train, &y_train, num_labels, opts.seed + rep as u64, opts.epochs);
+        let ovr = OneVsRest::fit_with_budget(
+            opts.learner,
+            &x_train,
+            &y_train,
+            num_labels,
+            opts.seed + rep as u64,
+            opts.epochs,
+        );
         let mut truth = Vec::with_capacity(test_idx.len());
         let mut pred = Vec::with_capacity(test_idx.len());
         for &i in &test_idx {
@@ -113,7 +137,10 @@ pub fn classification_sweep<S: NodeFeatureSource>(
     fractions
         .iter()
         .map(|&frac| {
-            let opts = NodeClassOptions { train_frac: frac, ..*base };
+            let opts = NodeClassOptions {
+                train_frac: frac,
+                ..*base
+            };
             (frac, node_classification(source, labels, num_labels, &opts))
         })
         .collect()
@@ -160,7 +187,11 @@ mod tests {
         }
         let src = MatrixFeatureSource { x: &x };
         let r = node_classification(&src, &labels, 4, &NodeClassOptions::default());
-        assert!(r.micro_f1 < 0.55, "noise should score near chance, got {}", r.micro_f1);
+        assert!(
+            r.micro_f1 < 0.55,
+            "noise should score near chance, got {}",
+            r.micro_f1
+        );
     }
 
     #[test]
@@ -179,7 +210,13 @@ mod tests {
         let labels = labels_fixture(150, 3);
         let x = perfect_features(&labels, 3);
         let src = MatrixFeatureSource { x: &x };
-        let sweep = classification_sweep(&src, &labels, 3, &[0.1, 0.5, 0.9], &NodeClassOptions::default());
+        let sweep = classification_sweep(
+            &src,
+            &labels,
+            3,
+            &[0.1, 0.5, 0.9],
+            &NodeClassOptions::default(),
+        );
         assert_eq!(sweep.len(), 3);
         for (_, r) in &sweep {
             assert!(r.micro_f1 > 0.9);
@@ -191,7 +228,11 @@ mod tests {
         let labels = labels_fixture(100, 2);
         let x = perfect_features(&labels, 2);
         let src = MatrixFeatureSource { x: &x };
-        let opts = NodeClassOptions { learner: LearnerKind::Svm, repeats: 2, ..Default::default() };
+        let opts = NodeClassOptions {
+            learner: LearnerKind::Svm,
+            repeats: 2,
+            ..Default::default()
+        };
         let r = node_classification(&src, &labels, 2, &opts);
         assert!(r.micro_f1 > 0.9, "svm micro {}", r.micro_f1);
     }

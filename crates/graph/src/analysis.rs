@@ -27,7 +27,13 @@ pub struct DegreeStats {
 pub fn degree_stats(g: &AttributedGraph) -> DegreeStats {
     let n = g.num_nodes();
     if n == 0 {
-        return DegreeStats { min: 0, max: 0, mean: 0.0, median: 0, top1pct_share: 0.0 };
+        return DegreeStats {
+            min: 0,
+            max: 0,
+            mean: 0.0,
+            median: 0,
+            top1pct_share: 0.0,
+        };
     }
     let mut degs: Vec<usize> = (0..n).map(|v| g.out_degree(v)).collect();
     degs.sort_unstable();
@@ -39,7 +45,11 @@ pub fn degree_stats(g: &AttributedGraph) -> DegreeStats {
         max: degs[n - 1],
         mean: total as f64 / n as f64,
         median: degs[n / 2],
-        top1pct_share: if total == 0 { 0.0 } else { top_sum as f64 / total as f64 },
+        top1pct_share: if total == 0 {
+            0.0
+        } else {
+            top_sum as f64 / total as f64
+        },
     }
 }
 
@@ -51,7 +61,10 @@ struct UnionFind {
 
 impl UnionFind {
     fn new(n: usize) -> Self {
-        Self { parent: (0..n as u32).collect(), rank: vec![0; n] }
+        Self {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+        }
     }
 
     fn find(&mut self, x: u32) -> u32 {
@@ -129,13 +142,18 @@ pub fn attribute_coverage(g: &AttributedGraph) -> (f64, f64) {
     if n == 0 || d == 0 {
         return (0.0, 0.0);
     }
-    let covered_nodes = (0..n).filter(|&v| !g.node_attributes(v).0.is_empty()).count();
+    let covered_nodes = (0..n)
+        .filter(|&v| !g.node_attributes(v).0.is_empty())
+        .count();
     let mut attr_seen = vec![false; d];
     for (_, r, _) in g.attributes().iter() {
         attr_seen[r] = true;
     }
     let covered_attrs = attr_seen.iter().filter(|&&b| b).count();
-    (covered_nodes as f64 / n as f64, covered_attrs as f64 / d as f64)
+    (
+        covered_nodes as f64 / n as f64,
+        covered_attrs as f64 / d as f64,
+    )
 }
 
 #[cfg(test)]
@@ -191,10 +209,22 @@ mod tests {
 
     #[test]
     fn sbm_graphs_are_mostly_connected_and_heavy_tailed() {
-        let g = generate_sbm(&SbmConfig { nodes: 1500, avg_out_degree: 8.0, seed: 5, ..Default::default() });
-        assert!(largest_component_fraction(&g) > 0.85, "generator output too fragmented");
+        let g = generate_sbm(&SbmConfig {
+            nodes: 1500,
+            avg_out_degree: 8.0,
+            seed: 5,
+            ..Default::default()
+        });
+        assert!(
+            largest_component_fraction(&g) > 0.85,
+            "generator output too fragmented"
+        );
         let s = degree_stats(&g);
-        assert!(s.top1pct_share > 0.03, "degrees not heavy-tailed: {}", s.top1pct_share);
+        assert!(
+            s.top1pct_share > 0.03,
+            "degrees not heavy-tailed: {}",
+            s.top1pct_share
+        );
     }
 
     #[test]

@@ -69,7 +69,11 @@ impl GraphBuilder {
     /// # Panics
     /// Panics if either endpoint is out of range.
     pub fn add_edge(&mut self, src: usize, dst: usize) {
-        assert!(src < self.n && dst < self.n, "edge ({src},{dst}) out of bounds (n={})", self.n);
+        assert!(
+            src < self.n && dst < self.n,
+            "edge ({src},{dst}) out of bounds (n={})",
+            self.n
+        );
         if self.forbid_self_loops && src == dst {
             return;
         }
@@ -84,8 +88,15 @@ impl GraphBuilder {
     /// # Panics
     /// Panics if out of range or `w` is not finite/positive.
     pub fn add_weighted_edge(&mut self, src: usize, dst: usize, w: f64) {
-        assert!(src < self.n && dst < self.n, "edge ({src},{dst}) out of bounds (n={})", self.n);
-        assert!(w.is_finite() && w > 0.0, "edge weight must be finite and positive, got {w}");
+        assert!(
+            src < self.n && dst < self.n,
+            "edge ({src},{dst}) out of bounds (n={})",
+            self.n
+        );
+        assert!(
+            w.is_finite() && w > 0.0,
+            "edge weight must be finite and positive, got {w}"
+        );
         if self.forbid_self_loops && src == dst {
             return;
         }
@@ -98,7 +109,10 @@ impl GraphBuilder {
     /// # Panics
     /// Panics if out of range or `w` is not finite/positive.
     pub fn add_attribute(&mut self, v: usize, r: usize, w: f64) {
-        assert!(w.is_finite() && w > 0.0, "attribute weight must be finite and positive, got {w}");
+        assert!(
+            w.is_finite() && w > 0.0,
+            "attribute weight must be finite and positive, got {w}"
+        );
         self.attrs.push(v, r, w);
     }
 
@@ -114,7 +128,8 @@ impl GraphBuilder {
 
     /// Finalizes into an [`AttributedGraph`].
     pub fn build(mut self) -> AttributedGraph {
-        let cap = (self.edges.len() + self.weighted_edges.len()) * if self.undirected { 2 } else { 1 };
+        let cap =
+            (self.edges.len() + self.weighted_edges.len()) * if self.undirected { 2 } else { 1 };
         let mut coo = CooMatrix::with_capacity(self.n, self.n, cap);
         // Deduplicate unweighted edges by sorting; those entries are binary.
         let mut edges = std::mem::take(&mut self.edges);
@@ -139,7 +154,13 @@ impl GraphBuilder {
         for row in &mut self.labels {
             row.sort_unstable();
         }
-        AttributedGraph::from_parts(adjacency, attributes, self.labels, self.num_labels, self.undirected)
+        AttributedGraph::from_parts(
+            adjacency,
+            attributes,
+            self.labels,
+            self.num_labels,
+            self.undirected,
+        )
     }
 }
 

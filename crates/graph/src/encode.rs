@@ -50,8 +50,16 @@ pub struct Encoded {
 /// # Panics
 /// Panics on ragged tables, on a [`RawValue::Category`] in a numeric column
 /// (and vice versa), or on negative/non-finite numbers.
-pub fn one_hot_encode(column_names: &[&str], columns: &[ColumnKind], table: &[Vec<RawValue>]) -> Encoded {
-    assert_eq!(column_names.len(), columns.len(), "column name/kind count mismatch");
+pub fn one_hot_encode(
+    column_names: &[&str],
+    columns: &[ColumnKind],
+    table: &[Vec<RawValue>],
+) -> Encoded {
+    assert_eq!(
+        column_names.len(),
+        columns.len(),
+        "column name/kind count mismatch"
+    );
     for (v, row) in table.iter().enumerate() {
         assert_eq!(row.len(), columns.len(), "row {v} has wrong arity");
     }
@@ -91,7 +99,10 @@ pub fn one_hot_encode(column_names: &[&str], columns: &[ColumnKind], table: &[Ve
             match (&row[c], kind) {
                 (RawValue::Missing, _) => {}
                 (RawValue::Number(x), ColumnKind::Numeric) => {
-                    assert!(x.is_finite() && *x >= 0.0, "numeric value must be finite and >= 0, got {x}");
+                    assert!(
+                        x.is_finite() && *x >= 0.0,
+                        "numeric value must be finite and >= 0, got {x}"
+                    );
                     if *x > 0.0 {
                         associations.push((v, col_base[c], *x));
                     }
@@ -105,7 +116,11 @@ pub fn one_hot_encode(column_names: &[&str], columns: &[ColumnKind], table: &[Ve
         }
     }
 
-    Encoded { num_attributes: attribute_names.len(), attribute_names, associations }
+    Encoded {
+        num_attributes: attribute_names.len(),
+        attribute_names,
+        associations,
+    }
 }
 
 #[cfg(test)]
@@ -129,7 +144,10 @@ mod tests {
             &table,
         );
         assert_eq!(enc.num_attributes, 3); // blue, red, score
-        assert_eq!(enc.attribute_names, vec!["color=blue", "color=red", "score"]);
+        assert_eq!(
+            enc.attribute_names,
+            vec!["color=blue", "color=red", "score"]
+        );
         // node 0: red (idx 1), score=2
         assert!(enc.associations.contains(&(0, 1, 1.0)));
         assert!(enc.associations.contains(&(0, 2, 2.0)));

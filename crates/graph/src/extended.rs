@@ -32,7 +32,8 @@ impl ExtendedGraph {
         let n = g.num_nodes();
         let d = g.num_attributes();
         let total = n + d;
-        let mut coo = CooMatrix::with_capacity(total, total, g.num_edges() + 2 * g.num_attribute_entries());
+        let mut coo =
+            CooMatrix::with_capacity(total, total, g.num_edges() + 2 * g.num_attribute_entries());
         for (i, j, w) in g.adjacency().iter() {
             coo.push(i, j, w);
         }
@@ -40,7 +41,11 @@ impl ExtendedGraph {
             coo.push(v, n + r, w);
             coo.push(n + r, v, w);
         }
-        Self { adjacency: coo.to_csr(), num_nodes: n, num_attributes: d }
+        Self {
+            adjacency: coo.to_csr(),
+            num_nodes: n,
+            num_attributes: d,
+        }
     }
 
     /// Global index of attribute `r`.
@@ -81,7 +86,10 @@ mod tests {
             assert_eq!(ext.adjacency.get(a, v), w);
         }
         // Edge count: |E_V| + 2·|E_R|.
-        assert_eq!(ext.adjacency.nnz(), g.num_edges() + 2 * g.num_attribute_entries());
+        assert_eq!(
+            ext.adjacency.nnz(),
+            g.num_edges() + 2 * g.num_attribute_entries()
+        );
     }
 
     #[test]
@@ -117,7 +125,10 @@ mod tests {
                     let r = c as usize - n;
                     let expect = rr.get(v, r);
                     let got = w / attr_mass;
-                    assert!((got - expect).abs() < 1e-12, "v{v}, r{r}: {got} vs {expect}");
+                    assert!(
+                        (got - expect).abs() < 1e-12,
+                        "v{v}, r{r}: {got} vs {expect}"
+                    );
                 }
             }
         }

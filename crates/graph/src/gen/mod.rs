@@ -20,4 +20,4 @@
 pub mod alias;
 pub mod sbm;
 
-pub use sbm::{SbmConfig, generate_sbm};
+pub use sbm::{generate_sbm, SbmConfig};

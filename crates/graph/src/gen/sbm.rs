@@ -60,14 +60,29 @@ impl Default for SbmConfig {
 impl SbmConfig {
     fn validate(&self) {
         assert!(self.nodes > 0, "nodes must be positive");
-        assert!(self.communities > 0 && self.communities <= self.nodes, "bad community count");
+        assert!(
+            self.communities > 0 && self.communities <= self.nodes,
+            "bad community count"
+        );
         assert!(self.avg_out_degree > 0.0, "avg_out_degree must be positive");
-        assert!((0.0..=1.0).contains(&self.p_in), "p_in must be a probability");
+        assert!(
+            (0.0..=1.0).contains(&self.p_in),
+            "p_in must be a probability"
+        );
         assert!(self.gamma > 1.0, "gamma must exceed 1");
         assert!(self.attributes > 0, "attributes must be positive");
-        assert!(self.attrs_per_node >= 0.0, "attrs_per_node must be non-negative");
-        assert!((0.0..=1.0).contains(&self.attr_noise), "attr_noise must be a probability");
-        assert!((0.0..=1.0).contains(&self.extra_label_prob), "extra_label_prob must be a probability");
+        assert!(
+            self.attrs_per_node >= 0.0,
+            "attrs_per_node must be non-negative"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.attr_noise),
+            "attr_noise must be a probability"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.extra_label_prob),
+            "extra_label_prob must be a probability"
+        );
     }
 }
 
@@ -124,7 +139,9 @@ pub fn generate_sbm(cfg: &SbmConfig) -> AttributedGraph {
         let src = global.sample(&mut rng);
         let dst = if rng.gen::<f64>() < cfg.p_in {
             let cm = community[src] as usize;
-            let table = community_tables[cm].as_ref().expect("community of src is non-empty");
+            let table = community_tables[cm]
+                .as_ref()
+                .expect("community of src is non-empty");
             members[cm][table.sample(&mut rng)] as usize
         } else {
             global.sample(&mut rng)
@@ -256,7 +273,10 @@ mod tests {
         }
         let frac = in_pool as f64 / total as f64;
         // noise 0.15 with 1/4 of random draws landing in-pool anyway.
-        assert!(frac > 0.8, "attribute-community correlation too weak: {frac}");
+        assert!(
+            frac > 0.8,
+            "attribute-community correlation too weak: {frac}"
+        );
     }
 
     #[test]
@@ -265,8 +285,13 @@ mod tests {
         cfg.multi_label = true;
         cfg.extra_label_prob = 0.5;
         let g = generate_sbm(&cfg);
-        let multi = (0..g.num_nodes()).filter(|&v| g.labels_of(v).len() > 1).count();
-        assert!(multi > 50, "expected many multi-labelled nodes, got {multi}");
+        let multi = (0..g.num_nodes())
+            .filter(|&v| g.labels_of(v).len() > 1)
+            .count();
+        assert!(
+            multi > 50,
+            "expected many multi-labelled nodes, got {multi}"
+        );
     }
 
     #[test]
@@ -275,13 +300,21 @@ mod tests {
         cfg.undirected = true;
         let g = generate_sbm(&cfg);
         for (i, j, _) in g.adjacency().iter() {
-            assert!(g.adjacency().get(j, i) > 0.0, "missing reverse of ({i},{j})");
+            assert!(
+                g.adjacency().get(j, i) > 0.0,
+                "missing reverse of ({i},{j})"
+            );
         }
     }
 
     #[test]
     fn degree_distribution_is_skewed() {
-        let g = generate_sbm(&SbmConfig { nodes: 2000, avg_out_degree: 8.0, seed: 3, ..small_cfg() });
+        let g = generate_sbm(&SbmConfig {
+            nodes: 2000,
+            avg_out_degree: 8.0,
+            seed: 3,
+            ..small_cfg()
+        });
         let mut degs: Vec<usize> = (0..g.num_nodes()).map(|v| g.out_degree(v)).collect();
         degs.sort_unstable_by(|a, b| b.cmp(a));
         let top1pct: usize = degs[..20].iter().sum();

@@ -61,7 +61,13 @@ impl AttributedGraph {
         debug_assert_eq!(adjacency.rows(), adjacency.cols());
         debug_assert_eq!(adjacency.rows(), attributes.rows());
         debug_assert_eq!(labels.len(), adjacency.rows());
-        Self { adjacency, attributes, labels, num_labels, undirected }
+        Self {
+            adjacency,
+            attributes,
+            labels,
+            num_labels,
+            undirected,
+        }
     }
 
     /// Number of nodes `n`.
@@ -140,7 +146,11 @@ impl AttributedGraph {
                 if dangling.is_empty() {
                     return self.adjacency.normalize_rows();
                 }
-                let mut coo = pane_sparse::CooMatrix::with_capacity(n, n, self.adjacency.nnz() + dangling.len());
+                let mut coo = pane_sparse::CooMatrix::with_capacity(
+                    n,
+                    n,
+                    self.adjacency.nnz() + dangling.len(),
+                );
                 for (i, j, v) in self.adjacency.iter() {
                     coo.push(i, j, v / sums[i]);
                 }
@@ -154,7 +164,11 @@ impl AttributedGraph {
                 if dangling.is_empty() {
                     return self.adjacency.normalize_rows();
                 }
-                let mut coo = pane_sparse::CooMatrix::with_capacity(n, n, self.adjacency.nnz() + dangling.len() * n);
+                let mut coo = pane_sparse::CooMatrix::with_capacity(
+                    n,
+                    n,
+                    self.adjacency.nnz() + dangling.len() * n,
+                );
                 for (i, j, v) in self.adjacency.iter() {
                     coo.push(i, j, v / sums[i]);
                 }
@@ -199,7 +213,13 @@ impl AttributedGraph {
             }
         }
         let adj = coo.to_csr();
-        AttributedGraph::from_parts(adj, self.attributes.clone(), self.labels.clone(), self.num_labels, true)
+        AttributedGraph::from_parts(
+            adj,
+            self.attributes.clone(),
+            self.labels.clone(),
+            self.num_labels,
+            true,
+        )
     }
 
     /// Summary line in the spirit of Table 3.

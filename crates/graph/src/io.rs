@@ -36,7 +36,11 @@ impl std::fmt::Display for IoError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             IoError::Io(e) => write!(f, "I/O error: {e}"),
-            IoError::Parse { kind, line, message } => {
+            IoError::Parse {
+                kind,
+                line,
+                message,
+            } => {
                 write!(f, "parse error in {kind} file, line {line}: {message}")
             }
         }
@@ -72,7 +76,11 @@ pub fn parse_edges<R: BufRead>(reader: R) -> Result<Vec<(usize, usize)>, IoError
                 message: format!("missing {what}"),
             })?
             .parse()
-            .map_err(|e| IoError::Parse { kind: "edge", line: lineno + 1, message: format!("bad {what}: {e}") })
+            .map_err(|e| IoError::Parse {
+                kind: "edge",
+                line: lineno + 1,
+                message: format!("bad {what}: {e}"),
+            })
         };
         let s = parse(it.next(), "source")?;
         let t = parse(it.next(), "target")?;
@@ -131,9 +139,17 @@ pub fn parse_labels<R: BufRead>(reader: R) -> Result<Vec<(usize, Vec<usize>)>, I
         let mut it = line.split_whitespace();
         let v: usize = it
             .next()
-            .ok_or_else(|| IoError::Parse { kind: "label", line: lineno + 1, message: "empty line".into() })?
+            .ok_or_else(|| IoError::Parse {
+                kind: "label",
+                line: lineno + 1,
+                message: "empty line".into(),
+            })?
             .parse()
-            .map_err(|e| IoError::Parse { kind: "label", line: lineno + 1, message: format!("bad node: {e}") })?;
+            .map_err(|e| IoError::Parse {
+                kind: "label",
+                line: lineno + 1,
+                message: format!("bad node: {e}"),
+            })?;
         let mut labels = Vec::new();
         for tok in it {
             labels.push(tok.parse().map_err(|e| IoError::Parse {
@@ -175,7 +191,8 @@ pub fn load_graph(
         let ml = labels.iter().map(|&(v, _)| v + 1).max().unwrap_or(0);
         me.max(ma).max(ml)
     });
-    let d = num_attributes.unwrap_or_else(|| attrs.iter().map(|&(_, r, _)| r + 1).max().unwrap_or(0));
+    let d =
+        num_attributes.unwrap_or_else(|| attrs.iter().map(|&(_, r, _)| r + 1).max().unwrap_or(0));
 
     let mut b = GraphBuilder::new(n, d);
     if undirected {
@@ -196,7 +213,12 @@ pub fn load_graph(
 }
 
 /// Writes the graph back out as the three text files.
-pub fn save_graph(g: &AttributedGraph, edges_path: &Path, attrs_path: &Path, labels_path: &Path) -> Result<(), IoError> {
+pub fn save_graph(
+    g: &AttributedGraph,
+    edges_path: &Path,
+    attrs_path: &Path,
+    labels_path: &Path,
+) -> Result<(), IoError> {
     let mut ew = BufWriter::new(File::create(edges_path)?);
     writeln!(ew, "# src dst")?;
     for (i, j, _) in g.adjacency().iter() {

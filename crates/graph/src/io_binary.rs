@@ -234,7 +234,11 @@ mod tests {
 
     #[test]
     fn truncation_rejected() {
-        let g = generate_sbm(&SbmConfig { nodes: 50, seed: 1, ..Default::default() });
+        let g = generate_sbm(&SbmConfig {
+            nodes: 50,
+            seed: 1,
+            ..Default::default()
+        });
         let p = tmp("trunc.bin");
         save_graph_binary(&g, &p).unwrap();
         let bytes = std::fs::read(&p).unwrap();

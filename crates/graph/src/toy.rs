@@ -97,7 +97,11 @@ mod tests {
         assert_eq!(g.node_attributes(nodes::V2).0.len(), 0);
         // v3, v4, v5 own r1.
         for v in [nodes::V3, nodes::V4, nodes::V5] {
-            assert!(g.attributes().get(v, attrs::R1) > 0.0, "v{} should own r1", v + 1);
+            assert!(
+                g.attributes().get(v, attrs::R1) > 0.0,
+                "v{} should own r1",
+                v + 1
+            );
         }
         // v5 owns r1 but not r3.
         assert!(g.attributes().get(nodes::V5, attrs::R3) == 0.0);

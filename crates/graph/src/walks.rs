@@ -70,7 +70,12 @@ impl RowSampler {
             offsets.push(cumsums.len());
             totals.push(acc);
         }
-        Self { matrix, cumsums, offsets, totals }
+        Self {
+            matrix,
+            cumsums,
+            offsets,
+            totals,
+        }
     }
 
     /// Samples a column index of row `i` proportionally to the weights, or
@@ -110,8 +115,16 @@ impl WalkSimulator {
     ///
     /// # Panics
     /// Panics unless `0 < alpha < 1`.
-    pub fn new(graph: &AttributedGraph, alpha: f64, policy: DanglingPolicy, restart: RestartRule) -> Self {
-        assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1), got {alpha}");
+    pub fn new(
+        graph: &AttributedGraph,
+        alpha: f64,
+        policy: DanglingPolicy,
+        restart: RestartRule,
+    ) -> Self {
+        assert!(
+            alpha > 0.0 && alpha < 1.0,
+            "alpha must be in (0,1), got {alpha}"
+        );
         let p = graph.random_walk_matrix(policy);
         let rr = graph.attr_row_normalized();
         let rct = graph.attr_col_normalized().transpose();
@@ -196,7 +209,11 @@ impl WalkSimulator {
 
     /// Empirical forward/backward affinities via Equations (2) and (3)
     /// applied to sampled walk frequencies.
-    pub fn empirical_affinities<R: Rng + ?Sized>(&self, nr: usize, rng: &mut R) -> (DenseMatrix, DenseMatrix) {
+    pub fn empirical_affinities<R: Rng + ?Sized>(
+        &self,
+        nr: usize,
+        rng: &mut R,
+    ) -> (DenseMatrix, DenseMatrix) {
         let pf = self.estimate_forward(nr, rng);
         let pb = self.estimate_backward(nr, rng);
         (affinity_from_forward(&pf), affinity_from_backward(&pb))
@@ -211,7 +228,11 @@ pub fn affinity_from_forward(pf: &DenseMatrix) -> DenseMatrix {
     for i in 0..f.rows() {
         let row = f.row_mut(i);
         for (j, x) in row.iter_mut().enumerate() {
-            *x = if col[j] > 0.0 { (n as f64 * *x / col[j] + 1.0).ln() } else { 0.0 };
+            *x = if col[j] > 0.0 {
+                (n as f64 * *x / col[j] + 1.0).ln()
+            } else {
+                0.0
+            };
         }
     }
     f
@@ -226,7 +247,11 @@ pub fn affinity_from_backward(pb: &DenseMatrix) -> DenseMatrix {
         let s = rowsum[i];
         let row = b.row_mut(i);
         for x in row.iter_mut() {
-            *x = if s > 0.0 { (d as f64 * *x / s + 1.0).ln() } else { 0.0 };
+            *x = if s > 0.0 {
+                (d as f64 * *x / s + 1.0).ln()
+            } else {
+                0.0
+            };
         }
     }
     b
@@ -262,7 +287,12 @@ mod tests {
         let q = 1.0 - alpha;
         let stay = alpha / (1.0 - q * q);
         let go = q * alpha / (1.0 - q * q);
-        assert!((pf.get(0, 0) - stay).abs() < 0.01, "{} vs {}", pf.get(0, 0), stay);
+        assert!(
+            (pf.get(0, 0) - stay).abs() < 0.01,
+            "{} vs {}",
+            pf.get(0, 0),
+            stay
+        );
         assert!((pf.get(0, 1) - go).abs() < 0.01);
         assert!((pf.get(1, 1) - stay).abs() < 0.01);
     }
@@ -289,8 +319,14 @@ mod tests {
         b.add_edge(0, 2);
         b.add_attribute(1, 0, 1.0);
         let g = b.build();
-        let sim_restart = WalkSimulator::new(&g, 0.3, DanglingPolicy::SelfLoop, RestartRule::RestartFromSource);
-        let sim_discard = WalkSimulator::new(&g, 0.3, DanglingPolicy::SelfLoop, RestartRule::Discard);
+        let sim_restart = WalkSimulator::new(
+            &g,
+            0.3,
+            DanglingPolicy::SelfLoop,
+            RestartRule::RestartFromSource,
+        );
+        let sim_discard =
+            WalkSimulator::new(&g, 0.3, DanglingPolicy::SelfLoop, RestartRule::Discard);
         let mut rng = StdRng::seed_from_u64(1);
         let nr = 20_000;
         let pf_r = sim_restart.estimate_forward(nr, &mut rng);
@@ -318,7 +354,12 @@ mod tests {
     fn walks_never_panic_on_edgeless_graph() {
         let b = GraphBuilder::new(3, 2);
         let g = b.build(); // no edges, no attributes
-        let sim = WalkSimulator::new(&g, 0.5, DanglingPolicy::SelfLoop, RestartRule::RestartFromSource);
+        let sim = WalkSimulator::new(
+            &g,
+            0.5,
+            DanglingPolicy::SelfLoop,
+            RestartRule::RestartFromSource,
+        );
         let mut rng = StdRng::seed_from_u64(2);
         assert_eq!(sim.forward_walk(0, &mut rng), None);
         assert_eq!(sim.backward_walk(0, &mut rng), None);

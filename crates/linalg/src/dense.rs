@@ -55,7 +55,11 @@ impl fmt::Debug for DenseMatrix {
 impl DenseMatrix {
     /// All-zeros `rows × cols` matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Takes ownership of a row-major buffer.
@@ -79,7 +83,11 @@ impl DenseMatrix {
             assert_eq!(row.len(), c, "row {i} has length {} != {c}", row.len());
             data.extend_from_slice(row);
         }
-        Self { rows: r, cols: c, data }
+        Self {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// `n × n` identity.
@@ -100,7 +108,13 @@ impl DenseMatrix {
     }
 
     /// Matrix with i.i.d. `Uniform(lo, hi)` entries.
-    pub fn uniform<R: Rng + ?Sized>(rows: usize, cols: usize, lo: f64, hi: f64, rng: &mut R) -> Self {
+    pub fn uniform<R: Rng + ?Sized>(
+        rows: usize,
+        cols: usize,
+        lo: f64,
+        hi: f64,
+        rng: &mut R,
+    ) -> Self {
         let mut m = Self::zeros(rows, cols);
         for v in m.data.iter_mut() {
             *v = rng.gen::<f64>() * (hi - lo) + lo;
@@ -276,7 +290,11 @@ impl DenseMatrix {
     /// Panics on any shape mismatch.
     pub fn matmul_into(&self, other: &DenseMatrix, out: &mut DenseMatrix) {
         assert_eq!(self.cols, other.rows, "matmul: inner dimension mismatch");
-        assert_eq!(out.shape(), (self.rows, other.cols), "matmul: output shape mismatch");
+        assert_eq!(
+            out.shape(),
+            (self.rows, other.cols),
+            "matmul: output shape mismatch"
+        );
         out.data.iter_mut().for_each(|v| *v = 0.0);
         for i in 0..self.rows {
             let arow = self.row(i);
@@ -292,7 +310,10 @@ impl DenseMatrix {
 
     /// Block-parallel `C = self · other` with `nb` workers over row blocks.
     pub fn matmul_par(&self, other: &DenseMatrix, nb: usize) -> DenseMatrix {
-        assert_eq!(self.cols, other.rows, "matmul_par: inner dimension mismatch");
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul_par: inner dimension mismatch"
+        );
         let mut c = DenseMatrix::zeros(self.rows, other.cols);
         let ranges = even_ranges_nonempty(self.rows, nb);
         let (rows, cols) = (self.rows, other.cols);
@@ -314,7 +335,10 @@ impl DenseMatrix {
 
     /// `C = self · otherᵀ` (shapes `(n×m)·(p×m)ᵀ → n×p`), as row·row dots.
     pub fn matmul_transb(&self, other: &DenseMatrix) -> DenseMatrix {
-        assert_eq!(self.cols, other.cols, "matmul_transb: inner dimension mismatch");
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_transb: inner dimension mismatch"
+        );
         let mut c = DenseMatrix::zeros(self.rows, other.rows);
         for i in 0..self.rows {
             let arow = self.row(i);
@@ -327,7 +351,10 @@ impl DenseMatrix {
 
     /// Block-parallel `C = self · otherᵀ`.
     pub fn matmul_transb_par(&self, other: &DenseMatrix, nb: usize) -> DenseMatrix {
-        assert_eq!(self.cols, other.cols, "matmul_transb_par: inner dimension mismatch");
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_transb_par: inner dimension mismatch"
+        );
         let mut c = DenseMatrix::zeros(self.rows, other.rows);
         let ranges = even_ranges_nonempty(self.rows, nb);
         let cols = other.rows;
@@ -377,7 +404,12 @@ impl DenseMatrix {
     /// `self - other` as a new matrix.
     pub fn sub(&self, other: &DenseMatrix) -> DenseMatrix {
         assert_eq!(self.shape(), other.shape(), "sub: shape mismatch");
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a - b).collect();
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a - b)
+            .collect();
         DenseMatrix::from_vec(self.rows, self.cols, data)
     }
 

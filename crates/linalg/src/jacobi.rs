@@ -46,7 +46,12 @@ pub fn jacobi_svd(a: &DenseMatrix) -> JacobiSvd {
     } else {
         // A = U Σ Vᵀ  ⇔  Aᵀ = V Σ Uᵀ
         let t = jacobi_svd_tall(&a.transpose());
-        JacobiSvd { u: t.v, s: t.s, v: t.u, sweeps: t.sweeps }
+        JacobiSvd {
+            u: t.v,
+            s: t.s,
+            v: t.u,
+            sweeps: t.sweeps,
+        }
     }
 }
 

@@ -67,7 +67,11 @@ pub fn thin_qr(a: &DenseMatrix) -> QrFactors {
             vecops::scale(1.0 / norm, qt.row_mut(j));
         }
     }
-    QrFactors { q: qt.transpose(), r, deficient }
+    QrFactors {
+        q: qt.transpose(),
+        r,
+        deficient,
+    }
 }
 
 /// Gets two distinct rows of the transposed working matrix as
@@ -86,7 +90,9 @@ fn refill_column(qt: &mut DenseMatrix, j: usize, n: usize) {
     {
         let row = qt.row_mut(j);
         for v in row.iter_mut() {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             // Map to roughly uniform in [-1, 1).
             *v = ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0;
         }

@@ -67,7 +67,12 @@ pub struct RandSvdConfig {
 impl RandSvdConfig {
     /// Defaults matching the paper's usage: oversampling 8.
     pub fn new(rank: usize, power_iters: usize, seed: u64) -> Self {
-        Self { rank, power_iters, oversample: 8, seed }
+        Self {
+            rank,
+            power_iters,
+            oversample: 8,
+            seed,
+        }
     }
 }
 
@@ -104,13 +109,26 @@ pub fn rand_svd(a: &DenseMatrix, cfg: &RandSvdConfig) -> Svd {
     let b = q.tr_matmul(a); // ℓ × d
     let small = jacobi_svd(&b);
     let u = q.matmul(&small.u); // n × ℓ
-    truncate(Svd { u, s: small.s, v: small.v }, cfg.rank, n, d)
+    truncate(
+        Svd {
+            u,
+            s: small.s,
+            v: small.v,
+        },
+        cfg.rank,
+        n,
+        d,
+    )
 }
 
 /// Exact SVD via one-sided Jacobi (use only for small or thin matrices).
 pub fn svd_exact(a: &DenseMatrix) -> Svd {
     let j = jacobi_svd(a);
-    Svd { u: j.u, s: j.s, v: j.v }
+    Svd {
+        u: j.u,
+        s: j.s,
+        v: j.v,
+    }
 }
 
 /// Truncates (or zero-pads) an SVD to exactly `rank` components.
@@ -177,9 +195,18 @@ mod tests {
     #[test]
     fn more_power_iters_does_not_hurt() {
         let a = low_rank_plus_noise(40, 40, 6, 0.5, 33);
-        let e1 = rand_svd(&a, &RandSvdConfig::new(4, 0, 5)).reconstruct().sub(&a).frob_norm();
-        let e2 = rand_svd(&a, &RandSvdConfig::new(4, 6, 5)).reconstruct().sub(&a).frob_norm();
-        assert!(e2 <= e1 + 1e-9, "power iterations increased error: {e1} -> {e2}");
+        let e1 = rand_svd(&a, &RandSvdConfig::new(4, 0, 5))
+            .reconstruct()
+            .sub(&a)
+            .frob_norm();
+        let e2 = rand_svd(&a, &RandSvdConfig::new(4, 6, 5))
+            .reconstruct()
+            .sub(&a)
+            .frob_norm();
+        assert!(
+            e2 <= e1 + 1e-9,
+            "power iterations increased error: {e1} -> {e2}"
+        );
     }
 
     #[test]

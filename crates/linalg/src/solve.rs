@@ -22,7 +22,11 @@ pub fn pinv(a: &DenseMatrix, rcond: f64) -> DenseMatrix {
     for i in 0..v_scaled.rows() {
         let row = v_scaled.row_mut(i);
         for j in 0..r {
-            row[j] = if svd.s[j] > cut && svd.s[j] > 0.0 { row[j] / svd.s[j] } else { 0.0 };
+            row[j] = if svd.s[j] > cut && svd.s[j] > 0.0 {
+                row[j] / svd.s[j]
+            } else {
+                0.0
+            };
         }
     }
     v_scaled.matmul_transb(&svd.u)

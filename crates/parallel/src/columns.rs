@@ -40,7 +40,12 @@ impl<'a> ColumnBlocksMut<'a> {
     /// Panics if `data.len() != rows * cols`.
     pub fn new(data: &'a mut [f64], rows: usize, cols: usize) -> Self {
         assert_eq!(data.len(), rows * cols, "matrix buffer size mismatch");
-        Self { ptr: data.as_mut_ptr(), rows, cols, _marker: PhantomData }
+        Self {
+            ptr: data.as_mut_ptr(),
+            rows,
+            cols,
+            _marker: PhantomData,
+        }
     }
 
     /// Splits into one view per column range.
@@ -52,10 +57,19 @@ impl<'a> ColumnBlocksMut<'a> {
         let mut sorted: Vec<Range<usize>> = ranges.to_vec();
         sorted.sort_by_key(|r| r.start);
         for w in sorted.windows(2) {
-            assert!(w[0].end <= w[1].start, "column ranges overlap: {:?} and {:?}", w[0], w[1]);
+            assert!(
+                w[0].end <= w[1].start,
+                "column ranges overlap: {:?} and {:?}",
+                w[0],
+                w[1]
+            );
         }
         if let Some(last) = sorted.last() {
-            assert!(last.end <= self.cols, "column range {last:?} out of bounds (cols = {})", self.cols);
+            assert!(
+                last.end <= self.cols,
+                "column range {last:?} out of bounds (cols = {})",
+                self.cols
+            );
         }
         ranges
             .iter()
@@ -157,9 +171,9 @@ mod tests {
         let ranges = even_ranges(cols, 3);
         let mut owner = ColumnBlocksMut::new(&mut data, rows, cols);
         let blocks = owner.split(&ranges);
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for (bi, mut b) in blocks.into_iter().enumerate() {
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for c in b.range() {
                         for r in 0..b.rows() {
                             b.set(r, c, (bi * 100 + r * 10 + c) as f64);
@@ -167,8 +181,7 @@ mod tests {
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         for r in 0..rows {
             for c in 0..cols {
                 let bi = c / 2; // 6 cols, 3 blocks of 2
@@ -193,7 +206,7 @@ mod tests {
         // Views dropped here; the owner's borrow ends with the scope.
         drop(blocks);
         let _ = owner;
-        assert_eq!(data[0 * cols + 2], 2.5);
+        assert_eq!(data[2], 2.5); // row 0, col 2
         assert_eq!(data[2 * cols + 2], 10.5);
     }
 

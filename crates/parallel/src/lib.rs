@@ -8,7 +8,7 @@
 //! where a main thread concatenates per-block results.
 //!
 //! This crate provides exactly those primitives, built on
-//! [`crossbeam::thread::scope`] so that borrowed data can be shared with the
+//! [`std::thread::scope`] so that borrowed data can be shared with the
 //! workers without `'static` bounds:
 //!
 //! * [`partition::even_ranges`] — the paper's "partition V into nb subsets
@@ -48,14 +48,13 @@ where
         f(0, ranges[0].clone());
         return;
     }
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for (i, r) in ranges.iter().enumerate() {
             let f = &f;
             let r = r.clone();
-            s.spawn(move |_| f(i, r));
+            s.spawn(move || f(i, r));
         }
-    })
-    .expect("pane-parallel: a worker thread panicked");
+    });
 }
 
 /// Runs `f(block_index, range)` on every block and collects the results in
@@ -75,14 +74,14 @@ where
     if ranges.len() == 1 {
         return vec![f(0, ranges[0].clone())];
     }
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let handles: Vec<_> = ranges
             .iter()
             .enumerate()
             .map(|(i, r)| {
                 let f = &f;
                 let r = r.clone();
-                s.spawn(move |_| f(i, r))
+                s.spawn(move || f(i, r))
             })
             .collect();
         handles
@@ -90,7 +89,6 @@ where
             .map(|h| h.join().expect("pane-parallel: worker panicked"))
             .collect()
     })
-    .expect("pane-parallel: scope failed")
 }
 
 /// Splits the row-major matrix `data` (`rows` × `cols`) into the given row
@@ -102,8 +100,13 @@ where
 ///
 /// Panics if the ranges are not sorted, contiguous from 0 and covering
 /// `rows` exactly, or if `data.len() != rows * cols`.
-pub fn for_each_row_block<F>(data: &mut [f64], rows: usize, cols: usize, ranges: &[Range<usize>], f: F)
-where
+pub fn for_each_row_block<F>(
+    data: &mut [f64],
+    rows: usize,
+    cols: usize,
+    ranges: &[Range<usize>],
+    f: F,
+) where
     F: Fn(usize, Range<usize>, &mut [f64]) + Sync,
 {
     assert_eq!(data.len(), rows * cols, "matrix buffer size mismatch");
@@ -112,7 +115,7 @@ where
         f(0, ranges[0].clone(), data);
         return;
     }
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let mut rest = data;
         for (i, r) in ranges.iter().enumerate() {
             let take = (r.end - r.start) * cols;
@@ -120,10 +123,9 @@ where
             rest = tail;
             let f = &f;
             let r = r.clone();
-            s.spawn(move |_| f(i, r, head));
+            s.spawn(move || f(i, r, head));
         }
-    })
-    .expect("pane-parallel: a worker thread panicked");
+    });
 }
 
 /// Number of blocks to actually use for `n` items and a requested thread

@@ -18,8 +18,15 @@ pub struct CooMatrix {
 impl CooMatrix {
     /// Empty builder with fixed dimensions.
     pub fn new(rows: usize, cols: usize) -> Self {
-        assert!(rows <= u32::MAX as usize && cols <= u32::MAX as usize, "dimensions exceed u32 index space");
-        Self { rows, cols, entries: Vec::new() }
+        assert!(
+            rows <= u32::MAX as usize && cols <= u32::MAX as usize,
+            "dimensions exceed u32 index space"
+        );
+        Self {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
     }
 
     /// Empty builder with a capacity hint.
@@ -62,7 +69,8 @@ impl CooMatrix {
     /// Converts to CSR, summing duplicate coordinates and dropping exact
     /// zeros produced by cancellation.
     pub fn to_csr(mut self) -> CsrMatrix {
-        self.entries.sort_unstable_by_key(|&(r, c, _)| ((r as u64) << 32) | c as u64);
+        self.entries
+            .sort_unstable_by_key(|&(r, c, _)| ((r as u64) << 32) | c as u64);
         let mut indptr = vec![0usize; self.rows + 1];
         let mut indices: Vec<u32> = Vec::with_capacity(self.entries.len());
         let mut values: Vec<f64> = Vec::with_capacity(self.entries.len());

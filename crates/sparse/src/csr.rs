@@ -24,7 +24,13 @@ impl CsrMatrix {
     ///
     /// # Panics
     /// Panics (debug) if the CSR invariants do not hold.
-    pub fn from_raw(rows: usize, cols: usize, indptr: Vec<usize>, indices: Vec<u32>, values: Vec<f64>) -> Self {
+    pub fn from_raw(
+        rows: usize,
+        cols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<u32>,
+        values: Vec<f64>,
+    ) -> Self {
         debug_assert_eq!(indptr.len(), rows + 1);
         debug_assert_eq!(indptr.first().copied().unwrap_or(0), 0);
         debug_assert!(indptr.windows(2).all(|w| w[0] <= w[1]));
@@ -33,10 +39,22 @@ impl CsrMatrix {
         #[cfg(debug_assertions)]
         for r in 0..rows {
             let row = &indices[indptr[r]..indptr[r + 1]];
-            debug_assert!(row.windows(2).all(|w| w[0] < w[1]), "row {r} not strictly sorted");
-            debug_assert!(row.iter().all(|&c| (c as usize) < cols), "row {r} column out of bounds");
+            debug_assert!(
+                row.windows(2).all(|w| w[0] < w[1]),
+                "row {r} not strictly sorted"
+            );
+            debug_assert!(
+                row.iter().all(|&c| (c as usize) < cols),
+                "row {r} column out of bounds"
+            );
         }
-        Self { rows, cols, indptr, indices, values }
+        Self {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        }
     }
 
     /// Empty (all-zero) matrix.
@@ -108,7 +126,11 @@ impl CsrMatrix {
 
     /// Returns a copy with row `i` scaled by `factors[i]`.
     pub fn scale_rows(&self, factors: &[f64]) -> CsrMatrix {
-        assert_eq!(factors.len(), self.rows, "scale_rows: factor length mismatch");
+        assert_eq!(
+            factors.len(),
+            self.rows,
+            "scale_rows: factor length mismatch"
+        );
         let mut out = self.clone();
         for i in 0..self.rows {
             let f = factors[i];
@@ -121,7 +143,11 @@ impl CsrMatrix {
 
     /// Returns a copy with column `j` scaled by `factors[j]`.
     pub fn scale_cols(&self, factors: &[f64]) -> CsrMatrix {
-        assert_eq!(factors.len(), self.cols, "scale_cols: factor length mismatch");
+        assert_eq!(
+            factors.len(),
+            self.cols,
+            "scale_cols: factor length mismatch"
+        );
         let mut out = self.clone();
         for (idx, &c) in self.indices.iter().enumerate() {
             out.values[idx] *= factors[c as usize];
@@ -133,14 +159,20 @@ impl CsrMatrix {
     /// sum is zero are left as-is (the caller decides the dangling policy).
     pub fn normalize_rows(&self) -> CsrMatrix {
         let sums = self.row_sums();
-        let factors: Vec<f64> = sums.iter().map(|&s| if s != 0.0 { 1.0 / s } else { 0.0 }).collect();
+        let factors: Vec<f64> = sums
+            .iter()
+            .map(|&s| if s != 0.0 { 1.0 / s } else { 0.0 })
+            .collect();
         self.scale_rows(&factors)
     }
 
     /// Column-normalizes: each non-empty column divided by its sum.
     pub fn normalize_cols(&self) -> CsrMatrix {
         let sums = self.col_sums();
-        let factors: Vec<f64> = sums.iter().map(|&s| if s != 0.0 { 1.0 / s } else { 0.0 }).collect();
+        let factors: Vec<f64> = sums
+            .iter()
+            .map(|&s| if s != 0.0 { 1.0 / s } else { 0.0 })
+            .collect();
         self.scale_cols(&factors)
     }
 
@@ -181,7 +213,11 @@ impl CsrMatrix {
     /// Panics on shape mismatch.
     pub fn mul_dense_into(&self, b: &DenseMatrix, out: &mut DenseMatrix) {
         assert_eq!(self.cols, b.rows(), "mul_dense: inner dimension mismatch");
-        assert_eq!(out.shape(), (self.rows, b.cols()), "mul_dense: output shape mismatch");
+        assert_eq!(
+            out.shape(),
+            (self.rows, b.cols()),
+            "mul_dense: output shape mismatch"
+        );
         let p = b.cols();
         for i in 0..self.rows {
             let (cols, vals) = self.row(i);
@@ -198,7 +234,11 @@ impl CsrMatrix {
 
     /// Block-parallel dense product over `nb` output row blocks.
     pub fn mul_dense_par(&self, b: &DenseMatrix, nb: usize) -> DenseMatrix {
-        assert_eq!(self.cols, b.rows(), "mul_dense_par: inner dimension mismatch");
+        assert_eq!(
+            self.cols,
+            b.rows(),
+            "mul_dense_par: inner dimension mismatch"
+        );
         let p = b.cols();
         let mut c = DenseMatrix::zeros(self.rows, p);
         let ranges = even_ranges_nonempty(self.rows, nb);
@@ -224,7 +264,10 @@ impl CsrMatrix {
         (0..self.rows)
             .map(|i| {
                 let (cols, vals) = self.row(i);
-                cols.iter().zip(vals).map(|(&c, &v)| v * x[c as usize]).sum()
+                cols.iter()
+                    .zip(vals)
+                    .map(|(&c, &v)| v * x[c as usize])
+                    .sum()
             })
             .collect()
     }
@@ -258,7 +301,9 @@ impl CsrMatrix {
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
         (0..self.rows).flat_map(move |i| {
             let (cols, vals) = self.row(i);
-            cols.iter().zip(vals).map(move |(&c, &v)| (i, c as usize, v))
+            cols.iter()
+                .zip(vals)
+                .map(move |(&c, &v)| (i, c as usize, v))
         })
     }
 }

@@ -22,6 +22,8 @@
 #![allow(clippy::needless_range_loop)]
 pub mod coo;
 pub mod csr;
+#[cfg(test)]
+mod proptests;
 
 pub use coo::CooMatrix;
 pub use csr::CsrMatrix;

@@ -1,0 +1,123 @@
+//! Property tests for the sparse substrate, mirroring
+//! `pane-core/src/proptests.rs`: every algebraic identity the PANE pipeline
+//! relies on, checked against the dense reference implementation on
+//! arbitrary random sparse matrices.
+
+use crate::{CooMatrix, CsrMatrix};
+use pane_linalg::DenseMatrix;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random COO with duplicate coordinates (push order shuffled by seed), so
+/// `to_csr` has to sort *and* merge.
+fn random_coo(rows: usize, cols: usize, nnz_hint: usize, seed: u64) -> CooMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coo = CooMatrix::new(rows, cols);
+    if rows == 0 || cols == 0 {
+        return coo;
+    }
+    for _ in 0..nnz_hint {
+        let i = rng.gen_range(0..rows);
+        let j = rng.gen_range(0..cols);
+        coo.push(i, j, rng.gen::<f64>() * 2.0 - 1.0);
+    }
+    coo
+}
+
+fn coo_from_csr(m: &CsrMatrix) -> CooMatrix {
+    let mut coo = CooMatrix::new(m.rows(), m.cols());
+    for (i, j, v) in m.iter() {
+        coo.push(i, j, v);
+    }
+    coo
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// COO → CSR → COO → CSR is the identity (sorting and duplicate
+    /// merging are idempotent once merged).
+    #[test]
+    fn prop_coo_csr_roundtrip(seed in 0u64..10_000, rows in 1usize..24, cols in 1usize..24) {
+        let coo = random_coo(rows, cols, rows * cols / 2 + 1, seed);
+        let csr = coo.to_csr();
+        let back = coo_from_csr(&csr).to_csr();
+        prop_assert_eq!(&back, &csr);
+        // Dense detour agrees as well.
+        prop_assert_eq!(&CsrMatrix::from_dense(&csr.to_dense()), &csr);
+    }
+
+    /// Transpose is an involution and matches the dense transpose.
+    #[test]
+    fn prop_transpose_involution(seed in 0u64..10_000, rows in 1usize..20, cols in 1usize..20) {
+        let csr = random_coo(rows, cols, rows + cols, seed).to_csr();
+        let t = csr.transpose();
+        prop_assert_eq!((t.rows(), t.cols()), (cols, rows));
+        prop_assert_eq!(t.nnz(), csr.nnz());
+        prop_assert!(t.to_dense().max_abs_diff(&csr.to_dense().transpose()) < 1e-15);
+        prop_assert_eq!(&t.transpose(), &csr);
+    }
+
+    /// Sparse × vector matches the dense mat-vec reference exactly
+    /// (same per-row summation order).
+    #[test]
+    fn prop_spmv_matches_dense(seed in 0u64..10_000, rows in 1usize..20, cols in 1usize..20) {
+        let csr = random_coo(rows, cols, 2 * rows, seed).to_csr();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5151);
+        let x: Vec<f64> = (0..cols).map(|_| rng.gen::<f64>() * 2.0 - 1.0).collect();
+        let y = csr.mul_vec(&x);
+        let dense = csr.to_dense();
+        prop_assert_eq!(y.len(), rows);
+        for i in 0..rows {
+            let want: f64 = (0..cols).map(|j| dense.get(i, j) * x[j]).sum();
+            prop_assert!((y[i] - want).abs() <= 1e-12, "row {i}: {} vs {want}", y[i]);
+        }
+    }
+
+    /// Sparse × dense matches the dense reference for the serial kernel and
+    /// every block count, and the parallel kernel is bitwise equal to the
+    /// serial one (the invariance the PAPMI Lemma 4.1 tests build on).
+    #[test]
+    fn prop_spmm_matches_dense(seed in 0u64..10_000, rows in 1usize..20, inner in 1usize..16) {
+        let csr = random_coo(rows, inner, 2 * rows + 1, seed).to_csr();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xA0A0);
+        let b = DenseMatrix::gaussian(inner, 5, &mut rng);
+        let serial = csr.mul_dense(&b);
+        let want = csr.to_dense().matmul(&b);
+        prop_assert!(serial.max_abs_diff(&want) < 1e-12);
+        for nb in [1usize, 2, 3, 8] {
+            let par = csr.mul_dense_par(&b, nb);
+            prop_assert_eq!(par.data(), serial.data(), "nb = {}", nb);
+        }
+    }
+
+    /// Row/column sums agree with the dense reference; normalization makes
+    /// every non-empty row/column sum to 1 and leaves empty ones at 0.
+    /// Values are kept positive (as in the random-walk matrix `P = D⁻¹A`)
+    /// so row sums cannot cancel to ~0 and blow up the normalized error.
+    #[test]
+    fn prop_sums_and_normalization(seed in 0u64..10_000, rows in 1usize..20, cols in 1usize..20) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut coo = CooMatrix::new(rows, cols);
+        for _ in 0..rows + 2 {
+            coo.push(rng.gen_range(0..rows), rng.gen_range(0..cols), rng.gen::<f64>() + 0.1);
+        }
+        let csr = coo.to_csr();
+        let dense = csr.to_dense();
+        let rs = csr.row_sums();
+        let cs = csr.col_sums();
+        for i in 0..rows {
+            let want: f64 = (0..cols).map(|j| dense.get(i, j)).sum();
+            prop_assert!((rs[i] - want).abs() <= 1e-12);
+        }
+        for j in 0..cols {
+            let want: f64 = (0..rows).map(|i| dense.get(i, j)).sum();
+            prop_assert!((cs[j] - want).abs() <= 1e-12);
+        }
+        for (i, &s) in csr.normalize_rows().row_sums().iter().enumerate() {
+            let expect_zero = rs[i] == 0.0;
+            prop_assert!(if expect_zero { s == 0.0 } else { (s - 1.0).abs() < 1e-9 }, "row {i} sum {s}");
+        }
+    }
+}

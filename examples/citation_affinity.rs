@@ -26,7 +26,11 @@ fn main() {
     );
 
     // Embed the residual graph.
-    let config = PaneConfig::builder().dimension(64).threads(2).seed(1).build();
+    let config = PaneConfig::builder()
+        .dimension(64)
+        .threads(2)
+        .seed(1)
+        .build();
     let embedding = Pane::new(config).embed(&split.residual).expect("embed");
 
     // Rank hidden positives against sampled negatives with Eq. (21).

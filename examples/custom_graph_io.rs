@@ -28,14 +28,26 @@ fn main() {
         &[ColumnKind::Categorical, ColumnKind::Numeric],
         &table,
     );
-    println!("encoded {} attributes: {:?}", encoded.num_attributes, encoded.attribute_names);
+    println!(
+        "encoded {} attributes: {:?}",
+        encoded.num_attributes, encoded.attribute_names
+    );
 
     // 2. Assemble the attributed graph.
     let mut builder = GraphBuilder::new(6, encoded.num_attributes);
     for (v, r, w) in &encoded.associations {
         builder.add_attribute(*v, *r, *w);
     }
-    for (s, t) in [(0, 2), (2, 0), (1, 5), (5, 1), (3, 4), (4, 3), (0, 1), (2, 3)] {
+    for (s, t) in [
+        (0, 2),
+        (2, 0),
+        (1, 5),
+        (5, 1),
+        (3, 4),
+        (4, 3),
+        (0, 1),
+        (2, 3),
+    ] {
         builder.add_edge(s, t);
     }
     let graph = builder.build();
@@ -44,9 +56,21 @@ fn main() {
     // 3. Persist and reload through the text formats.
     let dir = std::env::temp_dir().join("pane_example_io");
     std::fs::create_dir_all(&dir).unwrap();
-    let (e, a, l) = (dir.join("edges.txt"), dir.join("attrs.txt"), dir.join("labels.txt"));
+    let (e, a, l) = (
+        dir.join("edges.txt"),
+        dir.join("attrs.txt"),
+        dir.join("labels.txt"),
+    );
     save_graph(&graph, &e, &a, &l).expect("save");
-    let reloaded = load_graph(&e, Some(&a), Some(&l), Some(6), Some(encoded.num_attributes), false).expect("load");
+    let reloaded = load_graph(
+        &e,
+        Some(&a),
+        Some(&l),
+        Some(6),
+        Some(encoded.num_attributes),
+        false,
+    )
+    .expect("load");
     assert_eq!(reloaded.num_edges(), graph.num_edges());
     println!("round-tripped through {}", dir.display());
 
@@ -56,7 +80,13 @@ fn main() {
     println!("objective = {:.4}", emb.objective);
     for v in 0..6 {
         let scores: Vec<String> = (0..encoded.num_attributes)
-            .map(|r| format!("{}={:.2}", encoded.attribute_names[r], emb.attribute_score(v, r)))
+            .map(|r| {
+                format!(
+                    "{}={:.2}",
+                    encoded.attribute_names[r],
+                    emb.attribute_score(v, r)
+                )
+            })
             .collect();
         println!("v{v}: {}", scores.join("  "));
     }

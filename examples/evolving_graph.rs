@@ -19,10 +19,18 @@ fn main() {
     let base = DatasetZoo::TWeiboLike.generate_scaled(0.04, 3).graph;
     println!("snapshot 0: {}", base.stats());
 
-    let config = PaneConfig::builder().dimension(32).threads(2).seed(5).build();
+    let config = PaneConfig::builder()
+        .dimension(32)
+        .threads(2)
+        .seed(5)
+        .build();
     let t0 = Instant::now();
     let mut current = Pane::new(config.clone()).embed(&base).expect("embed");
-    println!("cold embed: {:.2}s (objective {:.3e})\n", t0.elapsed().as_secs_f64(), current.objective);
+    println!(
+        "cold embed: {:.2}s (objective {:.3e})\n",
+        t0.elapsed().as_secs_f64(),
+        current.objective
+    );
 
     // Simulate 3 update batches: each rewires ~3% of the edges.
     let mut graph = base;
@@ -54,7 +62,9 @@ fn rewire(g: &AttributedGraph, seed: u64, frac: f64) -> AttributedGraph {
     let n = g.num_nodes();
     let mut state = seed | 1;
     let mut rand = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (state >> 33) as usize
     };
     let mut b = GraphBuilder::new(n, g.num_attributes());

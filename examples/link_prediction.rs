@@ -28,7 +28,11 @@ fn main() {
     let symmetric = graph.is_undirected();
 
     // PANE: Eq. (22) scores.
-    let config = PaneConfig::builder().dimension(64).threads(2).seed(2).build();
+    let config = PaneConfig::builder()
+        .dimension(64)
+        .threads(2)
+        .seed(2)
+        .build();
     let embedding = Pane::new(config).embed(&split.residual).expect("embed");
     let pane_result = evaluate_link_scorer(&PaneScorer::new(&embedding), &split, symmetric);
     println!("PANE             : {pane_result}");

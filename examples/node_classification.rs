@@ -15,12 +15,20 @@ fn main() {
     let graph = &dataset.graph;
     println!("graph: {} (labels: {})", graph.stats(), graph.num_labels());
 
-    let config = PaneConfig::builder().dimension(64).threads(2).seed(4).build();
+    let config = PaneConfig::builder()
+        .dimension(64)
+        .threads(2)
+        .seed(4)
+        .build();
     let embedding = Pane::new(config).embed(graph).expect("embed");
     println!("embedded in {:.2}s", embedding.timings.total_secs());
 
     let scorer = PaneScorer::new(&embedding);
-    let opts = NodeClassOptions { repeats: 3, seed: 9, ..Default::default() };
+    let opts = NodeClassOptions {
+        repeats: 3,
+        seed: 9,
+        ..Default::default()
+    };
     let sweep = classification_sweep(
         &scorer,
         graph.labels(),
@@ -31,6 +39,11 @@ fn main() {
 
     println!("\ntrain%   micro-F1   macro-F1");
     for (frac, r) in sweep {
-        println!("{:>5.0}%   {:>8.3}   {:>8.3}", frac * 100.0, r.micro_f1, r.macro_f1);
+        println!(
+            "{:>5.0}%   {:>8.3}   {:>8.3}",
+            frac * 100.0,
+            r.micro_f1,
+            r.macro_f1
+        );
     }
 }

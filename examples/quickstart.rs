@@ -24,7 +24,9 @@ fn main() {
         .build();
 
     // 3. Embed.
-    let embedding = Pane::new(config).embed(graph).expect("embedding should succeed");
+    let embedding = Pane::new(config)
+        .embed(graph)
+        .expect("embedding should succeed");
     println!(
         "embedded in {:.2}s (affinity {:.2}s, init {:.2}s, ccd {:.2}s), objective {:.1}",
         embedding.timings.total_secs(),
@@ -42,7 +44,10 @@ fn main() {
 
     // 4. Use the embeddings.
     // 4a. Node-attribute affinity (Eq. 21): does node 0 carry attribute 3?
-    println!("attribute_score(v0, r3) = {:.3}", embedding.attribute_score(0, 3));
+    println!(
+        "attribute_score(v0, r3) = {:.3}",
+        embedding.attribute_score(0, 3)
+    );
 
     // 4b. Direction-aware link scores (Eq. 22).
     let gram = embedding.link_gram();

@@ -60,8 +60,10 @@ pub use pane_sparse;
 
 /// Most-used items, re-exported for `use pane::prelude::*`.
 pub mod prelude {
-    pub use pane_core::{EmbeddingQuery, Pane, PaneConfig, PaneEmbedding};
-    pub use pane_core::{load_binary as load_embedding_binary, save_binary as save_embedding_binary};
+    pub use pane_core::{
+        load_binary as load_embedding_binary, save_binary as save_embedding_binary,
+    };
+    pub use pane_core::{EmbeddingQuery, InitStrategy, Pane, PaneConfig, PaneEmbedding};
     pub use pane_datasets::{DatasetZoo, GeneratedDataset};
     pub use pane_eval::metrics::{average_precision, roc_auc};
     pub use pane_eval::{report_card, ReportOptions};

@@ -5,9 +5,9 @@
 use pane::pane_baselines::{AttrSvd, BlaLite, CanLite, NrpLite, TopoSvd};
 use pane::pane_eval::scoring::{MatrixFeatureSource, PaneScorer};
 use pane::pane_eval::split::{split_attribute_entries, split_edges};
+use pane::pane_eval::tasks::evaluate_attr_scorer;
 use pane::pane_eval::tasks::link_pred::{best_of_four, evaluate_link_scorer};
 use pane::pane_eval::tasks::node_class::{node_classification, NodeClassOptions};
-use pane::pane_eval::tasks::evaluate_attr_scorer;
 use pane::prelude::*;
 
 fn test_graph(seed: u64) -> pane::pane_graph::AttributedGraph {
@@ -27,7 +27,11 @@ fn test_graph(seed: u64) -> pane::pane_graph::AttributedGraph {
 }
 
 fn pane_cfg(threads: usize) -> PaneConfig {
-    PaneConfig::builder().dimension(32).threads(threads).seed(7).build()
+    PaneConfig::builder()
+        .dimension(32)
+        .threads(threads)
+        .seed(7)
+        .build()
 }
 
 #[test]
@@ -69,7 +73,11 @@ fn attribute_inference_pane_beats_bla_like() {
     let bla = BlaLite::fit(&split.residual, 0.7, 6);
     let bla_res = evaluate_attr_scorer(&bla, &split);
 
-    assert!(pane_res.auc > 0.75, "PANE attr AUC too low: {}", pane_res.auc);
+    assert!(
+        pane_res.auc > 0.75,
+        "PANE attr AUC too low: {}",
+        pane_res.auc
+    );
     assert!(
         pane_res.auc >= bla_res.auc - 0.03,
         "PANE {} should be competitive with BLA-like {}",
@@ -83,13 +91,22 @@ fn node_classification_beats_topology_only() {
     let g = test_graph(6);
     let emb = Pane::new(pane_cfg(1)).embed(&g).unwrap();
     let scorer = PaneScorer::new(&emb);
-    let opts = NodeClassOptions { train_frac: 0.3, repeats: 3, seed: 1, ..Default::default() };
+    let opts = NodeClassOptions {
+        train_frac: 0.3,
+        repeats: 3,
+        seed: 1,
+        ..Default::default()
+    };
     let pane_res = node_classification(&scorer, g.labels(), g.num_labels(), &opts);
 
     let nrp = NrpLite::fit(&g, 32, 0.5, 6, 1);
     let nrp_res = node_classification(&nrp, g.labels(), g.num_labels(), &opts);
 
-    assert!(pane_res.micro_f1 > 0.7, "PANE micro-F1 too low: {}", pane_res.micro_f1);
+    assert!(
+        pane_res.micro_f1 > 0.7,
+        "PANE micro-F1 too low: {}",
+        pane_res.micro_f1
+    );
     assert!(
         pane_res.micro_f1 >= nrp_res.micro_f1 - 0.03,
         "PANE {} should be competitive with NRP-like {}",
@@ -143,7 +160,12 @@ fn joint_embedding_beats_quantized_on_features() {
     let g = test_graph(12);
     let can = CanLite::fit(&g, 32, 0.5, 6, 2);
     let bane = pane::pane_baselines::BaneLite::fit(&g, 32, 0.5, 6, 2);
-    let opts = NodeClassOptions { train_frac: 0.5, repeats: 3, seed: 2, ..Default::default() };
+    let opts = NodeClassOptions {
+        train_frac: 0.5,
+        repeats: 3,
+        seed: 2,
+        ..Default::default()
+    };
     let can_res = node_classification(&can, g.labels(), g.num_labels(), &opts);
     let bane_src = MatrixFeatureSource { x: &bane.x };
     let bane_res = node_classification(&bane_src, g.labels(), g.num_labels(), &opts);

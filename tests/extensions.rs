@@ -93,14 +93,25 @@ fn ranking_metrics_agree_with_query_order() {
     let q = EmbeddingQuery::new(&emb);
 
     // Use a node's owned attributes as ground truth for its top-k list.
-    let v = (0..g.num_nodes()).find(|&v| g.node_attributes(v).0.len() >= 2).unwrap();
+    let v = (0..g.num_nodes())
+        .find(|&v| g.node_attributes(v).0.len() >= 2)
+        .unwrap();
     let relevant: Vec<usize> = g.node_attributes(v).0.iter().map(|&r| r as usize).collect();
-    let scores: Vec<f64> = (0..g.num_attributes()).map(|r| emb.attribute_score(v, r)).collect();
+    let scores: Vec<f64> = (0..g.num_attributes())
+        .map(|r| emb.attribute_score(v, r))
+        .collect();
 
     let k = 10;
     let p_at_k = precision_at_k(&scores, &relevant, k);
-    let top: Vec<usize> = q.top_attributes(v, k).into_iter().map(|s| s.index).collect();
+    let top: Vec<usize> = q
+        .top_attributes(v, k)
+        .into_iter()
+        .map(|s| s.index)
+        .collect();
     let manual = top.iter().filter(|i| relevant.contains(i)).count() as f64 / k as f64;
-    assert!((p_at_k - manual).abs() < 1e-12, "metric {p_at_k} vs query-derived {manual}");
+    assert!(
+        (p_at_k - manual).abs() < 1e-12,
+        "metric {p_at_k} vs query-derived {manual}"
+    );
     assert!(ndcg_at_k(&scores, &relevant, k) >= p_at_k - 1e-12);
 }

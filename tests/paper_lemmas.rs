@@ -9,7 +9,12 @@ use rand::SeedableRng;
 
 fn inputs(
     g: &pane::pane_graph::AttributedGraph,
-) -> (pane::pane_sparse::CsrMatrix, pane::pane_sparse::CsrMatrix, pane::pane_sparse::CsrMatrix, pane::pane_sparse::CsrMatrix) {
+) -> (
+    pane::pane_sparse::CsrMatrix,
+    pane::pane_sparse::CsrMatrix,
+    pane::pane_sparse::CsrMatrix,
+    pane::pane_sparse::CsrMatrix,
+) {
     let p = g.random_walk_matrix(DanglingPolicy::SelfLoop);
     let pt = p.transpose();
     let rr = g.attr_row_normalized();
@@ -64,7 +69,10 @@ fn lemma_3_1_truncation_error_bound() {
         let approx = recurrence(t);
         // Entrywise premise.
         let worst = approx.max_abs_diff(&exact);
-        assert!(worst <= eps + 1e-12, "t={t}: |P_f^(t) - P_f| = {worst} > {eps}");
+        assert!(
+            worst <= eps + 1e-12,
+            "t={t}: |P_f^(t) - P_f| = {worst} > {eps}"
+        );
         // Lemma-style relative bound where the exact mass dominates the
         // tail: ratio within [1 - eps/Pf, 1 + eps/Pf].
         for (a, b) in approx.data().iter().zip(exact.data()) {
@@ -84,7 +92,14 @@ fn lemma_3_1_truncation_error_bound() {
 fn lemma_4_1_papmi_equals_apmi() {
     let g = DatasetZoo::PubmedLike.generate_scaled(0.02, 2).graph;
     let (p, pt, rr, rc) = inputs(&g);
-    let ins = ApmiInputs { p: &p, pt: &pt, rr: &rr, rc: &rc, alpha: 0.5, t: 6 };
+    let ins = ApmiInputs {
+        p: &p,
+        pt: &pt,
+        rr: &rr,
+        rc: &rc,
+        alpha: 0.5,
+        t: 6,
+    };
     let serial = apmi(&ins);
     for nb in [2usize, 3, 8] {
         let par = papmi(&ins, nb);
@@ -104,7 +119,14 @@ fn apmi_matches_monte_carlo_on_zoo_graph() {
     // leaves their lost mass unnormalized; see walks.rs docs).
     let alpha = 0.5;
     let (p, pt, rr, rc) = inputs(&g);
-    let aff = apmi(&ApmiInputs { p: &p, pt: &pt, rr: &rr, rc: &rc, alpha, t: 40 });
+    let aff = apmi(&ApmiInputs {
+        p: &p,
+        pt: &pt,
+        rr: &rr,
+        rc: &rc,
+        alpha,
+        t: 40,
+    });
     let sim = WalkSimulator::new(&g, alpha, DanglingPolicy::SelfLoop, RestartRule::Discard);
     let mut rng = StdRng::seed_from_u64(11);
     let nr = 4000;
@@ -137,7 +159,10 @@ fn apmi_matches_monte_carlo_on_zoo_graph() {
         }
     }
     assert!(checked > 0);
-    assert!(worst < 0.08, "MC vs APMI column-normalized deviation {worst}");
+    assert!(
+        worst < 0.08,
+        "MC vs APMI column-normalized deviation {worst}"
+    );
 }
 
 /// The objective is identical whether evaluated through the maintained
@@ -153,7 +178,11 @@ fn objective_consistency_through_pipeline() {
     sb.axpy_inplace(-1.0, &aff.backward);
     let recomputed = sf.frob_norm_sq() + sb.frob_norm_sq();
     let rel = (recomputed - emb.objective).abs() / recomputed.max(1e-12);
-    assert!(rel < 1e-9, "objective drift: reported {} vs recomputed {recomputed}", emb.objective);
+    assert!(
+        rel < 1e-9,
+        "objective drift: reported {} vs recomputed {recomputed}",
+        emb.objective
+    );
 }
 
 /// Eq. 21/22 consistency: attribute and link scores computed through the
@@ -161,7 +190,9 @@ fn objective_consistency_through_pipeline() {
 #[test]
 fn scoring_formulas_match_raw_algebra() {
     let g = DatasetZoo::CoraLike.generate_scaled(0.04, 6).graph;
-    let emb = Pane::new(PaneConfig::builder().dimension(16).seed(2).build()).embed(&g).unwrap();
+    let emb = Pane::new(PaneConfig::builder().dimension(16).seed(2).build())
+        .embed(&g)
+        .unwrap();
     let gram = emb.link_gram();
     for v in (0..g.num_nodes()).step_by(11) {
         for r in (0..g.num_attributes()).step_by(7) {

@@ -10,19 +10,35 @@ fn graph_roundtrip_preserves_embedding() {
     std::fs::create_dir_all(&dir).unwrap();
     let (e, a, l) = (dir.join("e.txt"), dir.join("a.txt"), dir.join("l.txt"));
     save_graph(&g, &e, &a, &l).unwrap();
-    let g2 = load_graph(&e, Some(&a), Some(&l), Some(g.num_nodes()), Some(g.num_attributes()), false).unwrap();
+    let g2 = load_graph(
+        &e,
+        Some(&a),
+        Some(&l),
+        Some(g.num_nodes()),
+        Some(g.num_attributes()),
+        false,
+    )
+    .unwrap();
 
     let cfg = PaneConfig::builder().dimension(16).seed(3).build();
     let emb1 = Pane::new(cfg.clone()).embed(&g).unwrap();
     let emb2 = Pane::new(cfg).embed(&g2).unwrap();
-    assert_eq!(emb1.forward.data(), emb2.forward.data(), "embedding changed across I/O roundtrip");
+    assert_eq!(
+        emb1.forward.data(),
+        emb2.forward.data(),
+        "embedding changed across I/O roundtrip"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
 fn embeddings_deterministic_across_runs() {
     let g = DatasetZoo::CoraLike.generate_scaled(0.04, 2).graph;
-    let cfg = PaneConfig::builder().dimension(16).threads(3).seed(9).build();
+    let cfg = PaneConfig::builder()
+        .dimension(16)
+        .threads(3)
+        .seed(9)
+        .build();
     let a = Pane::new(cfg.clone()).embed(&g).unwrap();
     let b = Pane::new(cfg).embed(&g).unwrap();
     assert_eq!(a.forward.data(), b.forward.data());
@@ -30,15 +46,64 @@ fn embeddings_deterministic_across_runs() {
     assert_eq!(a.attribute.data(), b.attribute.data());
 }
 
+/// Lemma 4.1 (PAPMI ≡ APMI) lifted to the whole pipeline: with a fixed
+/// config seed, the serial and 4-way block-parallel paths must produce
+/// **byte-identical** `X_f`, `X_b` and `Y` — not merely approximately equal
+/// embeddings. Compared via `f64::to_bits` so that `-0.0`/`0.0` or NaN
+/// payload differences cannot hide behind float `==`.
+#[test]
+fn thread_count_is_bitwise_invariant() {
+    let g = DatasetZoo::CoraLike.generate_scaled(0.05, 11).graph;
+    let mk = |threads: usize| {
+        let cfg = PaneConfig::builder()
+            .dimension(16)
+            .seed(42)
+            .threads(threads)
+            .build();
+        Pane::new(cfg).embed(&g).unwrap()
+    };
+    let serial = mk(1);
+    let parallel = mk(4);
+    let bits = |xs: &[f64]| xs.iter().map(|v| v.to_bits()).collect::<Vec<u64>>();
+    assert_eq!(
+        bits(serial.forward.data()),
+        bits(parallel.forward.data()),
+        "X_f differs"
+    );
+    assert_eq!(
+        bits(serial.backward.data()),
+        bits(parallel.backward.data()),
+        "X_b differs"
+    );
+    assert_eq!(
+        bits(serial.attribute.data()),
+        bits(parallel.attribute.data()),
+        "Y differs"
+    );
+}
+
 #[test]
 fn different_seeds_differ_but_equal_quality() {
     let g = DatasetZoo::CoraLike.generate_scaled(0.05, 3).graph;
-    let mk = |seed| Pane::new(PaneConfig::builder().dimension(16).seed(seed).build()).embed(&g).unwrap();
+    let mk = |seed| {
+        Pane::new(PaneConfig::builder().dimension(16).seed(seed).build())
+            .embed(&g)
+            .unwrap()
+    };
     let a = mk(1);
     let b = mk(2);
-    assert_ne!(a.forward.data(), b.forward.data(), "different sketch seeds should differ");
+    assert_ne!(
+        a.forward.data(),
+        b.forward.data(),
+        "different sketch seeds should differ"
+    );
     let rel = (a.objective - b.objective).abs() / a.objective.max(1e-12);
-    assert!(rel < 0.1, "objectives should be comparable: {} vs {}", a.objective, b.objective);
+    assert!(
+        rel < 0.1,
+        "objectives should be comparable: {} vs {}",
+        a.objective,
+        b.objective
+    );
 }
 
 #[test]
@@ -51,15 +116,24 @@ fn objective_scales_with_graph_size_not_blowing_up() {
     let es = Pane::new(cfg.clone()).embed(&small).unwrap();
     let el = Pane::new(cfg).embed(&large).unwrap();
     assert!(es.objective.is_finite() && el.objective.is_finite());
-    assert!(el.objective < es.objective * 40.0, "objective exploded with size");
+    assert!(
+        el.objective < es.objective * 40.0,
+        "objective exploded with size"
+    );
 }
 
 #[test]
 fn all_zoo_entries_embed_at_tiny_scale() {
     for zoo in DatasetZoo::ALL {
         let g = zoo.generate_scaled(0.015, 6).graph;
-        let cfg = PaneConfig::builder().dimension(8).seed(1).threads(2).build();
-        let emb = Pane::new(cfg).embed(&g).unwrap_or_else(|e| panic!("{}: {e}", zoo.name()));
+        let cfg = PaneConfig::builder()
+            .dimension(8)
+            .seed(1)
+            .threads(2)
+            .build();
+        let emb = Pane::new(cfg)
+            .embed(&g)
+            .unwrap_or_else(|e| panic!("{}: {e}", zoo.name()));
         assert_eq!(emb.forward.rows(), g.num_nodes(), "{}", zoo.name());
         assert!(emb.objective.is_finite(), "{}", zoo.name());
     }
@@ -68,7 +142,9 @@ fn all_zoo_entries_embed_at_tiny_scale() {
 #[test]
 fn timings_are_populated() {
     let g = DatasetZoo::CoraLike.generate_scaled(0.05, 7).graph;
-    let emb = Pane::new(PaneConfig::builder().dimension(16).seed(0).build()).embed(&g).unwrap();
+    let emb = Pane::new(PaneConfig::builder().dimension(16).seed(0).build())
+        .embed(&g)
+        .unwrap();
     let t = emb.timings;
     assert!(t.affinity_secs >= 0.0 && t.init_secs >= 0.0 && t.ccd_secs >= 0.0);
     assert!(t.total_secs() >= t.ccd_secs);
