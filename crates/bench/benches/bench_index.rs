@@ -1,0 +1,169 @@
+//! Exact vs IVF vs HNSW serving latency (and recall) on a large synthetic
+//! graph — the acceptance benchmark of the `pane-index` subsystem.
+//!
+//! The fixture generates a 50k-node SBM graph (override with
+//! `PANE_INDEX_NODES`) and derives a 64-d unit feature vector per node
+//! from its community plus per-node seeded noise — the same clustered
+//! geometry real `[X_f ‖ X_b]` features have, without paying for a full
+//! embedding run inside a bench. All three indexes are built once; the
+//! benchmark then times a 100-query top-10 workload per index and prints
+//! each approximate index's recall@10 against the flat ground truth.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pane_graph::gen::{generate_sbm, SbmConfig};
+use pane_index::{FlatIndex, HnswConfig, HnswIndex, IvfConfig, IvfIndex, Metric, VectorIndex};
+use pane_linalg::{vecops, DenseMatrix, NormalSampler};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+const DIM: usize = 64;
+const K: usize = 10;
+const NUM_QUERIES: usize = 100;
+
+struct Fixture {
+    data: DenseMatrix,
+    queries: Vec<usize>,
+    flat: FlatIndex,
+    ivf: IvfIndex,
+    hnsw: HnswIndex,
+}
+
+static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+
+fn nodes_from_env() -> usize {
+    std::env::var("PANE_INDEX_NODES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(50_000)
+}
+
+/// Community-centered unit vectors for every node of an SBM graph.
+fn graph_features(n: usize) -> DenseMatrix {
+    let g = generate_sbm(&SbmConfig {
+        nodes: n,
+        communities: 32,
+        avg_out_degree: 8.0,
+        attributes: 64,
+        attrs_per_node: 4.0,
+        seed: 97,
+        ..Default::default()
+    });
+    let mut rng = StdRng::seed_from_u64(1234);
+    let mut sampler = NormalSampler::new();
+    let centers: Vec<Vec<f64>> = (0..32)
+        .map(|_| (0..DIM).map(|_| sampler.sample(&mut rng)).collect())
+        .collect();
+    let mut m = DenseMatrix::zeros(n, DIM);
+    for v in 0..n {
+        let c = g.labels_of(v).first().copied().unwrap_or(0) as usize % centers.len();
+        let row = m.row_mut(v);
+        for (j, slot) in row.iter_mut().enumerate() {
+            *slot = centers[c][j] + 0.35 * sampler.sample(&mut rng);
+        }
+        vecops::normalize(row, 1e-300);
+    }
+    m
+}
+
+fn fixture() -> &'static Fixture {
+    FIXTURE.get_or_init(|| {
+        let n = nodes_from_env();
+        let data = graph_features(n);
+        let t0 = Instant::now();
+        let flat = FlatIndex::build(&data, Metric::Cosine);
+        let t_flat = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        let ivf = IvfIndex::build(
+            &data,
+            Metric::Cosine,
+            &IvfConfig {
+                nlist: 64,
+                nprobe: 8,
+                threads: 4,
+                ..Default::default()
+            },
+        );
+        let t_ivf = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        let hnsw = HnswIndex::build(&data, Metric::Cosine, &HnswConfig::default());
+        let t_hnsw = t0.elapsed().as_secs_f64();
+        eprintln!("index build over n={n}: flat {t_flat:.2}s, ivf {t_ivf:.2}s, hnsw {t_hnsw:.2}s");
+
+        let queries: Vec<usize> = (0..NUM_QUERIES).map(|i| (i * n) / NUM_QUERIES).collect();
+        let truth = search_all(&flat, &data, &queries);
+        for (name, hits) in [
+            ("ivf", search_all(&ivf, &data, &queries)),
+            ("hnsw", search_all(&hnsw, &data, &queries)),
+        ] {
+            let mut overlap = 0;
+            let mut total = 0;
+            for (t, h) in truth.iter().zip(&hits) {
+                total += t.len();
+                overlap += h
+                    .iter()
+                    .filter(|x| t.iter().any(|y| y.index == x.index))
+                    .count();
+            }
+            eprintln!(
+                "recall@{K} {name} vs flat: {:.3} ({overlap}/{total})",
+                overlap as f64 / total as f64
+            );
+        }
+        Fixture {
+            data,
+            queries,
+            flat,
+            ivf,
+            hnsw,
+        }
+    })
+}
+
+fn search_all(
+    index: &dyn VectorIndex,
+    data: &DenseMatrix,
+    queries: &[usize],
+) -> Vec<Vec<pane_index::Neighbor>> {
+    queries
+        .iter()
+        .map(|&v| index.search(data.row(v), K))
+        .collect()
+}
+
+fn bench_search(c: &mut Criterion) {
+    let f = fixture();
+    let mut group = c.benchmark_group(format!("index_search/n={}", f.data.rows()));
+    group.sample_size(10);
+    group.bench_function("flat_100q", |b| {
+        b.iter(|| search_all(&f.flat, &f.data, &f.queries))
+    });
+    group.bench_function("ivf_nprobe8_100q", |b| {
+        b.iter(|| search_all(&f.ivf, &f.data, &f.queries))
+    });
+    group.bench_function("hnsw_ef64_100q", |b| {
+        b.iter(|| search_all(&f.hnsw, &f.data, &f.queries))
+    });
+    group.finish();
+}
+
+fn bench_batch(c: &mut Criterion) {
+    let f = fixture();
+    let mut queries = DenseMatrix::zeros(f.queries.len(), DIM);
+    for (i, &v) in f.queries.iter().enumerate() {
+        queries.row_mut(i).copy_from_slice(f.data.row(v));
+    }
+    let mut group = c.benchmark_group(format!("index_batch/n={}", f.data.rows()));
+    group.sample_size(10);
+    for threads in [1usize, 4] {
+        group.bench_function(format!("hnsw_t{threads}_100q"), |b| {
+            b.iter(|| f.hnsw.batch_search(&queries, K, threads))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(index_benches, bench_search, bench_batch);
+criterion_main!(index_benches);

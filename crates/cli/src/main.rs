@@ -8,6 +8,13 @@
 //! pane stats    --edges E.txt [--attrs A.txt] [--labels L.txt] [--undirected]
 //! pane topk     --embedding EMB [--text] --node V [--k 10]
 //!               [--mode attrs|links|similar]
+//! pane index build  --embedding EMB [--text] [--kind flat|ivf|hnsw]
+//!                   [--space similar|links] [--lists 64] [--nprobe 8]
+//!                   [--m 16] [--efc 100] [--ef 64] [--seed 0] [--threads 1]
+//!                   --output IDX
+//! pane index search --index IDX --embedding EMB [--text]
+//!                   (--node V | --nodes V1,V2,…) [--k 10]
+//!                   [--nprobe N] [--ef N] [--threads 1]
 //! ```
 
 mod args;
@@ -16,6 +23,10 @@ use args::{ArgError, Args};
 use pane_core::{EmbeddingQuery, Pane, PaneConfig};
 use pane_datasets::DatasetZoo;
 use pane_graph::io::load_graph;
+use pane_index::{
+    AnyIndex, FlatIndex, HnswConfig, HnswIndex, IvfConfig, IvfIndex, Metric, VectorIndex,
+};
+use pane_linalg::DenseMatrix;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -31,6 +42,7 @@ fn main() -> ExitCode {
         "generate" => cmd_generate(raw),
         "stats" => cmd_stats(raw),
         "topk" => cmd_topk(raw),
+        "index" => cmd_index(raw),
         "evaluate" => cmd_evaluate(raw),
         "convert" => cmd_convert(raw),
         other => Err(format!("unknown command '{other}' (try `pane help`)").into()),
@@ -54,6 +66,7 @@ fn print_help() {
            generate  generate a synthetic dataset from the zoo\n\
            stats     print Table-3-style statistics of a graph\n\
            topk      query a saved embedding (top attributes / links / similar nodes)\n\
+           index     build / search an ANN index over a saved embedding (flat / ivf / hnsw)\n\
            evaluate  run the three-task quality report on a graph\n\
            convert   convert a text graph to the fast binary format (or back)\n\n\
          run `pane <command>` with no options to see its usage in the error message."
@@ -251,12 +264,7 @@ fn cmd_topk(raw: Vec<String>) -> CliResult {
     let a = Args::parse(raw, &["text"])?;
     reject_positionals(&a)?;
     a.reject_unknown(&["embedding", "node", "k", "mode"])?;
-    let path = PathBuf::from(a.require("embedding")?);
-    let emb = if a.flag("text") {
-        pane_core::load_text(&path)?
-    } else {
-        pane_core::load_binary(&path)?
-    };
+    let emb = load_embedding_from_args(&a)?;
     let node: usize = a.get_parsed("node", 0usize)?;
     if node >= emb.forward.rows() {
         return Err(format!("node {node} out of range (n = {})", emb.forward.rows()).into());
@@ -273,6 +281,192 @@ fn cmd_topk(raw: Vec<String>) -> CliResult {
     println!("top-{k} {mode} for node {node}:");
     for s in results {
         println!("  {} {:.4}", s.index, s.score);
+    }
+    Ok(())
+}
+
+fn load_embedding_from_args(
+    a: &Args,
+) -> Result<pane_core::PaneEmbedding, Box<dyn std::error::Error>> {
+    let path = PathBuf::from(a.require("embedding")?);
+    Ok(if a.flag("text") {
+        pane_core::load_text(&path)?
+    } else {
+        pane_core::load_binary(&path)?
+    })
+}
+
+fn cmd_index(mut raw: Vec<String>) -> CliResult {
+    if raw.is_empty() {
+        return Err("index requires a subcommand: build | search".into());
+    }
+    let sub = raw.remove(0);
+    match sub.as_str() {
+        "build" => cmd_index_build(raw),
+        "search" => cmd_index_search(raw),
+        other => Err(format!("unknown index subcommand '{other}' (build|search)").into()),
+    }
+}
+
+/// The vectors an index serves for a given query space: classifier
+/// features under cosine for `similar`, raw `X_b` rows under inner
+/// product for `links` (Eq. 22 scores are `q · X_b[dst]`).
+fn space_vectors(
+    emb: &pane_core::PaneEmbedding,
+    space: &str,
+) -> Result<(DenseMatrix, Metric), Box<dyn std::error::Error>> {
+    match space {
+        "similar" => Ok((emb.classifier_feature_matrix(), Metric::Cosine)),
+        "links" => Ok((emb.backward.clone(), Metric::InnerProduct)),
+        other => Err(format!("unknown space '{other}' (similar|links)").into()),
+    }
+}
+
+fn cmd_index_build(raw: Vec<String>) -> CliResult {
+    let a = Args::parse(raw, &["text"])?;
+    reject_positionals(&a)?;
+    a.reject_unknown(&[
+        "embedding",
+        "kind",
+        "space",
+        "lists",
+        "nprobe",
+        "iters",
+        "m",
+        "efc",
+        "ef",
+        "seed",
+        "threads",
+        "output",
+    ])?;
+    let emb = load_embedding_from_args(&a)?;
+    let output = PathBuf::from(a.require("output")?);
+    let space = a.get("space").unwrap_or("similar");
+    let (vectors, metric) = space_vectors(&emb, space)?;
+    let kind = a.get("kind").unwrap_or("hnsw");
+    let t0 = std::time::Instant::now();
+    let index: AnyIndex = match kind {
+        "flat" => AnyIndex::Flat(FlatIndex::build(&vectors, metric)),
+        "ivf" => AnyIndex::Ivf(IvfIndex::build(
+            &vectors,
+            metric,
+            &IvfConfig {
+                nlist: a.get_parsed("lists", 64usize)?,
+                nprobe: a.get_parsed("nprobe", 8usize)?,
+                train_iters: a.get_parsed("iters", 10usize)?,
+                seed: a.get_parsed("seed", 0u64)?,
+                threads: a.get_parsed("threads", 1usize)?,
+            },
+        )),
+        "hnsw" => AnyIndex::Hnsw(HnswIndex::build(
+            &vectors,
+            metric,
+            &HnswConfig {
+                m: a.get_parsed("m", 16usize)?,
+                ef_construction: a.get_parsed("efc", 100usize)?,
+                ef_search: a.get_parsed("ef", 64usize)?,
+                seed: a.get_parsed("seed", 0u64)?,
+            },
+        )),
+        other => return Err(format!("unknown index kind '{other}' (flat|ivf|hnsw)").into()),
+    };
+    index.save(&output)?;
+    eprintln!(
+        "built {kind} index over {} {space}-space vectors (dim {}) in {:.2}s",
+        index.len(),
+        index.dim(),
+        t0.elapsed().as_secs_f64()
+    );
+    eprintln!("wrote {}", output.display());
+    Ok(())
+}
+
+fn cmd_index_search(raw: Vec<String>) -> CliResult {
+    let a = Args::parse(raw, &["text"])?;
+    reject_positionals(&a)?;
+    a.reject_unknown(&[
+        "index",
+        "embedding",
+        "node",
+        "nodes",
+        "k",
+        "nprobe",
+        "ef",
+        "threads",
+    ])?;
+    let mut index = pane_index::load_index(std::path::Path::new(a.require("index")?))?;
+    if let Some(np) = a.get("nprobe") {
+        let np: usize = np.parse().map_err(|e| format!("--nprobe: {e}"))?;
+        if !index.set_nprobe(np) {
+            return Err("--nprobe only applies to ivf indexes".into());
+        }
+    }
+    if let Some(ef) = a.get("ef") {
+        let ef: usize = ef.parse().map_err(|e| format!("--ef: {e}"))?;
+        if !index.set_ef_search(ef) {
+            return Err("--ef only applies to hnsw indexes".into());
+        }
+    }
+    let emb = load_embedding_from_args(&a)?;
+    let n = emb.forward.rows();
+    let nodes: Vec<usize> = match (a.get("node"), a.get("nodes")) {
+        (Some(_), Some(_)) => return Err("give either --node or --nodes, not both".into()),
+        (Some(v), None) => vec![v.parse().map_err(|e| format!("--node: {e}"))?],
+        (None, Some(list)) => list
+            .split(',')
+            .map(|t| {
+                t.trim()
+                    .parse::<usize>()
+                    .map_err(|e| format!("--nodes '{t}': {e}"))
+            })
+            .collect::<Result<_, _>>()?,
+        (None, None) => return Err("--node or --nodes is required".into()),
+    };
+    if let Some(&bad) = nodes.iter().find(|&&v| v >= n) {
+        return Err(format!("node {bad} out of range (n = {n})").into());
+    }
+    let k: usize = a.get_parsed("k", 10usize)?;
+    let threads: usize = a.get_parsed("threads", 1usize)?;
+
+    // The metric recorded in the index tells us which query space it was
+    // built for: cosine ⇒ classifier features, inner product ⇒ link
+    // query vectors q = X_f[v]·YᵀY (only that arm pays for the Gram
+    // matrix behind EmbeddingQuery).
+    let (space, queries) = match index.metric() {
+        Metric::Cosine => (
+            "similar",
+            nodes
+                .iter()
+                .map(|&v| emb.classifier_features(v))
+                .collect::<Vec<_>>(),
+        ),
+        Metric::InnerProduct => {
+            let query = EmbeddingQuery::new(&emb);
+            (
+                "links",
+                nodes
+                    .iter()
+                    .map(|&v| query.link_query_vector(v))
+                    .collect::<Vec<_>>(),
+            )
+        }
+    };
+    if queries[0].len() != index.dim() {
+        return Err(format!(
+            "embedding/index mismatch: {space}-space queries have dim {}, index holds dim {}",
+            queries[0].len(),
+            index.dim()
+        )
+        .into());
+    }
+    let qmat = DenseMatrix::from_rows(&queries);
+    // Oversample by one so the self-hit can be dropped.
+    let batched = index.batch_search(&qmat, k + 1, threads);
+    for (&v, hits) in nodes.iter().zip(&batched) {
+        println!("top-{k} {space} for node {v} ({} index):", index.kind());
+        for h in hits.iter().filter(|h| h.index != v).take(k) {
+            println!("  {} {:.4}", h.index, h.score);
+        }
     }
     Ok(())
 }

@@ -147,6 +147,131 @@ fn text_embedding_roundtrip() {
 }
 
 #[test]
+fn index_build_and_search_flow() {
+    let dir = workdir("index");
+    let dir_s = dir.to_str().unwrap();
+    run(&[
+        "generate",
+        "--zoo",
+        "cora-like",
+        "--scale",
+        "0.05",
+        "--seed",
+        "4",
+        "--out-dir",
+        dir_s,
+    ]);
+    let emb = dir.join("emb.bin");
+    let (ok, _, err) = run(&[
+        "embed",
+        "--edges",
+        dir.join("edges.txt").to_str().unwrap(),
+        "--attrs",
+        dir.join("attributes.txt").to_str().unwrap(),
+        "--dim",
+        "16",
+        "--output",
+        emb.to_str().unwrap(),
+    ]);
+    assert!(ok, "embed failed: {err}");
+
+    // Build one index per kind in the similar space, plus an ivf links one.
+    for (kind, space) in [
+        ("flat", "similar"),
+        ("ivf", "similar"),
+        ("hnsw", "similar"),
+        ("ivf", "links"),
+    ] {
+        let idx = dir.join(format!("{kind}_{space}.idx"));
+        let (ok, _, err) = run(&[
+            "index",
+            "build",
+            "--embedding",
+            emb.to_str().unwrap(),
+            "--kind",
+            kind,
+            "--space",
+            space,
+            "--lists",
+            "8",
+            "--output",
+            idx.to_str().unwrap(),
+        ]);
+        assert!(ok, "index build {kind}/{space} failed: {err}");
+        assert!(idx.exists());
+
+        // Single-node search.
+        let (ok, out, err) = run(&[
+            "index",
+            "search",
+            "--index",
+            idx.to_str().unwrap(),
+            "--embedding",
+            emb.to_str().unwrap(),
+            "--node",
+            "0",
+            "--k",
+            "5",
+        ]);
+        assert!(ok, "index search {kind}/{space} failed: {err}");
+        assert!(
+            out.contains(&format!("top-5 {space} for node 0 ({kind} index):")),
+            "unexpected search header for {kind}/{space}: {out}"
+        );
+        assert!(out.lines().count() >= 3, "too few hits: {out}");
+        // The query node itself is never returned.
+        assert!(!out.lines().any(|l| l.trim_start().starts_with("0 ")));
+    }
+
+    // Batched top-k path with a runtime ef override.
+    let idx = dir.join("hnsw_similar.idx");
+    let (ok, out, err) = run(&[
+        "index",
+        "search",
+        "--index",
+        idx.to_str().unwrap(),
+        "--embedding",
+        emb.to_str().unwrap(),
+        "--nodes",
+        "0,3,7",
+        "--k",
+        "4",
+        "--ef",
+        "32",
+        "--threads",
+        "2",
+    ]);
+    assert!(ok, "batched index search failed: {err}");
+    for v in [0, 3, 7] {
+        assert!(
+            out.contains(&format!("for node {v} ")),
+            "missing node {v}: {out}"
+        );
+    }
+
+    // Runtime-knob misuse is a clean error, not a panic.
+    let (ok, _, err) = run(&[
+        "index",
+        "search",
+        "--index",
+        idx.to_str().unwrap(),
+        "--embedding",
+        emb.to_str().unwrap(),
+        "--node",
+        "0",
+        "--nprobe",
+        "4",
+    ]);
+    assert!(!ok);
+    assert!(
+        err.contains("--nprobe only applies to ivf"),
+        "stderr: {err}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn errors_are_reported() {
     // Unknown command.
     let (ok, _, err) = run(&["frobnicate"]);

@@ -44,7 +44,7 @@ pub use incremental::{grow_embedding, reembed_warm};
 pub use pane::{Pane, PaneEmbedding, PaneTimings};
 pub use papmi::papmi;
 pub use persist::{load_binary, load_text, save_binary, save_text};
-pub use query::{EmbeddingQuery, Scored};
+pub use query::{EmbeddingQuery, QueryBackend, Scored};
 
 /// Number of APMI/CCD iterations implied by an error threshold:
 /// `t = ⌈log(ε)/log(1−α)⌉ − 1`, clamped to at least 1 (Algorithm 1, line 1).

@@ -84,6 +84,18 @@ impl PaneEmbedding {
         self.link_score_with(&self.link_gram(), src, dst)
     }
 
+    /// The full `n × k` matrix of [`Self::classifier_features`] rows — the
+    /// representation ANN indexes are built over.
+    pub fn classifier_feature_matrix(&self) -> DenseMatrix {
+        let n = self.forward.rows();
+        let k = self.forward.cols() + self.backward.cols();
+        let mut m = DenseMatrix::zeros(n, k);
+        for v in 0..n {
+            m.row_mut(v).copy_from_slice(&self.classifier_features(v));
+        }
+        m
+    }
+
     /// Per-node feature vector for classifiers: `[X_f[v]‖X_b[v]]`, each half
     /// L2-normalized (the paper's §5.4 preprocessing).
     pub fn classifier_features(&self, v: usize) -> Vec<f64> {

@@ -1,10 +1,24 @@
-//! Query helpers over a fitted embedding: top-k attribute inference,
-//! top-k link recommendation, and nearest-neighbor search in embedding
-//! space. These are the operations a downstream service actually issues
-//! against the vectors PANE produces.
+//! Query layer over a fitted embedding: top-k attribute inference, top-k
+//! link recommendation, and nearest-neighbor search in embedding space.
+//! These are the operations a downstream service actually issues against
+//! the vectors PANE produces.
+//!
+//! Two serving modes, selected by [`QueryBackend`]:
+//!
+//! * [`QueryBackend::Exact`] — brute-force scans with a bounded-heap
+//!   top-k (`O(n log k)` per query). The default; bit-compatible with
+//!   the original scan results.
+//! * [`QueryBackend::Ivf`] / [`QueryBackend::Hnsw`] — approximate
+//!   serving through `pane-index`: similar-node search runs against a
+//!   cosine index over the `[X_f ‖ X_b]` classifier features, link
+//!   recommendation against a max-inner-product index over `X_b` (the
+//!   Eq. 22 score `X_f[src]·(YᵀY)·X_b[dst]ᵀ` is a dot product between a
+//!   per-query vector `q = X_f[src]·YᵀY` and the stored `X_b` rows).
 
 use crate::pane::PaneEmbedding;
+use pane_index::{topk, AnyIndex, HnswConfig, HnswIndex, IvfConfig, IvfIndex, Metric, VectorIndex};
 use pane_linalg::{vecops, DenseMatrix};
+use pane_parallel::{even_ranges_nonempty, map_blocks};
 
 /// A scored item (index + score), ordered by descending score.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -15,34 +29,119 @@ pub struct Scored {
     pub score: f64,
 }
 
+/// Bounded-heap top-k over a score stream: `O(n log k)`, NaN-safe (a
+/// degenerate embedding ranks NaN scores last instead of panicking), ties
+/// broken by ascending index.
 fn top_k(scores: impl Iterator<Item = (usize, f64)>, k: usize) -> Vec<Scored> {
-    // Simple selection: collect + partial sort. k is small in practice.
-    let mut all: Vec<Scored> = scores
-        .map(|(index, score)| Scored { index, score })
-        .collect();
-    all.sort_by(|a, b| {
-        b.score
-            .partial_cmp(&a.score)
-            .expect("NaN score")
-            .then(a.index.cmp(&b.index))
-    });
-    all.truncate(k);
-    all
+    topk::select(scores, k)
+        .into_iter()
+        .map(|n| Scored {
+            index: n.index,
+            score: n.score,
+        })
+        .collect()
+}
+
+/// How an [`EmbeddingQuery`] serves `similar_nodes` / `recommend_links`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub enum QueryBackend {
+    /// Exact brute-force scans (the default).
+    #[default]
+    Exact,
+    /// Approximate serving through an inverted-file index.
+    Ivf(IvfConfig),
+    /// Approximate serving through an HNSW graph index.
+    Hnsw(HnswConfig),
 }
 
 /// Query interface over an embedding.
 pub struct EmbeddingQuery<'a> {
     emb: &'a PaneEmbedding,
     gram: DenseMatrix,
+    /// Cosine index over `[X_f ‖ X_b]` classifier features (node search).
+    node_index: Option<AnyIndex>,
+    /// Inner-product index over `X_b` (link recommendation).
+    link_index: Option<AnyIndex>,
 }
 
 impl<'a> EmbeddingQuery<'a> {
-    /// Wraps an embedding, precomputing the `YᵀY` Gram matrix once.
+    /// Wraps an embedding for exact serving, precomputing the `YᵀY` Gram
+    /// matrix once.
     pub fn new(emb: &'a PaneEmbedding) -> Self {
+        Self::with_backend(emb, &QueryBackend::Exact)
+    }
+
+    /// Wraps an embedding, building ANN indexes when `backend` asks for
+    /// them: a cosine index over the classifier features for
+    /// [`similar_nodes`](Self::similar_nodes), and a max-inner-product
+    /// index over `X_b` for [`recommend_links`](Self::recommend_links).
+    pub fn with_backend(emb: &'a PaneEmbedding, backend: &QueryBackend) -> Self {
+        let (node_index, link_index) = match backend {
+            QueryBackend::Exact => (None, None),
+            QueryBackend::Ivf(cfg) => {
+                let features = emb.classifier_feature_matrix();
+                (
+                    Some(AnyIndex::Ivf(IvfIndex::build(
+                        &features,
+                        Metric::Cosine,
+                        cfg,
+                    ))),
+                    Some(AnyIndex::Ivf(IvfIndex::build(
+                        &emb.backward,
+                        Metric::InnerProduct,
+                        cfg,
+                    ))),
+                )
+            }
+            QueryBackend::Hnsw(cfg) => {
+                let features = emb.classifier_feature_matrix();
+                (
+                    Some(AnyIndex::Hnsw(HnswIndex::build(
+                        &features,
+                        Metric::Cosine,
+                        cfg,
+                    ))),
+                    Some(AnyIndex::Hnsw(HnswIndex::build(
+                        &emb.backward,
+                        Metric::InnerProduct,
+                        cfg,
+                    ))),
+                )
+            }
+        };
         Self {
             gram: emb.link_gram(),
             emb,
+            node_index,
+            link_index,
         }
+    }
+
+    /// The ANN index serving [`similar_nodes`](Self::similar_nodes), if
+    /// the backend built one.
+    pub fn node_index(&self) -> Option<&AnyIndex> {
+        self.node_index.as_ref()
+    }
+
+    /// The ANN index serving [`recommend_links`](Self::recommend_links),
+    /// if the backend built one.
+    pub fn link_index(&self) -> Option<&AnyIndex> {
+        self.link_index.as_ref()
+    }
+
+    /// The per-query link vector `q = X_f[src]·YᵀY`, so that the Eq. 22
+    /// score is `p(src → dst) = q · X_b[dst]` — the form a
+    /// max-inner-product index serves directly.
+    pub fn link_query_vector(&self, src: usize) -> Vec<f64> {
+        let k2 = self.emb.forward.cols();
+        let mut q = vec![0.0; k2];
+        let xf = self.emb.forward.row(src);
+        for a in 0..k2 {
+            if xf[a] != 0.0 {
+                vecops::axpy(xf[a], self.gram.row(a), &mut q);
+            }
+        }
+        q
     }
 
     /// Top-`k` attributes for node `v` by Eq. (21) affinity.
@@ -60,18 +159,25 @@ impl<'a> EmbeddingQuery<'a> {
 
     /// Top-`k` link recommendations *from* `src` by Eq. (22), excluding
     /// `src` itself and any indices in `exclude` (typically its existing
-    /// out-neighbors).
+    /// out-neighbors). Served through the link index when the backend
+    /// built one, else by exact scan.
     pub fn recommend_links(&self, src: usize, k: usize, exclude: &[u32]) -> Vec<Scored> {
-        let n = self.emb.forward.rows();
-        // Precompute X_f[src]·G once: score(dst) = q · X_b[dst].
-        let k2 = self.emb.forward.cols();
-        let mut q = vec![0.0; k2];
-        let xf = self.emb.forward.row(src);
-        for a in 0..k2 {
-            if xf[a] != 0.0 {
-                vecops::axpy(xf[a], self.gram.row(a), &mut q);
-            }
+        let q = self.link_query_vector(src);
+        if let Some(idx) = &self.link_index {
+            // Oversample so the post-filter can drop src and exclusions
+            // without starving the result.
+            let hits = idx.search(&q, k + exclude.len() + 1);
+            return hits
+                .into_iter()
+                .filter(|h| h.index != src && !exclude.contains(&(h.index as u32)))
+                .take(k)
+                .map(|h| Scored {
+                    index: h.index,
+                    score: h.score,
+                })
+                .collect();
         }
+        let n = self.emb.forward.rows();
         top_k(
             (0..n)
                 .filter(|&dst| dst != src && !exclude.contains(&(dst as u32)))
@@ -81,10 +187,24 @@ impl<'a> EmbeddingQuery<'a> {
     }
 
     /// Top-`k` nodes most similar to `v` by cosine over the concatenated
-    /// `[X_f ‖ X_b]` features (the classifier representation).
+    /// `[X_f ‖ X_b]` features (the classifier representation). Served
+    /// through the node index when the backend built one, else by exact
+    /// scan.
     pub fn similar_nodes(&self, v: usize, k: usize) -> Vec<Scored> {
-        let n = self.emb.forward.rows();
         let target = self.emb.classifier_features(v);
+        if let Some(idx) = &self.node_index {
+            let hits = idx.search(&target, k + 1);
+            return hits
+                .into_iter()
+                .filter(|h| h.index != v)
+                .take(k)
+                .map(|h| Scored {
+                    index: h.index,
+                    score: h.score,
+                })
+                .collect();
+        }
+        let n = self.emb.forward.rows();
         top_k(
             (0..n).filter(|&u| u != v).map(|u| {
                 let f = self.emb.classifier_features(u);
@@ -92,6 +212,26 @@ impl<'a> EmbeddingQuery<'a> {
             }),
             k,
         )
+    }
+
+    /// [`similar_nodes`](Self::similar_nodes) for a batch of query nodes,
+    /// fanned out over `threads` scoped workers. Output order matches
+    /// `nodes`, and the result is identical for every thread count.
+    pub fn batch_similar_nodes(
+        &self,
+        nodes: &[usize],
+        k: usize,
+        threads: usize,
+    ) -> Vec<Vec<Scored>> {
+        let ranges = even_ranges_nonempty(nodes.len(), threads.max(1));
+        map_blocks(&ranges, |_, range| {
+            range
+                .map(|i| self.similar_nodes(nodes[i], k))
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
     }
 }
 
@@ -157,6 +297,18 @@ mod tests {
     }
 
     #[test]
+    fn top_k_survives_nan_scores() {
+        // A zeroed-out embedding produces NaN cosines and NaN objective
+        // scores downstream; the serving path must degrade, not panic.
+        let scores = [1.0, f64::NAN, 0.5, f64::NAN];
+        let top = top_k(scores.iter().cloned().enumerate(), 3);
+        assert_eq!(top.len(), 3);
+        assert_eq!(top[0].index, 0);
+        assert_eq!(top[1].index, 2);
+        assert!(top[2].score.is_nan());
+    }
+
+    #[test]
     fn recommend_links_respects_exclusions() {
         let (g, emb) = fixture();
         let q = EmbeddingQuery::new(&emb);
@@ -215,5 +367,66 @@ mod tests {
             );
         }
         let _ = g;
+    }
+
+    #[test]
+    fn indexed_backends_approximate_exact_serving() {
+        let (_, emb) = fixture();
+        let exact = EmbeddingQuery::new(&emb);
+        for backend in [
+            QueryBackend::Ivf(IvfConfig {
+                nlist: 8,
+                nprobe: 8,
+                ..Default::default()
+            }),
+            QueryBackend::Hnsw(HnswConfig::default()),
+        ] {
+            let approx = EmbeddingQuery::with_backend(&emb, &backend);
+            assert!(approx.node_index().is_some() && approx.link_index().is_some());
+            let mut overlap = 0;
+            let mut total = 0;
+            for v in (0..emb.forward.rows()).step_by(19) {
+                let truth: Vec<usize> =
+                    exact.similar_nodes(v, 10).iter().map(|s| s.index).collect();
+                for s in approx.similar_nodes(v, 10) {
+                    total += 1;
+                    overlap += usize::from(truth.contains(&s.index));
+                }
+                // Link scores must still be genuine Eq. 22 scores.
+                for s in approx.recommend_links(v, 3, &[]) {
+                    let direct = emb.link_score_with(&exact.gram, v, s.index);
+                    assert!((direct - s.score).abs() < 1e-10);
+                }
+            }
+            assert!(
+                overlap * 10 >= total * 8,
+                "backend {backend:?}: similar-node overlap too low ({overlap}/{total})"
+            );
+        }
+    }
+
+    #[test]
+    fn indexed_recommend_respects_exclusions() {
+        let (g, emb) = fixture();
+        let q = EmbeddingQuery::with_backend(&emb, &QueryBackend::Hnsw(HnswConfig::default()));
+        let src = 3;
+        let (nbrs, _) = g.out_neighbors(src);
+        let rec = q.recommend_links(src, 10, nbrs);
+        assert!(!rec.is_empty());
+        for s in &rec {
+            assert_ne!(s.index, src);
+            assert!(!nbrs.contains(&(s.index as u32)));
+        }
+    }
+
+    #[test]
+    fn batch_similar_matches_single_across_threads() {
+        let (_, emb) = fixture();
+        let q = EmbeddingQuery::new(&emb);
+        let nodes: Vec<usize> = (0..40).step_by(3).collect();
+        let single: Vec<Vec<Scored>> = nodes.iter().map(|&v| q.similar_nodes(v, 5)).collect();
+        for threads in [1, 4] {
+            assert_eq!(q.batch_similar_nodes(&nodes, 5, threads), single);
+        }
     }
 }

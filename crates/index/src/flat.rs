@@ -1,0 +1,113 @@
+//! Exact full-scan index — the recall baseline.
+
+use crate::persist::{FileReader, FileWriter};
+use crate::{topk, IndexError, IndexKind, Metric, Neighbor, VectorIndex};
+use pane_linalg::{vecops, DenseMatrix};
+use std::path::Path;
+
+/// Brute-force index: scans every stored vector, keeping the top-k with a
+/// bounded heap (`O(n log k)` per query). Exact by construction — the
+/// other indexes measure their recall against it.
+#[derive(Debug, Clone)]
+pub struct FlatIndex {
+    metric: Metric,
+    data: DenseMatrix,
+}
+
+impl FlatIndex {
+    /// Indexes the rows of `data` (copied; normalized if cosine).
+    ///
+    /// # Panics
+    /// Panics if `data` has no rows or no columns.
+    pub fn build(data: &DenseMatrix, metric: Metric) -> Self {
+        assert!(
+            data.rows() > 0 && data.cols() > 0,
+            "FlatIndex::build: empty data"
+        );
+        Self {
+            metric,
+            data: metric.prepare(data),
+        }
+    }
+
+    /// Reads an index written by [`VectorIndex::save`].
+    pub fn load(path: &Path) -> Result<Self, IndexError> {
+        let mut r = FileReader::open(path, IndexKind::Flat)?;
+        let metric = r.metric();
+        let n = r.read_u64()? as usize;
+        let dim = r.read_u64()? as usize;
+        let data = r.read_matrix(n, dim)?;
+        r.finish()?;
+        Ok(Self { metric, data })
+    }
+
+    /// The stored (metric-prepared) vectors.
+    pub fn vectors(&self) -> &DenseMatrix {
+        &self.data
+    }
+}
+
+impl VectorIndex for FlatIndex {
+    fn kind(&self) -> IndexKind {
+        IndexKind::Flat
+    }
+
+    fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    fn len(&self) -> usize {
+        self.data.rows()
+    }
+
+    fn dim(&self) -> usize {
+        self.data.cols()
+    }
+
+    fn search(&self, query: &[f64], k: usize) -> Vec<Neighbor> {
+        assert_eq!(query.len(), self.dim(), "FlatIndex::search: dim mismatch");
+        let q = self.metric.prepare_query(query);
+        topk::select(
+            (0..self.data.rows()).map(|i| (i, vecops::dot(&q, self.data.row(i)))),
+            k,
+        )
+    }
+
+    fn save(&self, path: &Path) -> Result<(), IndexError> {
+        let mut w = FileWriter::create(path, IndexKind::Flat, self.metric)?;
+        w.write_u64(self.data.rows() as u64)?;
+        w.write_u64(self.data.cols() as u64)?;
+        w.write_matrix(&self.data)?;
+        w.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::clustered_vectors;
+
+    #[test]
+    fn finds_itself_first_under_cosine() {
+        let data = clustered_vectors(120, 16, 4, 0.2);
+        let idx = FlatIndex::build(&data, Metric::Cosine);
+        for v in [0, 17, 119] {
+            let hits = idx.search(data.row(v), 5);
+            assert_eq!(hits[0].index, v);
+            assert!((hits[0].score - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn batch_matches_single_and_threads() {
+        let data = clustered_vectors(80, 8, 3, 0.3);
+        let idx = FlatIndex::build(&data, Metric::InnerProduct);
+        let single: Vec<_> = (0..data.rows())
+            .map(|i| idx.search(data.row(i), 4))
+            .collect();
+        for threads in [1, 3] {
+            let batch = idx.batch_search(&data, 4, threads);
+            assert_eq!(batch, single);
+        }
+    }
+}

@@ -1,0 +1,524 @@
+//! HNSW — hierarchical navigable-small-world graph index.
+//!
+//! Standard construction (Malkov & Yashunin 2016): each node gets a
+//! geometric random level; search greedily descends the sparse upper
+//! layers to a good entry point, then runs a best-first beam (`ef`) over
+//! the dense bottom layer.
+//!
+//! The one deliberate departure from the usual implementation: level
+//! assignment is **not** drawn from a shared RNG stream — it is a pure
+//! function of `(seed, node id)` via SplitMix64. Together with the
+//! sequential insertion order this makes every build bit-identical, the
+//! same reproducibility contract the embedding pipeline guarantees.
+
+use crate::persist::{FileReader, FileWriter};
+use crate::{topk, unit_open, IndexError, IndexKind, Metric, Neighbor, VectorIndex};
+use pane_linalg::{vecops, DenseMatrix};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+use std::path::Path;
+
+/// Hard ceiling on levels (a node above level 24 would need `> m^24`
+/// points; this only guards degenerate seeds).
+const MAX_LEVEL_CAP: usize = 24;
+
+/// Build-time parameters for [`HnswIndex`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HnswConfig {
+    /// Max neighbors per node on levels above 0 (level 0 allows `2m`).
+    pub m: usize,
+    /// Beam width while inserting (larger = better graph, slower build).
+    pub ef_construction: usize,
+    /// Default beam width while searching (runtime-adjustable).
+    pub ef_search: usize,
+    /// Seed for the per-node level assignment.
+    pub seed: u64,
+}
+
+impl Default for HnswConfig {
+    fn default() -> Self {
+        Self {
+            m: 16,
+            ef_construction: 100,
+            ef_search: 64,
+            seed: 0,
+        }
+    }
+}
+
+/// Max-heap entry: the heap root is the *best-ranked* candidate.
+struct Best(Neighbor);
+
+impl PartialEq for Best {
+    fn eq(&self, other: &Self) -> bool {
+        topk::cmp_ranked(&self.0, &other.0) == Ordering::Equal
+    }
+}
+impl Eq for Best {}
+impl PartialOrd for Best {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Best {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: cmp_ranked's Less = better, BinaryHeap pops the max.
+        topk::cmp_ranked(&other.0, &self.0)
+    }
+}
+
+/// HNSW graph index. See the module docs.
+#[derive(Debug, Clone)]
+pub struct HnswIndex {
+    metric: Metric,
+    m: usize,
+    ef_construction: usize,
+    ef_search: usize,
+    /// Metric-prepared vectors.
+    data: DenseMatrix,
+    /// Level of each node.
+    levels: Vec<u32>,
+    /// `links[node][level]` = neighbor ids (level 0 ..= levels[node]).
+    links: Vec<Vec<Vec<u32>>>,
+    /// Entry point (a node of maximal level).
+    entry: u32,
+    max_level: u32,
+}
+
+impl HnswIndex {
+    /// Builds the graph by sequential insertion of the rows of `data`.
+    /// Bit-identical for a fixed `(data, metric, config)`.
+    ///
+    /// # Panics
+    /// Panics if `data` is empty or `config.m < 2` / `ef_construction == 0`.
+    pub fn build(data: &DenseMatrix, metric: Metric, config: &HnswConfig) -> Self {
+        assert!(
+            data.rows() > 0 && data.cols() > 0,
+            "HnswIndex::build: empty data"
+        );
+        assert!(config.m >= 2, "HnswIndex::build: m must be at least 2");
+        assert!(
+            config.ef_construction > 0,
+            "HnswIndex::build: ef_construction must be positive"
+        );
+        let n = data.rows();
+        let prepared = metric.prepare(data);
+        // mL = 1/ln(m): the standard normalization keeps the expected
+        // top-layer population at one node.
+        let ml = 1.0 / (config.m as f64).ln();
+        let levels: Vec<u32> = (0..n as u64)
+            .map(|i| {
+                let u = unit_open(config.seed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                ((-u.ln() * ml) as usize).min(MAX_LEVEL_CAP) as u32
+            })
+            .collect();
+        let mut index = Self {
+            metric,
+            m: config.m,
+            ef_construction: config.ef_construction,
+            ef_search: config.ef_search.max(1),
+            data: prepared,
+            links: (0..n)
+                .map(|i| vec![Vec::new(); levels[i] as usize + 1])
+                .collect(),
+            levels,
+            entry: 0,
+            max_level: 0,
+        };
+        index.max_level = index.levels[0];
+        let mut visited = HashSet::new();
+        for i in 1..n {
+            index.insert(i, &mut visited);
+        }
+        index
+    }
+
+    #[inline]
+    fn score(&self, q: &[f64], node: u32) -> f64 {
+        vecops::dot(q, self.data.row(node as usize))
+    }
+
+    /// Best-first beam search on one level, seeded from `eps`.
+    /// Returns up to `ef` hits, best first.
+    fn search_layer(
+        &self,
+        q: &[f64],
+        eps: &[Neighbor],
+        ef: usize,
+        level: usize,
+        visited: &mut HashSet<u32>,
+    ) -> Vec<Neighbor> {
+        visited.clear();
+        let mut candidates = BinaryHeap::new();
+        let mut results = topk::TopK::new(ef);
+        for ep in eps {
+            if visited.insert(ep.index as u32) {
+                candidates.push(Best(*ep));
+                results.push(ep.index, ep.score);
+            }
+        }
+        while let Some(Best(c)) = candidates.pop() {
+            if let Some(worst) = results.threshold() {
+                // The best remaining candidate is worse than the worst
+                // kept result: the beam has converged.
+                if topk::cmp_ranked(&c, worst) == Ordering::Greater {
+                    break;
+                }
+            }
+            for &nb in &self.links[c.index][level] {
+                if !visited.insert(nb) {
+                    continue;
+                }
+                let s = self.score(q, nb);
+                let item = Neighbor {
+                    index: nb as usize,
+                    score: s,
+                };
+                let keep = match results.threshold() {
+                    None => true,
+                    Some(worst) => topk::cmp_ranked(&item, worst) == Ordering::Less,
+                };
+                if keep {
+                    candidates.push(Best(item));
+                    results.push(nb as usize, s);
+                }
+            }
+        }
+        results.into_sorted()
+    }
+
+    /// Greedy single-step descent through levels `from` down to `to`
+    /// (exclusive), used to find the entry point for the beam phase.
+    fn descend(
+        &self,
+        q: &[f64],
+        mut ep: Neighbor,
+        from: u32,
+        to: u32,
+        visited: &mut HashSet<u32>,
+    ) -> Neighbor {
+        let mut lev = from;
+        while lev > to {
+            let found = self.search_layer(q, &[ep], 1, lev as usize, visited);
+            if let Some(&best) = found.first() {
+                ep = best;
+            }
+            lev -= 1;
+        }
+        ep
+    }
+
+    fn insert(&mut self, i: usize, visited: &mut HashSet<u32>) {
+        let q = self.data.row(i).to_vec();
+        let l = self.levels[i];
+        let mut ep = Neighbor {
+            index: self.entry as usize,
+            score: self.score(&q, self.entry),
+        };
+        if l < self.max_level {
+            ep = self.descend(&q, ep, self.max_level, l, visited);
+        }
+        let mut eps = vec![ep];
+        for lev in (0..=l.min(self.max_level) as usize).rev() {
+            let cands = self.search_layer(&q, &eps, self.ef_construction, lev, visited);
+            let m_max = if lev == 0 { 2 * self.m } else { self.m };
+            let selected = self.select_neighbors(&cands, self.m);
+            for &s in &selected {
+                self.links[s as usize][lev].push(i as u32);
+                if self.links[s as usize][lev].len() > m_max {
+                    self.prune(s, lev, m_max);
+                }
+            }
+            self.links[i][lev] = selected;
+            eps = cands;
+        }
+        if l > self.max_level {
+            self.entry = i as u32;
+            self.max_level = l;
+        }
+    }
+
+    /// The paper's Algorithm 4 ("select neighbors heuristic"), phrased in
+    /// similarity terms: walk `cands` best-first and keep a candidate only
+    /// if it is closer to the query than to everything already kept. On
+    /// clustered data this trades a few nearest edges for *diverse* edges
+    /// that keep distinct regions navigable — plain top-M collapses into
+    /// near-cliques whose beam searches stall in local minima. Slots left
+    /// over are refilled with the best skipped candidates
+    /// (`keepPrunedConnections` in the paper).
+    fn select_neighbors(&self, cands: &[Neighbor], m: usize) -> Vec<u32> {
+        let mut selected: Vec<u32> = Vec::with_capacity(m);
+        let mut skipped: Vec<u32> = Vec::new();
+        for c in cands {
+            if selected.len() >= m {
+                break;
+            }
+            let crow = self.data.row(c.index);
+            let diverse = selected
+                .iter()
+                .all(|&s| vecops::dot(crow, self.data.row(s as usize)) < c.score);
+            if diverse {
+                selected.push(c.index as u32);
+            } else {
+                skipped.push(c.index as u32);
+            }
+        }
+        for s in skipped {
+            if selected.len() >= m {
+                break;
+            }
+            selected.push(s);
+        }
+        selected
+    }
+
+    /// Shrinks `node`'s neighbor list on `level` to `m_max` entries via
+    /// the same diversity heuristic used at insertion.
+    fn prune(&mut self, node: u32, level: usize, m_max: usize) {
+        let nq = self.data.row(node as usize).to_vec();
+        let mut ranked: Vec<Neighbor> = self.links[node as usize][level]
+            .iter()
+            .map(|&nb| Neighbor {
+                index: nb as usize,
+                score: self.score(&nq, nb),
+            })
+            .collect();
+        ranked.sort_by(topk::cmp_ranked);
+        self.links[node as usize][level] = self.select_neighbors(&ranked, m_max);
+    }
+
+    /// Max neighbors per upper-level node.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Beam width used during construction.
+    pub fn ef_construction(&self) -> usize {
+        self.ef_construction
+    }
+
+    /// Current search beam width.
+    pub fn ef_search(&self) -> usize {
+        self.ef_search
+    }
+
+    /// Sets the search beam width (clamped to at least 1). Larger values
+    /// trade latency for recall; `search` always uses `max(ef, k)`.
+    pub fn set_ef_search(&mut self, ef: usize) {
+        self.ef_search = ef.max(1);
+    }
+
+    /// Reads an index written by [`VectorIndex::save`].
+    pub fn load(path: &Path) -> Result<Self, IndexError> {
+        let mut r = FileReader::open(path, IndexKind::Hnsw)?;
+        let metric = r.metric();
+        let n = r.read_u64()? as usize;
+        let dim = r.read_u64()? as usize;
+        let m = r.read_dim(1 << 20, "m")?;
+        let ef_construction = r.read_dim(1 << 20, "ef_construction")?;
+        let ef_search = r.read_dim(1 << 20, "ef_search")?;
+        let entry = r.read_dim(n.saturating_sub(1), "entry point")? as u32;
+        let max_level = r.read_dim(MAX_LEVEL_CAP, "max level")? as u32;
+        let levels = r.read_u32_slice()?;
+        if levels.len() != n {
+            return Err(IndexError::Format(format!(
+                "level array has {} entries, expected {n}",
+                levels.len()
+            )));
+        }
+        let mut links = Vec::with_capacity(n);
+        for (node, &l) in levels.iter().enumerate() {
+            if l > max_level {
+                return Err(IndexError::Format(format!(
+                    "node level {l} exceeds max level {max_level}"
+                )));
+            }
+            let mut per_level = Vec::with_capacity(l as usize + 1);
+            for lev in 0..=l {
+                let nbrs = r.read_u32_slice()?;
+                // A corrupted edge must fail the load, not panic the
+                // first search that walks it.
+                for &nb in &nbrs {
+                    if nb as usize >= n {
+                        return Err(IndexError::Format(format!(
+                            "node {node} level {lev}: neighbor id {nb} out of range {n}"
+                        )));
+                    }
+                    if levels[nb as usize] < lev {
+                        return Err(IndexError::Format(format!(
+                            "node {node} level {lev}: neighbor {nb} only reaches level {}",
+                            levels[nb as usize]
+                        )));
+                    }
+                }
+                per_level.push(nbrs);
+            }
+            links.push(per_level);
+        }
+        let data = r.read_matrix(n, dim)?;
+        r.finish()?;
+        Ok(Self {
+            metric,
+            m: m.max(2),
+            ef_construction: ef_construction.max(1),
+            ef_search: ef_search.max(1),
+            data,
+            levels,
+            links,
+            entry,
+            max_level,
+        })
+    }
+}
+
+impl VectorIndex for HnswIndex {
+    fn kind(&self) -> IndexKind {
+        IndexKind::Hnsw
+    }
+
+    fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    fn len(&self) -> usize {
+        self.data.rows()
+    }
+
+    fn dim(&self) -> usize {
+        self.data.cols()
+    }
+
+    fn search(&self, query: &[f64], k: usize) -> Vec<Neighbor> {
+        assert_eq!(query.len(), self.dim(), "HnswIndex::search: dim mismatch");
+        if k == 0 {
+            return Vec::new();
+        }
+        let q = self.metric.prepare_query(query);
+        let mut visited = HashSet::new();
+        let ep = Neighbor {
+            index: self.entry as usize,
+            score: self.score(&q, self.entry),
+        };
+        let ep = self.descend(&q, ep, self.max_level, 0, &mut visited);
+        let ef = self.ef_search.max(k);
+        let mut out = self.search_layer(&q, &[ep], ef, 0, &mut visited);
+        out.truncate(k);
+        out
+    }
+
+    fn save(&self, path: &Path) -> Result<(), IndexError> {
+        let mut w = FileWriter::create(path, IndexKind::Hnsw, self.metric)?;
+        w.write_u64(self.data.rows() as u64)?;
+        w.write_u64(self.data.cols() as u64)?;
+        w.write_u64(self.m as u64)?;
+        w.write_u64(self.ef_construction as u64)?;
+        w.write_u64(self.ef_search as u64)?;
+        w.write_u64(self.entry as u64)?;
+        w.write_u64(self.max_level as u64)?;
+        w.write_u32_slice(&self.levels)?;
+        for per_level in &self.links {
+            for nbrs in per_level {
+                w.write_u32_slice(nbrs)?;
+            }
+        }
+        w.write_matrix(&self.data)?;
+        w.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::clustered_vectors;
+    use crate::FlatIndex;
+
+    #[test]
+    fn finds_itself_first() {
+        let data = clustered_vectors(250, 12, 5, 0.15);
+        let idx = HnswIndex::build(&data, Metric::Cosine, &HnswConfig::default());
+        for v in (0..250).step_by(23) {
+            let hits = idx.search(data.row(v), 3);
+            assert_eq!(hits[0].index, v, "node {v} did not find itself");
+        }
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let data = clustered_vectors(180, 8, 4, 0.2);
+        let cfg = HnswConfig {
+            seed: 11,
+            ..Default::default()
+        };
+        let a = HnswIndex::build(&data, Metric::Cosine, &cfg);
+        let b = HnswIndex::build(&data, Metric::Cosine, &cfg);
+        assert_eq!(a.levels, b.levels);
+        assert_eq!(a.links, b.links);
+        assert_eq!(a.entry, b.entry);
+    }
+
+    #[test]
+    fn degree_bounds_hold() {
+        let data = clustered_vectors(300, 10, 6, 0.2);
+        let cfg = HnswConfig {
+            m: 8,
+            ..Default::default()
+        };
+        let idx = HnswIndex::build(&data, Metric::Cosine, &cfg);
+        for (v, per_level) in idx.links.iter().enumerate() {
+            for (lev, nbrs) in per_level.iter().enumerate() {
+                let cap = if lev == 0 { 2 * cfg.m } else { cfg.m };
+                assert!(
+                    nbrs.len() <= cap,
+                    "node {v} level {lev} has {} neighbors (cap {cap})",
+                    nbrs.len()
+                );
+                for &nb in nbrs {
+                    assert!(idx.levels[nb as usize] as usize >= lev);
+                    assert_ne!(nb as usize, v);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_neighbor_id_fails_load_cleanly() {
+        let data = clustered_vectors(40, 6, 2, 0.2);
+        let idx = HnswIndex::build(&data, Metric::Cosine, &HnswConfig::default());
+        assert!(!idx.links[0][0].is_empty(), "fixture node 0 has no links");
+        let dir = std::env::temp_dir().join(format!("pane_hnsw_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("bad_link.idx");
+        idx.save(&p).unwrap();
+        // Layout: magic(8) + tags(2) + 7×u64(56) + levels slice (8 + 4n)
+        // + node 0 / level 0 slice length (8) + first neighbor id.
+        let first_id_at = 8 + 2 + 56 + 8 + 4 * idx.len() + 8;
+        let mut bytes = std::fs::read(&p).unwrap();
+        bytes[first_id_at..first_id_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        std::fs::write(&p, &bytes).unwrap();
+        match HnswIndex::load(&p) {
+            Err(IndexError::Format(m)) => assert!(m.contains("out of range"), "{m}"),
+            other => panic!("expected format error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn decent_recall_on_clusters() {
+        let data = clustered_vectors(400, 16, 8, 0.25);
+        let flat = FlatIndex::build(&data, Metric::Cosine);
+        let idx = HnswIndex::build(&data, Metric::Cosine, &HnswConfig::default());
+        let mut hit = 0;
+        let mut total = 0;
+        for v in (0..400).step_by(7) {
+            let truth: HashSet<usize> = flat
+                .search(data.row(v), 10)
+                .iter()
+                .map(|n| n.index)
+                .collect();
+            for n in idx.search(data.row(v), 10) {
+                total += 1;
+                hit += usize::from(truth.contains(&n.index));
+            }
+        }
+        assert!(hit * 10 >= total * 9, "recall@10 too low: {hit}/{total}");
+    }
+}

@@ -1,0 +1,305 @@
+//! IVF — inverted-file index over a k-means coarse quantizer.
+//!
+//! Build: cluster the (metric-prepared) vectors into `nlist` cells with
+//! [`kmeans`](crate::kmeans::kmeans), then lay each cell's vectors out
+//! contiguously so a probe streams memory like the flat scan does — just
+//! over `nprobe/nlist` of the data. Search: rank cells by distance from
+//! the query to their centroids, scan the `nprobe` nearest, reduce with
+//! the shared bounded-heap top-k.
+//!
+//! Recall/latency trade-off is all in `nprobe` (1 = fastest, `nlist` =
+//! exact up to quantization ties); it is a runtime knob, not a build
+//! parameter.
+
+use crate::kmeans::kmeans;
+use crate::persist::{FileReader, FileWriter};
+use crate::{topk, IndexError, IndexKind, Metric, Neighbor, VectorIndex};
+use pane_linalg::{vecops, DenseMatrix};
+use std::path::Path;
+
+/// Build-time parameters for [`IvfIndex`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IvfConfig {
+    /// Number of k-means cells (clamped to the number of vectors).
+    pub nlist: usize,
+    /// Default number of cells probed per query (clamped to `nlist`).
+    pub nprobe: usize,
+    /// Lloyd iterations for the coarse quantizer.
+    pub train_iters: usize,
+    /// Seed for the quantizer's initialization.
+    pub seed: u64,
+    /// Worker threads for the build (does not change the result).
+    pub threads: usize,
+}
+
+impl Default for IvfConfig {
+    fn default() -> Self {
+        Self {
+            nlist: 64,
+            nprobe: 8,
+            train_iters: 10,
+            seed: 0,
+            threads: 1,
+        }
+    }
+}
+
+/// Inverted-file ANN index. See the module docs.
+#[derive(Debug, Clone)]
+pub struct IvfIndex {
+    metric: Metric,
+    nprobe: usize,
+    /// `nlist × dim` cell centroids.
+    centroids: DenseMatrix,
+    /// `‖centroid_c‖²`, cached for the cell-ranking distance.
+    cnorms: Vec<f64>,
+    /// Cell boundaries into `ids`/`vectors`: cell `c` is `offsets[c]..offsets[c+1]`.
+    offsets: Vec<usize>,
+    /// Original row ids, cell-major (ascending id within a cell).
+    ids: Vec<u32>,
+    /// Metric-prepared vectors, laid out cell-major.
+    vectors: DenseMatrix,
+}
+
+impl IvfIndex {
+    /// Builds the index over the rows of `data`.
+    ///
+    /// Bit-identical for every `config.threads` value: the parallel phase
+    /// (cell assignment) is per-point independent, and all floating-point
+    /// accumulation happens serially in point order.
+    ///
+    /// # Panics
+    /// Panics if `data` is empty or `config.nlist == 0`.
+    pub fn build(data: &DenseMatrix, metric: Metric, config: &IvfConfig) -> Self {
+        assert!(
+            data.rows() > 0 && data.cols() > 0,
+            "IvfIndex::build: empty data"
+        );
+        assert!(config.nlist > 0, "IvfIndex::build: nlist must be positive");
+        let prepared = metric.prepare(data);
+        let km = kmeans(
+            &prepared,
+            config.nlist,
+            config.train_iters.max(1),
+            config.seed,
+            config.threads,
+        );
+        let nlist = km.centroids.rows();
+        let n = prepared.rows();
+        let dim = prepared.cols();
+
+        // Counting sort by cell: offsets, then a stable in-order fill so
+        // ids ascend within each cell.
+        let mut sizes = vec![0usize; nlist];
+        for &a in &km.assignment {
+            sizes[a as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(nlist + 1);
+        offsets.push(0usize);
+        for &s in &sizes {
+            offsets.push(offsets.last().unwrap() + s);
+        }
+        let mut cursor = offsets[..nlist].to_vec();
+        let mut ids = vec![0u32; n];
+        let mut vectors = DenseMatrix::zeros(n, dim);
+        for (i, &a) in km.assignment.iter().enumerate() {
+            let slot = cursor[a as usize];
+            cursor[a as usize] += 1;
+            ids[slot] = i as u32;
+            vectors.row_mut(slot).copy_from_slice(prepared.row(i));
+        }
+
+        let cnorms = (0..nlist)
+            .map(|c| vecops::norm2_sq(km.centroids.row(c)))
+            .collect();
+        Self {
+            metric,
+            nprobe: config.nprobe.clamp(1, nlist),
+            centroids: km.centroids,
+            cnorms,
+            offsets,
+            ids,
+            vectors,
+        }
+    }
+
+    /// Number of cells.
+    pub fn nlist(&self) -> usize {
+        self.centroids.rows()
+    }
+
+    /// Cells probed per query.
+    pub fn nprobe(&self) -> usize {
+        self.nprobe
+    }
+
+    /// Sets the number of cells probed per query (clamped to `1..=nlist`).
+    pub fn set_nprobe(&mut self, nprobe: usize) {
+        self.nprobe = nprobe.clamp(1, self.nlist());
+    }
+
+    /// Reads an index written by [`VectorIndex::save`].
+    pub fn load(path: &Path) -> Result<Self, IndexError> {
+        let mut r = FileReader::open(path, IndexKind::Ivf)?;
+        let metric = r.metric();
+        let n = r.read_u64()? as usize;
+        let dim = r.read_u64()? as usize;
+        let nlist = r.read_dim(n.max(1), "nlist")?;
+        let nprobe = r.read_dim(nlist.max(1), "nprobe")?;
+        let centroids = r.read_matrix(nlist, dim)?;
+        let sizes = r.read_u32_slice()?;
+        if sizes.len() != nlist {
+            return Err(IndexError::Format(format!(
+                "cell-size array has {} entries, expected {nlist}",
+                sizes.len()
+            )));
+        }
+        let mut offsets = Vec::with_capacity(nlist + 1);
+        offsets.push(0usize);
+        for &s in &sizes {
+            offsets.push(offsets.last().unwrap() + s as usize);
+        }
+        if *offsets.last().unwrap() != n {
+            return Err(IndexError::Format(format!(
+                "cell sizes sum to {}, expected {n}",
+                offsets.last().unwrap()
+            )));
+        }
+        let ids = r.read_u32_slice()?;
+        if ids.len() != n {
+            return Err(IndexError::Format(format!(
+                "id array has {} entries, expected {n}",
+                ids.len()
+            )));
+        }
+        let vectors = r.read_matrix(n, dim)?;
+        r.finish()?;
+        let cnorms = (0..nlist)
+            .map(|c| vecops::norm2_sq(centroids.row(c)))
+            .collect();
+        Ok(Self {
+            metric,
+            nprobe: nprobe.max(1),
+            centroids,
+            cnorms,
+            offsets,
+            ids,
+            vectors,
+        })
+    }
+}
+
+impl VectorIndex for IvfIndex {
+    fn kind(&self) -> IndexKind {
+        IndexKind::Ivf
+    }
+
+    fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.vectors.cols()
+    }
+
+    fn search(&self, query: &[f64], k: usize) -> Vec<Neighbor> {
+        assert_eq!(query.len(), self.dim(), "IvfIndex::search: dim mismatch");
+        let q = self.metric.prepare_query(query);
+        // Rank cells by squared Euclidean distance to the centroid
+        // (‖q‖² is constant, so −(‖c‖² − 2q·c) orders descending-best).
+        let probes = topk::select(
+            (0..self.nlist()).map(|c| {
+                (
+                    c,
+                    2.0 * vecops::dot(&q, self.centroids.row(c)) - self.cnorms[c],
+                )
+            }),
+            self.nprobe,
+        );
+        let mut acc = topk::TopK::new(k);
+        for p in probes {
+            for slot in self.offsets[p.index]..self.offsets[p.index + 1] {
+                acc.push(
+                    self.ids[slot] as usize,
+                    vecops::dot(&q, self.vectors.row(slot)),
+                );
+            }
+        }
+        acc.into_sorted()
+    }
+
+    fn save(&self, path: &Path) -> Result<(), IndexError> {
+        let mut w = FileWriter::create(path, IndexKind::Ivf, self.metric)?;
+        w.write_u64(self.ids.len() as u64)?;
+        w.write_u64(self.vectors.cols() as u64)?;
+        w.write_u64(self.nlist() as u64)?;
+        w.write_u64(self.nprobe as u64)?;
+        w.write_matrix(&self.centroids)?;
+        let sizes: Vec<u32> = self
+            .offsets
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as u32)
+            .collect();
+        w.write_u32_slice(&sizes)?;
+        w.write_u32_slice(&self.ids)?;
+        w.write_matrix(&self.vectors)?;
+        w.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::clustered_vectors;
+    use crate::FlatIndex;
+
+    #[test]
+    fn full_probe_matches_flat_exactly() {
+        let data = clustered_vectors(150, 12, 5, 0.15);
+        let flat = FlatIndex::build(&data, Metric::Cosine);
+        let mut ivf = IvfIndex::build(
+            &data,
+            Metric::Cosine,
+            &IvfConfig {
+                nlist: 8,
+                ..Default::default()
+            },
+        );
+        ivf.set_nprobe(ivf.nlist());
+        for v in (0..150).step_by(11) {
+            let a = flat.search(data.row(v), 7);
+            let b = ivf.search(data.row(v), 7);
+            assert_eq!(a, b, "probe-all IVF diverged from flat at {v}");
+        }
+    }
+
+    #[test]
+    fn build_is_thread_invariant() {
+        let data = clustered_vectors(200, 10, 6, 0.2);
+        let cfg = IvfConfig {
+            nlist: 12,
+            seed: 3,
+            ..Default::default()
+        };
+        let a = IvfIndex::build(&data, Metric::Cosine, &cfg);
+        let b = IvfIndex::build(&data, Metric::Cosine, &IvfConfig { threads: 5, ..cfg });
+        assert_eq!(a.ids, b.ids);
+        assert_eq!(a.offsets, b.offsets);
+        assert_eq!(a.centroids.data(), b.centroids.data());
+        assert_eq!(a.vectors.data(), b.vectors.data());
+    }
+
+    #[test]
+    fn nprobe_clamps() {
+        let data = clustered_vectors(30, 6, 2, 0.2);
+        let mut ivf = IvfIndex::build(&data, Metric::InnerProduct, &IvfConfig::default());
+        ivf.set_nprobe(0);
+        assert_eq!(ivf.nprobe(), 1);
+        ivf.set_nprobe(10_000);
+        assert_eq!(ivf.nprobe(), ivf.nlist());
+    }
+}

@@ -1,0 +1,167 @@
+//! Seeded Lloyd k-means — the coarse quantizer behind [`crate::IvfIndex`].
+//!
+//! The expensive step (assigning every point to its nearest centroid) fans
+//! out over row blocks with `pane-parallel`; the cheap centroid update then
+//! runs serially *in point order* on the main thread. That split is what
+//! makes the result bit-identical for every thread count: floating-point
+//! accumulation order never depends on the block structure, matching the
+//! determinism contract of the embedding pipeline (Lemma 4.1 in spirit).
+
+use crate::splitmix64;
+use pane_linalg::{vecops, DenseMatrix};
+use pane_parallel::{even_ranges_nonempty, map_blocks};
+
+/// Output of [`kmeans`].
+#[derive(Debug, Clone)]
+pub struct KmeansResult {
+    /// `k × dim` centroid matrix.
+    pub centroids: DenseMatrix,
+    /// For each input row, the id of its nearest centroid.
+    pub assignment: Vec<u32>,
+    /// Lloyd iterations actually performed (stops early on a fixed point).
+    pub iterations: usize,
+}
+
+/// Nearest centroid of `x` by squared Euclidean distance, ties to the
+/// lowest id. `cnorms[c]` must hold `‖centroid_c‖²`.
+#[inline]
+fn nearest(x: &[f64], centroids: &DenseMatrix, cnorms: &[f64]) -> u32 {
+    let mut best = 0u32;
+    let mut best_d = f64::INFINITY;
+    for c in 0..centroids.rows() {
+        // ‖x − c‖² = ‖x‖² − 2·x·c + ‖c‖²; ‖x‖² is constant across c.
+        let d = cnorms[c] - 2.0 * vecops::dot(x, centroids.row(c));
+        if d < best_d {
+            best_d = d;
+            best = c as u32;
+        }
+    }
+    best
+}
+
+/// Runs seeded Lloyd k-means on the rows of `data`.
+///
+/// `k` is clamped to the number of rows. Initial centroids are `k` distinct
+/// rows chosen by a seeded partial Fisher–Yates shuffle; empty clusters
+/// keep their previous centroid. The result is identical for every
+/// `threads` value.
+///
+/// # Panics
+/// Panics if `data` has no rows or `k == 0`.
+pub fn kmeans(
+    data: &DenseMatrix,
+    k: usize,
+    max_iters: usize,
+    seed: u64,
+    threads: usize,
+) -> KmeansResult {
+    let n = data.rows();
+    let dim = data.cols();
+    assert!(n > 0, "kmeans: empty data");
+    assert!(k > 0, "kmeans: k must be positive");
+    let k = k.min(n);
+
+    // Seeded partial Fisher–Yates: the first k slots of a virtual
+    // permutation of 0..n pick the initial centroids.
+    let mut picks: Vec<usize> = (0..n).collect();
+    for i in 0..k {
+        let j = i + (splitmix64(seed.wrapping_add(i as u64)) as usize) % (n - i);
+        picks.swap(i, j);
+    }
+    let mut centroids = DenseMatrix::zeros(k, dim);
+    for (c, &row) in picks[..k].iter().enumerate() {
+        centroids.row_mut(c).copy_from_slice(data.row(row));
+    }
+
+    let ranges = even_ranges_nonempty(n, threads.max(1));
+    let mut assignment = vec![0u32; n];
+    let mut iterations = 0;
+    for _ in 0..max_iters {
+        iterations += 1;
+        let cnorms: Vec<f64> = (0..k).map(|c| vecops::norm2_sq(centroids.row(c))).collect();
+        // Parallel assignment: each point is independent.
+        let blocks = map_blocks(&ranges, |_, range| {
+            range
+                .map(|i| nearest(data.row(i), &centroids, &cnorms))
+                .collect::<Vec<u32>>()
+        });
+        let new_assignment: Vec<u32> = blocks.into_iter().flatten().collect();
+        let converged = new_assignment == assignment && iterations > 1;
+        assignment = new_assignment;
+        if converged {
+            break;
+        }
+        // Serial update in point order — thread-count-independent sums.
+        let mut sums = DenseMatrix::zeros(k, dim);
+        let mut counts = vec![0usize; k];
+        for (i, &a) in assignment.iter().enumerate() {
+            vecops::axpy(1.0, data.row(i), sums.row_mut(a as usize));
+            counts[a as usize] += 1;
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                let inv = 1.0 / counts[c] as f64;
+                let (src, dst) = (sums.row(c), centroids.row_mut(c));
+                for (s, d) in src.iter().zip(dst.iter_mut()) {
+                    *d = s * inv;
+                }
+            }
+        }
+    }
+
+    KmeansResult {
+        centroids,
+        assignment,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::clustered_vectors;
+
+    #[test]
+    fn recovers_separated_clusters() {
+        let data = clustered_vectors(300, 8, 3, 0.05);
+        let r = kmeans(&data, 3, 20, 7, 2);
+        // Every cluster should be non-trivially populated.
+        let mut counts = [0usize; 3];
+        for &a in &r.assignment {
+            counts[a as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c >= 30), "degenerate: {counts:?}");
+        // Points sharing a cell should be much closer to their centroid
+        // than to the average centroid (tight, well-separated cells).
+        for i in (0..data.rows()).step_by(17) {
+            let a = r.assignment[i] as usize;
+            let own = dist2(data.row(i), r.centroids.row(a));
+            for c in 0..3 {
+                if c != a {
+                    assert!(own <= dist2(data.row(i), r.centroids.row(c)) + 1e-12);
+                }
+            }
+        }
+    }
+
+    fn dist2(x: &[f64], y: &[f64]) -> f64 {
+        x.iter().zip(y).map(|(a, b)| (a - b) * (a - b)).sum()
+    }
+
+    #[test]
+    fn thread_count_invariant() {
+        let data = clustered_vectors(200, 6, 4, 0.1);
+        let r1 = kmeans(&data, 8, 15, 42, 1);
+        let r4 = kmeans(&data, 8, 15, 42, 4);
+        assert_eq!(r1.assignment, r4.assignment);
+        assert_eq!(r1.centroids.data(), r4.centroids.data());
+    }
+
+    #[test]
+    fn k_clamped_to_n() {
+        let data = clustered_vectors(5, 4, 1, 0.1);
+        let r = kmeans(&data, 16, 5, 1, 1);
+        assert_eq!(r.centroids.rows(), 5);
+        assert_eq!(r.assignment.len(), 5);
+    }
+}

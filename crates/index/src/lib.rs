@@ -1,0 +1,266 @@
+#![warn(missing_docs)]
+// Indexed loops in the numeric kernels are deliberate (they keep the
+// zip-free auto-vectorizable shape the perf guide recommends).
+#![allow(clippy::needless_range_loop)]
+//! `pane-index` — the ANN serving subsystem behind PANE's query layer.
+//!
+//! PANE's embeddings exist to be *queried*: similar-node search, link
+//! recommendation, attribute inference. Served naively each query is a
+//! brute-force `O(n)` scan over every node — untenable at the paper's
+//! MAG scale (59.3M nodes). This crate interposes a purpose-built index
+//! between the stored vectors and the query traffic:
+//!
+//! * [`FlatIndex`] — the exact baseline: a full scan with a bounded-heap
+//!   top-k reduction. Ground truth for recall measurements;
+//! * [`IvfIndex`] — an inverted-file index: a seeded k-means coarse
+//!   quantizer partitions the vectors into `nlist` cells, queries probe
+//!   only the `nprobe` nearest cells. Built block-parallel with
+//!   `pane-parallel`, yet bit-identical across thread counts (the same
+//!   determinism contract the embedding pipeline upholds);
+//! * [`HnswIndex`] — a hierarchical navigable-small-world graph with
+//!   *deterministic seeded level assignment*, so builds are reproducible
+//!   like the rest of the pipeline.
+//!
+//! All three implement [`VectorIndex`] (`search` / `batch_search` /
+//! `save`, plus per-type `build` / `load`), share one compact binary
+//! persistence format (see [`persist`]), and score with a dot product:
+//! [`Metric::Cosine`] L2-normalizes stored and query vectors first (so
+//! the dot *is* the cosine), [`Metric::InnerProduct`] ranks by the raw
+//! dot (what Eq. 22 link scores need).
+
+pub mod flat;
+pub mod hnsw;
+pub mod ivf;
+pub mod kmeans;
+pub mod persist;
+pub mod topk;
+
+pub use flat::FlatIndex;
+pub use hnsw::{HnswConfig, HnswIndex};
+pub use ivf::{IvfConfig, IvfIndex};
+pub use kmeans::{kmeans, KmeansResult};
+pub use persist::{load_index, AnyIndex};
+
+use pane_linalg::{vecops, DenseMatrix};
+use pane_parallel::{even_ranges_nonempty, map_blocks};
+use std::io;
+use std::path::Path;
+
+/// SplitMix64 — the crate's only randomness source (k-means init, HNSW
+/// level assignment). A counter-based generator keeps the crate std-only
+/// and makes every derived decision a pure function of `(seed, counter)`,
+/// independent of thread count or insertion order.
+#[inline]
+pub(crate) fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform `f64` in `(0, 1]` from a SplitMix64 word (never 0, so it is
+/// safe under `ln`).
+#[inline]
+pub(crate) fn unit_open(x: u64) -> f64 {
+    (((splitmix64(x) >> 11) + 1) as f64) * (1.0 / (1u64 << 53) as f64)
+}
+
+/// One search hit: an item id and its similarity score (larger = better).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Row index of the hit in the indexed matrix.
+    pub index: usize,
+    /// Similarity under the index's [`Metric`].
+    pub score: f64,
+}
+
+/// How vectors are compared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Cosine similarity: vectors are L2-normalized at build/query time and
+    /// compared by dot product. Used for similar-node search over the
+    /// `[X_f ‖ X_b]` classifier features.
+    Cosine,
+    /// Raw inner product (maximum-inner-product search). Used for link
+    /// recommendation, where the score is `q · X_b[dst]` (Eq. 22).
+    InnerProduct,
+}
+
+impl Metric {
+    /// Stable on-disk tag.
+    pub fn tag(self) -> u8 {
+        match self {
+            Metric::Cosine => 0,
+            Metric::InnerProduct => 1,
+        }
+    }
+
+    /// Inverse of [`Metric::tag`].
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(Metric::Cosine),
+            1 => Some(Metric::InnerProduct),
+            _ => None,
+        }
+    }
+
+    /// Copies `data`, L2-normalizing each row when the metric is cosine.
+    pub(crate) fn prepare(self, data: &DenseMatrix) -> DenseMatrix {
+        let mut out = data.clone();
+        if self == Metric::Cosine {
+            for i in 0..out.rows() {
+                vecops::normalize(out.row_mut(i), 1e-300);
+            }
+        }
+        out
+    }
+
+    /// Copies `query`, L2-normalizing it when the metric is cosine.
+    pub(crate) fn prepare_query(self, query: &[f64]) -> Vec<f64> {
+        let mut q = query.to_vec();
+        if self == Metric::Cosine {
+            vecops::normalize(&mut q, 1e-300);
+        }
+        q
+    }
+}
+
+/// Which concrete index a [`VectorIndex`] trait object is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexKind {
+    /// Exact full-scan baseline.
+    Flat,
+    /// Inverted-file (k-means coarse quantizer) index.
+    Ivf,
+    /// Hierarchical navigable-small-world graph index.
+    Hnsw,
+}
+
+impl IndexKind {
+    /// Stable on-disk tag.
+    pub fn tag(self) -> u8 {
+        match self {
+            IndexKind::Flat => 0,
+            IndexKind::Ivf => 1,
+            IndexKind::Hnsw => 2,
+        }
+    }
+
+    /// Inverse of [`IndexKind::tag`].
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(IndexKind::Flat),
+            1 => Some(IndexKind::Ivf),
+            2 => Some(IndexKind::Hnsw),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for IndexKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            IndexKind::Flat => "flat",
+            IndexKind::Ivf => "ivf",
+            IndexKind::Hnsw => "hnsw",
+        })
+    }
+}
+
+/// Errors from building, saving, or loading an index.
+#[derive(Debug)]
+pub enum IndexError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file is not a recognizable index dump.
+    Format(String),
+    /// Invalid build input (e.g. empty data, zero dimension).
+    Build(String),
+}
+
+impl std::fmt::Display for IndexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IndexError::Io(e) => write!(f, "I/O error: {e}"),
+            IndexError::Format(m) => write!(f, "format error: {m}"),
+            IndexError::Build(m) => write!(f, "build error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for IndexError {}
+
+impl From<io::Error> for IndexError {
+    fn from(e: io::Error) -> Self {
+        IndexError::Io(e)
+    }
+}
+
+/// Uniform interface over the three index structures.
+///
+/// `build` and `load` are inherent per-type (their configurations differ);
+/// everything a *serving* path needs is object-safe here.
+pub trait VectorIndex: Send + Sync {
+    /// Which structure this is.
+    fn kind(&self) -> IndexKind;
+    /// Similarity metric the index was built with.
+    fn metric(&self) -> Metric;
+    /// Number of indexed vectors.
+    fn len(&self) -> usize;
+    /// Whether the index is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Dimensionality of the indexed vectors.
+    fn dim(&self) -> usize;
+
+    /// Top-`k` neighbors of `query`, best first.
+    ///
+    /// # Panics
+    /// Panics if `query.len() != self.dim()`.
+    fn search(&self, query: &[f64], k: usize) -> Vec<Neighbor>;
+
+    /// Top-`k` neighbors for each query row, fanned out over `threads`
+    /// scoped workers. Queries are independent, so the result is identical
+    /// for every thread count.
+    fn batch_search(&self, queries: &DenseMatrix, k: usize, threads: usize) -> Vec<Vec<Neighbor>> {
+        let ranges = even_ranges_nonempty(queries.rows(), threads.max(1));
+        let per_block = map_blocks(&ranges, |_, range| {
+            range
+                .map(|i| self.search(queries.row(i), k))
+                .collect::<Vec<_>>()
+        });
+        per_block.into_iter().flatten().collect()
+    }
+
+    /// Writes the index in the `PANEIDX1` binary format.
+    fn save(&self, path: &Path) -> Result<(), IndexError>;
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use pane_linalg::DenseMatrix;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Clustered unit vectors: `clusters` Gaussian centers, points =
+    /// center + `noise`·N(0,1), row-normalized. A stand-in for the shape
+    /// of real `[X_f ‖ X_b]` features.
+    pub fn clustered_vectors(n: usize, dim: usize, clusters: usize, noise: f64) -> DenseMatrix {
+        let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+        let mut sampler = pane_linalg::NormalSampler::new();
+        let centers: Vec<Vec<f64>> = (0..clusters)
+            .map(|_| (0..dim).map(|_| sampler.sample(&mut rng)).collect())
+            .collect();
+        let mut m = DenseMatrix::zeros(n, dim);
+        for i in 0..n {
+            let c = rng.gen_range(0..clusters);
+            let row = m.row_mut(i);
+            for (j, slot) in row.iter_mut().enumerate() {
+                *slot = centers[c][j] + noise * sampler.sample(&mut rng);
+            }
+            pane_linalg::vecops::normalize(row, 1e-300);
+        }
+        m
+    }
+}

@@ -1,0 +1,288 @@
+//! The `PANEIDX1` binary index format.
+//!
+//! Mirrors the embedding format in `pane-core`'s `persist` module: a fixed
+//! little-endian layout of `magic ‖ kind ‖ metric ‖ payload`, where the
+//! payload is each structure's own sequence of `u64` dimensions, `u32`
+//! id arrays, and `f64` matrices. Self-describing: [`load_index`] reads
+//! the header and dispatches to the right loader.
+
+use crate::{FlatIndex, HnswIndex, IndexError, IndexKind, IvfIndex, Metric, Neighbor, VectorIndex};
+use pane_linalg::DenseMatrix;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Magic bytes of the index format (version 1).
+pub const INDEX_MAGIC: &[u8; 8] = b"PANEIDX1";
+
+/// Refuse headers implying more than this many `f64`s in one matrix
+/// (~8 GiB) — corrupted dimensions should error, not OOM.
+const MAX_MATRIX_ELEMS: usize = 1 << 30;
+
+/// Buffered little-endian writer for the index format.
+pub(crate) struct FileWriter {
+    w: BufWriter<File>,
+}
+
+impl FileWriter {
+    /// Creates `path` and writes the `magic ‖ kind ‖ metric` header.
+    pub fn create(path: &Path, kind: IndexKind, metric: Metric) -> Result<Self, IndexError> {
+        let mut w = BufWriter::new(File::create(path)?);
+        w.write_all(INDEX_MAGIC)?;
+        w.write_all(&[kind.tag(), metric.tag()])?;
+        Ok(Self { w })
+    }
+
+    pub fn write_u64(&mut self, v: u64) -> Result<(), IndexError> {
+        self.w.write_all(&v.to_le_bytes())?;
+        Ok(())
+    }
+
+    pub fn write_u32_slice(&mut self, vs: &[u32]) -> Result<(), IndexError> {
+        self.write_u64(vs.len() as u64)?;
+        for &v in vs {
+            self.w.write_all(&v.to_le_bytes())?;
+        }
+        Ok(())
+    }
+
+    pub fn write_matrix(&mut self, m: &DenseMatrix) -> Result<(), IndexError> {
+        for &v in m.data() {
+            self.w.write_all(&v.to_le_bytes())?;
+        }
+        Ok(())
+    }
+
+    pub fn finish(mut self) -> Result<(), IndexError> {
+        self.w.flush()?;
+        Ok(())
+    }
+}
+
+/// Buffered little-endian reader for the index format.
+pub(crate) struct FileReader {
+    r: BufReader<File>,
+    metric: Metric,
+}
+
+impl FileReader {
+    /// Opens `path`, validates the magic, and checks the kind tag.
+    pub fn open(path: &Path, expect: IndexKind) -> Result<Self, IndexError> {
+        let (kind, reader) = Self::open_any(path)?;
+        if kind != expect {
+            return Err(IndexError::Format(format!(
+                "index kind mismatch: file holds '{kind}', expected '{expect}'"
+            )));
+        }
+        Ok(reader)
+    }
+
+    /// Opens `path`, validates the magic, and returns the stored kind.
+    pub fn open_any(path: &Path) -> Result<(IndexKind, Self), IndexError> {
+        let mut r = BufReader::new(File::open(path)?);
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != INDEX_MAGIC {
+            return Err(IndexError::Format(format!(
+                "bad magic {magic:?} (expected {INDEX_MAGIC:?})"
+            )));
+        }
+        let mut tags = [0u8; 2];
+        r.read_exact(&mut tags)?;
+        let kind = IndexKind::from_tag(tags[0])
+            .ok_or_else(|| IndexError::Format(format!("unknown index kind tag {}", tags[0])))?;
+        let metric = Metric::from_tag(tags[1])
+            .ok_or_else(|| IndexError::Format(format!("unknown metric tag {}", tags[1])))?;
+        Ok((kind, Self { r, metric }))
+    }
+
+    /// Metric recorded in the header.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    pub fn read_u64(&mut self) -> Result<u64, IndexError> {
+        let mut buf = [0u8; 8];
+        self.r.read_exact(&mut buf)?;
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    /// Reads a `u64`, erroring if it exceeds `cap` (corruption guard).
+    pub fn read_dim(&mut self, cap: usize, what: &str) -> Result<usize, IndexError> {
+        let v = self.read_u64()?;
+        if v > cap as u64 {
+            return Err(IndexError::Format(format!(
+                "{what} = {v} exceeds sanity cap {cap}"
+            )));
+        }
+        Ok(v as usize)
+    }
+
+    pub fn read_u32_slice(&mut self) -> Result<Vec<u32>, IndexError> {
+        let len = self.read_dim(MAX_MATRIX_ELEMS, "u32 array length")?;
+        let mut out = vec![0u32; len];
+        for v in out.iter_mut() {
+            let mut buf = [0u8; 4];
+            self.r.read_exact(&mut buf)?;
+            *v = u32::from_le_bytes(buf);
+        }
+        Ok(out)
+    }
+
+    pub fn read_matrix(&mut self, rows: usize, cols: usize) -> Result<DenseMatrix, IndexError> {
+        let total = rows
+            .checked_mul(cols)
+            .filter(|&t| t <= MAX_MATRIX_ELEMS)
+            .ok_or_else(|| IndexError::Format(format!("matrix {rows}×{cols} overflows cap")))?;
+        let mut data = vec![0.0f64; total];
+        for v in data.iter_mut() {
+            let mut buf = [0u8; 8];
+            self.r.read_exact(&mut buf)?;
+            *v = f64::from_le_bytes(buf);
+        }
+        Ok(DenseMatrix::from_vec(rows, cols, data))
+    }
+
+    /// Verifies the payload was consumed exactly (no trailing garbage).
+    pub fn finish(mut self) -> Result<(), IndexError> {
+        let mut buf = [0u8; 1];
+        match self.r.read(&mut buf)? {
+            0 => Ok(()),
+            _ => Err(IndexError::Format("trailing bytes after payload".into())),
+        }
+    }
+}
+
+/// An index of any kind, loaded from disk. Dispatches [`VectorIndex`]
+/// calls to the concrete structure.
+#[derive(Debug, Clone)]
+pub enum AnyIndex {
+    /// Exact baseline.
+    Flat(FlatIndex),
+    /// Inverted-file index.
+    Ivf(IvfIndex),
+    /// HNSW graph index.
+    Hnsw(HnswIndex),
+}
+
+impl AnyIndex {
+    fn inner(&self) -> &dyn VectorIndex {
+        match self {
+            AnyIndex::Flat(x) => x,
+            AnyIndex::Ivf(x) => x,
+            AnyIndex::Hnsw(x) => x,
+        }
+    }
+
+    /// Sets the number of probed cells if this is an IVF index (no-op
+    /// otherwise); returns whether it applied.
+    pub fn set_nprobe(&mut self, nprobe: usize) -> bool {
+        if let AnyIndex::Ivf(x) = self {
+            x.set_nprobe(nprobe);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Sets the search beam width if this is an HNSW index (no-op
+    /// otherwise); returns whether it applied.
+    pub fn set_ef_search(&mut self, ef: usize) -> bool {
+        if let AnyIndex::Hnsw(x) = self {
+            x.set_ef_search(ef);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl VectorIndex for AnyIndex {
+    fn kind(&self) -> IndexKind {
+        self.inner().kind()
+    }
+    fn metric(&self) -> Metric {
+        self.inner().metric()
+    }
+    fn len(&self) -> usize {
+        self.inner().len()
+    }
+    fn dim(&self) -> usize {
+        self.inner().dim()
+    }
+    fn search(&self, query: &[f64], k: usize) -> Vec<Neighbor> {
+        self.inner().search(query, k)
+    }
+    fn batch_search(&self, queries: &DenseMatrix, k: usize, threads: usize) -> Vec<Vec<Neighbor>> {
+        self.inner().batch_search(queries, k, threads)
+    }
+    fn save(&self, path: &Path) -> Result<(), IndexError> {
+        self.inner().save(path)
+    }
+}
+
+/// Loads any `PANEIDX1` file, dispatching on the kind tag in its header.
+pub fn load_index(path: &Path) -> Result<AnyIndex, IndexError> {
+    let (kind, _probe) = FileReader::open_any(path)?;
+    Ok(match kind {
+        IndexKind::Flat => AnyIndex::Flat(FlatIndex::load(path)?),
+        IndexKind::Ivf => AnyIndex::Ivf(IvfIndex::load(path)?),
+        IndexKind::Hnsw => AnyIndex::Hnsw(HnswIndex::load(path)?),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("pane_index_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let p = tmp("bad_magic.idx");
+        std::fs::write(&p, b"NOTANIDXxx").unwrap();
+        match load_index(&p) {
+            Err(IndexError::Format(m)) => assert!(m.contains("magic")),
+            other => panic!("expected format error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_kind_rejected() {
+        let p = tmp("bad_kind.idx");
+        let mut bytes = INDEX_MAGIC.to_vec();
+        bytes.extend_from_slice(&[9, 0]);
+        std::fs::write(&p, bytes).unwrap();
+        match load_index(&p) {
+            Err(IndexError::Format(m)) => assert!(m.contains("kind")),
+            other => panic!("expected format error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn kind_mismatch_rejected() {
+        use crate::testutil::clustered_vectors;
+        let p = tmp("flat_as_ivf.idx");
+        let data = clustered_vectors(10, 4, 2, 0.1);
+        FlatIndex::build(&data, Metric::Cosine).save(&p).unwrap();
+        match IvfIndex::load(&p) {
+            Err(IndexError::Format(m)) => assert!(m.contains("mismatch")),
+            other => panic!("expected format error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        use crate::testutil::clustered_vectors;
+        let p = tmp("trunc.idx");
+        let data = clustered_vectors(10, 4, 2, 0.1);
+        FlatIndex::build(&data, Metric::Cosine).save(&p).unwrap();
+        let bytes = std::fs::read(&p).unwrap();
+        std::fs::write(&p, &bytes[..bytes.len() - 7]).unwrap();
+        assert!(matches!(load_index(&p), Err(IndexError::Io(_))));
+    }
+}

@@ -1,0 +1,166 @@
+//! Bounded top-k selection.
+//!
+//! Every index in this crate (and the exact scans in `pane-core`'s query
+//! layer) ends in the same reduction: keep the `k` best-scoring items out
+//! of a stream of `n`. A collect-and-sort does that in `O(n log n)`; the
+//! [`TopK`] accumulator below does it in `O(n log k)` with a bounded
+//! binary heap, which matters when `n` is millions of nodes and `k` is 10.
+//!
+//! The ordering is total: scores compare by [`f64::total_cmp`], `NaN`
+//! ranks *below* every real score (a degenerate embedding degrades to
+//! arbitrary-but-stable results instead of panicking a serving path), and
+//! equal scores tie-break by ascending index so results are deterministic.
+
+use crate::Neighbor;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Descending-score comparison: `Less` means "ranks earlier" (better).
+///
+/// `NaN` sorts after every finite/infinite score; `+0.0` and `-0.0`
+/// compare equal (so the index tie-break, not the sign bit, decides).
+pub fn cmp_ranked(a: &Neighbor, b: &Neighbor) -> Ordering {
+    let by_score = match (a.score.is_nan(), b.score.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+        (false, false) => {
+            if a.score == b.score {
+                Ordering::Equal
+            } else {
+                b.score.total_cmp(&a.score)
+            }
+        }
+    };
+    by_score.then_with(|| a.index.cmp(&b.index))
+}
+
+/// Max-heap entry ordered so the heap root is the *worst-ranked* kept item.
+struct Worst(Neighbor);
+
+impl PartialEq for Worst {
+    fn eq(&self, other: &Self) -> bool {
+        cmp_ranked(&self.0, &other.0) == Ordering::Equal
+    }
+}
+impl Eq for Worst {}
+impl PartialOrd for Worst {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Worst {
+    fn cmp(&self, other: &Self) -> Ordering {
+        cmp_ranked(&self.0, &other.0)
+    }
+}
+
+/// Bounded accumulator retaining the `k` best-ranked items seen so far.
+pub struct TopK {
+    k: usize,
+    heap: BinaryHeap<Worst>,
+}
+
+impl TopK {
+    /// An empty accumulator with capacity `k`.
+    pub fn new(k: usize) -> Self {
+        // Cap the eager reservation: callers may pass k >= n as "keep
+        // everything", and the heap grows on demand anyway.
+        Self {
+            k,
+            heap: BinaryHeap::with_capacity(k.saturating_add(1).min(4096)),
+        }
+    }
+
+    /// Offers one item.
+    #[inline]
+    pub fn push(&mut self, index: usize, score: f64) {
+        if self.k == 0 {
+            return;
+        }
+        let item = Neighbor { index, score };
+        if self.heap.len() < self.k {
+            self.heap.push(Worst(item));
+        } else if let Some(worst) = self.heap.peek() {
+            if cmp_ranked(&item, &worst.0) == Ordering::Less {
+                self.heap.pop();
+                self.heap.push(Worst(item));
+            }
+        }
+    }
+
+    /// The currently worst kept item (`None` until `k` items were offered).
+    pub fn threshold(&self) -> Option<&Neighbor> {
+        if self.heap.len() < self.k {
+            None
+        } else {
+            self.heap.peek().map(|w| &w.0)
+        }
+    }
+
+    /// Finishes the selection, returning the kept items best-first.
+    pub fn into_sorted(self) -> Vec<Neighbor> {
+        let mut out: Vec<Neighbor> = self.heap.into_iter().map(|w| w.0).collect();
+        out.sort_by(cmp_ranked);
+        out
+    }
+}
+
+/// Selects the `k` best-ranked `(index, score)` pairs from a stream.
+pub fn select(scores: impl Iterator<Item = (usize, f64)>, k: usize) -> Vec<Neighbor> {
+    let mut acc = TopK::new(k);
+    for (index, score) in scores {
+        acc.push(index, score);
+    }
+    acc.into_sorted()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn indices(v: &[Neighbor]) -> Vec<usize> {
+        v.iter().map(|n| n.index).collect()
+    }
+
+    #[test]
+    fn matches_full_sort() {
+        let scores = [0.3, -1.0, 0.3, 7.5, 0.0, -0.0, 2.2];
+        let got = select(scores.iter().cloned().enumerate(), 4);
+        assert_eq!(indices(&got), vec![3, 6, 0, 2]);
+        let all = select(scores.iter().cloned().enumerate(), 100);
+        assert_eq!(all.len(), scores.len());
+        assert_eq!(indices(&all), vec![3, 6, 0, 2, 4, 5, 1]);
+    }
+
+    #[test]
+    fn nan_ranks_last_not_panics() {
+        let scores = [1.0, f64::NAN, 2.0, f64::NAN];
+        let got = select(scores.iter().cloned().enumerate(), 4);
+        assert_eq!(indices(&got), vec![2, 0, 1, 3]);
+        let top2 = select(scores.iter().cloned().enumerate(), 2);
+        assert_eq!(indices(&top2), vec![2, 0]);
+    }
+
+    #[test]
+    fn signed_zero_ties_break_by_index() {
+        let got = select([(5, -0.0), (2, 0.0)].into_iter(), 2);
+        assert_eq!(indices(&got), vec![2, 5]);
+    }
+
+    #[test]
+    fn k_zero_is_empty() {
+        assert!(select([(0, 1.0)].into_iter(), 0).is_empty());
+    }
+
+    #[test]
+    fn threshold_tracks_worst_kept() {
+        let mut acc = TopK::new(2);
+        acc.push(0, 1.0);
+        assert!(acc.threshold().is_none());
+        acc.push(1, 3.0);
+        assert_eq!(acc.threshold().unwrap().score, 1.0);
+        acc.push(2, 2.0);
+        assert_eq!(acc.threshold().unwrap().score, 2.0);
+    }
+}

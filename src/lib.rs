@@ -44,6 +44,7 @@
 //! | [`pane_sparse`] | CSR/CSC sparse matrices, (parallel) sparse × dense products |
 //! | [`pane_linalg`] | dense matrices, QR, Jacobi SVD, randomized SVD |
 //! | [`pane_core`] | the PANE algorithms: APMI, GreedyInit, SVDCCD and parallel variants |
+//! | [`pane_index`] | ANN serving layer: exact / IVF / HNSW vector indexes over the embeddings |
 //! | [`pane_eval`] | attribute inference / link prediction / node classification + metrics |
 //! | [`pane_baselines`] | competitor stand-ins (NRP-, TADW-, CAN-, BLA-like, SVD baselines, PANE-R) |
 //! | [`pane_datasets`] | the eight dataset analogues of Table 3 |
@@ -54,6 +55,7 @@ pub use pane_core;
 pub use pane_datasets;
 pub use pane_eval;
 pub use pane_graph;
+pub use pane_index;
 pub use pane_linalg;
 pub use pane_parallel;
 pub use pane_sparse;
@@ -63,11 +65,14 @@ pub mod prelude {
     pub use pane_core::{
         load_binary as load_embedding_binary, save_binary as save_embedding_binary,
     };
-    pub use pane_core::{EmbeddingQuery, InitStrategy, Pane, PaneConfig, PaneEmbedding};
+    pub use pane_core::{
+        EmbeddingQuery, InitStrategy, Pane, PaneConfig, PaneEmbedding, QueryBackend,
+    };
     pub use pane_datasets::{DatasetZoo, GeneratedDataset};
     pub use pane_eval::metrics::{average_precision, roc_auc};
     pub use pane_eval::{report_card, ReportOptions};
     pub use pane_graph::{AttributedGraph, GraphBuilder};
+    pub use pane_index::{FlatIndex, HnswConfig, HnswIndex, IvfConfig, IvfIndex, VectorIndex};
     pub use pane_linalg::DenseMatrix;
     pub use pane_sparse::CsrMatrix;
 }

@@ -1,10 +1,12 @@
 //! Offline stand-in for the `criterion` crate.
 //!
 //! Keeps the `criterion_group!` / `criterion_main!` bench-target shape
-//! compiling and runnable without network access. Each benchmark runs its
-//! routine a handful of times and prints the best observed wall-clock time
-//! — enough to smoke-test the bench targets and eyeball regressions, with
-//! none of criterion's statistics.
+//! compiling and runnable without network access, with a small statistics
+//! layer instead of criterion's full machinery: every benchmark runs one
+//! untimed **warmup** pass, then `sample_size` timed passes, and reports
+//! the **median** with the **median absolute deviation** (MAD) — robust
+//! against the one-off outliers (page faults, frequency ramps) that make
+//! best-of-N or mean-of-N wall-clock numbers untrustworthy.
 
 use std::fmt::Display;
 use std::time::Instant;
@@ -18,12 +20,17 @@ pub struct Criterion {
     _private: (),
 }
 
+/// Default number of timed samples per benchmark.
+const DEFAULT_SAMPLES: usize = 5;
+/// Upper bound on samples — the shim favors quick smoke runs.
+const MAX_SAMPLES: usize = 25;
+
 impl Criterion {
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
         BenchmarkGroup {
             name: name.into(),
-            samples: 3,
+            samples: DEFAULT_SAMPLES,
         }
     }
 
@@ -32,7 +39,7 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        run_one("", &id.to_string(), 3, &mut f);
+        run_one("", &id.to_string(), DEFAULT_SAMPLES, &mut f);
         self
     }
 }
@@ -44,9 +51,10 @@ pub struct BenchmarkGroup {
 }
 
 impl BenchmarkGroup {
-    /// Sets how many samples to take (the shim clamps to at most 5).
+    /// Sets how many timed samples to take (the shim clamps to at most
+    /// 25; a separate warmup pass is always added).
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.samples = n.clamp(1, 5);
+        self.samples = n.clamp(1, MAX_SAMPLES);
         self
     }
 
@@ -72,9 +80,33 @@ impl BenchmarkGroup {
     pub fn finish(self) {}
 }
 
+/// Median of `xs` (which must be sorted); 0.0 when empty.
+fn median_sorted(xs: &[f64]) -> f64 {
+    match xs.len() {
+        0 => 0.0,
+        n if n % 2 == 1 => xs[n / 2],
+        n => 0.5 * (xs[n / 2 - 1] + xs[n / 2]),
+    }
+}
+
+/// `(median, median-absolute-deviation)` of the samples.
+fn median_mad(samples: &[f64]) -> (f64, f64) {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let med = median_sorted(&sorted);
+    let mut dev: Vec<f64> = sorted.iter().map(|x| (x - med).abs()).collect();
+    dev.sort_by(f64::total_cmp);
+    (med, median_sorted(&dev))
+}
+
 fn run_one(group: &str, id: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    // Warmup pass: touches caches and lazy init; its timings are discarded.
+    let mut warm = Bencher {
+        samples: Vec::new(),
+    };
+    f(&mut warm);
     let mut b = Bencher {
-        best_secs: f64::INFINITY,
+        samples: Vec::with_capacity(samples),
     };
     for _ in 0..samples {
         f(&mut b);
@@ -84,16 +116,20 @@ fn run_one(group: &str, id: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher
     } else {
         format!("{group}/{id}")
     };
-    if b.best_secs.is_finite() {
-        println!("bench {label}: {:.6} s", b.best_secs);
-    } else {
+    if b.samples.is_empty() {
         println!("bench {label}: (no iterations)");
+    } else {
+        let (med, mad) = median_mad(&b.samples);
+        println!(
+            "bench {label}: median {med:.6} s ± {mad:.6} s (MAD, n={})",
+            b.samples.len()
+        );
     }
 }
 
-/// Times closures; retains the best (minimum) observed duration.
+/// Times closures; records every observed duration for the statistics.
 pub struct Bencher {
-    best_secs: f64,
+    samples: Vec<f64>,
 }
 
 impl Bencher {
@@ -101,7 +137,7 @@ impl Bencher {
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         let t0 = Instant::now();
         black_box(routine());
-        self.record(t0.elapsed().as_secs_f64());
+        self.samples.push(t0.elapsed().as_secs_f64());
     }
 
     /// Times `routine` on a fresh value from `setup`, excluding setup time.
@@ -117,13 +153,7 @@ impl Bencher {
         let input = setup();
         let t0 = Instant::now();
         black_box(routine(input));
-        self.record(t0.elapsed().as_secs_f64());
-    }
-
-    fn record(&mut self, secs: f64) {
-        if secs < self.best_secs {
-            self.best_secs = secs;
-        }
+        self.samples.push(t0.elapsed().as_secs_f64());
     }
 }
 
@@ -207,5 +237,32 @@ mod tests {
     fn id_formats() {
         assert_eq!(BenchmarkId::new("k", 8).0, "k/8");
         assert_eq!(BenchmarkId::from_parameter("p").0, "p");
+    }
+
+    #[test]
+    fn median_and_mad_are_robust() {
+        // Odd count: exact middle; the 100.0 outlier moves neither stat.
+        let (med, mad) = median_mad(&[1.0, 2.0, 3.0, 4.0, 100.0]);
+        assert_eq!(med, 3.0);
+        assert_eq!(mad, 1.0);
+        // Even count: midpoint average.
+        let (med, mad) = median_mad(&[1.0, 3.0]);
+        assert_eq!(med, 2.0);
+        assert_eq!(mad, 1.0);
+        // Constant samples: zero spread.
+        let (med, mad) = median_mad(&[5.0, 5.0, 5.0]);
+        assert_eq!(med, 5.0);
+        assert_eq!(mad, 0.0);
+    }
+
+    #[test]
+    fn warmup_pass_is_not_counted() {
+        let mut calls = 0;
+        run_one("", "count", 3, &mut |b| {
+            calls += 1;
+            b.iter(|| black_box(calls));
+        });
+        // 1 warmup + 3 samples.
+        assert_eq!(calls, 4);
     }
 }
