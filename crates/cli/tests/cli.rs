@@ -302,6 +302,93 @@ fn errors_are_reported() {
     assert!(err.contains("error"));
 }
 
+/// Regression: a corrupt binary graph (absurd declared node count, or a
+/// truncated file) must exit with a clean `error:` message — historically
+/// this path could panic or attempt a multi-GB allocation from the
+/// declared header before reading a single row.
+#[test]
+fn corrupt_binary_graph_is_clean_error() {
+    let dir = workdir("corrupt");
+
+    // Header declaring u64::MAX nodes, then nothing else.
+    let huge = dir.join("huge.bin");
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(b"PANEGRF1");
+    bytes.extend_from_slice(&0u64.to_le_bytes()); // flags
+    bytes.extend_from_slice(&u64::MAX.to_le_bytes()); // n
+    bytes.extend_from_slice(&4u64.to_le_bytes()); // d
+    bytes.extend_from_slice(&2u64.to_le_bytes()); // num_labels
+    std::fs::write(&huge, &bytes).unwrap();
+
+    // A real graph truncated mid-file.
+    let trunc = dir.join("trunc.bin");
+    run(&[
+        "generate",
+        "--zoo",
+        "cora-like",
+        "--scale",
+        "0.05",
+        "--seed",
+        "9",
+        "--out-dir",
+        dir.to_str().unwrap(),
+    ]);
+    let (ok, _, err) = run(&[
+        "convert",
+        "--edges",
+        dir.join("edges.txt").to_str().unwrap(),
+        "--output",
+        trunc.to_str().unwrap(),
+    ]);
+    assert!(ok, "convert failed: {err}");
+    let full = std::fs::read(&trunc).unwrap();
+    std::fs::write(&trunc, &full[..full.len() / 2]).unwrap();
+
+    for bad in [&huge, &trunc] {
+        let (ok, _, err) = run(&[
+            "convert",
+            "--binary",
+            bad.to_str().unwrap(),
+            "--output",
+            dir.join("out").to_str().unwrap(),
+        ]);
+        assert!(!ok, "{bad:?} should fail");
+        assert!(err.contains("error:"), "{bad:?} stderr: {err}");
+        assert!(
+            !err.to_lowercase().contains("panic"),
+            "{bad:?} stderr: {err}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Regression: a malformed text graph is a clean error naming the line,
+/// not a process abort. (The out-of-range-id-with-explicit-dimensions
+/// path is library-only — the CLI always infers dimensions — and is
+/// covered by `pane-graph`'s io tests.)
+#[test]
+fn malformed_text_graph_is_clean_error() {
+    let dir = workdir("bad_text");
+    std::fs::write(dir.join("bad.txt"), "0 1\n1 notanumber\n").unwrap();
+    let (ok, _, err) = run(&["stats", "--edges", dir.join("bad.txt").to_str().unwrap()]);
+    assert!(!ok);
+    assert!(
+        err.contains("error:") && err.contains("line 2"),
+        "stderr: {err}"
+    );
+    // An id past the u32 index space drives the *inferred* dimension out
+    // of range — clean error, no builder assert.
+    std::fs::write(dir.join("huge.txt"), "0 4294967296\n").unwrap();
+    let (ok, _, err) = run(&["stats", "--edges", dir.join("huge.txt").to_str().unwrap()]);
+    assert!(!ok);
+    assert!(
+        err.contains("error:") && err.contains("u32 index space"),
+        "stderr: {err}"
+    );
+    assert!(!err.to_lowercase().contains("panic"), "stderr: {err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn help_prints_commands() {
     let (ok, out, _) = run(&["help"]);

@@ -1,7 +1,7 @@
 //! Incremental construction of [`AttributedGraph`]s.
 
 use crate::graph::AttributedGraph;
-use pane_sparse::CooMatrix;
+use pane_sparse::{CooMatrix, CsrBuilder, MergeRule};
 
 /// Builder accumulating edges, attribute associations and labels.
 ///
@@ -117,8 +117,15 @@ impl GraphBuilder {
     }
 
     /// Adds a label to node `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range or `label` exceeds the u32 id space.
     pub fn add_label(&mut self, v: usize, label: usize) {
         assert!(v < self.n, "label target {v} out of bounds");
+        assert!(
+            label <= u32::MAX as usize,
+            "label id {label} exceeds u32 index space"
+        );
         let l = label as u32;
         if !self.labels[v].contains(&l) {
             self.labels[v].push(l);
@@ -128,9 +135,6 @@ impl GraphBuilder {
 
     /// Finalizes into an [`AttributedGraph`].
     pub fn build(mut self) -> AttributedGraph {
-        let cap =
-            (self.edges.len() + self.weighted_edges.len()) * if self.undirected { 2 } else { 1 };
-        let mut coo = CooMatrix::with_capacity(self.n, self.n, cap);
         // Deduplicate unweighted edges by sorting; those entries are binary.
         let mut edges = std::mem::take(&mut self.edges);
         if self.undirected {
@@ -139,17 +143,22 @@ impl GraphBuilder {
         }
         edges.sort_unstable();
         edges.dedup();
-        for (s, t) in edges {
-            coo.push(s as usize, t as usize, 1.0);
-        }
-        // Weighted edges sum duplicates (COO merge does the summing).
-        for (s, t, w) in std::mem::take(&mut self.weighted_edges) {
-            coo.push(s as usize, t as usize, w);
-            if self.undirected {
-                coo.push(t as usize, s as usize, w);
+        let weighted = std::mem::take(&mut self.weighted_edges);
+        let undirected = self.undirected;
+        // The accumulated edge vectors are a replayable source: stream them
+        // straight into the CSR arrays instead of copying into a COO
+        // triplet buffer first. Weighted duplicates sum in push order.
+        let adjacency = CsrBuilder::from_source(self.n, self.n, MergeRule::Sum, |emit| {
+            for &(s, t) in &edges {
+                emit(s as usize, t as usize, 1.0);
             }
-        }
-        let adjacency = coo.to_csr();
+            for &(s, t, w) in &weighted {
+                emit(s as usize, t as usize, w);
+                if undirected {
+                    emit(t as usize, s as usize, w);
+                }
+            }
+        });
         let attributes = self.attrs.to_csr();
         for row in &mut self.labels {
             row.sort_unstable();

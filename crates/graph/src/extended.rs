@@ -10,7 +10,7 @@
 //! tools.
 
 use crate::graph::AttributedGraph;
-use pane_sparse::{CooMatrix, CsrMatrix};
+use pane_sparse::{CsrBuilder, CsrMatrix, MergeRule};
 
 /// The extended graph: nodes `0..n` are the original nodes, nodes
 /// `n..n+d` are the attribute nodes.
@@ -32,17 +32,19 @@ impl ExtendedGraph {
         let n = g.num_nodes();
         let d = g.num_attributes();
         let total = n + d;
-        let mut coo =
-            CooMatrix::with_capacity(total, total, g.num_edges() + 2 * g.num_attribute_entries());
-        for (i, j, w) in g.adjacency().iter() {
-            coo.push(i, j, w);
-        }
-        for (v, r, w) in g.attributes().iter() {
-            coo.push(v, n + r, w);
-            coo.push(n + r, v, w);
-        }
+        // `A` and `R` are replayable sources; the `[A‖R‖Rᵀ]` block matrix
+        // streams straight into its CSR arrays without a triplet buffer.
+        let adjacency = CsrBuilder::from_source(total, total, MergeRule::Sum, |emit| {
+            for (i, j, w) in g.adjacency().iter() {
+                emit(i, j, w);
+            }
+            for (v, r, w) in g.attributes().iter() {
+                emit(v, n + r, w);
+                emit(n + r, v, w);
+            }
+        });
         Self {
-            adjacency: coo.to_csr(),
+            adjacency,
             num_nodes: n,
             num_attributes: d,
         }

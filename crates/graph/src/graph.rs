@@ -146,39 +146,36 @@ impl AttributedGraph {
                 if dangling.is_empty() {
                     return self.adjacency.normalize_rows();
                 }
-                let mut coo = pane_sparse::CooMatrix::with_capacity(
-                    n,
-                    n,
-                    self.adjacency.nnz() + dangling.len(),
-                );
-                for (i, j, v) in self.adjacency.iter() {
-                    coo.push(i, j, v / sums[i]);
-                }
-                for &i in &dangling {
-                    coo.push(i, i, 1.0);
-                }
-                coo.to_csr()
+                // The adjacency is itself a replayable triplet source:
+                // stream the scaled entries plus the patched dangling rows
+                // straight into the CSR arrays, no triplet buffer.
+                let adj = &self.adjacency;
+                pane_sparse::CsrBuilder::from_source(n, n, pane_sparse::MergeRule::Sum, |emit| {
+                    for (i, j, v) in adj.iter() {
+                        emit(i, j, v / sums[i]);
+                    }
+                    for &i in &dangling {
+                        emit(i, i, 1.0);
+                    }
+                })
             }
             DanglingPolicy::UniformJump => {
                 let dangling: Vec<usize> = (0..n).filter(|&i| sums[i] == 0.0).collect();
                 if dangling.is_empty() {
                     return self.adjacency.normalize_rows();
                 }
-                let mut coo = pane_sparse::CooMatrix::with_capacity(
-                    n,
-                    n,
-                    self.adjacency.nnz() + dangling.len() * n,
-                );
-                for (i, j, v) in self.adjacency.iter() {
-                    coo.push(i, j, v / sums[i]);
-                }
+                let adj = &self.adjacency;
                 let unif = 1.0 / n as f64;
-                for &i in &dangling {
-                    for j in 0..n {
-                        coo.push(i, j, unif);
+                pane_sparse::CsrBuilder::from_source(n, n, pane_sparse::MergeRule::Sum, |emit| {
+                    for (i, j, v) in adj.iter() {
+                        emit(i, j, v / sums[i]);
                     }
-                }
-                coo.to_csr()
+                    for &i in &dangling {
+                        for j in 0..n {
+                            emit(i, j, unif);
+                        }
+                    }
+                })
             }
         }
     }
@@ -203,16 +200,18 @@ impl AttributedGraph {
     /// `(v_i, v_j)` as a pair of directed edges".
     pub fn symmetrize(&self) -> AttributedGraph {
         let n = self.num_nodes();
-        let mut coo = pane_sparse::CooMatrix::with_capacity(n, n, self.adjacency.nnz() * 2);
-        for (i, j, v) in self.adjacency.iter() {
-            coo.push(i, j, v);
-            // Add the reverse edge unless it already exists (avoids summing
-            // duplicates; preserves the weight of the forward direction).
-            if self.adjacency.get(j, i) == 0.0 {
-                coo.push(j, i, v);
+        let me = &self.adjacency;
+        let adj = pane_sparse::CsrBuilder::from_source(n, n, pane_sparse::MergeRule::Sum, |emit| {
+            for (i, j, v) in me.iter() {
+                emit(i, j, v);
+                // Add the reverse edge unless it already exists (avoids
+                // summing duplicates; preserves the weight of the forward
+                // direction).
+                if me.get(j, i) == 0.0 {
+                    emit(j, i, v);
+                }
             }
-        }
-        let adj = coo.to_csr();
+        });
         AttributedGraph::from_parts(
             adj,
             self.attributes.clone(),

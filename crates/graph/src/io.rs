@@ -7,11 +7,22 @@
 //!   optional, default 1.0) — the `E_R` tuples of §2.1;
 //! * **labels** — one `node label [label ...]` per line (multi-label).
 //!
-//! Lines starting with `#` or `%` are comments. All loaders are buffered
-//! (these files reach hundreds of millions of lines for MAG-scale data).
+//! Lines starting with `#` or `%` are comments.
+//!
+//! All loaders **stream**: [`load_graph`] parses each file line-by-line
+//! directly into a chunked [`pane_sparse::CsrBuilder`], so peak memory is
+//! the output CSR plus one bounded chunk — never a `Vec` of all parsed
+//! records (these files reach hundreds of millions of lines for MAG-scale
+//! data). The `for_each_*` functions expose the same streaming parse to
+//! callers; the `parse_*` functions are thin collecting wrappers for
+//! small inputs.
+//!
+//! Untrusted input never panics: malformed lines, out-of-range ids (when
+//! explicit dimensions are given) and invalid weights all surface as
+//! structured [`IoError`]s naming the offending line.
 
-use crate::builder::GraphBuilder;
 use crate::graph::AttributedGraph;
+use pane_sparse::{CsrBuilder, MergeRule};
 use std::fs::File;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
@@ -30,6 +41,18 @@ pub enum IoError {
         /// Human-readable description.
         message: String,
     },
+    /// A well-formed record referenced an id outside the declared
+    /// dimensions (explicit `num_nodes` / `num_attributes`).
+    IdOutOfRange {
+        /// What the id names ("edge source", "attribute", "label node", …).
+        kind: &'static str,
+        /// 1-based line number.
+        line: usize,
+        /// The offending id.
+        id: usize,
+        /// The exclusive bound it violated.
+        bound: usize,
+    },
 }
 
 impl std::fmt::Display for IoError {
@@ -43,6 +66,15 @@ impl std::fmt::Display for IoError {
             } => {
                 write!(f, "parse error in {kind} file, line {line}: {message}")
             }
+            IoError::IdOutOfRange {
+                kind,
+                line,
+                id,
+                bound,
+            } => write!(
+                f,
+                "{kind} id {id} out of range (must be < {bound}), line {line}"
+            ),
         }
     }
 }
@@ -60,55 +92,71 @@ fn is_comment(line: &str) -> bool {
     t.is_empty() || t.starts_with('#') || t.starts_with('%')
 }
 
-/// Streams `(src, dst)` pairs from an edge-list reader.
-pub fn parse_edges<R: BufRead>(reader: R) -> Result<Vec<(usize, usize)>, IoError> {
-    let mut out = Vec::new();
-    for (lineno, line) in reader.lines().enumerate() {
-        let line = line?;
-        if is_comment(&line) {
-            continue;
+/// Streams records from `reader` line-by-line (one reused buffer, no
+/// per-line allocation), skipping comments, calling `f(lineno, line)`.
+fn for_each_record<R: BufRead>(
+    mut reader: R,
+    mut f: impl FnMut(usize, &str) -> Result<(), IoError>,
+) -> Result<(), IoError> {
+    let mut buf = String::new();
+    let mut lineno = 0usize;
+    loop {
+        buf.clear();
+        if reader.read_line(&mut buf)? == 0 {
+            return Ok(());
         }
+        lineno += 1;
+        if !is_comment(&buf) {
+            f(lineno, buf.trim_end_matches(['\n', '\r']))?;
+        }
+    }
+}
+
+/// Streams `(line, src, dst)` for every edge record, without materializing
+/// the edge list.
+pub fn for_each_edge<R: BufRead>(
+    reader: R,
+    mut f: impl FnMut(usize, usize, usize) -> Result<(), IoError>,
+) -> Result<(), IoError> {
+    for_each_record(reader, |lineno, line| {
         let mut it = line.split_whitespace();
         let parse = |tok: Option<&str>, what: &str| -> Result<usize, IoError> {
             tok.ok_or_else(|| IoError::Parse {
                 kind: "edge",
-                line: lineno + 1,
+                line: lineno,
                 message: format!("missing {what}"),
             })?
             .parse()
             .map_err(|e| IoError::Parse {
                 kind: "edge",
-                line: lineno + 1,
+                line: lineno,
                 message: format!("bad {what}: {e}"),
             })
         };
         let s = parse(it.next(), "source")?;
         let t = parse(it.next(), "target")?;
-        out.push((s, t));
-    }
-    Ok(out)
+        f(lineno, s, t)
+    })
 }
 
-/// Streams `(node, attr, weight)` triples from an attribute reader.
-pub fn parse_attributes<R: BufRead>(reader: R) -> Result<Vec<(usize, usize, f64)>, IoError> {
-    let mut out = Vec::new();
-    for (lineno, line) in reader.lines().enumerate() {
-        let line = line?;
-        if is_comment(&line) {
-            continue;
-        }
+/// Streams `(line, node, attr, weight)` for every attribute record.
+pub fn for_each_attribute<R: BufRead>(
+    reader: R,
+    mut f: impl FnMut(usize, usize, usize, f64) -> Result<(), IoError>,
+) -> Result<(), IoError> {
+    for_each_record(reader, |lineno, line| {
         let toks: Vec<&str> = line.split_whitespace().collect();
         if toks.len() < 2 || toks.len() > 3 {
             return Err(IoError::Parse {
                 kind: "attribute",
-                line: lineno + 1,
+                line: lineno,
                 message: format!("expected 'node attr [weight]', got {} tokens", toks.len()),
             });
         }
         let parse_idx = |tok: &str, what: &str| -> Result<usize, IoError> {
             tok.parse().map_err(|e| IoError::Parse {
                 kind: "attribute",
-                line: lineno + 1,
+                line: lineno,
                 message: format!("bad {what}: {e}"),
             })
         };
@@ -117,56 +165,98 @@ pub fn parse_attributes<R: BufRead>(reader: R) -> Result<Vec<(usize, usize, f64)
         let w = if toks.len() == 3 {
             toks[2].parse().map_err(|e| IoError::Parse {
                 kind: "attribute",
-                line: lineno + 1,
+                line: lineno,
                 message: format!("bad weight: {e}"),
             })?
         } else {
             1.0
         };
-        out.push((v, r, w));
-    }
-    Ok(out)
+        f(lineno, v, r, w)
+    })
 }
 
-/// Streams `node label [label ...]` lines from a label reader.
-pub fn parse_labels<R: BufRead>(reader: R) -> Result<Vec<(usize, Vec<usize>)>, IoError> {
-    let mut out = Vec::new();
-    for (lineno, line) in reader.lines().enumerate() {
-        let line = line?;
-        if is_comment(&line) {
-            continue;
-        }
+/// Streams `(line, node, labels)` for every label record. The label slice
+/// is a buffer reused across lines — copy it if you need to keep it.
+/// Lines with a node but no labels are still reported (they extend the
+/// inferred node count).
+pub fn for_each_label_line<R: BufRead>(
+    reader: R,
+    mut f: impl FnMut(usize, usize, &[usize]) -> Result<(), IoError>,
+) -> Result<(), IoError> {
+    let mut labels: Vec<usize> = Vec::new();
+    for_each_record(reader, |lineno, line| {
         let mut it = line.split_whitespace();
         let v: usize = it
             .next()
             .ok_or_else(|| IoError::Parse {
                 kind: "label",
-                line: lineno + 1,
+                line: lineno,
                 message: "empty line".into(),
             })?
             .parse()
             .map_err(|e| IoError::Parse {
                 kind: "label",
-                line: lineno + 1,
+                line: lineno,
                 message: format!("bad node: {e}"),
             })?;
-        let mut labels = Vec::new();
+        labels.clear();
         for tok in it {
             labels.push(tok.parse().map_err(|e| IoError::Parse {
                 kind: "label",
-                line: lineno + 1,
+                line: lineno,
                 message: format!("bad label: {e}"),
             })?);
         }
-        out.push((v, labels));
-    }
+        f(lineno, v, &labels)
+    })
+}
+
+/// Collects `(src, dst)` pairs from an edge-list reader. Prefer
+/// [`for_each_edge`] for large inputs.
+pub fn parse_edges<R: BufRead>(reader: R) -> Result<Vec<(usize, usize)>, IoError> {
+    let mut out = Vec::new();
+    for_each_edge(reader, |_, s, t| {
+        out.push((s, t));
+        Ok(())
+    })?;
     Ok(out)
 }
 
-/// Loads an attributed graph from separate files.
+/// Collects `(node, attr, weight)` triples from an attribute reader.
+/// Prefer [`for_each_attribute`] for large inputs.
+pub fn parse_attributes<R: BufRead>(reader: R) -> Result<Vec<(usize, usize, f64)>, IoError> {
+    let mut out = Vec::new();
+    for_each_attribute(reader, |_, v, r, w| {
+        out.push((v, r, w));
+        Ok(())
+    })?;
+    Ok(out)
+}
+
+/// Collects `node label [label ...]` lines from a label reader. Prefer
+/// [`for_each_label_line`] for large inputs.
+pub fn parse_labels<R: BufRead>(reader: R) -> Result<Vec<(usize, Vec<usize>)>, IoError> {
+    let mut out = Vec::new();
+    for_each_label_line(reader, |_, v, ls| {
+        out.push((v, ls.to_vec()));
+        Ok(())
+    })?;
+    Ok(out)
+}
+
+fn open(path: &Path) -> Result<BufReader<File>, IoError> {
+    Ok(BufReader::new(File::open(path)?))
+}
+
+/// Loads an attributed graph from separate files, streaming every file
+/// directly into chunked CSR builders (no intermediate record vectors).
 ///
 /// `num_nodes`/`num_attributes` may be `None`, in which case they are
-/// inferred as `1 + max index` seen across the files.
+/// inferred as `1 + max index` seen across the files (one extra streaming
+/// scan). When a dimension **is** declared, any record referencing an id
+/// at or past it is a structured [`IoError::IdOutOfRange`] — never a
+/// panic — so a serving-adjacent load of an inconsistent dataset degrades
+/// into a clean error.
 pub fn load_graph(
     edges_path: &Path,
     attrs_path: Option<&Path>,
@@ -175,41 +265,151 @@ pub fn load_graph(
     num_attributes: Option<usize>,
     undirected: bool,
 ) -> Result<AttributedGraph, IoError> {
-    let edges = parse_edges(BufReader::new(File::open(edges_path)?))?;
-    let attrs = match attrs_path {
-        Some(p) => parse_attributes(BufReader::new(File::open(p)?))?,
-        None => Vec::new(),
+    // Dimension scan — only the files a missing dimension depends on.
+    let (n, d) = match (num_nodes, num_attributes) {
+        (Some(n), Some(d)) => (n, d),
+        _ => {
+            let mut max_n = 0usize; // 1 + max node id seen
+            let mut max_d = 0usize; // 1 + max attribute id seen
+            if num_nodes.is_none() {
+                for_each_edge(open(edges_path)?, |_, s, t| {
+                    max_n = max_n.max(s + 1).max(t + 1);
+                    Ok(())
+                })?;
+                if let Some(p) = labels_path {
+                    for_each_label_line(open(p)?, |_, v, _| {
+                        max_n = max_n.max(v + 1);
+                        Ok(())
+                    })?;
+                }
+            }
+            if let Some(p) = attrs_path {
+                for_each_attribute(open(p)?, |_, v, r, _| {
+                    if num_nodes.is_none() {
+                        max_n = max_n.max(v + 1);
+                    }
+                    max_d = max_d.max(r + 1);
+                    Ok(())
+                })?;
+            }
+            (num_nodes.unwrap_or(max_n), num_attributes.unwrap_or(max_d))
+        }
     };
-    let labels = match labels_path {
-        Some(p) => parse_labels(BufReader::new(File::open(p)?))?,
-        None => Vec::new(),
-    };
-
-    let n = num_nodes.unwrap_or_else(|| {
-        let me = edges.iter().map(|&(s, t)| s.max(t) + 1).max().unwrap_or(0);
-        let ma = attrs.iter().map(|&(v, _, _)| v + 1).max().unwrap_or(0);
-        let ml = labels.iter().map(|&(v, _)| v + 1).max().unwrap_or(0);
-        me.max(ma).max(ml)
-    });
-    let d =
-        num_attributes.unwrap_or_else(|| attrs.iter().map(|&(_, r, _)| r + 1).max().unwrap_or(0));
-
-    let mut b = GraphBuilder::new(n, d);
-    if undirected {
-        b = b.undirected();
-    }
-    for (s, t) in edges {
-        b.add_edge(s, t);
-    }
-    for (v, r, w) in attrs {
-        b.add_attribute(v, r, w);
-    }
-    for (v, ls) in labels {
-        for l in ls {
-            b.add_label(v, l);
+    // Declared or inferred, the dimensions must fit the u32 index space of
+    // the sparse substrate — an id ≥ 2³² in a text file must be a clean
+    // error, not a builder assert.
+    for (dim, what) in [(n, "node"), (d, "attribute")] {
+        if dim > u32::MAX as usize {
+            return Err(IoError::Parse {
+                kind: "graph",
+                line: 0,
+                message: format!("{what} count {dim} exceeds the u32 index space"),
+            });
         }
     }
-    Ok(b.build())
+
+    // Build pass: stream records straight into the builders.
+    // Duplicate edges collapse to weight 1 (binary adjacency, §2.1).
+    let mut adj = CsrBuilder::new(n, n).merge_rule(MergeRule::KeepFirst);
+    for_each_edge(open(edges_path)?, |line, s, t| {
+        if s >= n {
+            return Err(IoError::IdOutOfRange {
+                kind: "edge source node",
+                line,
+                id: s,
+                bound: n,
+            });
+        }
+        if t >= n {
+            return Err(IoError::IdOutOfRange {
+                kind: "edge target node",
+                line,
+                id: t,
+                bound: n,
+            });
+        }
+        adj.push(s, t, 1.0);
+        if undirected {
+            adj.push(t, s, 1.0);
+        }
+        Ok(())
+    })?;
+
+    // Duplicate node–attribute associations sum their weights.
+    let mut attrs = CsrBuilder::new(n, d).merge_rule(MergeRule::Sum);
+    if let Some(p) = attrs_path {
+        for_each_attribute(open(p)?, |line, v, r, w| {
+            if v >= n {
+                return Err(IoError::IdOutOfRange {
+                    kind: "attribute node",
+                    line,
+                    id: v,
+                    bound: n,
+                });
+            }
+            if r >= d {
+                return Err(IoError::IdOutOfRange {
+                    kind: "attribute",
+                    line,
+                    id: r,
+                    bound: d,
+                });
+            }
+            if !(w.is_finite() && w > 0.0) {
+                return Err(IoError::Parse {
+                    kind: "attribute",
+                    line,
+                    message: format!("weight must be finite and positive, got {w}"),
+                });
+            }
+            attrs.push(v, r, w);
+            Ok(())
+        })?;
+    }
+
+    let mut labels: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut num_labels = 0usize;
+    if let Some(p) = labels_path {
+        for_each_label_line(open(p)?, |line, v, ls| {
+            if v >= n {
+                return Err(IoError::IdOutOfRange {
+                    kind: "label node",
+                    line,
+                    id: v,
+                    bound: n,
+                });
+            }
+            for &l in ls {
+                // Labels are stored as u32; a larger id in the file is
+                // corrupt data, not something to truncate silently.
+                if l > u32::MAX as usize {
+                    return Err(IoError::IdOutOfRange {
+                        kind: "label",
+                        line,
+                        id: l,
+                        bound: u32::MAX as usize + 1,
+                    });
+                }
+                let lu = l as u32;
+                if !labels[v].contains(&lu) {
+                    labels[v].push(lu);
+                }
+                num_labels = num_labels.max(l + 1);
+            }
+            Ok(())
+        })?;
+    }
+    for row in &mut labels {
+        row.sort_unstable();
+    }
+
+    Ok(AttributedGraph::from_parts(
+        adj.finish(),
+        attrs.finish(),
+        labels,
+        num_labels,
+        undirected,
+    ))
 }
 
 /// Writes the graph back out as the three text files.
@@ -249,6 +449,7 @@ pub fn save_graph(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::builder::GraphBuilder;
     use std::io::Cursor;
 
     #[test]
@@ -285,8 +486,27 @@ mod tests {
     }
 
     #[test]
+    fn streaming_parsers_report_line_numbers() {
+        // Comments and blanks still advance the line counter.
+        let text = "# header\n\n0 1\nbroken\n";
+        let err = for_each_edge(Cursor::new(text), |_, _, _| Ok(())).unwrap_err();
+        assert!(format!("{err}").contains("line 4"), "{err}");
+    }
+
+    fn write_files(dir: &std::path::Path, edges: &str, attrs: &str, labels: &str) {
+        std::fs::create_dir_all(dir).unwrap();
+        std::fs::write(dir.join("e.txt"), edges).unwrap();
+        std::fs::write(dir.join("a.txt"), attrs).unwrap();
+        std::fs::write(dir.join("l.txt"), labels).unwrap();
+    }
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("pane_io_test_{}_{name}", std::process::id()))
+    }
+
+    #[test]
     fn roundtrip_through_files() {
-        let dir = std::env::temp_dir().join(format!("pane_io_test_{}", std::process::id()));
+        let dir = tmpdir("roundtrip");
         std::fs::create_dir_all(&dir).unwrap();
         let (ep, ap, lp) = (dir.join("e.txt"), dir.join("a.txt"), dir.join("l.txt"));
 
@@ -312,6 +532,208 @@ mod tests {
         assert_eq!(g3.num_nodes(), 4);
         assert_eq!(g3.num_attributes(), 2); // max attr index 1 -> d=2
 
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The streaming load path must match a `GraphBuilder` construction of
+    /// the same records bit-for-bit (duplicate edges collapse to 1,
+    /// duplicate attributes sum, undirected mirrors).
+    #[test]
+    fn streaming_load_matches_builder() {
+        let dir = tmpdir("equiv");
+        write_files(
+            &dir,
+            "0 1\n1 2\n0 1\n2 2\n1 0\n",
+            "0 0 0.5\n1 2 2.0\n0 0 0.25\n2 1\n",
+            "0 1\n2 0 1\n",
+        );
+        for undirected in [false, true] {
+            let got = load_graph(
+                &dir.join("e.txt"),
+                Some(&dir.join("a.txt")),
+                Some(&dir.join("l.txt")),
+                Some(3),
+                Some(3),
+                undirected,
+            )
+            .unwrap();
+            let mut b = GraphBuilder::new(3, 3);
+            if undirected {
+                b = b.undirected();
+            }
+            for (s, t) in [(0, 1), (1, 2), (0, 1), (2, 2), (1, 0)] {
+                b.add_edge(s, t);
+            }
+            for (v, r, w) in [(0, 0, 0.5), (1, 2, 2.0), (0, 0, 0.25), (2, 1, 1.0)] {
+                b.add_attribute(v, r, w);
+            }
+            b.add_label(0, 1);
+            b.add_label(2, 0);
+            b.add_label(2, 1);
+            let want = b.build();
+            assert_eq!(got.adjacency(), want.adjacency(), "undirected={undirected}");
+            assert_eq!(got.attributes(), want.attributes());
+            assert_eq!(got.labels(), want.labels());
+            assert_eq!(got.num_labels(), want.num_labels());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Regression: out-of-range ids with explicit dimensions used to hit a
+    /// builder assert (process abort); they must be structured errors.
+    #[test]
+    fn out_of_range_ids_are_errors_not_panics() {
+        let dir = tmpdir("oor");
+        write_files(&dir, "0 1\n1 7\n", "0 0\n", "0 0\n");
+        let err = load_graph(
+            &dir.join("e.txt"),
+            Some(&dir.join("a.txt")),
+            Some(&dir.join("l.txt")),
+            Some(3),
+            Some(2),
+            false,
+        )
+        .unwrap_err();
+        let msg = format!("{err}");
+        assert!(
+            msg.contains("edge target node id 7") && msg.contains("line 2"),
+            "{msg}"
+        );
+
+        write_files(&dir, "0 1\n", "5 0\n", "");
+        let msg = format!(
+            "{}",
+            load_graph(
+                &dir.join("e.txt"),
+                Some(&dir.join("a.txt")),
+                None,
+                Some(3),
+                Some(2),
+                false,
+            )
+            .unwrap_err()
+        );
+        assert!(msg.contains("attribute node id 5"), "{msg}");
+
+        write_files(&dir, "0 1\n", "0 9\n", "");
+        let msg = format!(
+            "{}",
+            load_graph(
+                &dir.join("e.txt"),
+                Some(&dir.join("a.txt")),
+                None,
+                Some(3),
+                Some(2),
+                false,
+            )
+            .unwrap_err()
+        );
+        assert!(msg.contains("attribute id 9"), "{msg}");
+
+        write_files(&dir, "0 1\n", "", "4 0\n");
+        let msg = format!(
+            "{}",
+            load_graph(
+                &dir.join("e.txt"),
+                None,
+                Some(&dir.join("l.txt")),
+                Some(3),
+                Some(2),
+                false,
+            )
+            .unwrap_err()
+        );
+        assert!(msg.contains("label node id 4"), "{msg}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Regression: a non-positive attribute weight used to hit the builder
+    /// assert; it must be a parse error naming the line.
+    #[test]
+    fn bad_attribute_weight_is_error() {
+        let dir = tmpdir("weight");
+        write_files(&dir, "0 1\n", "0 0 1.0\n1 1 -2.0\n", "");
+        let msg = format!(
+            "{}",
+            load_graph(
+                &dir.join("e.txt"),
+                Some(&dir.join("a.txt")),
+                None,
+                Some(2),
+                Some(2),
+                false,
+            )
+            .unwrap_err()
+        );
+        assert!(
+            msg.contains("finite and positive") && msg.contains("line 2"),
+            "{msg}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Regression: ids at or past 2³² in a text file (driving an inferred
+    /// dimension past the u32 index space, or a label id that would be
+    /// silently truncated) are structured errors, not builder asserts.
+    #[test]
+    fn oversized_ids_are_errors_not_panics() {
+        let dir = tmpdir("u32");
+        write_files(&dir, "0 4294967296\n", "", "");
+        let msg = format!(
+            "{}",
+            load_graph(&dir.join("e.txt"), None, None, None, None, false).unwrap_err()
+        );
+        assert!(msg.contains("exceeds the u32 index space"), "{msg}");
+
+        write_files(&dir, "0 1\n", "0 4294967296 1.0\n", "");
+        let msg = format!(
+            "{}",
+            load_graph(
+                &dir.join("e.txt"),
+                Some(&dir.join("a.txt")),
+                None,
+                None,
+                None,
+                false,
+            )
+            .unwrap_err()
+        );
+        assert!(msg.contains("exceeds the u32 index space"), "{msg}");
+
+        write_files(&dir, "0 1\n", "", "0 4294967296\n");
+        let msg = format!(
+            "{}",
+            load_graph(
+                &dir.join("e.txt"),
+                None,
+                Some(&dir.join("l.txt")),
+                None,
+                None,
+                false,
+            )
+            .unwrap_err()
+        );
+        assert!(msg.contains("label id 4294967296"), "{msg}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A label line with a node id but no labels still widens the inferred
+    /// node count (historical `parse_labels` behavior).
+    #[test]
+    fn bare_label_node_extends_inference() {
+        let dir = tmpdir("barelabel");
+        write_files(&dir, "0 1\n", "", "5\n");
+        let g = load_graph(
+            &dir.join("e.txt"),
+            None,
+            Some(&dir.join("l.txt")),
+            None,
+            None,
+            false,
+        )
+        .unwrap();
+        assert_eq!(g.num_nodes(), 6);
+        assert_eq!(g.num_labels(), 0);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -11,6 +11,15 @@
 //!   ‖ attributes (csr: same layout, n rows × d cols)
 //!   ‖ labels     (per node: count ‖ label ids)
 //! ```
+//!
+//! The loader treats the file as **untrusted**: every declared length
+//! (`n`, `nnz`, per-node label counts) is validated against the bytes
+//! actually remaining in the file *before* any allocation, all CSR
+//! invariants are re-checked in release builds via
+//! [`CsrMatrix::try_from_raw`], and stored weights must be finite and
+//! positive (the [`crate::GraphBuilder`] contract). A corrupted or
+//! truncated file is a structured [`IoError`] — never a panic, hang, or
+//! multi-gigabyte allocation.
 
 use crate::graph::AttributedGraph;
 use pane_sparse::CsrMatrix;
@@ -25,12 +34,6 @@ use crate::io::IoError;
 
 fn write_u64<W: Write>(w: &mut W, v: u64) -> std::io::Result<()> {
     w.write_all(&v.to_le_bytes())
-}
-
-fn read_u64<R: Read>(r: &mut R) -> std::io::Result<u64> {
-    let mut buf = [0u8; 8];
-    r.read_exact(&mut buf)?;
-    Ok(u64::from_le_bytes(buf))
 }
 
 fn write_csr<W: Write>(w: &mut W, m: &CsrMatrix) -> std::io::Result<()> {
@@ -58,41 +61,6 @@ fn write_csr<W: Write>(w: &mut W, m: &CsrMatrix) -> std::io::Result<()> {
     Ok(())
 }
 
-fn read_csr<R: Read>(r: &mut R, rows: usize, cols: usize) -> Result<CsrMatrix, IoError> {
-    let nnz = read_u64(r)? as usize;
-    let mut indptr = Vec::with_capacity(rows + 1);
-    for _ in 0..=rows {
-        indptr.push(read_u64(r)? as usize);
-    }
-    if indptr.first() != Some(&0) || indptr.last() != Some(&nnz) {
-        return Err(IoError::Parse {
-            kind: "binary-graph",
-            line: 0,
-            message: format!("corrupt indptr (nnz {nnz})"),
-        });
-    }
-    let mut indices = vec![0u32; nnz];
-    for v in indices.iter_mut() {
-        let mut buf = [0u8; 4];
-        r.read_exact(&mut buf)?;
-        *v = u32::from_le_bytes(buf);
-        if (*v as usize) >= cols {
-            return Err(IoError::Parse {
-                kind: "binary-graph",
-                line: 0,
-                message: format!("column index {v} out of bounds ({cols})"),
-            });
-        }
-    }
-    let mut values = vec![0.0f64; nnz];
-    for v in values.iter_mut() {
-        let mut buf = [0u8; 8];
-        r.read_exact(&mut buf)?;
-        *v = f64::from_le_bytes(buf);
-    }
-    Ok(CsrMatrix::from_raw(rows, cols, indptr, indices, values))
-}
-
 /// Writes the graph in the binary format.
 pub fn save_graph_binary(g: &AttributedGraph, path: &Path) -> Result<(), IoError> {
     let mut w = BufWriter::new(File::create(path)?);
@@ -114,66 +82,174 @@ pub fn save_graph_binary(g: &AttributedGraph, path: &Path) -> Result<(), IoError
     Ok(())
 }
 
+fn format_err(message: String) -> IoError {
+    IoError::Parse {
+        kind: "binary-graph",
+        line: 0,
+        message,
+    }
+}
+
+/// Reader that tracks how many bytes have been consumed, so declared
+/// lengths can be checked against what the file can still supply.
+struct BoundedReader<R> {
+    inner: R,
+    consumed: u64,
+    file_len: u64,
+}
+
+impl<R: Read> BoundedReader<R> {
+    fn read_exact(&mut self, buf: &mut [u8]) -> Result<(), IoError> {
+        self.inner.read_exact(buf).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                format_err(format!(
+                    "truncated file: unexpected end after {} bytes",
+                    self.consumed
+                ))
+            } else {
+                IoError::Io(e)
+            }
+        })?;
+        self.consumed += buf.len() as u64;
+        Ok(())
+    }
+
+    fn read_u64(&mut self) -> Result<u64, IoError> {
+        let mut buf = [0u8; 8];
+        self.read_exact(&mut buf)?;
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    fn read_u32(&mut self) -> Result<u32, IoError> {
+        let mut buf = [0u8; 4];
+        self.read_exact(&mut buf)?;
+        Ok(u32::from_le_bytes(buf))
+    }
+
+    fn read_f64(&mut self) -> Result<f64, IoError> {
+        let mut buf = [0u8; 8];
+        self.read_exact(&mut buf)?;
+        Ok(f64::from_le_bytes(buf))
+    }
+
+    /// Rejects a declared `count` of `item_bytes`-sized items that the
+    /// remaining file bytes cannot possibly contain — **before** the
+    /// caller allocates for them. Checked arithmetic: a hostile count
+    /// near `u64::MAX` must not wrap into a small allocation.
+    fn ensure_available(&self, count: u64, item_bytes: u64, what: &str) -> Result<(), IoError> {
+        let need = count
+            .checked_mul(item_bytes)
+            .ok_or_else(|| format_err(format!("declared {what} count {count} overflows")))?;
+        let remaining = self.file_len.saturating_sub(self.consumed);
+        if need > remaining {
+            return Err(format_err(format!(
+                "declared {what} count {count} needs {need} bytes but only {remaining} remain"
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn read_csr<R: Read>(
+    r: &mut BoundedReader<R>,
+    rows: usize,
+    cols: usize,
+    what: &str,
+) -> Result<CsrMatrix, IoError> {
+    let nnz64 = r.read_u64()?;
+    // One indptr entry per row plus 12 bytes per declared entry must fit in
+    // the remaining file before anything is allocated.
+    r.ensure_available(rows as u64 + 1, 8, "row")?;
+    let nnz = nnz64 as usize;
+    let mut indptr = Vec::with_capacity(rows + 1);
+    for _ in 0..=rows {
+        indptr.push(r.read_u64()? as usize);
+    }
+    r.ensure_available(nnz64, 4 + 8, "entry")?;
+    let mut indices = vec![0u32; nnz];
+    for v in indices.iter_mut() {
+        *v = r.read_u32()?;
+    }
+    let mut values = vec![0.0f64; nnz];
+    for v in values.iter_mut() {
+        let w = r.read_f64()?;
+        if !(w.is_finite() && w > 0.0) {
+            return Err(format_err(format!(
+                "{what} value {w} is not finite and positive"
+            )));
+        }
+        *v = w;
+    }
+    // Re-validate every CSR invariant (sorted rows, in-bounds columns,
+    // consistent indptr) in release builds; the matrix is served directly.
+    CsrMatrix::try_from_raw(rows, cols, indptr, indices, values)
+        .map_err(|e| format_err(format!("corrupt {what} matrix: {e}")))
+}
+
 /// Reads a graph written by [`save_graph_binary`].
+///
+/// The stored CSR arrays are validated and served directly — no rebuild
+/// through [`crate::GraphBuilder`], so loading is O(file size).
 pub fn load_graph_binary(path: &Path) -> Result<AttributedGraph, IoError> {
-    let mut r = BufReader::new(File::open(path)?);
+    let file = File::open(path)?;
+    let file_len = file.metadata()?.len();
+    let mut r = BoundedReader {
+        inner: BufReader::new(file),
+        consumed: 0,
+        file_len,
+    };
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != GRAPH_MAGIC {
-        return Err(IoError::Parse {
-            kind: "binary-graph",
-            line: 0,
-            message: format!("bad magic {magic:?}"),
-        });
+        return Err(format_err(format!("bad magic {magic:?}")));
     }
-    let flags = read_u64(&mut r)?;
+    let flags = r.read_u64()?;
     let undirected = flags & 1 == 1;
-    let n = read_u64(&mut r)? as usize;
-    let d = read_u64(&mut r)? as usize;
-    let num_labels = read_u64(&mut r)? as usize;
-    let adjacency = read_csr(&mut r, n, n)?;
-    let attributes = read_csr(&mut r, n, d)?;
-    // Rebuild through a *directed* builder (the stored adjacency already
-    // contains both directions of an undirected graph; mirroring again
-    // would double the weights). The undirected flag is restored below.
-    let mut builder = crate::builder::GraphBuilder::new(n, d);
-    for (i, j, w) in adjacency.iter() {
-        if w == 1.0 {
-            builder.add_edge(i, j);
-        } else {
-            builder.add_weighted_edge(i, j, w);
+    let n64 = r.read_u64()?;
+    let d64 = r.read_u64()?;
+    let l64 = r.read_u64()?;
+    // Dimensions must fit the u32 index space (the pane-sparse contract)
+    // and, for n, the remaining bytes: each node costs at least 8 bytes of
+    // indptr in the adjacency alone.
+    for (v, what) in [(n64, "node"), (d64, "attribute"), (l64, "label")] {
+        if v > u32::MAX as u64 {
+            return Err(format_err(format!(
+                "declared {what} count {v} exceeds u32 index space"
+            )));
         }
     }
-    for (v, a, w) in attributes.iter() {
-        builder.add_attribute(v, a, w);
-    }
-    let mut max_label_seen = 0usize;
+    let n = n64 as usize;
+    let d = d64 as usize;
+    let num_labels = l64 as usize;
+    let adjacency = read_csr(&mut r, n, n, "adjacency")?;
+    let attributes = read_csr(&mut r, n, d, "attribute")?;
+
+    let mut labels: Vec<Vec<u32>> = Vec::with_capacity(n);
     for v in 0..n {
-        let count = read_u64(&mut r)? as usize;
+        let count = r.read_u64()?;
+        r.ensure_available(count, 4, "label")?;
+        let mut ls = Vec::with_capacity(count as usize);
         for _ in 0..count {
-            let mut buf = [0u8; 4];
-            r.read_exact(&mut buf)?;
-            let l = u32::from_le_bytes(buf) as usize;
-            builder.add_label(v, l);
-            max_label_seen = max_label_seen.max(l + 1);
+            let l = r.read_u32()?;
+            if l as usize >= num_labels {
+                return Err(format_err(format!(
+                    "node {v} label id {l} exceeds declared count {num_labels}"
+                )));
+            }
+            ls.push(l);
         }
+        ls.sort_unstable();
+        ls.dedup();
+        labels.push(ls);
     }
-    if max_label_seen > num_labels {
-        return Err(IoError::Parse {
-            kind: "binary-graph",
-            line: 0,
-            message: format!("label id {max_label_seen} exceeds declared count {num_labels}"),
-        });
+    if r.consumed != file_len {
+        return Err(format_err(format!(
+            "{} trailing bytes after the label section",
+            file_len - r.consumed
+        )));
     }
-    // Restore the undirected flag and pad the label space to the declared
-    // count (some label ids may have no member nodes).
-    let g = builder.build();
     Ok(AttributedGraph::from_parts(
-        g.adjacency().clone(),
-        g.attributes().clone(),
-        g.labels().to_vec(),
-        num_labels.max(g.num_labels()),
-        undirected,
+        adjacency, attributes, labels, num_labels, undirected,
     ))
 }
 
@@ -244,5 +320,155 @@ mod tests {
         let bytes = std::fs::read(&p).unwrap();
         std::fs::write(&p, &bytes[..bytes.len() / 3]).unwrap();
         assert!(load_graph_binary(&p).is_err());
+    }
+
+    fn header(n: u64, d: u64, labels: u64) -> Vec<u8> {
+        let mut b = Vec::new();
+        b.extend_from_slice(GRAPH_MAGIC);
+        b.extend_from_slice(&0u64.to_le_bytes()); // flags
+        b.extend_from_slice(&n.to_le_bytes());
+        b.extend_from_slice(&d.to_le_bytes());
+        b.extend_from_slice(&labels.to_le_bytes());
+        b
+    }
+
+    /// Regression: a header declaring an absurd node count used to drive
+    /// `Vec::with_capacity(n + 1)` (a multi-GB allocation, or an overflow
+    /// panic for `u64::MAX`) before a single row was read. It must be a
+    /// clean format error.
+    #[test]
+    fn absurd_node_count_rejected_before_allocation() {
+        for n in [u64::MAX, u64::MAX / 2, 1 << 40] {
+            let p = tmp("hugen.bin");
+            std::fs::write(&p, header(n, 4, 2)).unwrap();
+            let err = load_graph_binary(&p).unwrap_err();
+            let msg = format!("{err}");
+            assert!(
+                msg.contains("exceeds u32 index space") || msg.contains("count"),
+                "n={n}: {msg}"
+            );
+        }
+        // In-range for u32 but far beyond what the file holds: the indptr
+        // for 2^30 rows alone needs 8 GiB.
+        let p = tmp("hugen2.bin");
+        let mut b = header(1 << 30, 4, 2);
+        b.extend_from_slice(&0u64.to_le_bytes()); // adjacency nnz
+        std::fs::write(&p, b).unwrap();
+        let msg = format!("{}", load_graph_binary(&p).unwrap_err());
+        assert!(msg.contains("remain"), "{msg}");
+    }
+
+    /// Regression: a declared nnz in the terabytes used to reach
+    /// `vec![0u32; nnz]` and abort the process; the length check against
+    /// the remaining file bytes must fire first.
+    #[test]
+    fn absurd_nnz_rejected_before_allocation() {
+        let mut b = header(1, 1, 0);
+        let huge = 1u64 << 40;
+        b.extend_from_slice(&huge.to_le_bytes()); // adjacency nnz
+        b.extend_from_slice(&0u64.to_le_bytes()); // indptr[0]
+        b.extend_from_slice(&huge.to_le_bytes()); // indptr[1]
+        let p = tmp("hugennz.bin");
+        std::fs::write(&p, b).unwrap();
+        let msg = format!("{}", load_graph_binary(&p).unwrap_err());
+        assert!(msg.contains("needs") && msg.contains("remain"), "{msg}");
+
+        // Overflow-crafted nnz: count * 12 wraps u64.
+        let mut b = header(1, 1, 0);
+        b.extend_from_slice(&u64::MAX.to_le_bytes());
+        b.extend_from_slice(&0u64.to_le_bytes());
+        b.extend_from_slice(&u64::MAX.to_le_bytes());
+        let p = tmp("wrapnnz.bin");
+        std::fs::write(&p, b).unwrap();
+        let msg = format!("{}", load_graph_binary(&p).unwrap_err());
+        assert!(msg.contains("overflows"), "{msg}");
+    }
+
+    /// Regression: a huge per-node label count used to loop reading until
+    /// EOF; it must be rejected against the remaining bytes.
+    #[test]
+    fn absurd_label_count_rejected() {
+        let g = generate_sbm(&SbmConfig {
+            nodes: 10,
+            seed: 3,
+            ..Default::default()
+        });
+        let p = tmp("badlabel.bin");
+        save_graph_binary(&g, &p).unwrap();
+        let mut bytes = std::fs::read(&p).unwrap();
+        // The first label record starts right after the two CSR sections;
+        // corrupt it by rewriting the whole label section with one bogus
+        // count. Find it by re-serializing everything before the labels.
+        let mut prefix = Vec::new();
+        prefix.extend_from_slice(GRAPH_MAGIC);
+        write_u64(&mut prefix, u64::from(g.is_undirected())).unwrap();
+        write_u64(&mut prefix, g.num_nodes() as u64).unwrap();
+        write_u64(&mut prefix, g.num_attributes() as u64).unwrap();
+        write_u64(&mut prefix, g.num_labels() as u64).unwrap();
+        write_csr(&mut prefix, g.adjacency()).unwrap();
+        write_csr(&mut prefix, g.attributes()).unwrap();
+        bytes.truncate(prefix.len());
+        bytes.extend_from_slice(&(1u64 << 50).to_le_bytes());
+        std::fs::write(&p, bytes).unwrap();
+        let msg = format!("{}", load_graph_binary(&p).unwrap_err());
+        assert!(msg.contains("label count"), "{msg}");
+    }
+
+    /// Regression: non-positive / non-finite stored values used to abort
+    /// in a builder assert on load; now a format error.
+    #[test]
+    fn invalid_value_rejected() {
+        let mut b = crate::builder::GraphBuilder::new(2, 1);
+        b.add_edge(0, 1);
+        let g = b.build();
+        let p = tmp("negval.bin");
+        save_graph_binary(&g, &p).unwrap();
+        let mut bytes = std::fs::read(&p).unwrap();
+        // The adjacency has exactly one value (1.0); it sits after
+        // magic+4 header u64s, nnz, indptr[3], one u32 index.
+        let off = 8 + 8 * 4 + 8 + 8 * 3 + 4;
+        bytes[off..off + 8].copy_from_slice(&(-1.0f64).to_le_bytes());
+        std::fs::write(&p, bytes).unwrap();
+        let msg = format!("{}", load_graph_binary(&p).unwrap_err());
+        assert!(msg.contains("finite and positive"), "{msg}");
+    }
+
+    #[test]
+    fn unsorted_rows_rejected() {
+        let mut b = crate::builder::GraphBuilder::new(2, 1);
+        b.add_edge(0, 0);
+        b.add_edge(0, 1);
+        let g = b.build();
+        let p = tmp("unsorted.bin");
+        save_graph_binary(&g, &p).unwrap();
+        let mut bytes = std::fs::read(&p).unwrap();
+        // Swap the two column indices of row 0 (offset: magic + 4 header
+        // u64s + nnz + indptr[3]).
+        let off = 8 + 8 * 4 + 8 + 8 * 3;
+        let (a, b2) = (
+            bytes[off..off + 4].to_vec(),
+            bytes[off + 4..off + 8].to_vec(),
+        );
+        bytes[off..off + 4].copy_from_slice(&b2);
+        bytes[off + 4..off + 8].copy_from_slice(&a);
+        std::fs::write(&p, bytes).unwrap();
+        let msg = format!("{}", load_graph_binary(&p).unwrap_err());
+        assert!(msg.contains("strictly increasing"), "{msg}");
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let g = generate_sbm(&SbmConfig {
+            nodes: 20,
+            seed: 5,
+            ..Default::default()
+        });
+        let p = tmp("trailing.bin");
+        save_graph_binary(&g, &p).unwrap();
+        let mut bytes = std::fs::read(&p).unwrap();
+        bytes.extend_from_slice(b"garbage");
+        std::fs::write(&p, bytes).unwrap();
+        let msg = format!("{}", load_graph_binary(&p).unwrap_err());
+        assert!(msg.contains("trailing"), "{msg}");
     }
 }

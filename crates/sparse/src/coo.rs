@@ -1,11 +1,18 @@
 //! Triplet (COO) builder for sparse matrices.
 //!
-//! Graph loaders and generators accumulate `(row, col, value)` triplets in
-//! arbitrary order, possibly with duplicates (e.g. a multi-edge in an input
-//! file, or repeated node–attribute associations). [`CooMatrix::to_csr`]
-//! sorts, merges duplicates by summation, and produces a [`CsrMatrix`].
+//! Callers accumulate `(row, col, value)` triplets in arbitrary order,
+//! possibly with duplicates (e.g. a multi-edge in an input file, or
+//! repeated node–attribute associations). [`CooMatrix::to_csr`] sorts,
+//! merges duplicates by summation, and produces a [`CsrMatrix`].
+//!
+//! This type buffers **every** triplet (16 bytes each) before conversion;
+//! it remains the convenient choice for small and test matrices. Large
+//! builds should stream through [`crate::CsrBuilder`] instead, which
+//! `to_csr` itself now delegates to — see the crate docs' "memory model
+//! of ingestion" for the peak-memory formulas.
 
 use crate::csr::CsrMatrix;
+use crate::stream::{CsrBuilder, MergeRule};
 
 /// A sparse matrix under construction, as unsorted triplets.
 #[derive(Debug, Clone, Default)]
@@ -66,34 +73,18 @@ impl CooMatrix {
         self.entries.push((row as u32, col as u32, value));
     }
 
-    /// Converts to CSR, summing duplicate coordinates and dropping exact
-    /// zeros produced by cancellation.
-    pub fn to_csr(mut self) -> CsrMatrix {
-        self.entries
-            .sort_unstable_by_key(|&(r, c, _)| ((r as u64) << 32) | c as u64);
-        let mut indptr = vec![0usize; self.rows + 1];
-        let mut indices: Vec<u32> = Vec::with_capacity(self.entries.len());
-        let mut values: Vec<f64> = Vec::with_capacity(self.entries.len());
-        let mut iter = self.entries.into_iter().peekable();
-        while let Some((r, c, mut v)) = iter.next() {
-            while let Some(&(r2, c2, v2)) = iter.peek() {
-                if r2 == r && c2 == c {
-                    v += v2;
-                    iter.next();
-                } else {
-                    break;
-                }
+    /// Converts to CSR, summing duplicate coordinates (in push order) and
+    /// dropping exact zeros produced by cancellation.
+    ///
+    /// Thin wrapper over [`CsrBuilder::from_source`] — the buffered
+    /// triplet vector is the replayable source.
+    pub fn to_csr(self) -> CsrMatrix {
+        let entries = self.entries;
+        CsrBuilder::from_source(self.rows, self.cols, MergeRule::Sum, |emit| {
+            for &(r, c, v) in &entries {
+                emit(r as usize, c as usize, v);
             }
-            if v != 0.0 {
-                indices.push(c);
-                values.push(v);
-                indptr[r as usize + 1] += 1;
-            }
-        }
-        for i in 0..self.rows {
-            indptr[i + 1] += indptr[i];
-        }
-        CsrMatrix::from_raw(self.rows, self.cols, indptr, indices, values)
+        })
     }
 }
 

@@ -57,6 +57,58 @@ impl CsrMatrix {
         }
     }
 
+    /// Builds from raw CSR arrays, validating the invariants in **all**
+    /// build profiles (unlike [`from_raw`](Self::from_raw), whose checks
+    /// are debug-only). Intended for deserializing untrusted bytes — a
+    /// corrupted file must surface as `Err`, not as undefined behavior in
+    /// the binary searches that assume sorted rows.
+    pub fn try_from_raw(
+        rows: usize,
+        cols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<u32>,
+        values: Vec<f64>,
+    ) -> Result<Self, String> {
+        if indptr.len() != rows + 1 {
+            return Err(format!(
+                "indptr length {} does not match rows {rows} + 1",
+                indptr.len()
+            ));
+        }
+        if indptr.first() != Some(&0) {
+            return Err("indptr does not start at 0".into());
+        }
+        if let Some(w) = indptr.windows(2).position(|w| w[0] > w[1]) {
+            return Err(format!("indptr decreases at row {w}"));
+        }
+        let nnz = *indptr.last().unwrap();
+        if indices.len() != nnz || values.len() != nnz {
+            return Err(format!(
+                "index/value lengths {}/{} do not match indptr total {nnz}",
+                indices.len(),
+                values.len()
+            ));
+        }
+        for r in 0..rows {
+            let row = &indices[indptr[r]..indptr[r + 1]];
+            if !row.windows(2).all(|w| w[0] < w[1]) {
+                return Err(format!("row {r} columns not strictly increasing"));
+            }
+            if let Some(&c) = row.last() {
+                if c as usize >= cols {
+                    return Err(format!("row {r} column {c} out of bounds ({cols})"));
+                }
+            }
+        }
+        Ok(Self {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        })
+    }
+
     /// Empty (all-zero) matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
         Self::from_raw(rows, cols, vec![0; rows + 1], Vec::new(), Vec::new())
@@ -286,15 +338,15 @@ impl CsrMatrix {
 
     /// Builds from a dense matrix, keeping entries with `|v| > 0`.
     pub fn from_dense(d: &DenseMatrix) -> CsrMatrix {
-        let mut coo = crate::CooMatrix::new(d.rows(), d.cols());
-        for i in 0..d.rows() {
-            for (j, &v) in d.row(i).iter().enumerate() {
-                if v != 0.0 {
-                    coo.push(i, j, v);
+        crate::CsrBuilder::from_source(d.rows(), d.cols(), crate::MergeRule::Sum, |emit| {
+            for i in 0..d.rows() {
+                for (j, &v) in d.row(i).iter().enumerate() {
+                    if v != 0.0 {
+                        emit(i, j, v);
+                    }
                 }
             }
-        }
-        coo.to_csr()
+        })
     }
 
     /// Iterates over all stored entries as `(row, col, value)`.

@@ -8,7 +8,11 @@
 //!
 //! This crate provides:
 //!
-//! * [`CooMatrix`] — a triplet builder with duplicate summing;
+//! * [`CsrBuilder`] — streaming CSR construction: a two-pass counting-sort
+//!   path over replayable triplet sources, and a chunked push API with
+//!   `O(nnz_out + chunk)` peak auxiliary memory;
+//! * [`CooMatrix`] — a triplet builder with duplicate summing (now a thin
+//!   compatibility wrapper over [`CsrBuilder`]);
 //! * [`CsrMatrix`] — compressed sparse row storage with transpose,
 //!   row/column scaling, and dense products [`CsrMatrix::mul_dense`] /
 //!   [`CsrMatrix::mul_dense_par`] (block-parallel over output rows);
@@ -17,6 +21,25 @@
 //!
 //! Indices are `u32` (the paper's graphs stay below 2³² nodes; MAG has
 //! 59.3M), which halves index memory versus `usize`.
+//!
+//! # Memory model of ingestion
+//!
+//! Every construction path ends in the same CSR arrays
+//! (`8·(rows+1) + 12·nnz_out` bytes); they differ in the *auxiliary*
+//! triplet storage held on the way there, for `T` pushed triplets:
+//!
+//! | path | peak auxiliary bytes | input requirement |
+//! |------|----------------------|-------------------|
+//! | [`CooMatrix::to_csr`] | `16·T` triplet buffer + `12·T` scatter | none — buffers everything |
+//! | [`CsrBuilder::from_source`] | `8·(rows+1)` offsets + `12·T` scatter | source replayable (called twice) |
+//! | [`CsrBuilder::push`] + [`CsrBuilder::finish`] | `≈ 32·(nnz_out + chunk)` at a merge | single pass, any order |
+//!
+//! Use `CooMatrix` for small/test matrices, `from_source` when the
+//! triplets already live in replayable form (a slice, another matrix, a
+//! seeded generator), and the chunked push API when streaming a
+//! walk-once source such as a multi-hundred-million-line edge file.
+//! All three produce bit-identical output (same `(row, col)` sort order,
+//! duplicate summation in push order, exact-zero totals dropped).
 
 // Indexed loops in the numeric kernels are deliberate.
 #![allow(clippy::needless_range_loop)]
@@ -24,6 +47,8 @@ pub mod coo;
 pub mod csr;
 #[cfg(test)]
 mod proptests;
+pub mod stream;
 
 pub use coo::CooMatrix;
 pub use csr::CsrMatrix;
+pub use stream::{CsrBuilder, IngestStats, MergeRule};

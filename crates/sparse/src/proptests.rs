@@ -3,7 +3,7 @@
 //! relies on, checked against the dense reference implementation on
 //! arbitrary random sparse matrices.
 
-use crate::{CooMatrix, CsrMatrix};
+use crate::{CooMatrix, CsrBuilder, CsrMatrix, MergeRule};
 use pane_linalg::DenseMatrix;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -31,6 +31,84 @@ fn coo_from_csr(m: &CsrMatrix) -> CooMatrix {
         coo.push(i, j, v);
     }
     coo
+}
+
+/// Independent reference implementation of the historical
+/// `CooMatrix::to_csr` contract: stable sort by `(row, col)`, duplicates
+/// summed left-to-right in push order, exact-zero totals dropped. Every
+/// streaming path must match this **bit for bit**.
+fn reference_csr(rows: usize, cols: usize, entries: &[(usize, usize, f64)]) -> CsrMatrix {
+    let mut sorted: Vec<(usize, usize, f64)> = entries.to_vec();
+    sorted.sort_by_key(|&(r, c, _)| (r, c)); // stable
+    let mut indptr = vec![0usize; rows + 1];
+    let mut indices: Vec<u32> = Vec::new();
+    let mut values: Vec<f64> = Vec::new();
+    let mut iter = sorted.into_iter().peekable();
+    while let Some((r, c, mut v)) = iter.next() {
+        while let Some(&(r2, c2, v2)) = iter.peek() {
+            if r2 == r && c2 == c {
+                v += v2;
+                iter.next();
+            } else {
+                break;
+            }
+        }
+        if v != 0.0 {
+            indices.push(c as u32);
+            values.push(v);
+            indptr[r + 1] += 1;
+        }
+    }
+    for i in 0..rows {
+        indptr[i + 1] += indptr[i];
+    }
+    CsrMatrix::from_raw(rows, cols, indptr, indices, values)
+}
+
+/// Bitwise equality: structure plus `f64::to_bits` on every value (plain
+/// `==` would conflate `0.0`/`-0.0` and choke on any NaN).
+fn assert_bit_identical(got: &CsrMatrix, want: &CsrMatrix, what: &str) {
+    assert_eq!(
+        (got.rows(), got.cols()),
+        (want.rows(), want.cols()),
+        "{what}: shape"
+    );
+    assert_eq!(got.nnz(), want.nnz(), "{what}: nnz");
+    for r in 0..want.rows() {
+        let (gc, gv) = got.row(r);
+        let (wc, wv) = want.row(r);
+        assert_eq!(gc, wc, "{what}: row {r} columns");
+        for (k, (g, w)) in gv.iter().zip(wv).enumerate() {
+            assert_eq!(
+                g.to_bits(),
+                w.to_bits(),
+                "{what}: row {r} entry {k}: {g} vs {w}"
+            );
+        }
+    }
+}
+
+/// Triplet soup engineered to exercise the merge paths: duplicate
+/// coordinates are common (small id space), values are drawn from a set
+/// closed under negation so duplicate runs regularly cancel to exactly
+/// `0.0`, and some rows/columns stay empty.
+fn adversarial_entries(rows: usize, cols: usize, n: usize, seed: u64) -> Vec<(usize, usize, f64)> {
+    const VALS: [f64; 6] = [1.0, -1.0, 0.5, -0.5, 2.25, -2.25];
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            (
+                rng.gen_range(0..rows),
+                rng.gen_range(0..cols),
+                // Occasionally a value that cannot cancel, so sums also mix.
+                if rng.gen::<f64>() < 0.2 {
+                    rng.gen::<f64>() - 0.5
+                } else {
+                    VALS[rng.gen_range(0..VALS.len())]
+                },
+            )
+        })
+        .collect()
 }
 
 proptest! {
@@ -89,6 +167,58 @@ proptest! {
         for nb in [1usize, 2, 3, 8] {
             let par = csr.mul_dense_par(&b, nb);
             prop_assert_eq!(par.data(), serial.data(), "nb = {}", nb);
+        }
+    }
+
+    /// The tentpole invariant of the streaming rebuild: `CooMatrix::to_csr`,
+    /// `CsrBuilder::from_source` and the chunked push path at every chunk
+    /// size are all **bit-identical** to the independent sort-based
+    /// reference — same `(row, col)` order, same push-order duplicate
+    /// summation, same exact-zero cancellation drops — across duplicates,
+    /// cancellations, empty rows and empty matrices.
+    #[test]
+    fn prop_streaming_builders_bit_identical(
+        seed in 0u64..10_000,
+        rows in 1usize..24,
+        cols in 1usize..24,
+        load in 0usize..4,
+    ) {
+        // load 0 => empty matrix; otherwise ~load× overcommitted ids so
+        // duplicate runs (and cancellations) are frequent.
+        let n = load * (rows + cols);
+        let entries = adversarial_entries(rows, cols, n, seed);
+        let want = reference_csr(rows, cols, &entries);
+
+        let mut coo = CooMatrix::new(rows, cols);
+        for &(r, c, v) in &entries {
+            coo.push(r, c, v);
+        }
+        assert_bit_identical(&coo.to_csr(), &want, "CooMatrix::to_csr");
+
+        let one_shot = CsrBuilder::from_source(rows, cols, MergeRule::Sum, |emit| {
+            for &(r, c, v) in &entries {
+                emit(r, c, v);
+            }
+        });
+        assert_bit_identical(&one_shot, &want, "from_source");
+
+        for chunk in [1usize, 2, 3, 7, 64, 4096] {
+            let mut b = CsrBuilder::new(rows, cols).chunk_capacity(chunk);
+            for &(r, c, v) in &entries {
+                b.push(r, c, v);
+            }
+            let (got, stats) = b.finish_with_stats();
+            assert_bit_identical(&got, &want, &format!("chunked (capacity {chunk})"));
+            prop_assert_eq!(stats.nnz, want.nnz());
+            // Peak auxiliary memory stays O(nnz_merged + chunk): merge
+            // inputs plus merge output, each at most (accumulated distinct
+            // coordinates + one chunk) triplets — never O(all triplets).
+            let distinct = entries
+                .iter()
+                .map(|&(r, c, _)| (r, c))
+                .collect::<std::collections::BTreeSet<_>>()
+                .len();
+            prop_assert!(stats.peak_aux_bytes <= 2 * 16 * (distinct + chunk));
         }
     }
 
