@@ -14,7 +14,11 @@
 //!                   --output IDX
 //! pane index search --index IDX --embedding EMB [--text]
 //!                   (--node V | --nodes V1,V2,…) [--k 10]
-//!                   [--nprobe N] [--ef N] [--threads 1]
+//!                   [--space similar|links] [--nprobe N] [--ef N] [--threads 1]
+//! pane serve        --embedding EMB [--text] (--stdio | --listen ADDR)
+//!                   [--node-index IDX --link-index IDX]
+//!                   [--kind flat|ivf|hnsw] [--lists 64] [--nprobe 8]
+//!                   [--m 16] [--efc 100] [--ef 64] [--seed 0] [--threads 1]
 //! ```
 
 mod args;
@@ -43,6 +47,7 @@ fn main() -> ExitCode {
         "stats" => cmd_stats(raw),
         "topk" => cmd_topk(raw),
         "index" => cmd_index(raw),
+        "serve" => cmd_serve(raw),
         "evaluate" => cmd_evaluate(raw),
         "convert" => cmd_convert(raw),
         other => Err(format!("unknown command '{other}' (try `pane help`)").into()),
@@ -67,6 +72,7 @@ fn print_help() {
            stats     print Table-3-style statistics of a graph\n\
            topk      query a saved embedding (top attributes / links / similar nodes)\n\
            index     build / search an ANN index over a saved embedding (flat / ivf / hnsw)\n\
+           serve     run the shared-index serving daemon (JSON-lines over TCP or stdio)\n\
            evaluate  run the three-task quality report on a graph\n\
            convert   convert a text graph to the fast binary format (or back)\n\n\
          run `pane <command>` with no options to see its usage in the error message."
@@ -309,14 +315,17 @@ fn cmd_index(mut raw: Vec<String>) -> CliResult {
 }
 
 /// The vectors an index serves for a given query space: classifier
-/// features under cosine for `similar`, raw `X_b` rows under inner
-/// product for `links` (Eq. 22 scores are `q · X_b[dst]`).
+/// features for `similar` (their dot is the unified `cos_f + cos_b`
+/// score — the halves are unit or zero), raw `X_b` rows for `links`
+/// (Eq. 22 scores are `q · X_b[dst]`). Both are max-inner-product
+/// searches; the spaces are distinguished by dimensionality (`k` vs
+/// `k/2`), not metric.
 fn space_vectors(
     emb: &pane_core::PaneEmbedding,
     space: &str,
 ) -> Result<(DenseMatrix, Metric), Box<dyn std::error::Error>> {
     match space {
-        "similar" => Ok((emb.classifier_feature_matrix(), Metric::Cosine)),
+        "similar" => Ok((emb.classifier_feature_matrix(), Metric::InnerProduct)),
         "links" => Ok((emb.backward.clone(), Metric::InnerProduct)),
         other => Err(format!("unknown space '{other}' (similar|links)").into()),
     }
@@ -390,6 +399,7 @@ fn cmd_index_search(raw: Vec<String>) -> CliResult {
         "node",
         "nodes",
         "k",
+        "space",
         "nprobe",
         "ef",
         "threads",
@@ -428,37 +438,44 @@ fn cmd_index_search(raw: Vec<String>) -> CliResult {
     let k: usize = a.get_parsed("k", 10usize)?;
     let threads: usize = a.get_parsed("threads", 1usize)?;
 
-    // The metric recorded in the index tells us which query space it was
-    // built for: cosine ⇒ classifier features, inner product ⇒ link
-    // query vectors q = X_f[v]·YᵀY (only that arm pays for the Gram
-    // matrix behind EmbeddingQuery).
-    let (space, queries) = match index.metric() {
-        Metric::Cosine => (
-            "similar",
-            nodes
-                .iter()
-                .map(|&v| emb.classifier_features(v))
-                .collect::<Vec<_>>(),
-        ),
-        Metric::InnerProduct => {
-            let query = EmbeddingQuery::new(&emb);
-            (
-                "links",
-                nodes
-                    .iter()
-                    .map(|&v| query.link_query_vector(v))
-                    .collect::<Vec<_>>(),
+    // The index dimensionality tells us which query space it was built
+    // for: similar-space indexes hold the k-dim `[X_f ‖ X_b]` features,
+    // link-space indexes the k/2-dim `X_b` rows — queries are classifier
+    // features vs link query vectors q = X_f[v]·YᵀY (only that arm pays
+    // for the Gram matrix behind EmbeddingQuery). Both spaces serve
+    // max-inner-product, so the metric cannot distinguish them; an
+    // explicit --space overrides the inference (dim agreement is then
+    // *checked*, catching an index built from a different embedding).
+    let k2 = emb.forward.cols();
+    let space = match a.get("space") {
+        Some(s @ ("similar" | "links")) => s,
+        Some(other) => return Err(format!("unknown space '{other}' (similar|links)").into()),
+        None if index.dim() == 2 * k2 => "similar",
+        None if index.dim() == k2 => "links",
+        None => {
+            return Err(format!(
+                "embedding/index mismatch: index holds dim {}, embedding implies {} (similar) or {} (links)",
+                index.dim(),
+                2 * k2,
+                k2
             )
+            .into())
         }
     };
-    if queries[0].len() != index.dim() {
+    let want_dim = if space == "similar" { 2 * k2 } else { k2 };
+    if index.dim() != want_dim {
         return Err(format!(
-            "embedding/index mismatch: {space}-space queries have dim {}, index holds dim {}",
-            queries[0].len(),
+            "embedding/index mismatch: {space}-space queries have dim {want_dim}, index holds dim {}",
             index.dim()
         )
         .into());
     }
+    let queries: Vec<Vec<f64>> = if space == "similar" {
+        nodes.iter().map(|&v| emb.classifier_features(v)).collect()
+    } else {
+        let query = EmbeddingQuery::new(&emb);
+        nodes.iter().map(|&v| query.link_query_vector(v)).collect()
+    };
     let qmat = DenseMatrix::from_rows(&queries);
     // Oversample by one so the self-hit can be dropped.
     let batched = index.batch_search(&qmat, k + 1, threads);
@@ -469,6 +486,92 @@ fn cmd_index_search(raw: Vec<String>) -> CliResult {
         }
     }
     Ok(())
+}
+
+fn cmd_serve(raw: Vec<String>) -> CliResult {
+    let a = Args::parse(raw, &["text", "stdio"])?;
+    reject_positionals(&a)?;
+    a.reject_unknown(&[
+        "embedding",
+        "node-index",
+        "link-index",
+        "kind",
+        "lists",
+        "nprobe",
+        "iters",
+        "m",
+        "efc",
+        "ef",
+        "seed",
+        "threads",
+        "listen",
+    ])?;
+    let emb = load_embedding_from_args(&a)?;
+    let threads: usize = a.get_parsed("threads", 1usize)?;
+
+    let engine = match (a.get("node-index"), a.get("link-index")) {
+        (Some(node), Some(link)) => {
+            // Serve prebuilt PANEIDX1 files — the shared-index path: the
+            // daemon loads them once, every client shares the load cost.
+            let node_base = pane_index::load_index(std::path::Path::new(node))?;
+            let link_base = pane_index::load_index(std::path::Path::new(link))?;
+            pane_serve::ServeEngine::new(emb, node_base, link_base, threads)?
+        }
+        (None, None) => {
+            let spec = match a.get("kind").unwrap_or("hnsw") {
+                "flat" => pane_serve::IndexSpec::Flat,
+                "ivf" => pane_serve::IndexSpec::Ivf(IvfConfig {
+                    nlist: a.get_parsed("lists", 64usize)?,
+                    nprobe: a.get_parsed("nprobe", 8usize)?,
+                    train_iters: a.get_parsed("iters", 10usize)?,
+                    seed: a.get_parsed("seed", 0u64)?,
+                    threads,
+                }),
+                "hnsw" => pane_serve::IndexSpec::Hnsw(HnswConfig {
+                    m: a.get_parsed("m", 16usize)?,
+                    ef_construction: a.get_parsed("efc", 100usize)?,
+                    ef_search: a.get_parsed("ef", 64usize)?,
+                    seed: a.get_parsed("seed", 0u64)?,
+                }),
+                other => return Err(format!("unknown index kind '{other}' (flat|ivf|hnsw)").into()),
+            };
+            let t0 = std::time::Instant::now();
+            let engine = pane_serve::ServeEngine::build(emb, &spec, threads);
+            eprintln!(
+                "built {} node+link indexes over {} nodes in {:.2}s",
+                spec.kind_name(),
+                engine.num_nodes(),
+                t0.elapsed().as_secs_f64()
+            );
+            engine
+        }
+        _ => return Err("give both --node-index and --link-index, or neither".into()),
+    };
+    eprintln!(
+        "serving {} nodes (k/2 = {}, {} threads)",
+        engine.num_nodes(),
+        engine.half_dim(),
+        engine.threads()
+    );
+
+    let engine = std::sync::RwLock::new(engine);
+    match (a.flag("stdio"), a.get("listen")) {
+        (true, None) => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            pane_serve::serve_lines(&engine, stdin.lock(), stdout.lock())?;
+            Ok(())
+        }
+        (false, Some(addr)) => {
+            let listener = std::net::TcpListener::bind(addr)
+                .map_err(|e| format!("cannot listen on {addr}: {e}"))?;
+            // Tests and scripts parse this line to find an OS-assigned port.
+            eprintln!("listening on {}", listener.local_addr()?);
+            pane_serve::serve_tcp(std::sync::Arc::new(engine), listener)?;
+            Ok(())
+        }
+        _ => Err("give exactly one transport: --stdio or --listen ADDR".into()),
+    }
 }
 
 /// Integration tests exercise the binary end-to-end via assert-less spawns

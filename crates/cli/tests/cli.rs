@@ -466,3 +466,185 @@ fn evaluate_and_convert_commands() {
 
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// Generates a small graph, embeds it, and returns (workdir, embedding path).
+fn serve_fixture(name: &str) -> (PathBuf, PathBuf) {
+    let dir = workdir(name);
+    let dir_s = dir.to_str().unwrap();
+    run(&[
+        "generate",
+        "--zoo",
+        "cora-like",
+        "--scale",
+        "0.05",
+        "--seed",
+        "6",
+        "--out-dir",
+        dir_s,
+    ]);
+    let emb = dir.join("emb.bin");
+    let (ok, _, err) = run(&[
+        "embed",
+        "--edges",
+        dir.join("edges.txt").to_str().unwrap(),
+        "--attrs",
+        dir.join("attributes.txt").to_str().unwrap(),
+        "--dim",
+        "16",
+        "--output",
+        emb.to_str().unwrap(),
+    ]);
+    assert!(ok, "embed failed: {err}");
+    (dir, emb)
+}
+
+#[test]
+fn serve_stdio_session_with_insert_and_compact() {
+    use std::io::Write;
+    let (dir, emb) = serve_fixture("serve_stdio");
+
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_pane"))
+        .args([
+            "serve",
+            "--embedding",
+            emb.to_str().unwrap(),
+            "--kind",
+            "hnsw",
+            "--threads",
+            "2",
+            "--stdio",
+        ])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn pane serve");
+
+    // k/2 = 8 for --dim 16.
+    let half = "[0.1,0.2,0.3,0.4,0.5,0.6,0.7,0.8]";
+    let insert = format!(r#"{{"op":"insert","forward":{half},"backward":{half}}}"#);
+    let script = format!(
+        "{}\n{}\n{}\n{}\n{}\n{}\n",
+        r#"{"op":"stats"}"#,
+        r#"{"op":"similar-nodes","nodes":[0,1,2],"k":5}"#,
+        insert,
+        r#"{"op":"recommend-links","nodes":[0],"k":3,"exclude":[1]}"#,
+        r#"{"op":"compact"}"#,
+        r#"{"op":"shutdown"}"#,
+    );
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(script.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(
+        out.status.success(),
+        "serve exited nonzero: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 6, "one response per request: {stdout}");
+    for l in &lines {
+        assert!(l.contains("\"ok\":true"), "request failed: {l}");
+    }
+    // The insert got the next dense id (n for a 0.05-scale cora-like graph
+    // is printed in stats; just check the id is echoed and compact folded 1).
+    assert!(lines[2].contains("\"id\":"), "{}", lines[2]);
+    assert!(lines[4].contains("\"folded\":1"), "{}", lines[4]);
+    // Batched responses: three result arrays for three query nodes.
+    assert!(lines[1].matches('[').count() >= 4, "{}", lines[1]);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_tcp_daemon_shares_prebuilt_indexes() {
+    use std::io::{BufRead, BufReader, Write};
+    let (dir, emb) = serve_fixture("serve_tcp");
+
+    // Build the index pair once; the daemon must serve it without rebuilding.
+    let node_idx = dir.join("node.idx");
+    let link_idx = dir.join("link.idx");
+    for (space, path) in [("similar", &node_idx), ("links", &link_idx)] {
+        let (ok, _, err) = run(&[
+            "index",
+            "build",
+            "--embedding",
+            emb.to_str().unwrap(),
+            "--kind",
+            "ivf",
+            "--lists",
+            "8",
+            "--space",
+            space,
+            "--output",
+            path.to_str().unwrap(),
+        ]);
+        assert!(ok, "index build {space} failed: {err}");
+    }
+
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_pane"))
+        .args([
+            "serve",
+            "--embedding",
+            emb.to_str().unwrap(),
+            "--node-index",
+            node_idx.to_str().unwrap(),
+            "--link-index",
+            link_idx.to_str().unwrap(),
+            "--listen",
+            "127.0.0.1:0",
+        ])
+        .stdin(std::process::Stdio::null())
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn pane serve");
+
+    // The daemon prints "listening on <addr>" once bound.
+    let mut stderr = BufReader::new(child.stderr.take().unwrap());
+    let addr = loop {
+        let mut line = String::new();
+        assert!(
+            stderr.read_line(&mut line).unwrap() > 0,
+            "serve exited before binding"
+        );
+        if let Some(rest) = line.trim().strip_prefix("listening on ") {
+            break rest.to_string();
+        }
+    };
+
+    let mut conn = std::net::TcpStream::connect(&addr).unwrap();
+    let mut reader = BufReader::new(conn.try_clone().unwrap());
+    let mut ask = |req: &str| -> String {
+        conn.write_all(req.as_bytes()).unwrap();
+        conn.write_all(b"\n").unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        line
+    };
+    let resp = ask(r#"{"op":"similar-nodes","nodes":[0],"k":4}"#);
+    assert!(resp.contains("\"ok\":true"), "{resp}");
+    let resp = ask(
+        r#"{"op":"insert","forward":[0.1,0.2,0.3,0.4,0.5,0.6,0.7,0.8],"backward":[0.1,0.2,0.3,0.4,0.5,0.6,0.7,0.8]}"#,
+    );
+    assert!(resp.contains("\"ok\":true"), "{resp}");
+    let id: usize = resp
+        .split("\"id\":")
+        .nth(1)
+        .and_then(|s| s.trim_end_matches(['}', '\n']).parse().ok())
+        .expect("insert echoes the assigned id");
+    // The inserted node is immediately queryable — no rebuild happened.
+    let resp = ask(&format!(r#"{{"op":"similar-nodes","nodes":[{id}],"k":3}}"#));
+    assert!(resp.contains("\"ok\":true"), "{resp}");
+    let resp = ask(r#"{"op":"stats"}"#);
+    assert!(resp.contains("\"delta\":1"), "{resp}");
+    let resp = ask(r#"{"op":"shutdown"}"#);
+    assert!(resp.contains("\"ok\":true"), "{resp}");
+
+    let status = child.wait().unwrap();
+    assert!(status.success(), "daemon did not shut down cleanly");
+    std::fs::remove_dir_all(&dir).ok();
+}

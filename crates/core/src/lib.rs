@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 //! The PANE algorithms — the paper's primary contribution.
 //!
 //! Pipeline (Algorithm 1 / Algorithm 5):

@@ -84,6 +84,24 @@ impl PaneEmbedding {
         self.link_score_with(&self.link_gram(), src, dst)
     }
 
+    /// The per-query link vector `q = X_f[src]·YᵀY`, so the Eq. 22 score
+    /// factorizes as `p(src → dst) = q · X_b[dst]` — the form a
+    /// max-inner-product index serves directly. Pass the precomputed
+    /// [`Self::link_gram`]; the serving layers (`EmbeddingQuery`,
+    /// `pane-serve`) all call this one kernel so their scores cannot
+    /// drift apart.
+    pub fn link_query_vector_with(&self, gram: &DenseMatrix, src: usize) -> Vec<f64> {
+        let k2 = self.forward.cols();
+        let mut q = vec![0.0; k2];
+        let xf = self.forward.row(src);
+        for (a, &xfa) in xf.iter().enumerate() {
+            if xfa != 0.0 {
+                pane_linalg::vecops::axpy(xfa, gram.row(a), &mut q);
+            }
+        }
+        q
+    }
+
     /// The full `n × k` matrix of [`Self::classifier_features`] rows — the
     /// representation ANN indexes are built over.
     pub fn classifier_feature_matrix(&self) -> DenseMatrix {

@@ -3,20 +3,42 @@
 //! These are the operations a downstream service actually issues against
 //! the vectors PANE produces.
 //!
-//! Two serving modes, selected by [`QueryBackend`]:
+//! Serving modes, selected by [`QueryBackend`]:
 //!
 //! * [`QueryBackend::Exact`] — brute-force scans with a bounded-heap
-//!   top-k (`O(n log k)` per query). The default; bit-compatible with
-//!   the original scan results.
-//! * [`QueryBackend::Ivf`] / [`QueryBackend::Hnsw`] — approximate
-//!   serving through `pane-index`: similar-node search runs against a
-//!   cosine index over the `[X_f ‖ X_b]` classifier features, link
-//!   recommendation against a max-inner-product index over `X_b` (the
-//!   Eq. 22 score `X_f[src]·(YᵀY)·X_b[dst]ᵀ` is a dot product between a
-//!   per-query vector `q = X_f[src]·YᵀY` and the stored `X_b` rows).
+//!   top-k (`O(n log k)` per query). The default.
+//! * [`QueryBackend::Flat`] / [`QueryBackend::Ivf`] /
+//!   [`QueryBackend::Hnsw`] — serving through `pane-index`: similar-node
+//!   search runs against an index over the `[X_f ‖ X_b]` classifier
+//!   features, link recommendation against a max-inner-product index over
+//!   `X_b` (the Eq. 22 score `X_f[src]·(YᵀY)·X_b[dst]ᵀ` is a dot product
+//!   between a per-query vector `q = X_f[src]·YᵀY` and the stored `X_b`
+//!   rows). `Flat` is exact; `Ivf`/`Hnsw` trade recall for latency.
+//!
+//! # Unified score scale
+//!
+//! Every backend returns scores with the **same documented semantics**,
+//! so a serving daemon can mix backends (or fail over between them)
+//! without clients seeing a scale change:
+//!
+//! * [`similar_nodes`](EmbeddingQuery::similar_nodes):
+//!   `s(u, v) = cos(X_f[u], X_f[v]) + cos(X_b[u], X_b[v]) ∈ [-2, 2]`,
+//!   where a zero half-vector contributes exactly 0 to the sum. Because
+//!   [`PaneEmbedding::classifier_features`] L2-normalizes each half (and
+//!   leaves zero halves zero), this is the plain dot product of the
+//!   feature vectors — which is what both the exact scan and the
+//!   max-inner-product node index compute, **bit-identically**.
+//!   (Historically the exact scan renormalized the *concatenation*,
+//!   which silently rescaled nodes with a zero half by √2 relative to
+//!   the indexed backends and diverged their rankings.)
+//! * [`recommend_links`](EmbeddingQuery::recommend_links): the raw Eq. 22
+//!   inner product `p(src → dst) = X_f[src]·(YᵀY)·X_b[dst]ᵀ`, identical
+//!   across all backends by construction.
 
 use crate::pane::PaneEmbedding;
-use pane_index::{topk, AnyIndex, HnswConfig, HnswIndex, IvfConfig, IvfIndex, Metric, VectorIndex};
+use pane_index::{
+    topk, AnyIndex, FlatIndex, HnswConfig, HnswIndex, IvfConfig, IvfIndex, Metric, VectorIndex,
+};
 use pane_linalg::{vecops, DenseMatrix};
 use pane_parallel::{even_ranges_nonempty, map_blocks};
 
@@ -48,6 +70,10 @@ pub enum QueryBackend {
     /// Exact brute-force scans (the default).
     #[default]
     Exact,
+    /// Exact serving through flat `pane-index` structures — same results
+    /// as [`QueryBackend::Exact`], but through the shared-index machinery
+    /// a daemon uses (and therefore insert-capable via delta segments).
+    Flat,
     /// Approximate serving through an inverted-file index.
     Ivf(IvfConfig),
     /// Approximate serving through an HNSW graph index.
@@ -72,18 +98,33 @@ impl<'a> EmbeddingQuery<'a> {
     }
 
     /// Wraps an embedding, building ANN indexes when `backend` asks for
-    /// them: a cosine index over the classifier features for
-    /// [`similar_nodes`](Self::similar_nodes), and a max-inner-product
-    /// index over `X_b` for [`recommend_links`](Self::recommend_links).
+    /// them: a max-inner-product index over the classifier features for
+    /// [`similar_nodes`](Self::similar_nodes) (the unified score
+    /// `cos_f + cos_b` *is* that inner product — see the module docs),
+    /// and a max-inner-product index over `X_b` for
+    /// [`recommend_links`](Self::recommend_links).
     pub fn with_backend(emb: &'a PaneEmbedding, backend: &QueryBackend) -> Self {
         let (node_index, link_index) = match backend {
             QueryBackend::Exact => (None, None),
+            QueryBackend::Flat => {
+                let features = emb.classifier_feature_matrix();
+                (
+                    Some(AnyIndex::Flat(FlatIndex::build(
+                        &features,
+                        Metric::InnerProduct,
+                    ))),
+                    Some(AnyIndex::Flat(FlatIndex::build(
+                        &emb.backward,
+                        Metric::InnerProduct,
+                    ))),
+                )
+            }
             QueryBackend::Ivf(cfg) => {
                 let features = emb.classifier_feature_matrix();
                 (
                     Some(AnyIndex::Ivf(IvfIndex::build(
                         &features,
-                        Metric::Cosine,
+                        Metric::InnerProduct,
                         cfg,
                     ))),
                     Some(AnyIndex::Ivf(IvfIndex::build(
@@ -98,7 +139,7 @@ impl<'a> EmbeddingQuery<'a> {
                 (
                     Some(AnyIndex::Hnsw(HnswIndex::build(
                         &features,
-                        Metric::Cosine,
+                        Metric::InnerProduct,
                         cfg,
                     ))),
                     Some(AnyIndex::Hnsw(HnswIndex::build(
@@ -131,17 +172,11 @@ impl<'a> EmbeddingQuery<'a> {
 
     /// The per-query link vector `q = X_f[src]·YᵀY`, so that the Eq. 22
     /// score is `p(src → dst) = q · X_b[dst]` — the form a
-    /// max-inner-product index serves directly.
+    /// max-inner-product index serves directly. Delegates to
+    /// [`PaneEmbedding::link_query_vector_with`] (the single shared
+    /// kernel) with the query's precomputed Gram matrix.
     pub fn link_query_vector(&self, src: usize) -> Vec<f64> {
-        let k2 = self.emb.forward.cols();
-        let mut q = vec![0.0; k2];
-        let xf = self.emb.forward.row(src);
-        for a in 0..k2 {
-            if xf[a] != 0.0 {
-                vecops::axpy(xf[a], self.gram.row(a), &mut q);
-            }
-        }
-        q
+        self.emb.link_query_vector_with(&self.gram, src)
     }
 
     /// Top-`k` attributes for node `v` by Eq. (21) affinity.
@@ -186,10 +221,12 @@ impl<'a> EmbeddingQuery<'a> {
         )
     }
 
-    /// Top-`k` nodes most similar to `v` by cosine over the concatenated
-    /// `[X_f ‖ X_b]` features (the classifier representation). Served
-    /// through the node index when the backend built one, else by exact
-    /// scan.
+    /// Top-`k` nodes most similar to `v` on the **unified score scale**
+    /// `s(v, u) = cos(X_f[v], X_f[u]) + cos(X_b[v], X_b[u]) ∈ [-2, 2]`
+    /// (a zero half contributes 0; see the module docs). Served through
+    /// the node index when the backend built one, else by exact scan —
+    /// exact and flat/full-probe-IVF backends return bit-identical
+    /// rankings and scores.
     pub fn similar_nodes(&self, v: usize, k: usize) -> Vec<Scored> {
         let target = self.emb.classifier_features(v);
         if let Some(idx) = &self.node_index {
@@ -208,7 +245,10 @@ impl<'a> EmbeddingQuery<'a> {
         top_k(
             (0..n).filter(|&u| u != v).map(|u| {
                 let f = self.emb.classifier_features(u);
-                (u, vecops::cosine(&target, &f))
+                // The halves of the feature vectors are unit (or zero), so
+                // this dot IS cos_f + cos_b — computed with the same kernel
+                // the indexed backends use, keeping the paths bit-identical.
+                (u, vecops::dot(&target, &f))
             }),
             k,
         )
@@ -369,11 +409,82 @@ mod tests {
         let _ = g;
     }
 
+    /// Regression for the PR 3 review finding: the exact scan used to
+    /// renormalize the *concatenated* feature vector, which rescaled
+    /// nodes with a zero half-vector by √2 relative to the indexed
+    /// backends and diverged the rankings. All exact-capable paths must
+    /// now return bit-identical scores on the unified `cos_f + cos_b`
+    /// scale, zero halves included.
+    #[test]
+    fn similar_rankings_identical_across_backends_with_zero_halves() {
+        let (n, k2, d) = (26usize, 4usize, 6usize);
+        let mut state = 0xD1CEu64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+        };
+        let fill = |rows: usize, next: &mut dyn FnMut() -> f64| {
+            pane_linalg::DenseMatrix::from_vec(rows, k2, (0..rows * k2).map(|_| next()).collect())
+        };
+        let mut forward = fill(n, &mut next);
+        let mut backward = fill(n, &mut next);
+        let attribute = fill(d, &mut next);
+        // Zero half-vectors: forward-only, backward-only, and both.
+        for v in [3, 7] {
+            forward.row_mut(v).fill(0.0);
+        }
+        backward.row_mut(5).fill(0.0);
+        forward.row_mut(9).fill(0.0);
+        backward.row_mut(9).fill(0.0);
+        let emb = PaneEmbedding {
+            forward,
+            backward,
+            attribute,
+            timings: Default::default(),
+            objective: 0.0,
+        };
+
+        let exact = EmbeddingQuery::new(&emb);
+        let flat = EmbeddingQuery::with_backend(&emb, &QueryBackend::Flat);
+        let ivf_full = EmbeddingQuery::with_backend(
+            &emb,
+            &QueryBackend::Ivf(IvfConfig {
+                nlist: 4,
+                nprobe: 4,
+                ..Default::default()
+            }),
+        );
+        let hnsw = EmbeddingQuery::with_backend(&emb, &QueryBackend::Hnsw(HnswConfig::default()));
+        for v in 0..n {
+            let truth = exact.similar_nodes(v, 8);
+            // Unified-scale sanity: every score is a sum of two cosines.
+            for s in &truth {
+                assert!((-2.0 - 1e-9..=2.0 + 1e-9).contains(&s.score), "{}", s.score);
+            }
+            assert_eq!(truth, flat.similar_nodes(v, 8), "flat diverged at {v}");
+            assert_eq!(
+                truth,
+                ivf_full.similar_nodes(v, 8),
+                "full-probe ivf diverged at {v}"
+            );
+            // HNSW is approximate, but whatever it returns must be scored
+            // on the same scale, bit-identically with the exact kernel.
+            let target = emb.classifier_features(v);
+            for h in hnsw.similar_nodes(v, 8) {
+                let want = vecops::dot(&target, &emb.classifier_features(h.index));
+                assert_eq!(h.score, want, "hnsw score off the unified scale at {v}");
+            }
+        }
+    }
+
     #[test]
     fn indexed_backends_approximate_exact_serving() {
         let (_, emb) = fixture();
         let exact = EmbeddingQuery::new(&emb);
         for backend in [
+            QueryBackend::Flat,
             QueryBackend::Ivf(IvfConfig {
                 nlist: 8,
                 nprobe: 8,

@@ -31,11 +31,15 @@ impl FlatIndex {
     }
 
     /// Reads an index written by [`VectorIndex::save`].
+    ///
+    /// Fails with a structured [`IndexError`] on any corruption: `build`
+    /// never produces an empty index, so `n = 0` or `dim = 0` is rejected
+    /// at load time rather than surprising the first search.
     pub fn load(path: &Path) -> Result<Self, IndexError> {
         let mut r = FileReader::open(path, IndexKind::Flat)?;
         let metric = r.metric();
-        let n = r.read_u64()? as usize;
-        let dim = r.read_u64()? as usize;
+        let n = r.read_dim_nonzero(u32::MAX as usize, "n")?;
+        let dim = r.read_dim_nonzero(1 << 24, "dim")?;
         let data = r.read_matrix(n, dim)?;
         r.finish()?;
         Ok(Self { metric, data })
@@ -71,6 +75,19 @@ impl VectorIndex for FlatIndex {
             (0..self.data.rows()).map(|i| (i, vecops::dot(&q, self.data.row(i)))),
             k,
         )
+    }
+
+    fn insert(&mut self, vector: &[f64]) -> Result<usize, IndexError> {
+        if vector.len() != self.dim() {
+            return Err(IndexError::Build(format!(
+                "FlatIndex::insert: vector has dim {}, index holds dim {}",
+                vector.len(),
+                self.dim()
+            )));
+        }
+        let prepared = self.metric.prepare_query(vector);
+        self.data.push_row(&prepared);
+        Ok(self.data.rows() - 1)
     }
 
     fn save(&self, path: &Path) -> Result<(), IndexError> {

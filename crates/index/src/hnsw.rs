@@ -309,21 +309,36 @@ impl HnswIndex {
     }
 
     /// Reads an index written by [`VectorIndex::save`].
+    ///
+    /// Every graph invariant a search relies on is re-validated here so a
+    /// corrupted file fails the *load* with a structured [`IndexError`]
+    /// instead of panicking the first search: `n` and `dim` must be
+    /// positive (`build` never produces an empty index), the entry point
+    /// must exist **and reach `max_level`** (the descent indexes
+    /// `links[entry][max_level]`), per-node levels may not exceed
+    /// `max_level`, and every edge must point at an in-range node of
+    /// sufficient level.
     pub fn load(path: &Path) -> Result<Self, IndexError> {
         let mut r = FileReader::open(path, IndexKind::Hnsw)?;
         let metric = r.metric();
-        let n = r.read_u64()? as usize;
-        let dim = r.read_u64()? as usize;
+        let n = r.read_dim_nonzero(u32::MAX as usize, "n")?;
+        let dim = r.read_dim_nonzero(1 << 24, "dim")?;
         let m = r.read_dim(1 << 20, "m")?;
         let ef_construction = r.read_dim(1 << 20, "ef_construction")?;
         let ef_search = r.read_dim(1 << 20, "ef_search")?;
-        let entry = r.read_dim(n.saturating_sub(1), "entry point")? as u32;
+        let entry = r.read_dim(n - 1, "entry point")? as u32;
         let max_level = r.read_dim(MAX_LEVEL_CAP, "max level")? as u32;
         let levels = r.read_u32_slice()?;
         if levels.len() != n {
             return Err(IndexError::Format(format!(
                 "level array has {} entries, expected {n}",
                 levels.len()
+            )));
+        }
+        if levels[entry as usize] != max_level {
+            return Err(IndexError::Format(format!(
+                "entry point {entry} has level {} but the graph claims max level {max_level}",
+                levels[entry as usize]
             )));
         }
         let mut links = Vec::with_capacity(n);
@@ -497,6 +512,28 @@ mod tests {
         std::fs::write(&p, &bytes).unwrap();
         match HnswIndex::load(&p) {
             Err(IndexError::Format(m)) => assert!(m.contains("out of range"), "{m}"),
+            other => panic!("expected format error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn entry_below_max_level_fails_load_cleanly() {
+        // The descent indexes links[entry][max_level]; a file whose entry
+        // point does not reach the claimed max level used to panic there.
+        let data = clustered_vectors(40, 6, 2, 0.2);
+        let idx = HnswIndex::build(&data, Metric::Cosine, &HnswConfig::default());
+        let dir = std::env::temp_dir().join(format!("pane_hnsw_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("bad_entry_level.idx");
+        idx.save(&p).unwrap();
+        // max_level is the 7th u64 after the 10-byte header.
+        let max_level_at = 8 + 2 + 6 * 8;
+        let mut bytes = std::fs::read(&p).unwrap();
+        let claimed = (idx.max_level + 1) as u64;
+        bytes[max_level_at..max_level_at + 8].copy_from_slice(&claimed.to_le_bytes());
+        std::fs::write(&p, &bytes).unwrap();
+        match HnswIndex::load(&p) {
+            Err(IndexError::Format(m)) => assert!(m.contains("entry point"), "{m}"),
             other => panic!("expected format error, got {other:?}"),
         }
     }

@@ -1,7 +1,7 @@
 //! IVF — inverted-file index over a k-means coarse quantizer.
 //!
 //! Build: cluster the (metric-prepared) vectors into `nlist` cells with
-//! [`kmeans`](crate::kmeans::kmeans), then lay each cell's vectors out
+//! [`kmeans`], then lay each cell's vectors out
 //! contiguously so a probe streams memory like the flat scan does — just
 //! over `nprobe/nlist` of the data. Search: rank cells by distance from
 //! the query to their centroids, scan the `nprobe` nearest, reduce with
@@ -139,13 +139,17 @@ impl IvfIndex {
     }
 
     /// Reads an index written by [`VectorIndex::save`].
+    ///
+    /// Fails with a structured [`IndexError`] on any corruption: empty
+    /// dimensions, a zero `nlist`, cell sizes that do not sum to `n`, or
+    /// declared lengths the file cannot supply are all load-time errors.
     pub fn load(path: &Path) -> Result<Self, IndexError> {
         let mut r = FileReader::open(path, IndexKind::Ivf)?;
         let metric = r.metric();
-        let n = r.read_u64()? as usize;
-        let dim = r.read_u64()? as usize;
-        let nlist = r.read_dim(n.max(1), "nlist")?;
-        let nprobe = r.read_dim(nlist.max(1), "nprobe")?;
+        let n = r.read_dim_nonzero(u32::MAX as usize, "n")?;
+        let dim = r.read_dim_nonzero(1 << 24, "dim")?;
+        let nlist = r.read_dim_nonzero(n, "nlist")?;
+        let nprobe = r.read_dim_nonzero(nlist, "nprobe")?;
         let centroids = r.read_matrix(nlist, dim)?;
         let sizes = r.read_u32_slice()?;
         if sizes.len() != nlist {

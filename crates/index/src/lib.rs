@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 // Indexed loops in the numeric kernels are deliberate (they keep the
 // zip-free auto-vectorizable shape the perf guide recommends).
 #![allow(clippy::needless_range_loop)]
@@ -19,22 +19,32 @@
 //!   determinism contract the embedding pipeline upholds);
 //! * [`HnswIndex`] — a hierarchical navigable-small-world graph with
 //!   *deterministic seeded level assignment*, so builds are reproducible
-//!   like the rest of the pipeline.
+//!   like the rest of the pipeline;
+//! * [`DeltaIndex`] — any of the above plus a flat, append-only **delta
+//!   segment**: O(1) incremental inserts merged into every search, the
+//!   ingest path a serving daemon (`pane serve`) uses so freshly arrived
+//!   nodes are queryable without a rebuild.
 //!
-//! All three implement [`VectorIndex`] (`search` / `batch_search` /
-//! `save`, plus per-type `build` / `load`), share one compact binary
-//! persistence format (see [`persist`]), and score with a dot product:
-//! [`Metric::Cosine`] L2-normalizes stored and query vectors first (so
-//! the dot *is* the cosine), [`Metric::InnerProduct`] ranks by the raw
-//! dot (what Eq. 22 link scores need).
+//! All structures implement [`VectorIndex`] (`search` / `batch_search` /
+//! `insert` / `save`, plus per-type `build` / `load`), share one compact
+//! binary persistence format (see [`persist`] for the field-by-field
+//! `PANEIDX1` layout), and score with a dot product: [`Metric::Cosine`]
+//! L2-normalizes stored and query vectors first (so the dot *is* the
+//! cosine), [`Metric::InnerProduct`] ranks by the raw dot — both what
+//! Eq. 22 link scores and the unified similar-node scale (see
+//! `pane-core`'s `query` module) need.
 
+pub mod delta;
 pub mod flat;
 pub mod hnsw;
 pub mod ivf;
 pub mod kmeans;
 pub mod persist;
+#[cfg(test)]
+mod proptests;
 pub mod topk;
 
+pub use delta::DeltaIndex;
 pub use flat::FlatIndex;
 pub use hnsw::{HnswConfig, HnswIndex};
 pub use ivf::{IvfConfig, IvfIndex};
@@ -167,7 +177,7 @@ impl std::fmt::Display for IndexKind {
     }
 }
 
-/// Errors from building, saving, or loading an index.
+/// Errors from building, saving, loading, or mutating an index.
 #[derive(Debug)]
 pub enum IndexError {
     /// Underlying I/O failure.
@@ -176,6 +186,10 @@ pub enum IndexError {
     Format(String),
     /// Invalid build input (e.g. empty data, zero dimension).
     Build(String),
+    /// The operation is not supported by this index structure (e.g.
+    /// [`VectorIndex::insert`] on a structure without an append path —
+    /// wrap it in a [`DeltaIndex`] instead).
+    Unsupported(String),
 }
 
 impl std::fmt::Display for IndexError {
@@ -184,6 +198,7 @@ impl std::fmt::Display for IndexError {
             IndexError::Io(e) => write!(f, "I/O error: {e}"),
             IndexError::Format(m) => write!(f, "format error: {m}"),
             IndexError::Build(m) => write!(f, "build error: {m}"),
+            IndexError::Unsupported(m) => write!(f, "unsupported operation: {m}"),
         }
     }
 }
@@ -231,6 +246,22 @@ pub trait VectorIndex: Send + Sync {
                 .collect::<Vec<_>>()
         });
         per_block.into_iter().flatten().collect()
+    }
+
+    /// Appends one vector, returning its assigned id (`len()` before the
+    /// insert — ids are densely assigned in insertion order).
+    ///
+    /// The default declines with [`IndexError::Unsupported`]: only
+    /// structures with a genuine append path implement it ([`FlatIndex`]
+    /// natively, [`DeltaIndex`] by buffering into its flat delta segment
+    /// for any base). IVF and HNSW serve fresh vectors through
+    /// [`DeltaIndex`] until a compaction rebuilds them.
+    fn insert(&mut self, vector: &[f64]) -> Result<usize, IndexError> {
+        let _ = vector;
+        Err(IndexError::Unsupported(format!(
+            "{} index has no incremental insert path; wrap it in a DeltaIndex",
+            self.kind()
+        )))
     }
 
     /// Writes the index in the `PANEIDX1` binary format.

@@ -5,6 +5,66 @@
 //! payload is each structure's own sequence of `u64` dimensions, `u32`
 //! id arrays, and `f64` matrices. Self-describing: [`load_index`] reads
 //! the header and dispatches to the right loader.
+//!
+//! # Format layout (version 1)
+//!
+//! All integers are little-endian. A `u32[]` is a `u64` length followed by
+//! that many `u32` words; an `f64[r×c]` is `r·c` packed doubles (row-major,
+//! no length prefix — the dimensions come from earlier fields). The file
+//! ends exactly after the payload; trailing bytes fail the load.
+//!
+//! Common 10-byte header:
+//!
+//! | offset | size | field | meaning |
+//! |--------|------|-------|---------|
+//! | 0 | 8 | magic | `b"PANEIDX1"` |
+//! | 8 | 1 | kind | [`IndexKind::tag`]: 0 = flat, 1 = ivf, 2 = hnsw |
+//! | 9 | 1 | metric | [`Metric::tag`]: 0 = cosine, 1 = inner product |
+//!
+//! `flat` payload:
+//!
+//! | field | type | meaning |
+//! |-------|------|---------|
+//! | `n` | `u64` | number of stored vectors (> 0) |
+//! | `dim` | `u64` | vector dimensionality (> 0) |
+//! | `data` | `f64[n×dim]` | metric-prepared vectors |
+//!
+//! `ivf` payload:
+//!
+//! | field | type | meaning |
+//! |-------|------|---------|
+//! | `n` | `u64` | number of stored vectors (> 0) |
+//! | `dim` | `u64` | vector dimensionality (> 0) |
+//! | `nlist` | `u64` | number of k-means cells (`1..=n`) |
+//! | `nprobe` | `u64` | default probed cells (`1..=nlist`) |
+//! | `centroids` | `f64[nlist×dim]` | cell centroids |
+//! | `sizes` | `u32[]` | per-cell vector counts (`nlist` entries, summing to `n`) |
+//! | `ids` | `u32[]` | original row ids, cell-major (`n` entries) |
+//! | `vectors` | `f64[n×dim]` | metric-prepared vectors, cell-major |
+//!
+//! `hnsw` payload:
+//!
+//! | field | type | meaning |
+//! |-------|------|---------|
+//! | `n` | `u64` | number of stored vectors (> 0) |
+//! | `dim` | `u64` | vector dimensionality (> 0) |
+//! | `m` | `u64` | max neighbors per upper-level node |
+//! | `ef_construction` | `u64` | build-time beam width |
+//! | `ef_search` | `u64` | default query beam width |
+//! | `entry` | `u64` | entry-point node id (`< n`, must reach `max_level`) |
+//! | `max_level` | `u64` | top level of the graph (`<= 24`) |
+//! | `levels` | `u32[]` | per-node level (`n` entries, each `<= max_level`) |
+//! | `links` | `u32[]` × Σ(levels+1) | neighbor lists, node-major then level 0..=levels\[node\] |
+//! | `data` | `f64[n×dim]` | metric-prepared vectors |
+//!
+//! # Corruption handling
+//!
+//! Loaders must *fail the load* on any inconsistency — never panic on the
+//! first search, and never allocate from an unvalidated declared length.
+//! The crate-private `FileReader` therefore tracks the file length and
+//! checks every declared count against the bytes that actually remain
+//! (`ensure_available`, the same pattern as `pane-graph`'s binary
+//! loader) before any allocation happens.
 
 use crate::{FlatIndex, HnswIndex, IndexError, IndexKind, IvfIndex, Metric, Neighbor, VectorIndex};
 use pane_linalg::DenseMatrix;
@@ -60,9 +120,15 @@ impl FileWriter {
 }
 
 /// Buffered little-endian reader for the index format.
+///
+/// Tracks how many bytes have been consumed against the total file length,
+/// so every declared count can be validated *before* allocating for it —
+/// a corrupt header must produce a clean [`IndexError`], not an OOM.
 pub(crate) struct FileReader {
     r: BufReader<File>,
     metric: Metric,
+    consumed: u64,
+    file_len: u64,
 }
 
 impl FileReader {
@@ -79,21 +145,28 @@ impl FileReader {
 
     /// Opens `path`, validates the magic, and returns the stored kind.
     pub fn open_any(path: &Path) -> Result<(IndexKind, Self), IndexError> {
-        let mut r = BufReader::new(File::open(path)?);
+        let file = File::open(path)?;
+        let file_len = file.metadata()?.len();
+        let mut reader = Self {
+            r: BufReader::new(file),
+            metric: Metric::Cosine, // placeholder until the header is read
+            consumed: 0,
+            file_len,
+        };
         let mut magic = [0u8; 8];
-        r.read_exact(&mut magic)?;
+        reader.read_exact(&mut magic)?;
         if &magic != INDEX_MAGIC {
             return Err(IndexError::Format(format!(
                 "bad magic {magic:?} (expected {INDEX_MAGIC:?})"
             )));
         }
         let mut tags = [0u8; 2];
-        r.read_exact(&mut tags)?;
+        reader.read_exact(&mut tags)?;
         let kind = IndexKind::from_tag(tags[0])
             .ok_or_else(|| IndexError::Format(format!("unknown index kind tag {}", tags[0])))?;
-        let metric = Metric::from_tag(tags[1])
+        reader.metric = Metric::from_tag(tags[1])
             .ok_or_else(|| IndexError::Format(format!("unknown metric tag {}", tags[1])))?;
-        Ok((kind, Self { r, metric }))
+        Ok((kind, reader))
     }
 
     /// Metric recorded in the header.
@@ -101,9 +174,41 @@ impl FileReader {
         self.metric
     }
 
+    fn read_exact(&mut self, buf: &mut [u8]) -> Result<(), IndexError> {
+        self.r.read_exact(buf).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                IndexError::Format(format!(
+                    "truncated file: unexpected end after {} bytes",
+                    self.consumed
+                ))
+            } else {
+                IndexError::Io(e)
+            }
+        })?;
+        self.consumed += buf.len() as u64;
+        Ok(())
+    }
+
+    /// Rejects a declared `count` of `item_bytes`-sized items that the
+    /// remaining file bytes cannot possibly contain — **before** the
+    /// caller allocates for them. Checked arithmetic: a hostile count
+    /// near `u64::MAX` must not wrap into a small allocation.
+    fn ensure_available(&self, count: u64, item_bytes: u64, what: &str) -> Result<(), IndexError> {
+        let need = count.checked_mul(item_bytes).ok_or_else(|| {
+            IndexError::Format(format!("declared {what} count {count} overflows"))
+        })?;
+        let remaining = self.file_len.saturating_sub(self.consumed);
+        if need > remaining {
+            return Err(IndexError::Format(format!(
+                "declared {what} count {count} needs {need} bytes but only {remaining} remain"
+            )));
+        }
+        Ok(())
+    }
+
     pub fn read_u64(&mut self) -> Result<u64, IndexError> {
         let mut buf = [0u8; 8];
-        self.r.read_exact(&mut buf)?;
+        self.read_exact(&mut buf)?;
         Ok(u64::from_le_bytes(buf))
     }
 
@@ -118,12 +223,23 @@ impl FileReader {
         Ok(v as usize)
     }
 
+    /// Like [`Self::read_dim`] but additionally rejects zero — for
+    /// dimensions a valid index can never store as 0 (`n`, `dim`).
+    pub fn read_dim_nonzero(&mut self, cap: usize, what: &str) -> Result<usize, IndexError> {
+        let v = self.read_dim(cap, what)?;
+        if v == 0 {
+            return Err(IndexError::Format(format!("{what} must be positive")));
+        }
+        Ok(v)
+    }
+
     pub fn read_u32_slice(&mut self) -> Result<Vec<u32>, IndexError> {
         let len = self.read_dim(MAX_MATRIX_ELEMS, "u32 array length")?;
+        self.ensure_available(len as u64, 4, "u32 array")?;
         let mut out = vec![0u32; len];
         for v in out.iter_mut() {
             let mut buf = [0u8; 4];
-            self.r.read_exact(&mut buf)?;
+            self.read_exact(&mut buf)?;
             *v = u32::from_le_bytes(buf);
         }
         Ok(out)
@@ -134,10 +250,11 @@ impl FileReader {
             .checked_mul(cols)
             .filter(|&t| t <= MAX_MATRIX_ELEMS)
             .ok_or_else(|| IndexError::Format(format!("matrix {rows}×{cols} overflows cap")))?;
+        self.ensure_available(total as u64, 8, "matrix element")?;
         let mut data = vec![0.0f64; total];
         for v in data.iter_mut() {
             let mut buf = [0u8; 8];
-            self.r.read_exact(&mut buf)?;
+            self.read_exact(&mut buf)?;
             *v = f64::from_le_bytes(buf);
         }
         Ok(DenseMatrix::from_vec(rows, cols, data))
@@ -216,6 +333,13 @@ impl VectorIndex for AnyIndex {
     fn batch_search(&self, queries: &DenseMatrix, k: usize, threads: usize) -> Vec<Vec<Neighbor>> {
         self.inner().batch_search(queries, k, threads)
     }
+    fn insert(&mut self, vector: &[f64]) -> Result<usize, IndexError> {
+        match self {
+            AnyIndex::Flat(x) => x.insert(vector),
+            AnyIndex::Ivf(x) => x.insert(vector),
+            AnyIndex::Hnsw(x) => x.insert(vector),
+        }
+    }
     fn save(&self, path: &Path) -> Result<(), IndexError> {
         self.inner().save(path)
     }
@@ -283,6 +407,45 @@ mod tests {
         FlatIndex::build(&data, Metric::Cosine).save(&p).unwrap();
         let bytes = std::fs::read(&p).unwrap();
         std::fs::write(&p, &bytes[..bytes.len() - 7]).unwrap();
-        assert!(matches!(load_index(&p), Err(IndexError::Io(_))));
+        match load_index(&p) {
+            Err(IndexError::Format(m)) => {
+                assert!(m.contains("truncated") || m.contains("remain"), "{m}")
+            }
+            other => panic!("expected format error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn absurd_declared_count_fails_before_allocating() {
+        // A flat header declaring a near-cap matrix over a tiny payload
+        // must fail via the remaining-bytes check (ensure_available), not
+        // by allocating gigabytes and then hitting EOF.
+        let p = tmp("absurd.idx");
+        let mut bytes = INDEX_MAGIC.to_vec();
+        bytes.extend_from_slice(&[IndexKind::Flat.tag(), Metric::Cosine.tag()]);
+        bytes.extend_from_slice(&(1u64 << 27).to_le_bytes()); // n
+        bytes.extend_from_slice(&8u64.to_le_bytes()); // dim ⇒ 8 GiB declared
+        bytes.extend_from_slice(&[0u8; 64]); // a sliver of payload
+        std::fs::write(&p, bytes).unwrap();
+        match FlatIndex::load(&p) {
+            Err(IndexError::Format(m)) => assert!(m.contains("remain"), "{m}"),
+            other => panic!("expected format error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_index_rejected_at_load() {
+        // build() asserts non-empty data, so n = 0 in a file is corruption;
+        // it must fail the load instead of panicking the first search.
+        let p = tmp("empty.idx");
+        let mut bytes = INDEX_MAGIC.to_vec();
+        bytes.extend_from_slice(&[IndexKind::Flat.tag(), Metric::Cosine.tag()]);
+        bytes.extend_from_slice(&0u64.to_le_bytes()); // n = 0
+        bytes.extend_from_slice(&4u64.to_le_bytes()); // dim
+        std::fs::write(&p, bytes).unwrap();
+        match FlatIndex::load(&p) {
+            Err(IndexError::Format(m)) => assert!(m.contains("positive"), "{m}"),
+            other => panic!("expected format error, got {other:?}"),
+        }
     }
 }

@@ -1,0 +1,123 @@
+//! Fuzz-style corruption properties for the `PANEIDX1` loaders.
+//!
+//! The serving daemon loads index files produced by other processes, so
+//! the loaders must treat every byte as untrusted: any truncation or
+//! header mutation has to surface as a structured [`IndexError`] — never
+//! a panic, and never a giant allocation from a corrupt declared length
+//! (the harness would hang or OOM long before an assert fired).
+
+use crate::persist::{load_index, INDEX_MAGIC};
+use crate::testutil::clustered_vectors;
+use crate::{
+    FlatIndex, HnswConfig, HnswIndex, IndexError, IvfConfig, IvfIndex, Metric, VectorIndex,
+};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// One saved fixture per index kind (flat, ivf, hnsw), as raw bytes.
+fn fixture_bytes() -> &'static [Vec<u8>; 3] {
+    static BYTES: OnceLock<[Vec<u8>; 3]> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let dir = std::env::temp_dir().join(format!("pane_idx_prop_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = clustered_vectors(60, 6, 3, 0.2);
+        let flat = dir.join("flat.idx");
+        FlatIndex::build(&data, Metric::Cosine).save(&flat).unwrap();
+        let ivf = dir.join("ivf.idx");
+        IvfIndex::build(
+            &data,
+            Metric::InnerProduct,
+            &IvfConfig {
+                nlist: 4,
+                ..Default::default()
+            },
+        )
+        .save(&ivf)
+        .unwrap();
+        let hnsw = dir.join("hnsw.idx");
+        HnswIndex::build(&data, Metric::Cosine, &HnswConfig::default())
+            .save(&hnsw)
+            .unwrap();
+        [
+            std::fs::read(&flat).unwrap(),
+            std::fs::read(&ivf).unwrap(),
+            std::fs::read(&hnsw).unwrap(),
+        ]
+    })
+}
+
+/// Writes `bytes` to a scratch file and loads it through the
+/// self-describing entry point.
+fn load_mutated(name: &str, bytes: &[u8]) -> Result<crate::AnyIndex, IndexError> {
+    let dir = std::env::temp_dir().join(format!("pane_idx_prop_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let p = dir.join(name);
+    std::fs::write(&p, bytes).unwrap();
+    load_index(&p)
+}
+
+/// Number of leading `u64` header words (after magic + tags) per kind.
+const HEADER_WORDS: [usize; 3] = [2, 4, 7];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any strict truncation fails the load with a structured error: the
+    /// format has no slack bytes, so a shorter file either hits EOF or
+    /// fails a count-vs-remaining check.
+    #[test]
+    fn truncation_always_fails_structured(kind in 0usize..3, frac in 0.0f64..1.0) {
+        let full = &fixture_bytes()[kind];
+        let keep = (frac * (full.len() - 1) as f64) as usize;
+        let got = load_mutated("trunc.idx", &full[..keep]);
+        match got {
+            Err(IndexError::Format(_)) | Err(IndexError::Io(_)) => {}
+            other => panic!("truncated load must fail, got {:?}", other.map(|i| i.kind())),
+        }
+    }
+
+    /// Overwriting any header word with a huge value fails cleanly —
+    /// via a sanity cap or the remaining-bytes check — before any
+    /// allocation sized by that value.
+    #[test]
+    fn huge_header_word_fails_before_allocating(
+        kind in 0usize..3,
+        word in 0usize..7,
+        bump in 0u64..1_000_000,
+    ) {
+        let word = word % HEADER_WORDS[kind];
+        let mut bytes = fixture_bytes()[kind].clone();
+        let at = INDEX_MAGIC.len() + 2 + 8 * word;
+        let huge = (1u64 << 33) + bump;
+        bytes[at..at + 8].copy_from_slice(&huge.to_le_bytes());
+        match load_mutated("huge_word.idx", &bytes) {
+            Err(IndexError::Format(_)) => {}
+            other => panic!(
+                "huge header word must be a format error, got {:?}",
+                other.map(|i| i.kind())
+            ),
+        }
+    }
+
+    /// Arbitrary single-byte mutations never panic: the load either fails
+    /// with a structured error or yields an index that still serves a
+    /// search (corrupt *values* are legal — corrupt *structure* is not).
+    #[test]
+    fn byte_mutations_never_panic(
+        kind in 0usize..3,
+        offset_frac in 0.0f64..1.0,
+        xor in 1u32..256,
+    ) {
+        let mut bytes = fixture_bytes()[kind].clone();
+        let at = (offset_frac * (bytes.len() - 1) as f64) as usize;
+        bytes[at] ^= xor as u8;
+        if let Ok(idx) = load_mutated("bitflip.idx", &bytes) {
+            // Loaded despite the flip ⇒ the invariants all re-validated;
+            // a search must complete (NaN scores rank last, no panic).
+            prop_assert!(idx.len() > 0 && idx.dim() > 0);
+            let q = vec![0.25; idx.dim()];
+            let hits = idx.search(&q, 3);
+            prop_assert!(hits.len() <= 3);
+        }
+    }
+}

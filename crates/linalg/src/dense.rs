@@ -190,6 +190,17 @@ impl DenseMatrix {
         &mut self.data[i * self.cols..(i + 1) * self.cols]
     }
 
+    /// Appends `row` as a new last row (amortized O(cols) — the growable
+    /// backbone of incremental ingestion paths like index delta segments).
+    ///
+    /// # Panics
+    /// Panics if `row.len() != self.cols()`.
+    pub fn push_row(&mut self, row: &[f64]) {
+        assert_eq!(row.len(), self.cols, "push_row: column-count mismatch");
+        self.data.extend_from_slice(row);
+        self.rows += 1;
+    }
+
     /// Copies column `j` into a fresh vector (strided gather).
     pub fn col(&self, j: usize) -> Vec<f64> {
         assert!(j < self.cols);

@@ -1,0 +1,556 @@
+//! The serving engine: one shared embedding store + two delta-capable
+//! indexes, answering batched queries and absorbing incremental inserts.
+//!
+//! This is the state behind a `pane serve` daemon. Where the CLI's
+//! `pane index search` reloads the index for every invocation, the engine
+//! loads everything **once** and serves every request from the shared
+//! structures:
+//!
+//! * the **embedding store** (`X_f`, `X_b`, `Y` from `pane-core`) — grown
+//!   in place when nodes arrive;
+//! * the **node index** over the `[X_f ‖ X_b]` classifier features
+//!   (max-inner-product ⇒ the unified `cos_f + cos_b` score);
+//! * the **link index** over `X_b` (max-inner-product ⇒ raw Eq. 22
+//!   scores, with the `YᵀY` Gram matrix precomputed once).
+//!
+//! Both indexes are wrapped in [`DeltaIndex`], so an insert is O(dim) and
+//! the very next query sees the new node. [`ServeEngine::compact`] folds
+//! accumulated deltas back into optimized base structures by rebuilding
+//! them — deterministically, from the engine's recorded [`IndexSpec`] —
+//! which bounds the delta-scan cost under sustained ingest.
+//!
+//! # Consistency model
+//!
+//! Inserts come from `pane-core`'s incremental path (`grow_embedding` +
+//! `reembed_warm`): the caller re-embeds offline and pushes the *new*
+//! nodes' rows. Existing rows are not retouched — the daemon serves the
+//! embedding it loaded plus appended rows (eventual consistency; a full
+//! refresh is a restart with the new embedding file).
+
+use pane_core::PaneEmbedding;
+use pane_index::{
+    AnyIndex, DeltaIndex, FlatIndex, HnswConfig, HnswIndex, IndexError, IvfConfig, IvfIndex,
+    Metric, VectorIndex,
+};
+use pane_linalg::DenseMatrix;
+
+/// Errors a serving request can produce.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The request is malformed or references unknown nodes.
+    BadRequest(String),
+    /// The underlying index rejected the operation.
+    Index(IndexError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::BadRequest(m) => write!(f, "bad request: {m}"),
+            ServeError::Index(e) => write!(f, "index error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<IndexError> for ServeError {
+    fn from(e: IndexError) -> Self {
+        ServeError::Index(e)
+    }
+}
+
+/// One scored hit returned to a client.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hit {
+    /// Node id.
+    pub node: usize,
+    /// Score on the unified scale (see `pane-core`'s `query` docs).
+    pub score: f64,
+}
+
+/// A buildable description of an index structure — what
+/// [`ServeEngine::compact`] uses to rebuild bases deterministically.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum IndexSpec {
+    /// Exact flat scan.
+    Flat,
+    /// Inverted-file index with the recorded build parameters.
+    Ivf(IvfConfig),
+    /// HNSW graph index with the recorded build parameters.
+    Hnsw(HnswConfig),
+}
+
+impl IndexSpec {
+    /// Builds an index of this spec over `data` (using `threads` workers
+    /// where the structure supports it; results are thread-invariant).
+    pub fn build(&self, data: &DenseMatrix, metric: Metric, threads: usize) -> AnyIndex {
+        match self {
+            IndexSpec::Flat => AnyIndex::Flat(FlatIndex::build(data, metric)),
+            IndexSpec::Ivf(cfg) => AnyIndex::Ivf(IvfIndex::build(
+                data,
+                metric,
+                &IvfConfig { threads, ..*cfg },
+            )),
+            IndexSpec::Hnsw(cfg) => AnyIndex::Hnsw(HnswIndex::build(data, metric, cfg)),
+        }
+    }
+
+    /// Recovers the spec of an existing index. Parameters the `PANEIDX1`
+    /// file does not carry (IVF training iterations, seeds) fall back to
+    /// their defaults, so a compaction of a *loaded* index is
+    /// deterministic but not necessarily byte-identical to the original
+    /// build.
+    pub fn of(index: &AnyIndex) -> IndexSpec {
+        match index {
+            AnyIndex::Flat(_) => IndexSpec::Flat,
+            AnyIndex::Ivf(x) => IndexSpec::Ivf(IvfConfig {
+                nlist: x.nlist(),
+                nprobe: x.nprobe(),
+                ..Default::default()
+            }),
+            AnyIndex::Hnsw(x) => IndexSpec::Hnsw(HnswConfig {
+                m: x.m(),
+                ef_construction: x.ef_construction(),
+                ef_search: x.ef_search(),
+                seed: 0,
+            }),
+        }
+    }
+
+    /// Short stable name (`flat` / `ivf` / `hnsw`).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            IndexSpec::Flat => "flat",
+            IndexSpec::Ivf(_) => "ivf",
+            IndexSpec::Hnsw(_) => "hnsw",
+        }
+    }
+}
+
+/// Point-in-time view of one serving index (for `stats` responses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Index structure name (`flat` / `ivf` / `hnsw`).
+    pub kind: &'static str,
+    /// Vectors in the optimized base structure.
+    pub base: usize,
+    /// Vectors pending in the delta segment.
+    pub delta: usize,
+}
+
+/// The shared serving state. See the [module docs](self).
+pub struct ServeEngine {
+    emb: PaneEmbedding,
+    /// `YᵀY`, precomputed once — link queries are `X_f[src] · gram`.
+    gram: DenseMatrix,
+    node_index: DeltaIndex,
+    link_index: DeltaIndex,
+    node_spec: IndexSpec,
+    link_spec: IndexSpec,
+    threads: usize,
+}
+
+impl ServeEngine {
+    /// Wraps an embedding and two prebuilt base indexes.
+    ///
+    /// `node_base` must index the `n × k` classifier features and
+    /// `link_base` the `n × k/2` backward embeddings of `emb`; mismatched
+    /// shapes are rejected here rather than at the first query.
+    pub fn new(
+        emb: PaneEmbedding,
+        node_base: AnyIndex,
+        link_base: AnyIndex,
+        threads: usize,
+    ) -> Result<Self, ServeError> {
+        let n = emb.forward.rows();
+        let k2 = emb.forward.cols();
+        for (what, idx, want_dim) in [("node", &node_base, 2 * k2), ("link", &link_base, k2)] {
+            if idx.len() != n || idx.dim() != want_dim {
+                return Err(ServeError::BadRequest(format!(
+                    "{what} index holds {}×{} but the embedding implies {n}×{want_dim}",
+                    idx.len(),
+                    idx.dim()
+                )));
+            }
+        }
+        Ok(Self {
+            gram: emb.link_gram(),
+            node_spec: IndexSpec::of(&node_base),
+            link_spec: IndexSpec::of(&link_base),
+            node_index: DeltaIndex::new(node_base),
+            link_index: DeltaIndex::new(link_base),
+            emb,
+            threads: threads.max(1),
+        })
+    }
+
+    /// Builds both base indexes from `emb` according to `spec`, then
+    /// wraps them in an engine. The node index is built over the
+    /// classifier features, the link index over `X_b`, both
+    /// max-inner-product (the unified score scale).
+    pub fn build(emb: PaneEmbedding, spec: &IndexSpec, threads: usize) -> Self {
+        let threads = threads.max(1);
+        let node_base = spec.build(
+            &emb.classifier_feature_matrix(),
+            Metric::InnerProduct,
+            threads,
+        );
+        let link_base = spec.build(&emb.backward, Metric::InnerProduct, threads);
+        Self::new(emb, node_base, link_base, threads).expect("freshly built indexes always match")
+    }
+
+    /// Number of served nodes (loaded + inserted).
+    pub fn num_nodes(&self) -> usize {
+        self.emb.forward.rows()
+    }
+
+    /// Per-direction embedding width `k/2`.
+    pub fn half_dim(&self) -> usize {
+        self.emb.forward.cols()
+    }
+
+    /// Worker threads used for batched searches and compaction builds.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Stats of the node (similar-nodes) index.
+    pub fn node_stats(&self) -> IndexStats {
+        IndexStats {
+            kind: self.node_spec.kind_name(),
+            base: self.node_index.base_len(),
+            delta: self.node_index.delta_len(),
+        }
+    }
+
+    /// Stats of the link (recommend-links) index.
+    pub fn link_stats(&self) -> IndexStats {
+        IndexStats {
+            kind: self.link_spec.kind_name(),
+            base: self.link_index.base_len(),
+            delta: self.link_index.delta_len(),
+        }
+    }
+
+    fn check_nodes(&self, nodes: &[usize]) -> Result<(), ServeError> {
+        let n = self.num_nodes();
+        if nodes.is_empty() {
+            return Err(ServeError::BadRequest("empty node list".into()));
+        }
+        if let Some(&bad) = nodes.iter().find(|&&v| v >= n) {
+            return Err(ServeError::BadRequest(format!(
+                "node {bad} out of range (n = {n})"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Batched similar-node search: for each query node, its top-`k`
+    /// most similar nodes (self excluded) on the unified
+    /// `cos_f + cos_b ∈ [-2, 2]` scale. Queries fan out over the
+    /// engine's worker threads; output order matches `nodes`.
+    pub fn similar_nodes(&self, nodes: &[usize], k: usize) -> Result<Vec<Vec<Hit>>, ServeError> {
+        self.check_nodes(nodes)?;
+        let rows: Vec<Vec<f64>> = nodes
+            .iter()
+            .map(|&v| self.emb.classifier_features(v))
+            .collect();
+        let queries = DenseMatrix::from_rows(&rows);
+        let batched = self.node_index.batch_search(&queries, k + 1, self.threads);
+        Ok(nodes
+            .iter()
+            .zip(batched)
+            .map(|(&v, hits)| {
+                hits.into_iter()
+                    .filter(|h| h.index != v)
+                    .take(k)
+                    .map(|h| Hit {
+                        node: h.index,
+                        score: h.score,
+                    })
+                    .collect()
+            })
+            .collect())
+    }
+
+    /// Batched link recommendation: for each source node, the top-`k`
+    /// destinations by the raw Eq. 22 score, excluding the source itself
+    /// and every id in `exclude` (typically known out-neighbors).
+    pub fn recommend_links(
+        &self,
+        nodes: &[usize],
+        k: usize,
+        exclude: &[usize],
+    ) -> Result<Vec<Vec<Hit>>, ServeError> {
+        self.check_nodes(nodes)?;
+        let rows: Vec<Vec<f64>> = nodes.iter().map(|&v| self.link_query_vector(v)).collect();
+        let queries = DenseMatrix::from_rows(&rows);
+        // Oversample so the post-filter cannot starve the result.
+        let fetch = k + exclude.len() + 1;
+        let batched = self.link_index.batch_search(&queries, fetch, self.threads);
+        Ok(nodes
+            .iter()
+            .zip(batched)
+            .map(|(&src, hits)| {
+                hits.into_iter()
+                    .filter(|h| h.index != src && !exclude.contains(&h.index))
+                    .take(k)
+                    .map(|h| Hit {
+                        node: h.index,
+                        score: h.score,
+                    })
+                    .collect()
+            })
+            .collect())
+    }
+
+    /// The per-query link vector `q = X_f[src]·YᵀY` (Eq. 22 reduces the
+    /// link score to `q · X_b[dst]`) — the one shared kernel in
+    /// `pane-core`, so daemon scores cannot drift from `EmbeddingQuery`'s.
+    fn link_query_vector(&self, src: usize) -> Vec<f64> {
+        self.emb.link_query_vector_with(&self.gram, src)
+    }
+
+    /// Ingests one new node: appends its forward/backward rows to the
+    /// embedding store and its derived vectors to both delta segments.
+    /// Returns the assigned node id (dense, append-ordered — the same id
+    /// `grow_embedding` gives the node on the offline side).
+    ///
+    /// The very next query can return the node; no rebuild happens here.
+    pub fn insert(&mut self, forward: &[f64], backward: &[f64]) -> Result<usize, ServeError> {
+        let k2 = self.half_dim();
+        if forward.len() != k2 || backward.len() != k2 {
+            return Err(ServeError::BadRequest(format!(
+                "insert vectors must have k/2 = {k2} entries (got {} forward, {} backward)",
+                forward.len(),
+                backward.len()
+            )));
+        }
+        if forward.iter().chain(backward).any(|x| !x.is_finite()) {
+            return Err(ServeError::BadRequest(
+                "insert vectors must be finite".into(),
+            ));
+        }
+        let id = self.num_nodes();
+        self.emb.forward.push_row(forward);
+        self.emb.backward.push_row(backward);
+        let features = self.emb.classifier_features(id);
+        self.node_index.insert(&features)?;
+        self.link_index.insert(backward)?;
+        Ok(id)
+    }
+
+    /// Folds both delta segments into freshly rebuilt base structures
+    /// (per the engine's recorded specs, deterministic given the store).
+    /// Returns the number of vectors folded per index.
+    pub fn compact(&mut self) -> usize {
+        let folded = self.node_index.delta_len();
+        let node_base = self.node_spec.build(
+            &self.emb.classifier_feature_matrix(),
+            Metric::InnerProduct,
+            self.threads,
+        );
+        let link_base =
+            self.link_spec
+                .build(&self.emb.backward, Metric::InnerProduct, self.threads);
+        self.node_index = DeltaIndex::new(node_base);
+        self.link_index = DeltaIndex::new(link_base);
+        folded
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pane_core::{grow_embedding, reembed_warm, EmbeddingQuery, Pane, PaneConfig, QueryBackend};
+    use pane_graph::gen::{generate_sbm, SbmConfig};
+
+    fn fixture() -> PaneEmbedding {
+        let g = generate_sbm(&SbmConfig {
+            nodes: 150,
+            communities: 3,
+            avg_out_degree: 6.0,
+            attributes: 18,
+            attrs_per_node: 4.0,
+            seed: 17,
+            ..Default::default()
+        });
+        Pane::new(PaneConfig::builder().dimension(16).seed(9).build())
+            .embed(&g)
+            .unwrap()
+    }
+
+    #[test]
+    fn flat_engine_matches_embedding_query_exactly() {
+        let emb = fixture();
+        let q = EmbeddingQuery::new(&emb);
+        let engine = ServeEngine::build(emb.clone(), &IndexSpec::Flat, 2);
+        let nodes: Vec<usize> = (0..150).step_by(13).collect();
+        let sim = engine.similar_nodes(&nodes, 5).unwrap();
+        let links = engine.recommend_links(&nodes, 5, &[]).unwrap();
+        for (i, &v) in nodes.iter().enumerate() {
+            let want: Vec<Hit> = q
+                .similar_nodes(v, 5)
+                .into_iter()
+                .map(|s| Hit {
+                    node: s.index,
+                    score: s.score,
+                })
+                .collect();
+            assert_eq!(sim[i], want, "similar diverged at {v}");
+            let want: Vec<Hit> = q
+                .recommend_links(v, 5, &[])
+                .into_iter()
+                .map(|s| Hit {
+                    node: s.index,
+                    score: s.score,
+                })
+                .collect();
+            assert_eq!(links[i], want, "links diverged at {v}");
+        }
+    }
+
+    #[test]
+    fn exact_and_ann_engines_share_the_score_scale() {
+        let emb = fixture();
+        let flat = ServeEngine::build(emb.clone(), &IndexSpec::Flat, 1);
+        let hnsw = ServeEngine::build(emb, &IndexSpec::Hnsw(HnswConfig::default()), 1);
+        let nodes = [0usize, 7, 33];
+        let a = flat.similar_nodes(&nodes, 5).unwrap();
+        let b = hnsw.similar_nodes(&nodes, 5).unwrap();
+        for (fa, fb) in a.iter().zip(&b) {
+            for h in fa.iter().chain(fb.iter()) {
+                assert!((-2.0 - 1e-9..=2.0 + 1e-9).contains(&h.score));
+            }
+            // Wherever both backends return the same node, the score is
+            // identical — one documented scale, not two.
+            for ha in fa {
+                if let Some(hb) = fb.iter().find(|h| h.node == ha.node) {
+                    assert_eq!(ha.score, hb.score);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inserted_node_is_served_without_rebuild_and_compaction_folds_it() {
+        let g0 = generate_sbm(&SbmConfig {
+            nodes: 120,
+            communities: 3,
+            avg_out_degree: 5.0,
+            attributes: 15,
+            attrs_per_node: 3.0,
+            seed: 4,
+            ..Default::default()
+        });
+        let cfg = PaneConfig::builder().dimension(16).seed(2).build();
+        let old = Pane::new(cfg.clone()).embed(&g0).unwrap();
+        let mut engine = ServeEngine::build(
+            old.clone(),
+            &IndexSpec::Ivf(IvfConfig {
+                nlist: 8,
+                nprobe: 8,
+                ..Default::default()
+            }),
+            2,
+        );
+
+        // A new node arrives: grow the graph, warm-restart offline (the
+        // pane-core incremental path), then push only the new node's rows.
+        let n = g0.num_nodes();
+        let mut b = pane_graph::GraphBuilder::new(n + 1, g0.num_attributes());
+        for (i, j, _) in g0.adjacency().iter() {
+            b.add_edge(i, j);
+        }
+        for (v, r, w) in g0.attributes().iter() {
+            b.add_attribute(v, r, w);
+        }
+        b.add_edge(n, 0);
+        b.add_edge(1, n);
+        b.add_attribute(n, 0, 1.0);
+        let g1 = b.build();
+        let warm = reembed_warm(&cfg, &g1, &grow_embedding(&old, 1), 2).unwrap();
+
+        let id = engine
+            .insert(warm.forward.row(n), warm.backward.row(n))
+            .unwrap();
+        assert_eq!(id, n);
+        assert_eq!(engine.num_nodes(), n + 1);
+        assert_eq!(engine.node_stats().delta, 1);
+
+        // The fresh node is immediately queryable: its own top-1 under
+        // the unified scale is itself-excluded, so search *for* it and
+        // check it can be *found* as a neighbor of its closest peer.
+        let sim = engine.similar_nodes(&[id], 5).unwrap();
+        assert_eq!(sim[0].len(), 5);
+        let peer = sim[0][0].node;
+        let back = engine.similar_nodes(&[peer], 120).unwrap();
+        assert!(
+            back[0].iter().any(|h| h.node == id),
+            "inserted node never surfaces as a neighbor"
+        );
+
+        // Compaction folds the delta into the rebuilt base.
+        let folded = engine.compact();
+        assert_eq!(folded, 1);
+        assert_eq!(engine.node_stats().delta, 0);
+        assert_eq!(engine.node_stats().base, n + 1);
+        let sim2 = engine.similar_nodes(&[id], 5).unwrap();
+        assert_eq!(sim2[0].len(), 5);
+    }
+
+    #[test]
+    fn bad_requests_are_structured_errors() {
+        let emb = fixture();
+        let mut engine = ServeEngine::build(emb, &IndexSpec::Flat, 1);
+        assert!(matches!(
+            engine.similar_nodes(&[9999], 3),
+            Err(ServeError::BadRequest(_))
+        ));
+        assert!(matches!(
+            engine.similar_nodes(&[], 3),
+            Err(ServeError::BadRequest(_))
+        ));
+        assert!(matches!(
+            engine.insert(&[1.0], &[1.0]),
+            Err(ServeError::BadRequest(_))
+        ));
+        let k2 = engine.half_dim();
+        assert!(matches!(
+            engine.insert(&vec![f64::NAN; k2], &vec![0.0; k2]),
+            Err(ServeError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn mismatched_prebuilt_indexes_are_rejected() {
+        let emb = fixture();
+        let wrong = IndexSpec::Flat.build(&emb.backward, Metric::InnerProduct, 1);
+        let link = IndexSpec::Flat.build(&emb.backward, Metric::InnerProduct, 1);
+        assert!(matches!(
+            ServeEngine::new(emb, wrong, link, 1),
+            Err(ServeError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn engine_backends_agree_with_flat_query_backend() {
+        // QueryBackend::Flat (per-query machinery) and the daemon engine
+        // must agree bit-for-bit — same kernels, same unified scale.
+        let emb = fixture();
+        let q = EmbeddingQuery::with_backend(&emb, &QueryBackend::Flat);
+        let engine = ServeEngine::build(emb.clone(), &IndexSpec::Flat, 3);
+        for v in (0..150).step_by(29) {
+            let want: Vec<Hit> = q
+                .similar_nodes(v, 4)
+                .into_iter()
+                .map(|s| Hit {
+                    node: s.index,
+                    score: s.score,
+                })
+                .collect();
+            assert_eq!(engine.similar_nodes(&[v], 4).unwrap()[0], want);
+        }
+    }
+}

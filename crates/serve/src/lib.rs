@@ -1,0 +1,45 @@
+#![deny(missing_docs)]
+//! `pane-serve` — the shared-index serving daemon behind `pane serve`.
+//!
+//! PR 2 gave every *caller* an ANN index; this crate gives **traffic** a
+//! daemon: one process loads the embedding store and one `PANEIDX1` index
+//! pair, then answers `similar-nodes` / `recommend-links` requests over a
+//! JSON-lines protocol (TCP or stdio) with batched, parallel search —
+//! instead of every client paying the load cost per invocation (the
+//! LogBase lesson from PAPERS.md: serving systems live or die by their
+//! ingest and lookup paths, not their batch builders).
+//!
+//! Three pieces, one per module:
+//!
+//! * [`protocol`] — the wire format: a strict JSON subset, hand-rolled
+//!   (offline workspace), one request/response per line;
+//! * [`engine`] — the shared state: embedding store + two
+//!   [`pane_index::DeltaIndex`]-wrapped indexes, batched search,
+//!   **incremental inserts** (a freshly arrived node is queryable by the
+//!   next request, no rebuild) and a **compaction** command that folds
+//!   deltas into rebuilt bases;
+//! * [`server`] — transports: [`serve_lines`] for stdio / tests,
+//!   [`serve_tcp`] for the daemon, with clean `shutdown` handling.
+//!
+//! Scores are on the unified scale documented in `pane-core::query`:
+//! `cos_f + cos_b ∈ [-2, 2]` for similar-node search, raw Eq. 22 inner
+//! products for link recommendation — identical across exact and ANN
+//! backends.
+//!
+//! ```no_run
+//! use pane_serve::{IndexSpec, ServeEngine, serve_tcp};
+//! use std::sync::{Arc, RwLock};
+//!
+//! let emb = pane_core::load_binary(std::path::Path::new("emb.bin")).unwrap();
+//! let engine = ServeEngine::build(emb, &IndexSpec::Flat, 4);
+//! let listener = std::net::TcpListener::bind("127.0.0.1:7878").unwrap();
+//! serve_tcp(Arc::new(RwLock::new(engine)), listener).unwrap();
+//! ```
+
+pub mod engine;
+pub mod protocol;
+pub mod server;
+
+pub use engine::{Hit, IndexSpec, IndexStats, ServeEngine, ServeError};
+pub use protocol::{parse, Json, ParseError};
+pub use server::{handle_line, serve_lines, serve_tcp};

@@ -1,0 +1,396 @@
+//! Request dispatch and the two transports (stdio JSON-lines, TCP).
+//!
+//! The engine sits behind an `RwLock`: searches take the read lock (and
+//! run concurrently across connections), `insert` / `compact` take the
+//! write lock. Each TCP connection gets its own thread; a `shutdown`
+//! request answers, then stops the accept loop, so a scripted client
+//! (or the CI smoke step) can tear the daemon down cleanly.
+
+use crate::engine::{Hit, ServeEngine, ServeError};
+use crate::protocol::{parse, Json};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+fn read_engine(engine: &RwLock<ServeEngine>) -> RwLockReadGuard<'_, ServeEngine> {
+    engine.read().unwrap_or_else(|e| e.into_inner())
+}
+
+fn write_engine(engine: &RwLock<ServeEngine>) -> RwLockWriteGuard<'_, ServeEngine> {
+    engine.write().unwrap_or_else(|e| e.into_inner())
+}
+
+fn hits_json(batched: Vec<Vec<Hit>>) -> Json {
+    Json::Arr(
+        batched
+            .into_iter()
+            .map(|hits| {
+                Json::Arr(
+                    hits.into_iter()
+                        .map(|h| {
+                            Json::obj(vec![
+                                ("node", Json::num(h.node)),
+                                ("score", Json::Num(h.score)),
+                            ])
+                        })
+                        .collect(),
+                )
+            })
+            .collect(),
+    )
+}
+
+fn error_line(message: &str) -> String {
+    Json::obj(vec![
+        ("ok", Json::Bool(false)),
+        ("error", Json::str(message)),
+    ])
+    .to_line()
+}
+
+fn require_index_array(req: &Json, key: &str) -> Result<Vec<usize>, ServeError> {
+    req.get(key)
+        .and_then(Json::as_index_array)
+        .ok_or_else(|| ServeError::BadRequest(format!("'{key}' must be an array of node ids")))
+}
+
+fn optional_index(req: &Json, key: &str, default: usize) -> Result<usize, ServeError> {
+    match req.get(key) {
+        None => Ok(default),
+        Some(v) => v.as_index().ok_or_else(|| {
+            ServeError::BadRequest(format!("'{key}' must be a non-negative integer"))
+        }),
+    }
+}
+
+fn require_f64_array(req: &Json, key: &str) -> Result<Vec<f64>, ServeError> {
+    req.get(key)
+        .and_then(Json::as_f64_array)
+        .ok_or_else(|| ServeError::BadRequest(format!("'{key}' must be an array of numbers")))
+}
+
+fn dispatch(engine: &RwLock<ServeEngine>, req: &Json) -> Result<(Json, bool), ServeError> {
+    let op = req
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ServeError::BadRequest("request needs a string 'op' field".into()))?
+        .to_string();
+    let ok = |mut fields: Vec<(&str, Json)>| {
+        let mut pairs = vec![("ok", Json::Bool(true)), ("op", Json::str(&op))];
+        pairs.append(&mut fields);
+        Json::obj(pairs)
+    };
+    match op.as_str() {
+        "similar-nodes" => {
+            let nodes = require_index_array(req, "nodes")?;
+            let k = optional_index(req, "k", 10)?;
+            let results = read_engine(engine).similar_nodes(&nodes, k)?;
+            Ok((ok(vec![("results", hits_json(results))]), false))
+        }
+        "recommend-links" => {
+            let nodes = require_index_array(req, "nodes")?;
+            let k = optional_index(req, "k", 10)?;
+            let exclude = match req.get("exclude") {
+                None => Vec::new(),
+                Some(v) => v.as_index_array().ok_or_else(|| {
+                    ServeError::BadRequest("'exclude' must be an array of node ids".into())
+                })?,
+            };
+            let results = read_engine(engine).recommend_links(&nodes, k, &exclude)?;
+            Ok((ok(vec![("results", hits_json(results))]), false))
+        }
+        "insert" => {
+            let forward = require_f64_array(req, "forward")?;
+            let backward = require_f64_array(req, "backward")?;
+            let id = write_engine(engine).insert(&forward, &backward)?;
+            Ok((ok(vec![("id", Json::num(id))]), false))
+        }
+        "compact" => {
+            let mut g = write_engine(engine);
+            let folded = g.compact();
+            Ok((
+                ok(vec![
+                    ("folded", Json::num(folded)),
+                    ("nodes", Json::num(g.num_nodes())),
+                ]),
+                false,
+            ))
+        }
+        "stats" => {
+            let g = read_engine(engine);
+            let idx = |s: crate::engine::IndexStats| {
+                Json::obj(vec![
+                    ("kind", Json::str(s.kind)),
+                    ("base", Json::num(s.base)),
+                    ("delta", Json::num(s.delta)),
+                ])
+            };
+            Ok((
+                ok(vec![
+                    ("nodes", Json::num(g.num_nodes())),
+                    ("half_dim", Json::num(g.half_dim())),
+                    ("threads", Json::num(g.threads())),
+                    ("node_index", idx(g.node_stats())),
+                    ("link_index", idx(g.link_stats())),
+                    (
+                        "score_scale",
+                        Json::str("similar-nodes: cos_f + cos_b in [-2,2]; recommend-links: Eq. 22 inner product"),
+                    ),
+                ]),
+                false,
+            ))
+        }
+        "shutdown" => Ok((ok(vec![]), true)),
+        other => Err(ServeError::BadRequest(format!(
+            "unknown op '{other}' (similar-nodes | recommend-links | insert | compact | stats | shutdown)"
+        ))),
+    }
+}
+
+/// Handles one request line, returning the response line and whether the
+/// daemon should shut down. Never panics on malformed input — every
+/// failure is an `{"ok":false,…}` response.
+pub fn handle_line(engine: &RwLock<ServeEngine>, line: &str) -> (String, bool) {
+    let req = match parse(line) {
+        Ok(v) => v,
+        Err(e) => return (error_line(&e.to_string()), false),
+    };
+    match dispatch(engine, &req) {
+        Ok((resp, shutdown)) => (resp.to_line(), shutdown),
+        Err(e) => (error_line(&e.to_string()), false),
+    }
+}
+
+/// Serves JSON-lines request/response over any reader/writer pair (the
+/// `--stdio` transport; also what each TCP connection runs). Blank lines
+/// are ignored. Returns `Ok(true)` if a `shutdown` request ended the
+/// session, `Ok(false)` on EOF.
+pub fn serve_lines<R: BufRead, W: Write>(
+    engine: &RwLock<ServeEngine>,
+    reader: R,
+    mut writer: W,
+) -> std::io::Result<bool> {
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (resp, shutdown) = handle_line(engine, &line);
+        writer.write_all(resp.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        if shutdown {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+/// Serves the engine over TCP: one thread per connection, shared state
+/// behind the lock. Returns once a client issues `shutdown` (its response
+/// is sent first) and all connection threads have drained — connections
+/// that are still open at shutdown are closed server-side, so an idle
+/// client cannot keep the daemon alive.
+pub fn serve_tcp(engine: Arc<RwLock<ServeEngine>>, listener: TcpListener) -> std::io::Result<()> {
+    let stop = Arc::new(AtomicBool::new(false));
+    let addr = listener.local_addr()?;
+    // One (worker, socket-clone) pair per *live* connection: finished
+    // entries are reaped every accept so the vector stays bounded, and
+    // the clones let shutdown sever connections blocked in a read.
+    let mut conns: Vec<(std::thread::JoinHandle<()>, TcpStream)> = Vec::new();
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        conns.retain(|(h, _)| !h.is_finished());
+        let stream = match stream {
+            Ok(s) => s,
+            Err(_) => {
+                // Transient accept failure (e.g. fd exhaustion): back off
+                // instead of hot-spinning the accept loop.
+                std::thread::sleep(std::time::Duration::from_millis(50));
+                continue;
+            }
+        };
+        let Ok(watch) = stream.try_clone() else {
+            continue;
+        };
+        let engine = Arc::clone(&engine);
+        let stop = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            let Ok(read_half) = stream.try_clone() else {
+                return;
+            };
+            let shutdown =
+                serve_lines(&engine, BufReader::new(read_half), &stream).unwrap_or(false);
+            if shutdown {
+                stop.store(true, Ordering::SeqCst);
+                // Unblock the accept loop so it can observe the flag.
+                let _ = TcpStream::connect(addr);
+            }
+        });
+        conns.push((handle, watch));
+    }
+    for (handle, watch) in conns {
+        // Sever any connection still parked in a blocking read; its
+        // worker then sees EOF and exits, so the join cannot hang.
+        let _ = watch.shutdown(std::net::Shutdown::Both);
+        let _ = handle.join();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::IndexSpec;
+    use pane_core::{Pane, PaneConfig};
+    use pane_graph::gen::{generate_sbm, SbmConfig};
+
+    fn engine() -> RwLock<ServeEngine> {
+        let g = generate_sbm(&SbmConfig {
+            nodes: 90,
+            communities: 3,
+            avg_out_degree: 5.0,
+            attributes: 12,
+            attrs_per_node: 3.0,
+            seed: 21,
+            ..Default::default()
+        });
+        let emb = Pane::new(PaneConfig::builder().dimension(8).seed(3).build())
+            .embed(&g)
+            .unwrap();
+        RwLock::new(ServeEngine::build(emb, &IndexSpec::Flat, 2))
+    }
+
+    fn req(engine: &RwLock<ServeEngine>, line: &str) -> Json {
+        let (resp, _) = handle_line(engine, line);
+        parse(&resp).unwrap()
+    }
+
+    #[test]
+    fn full_session_over_in_memory_stdio() {
+        let eng = engine();
+        let k2 = read_engine(&eng).half_dim();
+        let half: Vec<String> = (0..k2).map(|i| format!("0.{}", i + 1)).collect();
+        let vec_json = format!("[{}]", half.join(","));
+        let insert = format!(r#"{{"op":"insert","forward":{vec_json},"backward":{vec_json}}}"#);
+        let input = format!(
+            "{}\n\n{}\n{}\n{}\n{}\n",
+            r#"{"op":"similar-nodes","nodes":[0,1],"k":3}"#,
+            r#"{"op":"recommend-links","nodes":[2],"k":2,"exclude":[0]}"#,
+            insert,
+            r#"{"op":"stats"}"#,
+            r#"{"op":"shutdown"}"#,
+        );
+        let mut out = Vec::new();
+        let ended = serve_lines(&eng, input.as_bytes(), &mut out).unwrap();
+        assert!(ended, "shutdown must end the session");
+        let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().lines().collect();
+        assert_eq!(lines.len(), 5);
+        for l in &lines {
+            assert_eq!(parse(l).unwrap().get("ok"), Some(&Json::Bool(true)), "{l}");
+        }
+        let sim = parse(lines[0]).unwrap();
+        let results = match sim.get("results") {
+            Some(Json::Arr(r)) => r.clone(),
+            other => panic!("bad results: {other:?}"),
+        };
+        assert_eq!(results.len(), 2);
+        let insert = parse(lines[2]).unwrap();
+        assert_eq!(insert.get("id").unwrap().as_index(), Some(90));
+        let stats = parse(lines[3]).unwrap();
+        assert_eq!(stats.get("nodes").unwrap().as_index(), Some(91));
+        assert_eq!(
+            stats
+                .get("node_index")
+                .unwrap()
+                .get("delta")
+                .unwrap()
+                .as_index(),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn malformed_and_unknown_requests_are_ok_false() {
+        let eng = engine();
+        for bad in [
+            "not json",
+            r#"{"nodes":[0]}"#,
+            r#"{"op":"explode"}"#,
+            r#"{"op":"similar-nodes","nodes":[9999]}"#,
+            r#"{"op":"similar-nodes","nodes":"zero"}"#,
+            r#"{"op":"insert","forward":[1],"backward":[]}"#,
+        ] {
+            let resp = req(&eng, bad);
+            assert_eq!(resp.get("ok"), Some(&Json::Bool(false)), "{bad}");
+            assert!(resp.get("error").unwrap().as_str().is_some());
+        }
+    }
+
+    #[test]
+    fn shutdown_severs_idle_connections() {
+        use std::io::{BufRead, BufReader, Write};
+        let eng = Arc::new(engine());
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = {
+            let eng = Arc::clone(&eng);
+            std::thread::spawn(move || serve_tcp(eng, listener))
+        };
+        // An idle client that never sends a byte must not keep the
+        // daemon alive past a shutdown from another client.
+        let idle = TcpStream::connect(addr).unwrap();
+        let mut active = TcpStream::connect(addr).unwrap();
+        active.write_all(b"{\"op\":\"shutdown\"}\n").unwrap();
+        let mut line = String::new();
+        BufReader::new(active.try_clone().unwrap())
+            .read_line(&mut line)
+            .unwrap();
+        assert_eq!(parse(&line).unwrap().get("ok"), Some(&Json::Bool(true)));
+        // Joins only if the server severed the idle connection.
+        server.join().unwrap().unwrap();
+        drop(idle);
+    }
+
+    #[test]
+    fn tcp_roundtrip_with_clean_shutdown() {
+        use std::io::{BufRead, BufReader, Write};
+        let eng = Arc::new(engine());
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = {
+            let eng = Arc::clone(&eng);
+            std::thread::spawn(move || serve_tcp(eng, listener))
+        };
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.write_all(b"{\"op\":\"similar-nodes\",\"nodes\":[0],\"k\":2}\n")
+            .unwrap();
+        let mut reader = BufReader::new(conn.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(
+            parse(&line).unwrap().get("ok"),
+            Some(&Json::Bool(true)),
+            "{line}"
+        );
+        // A second concurrent connection is served too.
+        let mut conn2 = TcpStream::connect(addr).unwrap();
+        conn2.write_all(b"{\"op\":\"stats\"}\n").unwrap();
+        let mut line2 = String::new();
+        BufReader::new(conn2.try_clone().unwrap())
+            .read_line(&mut line2)
+            .unwrap();
+        assert_eq!(parse(&line2).unwrap().get("ok"), Some(&Json::Bool(true)));
+        // Shutdown answers, then the server drains and joins.
+        conn.write_all(b"{\"op\":\"shutdown\"}\n").unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(parse(&line).unwrap().get("ok"), Some(&Json::Bool(true)));
+        drop(conn);
+        drop(conn2);
+        server.join().unwrap().unwrap();
+    }
+}

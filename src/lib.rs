@@ -45,10 +45,14 @@
 //! | [`pane_linalg`] | dense matrices, QR, Jacobi SVD, randomized SVD |
 //! | [`pane_core`] | the PANE algorithms: APMI, GreedyInit, SVDCCD and parallel variants |
 //! | [`pane_index`] | ANN serving layer: exact / IVF / HNSW vector indexes over the embeddings |
+//! | [`pane_serve`] | shared-index serving daemon: JSON-lines protocol, incremental inserts |
 //! | [`pane_eval`] | attribute inference / link prediction / node classification + metrics |
 //! | [`pane_baselines`] | competitor stand-ins (NRP-, TADW-, CAN-, BLA-like, SVD baselines, PANE-R) |
 //! | [`pane_datasets`] | the eight dataset analogues of Table 3 |
 //! | [`pane_parallel`] | block partitioning and scoped worker fan-out |
+//!
+//! See `ARCHITECTURE.md` at the repository root for the full data-flow
+//! picture (embed → persist → index → serve) and the determinism contract.
 
 pub use pane_baselines;
 pub use pane_core;
@@ -58,6 +62,7 @@ pub use pane_graph;
 pub use pane_index;
 pub use pane_linalg;
 pub use pane_parallel;
+pub use pane_serve;
 pub use pane_sparse;
 
 /// Most-used items, re-exported for `use pane::prelude::*`.
@@ -72,7 +77,10 @@ pub mod prelude {
     pub use pane_eval::metrics::{average_precision, roc_auc};
     pub use pane_eval::{report_card, ReportOptions};
     pub use pane_graph::{AttributedGraph, GraphBuilder};
-    pub use pane_index::{FlatIndex, HnswConfig, HnswIndex, IvfConfig, IvfIndex, VectorIndex};
+    pub use pane_index::{
+        DeltaIndex, FlatIndex, HnswConfig, HnswIndex, IvfConfig, IvfIndex, VectorIndex,
+    };
     pub use pane_linalg::DenseMatrix;
+    pub use pane_serve::{IndexSpec, ServeEngine};
     pub use pane_sparse::CsrMatrix;
 }
