@@ -15,18 +15,28 @@
 //! pane index search --index IDX --embedding EMB [--text]
 //!                   (--node V | --nodes V1,V2,…) [--k 10]
 //!                   [--space similar|links] [--nprobe N] [--ef N] [--threads 1]
-//! pane serve        --embedding EMB [--text] (--stdio | --listen ADDR)
-//!                   [--node-index IDX --link-index IDX]
-//!                   [--kind flat|ivf|hnsw] [--lists 64] [--nprobe 8]
-//!                   [--m 16] [--efc 100] [--ef 64] [--seed 0] [--threads 1]
+//! pane serve        (--store DIR | --embedding EMB [--text]
+//!                    [--node-index IDX --link-index IDX]
+//!                    [--kind flat|ivf|hnsw] [--lists 64] [--nprobe 8]
+//!                    [--m 16] [--efc 100] [--ef 64] [--seed 0])
+//!                   (--stdio | --listen ADDR) [--threads 1]
+//! pane store init     --embedding EMB [--text] --dir DIR [--shards N]
+//!                     [--kind flat|ivf|hnsw + build params] [--threads 1]
+//! pane store snapshot --dir DIR [--threads 1]
+//! pane store status   --dir DIR
 //! ```
+//!
+//! Graph-loading commands (`embed`, `stats`, `evaluate`, `convert`)
+//! accept `--two-pass` to re-parse the input files through the two-pass
+//! counting sort instead of the chunked merge — bit-identical graphs,
+//! lower peak memory on near-unique edge lists.
 
 mod args;
 
 use args::{ArgError, Args};
 use pane_core::{EmbeddingQuery, Pane, PaneConfig};
 use pane_datasets::DatasetZoo;
-use pane_graph::io::load_graph;
+use pane_graph::io::{load_graph_with, LoadMode};
 use pane_index::{
     AnyIndex, FlatIndex, HnswConfig, HnswIndex, IvfConfig, IvfIndex, Metric, VectorIndex,
 };
@@ -48,6 +58,7 @@ fn main() -> ExitCode {
         "topk" => cmd_topk(raw),
         "index" => cmd_index(raw),
         "serve" => cmd_serve(raw),
+        "store" => cmd_store(raw),
         "evaluate" => cmd_evaluate(raw),
         "convert" => cmd_convert(raw),
         other => Err(format!("unknown command '{other}' (try `pane help`)").into()),
@@ -73,6 +84,7 @@ fn print_help() {
            topk      query a saved embedding (top attributes / links / similar nodes)\n\
            index     build / search an ANN index over a saved embedding (flat / ivf / hnsw)\n\
            serve     run the shared-index serving daemon (JSON-lines over TCP or stdio)\n\
+           store     manage durable store directories (init / snapshot / status)\n\
            evaluate  run the three-task quality report on a graph\n\
            convert   convert a text graph to the fast binary format (or back)\n\n\
          run `pane <command>` with no options to see its usage in the error message."
@@ -83,13 +95,19 @@ fn load_from_args(a: &Args) -> Result<pane_graph::AttributedGraph, Box<dyn std::
     let edges = PathBuf::from(a.require("edges")?);
     let attrs = a.get("attrs").map(PathBuf::from);
     let labels = a.get("labels").map(PathBuf::from);
-    let g = load_graph(
+    let mode = if a.flag("two-pass") {
+        LoadMode::TwoPass
+    } else {
+        LoadMode::Chunked
+    };
+    let g = load_graph_with(
         &edges,
         attrs.as_deref(),
         labels.as_deref(),
         None,
         None,
         a.flag("undirected"),
+        mode,
     )?;
     Ok(g)
 }
@@ -102,7 +120,7 @@ fn reject_positionals(a: &Args) -> Result<(), ArgError> {
 }
 
 fn cmd_embed(raw: Vec<String>) -> CliResult {
-    let a = Args::parse(raw, &["undirected", "text"])?;
+    let a = Args::parse(raw, &["undirected", "text", "two-pass"])?;
     reject_positionals(&a)?;
     a.reject_unknown(&[
         "edges", "attrs", "labels", "dim", "alpha", "eps", "threads", "seed", "output",
@@ -173,7 +191,7 @@ fn cmd_generate(raw: Vec<String>) -> CliResult {
 }
 
 fn cmd_stats(raw: Vec<String>) -> CliResult {
-    let a = Args::parse(raw, &["undirected"])?;
+    let a = Args::parse(raw, &["undirected", "two-pass"])?;
     reject_positionals(&a)?;
     a.reject_unknown(&["edges", "attrs", "labels"])?;
     let g = load_from_args(&a)?;
@@ -214,7 +232,7 @@ fn cmd_stats(raw: Vec<String>) -> CliResult {
 }
 
 fn cmd_evaluate(raw: Vec<String>) -> CliResult {
-    let a = Args::parse(raw, &["undirected"])?;
+    let a = Args::parse(raw, &["undirected", "two-pass"])?;
     reject_positionals(&a)?;
     a.reject_unknown(&[
         "edges", "attrs", "labels", "dim", "alpha", "eps", "threads", "seed", "binary",
@@ -242,7 +260,7 @@ fn cmd_evaluate(raw: Vec<String>) -> CliResult {
 }
 
 fn cmd_convert(raw: Vec<String>) -> CliResult {
-    let a = Args::parse(raw, &["undirected"])?;
+    let a = Args::parse(raw, &["undirected", "two-pass"])?;
     reject_positionals(&a)?;
     a.reject_unknown(&["edges", "attrs", "labels", "output", "binary"])?;
     let out = PathBuf::from(a.require("output")?);
@@ -488,72 +506,29 @@ fn cmd_index_search(raw: Vec<String>) -> CliResult {
     Ok(())
 }
 
-fn cmd_serve(raw: Vec<String>) -> CliResult {
-    let a = Args::parse(raw, &["text", "stdio"])?;
-    reject_positionals(&a)?;
-    a.reject_unknown(&[
-        "embedding",
-        "node-index",
-        "link-index",
-        "kind",
-        "lists",
-        "nprobe",
-        "iters",
-        "m",
-        "efc",
-        "ef",
-        "seed",
-        "threads",
-        "listen",
-    ])?;
-    let emb = load_embedding_from_args(&a)?;
-    let threads: usize = a.get_parsed("threads", 1usize)?;
+/// Parses `--kind` + build parameters into a `pane_index::IndexSpec` recipe.
+fn spec_from_args(a: &Args) -> Result<pane_index::IndexSpec, Box<dyn std::error::Error>> {
+    Ok(match a.get("kind").unwrap_or("hnsw") {
+        "flat" => pane_index::IndexSpec::Flat,
+        "ivf" => pane_index::IndexSpec::Ivf(IvfConfig {
+            nlist: a.get_parsed("lists", 64usize)?,
+            nprobe: a.get_parsed("nprobe", 8usize)?,
+            train_iters: a.get_parsed("iters", 10usize)?,
+            seed: a.get_parsed("seed", 0u64)?,
+            threads: 1,
+        }),
+        "hnsw" => pane_index::IndexSpec::Hnsw(HnswConfig {
+            m: a.get_parsed("m", 16usize)?,
+            ef_construction: a.get_parsed("efc", 100usize)?,
+            ef_search: a.get_parsed("ef", 64usize)?,
+            seed: a.get_parsed("seed", 0u64)?,
+        }),
+        other => return Err(format!("unknown index kind '{other}' (flat|ivf|hnsw)").into()),
+    })
+}
 
-    let engine = match (a.get("node-index"), a.get("link-index")) {
-        (Some(node), Some(link)) => {
-            // Serve prebuilt PANEIDX1 files — the shared-index path: the
-            // daemon loads them once, every client shares the load cost.
-            let node_base = pane_index::load_index(std::path::Path::new(node))?;
-            let link_base = pane_index::load_index(std::path::Path::new(link))?;
-            pane_serve::ServeEngine::new(emb, node_base, link_base, threads)?
-        }
-        (None, None) => {
-            let spec = match a.get("kind").unwrap_or("hnsw") {
-                "flat" => pane_serve::IndexSpec::Flat,
-                "ivf" => pane_serve::IndexSpec::Ivf(IvfConfig {
-                    nlist: a.get_parsed("lists", 64usize)?,
-                    nprobe: a.get_parsed("nprobe", 8usize)?,
-                    train_iters: a.get_parsed("iters", 10usize)?,
-                    seed: a.get_parsed("seed", 0u64)?,
-                    threads,
-                }),
-                "hnsw" => pane_serve::IndexSpec::Hnsw(HnswConfig {
-                    m: a.get_parsed("m", 16usize)?,
-                    ef_construction: a.get_parsed("efc", 100usize)?,
-                    ef_search: a.get_parsed("ef", 64usize)?,
-                    seed: a.get_parsed("seed", 0u64)?,
-                }),
-                other => return Err(format!("unknown index kind '{other}' (flat|ivf|hnsw)").into()),
-            };
-            let t0 = std::time::Instant::now();
-            let engine = pane_serve::ServeEngine::build(emb, &spec, threads);
-            eprintln!(
-                "built {} node+link indexes over {} nodes in {:.2}s",
-                spec.kind_name(),
-                engine.num_nodes(),
-                t0.elapsed().as_secs_f64()
-            );
-            engine
-        }
-        _ => return Err("give both --node-index and --link-index, or neither".into()),
-    };
-    eprintln!(
-        "serving {} nodes (k/2 = {}, {} threads)",
-        engine.num_nodes(),
-        engine.half_dim(),
-        engine.threads()
-    );
-
+/// Runs the selected transport over any engine (single or sharded).
+fn run_serve_transport<B: pane_serve::ServeBackend + 'static>(engine: B, a: &Args) -> CliResult {
     let engine = std::sync::RwLock::new(engine);
     match (a.flag("stdio"), a.get("listen")) {
         (true, None) => {
@@ -572,6 +547,218 @@ fn cmd_serve(raw: Vec<String>) -> CliResult {
         }
         _ => Err("give exactly one transport: --stdio or --listen ADDR".into()),
     }
+}
+
+fn cmd_serve(raw: Vec<String>) -> CliResult {
+    use pane_serve::ServeBackend;
+    let a = Args::parse(raw, &["text", "stdio"])?;
+    reject_positionals(&a)?;
+    a.reject_unknown(&[
+        "embedding",
+        "store",
+        "node-index",
+        "link-index",
+        "kind",
+        "lists",
+        "nprobe",
+        "iters",
+        "m",
+        "efc",
+        "ef",
+        "seed",
+        "threads",
+        "listen",
+    ])?;
+    let threads: usize = a.get_parsed("threads", 1usize)?;
+
+    // Durable mode: a store directory (single or sharded) created by
+    // `pane store init`. Inserts are WAL-backed, `snapshot` works, and a
+    // restart replays everything acknowledged since the last snapshot.
+    if let Some(store_dir) = a.get("store") {
+        if a.get("embedding").is_some() || a.get("node-index").is_some() {
+            return Err("--store replaces --embedding/--node-index/--link-index".into());
+        }
+        let dir = std::path::Path::new(store_dir);
+        return match pane_store::ShardedStore::shard_count(dir)? {
+            Some(shards) => {
+                let engine = pane_serve::ShardedEngine::open(dir, threads)?;
+                let st = engine.status();
+                eprintln!(
+                    "serving {} nodes across {shards} shards (k/2 = {}, {} threads; \
+                     generation {}, replayed {} WAL records)",
+                    st.nodes,
+                    st.half_dim,
+                    threads,
+                    st.store.map(|s| s.generation).unwrap_or(0),
+                    st.store.map(|s| s.replayed).unwrap_or(0),
+                );
+                run_serve_transport(engine, &a)
+            }
+            None => {
+                let engine = pane_serve::ServeEngine::open(dir, threads)?;
+                let st = engine.status();
+                eprintln!(
+                    "serving {} nodes (k/2 = {}, {} threads; generation {}, \
+                     replayed {} WAL records)",
+                    st.nodes,
+                    st.half_dim,
+                    threads,
+                    st.store.map(|s| s.generation).unwrap_or(0),
+                    st.store.map(|s| s.replayed).unwrap_or(0),
+                );
+                run_serve_transport(engine, &a)
+            }
+        };
+    }
+
+    let emb = load_embedding_from_args(&a)?;
+    let engine = match (a.get("node-index"), a.get("link-index")) {
+        (Some(node), Some(link)) => {
+            // Serve prebuilt PANEIDX1 files — the shared-index path: the
+            // daemon loads them once, every client shares the load cost.
+            let node_base = pane_index::load_index(std::path::Path::new(node))?;
+            let link_base = pane_index::load_index(std::path::Path::new(link))?;
+            pane_serve::ServeEngine::new(emb, node_base, link_base, threads)?
+        }
+        (None, None) => {
+            let spec = spec_from_args(&a)?;
+            let t0 = std::time::Instant::now();
+            let engine = pane_serve::ServeEngine::build(emb, &spec, threads);
+            eprintln!(
+                "built {} node+link indexes over {} nodes in {:.2}s",
+                spec.kind_name(),
+                engine.num_nodes(),
+                t0.elapsed().as_secs_f64()
+            );
+            engine
+        }
+        _ => return Err("give both --node-index and --link-index, or neither".into()),
+    };
+    eprintln!(
+        "serving {} nodes (k/2 = {}, {} threads; ephemeral — inserts are lost on exit, \
+         use `pane store init` + `--store` for durability)",
+        engine.num_nodes(),
+        engine.half_dim(),
+        engine.threads()
+    );
+    run_serve_transport(engine, &a)
+}
+
+fn cmd_store(mut raw: Vec<String>) -> CliResult {
+    if raw.is_empty() {
+        return Err("store requires a subcommand: init | snapshot | status".into());
+    }
+    let sub = raw.remove(0);
+    match sub.as_str() {
+        "init" => cmd_store_init(raw),
+        "snapshot" => cmd_store_snapshot(raw),
+        "status" => cmd_store_status(raw),
+        other => Err(format!("unknown store subcommand '{other}' (init|snapshot|status)").into()),
+    }
+}
+
+fn cmd_store_init(raw: Vec<String>) -> CliResult {
+    let a = Args::parse(raw, &["text"])?;
+    reject_positionals(&a)?;
+    a.reject_unknown(&[
+        "embedding",
+        "dir",
+        "shards",
+        "kind",
+        "lists",
+        "nprobe",
+        "iters",
+        "m",
+        "efc",
+        "ef",
+        "seed",
+        "threads",
+    ])?;
+    let emb = load_embedding_from_args(&a)?;
+    let dir = PathBuf::from(a.require("dir")?);
+    let spec = spec_from_args(&a)?;
+    let threads: usize = a.get_parsed("threads", 1usize)?;
+    let shards: usize = a.get_parsed("shards", 1usize)?;
+    let t0 = std::time::Instant::now();
+    if shards > 1 {
+        pane_store::ShardedStore::init(&dir, &emb, &spec, &spec, shards, threads)?;
+        eprintln!(
+            "initialized {shards}-way sharded store over {} nodes ({} indexes) in {:.2}s",
+            emb.forward.rows(),
+            spec.kind_name(),
+            t0.elapsed().as_secs_f64()
+        );
+    } else {
+        pane_store::Store::init(&dir, &emb, &spec, &spec, threads)?;
+        eprintln!(
+            "initialized store over {} nodes ({} indexes) in {:.2}s",
+            emb.forward.rows(),
+            spec.kind_name(),
+            t0.elapsed().as_secs_f64()
+        );
+    }
+    eprintln!("wrote {}", dir.display());
+    Ok(())
+}
+
+fn cmd_store_snapshot(raw: Vec<String>) -> CliResult {
+    use pane_serve::ServeBackend;
+    let a = Args::parse(raw, &[])?;
+    reject_positionals(&a)?;
+    a.reject_unknown(&["dir", "threads"])?;
+    let dir = PathBuf::from(a.require("dir")?);
+    let threads: usize = a.get_parsed("threads", 1usize)?;
+    let t0 = std::time::Instant::now();
+    let out = match pane_store::ShardedStore::shard_count(&dir)? {
+        Some(_) => pane_serve::ShardedEngine::open(&dir, threads)?.snapshot()?,
+        None => pane_serve::ServeEngine::open(&dir, threads)?.snapshot()?,
+    };
+    eprintln!(
+        "snapshot complete: generation {}, folded {} WAL records in {:.2}s",
+        out.generation,
+        out.folded,
+        t0.elapsed().as_secs_f64()
+    );
+    Ok(())
+}
+
+fn print_store_status(label: &str, s: &pane_store::StoreStatus) {
+    println!(
+        "{label}generation {} | base nodes {} | k/2 {} | wal records {} | node index {} | \
+         link index {}",
+        s.generation,
+        s.base_nodes,
+        s.half_dim,
+        s.wal_records,
+        s.node_spec.to_manifest(),
+        s.link_spec.to_manifest(),
+    );
+    if s.wal_dropped_bytes > 0 {
+        println!(
+            "{label}  warning: {} torn trailing WAL bytes (dropped at next open)",
+            s.wal_dropped_bytes
+        );
+    }
+}
+
+fn cmd_store_status(raw: Vec<String>) -> CliResult {
+    let a = Args::parse(raw, &[])?;
+    reject_positionals(&a)?;
+    a.reject_unknown(&["dir"])?;
+    let dir = PathBuf::from(a.require("dir")?);
+    match pane_store::ShardedStore::shard_count(&dir)? {
+        Some(shards) => {
+            let statuses = pane_store::ShardedStore::read_status(&dir)?;
+            let nodes: usize = statuses.iter().map(|s| s.base_nodes).sum();
+            let wal: usize = statuses.iter().map(|s| s.wal_records).sum();
+            println!("sharded store: {shards} shards | base nodes {nodes} | wal records {wal}");
+            for (i, s) in statuses.iter().enumerate() {
+                print_store_status(&format!("  shard {i}: "), s);
+            }
+        }
+        None => print_store_status("", &pane_store::read_status(&dir)?),
+    }
+    Ok(())
 }
 
 /// Integration tests exercise the binary end-to-end via assert-less spawns

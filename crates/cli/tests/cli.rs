@@ -648,3 +648,222 @@ fn serve_tcp_daemon_shares_prebuilt_indexes() {
     assert!(status.success(), "daemon did not shut down cleanly");
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// The durable store lifecycle through the binary: init → serve with a
+/// WAL-backed insert → hard stop (no shutdown, no snapshot) → restart
+/// serves the insert → offline snapshot → restart boots generation 2
+/// with an empty WAL. Also covers `store status` and `--two-pass`.
+#[test]
+fn store_lifecycle_survives_a_hard_stop() {
+    use std::io::Write;
+    let (dir, emb) = serve_fixture("store_cycle");
+    let store = dir.join("store");
+    let store_s = store.to_str().unwrap();
+
+    let (ok, _, err) = run(&[
+        "store",
+        "init",
+        "--embedding",
+        emb.to_str().unwrap(),
+        "--kind",
+        "flat",
+        "--dir",
+        store_s,
+    ]);
+    assert!(ok, "store init failed: {err}");
+    assert!(store.join("MANIFEST").exists());
+    assert!(store.join("wal.log").exists());
+
+    let (ok, out, err) = run(&["store", "status", "--dir", store_s]);
+    assert!(ok, "store status failed: {err}");
+    assert!(out.contains("generation 1"), "{out}");
+    assert!(out.contains("wal records 0"), "{out}");
+
+    // Refusing to clobber an existing store is a clean error.
+    let (ok, _, err) = run(&[
+        "store",
+        "init",
+        "--embedding",
+        emb.to_str().unwrap(),
+        "--dir",
+        store_s,
+    ]);
+    assert!(!ok);
+    assert!(err.contains("refusing"), "{err}");
+
+    // Session 1: insert one node, then drop stdin WITHOUT a shutdown —
+    // the daemon exits on EOF, and the WAL is the only record.
+    let half = "[0.1,0.2,0.3,0.4,0.5,0.6,0.7,0.8]";
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_pane"))
+        .args(["serve", "--store", store_s, "--stdio"])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn pane serve");
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(
+            format!("{{\"op\":\"insert\",\"forward\":{half},\"backward\":{half}}}\n").as_bytes(),
+        )
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"ok\":true"), "{stdout}");
+    let id: usize = stdout
+        .split("\"id\":")
+        .nth(1)
+        .and_then(|s| s.trim_end_matches(['}', '\n']).parse().ok())
+        .expect("insert echoes the assigned id");
+
+    let (ok, out, err) = run(&["store", "status", "--dir", store_s]);
+    assert!(ok, "store status failed: {err}");
+    assert!(out.contains("wal records 1"), "{out}");
+
+    // Session 2: the acknowledged insert is replayed and queryable.
+    let script = format!(
+        "{{\"op\":\"stats\"}}\n{{\"op\":\"similar-nodes\",\"nodes\":[{id}],\"k\":3}}\n{{\"op\":\"shutdown\"}}\n"
+    );
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_pane"))
+        .args(["serve", "--store", store_s, "--stdio"])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn pane serve");
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(script.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 3, "{stdout}");
+    assert!(lines[0].contains("\"replayed\":1"), "{}", lines[0]);
+    assert!(lines[0].contains("\"wal_records\":1"), "{}", lines[0]);
+    assert!(lines[1].contains("\"ok\":true"), "{}", lines[1]);
+
+    // Offline snapshot folds the WAL into generation 2.
+    let (ok, _, err) = run(&["store", "snapshot", "--dir", store_s]);
+    assert!(ok, "store snapshot failed: {err}");
+    assert!(err.contains("generation 2"), "{err}");
+    let (ok, out, _) = run(&["store", "status", "--dir", store_s]);
+    assert!(ok);
+    assert!(out.contains("generation 2"), "{out}");
+    assert!(out.contains("wal records 0"), "{out}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Sharded store through the binary: init --shards, status per shard,
+/// serve --store over the sharded root.
+#[test]
+fn sharded_store_serves_through_the_binary() {
+    use std::io::Write;
+    let (dir, emb) = serve_fixture("store_sharded");
+    let store = dir.join("shards");
+    let store_s = store.to_str().unwrap();
+
+    let (ok, _, err) = run(&[
+        "store",
+        "init",
+        "--embedding",
+        emb.to_str().unwrap(),
+        "--kind",
+        "flat",
+        "--shards",
+        "2",
+        "--dir",
+        store_s,
+    ]);
+    assert!(ok, "sharded init failed: {err}");
+    assert!(store.join("shard-000").join("MANIFEST").exists());
+    assert!(store.join("shard-001").join("MANIFEST").exists());
+
+    let (ok, out, err) = run(&["store", "status", "--dir", store_s]);
+    assert!(ok, "status failed: {err}");
+    assert!(out.contains("sharded store: 2 shards"), "{out}");
+    assert!(out.contains("shard 1"), "{out}");
+
+    let script = concat!(
+        "{\"op\":\"stats\"}\n",
+        "{\"op\":\"similar-nodes\",\"nodes\":[0,1,2],\"k\":4}\n",
+        "{\"op\":\"shutdown\"}\n",
+    );
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_pane"))
+        .args(["serve", "--store", store_s, "--threads", "2", "--stdio"])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn pane serve");
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(script.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 3, "{stdout}");
+    assert!(lines[0].contains("\"shards\":2"), "{}", lines[0]);
+    for l in &lines {
+        assert!(l.contains("\"ok\":true"), "{l}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `--two-pass` loads are accepted and bit-identical: embedding the same
+/// graph in both modes produces byte-identical output files.
+#[test]
+fn two_pass_embed_matches_chunked() {
+    let dir = workdir("two_pass");
+    let dir_s = dir.to_str().unwrap();
+    run(&[
+        "generate",
+        "--zoo",
+        "cora-like",
+        "--scale",
+        "0.05",
+        "--seed",
+        "3",
+        "--out-dir",
+        dir_s,
+    ]);
+    let mut outs = Vec::new();
+    for (name, extra) in [("a.bin", None), ("b.bin", Some("--two-pass"))] {
+        let out = dir.join(name);
+        let mut args = vec!["embed", "--edges"];
+        let edges = dir.join("edges.txt");
+        let attrs = dir.join("attributes.txt");
+        args.push(edges.to_str().unwrap());
+        args.push("--attrs");
+        args.push(attrs.to_str().unwrap());
+        args.extend(["--dim", "16", "--output"]);
+        args.push(out.to_str().unwrap());
+        if let Some(flag) = extra {
+            args.push(flag);
+        }
+        let (ok, _, err) = run(&args);
+        assert!(ok, "embed failed: {err}");
+        outs.push(std::fs::read(&out).unwrap());
+    }
+    assert_eq!(outs[0], outs[1], "two-pass load changed the embedding");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -125,8 +125,9 @@ impl VectorIndex for DeltaIndex {
     fn save(&self, path: &Path) -> Result<(), IndexError> {
         if self.delta.rows() > 0 {
             return Err(IndexError::Unsupported(format!(
-                "DeltaIndex holds {} uncompacted delta vectors; compact into a fresh base index \
-                 before saving",
+                "DeltaIndex holds {} uncompacted delta vectors; fold them into a fresh base \
+                 first — take a store snapshot (`pane store snapshot` / the daemon's \
+                 `snapshot` op) or issue a `compact` — then save",
                 self.delta.rows()
             )));
         }

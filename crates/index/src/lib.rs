@@ -42,6 +42,7 @@ pub mod kmeans;
 pub mod persist;
 #[cfg(test)]
 mod proptests;
+pub mod spec;
 pub mod topk;
 
 pub use delta::DeltaIndex;
@@ -50,6 +51,7 @@ pub use hnsw::{HnswConfig, HnswIndex};
 pub use ivf::{IvfConfig, IvfIndex};
 pub use kmeans::{kmeans, KmeansResult};
 pub use persist::{load_index, AnyIndex};
+pub use spec::IndexSpec;
 
 use pane_linalg::{vecops, DenseMatrix};
 use pane_parallel::{even_ranges_nonempty, map_blocks};

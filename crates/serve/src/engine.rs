@@ -16,8 +16,19 @@
 //! Both indexes are wrapped in [`DeltaIndex`], so an insert is O(dim) and
 //! the very next query sees the new node. [`ServeEngine::compact`] folds
 //! accumulated deltas back into optimized base structures by rebuilding
-//! them — deterministically, from the engine's recorded [`IndexSpec`] —
-//! which bounds the delta-scan cost under sustained ingest.
+//! them — deterministically, from the engine's recorded [`IndexSpec`].
+//!
+//! # Durability
+//!
+//! An engine opened over a **store directory** ([`ServeEngine::open`],
+//! backed by `pane-store`) is restart-safe: [`Store::open`] replays the
+//! insert-ahead log into the delta segments at boot, every
+//! [`ServeEngine::insert`] appends (and syncs) a WAL record *before* the
+//! in-memory insert is acknowledged, and [`ServeEngine::snapshot`]
+//! compacts the grown state into a fresh on-disk generation and
+//! truncates the log. Engines built directly from an embedding
+//! ([`ServeEngine::build`] / [`ServeEngine::new`]) keep the old
+//! ephemeral behavior — inserts live only in memory.
 //!
 //! # Consistency model
 //!
@@ -28,11 +39,10 @@
 //! refresh is a restart with the new embedding file).
 
 use pane_core::PaneEmbedding;
-use pane_index::{
-    AnyIndex, DeltaIndex, FlatIndex, HnswConfig, HnswIndex, IndexError, IvfConfig, IvfIndex,
-    Metric, VectorIndex,
-};
+use pane_index::{AnyIndex, DeltaIndex, IndexError, IndexSpec, VectorIndex};
 use pane_linalg::DenseMatrix;
+use pane_store::{OpenStore, Store, StoreError};
+use std::path::Path;
 
 /// Errors a serving request can produce.
 #[derive(Debug)]
@@ -41,6 +51,8 @@ pub enum ServeError {
     BadRequest(String),
     /// The underlying index rejected the operation.
     Index(IndexError),
+    /// The durable store layer failed (WAL append, snapshot, open).
+    Store(StoreError),
 }
 
 impl std::fmt::Display for ServeError {
@@ -48,6 +60,7 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::BadRequest(m) => write!(f, "bad request: {m}"),
             ServeError::Index(e) => write!(f, "index error: {e}"),
+            ServeError::Store(e) => write!(f, "store error: {e}"),
         }
     }
 }
@@ -60,6 +73,12 @@ impl From<IndexError> for ServeError {
     }
 }
 
+impl From<StoreError> for ServeError {
+    fn from(e: StoreError) -> Self {
+        ServeError::Store(e)
+    }
+}
+
 /// One scored hit returned to a client.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Hit {
@@ -67,65 +86,6 @@ pub struct Hit {
     pub node: usize,
     /// Score on the unified scale (see `pane-core`'s `query` docs).
     pub score: f64,
-}
-
-/// A buildable description of an index structure — what
-/// [`ServeEngine::compact`] uses to rebuild bases deterministically.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum IndexSpec {
-    /// Exact flat scan.
-    Flat,
-    /// Inverted-file index with the recorded build parameters.
-    Ivf(IvfConfig),
-    /// HNSW graph index with the recorded build parameters.
-    Hnsw(HnswConfig),
-}
-
-impl IndexSpec {
-    /// Builds an index of this spec over `data` (using `threads` workers
-    /// where the structure supports it; results are thread-invariant).
-    pub fn build(&self, data: &DenseMatrix, metric: Metric, threads: usize) -> AnyIndex {
-        match self {
-            IndexSpec::Flat => AnyIndex::Flat(FlatIndex::build(data, metric)),
-            IndexSpec::Ivf(cfg) => AnyIndex::Ivf(IvfIndex::build(
-                data,
-                metric,
-                &IvfConfig { threads, ..*cfg },
-            )),
-            IndexSpec::Hnsw(cfg) => AnyIndex::Hnsw(HnswIndex::build(data, metric, cfg)),
-        }
-    }
-
-    /// Recovers the spec of an existing index. Parameters the `PANEIDX1`
-    /// file does not carry (IVF training iterations, seeds) fall back to
-    /// their defaults, so a compaction of a *loaded* index is
-    /// deterministic but not necessarily byte-identical to the original
-    /// build.
-    pub fn of(index: &AnyIndex) -> IndexSpec {
-        match index {
-            AnyIndex::Flat(_) => IndexSpec::Flat,
-            AnyIndex::Ivf(x) => IndexSpec::Ivf(IvfConfig {
-                nlist: x.nlist(),
-                nprobe: x.nprobe(),
-                ..Default::default()
-            }),
-            AnyIndex::Hnsw(x) => IndexSpec::Hnsw(HnswConfig {
-                m: x.m(),
-                ef_construction: x.ef_construction(),
-                ef_search: x.ef_search(),
-                seed: 0,
-            }),
-        }
-    }
-
-    /// Short stable name (`flat` / `ivf` / `hnsw`).
-    pub fn kind_name(&self) -> &'static str {
-        match self {
-            IndexSpec::Flat => "flat",
-            IndexSpec::Ivf(_) => "ivf",
-            IndexSpec::Hnsw(_) => "hnsw",
-        }
-    }
 }
 
 /// Point-in-time view of one serving index (for `stats` responses).
@@ -139,6 +99,85 @@ pub struct IndexStats {
     pub delta: usize,
 }
 
+/// Durability facts surfaced in `stats` responses: which generation the
+/// engine booted from and what the insert-ahead log holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreReport {
+    /// Current on-disk base generation.
+    pub generation: u64,
+    /// Records currently in the WAL (replayed at boot + appended since).
+    pub wal_records: usize,
+    /// Records replayed from the WAL when the engine booted.
+    pub replayed: usize,
+}
+
+/// Full engine status (the `stats` protocol response).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatusReport {
+    /// Served nodes (loaded + inserted; global across shards).
+    pub nodes: usize,
+    /// Per-direction embedding width `k/2`.
+    pub half_dim: usize,
+    /// Worker threads for batched searches and compaction builds.
+    pub threads: usize,
+    /// Similar-nodes index stats (summed across shards when sharded).
+    pub node_index: IndexStats,
+    /// Link index stats (summed across shards when sharded).
+    pub link_index: IndexStats,
+    /// Durability facts, when a store directory backs the engine.
+    pub store: Option<StoreReport>,
+    /// Shard count, when the engine routes across a sharded store.
+    pub shards: Option<usize>,
+}
+
+/// Result of a [`ServeBackend::snapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotOutcome {
+    /// New on-disk base generation (of shard 0 when sharded).
+    pub generation: u64,
+    /// Delta vectors folded into the new base(s).
+    pub folded: usize,
+}
+
+/// What a serving transport needs from an engine — implemented by
+/// [`ServeEngine`] (one store) and `ShardedEngine` (N stores routed by
+/// `node_id % N`), so `serve_lines` / `serve_tcp` run either unchanged.
+pub trait ServeBackend: Send + Sync {
+    /// Batched similar-node search (see [`ServeEngine::similar_nodes`]).
+    fn similar_nodes(&self, nodes: &[usize], k: usize) -> Result<Vec<Vec<Hit>>, ServeError>;
+    /// Batched link recommendation (see [`ServeEngine::recommend_links`]).
+    fn recommend_links(
+        &self,
+        nodes: &[usize],
+        k: usize,
+        exclude: &[usize],
+    ) -> Result<Vec<Vec<Hit>>, ServeError>;
+    /// Ingests one node's row pair, returning its assigned (global) id.
+    fn insert(&mut self, forward: &[f64], backward: &[f64]) -> Result<usize, ServeError>;
+    /// Folds delta segments into rebuilt in-memory bases; returns the
+    /// number of vectors folded per index.
+    fn compact(&mut self) -> usize;
+    /// Compacts **and** commits a new durable generation, truncating the
+    /// insert-ahead log. Fails on engines without a store directory.
+    fn snapshot(&mut self) -> Result<SnapshotOutcome, ServeError>;
+    /// Point-in-time status (the `stats` response).
+    fn status(&self) -> StatusReport;
+}
+
+/// Validates a query's node-id list against the engine's id space —
+/// shared by the single and sharded engines so the errors cannot drift.
+pub(crate) fn check_nodes(n: usize, nodes: &[usize]) -> Result<(), ServeError> {
+    if nodes.is_empty() {
+        return Err(ServeError::BadRequest("empty node list".into()));
+    }
+    if let Some(&bad) = nodes.iter().find(|&&v| v >= n) {
+        return Err(ServeError::BadRequest(format!(
+            "node {bad} out of range (n = {n})"
+        )));
+    }
+    Ok(())
+}
+
 /// The shared serving state. See the [module docs](self).
 pub struct ServeEngine {
     emb: PaneEmbedding,
@@ -149,10 +188,13 @@ pub struct ServeEngine {
     node_spec: IndexSpec,
     link_spec: IndexSpec,
     threads: usize,
+    /// Durable-store handle; `None` for ephemeral (non-durable) engines.
+    store: Option<Store>,
 }
 
 impl ServeEngine {
-    /// Wraps an embedding and two prebuilt base indexes.
+    /// Wraps an embedding and two prebuilt base indexes (ephemeral — no
+    /// store directory; inserts live only in memory).
     ///
     /// `node_base` must index the `n × k` classifier features and
     /// `link_base` the `n × k/2` backward embeddings of `emb`; mismatched
@@ -182,22 +224,47 @@ impl ServeEngine {
             link_index: DeltaIndex::new(link_base),
             emb,
             threads: threads.max(1),
+            store: None,
         })
     }
 
     /// Builds both base indexes from `emb` according to `spec`, then
-    /// wraps them in an engine. The node index is built over the
-    /// classifier features, the link index over `X_b`, both
+    /// wraps them in an ephemeral engine. The node index is built over
+    /// the classifier features, the link index over `X_b`, both
     /// max-inner-product (the unified score scale).
     pub fn build(emb: PaneEmbedding, spec: &IndexSpec, threads: usize) -> Self {
         let threads = threads.max(1);
-        let node_base = spec.build(
-            &emb.classifier_feature_matrix(),
-            Metric::InnerProduct,
-            threads,
-        );
-        let link_base = spec.build(&emb.backward, Metric::InnerProduct, threads);
+        let (node_base, link_base) = pane_store::build_bases(&emb, spec, spec, threads);
         Self::new(emb, node_base, link_base, threads).expect("freshly built indexes always match")
+    }
+
+    /// Opens a durable engine over a single store directory: loads the
+    /// current base generation and replays the insert-ahead log, so every
+    /// insert acknowledged before the last shutdown (clean or not) is
+    /// served again.
+    pub fn open(dir: &Path, threads: usize) -> Result<Self, ServeError> {
+        Ok(Self::from_open_store(Store::open(dir)?, threads))
+    }
+
+    /// Wraps an already-opened store (the building block `ShardedEngine`
+    /// uses per shard).
+    pub fn from_open_store(opened: OpenStore, threads: usize) -> Self {
+        let OpenStore {
+            store,
+            embedding,
+            node_index,
+            link_index,
+        } = opened;
+        Self {
+            gram: embedding.link_gram(),
+            node_spec: store.node_spec(),
+            link_spec: store.link_spec(),
+            node_index,
+            link_index,
+            emb: embedding,
+            threads: threads.max(1),
+            store: Some(store),
+        }
     }
 
     /// Number of served nodes (loaded + inserted).
@@ -213,6 +280,26 @@ impl ServeEngine {
     /// Worker threads used for batched searches and compaction builds.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The embedding store (shard-local rows for a sharded engine).
+    pub(crate) fn embedding(&self) -> &PaneEmbedding {
+        &self.emb
+    }
+
+    /// The precomputed `YᵀY` Gram matrix.
+    pub(crate) fn gram(&self) -> &DenseMatrix {
+        &self.gram
+    }
+
+    /// The similar-nodes index (base + delta).
+    pub(crate) fn node_index(&self) -> &DeltaIndex {
+        &self.node_index
+    }
+
+    /// The link index (base + delta).
+    pub(crate) fn link_index(&self) -> &DeltaIndex {
+        &self.link_index
     }
 
     /// Stats of the node (similar-nodes) index.
@@ -233,17 +320,17 @@ impl ServeEngine {
         }
     }
 
+    /// Durability facts, when a store directory backs this engine.
+    pub fn store_report(&self) -> Option<StoreReport> {
+        self.store.as_ref().map(|s| StoreReport {
+            generation: s.generation(),
+            wal_records: s.wal_records(),
+            replayed: s.replayed(),
+        })
+    }
+
     fn check_nodes(&self, nodes: &[usize]) -> Result<(), ServeError> {
-        let n = self.num_nodes();
-        if nodes.is_empty() {
-            return Err(ServeError::BadRequest("empty node list".into()));
-        }
-        if let Some(&bad) = nodes.iter().find(|&&v| v >= n) {
-            return Err(ServeError::BadRequest(format!(
-                "node {bad} out of range (n = {n})"
-            )));
-        }
-        Ok(())
+        check_nodes(self.num_nodes(), nodes)
     }
 
     /// Batched similar-node search: for each query node, its top-`k`
@@ -308,7 +395,7 @@ impl ServeEngine {
     /// The per-query link vector `q = X_f[src]·YᵀY` (Eq. 22 reduces the
     /// link score to `q · X_b[dst]`) — the one shared kernel in
     /// `pane-core`, so daemon scores cannot drift from `EmbeddingQuery`'s.
-    fn link_query_vector(&self, src: usize) -> Vec<f64> {
+    pub(crate) fn link_query_vector(&self, src: usize) -> Vec<f64> {
         self.emb.link_query_vector_with(&self.gram, src)
     }
 
@@ -317,7 +404,10 @@ impl ServeEngine {
     /// Returns the assigned node id (dense, append-ordered — the same id
     /// `grow_embedding` gives the node on the offline side).
     ///
-    /// The very next query can return the node; no rebuild happens here.
+    /// With a store attached, the row pair is recorded (and synced) in
+    /// the insert-ahead log **before** any in-memory state changes — an
+    /// acknowledged insert survives a hard kill. The very next query can
+    /// return the node; no rebuild happens here.
     pub fn insert(&mut self, forward: &[f64], backward: &[f64]) -> Result<usize, ServeError> {
         let k2 = self.half_dim();
         if forward.len() != k2 || backward.len() != k2 {
@@ -333,6 +423,9 @@ impl ServeEngine {
             ));
         }
         let id = self.num_nodes();
+        if let Some(store) = &mut self.store {
+            store.append(id, forward, backward)?;
+        }
         self.emb.forward.push_row(forward);
         self.emb.backward.push_row(backward);
         let features = self.emb.classifier_features(id);
@@ -344,19 +437,80 @@ impl ServeEngine {
     /// Folds both delta segments into freshly rebuilt base structures
     /// (per the engine's recorded specs, deterministic given the store).
     /// Returns the number of vectors folded per index.
+    ///
+    /// In-memory only: with a store attached the WAL keeps its records,
+    /// so a restart still replays them over the unchanged on-disk base —
+    /// use [`Self::snapshot`] to make the compaction durable.
     pub fn compact(&mut self) -> usize {
         let folded = self.node_index.delta_len();
-        let node_base = self.node_spec.build(
-            &self.emb.classifier_feature_matrix(),
-            Metric::InnerProduct,
-            self.threads,
-        );
-        let link_base =
-            self.link_spec
-                .build(&self.emb.backward, Metric::InnerProduct, self.threads);
+        let (node_base, link_base) =
+            pane_store::build_bases(&self.emb, &self.node_spec, &self.link_spec, self.threads);
         self.node_index = DeltaIndex::new(node_base);
         self.link_index = DeltaIndex::new(link_base);
         folded
+    }
+
+    /// Compacts and commits the result as a new on-disk generation:
+    /// rebuilds both bases over the grown embedding, writes them (plus
+    /// the embedding) into the next `gen-<g>/`, atomically swings the
+    /// manifest, and truncates the insert-ahead log. The next
+    /// [`ServeEngine::open`] boots from the new generation with an empty
+    /// WAL and identical query results.
+    pub fn snapshot(&mut self) -> Result<SnapshotOutcome, ServeError> {
+        if self.store.is_none() {
+            return Err(ServeError::BadRequest(
+                "this daemon has no store directory (started from a bare embedding); \
+                 start it with `pane serve --store DIR` to enable snapshots"
+                    .into(),
+            ));
+        }
+        let folded = self.node_index.delta_len();
+        let (node_base, link_base) =
+            pane_store::build_bases(&self.emb, &self.node_spec, &self.link_spec, self.threads);
+        let store = self.store.as_mut().expect("checked above");
+        let generation = store.snapshot(&self.emb, &node_base, &link_base)?;
+        self.node_index = DeltaIndex::new(node_base);
+        self.link_index = DeltaIndex::new(link_base);
+        Ok(SnapshotOutcome { generation, folded })
+    }
+
+    /// Point-in-time status (the `stats` response).
+    pub fn status(&self) -> StatusReport {
+        StatusReport {
+            nodes: self.num_nodes(),
+            half_dim: self.half_dim(),
+            threads: self.threads,
+            node_index: self.node_stats(),
+            link_index: self.link_stats(),
+            store: self.store_report(),
+            shards: None,
+        }
+    }
+}
+
+impl ServeBackend for ServeEngine {
+    fn similar_nodes(&self, nodes: &[usize], k: usize) -> Result<Vec<Vec<Hit>>, ServeError> {
+        ServeEngine::similar_nodes(self, nodes, k)
+    }
+    fn recommend_links(
+        &self,
+        nodes: &[usize],
+        k: usize,
+        exclude: &[usize],
+    ) -> Result<Vec<Vec<Hit>>, ServeError> {
+        ServeEngine::recommend_links(self, nodes, k, exclude)
+    }
+    fn insert(&mut self, forward: &[f64], backward: &[f64]) -> Result<usize, ServeError> {
+        ServeEngine::insert(self, forward, backward)
+    }
+    fn compact(&mut self) -> usize {
+        ServeEngine::compact(self)
+    }
+    fn snapshot(&mut self) -> Result<SnapshotOutcome, ServeError> {
+        ServeEngine::snapshot(self)
+    }
+    fn status(&self) -> StatusReport {
+        ServeEngine::status(self)
     }
 }
 
@@ -365,6 +519,7 @@ mod tests {
     use super::*;
     use pane_core::{grow_embedding, reembed_warm, EmbeddingQuery, Pane, PaneConfig, QueryBackend};
     use pane_graph::gen::{generate_sbm, SbmConfig};
+    use pane_index::{HnswConfig, IvfConfig, Metric};
 
     fn fixture() -> PaneEmbedding {
         let g = generate_sbm(&SbmConfig {
@@ -521,6 +676,11 @@ mod tests {
             engine.insert(&vec![f64::NAN; k2], &vec![0.0; k2]),
             Err(ServeError::BadRequest(_))
         ));
+        // Ephemeral engines cannot snapshot — the error says what to do.
+        match engine.snapshot() {
+            Err(ServeError::BadRequest(m)) => assert!(m.contains("--store"), "{m}"),
+            other => panic!("expected BadRequest, got {other:?}"),
+        }
     }
 
     #[test]
@@ -552,5 +712,48 @@ mod tests {
                 .collect();
             assert_eq!(engine.similar_nodes(&[v], 4).unwrap()[0], want);
         }
+    }
+
+    #[test]
+    fn durable_engine_replays_acknowledged_inserts_after_hard_stop() {
+        let dir = std::env::temp_dir().join(format!("pane_engine_store_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let emb = fixture();
+        let n = emb.forward.rows();
+        let k2 = emb.forward.cols();
+        pane_store::Store::init(&dir, &emb, &IndexSpec::Flat, &IndexSpec::Flat, 2).unwrap();
+
+        // Session 1: insert, acknowledge, hard-stop (drop — no shutdown,
+        // no compaction, no snapshot).
+        let probe: Vec<f64> = (0..k2).map(|i| 0.05 * (i + 1) as f64).collect();
+        {
+            let mut engine = ServeEngine::open(&dir, 2).unwrap();
+            assert_eq!(engine.status().store.unwrap().replayed, 0);
+            let id = engine.insert(&probe, &probe).unwrap();
+            assert_eq!(id, n);
+        }
+
+        // Session 2: the insert is replayed and served.
+        let mut engine = ServeEngine::open(&dir, 2).unwrap();
+        let report = engine.status().store.unwrap();
+        assert_eq!(report.replayed, 1);
+        assert_eq!(report.wal_records, 1);
+        assert_eq!(engine.num_nodes(), n + 1);
+        let before = engine.similar_nodes(&[n], 5).unwrap();
+        assert_eq!(before[0].len(), 5);
+
+        // Snapshot: new generation, WAL empty, identical answers.
+        let out = engine.snapshot().unwrap();
+        assert_eq!(out.generation, 2);
+        assert_eq!(out.folded, 1);
+        drop(engine);
+        let engine = ServeEngine::open(&dir, 2).unwrap();
+        let report = engine.status().store.unwrap();
+        assert_eq!(
+            (report.generation, report.wal_records, report.replayed),
+            (2, 0, 0)
+        );
+        assert_eq!(engine.similar_nodes(&[n], 5).unwrap(), before);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -9,29 +9,36 @@
 //! LogBase lesson from PAPERS.md: serving systems live or die by their
 //! ingest and lookup paths, not their batch builders).
 //!
-//! Three pieces, one per module:
+//! Four pieces, one per module:
 //!
 //! * [`protocol`] — the wire format: a strict JSON subset, hand-rolled
 //!   (offline workspace), one request/response per line;
 //! * [`engine`] — the shared state: embedding store + two
 //!   [`pane_index::DeltaIndex`]-wrapped indexes, batched search,
 //!   **incremental inserts** (a freshly arrived node is queryable by the
-//!   next request, no rebuild) and a **compaction** command that folds
-//!   deltas into rebuilt bases;
+//!   next request, no rebuild), a **compaction** command that folds
+//!   deltas into rebuilt bases, and — when opened over a `pane-store`
+//!   directory — **durability**: inserts are recorded in an insert-ahead
+//!   log before they are acknowledged, replayed at boot, and folded into
+//!   a fresh on-disk generation by the `snapshot` request;
+//! * [`sharded`] — [`ShardedEngine`]: N store shards routed by
+//!   `node_id % N`, per-shard search merged under the shared score
+//!   order (bit-identical to the unsharded exact scan for flat shards);
 //! * [`server`] — transports: [`serve_lines`] for stdio / tests,
-//!   [`serve_tcp`] for the daemon, with clean `shutdown` handling.
+//!   [`serve_tcp`] for the daemon, generic over [`ServeBackend`], with
+//!   clean `shutdown` handling.
 //!
 //! Scores are on the unified scale documented in `pane-core::query`:
 //! `cos_f + cos_b ∈ [-2, 2]` for similar-node search, raw Eq. 22 inner
 //! products for link recommendation — identical across exact and ANN
-//! backends.
+//! backends, and across sharded and unsharded engines.
 //!
 //! ```no_run
 //! use pane_serve::{IndexSpec, ServeEngine, serve_tcp};
 //! use std::sync::{Arc, RwLock};
 //!
-//! let emb = pane_core::load_binary(std::path::Path::new("emb.bin")).unwrap();
-//! let engine = ServeEngine::build(emb, &IndexSpec::Flat, 4);
+//! // Durable daemon over a store directory created by `pane store init`:
+//! let engine = ServeEngine::open(std::path::Path::new("data/store"), 4).unwrap();
 //! let listener = std::net::TcpListener::bind("127.0.0.1:7878").unwrap();
 //! serve_tcp(Arc::new(RwLock::new(engine)), listener).unwrap();
 //! ```
@@ -39,7 +46,15 @@
 pub mod engine;
 pub mod protocol;
 pub mod server;
+pub mod sharded;
 
-pub use engine::{Hit, IndexSpec, IndexStats, ServeEngine, ServeError};
+pub use engine::{
+    Hit, IndexStats, ServeBackend, ServeEngine, ServeError, SnapshotOutcome, StatusReport,
+    StoreReport,
+};
+// Re-exported for compatibility: the spec type moved down to
+// `pane-index` when the store layer began recording it in manifests.
+pub use pane_index::IndexSpec;
 pub use protocol::{parse, Json, ParseError};
 pub use server::{handle_line, serve_lines, serve_tcp};
+pub use sharded::ShardedEngine;

@@ -10,9 +10,17 @@
 //! {"op":"recommend-links","nodes":[0],"k":10,"exclude":[4,5]}
 //! {"op":"insert","forward":[…k/2 floats…],"backward":[…k/2 floats…]}
 //! {"op":"compact"}
+//! {"op":"snapshot"}
 //! {"op":"stats"}
 //! {"op":"shutdown"}
 //! ```
+//!
+//! `snapshot` commits a new durable base generation (store-backed
+//! daemons only): the grown embedding and rebuilt indexes are written to
+//! disk and the insert-ahead log is truncated, so the next boot replays
+//! nothing. `stats` responses of store-backed daemons carry a `store`
+//! object (`generation`, `wal_records`, `replayed`) and — when serving a
+//! sharded root — a `shards` count.
 //!
 //! Responses always carry `"ok"`: `{"ok":true,"op":…,…}` on success,
 //! `{"ok":false,"error":"…"}` on failure. Search responses hold one

@@ -1,23 +1,25 @@
 //! Request dispatch and the two transports (stdio JSON-lines, TCP).
 //!
-//! The engine sits behind an `RwLock`: searches take the read lock (and
-//! run concurrently across connections), `insert` / `compact` take the
-//! write lock. Each TCP connection gets its own thread; a `shutdown`
-//! request answers, then stops the accept loop, so a scripted client
-//! (or the CI smoke step) can tear the daemon down cleanly.
+//! The engine — any [`ServeBackend`]: a single [`crate::ServeEngine`] or
+//! a [`crate::ShardedEngine`] — sits behind an `RwLock`: searches take
+//! the read lock (and run concurrently across connections), `insert` /
+//! `compact` / `snapshot` take the write lock. Each TCP connection gets
+//! its own thread; a `shutdown` request answers, then stops the accept
+//! loop, so a scripted client (or the CI smoke step) can tear the daemon
+//! down cleanly.
 
-use crate::engine::{Hit, ServeEngine, ServeError};
+use crate::engine::{Hit, ServeBackend, ServeError, StatusReport};
 use crate::protocol::{parse, Json};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
-fn read_engine(engine: &RwLock<ServeEngine>) -> RwLockReadGuard<'_, ServeEngine> {
+fn read_engine<B: ServeBackend>(engine: &RwLock<B>) -> RwLockReadGuard<'_, B> {
     engine.read().unwrap_or_else(|e| e.into_inner())
 }
 
-fn write_engine(engine: &RwLock<ServeEngine>) -> RwLockWriteGuard<'_, ServeEngine> {
+fn write_engine<B: ServeBackend>(engine: &RwLock<B>) -> RwLockWriteGuard<'_, B> {
     engine.write().unwrap_or_else(|e| e.into_inner())
 }
 
@@ -39,6 +41,41 @@ fn hits_json(batched: Vec<Vec<Hit>>) -> Json {
             })
             .collect(),
     )
+}
+
+fn status_json(s: &StatusReport) -> Vec<(&'static str, Json)> {
+    let idx = |s: crate::engine::IndexStats| {
+        Json::obj(vec![
+            ("kind", Json::str(s.kind)),
+            ("base", Json::num(s.base)),
+            ("delta", Json::num(s.delta)),
+        ])
+    };
+    let mut fields = vec![
+        ("nodes", Json::num(s.nodes)),
+        ("half_dim", Json::num(s.half_dim)),
+        ("threads", Json::num(s.threads)),
+        ("node_index", idx(s.node_index)),
+        ("link_index", idx(s.link_index)),
+    ];
+    if let Some(store) = &s.store {
+        fields.push((
+            "store",
+            Json::obj(vec![
+                ("generation", Json::num(store.generation as usize)),
+                ("wal_records", Json::num(store.wal_records)),
+                ("replayed", Json::num(store.replayed)),
+            ]),
+        ));
+    }
+    if let Some(shards) = s.shards {
+        fields.push(("shards", Json::num(shards)));
+    }
+    fields.push((
+        "score_scale",
+        Json::str("similar-nodes: cos_f + cos_b in [-2,2]; recommend-links: Eq. 22 inner product"),
+    ));
+    fields
 }
 
 fn error_line(message: &str) -> String {
@@ -70,7 +107,7 @@ fn require_f64_array(req: &Json, key: &str) -> Result<Vec<f64>, ServeError> {
         .ok_or_else(|| ServeError::BadRequest(format!("'{key}' must be an array of numbers")))
 }
 
-fn dispatch(engine: &RwLock<ServeEngine>, req: &Json) -> Result<(Json, bool), ServeError> {
+fn dispatch<B: ServeBackend>(engine: &RwLock<B>, req: &Json) -> Result<(Json, bool), ServeError> {
     let op = req
         .get("op")
         .and_then(Json::as_str)
@@ -109,41 +146,36 @@ fn dispatch(engine: &RwLock<ServeEngine>, req: &Json) -> Result<(Json, bool), Se
         "compact" => {
             let mut g = write_engine(engine);
             let folded = g.compact();
+            let nodes = g.status().nodes;
             Ok((
                 ok(vec![
                     ("folded", Json::num(folded)),
-                    ("nodes", Json::num(g.num_nodes())),
+                    ("nodes", Json::num(nodes)),
+                ]),
+                false,
+            ))
+        }
+        "snapshot" => {
+            let mut g = write_engine(engine);
+            let out = g.snapshot()?;
+            let nodes = g.status().nodes;
+            Ok((
+                ok(vec![
+                    ("generation", Json::num(out.generation as usize)),
+                    ("folded", Json::num(out.folded)),
+                    ("nodes", Json::num(nodes)),
                 ]),
                 false,
             ))
         }
         "stats" => {
-            let g = read_engine(engine);
-            let idx = |s: crate::engine::IndexStats| {
-                Json::obj(vec![
-                    ("kind", Json::str(s.kind)),
-                    ("base", Json::num(s.base)),
-                    ("delta", Json::num(s.delta)),
-                ])
-            };
-            Ok((
-                ok(vec![
-                    ("nodes", Json::num(g.num_nodes())),
-                    ("half_dim", Json::num(g.half_dim())),
-                    ("threads", Json::num(g.threads())),
-                    ("node_index", idx(g.node_stats())),
-                    ("link_index", idx(g.link_stats())),
-                    (
-                        "score_scale",
-                        Json::str("similar-nodes: cos_f + cos_b in [-2,2]; recommend-links: Eq. 22 inner product"),
-                    ),
-                ]),
-                false,
-            ))
+            let status = read_engine(engine).status();
+            Ok((ok(status_json(&status)), false))
         }
         "shutdown" => Ok((ok(vec![]), true)),
         other => Err(ServeError::BadRequest(format!(
-            "unknown op '{other}' (similar-nodes | recommend-links | insert | compact | stats | shutdown)"
+            "unknown op '{other}' (similar-nodes | recommend-links | insert | compact | \
+             snapshot | stats | shutdown)"
         ))),
     }
 }
@@ -151,7 +183,7 @@ fn dispatch(engine: &RwLock<ServeEngine>, req: &Json) -> Result<(Json, bool), Se
 /// Handles one request line, returning the response line and whether the
 /// daemon should shut down. Never panics on malformed input — every
 /// failure is an `{"ok":false,…}` response.
-pub fn handle_line(engine: &RwLock<ServeEngine>, line: &str) -> (String, bool) {
+pub fn handle_line<B: ServeBackend>(engine: &RwLock<B>, line: &str) -> (String, bool) {
     let req = match parse(line) {
         Ok(v) => v,
         Err(e) => return (error_line(&e.to_string()), false),
@@ -166,8 +198,8 @@ pub fn handle_line(engine: &RwLock<ServeEngine>, line: &str) -> (String, bool) {
 /// `--stdio` transport; also what each TCP connection runs). Blank lines
 /// are ignored. Returns `Ok(true)` if a `shutdown` request ended the
 /// session, `Ok(false)` on EOF.
-pub fn serve_lines<R: BufRead, W: Write>(
-    engine: &RwLock<ServeEngine>,
+pub fn serve_lines<B: ServeBackend, R: BufRead, W: Write>(
+    engine: &RwLock<B>,
     reader: R,
     mut writer: W,
 ) -> std::io::Result<bool> {
@@ -192,7 +224,10 @@ pub fn serve_lines<R: BufRead, W: Write>(
 /// is sent first) and all connection threads have drained — connections
 /// that are still open at shutdown are closed server-side, so an idle
 /// client cannot keep the daemon alive.
-pub fn serve_tcp(engine: Arc<RwLock<ServeEngine>>, listener: TcpListener) -> std::io::Result<()> {
+pub fn serve_tcp<B: ServeBackend + 'static>(
+    engine: Arc<RwLock<B>>,
+    listener: TcpListener,
+) -> std::io::Result<()> {
     let stop = Arc::new(AtomicBool::new(false));
     let addr = listener.local_addr()?;
     // One (worker, socket-clone) pair per *live* connection: finished
@@ -244,9 +279,10 @@ pub fn serve_tcp(engine: Arc<RwLock<ServeEngine>>, listener: TcpListener) -> std
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::IndexSpec;
+    use crate::engine::ServeEngine;
     use pane_core::{Pane, PaneConfig};
     use pane_graph::gen::{generate_sbm, SbmConfig};
+    use pane_index::IndexSpec;
 
     fn engine() -> RwLock<ServeEngine> {
         let g = generate_sbm(&SbmConfig {
@@ -311,6 +347,8 @@ mod tests {
                 .as_index(),
             Some(1)
         );
+        // An ephemeral engine reports no store block (nothing durable).
+        assert!(stats.get("store").is_none());
     }
 
     #[test]
@@ -323,11 +361,55 @@ mod tests {
             r#"{"op":"similar-nodes","nodes":[9999]}"#,
             r#"{"op":"similar-nodes","nodes":"zero"}"#,
             r#"{"op":"insert","forward":[1],"backward":[]}"#,
+            // Snapshot without a store directory is a clean refusal.
+            r#"{"op":"snapshot"}"#,
         ] {
             let resp = req(&eng, bad);
             assert_eq!(resp.get("ok"), Some(&Json::Bool(false)), "{bad}");
             assert!(resp.get("error").unwrap().as_str().is_some());
         }
+    }
+
+    #[test]
+    fn snapshot_over_a_store_backed_engine_reports_generation() {
+        let dir = std::env::temp_dir().join(format!("pane_server_snap_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let g = generate_sbm(&SbmConfig {
+            nodes: 50,
+            communities: 2,
+            avg_out_degree: 4.0,
+            attributes: 10,
+            attrs_per_node: 3.0,
+            seed: 2,
+            ..Default::default()
+        });
+        let emb = Pane::new(PaneConfig::builder().dimension(8).seed(1).build())
+            .embed(&g)
+            .unwrap();
+        pane_store::Store::init(&dir, &emb, &IndexSpec::Flat, &IndexSpec::Flat, 1).unwrap();
+        let eng = RwLock::new(ServeEngine::open(&dir, 1).unwrap());
+        let vec_json = "[0.1,0.2,0.3,0.4]";
+        let resp = req_any(
+            &eng,
+            &format!(r#"{{"op":"insert","forward":{vec_json},"backward":{vec_json}}}"#),
+        );
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{resp:?}");
+        let stats = req_any(&eng, r#"{"op":"stats"}"#);
+        let store = stats.get("store").expect("store block present");
+        assert_eq!(store.get("wal_records").unwrap().as_index(), Some(1));
+        let snap = req_any(&eng, r#"{"op":"snapshot"}"#);
+        assert_eq!(snap.get("ok"), Some(&Json::Bool(true)), "{snap:?}");
+        assert_eq!(snap.get("generation").unwrap().as_index(), Some(2));
+        assert_eq!(snap.get("folded").unwrap().as_index(), Some(1));
+        let stats = req_any(&eng, r#"{"op":"stats"}"#);
+        let store = stats.get("store").unwrap();
+        assert_eq!(store.get("wal_records").unwrap().as_index(), Some(0));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn req_any(engine: &RwLock<ServeEngine>, line: &str) -> Json {
+        let (resp, _) = handle_line(engine, line);
+        parse(&resp).unwrap()
     }
 
     #[test]

@@ -1,0 +1,358 @@
+//! Sharded serving: one engine per store shard, routed by `node_id % N`,
+//! merged under the shared score order.
+//!
+//! [`ShardedEngine`] opens every shard of a `pane-store` sharded root as
+//! its own [`ServeEngine`] (each with its own base generation, delta
+//! segments, and insert-ahead log) and presents the union as a single
+//! [`ServeBackend`]:
+//!
+//! * **queries** — the owner shard supplies the query vector (classifier
+//!   features / `q = X_f·YᵀY`; every shard holds the full `Y`, so link
+//!   query vectors are bit-identical regardless of owner), every shard
+//!   answers over its local index, and the per-shard top-k lists are
+//!   merged under the *same* total order every index uses
+//!   (`topk::cmp_ranked`: score desc, `NaN` last, ties by ascending
+//!   global id). With exact (flat) shards the merged top-k is therefore
+//!   **bit-identical** to the unsharded exact scan — each global top-k
+//!   member is necessarily inside its own shard's local top-k;
+//! * **inserts** — the next global id `n` routes to shard `n % N`,
+//!   which WAL-appends and acknowledges; round-robin assignment keeps
+//!   the shards balanced (the invariant `ShardedStore::open` checks);
+//! * **compact / snapshot** — applied per shard; a snapshot commits one
+//!   new generation in every shard directory.
+//!
+//! The layout and id arithmetic live in `pane-store` (`shard_of` /
+//! `local_of` / `global_of`), so the directory split and the query
+//! routing cannot disagree. This is the single-process sharding path; a
+//! multi-daemon deployment points one `pane serve --store` at each shard
+//! directory and merges in a thin proxy with the same comparator.
+
+use crate::engine::{
+    Hit, IndexStats, ServeBackend, ServeEngine, ServeError, SnapshotOutcome, StatusReport,
+    StoreReport,
+};
+use pane_index::topk;
+use pane_index::VectorIndex;
+use pane_linalg::DenseMatrix;
+use pane_store::{global_of, local_of, shard_of, ShardedStore};
+use std::path::Path;
+
+/// N shard engines behind one global id space. See the [module docs](self).
+pub struct ShardedEngine {
+    shards: Vec<ServeEngine>,
+    threads: usize,
+}
+
+impl ShardedEngine {
+    /// Opens every shard of a sharded store root (replaying each WAL).
+    pub fn open(root: &Path, threads: usize) -> Result<Self, ServeError> {
+        let opened = ShardedStore::open(root)?;
+        let threads = threads.max(1);
+        Ok(Self {
+            shards: opened
+                .into_iter()
+                .map(|o| ServeEngine::from_open_store(o, threads))
+                .collect(),
+            threads,
+        })
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total served nodes across all shards.
+    pub fn num_nodes(&self) -> usize {
+        self.shards.iter().map(|s| s.num_nodes()).sum()
+    }
+
+    /// Per-direction embedding width `k/2`.
+    pub fn half_dim(&self) -> usize {
+        self.shards[0].half_dim()
+    }
+
+    fn check_nodes(&self, nodes: &[usize]) -> Result<(), ServeError> {
+        crate::engine::check_nodes(self.num_nodes(), nodes)
+    }
+
+    /// Runs `queries` against one index of every shard and merges each
+    /// query's per-shard hit lists (local ids mapped to global) under
+    /// the shared total order.
+    fn fan_out_merge(
+        &self,
+        queries: &DenseMatrix,
+        fetch: usize,
+        pick: impl Fn(&ServeEngine) -> &dyn VectorIndex,
+    ) -> Vec<Vec<Hit>> {
+        let n_shards = self.shards.len();
+        let per_shard: Vec<Vec<Vec<pane_index::Neighbor>>> = self
+            .shards
+            .iter()
+            .map(|engine| pick(engine).batch_search(queries, fetch, self.threads))
+            .collect();
+        (0..queries.rows())
+            .map(|qi| {
+                topk::select(
+                    per_shard.iter().enumerate().flat_map(|(s, batched)| {
+                        batched[qi]
+                            .iter()
+                            .map(move |h| (global_of(s, h.index, n_shards), h.score))
+                    }),
+                    fetch,
+                )
+                .into_iter()
+                .map(|h| Hit {
+                    node: h.index,
+                    score: h.score,
+                })
+                .collect()
+            })
+            .collect()
+    }
+}
+
+impl ServeBackend for ShardedEngine {
+    fn similar_nodes(&self, nodes: &[usize], k: usize) -> Result<Vec<Vec<Hit>>, ServeError> {
+        self.check_nodes(nodes)?;
+        let n_shards = self.shards.len();
+        let rows: Vec<Vec<f64>> = nodes
+            .iter()
+            .map(|&v| {
+                self.shards[shard_of(v, n_shards)]
+                    .embedding()
+                    .classifier_features(local_of(v, n_shards))
+            })
+            .collect();
+        let queries = DenseMatrix::from_rows(&rows);
+        let merged = self.fan_out_merge(&queries, k + 1, |e| e.node_index());
+        Ok(nodes
+            .iter()
+            .zip(merged)
+            .map(|(&v, hits)| hits.into_iter().filter(|h| h.node != v).take(k).collect())
+            .collect())
+    }
+
+    fn recommend_links(
+        &self,
+        nodes: &[usize],
+        k: usize,
+        exclude: &[usize],
+    ) -> Result<Vec<Vec<Hit>>, ServeError> {
+        self.check_nodes(nodes)?;
+        let n_shards = self.shards.len();
+        let rows: Vec<Vec<f64>> = nodes
+            .iter()
+            .map(|&v| {
+                let owner = &self.shards[shard_of(v, n_shards)];
+                owner
+                    .embedding()
+                    .link_query_vector_with(owner.gram(), local_of(v, n_shards))
+            })
+            .collect();
+        let queries = DenseMatrix::from_rows(&rows);
+        let fetch = k + exclude.len() + 1;
+        let merged = self.fan_out_merge(&queries, fetch, |e| e.link_index());
+        Ok(nodes
+            .iter()
+            .zip(merged)
+            .map(|(&src, hits)| {
+                hits.into_iter()
+                    .filter(|h| h.node != src && !exclude.contains(&h.node))
+                    .take(k)
+                    .collect()
+            })
+            .collect())
+    }
+
+    fn insert(&mut self, forward: &[f64], backward: &[f64]) -> Result<usize, ServeError> {
+        let n_shards = self.shards.len();
+        let global = self.num_nodes();
+        let owner = shard_of(global, n_shards);
+        let local = self.shards[owner].insert(forward, backward)?;
+        debug_assert_eq!(local, local_of(global, n_shards));
+        Ok(global)
+    }
+
+    fn compact(&mut self) -> usize {
+        self.shards.iter_mut().map(|s| s.compact()).sum()
+    }
+
+    fn snapshot(&mut self) -> Result<SnapshotOutcome, ServeError> {
+        // Shard snapshots commit independently (each shard stays
+        // internally consistent); a mid-loop failure therefore names
+        // exactly which shards already committed, and a retry converges
+        // — a shard snapshotted twice just writes another generation.
+        let mut folded = 0;
+        let mut generation = 0;
+        for (s, shard) in self.shards.iter_mut().enumerate() {
+            let out = shard.snapshot().map_err(|e| {
+                ServeError::Store(pane_store::StoreError::Format(format!(
+                    "shard {s} snapshot failed ({e}); shards 0..{s} already committed their \
+                     new generations — each shard is still consistent, retry the snapshot \
+                     to converge the remainder"
+                )))
+            })?;
+            folded += out.folded;
+            generation = out.generation;
+        }
+        Ok(SnapshotOutcome { generation, folded })
+    }
+
+    fn status(&self) -> StatusReport {
+        let sum_stats = |pick: fn(&ServeEngine) -> IndexStats| {
+            let first = pick(&self.shards[0]);
+            IndexStats {
+                kind: first.kind,
+                base: self.shards.iter().map(|s| pick(s).base).sum(),
+                delta: self.shards.iter().map(|s| pick(s).delta).sum(),
+            }
+        };
+        let store = self.shards[0].store_report().map(|first| StoreReport {
+            // The *minimum* across shards: "every shard is at least at
+            // this generation". After an interrupted sharded snapshot
+            // the shards can straddle two generations; reporting the
+            // laggard surfaces the divergence instead of masking it.
+            generation: self
+                .shards
+                .iter()
+                .filter_map(|s| s.store_report())
+                .map(|r| r.generation)
+                .min()
+                .unwrap_or(first.generation),
+            wal_records: self
+                .shards
+                .iter()
+                .filter_map(|s| s.store_report())
+                .map(|r| r.wal_records)
+                .sum(),
+            replayed: self
+                .shards
+                .iter()
+                .filter_map(|s| s.store_report())
+                .map(|r| r.replayed)
+                .sum(),
+        });
+        StatusReport {
+            nodes: self.num_nodes(),
+            half_dim: self.half_dim(),
+            threads: self.threads,
+            node_index: sum_stats(ServeEngine::node_stats),
+            link_index: sum_stats(ServeEngine::link_stats),
+            store,
+            shards: Some(self.shards.len()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pane_core::{Pane, PaneConfig, PaneEmbedding};
+    use pane_graph::gen::{generate_sbm, SbmConfig};
+    use pane_index::IndexSpec;
+
+    fn fixture(nodes: usize) -> PaneEmbedding {
+        let g = generate_sbm(&SbmConfig {
+            nodes,
+            communities: 4,
+            avg_out_degree: 6.0,
+            attributes: 20,
+            attrs_per_node: 4.0,
+            seed: 23,
+            ..Default::default()
+        });
+        Pane::new(PaneConfig::builder().dimension(12).seed(5).build())
+            .embed(&g)
+            .unwrap()
+    }
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("pane_sharded_{}_{name}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn sharded_flat_top_k_is_bit_identical_to_unsharded_exact_scan() {
+        let emb = fixture(121);
+        let root = tmpdir("bitident");
+        for shards in [2usize, 3] {
+            std::fs::remove_dir_all(&root).ok();
+            ShardedStore::init(&root, &emb, &IndexSpec::Flat, &IndexSpec::Flat, shards, 2).unwrap();
+            let sharded = ShardedEngine::open(&root, 2).unwrap();
+            let unsharded = ServeEngine::build(emb.clone(), &IndexSpec::Flat, 2);
+            assert_eq!(sharded.num_nodes(), 121);
+            let nodes: Vec<usize> = (0..121).step_by(7).collect();
+            assert_eq!(
+                ServeBackend::similar_nodes(&sharded, &nodes, 10).unwrap(),
+                unsharded.similar_nodes(&nodes, 10).unwrap(),
+                "{shards}-way similar-nodes diverged from the exact scan"
+            );
+            assert_eq!(
+                ServeBackend::recommend_links(&sharded, &nodes, 8, &[3, 11]).unwrap(),
+                unsharded.recommend_links(&nodes, 8, &[3, 11]).unwrap(),
+                "{shards}-way recommend-links diverged from the exact scan"
+            );
+        }
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn sharded_inserts_route_round_robin_and_survive_reopen() {
+        let emb = fixture(60);
+        let n = emb.forward.rows();
+        let k2 = emb.forward.cols();
+        let root = tmpdir("insert");
+        ShardedStore::init(&root, &emb, &IndexSpec::Flat, &IndexSpec::Flat, 2, 1).unwrap();
+        let probe: Vec<f64> = (0..k2).map(|i| 0.02 * (i + 1) as f64).collect();
+        {
+            let mut eng = ShardedEngine::open(&root, 1).unwrap();
+            for i in 0..3 {
+                let id = eng.insert(&probe, &probe).unwrap();
+                assert_eq!(id, n + i);
+            }
+            let st = eng.status();
+            assert_eq!(st.nodes, n + 3);
+            assert_eq!(st.shards, Some(2));
+            assert_eq!(st.store.unwrap().wal_records, 3);
+        } // hard stop
+
+        let eng = ShardedEngine::open(&root, 1).unwrap();
+        let st = eng.status();
+        assert_eq!(st.nodes, n + 3);
+        assert_eq!(st.store.unwrap().replayed, 3);
+        // The grown engine still answers queries over the inserted ids.
+        let hits = ServeBackend::similar_nodes(&eng, &[n, n + 1, n + 2], 4).unwrap();
+        assert_eq!(hits.len(), 3);
+        // Two identical inserted rows are each other's nearest neighbors
+        // (scores identical, tie broken by id — across shards).
+        assert_eq!(hits[0][0].node, n + 1);
+        assert_eq!(hits[1][0].node, n);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn sharded_snapshot_commits_every_shard() {
+        let emb = fixture(40);
+        let k2 = emb.forward.cols();
+        let root = tmpdir("snap");
+        ShardedStore::init(&root, &emb, &IndexSpec::Flat, &IndexSpec::Flat, 2, 1).unwrap();
+        let mut eng = ShardedEngine::open(&root, 1).unwrap();
+        let probe = vec![0.3; k2];
+        eng.insert(&probe, &probe).unwrap();
+        let out = eng.snapshot().unwrap();
+        assert_eq!(out.generation, 2);
+        assert_eq!(out.folded, 1);
+        drop(eng);
+        let eng = ShardedEngine::open(&root, 1).unwrap();
+        let st = eng.status();
+        assert_eq!(st.nodes, 41);
+        let store = st.store.unwrap();
+        assert_eq!(
+            (store.generation, store.wal_records, store.replayed),
+            (2, 0, 0)
+        );
+        std::fs::remove_dir_all(&root).ok();
+    }
+}

@@ -57,9 +57,11 @@ pub struct IngestStats {
     /// Entries in the finished matrix (after merging and zero-dropping).
     pub nnz: usize,
     /// High-water mark of auxiliary triplet-buffer bytes held by the
-    /// builder: accumulator + pending chunk + merge output, counted at
-    /// every flush. Excludes the final CSR arrays (which any build path
-    /// must produce) and the transient scratch of the chunk sort.
+    /// builder: the accumulator grown by one chunk (the merge is **in
+    /// place** — no second output copy exists) plus the pending chunk,
+    /// counted at every flush. Excludes the final CSR arrays (which any
+    /// build path must produce) and the transient scratch of the chunk
+    /// sort.
     pub peak_aux_bytes: usize,
     /// Number of chunk flushes performed.
     pub flushes: usize,
@@ -160,7 +162,14 @@ impl CsrBuilder {
         }
     }
 
-    /// Sorts the pending chunk and merge-joins it into the accumulator.
+    /// Sorts the pending chunk and merge-joins it into the accumulator
+    /// **in place**: the accumulator arrays grow by the chunk length,
+    /// existing entries shift to their tail, and the merge writes forward
+    /// into the freed prefix. The write cursor can never overtake the
+    /// shifted read cursor (each output entry consumes at least one
+    /// input entry), so no second output buffer exists — the transient
+    /// is one grown accumulator plus the pending chunk, not two full
+    /// accumulator copies.
     fn flush(&mut self) {
         if self.chunk.is_empty() {
             return;
@@ -174,10 +183,16 @@ impl CsrBuilder {
         let a_len = self.acc_rows.len();
         let c_len = self.chunk.len();
         let cap = a_len + c_len;
-        self.peak_aux_bytes = self.peak_aux_bytes.max(TRIPLET_BYTES * (cap + cap));
-        let mut out_rows: Vec<u32> = Vec::with_capacity(cap);
-        let mut out_cols: Vec<u32> = Vec::with_capacity(cap);
-        let mut out_vals: Vec<f64> = Vec::with_capacity(cap);
+        // Transient high-water: the grown accumulator + the chunk.
+        self.peak_aux_bytes = self.peak_aux_bytes.max(TRIPLET_BYTES * (cap + c_len));
+        self.acc_rows.resize(cap, 0);
+        self.acc_cols.resize(cap, 0);
+        self.acc_vals.resize(cap, 0.0);
+        // Shift the existing entries to the tail [c_len, cap); the merge
+        // then reads them from there and writes merged output from 0.
+        self.acc_rows.copy_within(0..a_len, c_len);
+        self.acc_cols.copy_within(0..a_len, c_len);
+        self.acc_vals.copy_within(0..a_len, c_len);
 
         let key = |r: u32, c: u32| ((r as u64) << 32) | c as u64;
         let chunk = &self.chunk;
@@ -190,28 +205,33 @@ impl CsrBuilder {
             j
         };
 
-        let (mut i, mut j) = (0usize, 0usize);
-        while i < a_len || j < c_len {
-            let take_acc = j >= c_len
-                || (i < a_len
-                    && key(self.acc_rows[i], self.acc_cols[i]) < key(chunk[j].0, chunk[j].1));
+        let (rows, cols, vals) = (&mut self.acc_rows, &mut self.acc_cols, &mut self.acc_vals);
+        // `ra` reads the shifted accumulator tail, `j` the sorted chunk,
+        // `w` writes the merged output. Invariant: `w ≤ ra` (the output
+        // never holds more entries than were consumed, and at most
+        // `c_len` of them came from the chunk), so reads stay ahead.
+        let (mut ra, mut j, mut w) = (c_len, 0usize, 0usize);
+        while ra < cap || j < c_len {
+            let take_acc =
+                j >= c_len || (ra < cap && key(rows[ra], cols[ra]) < key(chunk[j].0, chunk[j].1));
             if take_acc {
-                out_rows.push(self.acc_rows[i]);
-                out_cols.push(self.acc_cols[i]);
-                out_vals.push(self.acc_vals[i]);
-                i += 1;
+                rows[w] = rows[ra];
+                cols[w] = cols[ra];
+                vals[w] = vals[ra];
+                w += 1;
+                ra += 1;
                 continue;
             }
             let (r, c, first) = chunk[j];
             let end = run_end(j);
-            let in_acc = i < a_len && self.acc_rows[i] == r && self.acc_cols[i] == c;
+            let in_acc = ra < cap && rows[ra] == r && cols[ra] == c;
             match self.rule {
                 MergeRule::Sum => {
                     // Fold left-to-right: accumulator value (earlier pushes)
                     // first, then the chunk run in push order — exactly the
                     // order a one-shot build would sum.
                     let (mut v, start) = if in_acc {
-                        (self.acc_vals[i], j)
+                        (vals[ra], j)
                     } else {
                         (first, j + 1)
                     };
@@ -219,26 +239,27 @@ impl CsrBuilder {
                         v += chunk[k].2;
                     }
                     if v != 0.0 {
-                        out_rows.push(r);
-                        out_cols.push(c);
-                        out_vals.push(v);
+                        rows[w] = r;
+                        cols[w] = c;
+                        vals[w] = v;
+                        w += 1;
                     }
                 }
                 MergeRule::KeepFirst => {
-                    let v = if in_acc { self.acc_vals[i] } else { first };
-                    out_rows.push(r);
-                    out_cols.push(c);
-                    out_vals.push(v);
+                    rows[w] = r;
+                    cols[w] = c;
+                    vals[w] = if in_acc { vals[ra] } else { first };
+                    w += 1;
                 }
             }
             if in_acc {
-                i += 1;
+                ra += 1;
             }
             j = end;
         }
-        self.acc_rows = out_rows;
-        self.acc_cols = out_cols;
-        self.acc_vals = out_vals;
+        self.acc_rows.truncate(w);
+        self.acc_cols.truncate(w);
+        self.acc_vals.truncate(w);
         self.chunk.clear();
     }
 
@@ -286,6 +307,32 @@ impl CsrBuilder {
     where
         F: FnMut(&mut dyn FnMut(usize, usize, f64)),
     {
+        let result: Result<CsrMatrix, std::convert::Infallible> =
+            Self::try_from_source(rows, cols, rule, |emit| {
+                source(emit);
+                Ok(())
+            });
+        match result {
+            Ok(csr) => csr,
+        }
+    }
+
+    /// Fallible variant of [`Self::from_source`] for sources that parse
+    /// untrusted input as they emit (e.g. the two-pass file loaders in
+    /// `pane-graph`): the source returns `Err` to abort the build, and
+    /// the error propagates out of either pass. The replayability
+    /// contract is unchanged — a source that *succeeds* twice must emit
+    /// the identical sequence both times (a file that changes between
+    /// passes panics like any other non-replayable source).
+    pub fn try_from_source<E, F>(
+        rows: usize,
+        cols: usize,
+        rule: MergeRule,
+        mut source: F,
+    ) -> Result<CsrMatrix, E>
+    where
+        F: FnMut(&mut dyn FnMut(usize, usize, f64)) -> Result<(), E>,
+    {
         assert!(
             rows <= u32::MAX as usize && cols <= u32::MAX as usize,
             "dimensions exceed u32 index space"
@@ -296,7 +343,7 @@ impl CsrBuilder {
             assert!(r < rows, "row {r} out of bounds ({rows})");
             assert!(c < cols, "col {c} out of bounds ({cols})");
             offsets[r + 1] += 1;
-        });
+        })?;
         for i in 0..rows {
             offsets[i + 1] += offsets[i];
         }
@@ -315,14 +362,14 @@ impl CsrBuilder {
             indices[p] = c as u32;
             values[p] = v;
             cursor[r] = p + 1;
-        });
+        })?;
         for r in 0..rows {
             assert!(
                 cursor[r] == offsets[r + 1],
                 "replayable source emitted fewer triplets for row {r} on the second pass"
             );
         }
-        finalize_rows(rows, cols, &offsets, indices, values, rule)
+        Ok(finalize_rows(rows, cols, &offsets, indices, values, rule))
     }
 }
 
@@ -492,6 +539,57 @@ mod tests {
             }
             assert_eq!(b.finish().get(0, 0).to_bits(), want.to_bits());
         }
+    }
+
+    #[test]
+    fn try_from_source_propagates_errors_from_either_pass() {
+        // Error on the first (count) pass.
+        let err: Result<CsrMatrix, &str> =
+            CsrBuilder::try_from_source(2, 2, MergeRule::Sum, |_emit| Err("count pass failed"));
+        assert_eq!(err.unwrap_err(), "count pass failed");
+        // Error on the second (fill) pass, after a clean count pass.
+        let mut calls = 0;
+        let err: Result<CsrMatrix, &str> =
+            CsrBuilder::try_from_source(2, 2, MergeRule::Sum, |emit| {
+                calls += 1;
+                emit(0, 0, 1.0);
+                if calls == 2 {
+                    return Err("fill pass failed");
+                }
+                Ok(())
+            });
+        assert_eq!(err.unwrap_err(), "fill pass failed");
+        // A clean fallible source matches the infallible path exactly.
+        let entries = [(0usize, 1usize, 2.0f64), (1, 0, 3.0), (0, 1, -2.0)];
+        let ok: Result<CsrMatrix, &str> =
+            CsrBuilder::try_from_source(2, 2, MergeRule::Sum, |emit| {
+                for &(r, c, v) in &entries {
+                    emit(r, c, v);
+                }
+                Ok(())
+            });
+        assert_eq!(
+            ok.unwrap(),
+            CsrBuilder::from_source(2, 2, MergeRule::Sum, triplet_source(&entries))
+        );
+    }
+
+    #[test]
+    fn in_place_merge_peak_counts_one_accumulator_copy() {
+        // 6 unique entries pushed twice (12 pushes) through chunks of 3:
+        // the worst flush holds acc=6 grown by chunk=3 (9) + the chunk
+        // itself (3) = 12 triplets. The old double-buffered merge held
+        // acc + fresh output = 2·9 = 18 alongside the chunk.
+        let mut b = CsrBuilder::new(3, 3).chunk_capacity(3);
+        for rep in 0..2 {
+            for i in 0..6 {
+                let _ = rep;
+                b.push(i / 3, i % 3, 1.0);
+            }
+        }
+        let (csr, stats) = b.finish_with_stats();
+        assert_eq!(csr.nnz(), 6);
+        assert_eq!(stats.peak_aux_bytes, TRIPLET_BYTES * 12);
     }
 
     #[test]

@@ -1,0 +1,147 @@
+//! Fuzz-style crash-recovery properties for the insert-ahead log.
+//!
+//! The WAL is the only thing standing between an acknowledged insert and
+//! a hard kill, so its recovery path is held to the contract the module
+//! docs state: [`Store::open`] over a mangled log either replays a
+//! **clean prefix** of the acknowledged records — bit-for-bit, never a
+//! partial row — or fails with a structured [`StoreError`]. It never
+//! panics, whatever bytes the file holds.
+
+use crate::store::testutil::{fixture, tmpdir};
+use crate::{Store, StoreError, WAL_FILE};
+use pane_index::IndexSpec;
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+/// Rows appended to the fixture store's WAL (distinct, recognizable).
+const APPENDED: usize = 5;
+
+struct Fixture {
+    dir: PathBuf,
+    wal: Vec<u8>,
+    rows: Vec<(Vec<f64>, Vec<f64>)>,
+    base_n: usize,
+}
+
+/// Builds one pristine store + WAL per test (tests run in parallel, so
+/// each gets its own directory; cases within a test reuse it by
+/// rewriting only `wal.log`).
+fn build_fixture(name: &'static str) -> Fixture {
+    let dir = tmpdir(name);
+    let emb = fixture(40, 11);
+    let k2 = emb.forward.cols();
+    let base_n = emb.forward.rows();
+    Store::init(&dir, &emb, &IndexSpec::Flat, &IndexSpec::Flat, 1).unwrap();
+    let mut opened = Store::open(&dir).unwrap();
+    let mut rows = Vec::new();
+    for i in 0..APPENDED {
+        let fwd: Vec<f64> = (0..k2).map(|j| 0.01 * (i * k2 + j + 1) as f64).collect();
+        let bwd: Vec<f64> = fwd.iter().map(|v| -v).collect();
+        opened.store.append(base_n + i, &fwd, &bwd).unwrap();
+        rows.push((fwd, bwd));
+    }
+    drop(opened);
+    let wal = std::fs::read(dir.join(WAL_FILE)).unwrap();
+    Fixture {
+        dir,
+        wal,
+        rows,
+        base_n,
+    }
+}
+
+/// Opens the fixture store with `wal_bytes` in place of its log and
+/// checks the recovery contract; returns the replay count on success.
+fn open_with_wal(fx: &Fixture, wal_bytes: &[u8]) -> Result<usize, StoreError> {
+    std::fs::write(fx.dir.join(WAL_FILE), wal_bytes).unwrap();
+    let opened = Store::open(&fx.dir)?;
+    let replayed = opened.store.replayed();
+    assert!(replayed <= APPENDED + 1, "replayed more than was appended");
+    assert_eq!(opened.embedding.forward.rows(), fx.base_n + replayed);
+    assert_eq!(opened.node_index.delta_len(), replayed);
+    // Never a partial or mangled row: whatever replayed must be the
+    // acknowledged rows, bit-for-bit, in acknowledgment order.
+    for (i, (fwd, bwd)) in fx.rows.iter().take(replayed).enumerate() {
+        let at = fx.base_n + i;
+        assert_eq!(opened.embedding.forward.row(at), &fwd[..], "row {at}");
+        assert_eq!(opened.embedding.backward.row(at), &bwd[..], "row {at}");
+    }
+    Ok(replayed)
+}
+
+fn truncation_fixture() -> &'static Fixture {
+    static FX: OnceLock<Fixture> = OnceLock::new();
+    FX.get_or_init(|| build_fixture("prop_trunc"))
+}
+
+fn flip_fixture() -> &'static Fixture {
+    static FX: OnceLock<Fixture> = OnceLock::new();
+    FX.get_or_init(|| build_fixture("prop_flip"))
+}
+
+fn garbage_fixture() -> &'static Fixture {
+    static FX: OnceLock<Fixture> = OnceLock::new();
+    FX.get_or_init(|| build_fixture("prop_garbage"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Truncating the log at *any* byte offset yields the longest clean
+    /// prefix of whole records (shorter than the magic: a structured
+    /// error) — replay never rounds up into a partial record.
+    #[test]
+    fn truncation_replays_exactly_the_whole_record_prefix(frac in 0.0f64..1.0) {
+        let fx = truncation_fixture();
+        let keep = ((frac * (fx.wal.len() + 1) as f64) as usize).min(fx.wal.len());
+        let got = open_with_wal(fx, &fx.wal[..keep]);
+        if keep < 8 {
+            prop_assert!(matches!(got, Err(StoreError::Format(_))), "{got:?}");
+        } else {
+            let record_bytes = (fx.wal.len() - 8) / APPENDED;
+            let want = (keep - 8) / record_bytes;
+            prop_assert_eq!(got.unwrap(), want);
+        }
+    }
+
+    /// Flipping any single byte never panics: the store either still
+    /// replays a clean prefix (the flip landed at or past the first
+    /// record it dropped) or fails with a structured error (magic /
+    /// checksum-valid-but-inconsistent records).
+    #[test]
+    fn byte_flips_never_panic_and_never_serve_partial_rows(
+        offset_frac in 0.0f64..1.0,
+        xor in 1u32..256,
+    ) {
+        let fx = flip_fixture();
+        let mut wal = fx.wal.clone();
+        let at = (offset_frac * (wal.len() - 1) as f64) as usize;
+        wal[at] ^= xor as u8;
+        match open_with_wal(fx, &wal) {
+            // open_with_wal already asserted the replayed rows are an
+            // exact bit-for-bit prefix; a flip inside record j can only
+            // drop j and everything after it.
+            Ok(_replayed) => {}
+            Err(StoreError::Format(_)) | Err(StoreError::Wal(_)) => {}
+            Err(other) => panic!("unexpected error kind: {other}"),
+        }
+    }
+
+    /// Arbitrary garbage appended after the real records is a torn tail:
+    /// the acknowledged records replay, the garbage is dropped (or, if it
+    /// happens to checksum-validate, rejected as structurally foreign).
+    #[test]
+    fn appended_garbage_is_dropped_or_structurally_rejected(
+        garbage in proptest::collection::vec(0u32..256, 0usize..200),
+    ) {
+        let fx = garbage_fixture();
+        let mut wal = fx.wal.clone();
+        wal.extend(garbage.iter().map(|&b| b as u8));
+        match open_with_wal(fx, &wal) {
+            Ok(replayed) => prop_assert!(replayed >= APPENDED),
+            Err(StoreError::Wal(_)) => {}
+            Err(other) => panic!("unexpected error kind: {other}"),
+        }
+    }
+}

@@ -45,7 +45,8 @@
 //! | [`pane_linalg`] | dense matrices, QR, Jacobi SVD, randomized SVD |
 //! | [`pane_core`] | the PANE algorithms: APMI, GreedyInit, SVDCCD and parallel variants |
 //! | [`pane_index`] | ANN serving layer: exact / IVF / HNSW vector indexes over the embeddings |
-//! | [`pane_serve`] | shared-index serving daemon: JSON-lines protocol, incremental inserts |
+//! | [`pane_store`] | durable store layer: insert-ahead log, generation snapshots, sharded roots |
+//! | [`pane_serve`] | shared-index serving daemon: JSON-lines protocol, durable incremental inserts |
 //! | [`pane_eval`] | attribute inference / link prediction / node classification + metrics |
 //! | [`pane_baselines`] | competitor stand-ins (NRP-, TADW-, CAN-, BLA-like, SVD baselines, PANE-R) |
 //! | [`pane_datasets`] | the eight dataset analogues of Table 3 |
@@ -64,6 +65,7 @@ pub use pane_linalg;
 pub use pane_parallel;
 pub use pane_serve;
 pub use pane_sparse;
+pub use pane_store;
 
 /// Most-used items, re-exported for `use pane::prelude::*`.
 pub mod prelude {
@@ -81,6 +83,7 @@ pub mod prelude {
         DeltaIndex, FlatIndex, HnswConfig, HnswIndex, IvfConfig, IvfIndex, VectorIndex,
     };
     pub use pane_linalg::DenseMatrix;
-    pub use pane_serve::{IndexSpec, ServeEngine};
+    pub use pane_serve::{IndexSpec, ServeBackend, ServeEngine, ShardedEngine};
     pub use pane_sparse::CsrMatrix;
+    pub use pane_store::{ShardedStore, Store};
 }

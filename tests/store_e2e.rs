@@ -1,0 +1,187 @@
+//! End-to-end durability test: the acceptance path of the `pane-store`
+//! layer driven through the facade, the way a deployment would run it.
+//!
+//! Covers the three contract points: (1) inserts acknowledged before a
+//! hard stop are served after a restart's WAL replay — bit-for-bit; (2)
+//! a post-snapshot restart boots a fresh generation with an empty WAL
+//! and identical query results; (3) sharded top-k over 2+ shards is
+//! bit-identical to the unsharded exact scan on the same data.
+
+use pane::prelude::*;
+use pane_core::{grow_embedding, reembed_warm};
+use pane_graph::gen::{generate_sbm, SbmConfig};
+use pane_serve::Hit;
+use pane_store::ShardedStore;
+
+fn sbm(nodes: usize, seed: u64) -> AttributedGraph {
+    generate_sbm(&SbmConfig {
+        nodes,
+        communities: 4,
+        avg_out_degree: 6.0,
+        attributes: 20,
+        attrs_per_node: 4.0,
+        seed,
+        ..Default::default()
+    })
+}
+
+fn cfg() -> PaneConfig {
+    PaneConfig::builder().dimension(16).seed(13).build()
+}
+
+fn tmpdir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("pane_store_e2e_{}_{name}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+#[test]
+fn kill_and_restart_preserves_acknowledged_inserts() {
+    let dir = tmpdir("killrestart");
+
+    // Offline: embed and initialize the durable store (what `pane embed`
+    // + `pane store init` produce).
+    let g0 = sbm(200, 3);
+    let emb = Pane::new(cfg()).embed(&g0).unwrap();
+    let n = g0.num_nodes();
+    Store::init(&dir, &emb, &IndexSpec::Flat, &IndexSpec::Flat, 2).unwrap();
+
+    // A node arrives through the pane-core incremental path: grow the
+    // graph, warm re-embed offline, push only the new node's rows.
+    let mut b = GraphBuilder::new(n + 1, g0.num_attributes());
+    for (i, j, _) in g0.adjacency().iter() {
+        b.add_edge(i, j);
+    }
+    for (v, r, w) in g0.attributes().iter() {
+        b.add_attribute(v, r, w);
+    }
+    b.add_edge(n, 0);
+    b.add_edge(0, n);
+    b.add_attribute(n, 0, 1.0);
+    let g1 = b.build();
+    let warm = reembed_warm(&cfg(), &g1, &grow_embedding(&emb, 1), 2).unwrap();
+
+    // Session 1: insert, read the answers, then hard-stop — the engine
+    // is dropped mid-flight with no shutdown, compact, or snapshot.
+    let (id, sim_before, links_before) = {
+        let mut engine = ServeEngine::open(&dir, 2).unwrap();
+        let id = engine
+            .insert(warm.forward.row(n), warm.backward.row(n))
+            .unwrap();
+        assert_eq!(id, n);
+        let sim = engine.similar_nodes(&[id, 0, 17], 8).unwrap();
+        let links = engine.recommend_links(&[id, 5], 6, &[0]).unwrap();
+        (id, sim, links)
+    };
+
+    // Session 2: WAL replay restores the insert; every answer involving
+    // the recovered node is bit-identical to the pre-kill session.
+    let mut engine = ServeEngine::open(&dir, 2).unwrap();
+    let report = engine.status().store.unwrap();
+    assert_eq!(report.replayed, 1);
+    assert_eq!(engine.num_nodes(), n + 1);
+    assert_eq!(engine.similar_nodes(&[id, 0, 17], 8).unwrap(), sim_before);
+    assert_eq!(
+        engine.recommend_links(&[id, 5], 6, &[0]).unwrap(),
+        links_before
+    );
+
+    // Snapshot: generation 2 commits, the WAL empties, answers hold.
+    let out = engine.snapshot().unwrap();
+    assert_eq!((out.generation, out.folded), (2, 1));
+    drop(engine); // another hard stop
+
+    // Session 3: boots from the new generation, replays nothing, and
+    // serves identical results.
+    let engine = ServeEngine::open(&dir, 2).unwrap();
+    let report = engine.status().store.unwrap();
+    assert_eq!(report.generation, 2);
+    assert_eq!(report.wal_records, 0);
+    assert_eq!(report.replayed, 0);
+    assert_eq!(engine.similar_nodes(&[id, 0, 17], 8).unwrap(), sim_before);
+    assert_eq!(
+        engine.recommend_links(&[id, 5], 6, &[0]).unwrap(),
+        links_before
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sharded_top_k_is_bit_identical_to_the_unsharded_exact_scan() {
+    let root = tmpdir("sharded");
+    let g = sbm(150, 9);
+    let emb = Pane::new(cfg()).embed(&g).unwrap();
+
+    // Ground truth: the exact in-process query layer and the unsharded
+    // flat daemon engine (themselves pinned equal in serve's tests).
+    let exact = EmbeddingQuery::new(&emb);
+    let unsharded = ServeEngine::build(emb.clone(), &IndexSpec::Flat, 2);
+
+    for shards in [2usize, 3] {
+        std::fs::remove_dir_all(&root).ok();
+        ShardedStore::init(&root, &emb, &IndexSpec::Flat, &IndexSpec::Flat, shards, 2).unwrap();
+        let engine = ShardedEngine::open(&root, 2).unwrap();
+        assert_eq!(engine.num_shards(), shards);
+        let nodes: Vec<usize> = (0..150).step_by(11).collect();
+        let sim = engine.similar_nodes(&nodes, 10).unwrap();
+        let links = engine.recommend_links(&nodes, 7, &[2, 40]).unwrap();
+        assert_eq!(
+            sim,
+            unsharded.similar_nodes(&nodes, 10).unwrap(),
+            "{shards}-way similar-nodes diverged from the unsharded engine"
+        );
+        assert_eq!(
+            links,
+            unsharded.recommend_links(&nodes, 7, &[2, 40]).unwrap(),
+            "{shards}-way recommend-links diverged from the unsharded engine"
+        );
+        // And against the original query layer — three implementations,
+        // one answer.
+        for (qi, &v) in nodes.iter().enumerate() {
+            let want: Vec<Hit> = exact
+                .similar_nodes(v, 10)
+                .into_iter()
+                .map(|s| Hit {
+                    node: s.index,
+                    score: s.score,
+                })
+                .collect();
+            assert_eq!(sim[qi], want, "query node {v}");
+        }
+    }
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn sharded_inserts_survive_restart_and_snapshot() {
+    let root = tmpdir("sharded_durable");
+    let g = sbm(90, 5);
+    let emb = Pane::new(cfg()).embed(&g).unwrap();
+    let n = g.num_nodes();
+    let k2 = emb.forward.cols();
+    ShardedStore::init(&root, &emb, &IndexSpec::Flat, &IndexSpec::Flat, 2, 1).unwrap();
+
+    let probe: Vec<f64> = (0..k2).map(|i| 0.03 * (i + 1) as f64).collect();
+    let before = {
+        let mut engine = ShardedEngine::open(&root, 1).unwrap();
+        for i in 0..3 {
+            assert_eq!(engine.insert(&probe, &probe).unwrap(), n + i);
+        }
+        engine.similar_nodes(&[n, n + 2], 6).unwrap()
+    }; // hard stop
+
+    let mut engine = ShardedEngine::open(&root, 1).unwrap();
+    assert_eq!(engine.num_nodes(), n + 3);
+    assert_eq!(engine.status().store.unwrap().replayed, 3);
+    assert_eq!(engine.similar_nodes(&[n, n + 2], 6).unwrap(), before);
+
+    let out = engine.snapshot().unwrap();
+    assert_eq!(out.folded, 3);
+    drop(engine);
+    let engine = ShardedEngine::open(&root, 1).unwrap();
+    let report = engine.status().store.unwrap();
+    assert_eq!((report.wal_records, report.replayed), (0, 0));
+    assert_eq!(engine.similar_nodes(&[n, n + 2], 6).unwrap(), before);
+    std::fs::remove_dir_all(&root).ok();
+}
