@@ -20,6 +20,10 @@
 //!                    [--kind flat|ivf|hnsw] [--lists 64] [--nprobe 8]
 //!                    [--m 16] [--efc 100] [--ef 64] [--seed 0])
 //!                   (--stdio | --listen ADDR) [--threads 1]
+//! pane route        (--shards ADDR,ADDR,… | --store ROOT [--threads 1])
+//!                   (--stdio | --listen ADDR)
+//!                   [--connect-timeout-ms 1000] [--request-timeout-ms 10000]
+//!                   [--retries 2] [--probe-interval-ms 2000]
 //! pane store init     --embedding EMB [--text] --dir DIR [--shards N]
 //!                     [--kind flat|ivf|hnsw + build params] [--threads 1]
 //! pane store snapshot --dir DIR [--threads 1]
@@ -58,6 +62,7 @@ fn main() -> ExitCode {
         "topk" => cmd_topk(raw),
         "index" => cmd_index(raw),
         "serve" => cmd_serve(raw),
+        "route" => cmd_route(raw),
         "store" => cmd_store(raw),
         "evaluate" => cmd_evaluate(raw),
         "convert" => cmd_convert(raw),
@@ -84,6 +89,7 @@ fn print_help() {
            topk      query a saved embedding (top attributes / links / similar nodes)\n\
            index     build / search an ANN index over a saved embedding (flat / ivf / hnsw)\n\
            serve     run the shared-index serving daemon (JSON-lines over TCP or stdio)\n\
+           route     run the merging query router over shard daemons (same protocol)\n\
            store     manage durable store directories (init / snapshot / status)\n\
            evaluate  run the three-task quality report on a graph\n\
            convert   convert a text graph to the fast binary format (or back)\n\n\
@@ -527,14 +533,14 @@ fn spec_from_args(a: &Args) -> Result<pane_index::IndexSpec, Box<dyn std::error:
     })
 }
 
-/// Runs the selected transport over any engine (single or sharded).
-fn run_serve_transport<B: pane_serve::ServeBackend + 'static>(engine: B, a: &Args) -> CliResult {
-    let engine = std::sync::RwLock::new(engine);
+/// Runs the selected transport over any JSON-lines endpoint — an engine
+/// behind a lock or the query router.
+fn run_transport<H: pane_serve::LineHandler + 'static>(handler: H, a: &Args) -> CliResult {
     match (a.flag("stdio"), a.get("listen")) {
         (true, None) => {
             let stdin = std::io::stdin();
             let stdout = std::io::stdout();
-            pane_serve::serve_lines(&engine, stdin.lock(), stdout.lock())?;
+            pane_serve::serve_lines(&handler, stdin.lock(), stdout.lock())?;
             Ok(())
         }
         (false, Some(addr)) => {
@@ -542,11 +548,16 @@ fn run_serve_transport<B: pane_serve::ServeBackend + 'static>(engine: B, a: &Arg
                 .map_err(|e| format!("cannot listen on {addr}: {e}"))?;
             // Tests and scripts parse this line to find an OS-assigned port.
             eprintln!("listening on {}", listener.local_addr()?);
-            pane_serve::serve_tcp(std::sync::Arc::new(engine), listener)?;
+            pane_serve::serve_tcp(std::sync::Arc::new(handler), listener)?;
             Ok(())
         }
         _ => Err("give exactly one transport: --stdio or --listen ADDR".into()),
     }
+}
+
+/// Runs the selected transport over any engine (single or sharded).
+fn run_serve_transport<B: pane_serve::ServeBackend + 'static>(engine: B, a: &Args) -> CliResult {
+    run_transport(std::sync::RwLock::new(engine), a)
 }
 
 fn cmd_serve(raw: Vec<String>) -> CliResult {
@@ -642,6 +653,73 @@ fn cmd_serve(raw: Vec<String>) -> CliResult {
         engine.threads()
     );
     run_serve_transport(engine, &a)
+}
+
+fn cmd_route(raw: Vec<String>) -> CliResult {
+    let a = Args::parse(raw, &["stdio"])?;
+    reject_positionals(&a)?;
+    a.reject_unknown(&[
+        "shards",
+        "store",
+        "threads",
+        "listen",
+        "connect-timeout-ms",
+        "request-timeout-ms",
+        "retries",
+        "probe-interval-ms",
+    ])?;
+    match (a.get("shards"), a.get("store")) {
+        (Some(_), Some(_)) => Err("give --shards or --store, not both".into()),
+        (Some(list), None) => {
+            // Multi-daemon mode: one `pane serve --store shard-<s>/`
+            // daemon per address, in shard order.
+            let addrs: Vec<String> = list
+                .split(',')
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .collect();
+            if addrs.is_empty() {
+                return Err("--shards needs at least one address".into());
+            }
+            let ms = std::time::Duration::from_millis;
+            let config = pane_serve::ClientConfig {
+                connect_timeout: ms(a.get_parsed("connect-timeout-ms", 1_000u64)?),
+                request_timeout: ms(a.get_parsed("request-timeout-ms", 10_000u64)?),
+                retries: a.get_parsed("retries", 2usize)?,
+                probe_interval: ms(a.get_parsed("probe-interval-ms", 2_000u64)?),
+                ..Default::default()
+            };
+            let router = pane_serve::Router::connect(&addrs, config)?;
+            eprintln!(
+                "routing over {} shard daemons: {}",
+                router.num_shards(),
+                addrs.join(", ")
+            );
+            run_transport(router, &a)
+        }
+        (None, Some(dir)) => {
+            // Spawn-less mode: serve the sharded root in-process — same
+            // protocol and results, no daemons to manage. The scale-out
+            // path later replaces this with --shards without touching
+            // clients.
+            use pane_serve::ServeBackend;
+            let threads: usize = a.get_parsed("threads", 1usize)?;
+            let dir = std::path::Path::new(dir);
+            let Some(shards) = pane_store::ShardedStore::shard_count(dir)? else {
+                return Err("--store must point at a sharded root (shard-000/, …); \
+                     use `pane serve --store` for a single store"
+                    .into());
+            };
+            let engine = pane_serve::ShardedEngine::open(dir, threads)?;
+            eprintln!(
+                "routing in-process over {shards} shards ({} nodes, {} threads)",
+                engine.status().nodes,
+                threads
+            );
+            run_serve_transport(engine, &a)
+        }
+        (None, None) => Err("give --shards ADDR,ADDR,… or --store ROOT".into()),
+    }
 }
 
 fn cmd_store(mut raw: Vec<String>) -> CliResult {

@@ -829,6 +829,174 @@ fn sharded_store_serves_through_the_binary() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// The multi-daemon topology through the binary: one `pane serve`
+/// daemon per shard directory behind `pane route --shards`, checked
+/// against `pane route --store` (the spawn-less in-process mode) for
+/// identical results.
+#[test]
+fn route_merges_shard_daemons_through_the_binary() {
+    use std::io::{BufRead, BufReader, Write};
+    let (dir, emb) = serve_fixture("route");
+    let store = dir.join("shards");
+    let store_s = store.to_str().unwrap();
+    let (ok, _, err) = run(&[
+        "store",
+        "init",
+        "--embedding",
+        emb.to_str().unwrap(),
+        "--kind",
+        "flat",
+        "--shards",
+        "2",
+        "--dir",
+        store_s,
+    ]);
+    assert!(ok, "sharded init failed: {err}");
+
+    let query = r#"{"op":"similar-nodes","nodes":[0,1,5],"k":4}"#;
+    // The merged result list, stripped of router-only response fields,
+    // for comparing the two modes byte-for-byte.
+    fn results_fragment(line: &str) -> String {
+        line.split("\"results\":")
+            .nth(1)
+            .unwrap_or_else(|| panic!("no results in {line}"))
+            .trim_end()
+            .trim_end_matches('}')
+            .trim_end_matches(",\"degraded\":false")
+            .to_string()
+    }
+
+    // Spawn-less mode first: it takes the store locks the shard daemons
+    // will need, so this session must finish before they start.
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_pane"))
+        .args(["route", "--store", store_s, "--stdio"])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn pane route --store");
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(format!("{query}\n{{\"op\":\"shutdown\"}}\n").as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(
+        out.status.success(),
+        "route --store failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let inprocess = results_fragment(stdout.lines().next().expect("one response"));
+
+    // One daemon per shard directory.
+    let spawn_daemon = |shard: &str| {
+        let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_pane"))
+            .args([
+                "serve",
+                "--store",
+                store.join(shard).to_str().unwrap(),
+                "--listen",
+                "127.0.0.1:0",
+            ])
+            .stdin(std::process::Stdio::null())
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::piped())
+            .spawn()
+            .expect("spawn shard daemon");
+        let mut stderr = BufReader::new(child.stderr.take().unwrap());
+        let addr = loop {
+            let mut line = String::new();
+            assert!(
+                stderr.read_line(&mut line).unwrap() > 0,
+                "shard daemon exited before binding"
+            );
+            if let Some(rest) = line.trim().strip_prefix("listening on ") {
+                break rest.to_string();
+            }
+        };
+        (child, addr)
+    };
+    let (mut shard0, addr0) = spawn_daemon("shard-000");
+    let (mut shard1, addr1) = spawn_daemon("shard-001");
+
+    let mut router = std::process::Command::new(env!("CARGO_BIN_EXE_pane"))
+        .args([
+            "route",
+            "--shards",
+            &format!("{addr0},{addr1}"),
+            "--listen",
+            "127.0.0.1:0",
+        ])
+        .stdin(std::process::Stdio::null())
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn pane route");
+    let mut router_err = BufReader::new(router.stderr.take().unwrap());
+    let router_addr = loop {
+        let mut line = String::new();
+        assert!(
+            router_err.read_line(&mut line).unwrap() > 0,
+            "router exited before binding"
+        );
+        if let Some(rest) = line.trim().strip_prefix("listening on ") {
+            break rest.to_string();
+        }
+    };
+
+    let mut conn = std::net::TcpStream::connect(&router_addr).unwrap();
+    let mut reader = BufReader::new(conn.try_clone().unwrap());
+    let mut ask = |req: &str| -> String {
+        conn.write_all(req.as_bytes()).unwrap();
+        conn.write_all(b"\n").unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        line
+    };
+    let stats = ask(r#"{"op":"stats"}"#);
+    assert!(stats.contains("\"router\":true"), "{stats}");
+    assert!(stats.contains("\"shards\":2"), "{stats}");
+    assert!(stats.contains("\"degraded\":false"), "{stats}");
+    let n: usize = stats
+        .split("\"nodes\":")
+        .nth(1)
+        .and_then(|s| s.split(|c: char| !c.is_ascii_digit()).next())
+        .and_then(|s| s.parse().ok())
+        .expect("stats carries the node total");
+
+    let routed = ask(query);
+    assert!(routed.contains("\"ok\":true"), "{routed}");
+    assert_eq!(
+        results_fragment(&routed),
+        inprocess,
+        "daemon-routed results diverged from the in-process merge"
+    );
+
+    // An insert routes to its owner daemon and gets the next global id.
+    let half = "[0.1,0.2,0.3,0.4,0.5,0.6,0.7,0.8]";
+    let resp = ask(&format!(
+        r#"{{"op":"insert","forward":{half},"backward":{half}}}"#
+    ));
+    assert!(resp.contains("\"ok\":true"), "{resp}");
+    assert!(resp.contains(&format!("\"id\":{n}")), "{resp}");
+
+    let resp = ask(r#"{"op":"shutdown"}"#);
+    assert!(resp.contains("\"ok\":true"), "{resp}");
+    assert!(router.wait().unwrap().success(), "router exit");
+
+    // Stop the shard daemons through their own protocol.
+    for (child, addr) in [(&mut shard0, &addr0), (&mut shard1, &addr1)] {
+        let mut conn = std::net::TcpStream::connect(addr).unwrap();
+        conn.write_all(b"{\"op\":\"shutdown\"}\n").unwrap();
+        let mut line = String::new();
+        BufReader::new(conn).read_line(&mut line).unwrap();
+        assert!(child.wait().unwrap().success(), "shard daemon exit");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// `--two-pass` loads are accepted and bit-identical: embedding the same
 /// graph in both modes produces byte-identical output files.
 #[test]

@@ -1,0 +1,414 @@
+//! JSON-lines client for one shard daemon — the router's view of a
+//! `pane serve` process.
+//!
+//! [`ShardClient`] owns one pooled connection to one daemon and answers
+//! three questions the router cares about:
+//!
+//! * **transport** — one request line out, one response line back,
+//!   bounded by the same [`crate::server::MAX_LINE_BYTES`] cap the
+//!   server enforces, with connect and read/write timeouts so a hung
+//!   shard cannot stall the router;
+//! * **retry** — idempotent requests (queries, stats) get a bounded
+//!   retry with exponential backoff; non-idempotent requests (insert)
+//!   are **at-most-once**: only a failure to *connect* is retried —
+//!   once request bytes may have reached the daemon, a transport error
+//!   becomes [`ClientError::OutcomeUnknown`] so the caller can resync
+//!   instead of double-applying;
+//! * **health** — after retries are exhausted the shard is marked
+//!   *down*; while down, requests fail fast with [`ClientError::Down`]
+//!   without touching the network, except one probe per
+//!   [`ClientConfig::probe_interval`] (and the router's health-check
+//!   thread calling [`ShardClient::probe`]), so a restarted daemon is
+//!   picked back up automatically.
+
+use crate::protocol::{parse, Json};
+use crate::server::{read_bounded_line, LineRead, MAX_LINE_BYTES};
+use std::io::{BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Tunables for one shard connection. The defaults suit daemons on the
+/// same host or rack; a WAN deployment raises the timeouts.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// TCP connect timeout per attempt.
+    pub connect_timeout: Duration,
+    /// Read/write timeout for one request/response round trip.
+    pub request_timeout: Duration,
+    /// Extra attempts after the first failure (idempotent requests; for
+    /// non-idempotent requests only connect failures consume these).
+    pub retries: usize,
+    /// Backoff before the first retry; doubles each further retry.
+    pub backoff: Duration,
+    /// While a shard is down, at most one request per interval actually
+    /// probes the network; the rest fail fast with [`ClientError::Down`].
+    pub probe_interval: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        Self {
+            connect_timeout: Duration::from_secs(1),
+            request_timeout: Duration::from_secs(10),
+            retries: 2,
+            backoff: Duration::from_millis(50),
+            probe_interval: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Why a shard request failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// The shard is marked down and the probe interval has not elapsed;
+    /// the request never touched the network.
+    Down(String),
+    /// Transport failure after exhausting retries (the shard is now
+    /// marked down).
+    Io(String),
+    /// The daemon answered, but with bytes that are not a protocol
+    /// response.
+    Protocol(String),
+    /// The daemon answered `{"ok":false,…}` — the shard is healthy, the
+    /// request was bad. Carries the daemon's error message.
+    Remote(String),
+    /// A non-idempotent request failed *after* its bytes may have
+    /// reached the daemon: it may or may not have been applied. The
+    /// caller must resync (e.g. re-read `stats`) before assuming either.
+    OutcomeUnknown(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Down(addr) => write!(f, "shard {addr} is down"),
+            ClientError::Io(m) => write!(f, "shard transport error: {m}"),
+            ClientError::Protocol(m) => write!(f, "shard protocol error: {m}"),
+            ClientError::Remote(m) => write!(f, "shard error: {m}"),
+            ClientError::OutcomeUnknown(m) => {
+                write!(f, "request outcome unknown (resync required): {m}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+struct ClientState {
+    conn: Option<Conn>,
+    down_since: Option<Instant>,
+    last_attempt: Option<Instant>,
+}
+
+/// One pooled, timeout-guarded, health-tracked connection to one shard
+/// daemon. See the [module docs](self) for the retry and down-state
+/// semantics. All methods take `&self`; requests to the *same* shard are
+/// serialized by an internal lock (the router's parallelism is across
+/// shards).
+pub struct ShardClient {
+    addr: String,
+    config: ClientConfig,
+    state: Mutex<ClientState>,
+}
+
+impl ShardClient {
+    /// A client for the daemon at `addr` (e.g. `"127.0.0.1:7878"`).
+    /// Connects lazily on first use.
+    pub fn new(addr: impl Into<String>, config: ClientConfig) -> Self {
+        Self {
+            addr: addr.into(),
+            config,
+            state: Mutex::new(ClientState {
+                conn: None,
+                down_since: None,
+                last_attempt: None,
+            }),
+        }
+    }
+
+    /// The daemon address this client targets.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Whether the shard is currently marked down.
+    pub fn is_down(&self) -> bool {
+        self.lock().down_since.is_some()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, ClientState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn connect(&self) -> std::io::Result<Conn> {
+        let mut last = std::io::Error::new(
+            std::io::ErrorKind::AddrNotAvailable,
+            format!("'{}' resolved to no addresses", self.addr),
+        );
+        for addr in self.addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&addr, self.config.connect_timeout) {
+                Ok(stream) => {
+                    stream.set_read_timeout(Some(self.config.request_timeout))?;
+                    stream.set_write_timeout(Some(self.config.request_timeout))?;
+                    stream.set_nodelay(true).ok();
+                    let reader = BufReader::new(stream.try_clone()?);
+                    return Ok(Conn {
+                        reader,
+                        writer: stream,
+                    });
+                }
+                Err(e) => last = e,
+            }
+        }
+        Err(last)
+    }
+
+    fn roundtrip(conn: &mut Conn, line: &str) -> std::io::Result<String> {
+        conn.writer.write_all(line.as_bytes())?;
+        conn.writer.write_all(b"\n")?;
+        conn.writer.flush()?;
+        let mut buf = Vec::new();
+        match read_bounded_line(&mut conn.reader, &mut buf, MAX_LINE_BYTES)? {
+            LineRead::Line => String::from_utf8(buf).map_err(|_| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, "response is not UTF-8")
+            }),
+            LineRead::Eof => Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed before a response arrived",
+            )),
+            LineRead::TooLong => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("response line exceeds {MAX_LINE_BYTES} bytes"),
+            )),
+        }
+    }
+
+    fn finish(&self, resp: String) -> Result<Json, ClientError> {
+        let v = parse(&resp).map_err(|e| ClientError::Protocol(e.to_string()))?;
+        match v.get("ok") {
+            Some(&Json::Bool(true)) => Ok(v),
+            Some(&Json::Bool(false)) => {
+                let msg = v
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unspecified error")
+                    .to_string();
+                Err(ClientError::Remote(msg))
+            }
+            _ => Err(ClientError::Protocol(
+                "response is missing a boolean 'ok' field".into(),
+            )),
+        }
+    }
+
+    /// Sends an **idempotent** request (query / stats / snapshot …) with
+    /// bounded retry; exhausting retries marks the shard down.
+    pub fn request(&self, line: &str) -> Result<Json, ClientError> {
+        self.send(line, true, false)
+    }
+
+    /// Sends a **non-idempotent** request (insert) at most once: connect
+    /// failures are retried, but once bytes may have reached the daemon
+    /// a failure is [`ClientError::OutcomeUnknown`].
+    pub fn request_once(&self, line: &str) -> Result<Json, ClientError> {
+        self.send(line, false, false)
+    }
+
+    /// Forces one health probe (`stats`) even while marked down — what
+    /// the router's health-check thread calls. Returns `true` if the
+    /// shard answered.
+    pub fn probe(&self) -> bool {
+        self.send(r#"{"op":"stats"}"#, true, true).is_ok()
+    }
+
+    fn send(&self, line: &str, idempotent: bool, force: bool) -> Result<Json, ClientError> {
+        let mut st = self.lock();
+        if !force && st.down_since.is_some() {
+            let probed_recently = st
+                .last_attempt
+                .is_some_and(|t| t.elapsed() < self.config.probe_interval);
+            if probed_recently {
+                return Err(ClientError::Down(self.addr.clone()));
+            }
+        }
+        let mut last_io = String::new();
+        for attempt in 0..=self.config.retries {
+            if attempt > 0 {
+                std::thread::sleep(self.config.backoff * (1u32 << (attempt - 1).min(16)));
+            }
+            let mut conn = match st.conn.take() {
+                Some(c) => c,
+                None => {
+                    st.last_attempt = Some(Instant::now());
+                    match self.connect() {
+                        Ok(c) => c,
+                        Err(e) => {
+                            // Connect failures are retriable even for
+                            // non-idempotent requests: nothing was sent.
+                            last_io = format!("connect {}: {e}", self.addr);
+                            continue;
+                        }
+                    }
+                }
+            };
+            match Self::roundtrip(&mut conn, line) {
+                Ok(resp) => {
+                    st.conn = Some(conn);
+                    st.down_since = None;
+                    return self.finish(resp);
+                }
+                Err(e) => {
+                    // The connection is dead either way; drop it.
+                    last_io = format!("{}: {e}", self.addr);
+                    if !idempotent {
+                        // Bytes may have reached the daemon — the insert
+                        // may have been applied. Do not mark the shard
+                        // down (it may be healthy with a stale pooled
+                        // connection); let the caller resync.
+                        return Err(ClientError::OutcomeUnknown(last_io));
+                    }
+                }
+            }
+        }
+        st.down_since.get_or_insert_with(Instant::now);
+        Err(ClientError::Io(last_io))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufRead;
+    use std::net::TcpListener;
+
+    fn config() -> ClientConfig {
+        ClientConfig {
+            connect_timeout: Duration::from_millis(200),
+            request_timeout: Duration::from_millis(500),
+            retries: 1,
+            backoff: Duration::from_millis(5),
+            probe_interval: Duration::from_millis(100),
+        }
+    }
+
+    /// A one-line echo daemon: answers each request line with `reply`.
+    fn tiny_daemon(replies: Vec<String>) -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+            let mut line = String::new();
+            for reply in replies {
+                line.clear();
+                if reader.read_line(&mut line).unwrap_or(0) == 0 {
+                    return;
+                }
+                let mut w = &stream;
+                w.write_all(reply.as_bytes()).unwrap();
+                w.write_all(b"\n").unwrap();
+            }
+        });
+        (addr, handle)
+    }
+
+    #[test]
+    fn ok_and_remote_error_responses_are_distinguished() {
+        let (addr, handle) = tiny_daemon(vec![
+            r#"{"ok":true,"op":"stats","nodes":7}"#.into(),
+            r#"{"ok":false,"error":"nope"}"#.into(),
+        ]);
+        let client = ShardClient::new(addr.to_string(), config());
+        let v = client.request(r#"{"op":"stats"}"#).unwrap();
+        assert_eq!(v.get("nodes").unwrap().as_index(), Some(7));
+        match client.request(r#"{"op":"bad"}"#) {
+            Err(ClientError::Remote(m)) => assert_eq!(m, "nope"),
+            other => panic!("expected Remote, got {other:?}"),
+        }
+        assert!(!client.is_down(), "a remote error is not a health failure");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn unreachable_shard_goes_down_then_fails_fast() {
+        // Bind-then-drop gives an address nothing listens on.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let client = ShardClient::new(addr.to_string(), config());
+        match client.request(r#"{"op":"stats"}"#) {
+            Err(ClientError::Io(_)) => {}
+            other => panic!("expected Io, got {other:?}"),
+        }
+        assert!(client.is_down());
+        // Within the probe interval the failure is instant and networkless.
+        let t = Instant::now();
+        assert!(matches!(
+            client.request(r#"{"op":"stats"}"#),
+            Err(ClientError::Down(_))
+        ));
+        assert!(t.elapsed() < Duration::from_millis(50));
+    }
+
+    #[test]
+    fn torn_connection_on_idempotent_request_is_retried_on_a_fresh_one() {
+        // First daemon serves one request then closes; the pooled
+        // connection is stale by the second request, which must succeed
+        // on a reconnect. Use a listener that accepts twice.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            for _ in 0..2 {
+                let (stream, _) = listener.accept().unwrap();
+                let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+                let mut line = String::new();
+                if reader.read_line(&mut line).unwrap_or(0) == 0 {
+                    continue;
+                }
+                let mut w = &stream;
+                w.write_all(b"{\"ok\":true,\"op\":\"stats\"}\n").unwrap();
+                // Connection drops here (end of scope).
+            }
+        });
+        let client = ShardClient::new(addr.to_string(), config());
+        client.request(r#"{"op":"stats"}"#).unwrap();
+        // The daemon closed the pooled connection; the retry reconnects.
+        client.request(r#"{"op":"stats"}"#).unwrap();
+        assert!(!client.is_down());
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn insert_on_a_stale_connection_is_outcome_unknown_not_retried() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            let mut w = &stream;
+            w.write_all(b"{\"ok\":true,\"op\":\"stats\"}\n").unwrap();
+            // Close without reading further: the next request dies
+            // mid-flight, after its bytes may have arrived.
+        });
+        let client = ShardClient::new(addr.to_string(), config());
+        client.request(r#"{"op":"stats"}"#).unwrap();
+        handle.join().unwrap();
+        match client.request_once(r#"{"op":"insert","forward":[0.1],"backward":[0.1]}"#) {
+            Err(ClientError::OutcomeUnknown(_)) => {}
+            other => panic!("expected OutcomeUnknown, got {other:?}"),
+        }
+        assert!(
+            !client.is_down(),
+            "outcome-unknown must not mark the shard down"
+        );
+    }
+}

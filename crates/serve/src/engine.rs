@@ -139,6 +139,46 @@ pub struct SnapshotOutcome {
     pub folded: usize,
 }
 
+/// The two query spaces a daemon serves (see `pane-core`'s `query` docs):
+/// similar-node search runs over the `k`-dim `[X_f ‖ X_b]` classifier
+/// features, link recommendation over the `k/2`-dim `X_b` rows. Both are
+/// max-inner-product, so the space is selected explicitly, not inferred
+/// from a metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuerySpace {
+    /// Similar-node search (`cos_f + cos_b` over classifier features).
+    Similar,
+    /// Link recommendation (raw Eq. 22 inner products over `X_b`).
+    Links,
+}
+
+impl QuerySpace {
+    /// Wire name used by the `search` / `query-vectors` protocol ops.
+    pub fn name(self) -> &'static str {
+        match self {
+            QuerySpace::Similar => "similar",
+            QuerySpace::Links => "links",
+        }
+    }
+
+    /// Parses a wire name (`similar` / `links`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "similar" => Some(QuerySpace::Similar),
+            "links" => Some(QuerySpace::Links),
+            _ => None,
+        }
+    }
+
+    /// Query-vector dimensionality in this space for half-width `k/2`.
+    pub fn dim(self, half_dim: usize) -> usize {
+        match self {
+            QuerySpace::Similar => 2 * half_dim,
+            QuerySpace::Links => half_dim,
+        }
+    }
+}
+
 /// What a serving transport needs from an engine — implemented by
 /// [`ServeEngine`] (one store) and `ShardedEngine` (N stores routed by
 /// `node_id % N`), so `serve_lines` / `serve_tcp` run either unchanged.
@@ -151,6 +191,28 @@ pub trait ServeBackend: Send + Sync {
         nodes: &[usize],
         k: usize,
         exclude: &[usize],
+    ) -> Result<Vec<Vec<Hit>>, ServeError>;
+    /// The raw query vector of each node in `space`: classifier features
+    /// for [`QuerySpace::Similar`], `q = X_f·YᵀY` link query vectors for
+    /// [`QuerySpace::Links`]. This is the owner-shard half of a
+    /// distributed query — a router fetches vectors from each node's
+    /// owner daemon and fans them out to every shard's
+    /// [`ServeBackend::search_raw`].
+    fn query_vectors(
+        &self,
+        space: QuerySpace,
+        nodes: &[usize],
+    ) -> Result<Vec<Vec<f64>>, ServeError>;
+    /// Unfiltered top-`fetch` search of one index with caller-supplied
+    /// query vectors. Hit ids are in this backend's own id space (local
+    /// ids for a single shard daemon, global ids for a sharded engine);
+    /// no self- or exclude-filtering happens here — the merging caller
+    /// owns that, exactly like the in-process sharded path.
+    fn search_raw(
+        &self,
+        space: QuerySpace,
+        queries: &DenseMatrix,
+        fetch: usize,
     ) -> Result<Vec<Vec<Hit>>, ServeError>;
     /// Ingests one node's row pair, returning its assigned (global) id.
     fn insert(&mut self, forward: &[f64], backward: &[f64]) -> Result<usize, ServeError>;
@@ -399,6 +461,61 @@ impl ServeEngine {
         self.emb.link_query_vector_with(&self.gram, src)
     }
 
+    /// Query vectors of `nodes` in `space` (see
+    /// [`ServeBackend::query_vectors`]).
+    pub fn query_vectors(
+        &self,
+        space: QuerySpace,
+        nodes: &[usize],
+    ) -> Result<Vec<Vec<f64>>, ServeError> {
+        self.check_nodes(nodes)?;
+        Ok(match space {
+            QuerySpace::Similar => nodes
+                .iter()
+                .map(|&v| self.emb.classifier_features(v))
+                .collect(),
+            QuerySpace::Links => nodes.iter().map(|&v| self.link_query_vector(v)).collect(),
+        })
+    }
+
+    /// Unfiltered top-`fetch` search with caller-supplied query vectors
+    /// (see [`ServeBackend::search_raw`]). Hit ids are this engine's own
+    /// (local) ids.
+    pub fn search_raw(
+        &self,
+        space: QuerySpace,
+        queries: &DenseMatrix,
+        fetch: usize,
+    ) -> Result<Vec<Vec<Hit>>, ServeError> {
+        if queries.rows() == 0 {
+            return Err(ServeError::BadRequest("empty query batch".into()));
+        }
+        let want = space.dim(self.half_dim());
+        if queries.cols() != want {
+            return Err(ServeError::BadRequest(format!(
+                "{}-space queries must have {want} entries (got {})",
+                space.name(),
+                queries.cols()
+            )));
+        }
+        let index = match space {
+            QuerySpace::Similar => &self.node_index,
+            QuerySpace::Links => &self.link_index,
+        };
+        Ok(index
+            .batch_search(queries, fetch, self.threads)
+            .into_iter()
+            .map(|hits| {
+                hits.into_iter()
+                    .map(|h| Hit {
+                        node: h.index,
+                        score: h.score,
+                    })
+                    .collect()
+            })
+            .collect())
+    }
+
     /// Ingests one new node: appends its forward/backward rows to the
     /// embedding store and its derived vectors to both delta segments.
     /// Returns the assigned node id (dense, append-ordered — the same id
@@ -499,6 +616,21 @@ impl ServeBackend for ServeEngine {
         exclude: &[usize],
     ) -> Result<Vec<Vec<Hit>>, ServeError> {
         ServeEngine::recommend_links(self, nodes, k, exclude)
+    }
+    fn query_vectors(
+        &self,
+        space: QuerySpace,
+        nodes: &[usize],
+    ) -> Result<Vec<Vec<f64>>, ServeError> {
+        ServeEngine::query_vectors(self, space, nodes)
+    }
+    fn search_raw(
+        &self,
+        space: QuerySpace,
+        queries: &DenseMatrix,
+        fetch: usize,
+    ) -> Result<Vec<Vec<Hit>>, ServeError> {
+        ServeEngine::search_raw(self, space, queries, fetch)
     }
     fn insert(&mut self, forward: &[f64], backward: &[f64]) -> Result<usize, ServeError> {
         ServeEngine::insert(self, forward, backward)
@@ -712,6 +844,66 @@ mod tests {
                 .collect();
             assert_eq!(engine.similar_nodes(&[v], 4).unwrap()[0], want);
         }
+    }
+
+    #[test]
+    fn raw_primitives_reconstruct_the_filtered_query_paths() {
+        // query_vectors + search_raw are the wire-level building blocks a
+        // router uses; composing them by hand must reproduce the engine's
+        // own similar_nodes / recommend_links bit-for-bit.
+        let emb = fixture();
+        let engine = ServeEngine::build(emb, &IndexSpec::Flat, 2);
+        let nodes: Vec<usize> = (0..150).step_by(11).collect();
+        let k = 6;
+
+        let qv = engine.query_vectors(QuerySpace::Similar, &nodes).unwrap();
+        let raw = engine
+            .search_raw(QuerySpace::Similar, &DenseMatrix::from_rows(&qv), k + 1)
+            .unwrap();
+        let composed: Vec<Vec<Hit>> = nodes
+            .iter()
+            .zip(raw)
+            .map(|(&v, hits)| hits.into_iter().filter(|h| h.node != v).take(k).collect())
+            .collect();
+        assert_eq!(composed, engine.similar_nodes(&nodes, k).unwrap());
+
+        let exclude = [3usize, 17];
+        let qv = engine.query_vectors(QuerySpace::Links, &nodes).unwrap();
+        let raw = engine
+            .search_raw(
+                QuerySpace::Links,
+                &DenseMatrix::from_rows(&qv),
+                k + exclude.len() + 1,
+            )
+            .unwrap();
+        let composed: Vec<Vec<Hit>> = nodes
+            .iter()
+            .zip(raw)
+            .map(|(&v, hits)| {
+                hits.into_iter()
+                    .filter(|h| h.node != v && !exclude.contains(&h.node))
+                    .take(k)
+                    .collect()
+            })
+            .collect();
+        assert_eq!(
+            composed,
+            engine.recommend_links(&nodes, k, &exclude).unwrap()
+        );
+
+        // Shape errors are structured, not panics.
+        assert!(matches!(
+            engine.search_raw(QuerySpace::Links, &DenseMatrix::zeros(1, 3), 4),
+            Err(ServeError::BadRequest(_))
+        ));
+        assert!(matches!(
+            engine.search_raw(QuerySpace::Similar, &DenseMatrix::zeros(0, 0), 4),
+            Err(ServeError::BadRequest(_))
+        ));
+        assert!(matches!(
+            engine.query_vectors(QuerySpace::Similar, &[9999]),
+            Err(ServeError::BadRequest(_))
+        ));
     }
 
     #[test]

@@ -25,8 +25,18 @@
 //!   `node_id % N`, per-shard search merged under the shared score
 //!   order (bit-identical to the unsharded exact scan for flat shards);
 //! * [`server`] — transports: [`serve_lines`] for stdio / tests,
-//!   [`serve_tcp`] for the daemon, generic over [`ServeBackend`], with
-//!   clean `shutdown` handling.
+//!   [`serve_tcp`] for the daemon, generic over [`LineHandler`] (any
+//!   [`ServeBackend`] behind a lock is one), with bounded request lines
+//!   and clean `shutdown` handling.
+//!
+//! Two more modules take serving **multi-daemon** (`pane route`):
+//!
+//! * [`client`] — [`ShardClient`]: one pooled, timeout-guarded,
+//!   health-tracked connection to one shard daemon;
+//! * [`router`] — [`Router`]: one `pane serve` daemon per store shard
+//!   behind a thin merging proxy speaking the same protocol, with
+//!   graceful degradation when shards die (partial results +
+//!   `"degraded":true`) and automatic re-admission when they return.
 //!
 //! Scores are on the unified scale documented in `pane-core::query`:
 //! `cos_f + cos_b ∈ [-2, 2]` for similar-node search, raw Eq. 22 inner
@@ -43,18 +53,22 @@
 //! serve_tcp(Arc::new(RwLock::new(engine)), listener).unwrap();
 //! ```
 
+pub mod client;
 pub mod engine;
 pub mod protocol;
+pub mod router;
 pub mod server;
 pub mod sharded;
 
+pub use client::{ClientConfig, ClientError, ShardClient};
 pub use engine::{
-    Hit, IndexStats, ServeBackend, ServeEngine, ServeError, SnapshotOutcome, StatusReport,
-    StoreReport,
+    Hit, IndexStats, QuerySpace, ServeBackend, ServeEngine, ServeError, SnapshotOutcome,
+    StatusReport, StoreReport,
 };
 // Re-exported for compatibility: the spec type moved down to
 // `pane-index` when the store layer began recording it in manifests.
 pub use pane_index::IndexSpec;
 pub use protocol::{parse, Json, ParseError};
-pub use server::{handle_line, serve_lines, serve_tcp};
+pub use router::{Router, RouterError};
+pub use server::{handle_line, serve_lines, serve_tcp, LineHandler, MAX_LINE_BYTES};
 pub use sharded::ShardedEngine;

@@ -12,8 +12,19 @@
 //! {"op":"compact"}
 //! {"op":"snapshot"}
 //! {"op":"stats"}
+//! {"op":"query-vectors","space":"similar","nodes":[0,1]}
+//! {"op":"search","space":"links","k":10,"queries":[[…floats…],…]}
 //! {"op":"shutdown"}
 //! ```
+//!
+//! `query-vectors` and `search` are the two halves of a *distributed*
+//! query — what the `pane route` proxy speaks to shard daemons: the
+//! owner daemon turns node ids into raw query vectors (`space` selects
+//! the similar-node or link-recommendation vector form), and `search`
+//! runs caller-supplied vectors against one index, unfiltered, in the
+//! daemon's own id space. Floats cross the wire through the
+//! shortest-roundtrip `f64` formatter, so composing the two ops over
+//! TCP is bit-identical to the in-process query path.
 //!
 //! `snapshot` commits a new durable base generation (store-backed
 //! daemons only): the grown embedding and rebuilt indexes are written to

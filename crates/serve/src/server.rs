@@ -7,13 +7,29 @@
 //! its own thread; a `shutdown` request answers, then stops the accept
 //! loop, so a scripted client (or the CI smoke step) can tear the daemon
 //! down cleanly.
+//!
+//! Both transports are generic over [`LineHandler`], so the same accept
+//! loop and bounded line reader also run the `pane route` query router
+//! ([`crate::Router`]), which is not an engine behind a lock.
+//!
+//! Request lines are read through a **bounded** reader: a line longer
+//! than [`MAX_LINE_BYTES`] is answered with a structured
+//! `{"ok":false,…}` error and the connection is dropped, so a client
+//! streaming bytes without a newline cannot grow daemon memory without
+//! bound.
 
-use crate::engine::{Hit, ServeBackend, ServeError, StatusReport};
+use crate::engine::{Hit, QuerySpace, ServeBackend, ServeError, StatusReport};
 use crate::protocol::{parse, Json};
+use pane_linalg::DenseMatrix;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Cap on one request (or proxied response) line. A line that exceeds it
+/// is answered with a structured error and the connection is dropped —
+/// large batches fit comfortably, hostile streams do not.
+pub const MAX_LINE_BYTES: usize = 16 << 20;
 
 fn read_engine<B: ServeBackend>(engine: &RwLock<B>) -> RwLockReadGuard<'_, B> {
     engine.read().unwrap_or_else(|e| e.into_inner())
@@ -23,7 +39,7 @@ fn write_engine<B: ServeBackend>(engine: &RwLock<B>) -> RwLockWriteGuard<'_, B> 
     engine.write().unwrap_or_else(|e| e.into_inner())
 }
 
-fn hits_json(batched: Vec<Vec<Hit>>) -> Json {
+pub(crate) fn hits_json(batched: Vec<Vec<Hit>>) -> Json {
     Json::Arr(
         batched
             .into_iter()
@@ -78,7 +94,7 @@ fn status_json(s: &StatusReport) -> Vec<(&'static str, Json)> {
     fields
 }
 
-fn error_line(message: &str) -> String {
+pub(crate) fn error_line(message: &str) -> String {
     Json::obj(vec![
         ("ok", Json::Bool(false)),
         ("error", Json::str(message)),
@@ -105,6 +121,39 @@ fn require_f64_array(req: &Json, key: &str) -> Result<Vec<f64>, ServeError> {
     req.get(key)
         .and_then(Json::as_f64_array)
         .ok_or_else(|| ServeError::BadRequest(format!("'{key}' must be an array of numbers")))
+}
+
+fn require_space(req: &Json) -> Result<QuerySpace, ServeError> {
+    let s = req
+        .get("space")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ServeError::BadRequest("request needs a string 'space' field".into()))?;
+    QuerySpace::parse(s)
+        .ok_or_else(|| ServeError::BadRequest(format!("unknown space '{s}' (similar | links)")))
+}
+
+fn require_f64_matrix(req: &Json, key: &str) -> Result<DenseMatrix, ServeError> {
+    let rows = match req.get(key) {
+        Some(Json::Arr(rows)) => rows,
+        _ => {
+            return Err(ServeError::BadRequest(format!(
+                "'{key}' must be an array of number arrays"
+            )))
+        }
+    };
+    let mut data = Vec::with_capacity(rows.len());
+    for row in rows {
+        data.push(row.as_f64_array().ok_or_else(|| {
+            ServeError::BadRequest(format!("'{key}' must be an array of number arrays"))
+        })?);
+    }
+    let cols = data.first().map_or(0, Vec::len);
+    if data.iter().any(|r| r.len() != cols) {
+        return Err(ServeError::BadRequest(format!(
+            "'{key}' rows must all have the same length"
+        )));
+    }
+    Ok(DenseMatrix::from_rows(&data))
 }
 
 fn dispatch<B: ServeBackend>(engine: &RwLock<B>, req: &Json) -> Result<(Json, bool), ServeError> {
@@ -168,6 +217,23 @@ fn dispatch<B: ServeBackend>(engine: &RwLock<B>, req: &Json) -> Result<(Json, bo
                 false,
             ))
         }
+        "query-vectors" => {
+            let space = require_space(req)?;
+            let nodes = require_index_array(req, "nodes")?;
+            let vectors = read_engine(engine).query_vectors(space, &nodes)?;
+            let rows = vectors
+                .into_iter()
+                .map(|v| Json::Arr(v.into_iter().map(Json::Num).collect()))
+                .collect();
+            Ok((ok(vec![("vectors", Json::Arr(rows))]), false))
+        }
+        "search" => {
+            let space = require_space(req)?;
+            let fetch = optional_index(req, "k", 10)?;
+            let queries = require_f64_matrix(req, "queries")?;
+            let results = read_engine(engine).search_raw(space, &queries, fetch)?;
+            Ok((ok(vec![("results", hits_json(results))]), false))
+        }
         "stats" => {
             let status = read_engine(engine).status();
             Ok((ok(status_json(&status)), false))
@@ -175,7 +241,7 @@ fn dispatch<B: ServeBackend>(engine: &RwLock<B>, req: &Json) -> Result<(Json, bo
         "shutdown" => Ok((ok(vec![]), true)),
         other => Err(ServeError::BadRequest(format!(
             "unknown op '{other}' (similar-nodes | recommend-links | insert | compact | \
-             snapshot | stats | shutdown)"
+             snapshot | stats | query-vectors | search | shutdown)"
         ))),
     }
 }
@@ -194,38 +260,155 @@ pub fn handle_line<B: ServeBackend>(engine: &RwLock<B>, line: &str) -> (String, 
     }
 }
 
+/// One JSON-lines endpoint: maps a request line to a response line plus
+/// a shutdown flag. An engine behind a lock is one ([`handle_line`]);
+/// the query router ([`crate::Router`]) is another — both run over the
+/// same transports.
+pub trait LineHandler: Send + Sync {
+    /// Answers one request line. Must never panic on malformed input.
+    fn handle(&self, line: &str) -> (String, bool);
+}
+
+impl<B: ServeBackend> LineHandler for RwLock<B> {
+    fn handle(&self, line: &str) -> (String, bool) {
+        handle_line(self, line)
+    }
+}
+
+/// Outcome of one bounded line read.
+pub(crate) enum LineRead {
+    /// Clean end of stream with no pending bytes.
+    Eof,
+    /// A complete line is in the buffer (newline and any `\r` stripped).
+    /// An unterminated final line before EOF also lands here.
+    Line,
+    /// The line exceeded the cap before its newline arrived; the buffer
+    /// holds at most `max` bytes and the rest of the stream is unread.
+    TooLong,
+}
+
+/// Reads one `\n`-terminated line into `buf` without ever buffering more
+/// than `max` bytes — the memory-safety half of the serve path: a client
+/// streaming bytes with no newline gets cut off at the cap instead of
+/// growing daemon memory without bound.
+pub(crate) fn read_bounded_line<R: BufRead>(
+    reader: &mut R,
+    buf: &mut Vec<u8>,
+    max: usize,
+) -> std::io::Result<LineRead> {
+    buf.clear();
+    loop {
+        let chunk = reader.fill_buf()?;
+        if chunk.is_empty() {
+            return Ok(if buf.is_empty() {
+                LineRead::Eof
+            } else {
+                LineRead::Line
+            });
+        }
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                if buf.len() + pos > max {
+                    return Ok(LineRead::TooLong);
+                }
+                buf.extend_from_slice(&chunk[..pos]);
+                reader.consume(pos + 1);
+                if buf.last() == Some(&b'\r') {
+                    buf.pop();
+                }
+                return Ok(LineRead::Line);
+            }
+            None => {
+                let len = chunk.len();
+                if buf.len() + len > max {
+                    return Ok(LineRead::TooLong);
+                }
+                buf.extend_from_slice(chunk);
+                reader.consume(len);
+            }
+        }
+    }
+}
+
 /// Serves JSON-lines request/response over any reader/writer pair (the
 /// `--stdio` transport; also what each TCP connection runs). Blank lines
 /// are ignored. Returns `Ok(true)` if a `shutdown` request ended the
-/// session, `Ok(false)` on EOF.
-pub fn serve_lines<B: ServeBackend, R: BufRead, W: Write>(
-    engine: &RwLock<B>,
-    reader: R,
+/// session, `Ok(false)` on EOF. A request line over [`MAX_LINE_BYTES`]
+/// is answered with a structured error, then the session ends (the TCP
+/// transport drops the connection).
+pub fn serve_lines<H: LineHandler + ?Sized, R: BufRead, W: Write>(
+    handler: &H,
+    mut reader: R,
     mut writer: W,
 ) -> std::io::Result<bool> {
-    for line in reader.lines() {
-        let line = line?;
+    let mut buf = Vec::new();
+    let respond = |writer: &mut W, resp: &str| -> std::io::Result<()> {
+        writer.write_all(resp.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()
+    };
+    loop {
+        match read_bounded_line(&mut reader, &mut buf, MAX_LINE_BYTES)? {
+            LineRead::Eof => return Ok(false),
+            LineRead::TooLong => {
+                let resp = error_line(&format!(
+                    "request line exceeds {MAX_LINE_BYTES} bytes; closing connection"
+                ));
+                respond(&mut writer, &resp)?;
+                return Ok(false);
+            }
+            LineRead::Line => {}
+        }
+        let line = match std::str::from_utf8(&buf) {
+            Ok(s) => s,
+            Err(_) => {
+                let resp = error_line("request line is not valid UTF-8");
+                respond(&mut writer, &resp)?;
+                continue;
+            }
+        };
         if line.trim().is_empty() {
             continue;
         }
-        let (resp, shutdown) = handle_line(engine, &line);
-        writer.write_all(resp.as_bytes())?;
-        writer.write_all(b"\n")?;
-        writer.flush()?;
+        let (resp, shutdown) = handler.handle(line);
+        respond(&mut writer, &resp)?;
         if shutdown {
             return Ok(true);
         }
     }
-    Ok(false)
 }
 
-/// Serves the engine over TCP: one thread per connection, shared state
-/// behind the lock. Returns once a client issues `shutdown` (its response
-/// is sent first) and all connection threads have drained — connections
-/// that are still open at shutdown are closed server-side, so an idle
-/// client cannot keep the daemon alive.
-pub fn serve_tcp<B: ServeBackend + 'static>(
-    engine: Arc<RwLock<B>>,
+/// Whether an `accept` error is worth retrying. Resource exhaustion
+/// (fd limits, socket buffers, memory) and per-connection network errors
+/// Linux surfaces through `accept` clear up on their own; anything else
+/// (`EBADF`, `EINVAL`, …) means the listener itself is broken and the
+/// loop must exit instead of spinning on it forever.
+fn is_transient_accept_error(e: &std::io::Error) -> bool {
+    use std::io::ErrorKind;
+    if matches!(
+        e.kind(),
+        ErrorKind::ConnectionReset
+            | ErrorKind::ConnectionAborted
+            | ErrorKind::Interrupted
+            | ErrorKind::TimedOut
+            | ErrorKind::WouldBlock
+    ) {
+        return true;
+    }
+    // EMFILE(24) | ENFILE(23) | ENOBUFS(105) | ENOMEM(12)
+    matches!(e.raw_os_error(), Some(24) | Some(23) | Some(105) | Some(12))
+}
+
+/// Serves a [`LineHandler`] over TCP: one thread per connection, shared
+/// state behind the handler. Returns `Ok(())` once a client issues
+/// `shutdown` (its response is sent first) and all connection threads
+/// have drained — connections still open at shutdown are closed
+/// server-side, so an idle client cannot keep the daemon alive. A fatal
+/// `accept` error (listener closed, bad fd) drains connections and
+/// returns it; transient errors (fd exhaustion, aborted handshakes) back
+/// off 50 ms and continue.
+pub fn serve_tcp<H: LineHandler + 'static>(
+    handler: Arc<H>,
     listener: TcpListener,
 ) -> std::io::Result<()> {
     let stop = Arc::new(AtomicBool::new(false));
@@ -234,6 +417,7 @@ pub fn serve_tcp<B: ServeBackend + 'static>(
     // entries are reaped every accept so the vector stays bounded, and
     // the clones let shutdown sever connections blocked in a read.
     let mut conns: Vec<(std::thread::JoinHandle<()>, TcpStream)> = Vec::new();
+    let mut fatal = None;
     for stream in listener.incoming() {
         if stop.load(Ordering::SeqCst) {
             break;
@@ -241,24 +425,26 @@ pub fn serve_tcp<B: ServeBackend + 'static>(
         conns.retain(|(h, _)| !h.is_finished());
         let stream = match stream {
             Ok(s) => s,
-            Err(_) => {
-                // Transient accept failure (e.g. fd exhaustion): back off
-                // instead of hot-spinning the accept loop.
+            Err(e) if is_transient_accept_error(&e) => {
                 std::thread::sleep(std::time::Duration::from_millis(50));
                 continue;
+            }
+            Err(e) => {
+                fatal = Some(e);
+                break;
             }
         };
         let Ok(watch) = stream.try_clone() else {
             continue;
         };
-        let engine = Arc::clone(&engine);
+        let handler = Arc::clone(&handler);
         let stop = Arc::clone(&stop);
         let handle = std::thread::spawn(move || {
             let Ok(read_half) = stream.try_clone() else {
                 return;
             };
             let shutdown =
-                serve_lines(&engine, BufReader::new(read_half), &stream).unwrap_or(false);
+                serve_lines(&*handler, BufReader::new(read_half), &stream).unwrap_or(false);
             if shutdown {
                 stop.store(true, Ordering::SeqCst);
                 // Unblock the accept loop so it can observe the flag.
@@ -273,7 +459,10 @@ pub fn serve_tcp<B: ServeBackend + 'static>(
         let _ = watch.shutdown(std::net::Shutdown::Both);
         let _ = handle.join();
     }
-    Ok(())
+    match fatal {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
 }
 
 #[cfg(test)]
@@ -410,6 +599,171 @@ mod tests {
     fn req_any(engine: &RwLock<ServeEngine>, line: &str) -> Json {
         let (resp, _) = handle_line(engine, line);
         parse(&resp).unwrap()
+    }
+
+    #[test]
+    fn oversized_request_line_is_refused_and_session_ends() {
+        let eng = engine();
+        // A line one byte over the cap, followed by a request that must
+        // never be served because the connection is dropped first.
+        let mut input = vec![b'x'; MAX_LINE_BYTES + 1];
+        input.push(b'\n');
+        input.extend_from_slice(b"{\"op\":\"stats\"}\n");
+        let mut out = Vec::new();
+        let ended = serve_lines(&eng, &input[..], &mut out).unwrap();
+        assert!(!ended);
+        let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().lines().collect();
+        assert_eq!(lines.len(), 1, "nothing after the refusal may be served");
+        let resp = parse(lines[0]).unwrap();
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(false)));
+        assert!(resp
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("exceeds"));
+    }
+
+    #[test]
+    fn large_but_legal_lines_and_crlf_are_served() {
+        let eng = engine();
+        // Padded with spaces to well past the default BufReader chunk so
+        // the bounded reader's multi-chunk path is exercised.
+        let pad = " ".repeat(64 << 10);
+        let input = format!("{pad}{{\"op\":\"stats\"}}\r\n{{\"op\":\"shutdown\"}}\r\n");
+        let mut out = Vec::new();
+        let ended = serve_lines(&eng, input.as_bytes(), &mut out).unwrap();
+        assert!(ended);
+        let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().lines().collect();
+        assert_eq!(lines.len(), 2);
+        for l in &lines {
+            assert_eq!(parse(l).unwrap().get("ok"), Some(&Json::Bool(true)), "{l}");
+        }
+    }
+
+    #[test]
+    fn invalid_utf8_is_an_error_but_not_fatal() {
+        let eng = engine();
+        let mut input = vec![0xff, 0xfe, b'\n'];
+        input.extend_from_slice(b"{\"op\":\"stats\"}\n");
+        let mut out = Vec::new();
+        serve_lines(&eng, &input[..], &mut out).unwrap();
+        let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(parse(lines[0]).unwrap().get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(parse(lines[1]).unwrap().get("ok"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn bounded_reader_handles_unterminated_final_line() {
+        let mut buf = Vec::new();
+        let mut reader = &b"{\"op\":\"stats\"}"[..];
+        assert!(matches!(
+            read_bounded_line(&mut reader, &mut buf, 64).unwrap(),
+            LineRead::Line
+        ));
+        assert_eq!(buf, b"{\"op\":\"stats\"}");
+        assert!(matches!(
+            read_bounded_line(&mut reader, &mut buf, 64).unwrap(),
+            LineRead::Eof
+        ));
+    }
+
+    #[test]
+    fn query_vectors_and_search_ops_reconstruct_similar_nodes() {
+        let eng = engine();
+        let filtered = req(&eng, r#"{"op":"similar-nodes","nodes":[4],"k":3}"#);
+        assert_eq!(filtered.get("ok"), Some(&Json::Bool(true)));
+        let vecs = req(
+            &eng,
+            r#"{"op":"query-vectors","space":"similar","nodes":[4]}"#,
+        );
+        assert_eq!(vecs.get("ok"), Some(&Json::Bool(true)), "{vecs:?}");
+        let vectors = match vecs.get("vectors") {
+            Some(v) => v.to_line(),
+            None => panic!("no vectors"),
+        };
+        let raw = req(
+            &eng,
+            &format!(r#"{{"op":"search","space":"similar","k":4,"queries":{vectors}}}"#),
+        );
+        assert_eq!(raw.get("ok"), Some(&Json::Bool(true)), "{raw:?}");
+        // Drop the self-hit from the raw results; the remainder must be
+        // byte-identical to the filtered path (scores crossed the wire).
+        let strip = |v: &Json| -> Vec<Json> {
+            match v.get("results") {
+                Some(Json::Arr(batches)) => match &batches[0] {
+                    Json::Arr(hits) => hits
+                        .iter()
+                        .filter(|h| h.get("node").unwrap().as_index() != Some(4))
+                        .cloned()
+                        .collect(),
+                    other => panic!("bad hits: {other:?}"),
+                },
+                other => panic!("bad results: {other:?}"),
+            }
+        };
+        assert_eq!(strip(&raw), strip(&filtered));
+        // Malformed variants are clean errors.
+        for bad in [
+            r#"{"op":"search","space":"similar","queries":[[0.1],[0.1,0.2]]}"#,
+            r#"{"op":"search","space":"nope","queries":[[0.1]]}"#,
+            r#"{"op":"search","queries":[[0.1]]}"#,
+            r#"{"op":"search","space":"similar","queries":[]}"#,
+            r#"{"op":"query-vectors","space":"links","nodes":[9999]}"#,
+        ] {
+            let resp = req(&eng, bad);
+            assert_eq!(resp.get("ok"), Some(&Json::Bool(false)), "{bad}");
+        }
+    }
+
+    #[test]
+    fn accept_error_classification() {
+        use std::io::{Error, ErrorKind};
+        for transient in [
+            Error::from(ErrorKind::ConnectionAborted),
+            Error::from(ErrorKind::Interrupted),
+            Error::from_raw_os_error(24),  // EMFILE
+            Error::from_raw_os_error(105), // ENOBUFS
+        ] {
+            assert!(is_transient_accept_error(&transient), "{transient:?}");
+        }
+        for fatal in [
+            Error::from_raw_os_error(9),  // EBADF
+            Error::from_raw_os_error(22), // EINVAL
+            Error::from(ErrorKind::InvalidInput),
+        ] {
+            assert!(!is_transient_accept_error(&fatal), "{fatal:?}");
+        }
+    }
+
+    #[test]
+    fn torn_connection_mid_line_leaves_daemon_serving() {
+        use std::io::{BufRead, BufReader, Write};
+        let eng = Arc::new(engine());
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = {
+            let eng = Arc::clone(&eng);
+            std::thread::spawn(move || serve_tcp(eng, listener))
+        };
+        // A client that dies mid-request-line (no trailing newline).
+        let mut torn = TcpStream::connect(addr).unwrap();
+        torn.write_all(b"{\"op\":\"similar-nodes\",\"nod").unwrap();
+        drop(torn);
+        // The daemon must still serve a healthy client afterwards.
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.write_all(b"{\"op\":\"stats\"}\n{\"op\":\"shutdown\"}\n")
+            .unwrap();
+        let mut reader = BufReader::new(conn.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(parse(&line).unwrap().get("ok"), Some(&Json::Bool(true)));
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(parse(&line).unwrap().get("ok"), Some(&Json::Bool(true)));
+        drop(conn);
+        server.join().unwrap().unwrap();
     }
 
     #[test]

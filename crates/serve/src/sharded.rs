@@ -28,12 +28,13 @@
 //! directory and merges in a thin proxy with the same comparator.
 
 use crate::engine::{
-    Hit, IndexStats, ServeBackend, ServeEngine, ServeError, SnapshotOutcome, StatusReport,
-    StoreReport,
+    Hit, IndexStats, QuerySpace, ServeBackend, ServeEngine, ServeError, SnapshotOutcome,
+    StatusReport, StoreReport,
 };
 use pane_index::topk;
 use pane_index::VectorIndex;
 use pane_linalg::DenseMatrix;
+use pane_parallel::{even_ranges_nonempty, map_blocks};
 use pane_store::{global_of, local_of, shard_of, ShardedStore};
 use std::path::Path;
 
@@ -79,18 +80,32 @@ impl ShardedEngine {
     /// Runs `queries` against one index of every shard and merges each
     /// query's per-shard hit lists (local ids mapped to global) under
     /// the shared total order.
+    ///
+    /// Shards are searched **concurrently** under the engine's thread
+    /// budget — sharded query latency tracks the slowest shard, not the
+    /// sum of all shards. The budget is split: shards are partitioned
+    /// into `min(threads, shards)` groups searched in parallel, and each
+    /// shard's own `batch_search` gets `threads / groups` workers, so
+    /// total concurrency never exceeds `threads`. `batch_search` is
+    /// thread-count invariant and the merge below iterates shards in
+    /// order, so the result is bit-identical to the old sequential scan.
     fn fan_out_merge(
         &self,
         queries: &DenseMatrix,
         fetch: usize,
-        pick: impl Fn(&ServeEngine) -> &dyn VectorIndex,
+        pick: impl Sync + Fn(&ServeEngine) -> &dyn VectorIndex,
     ) -> Vec<Vec<Hit>> {
         let n_shards = self.shards.len();
-        let per_shard: Vec<Vec<Vec<pane_index::Neighbor>>> = self
-            .shards
-            .iter()
-            .map(|engine| pick(engine).batch_search(queries, fetch, self.threads))
-            .collect();
+        let groups = even_ranges_nonempty(n_shards, self.threads.min(n_shards));
+        let inner_threads = (self.threads / groups.len()).max(1);
+        let per_shard: Vec<Vec<Vec<pane_index::Neighbor>>> = map_blocks(&groups, |_, range| {
+            range
+                .map(|s| pick(&self.shards[s]).batch_search(queries, fetch, inner_threads))
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
         (0..queries.rows())
             .map(|qi| {
                 topk::select(
@@ -114,16 +129,7 @@ impl ShardedEngine {
 
 impl ServeBackend for ShardedEngine {
     fn similar_nodes(&self, nodes: &[usize], k: usize) -> Result<Vec<Vec<Hit>>, ServeError> {
-        self.check_nodes(nodes)?;
-        let n_shards = self.shards.len();
-        let rows: Vec<Vec<f64>> = nodes
-            .iter()
-            .map(|&v| {
-                self.shards[shard_of(v, n_shards)]
-                    .embedding()
-                    .classifier_features(local_of(v, n_shards))
-            })
-            .collect();
+        let rows = self.query_vectors(QuerySpace::Similar, nodes)?;
         let queries = DenseMatrix::from_rows(&rows);
         let merged = self.fan_out_merge(&queries, k + 1, |e| e.node_index());
         Ok(nodes
@@ -139,17 +145,7 @@ impl ServeBackend for ShardedEngine {
         k: usize,
         exclude: &[usize],
     ) -> Result<Vec<Vec<Hit>>, ServeError> {
-        self.check_nodes(nodes)?;
-        let n_shards = self.shards.len();
-        let rows: Vec<Vec<f64>> = nodes
-            .iter()
-            .map(|&v| {
-                let owner = &self.shards[shard_of(v, n_shards)];
-                owner
-                    .embedding()
-                    .link_query_vector_with(owner.gram(), local_of(v, n_shards))
-            })
-            .collect();
+        let rows = self.query_vectors(QuerySpace::Links, nodes)?;
         let queries = DenseMatrix::from_rows(&rows);
         let fetch = k + exclude.len() + 1;
         let merged = self.fan_out_merge(&queries, fetch, |e| e.link_index());
@@ -163,6 +159,51 @@ impl ServeBackend for ShardedEngine {
                     .collect()
             })
             .collect())
+    }
+
+    fn query_vectors(
+        &self,
+        space: QuerySpace,
+        nodes: &[usize],
+    ) -> Result<Vec<Vec<f64>>, ServeError> {
+        self.check_nodes(nodes)?;
+        let n_shards = self.shards.len();
+        Ok(nodes
+            .iter()
+            .map(|&v| {
+                let owner = &self.shards[shard_of(v, n_shards)];
+                let local = local_of(v, n_shards);
+                match space {
+                    QuerySpace::Similar => owner.embedding().classifier_features(local),
+                    QuerySpace::Links => owner
+                        .embedding()
+                        .link_query_vector_with(owner.gram(), local),
+                }
+            })
+            .collect())
+    }
+
+    fn search_raw(
+        &self,
+        space: QuerySpace,
+        queries: &DenseMatrix,
+        fetch: usize,
+    ) -> Result<Vec<Vec<Hit>>, ServeError> {
+        if queries.rows() == 0 {
+            return Err(ServeError::BadRequest("empty query batch".into()));
+        }
+        let want = space.dim(self.half_dim());
+        if queries.cols() != want {
+            return Err(ServeError::BadRequest(format!(
+                "{}-space queries must have {want} entries (got {})",
+                space.name(),
+                queries.cols()
+            )));
+        }
+        Ok(match space {
+            QuerySpace::Similar => self.fan_out_merge(queries, fetch, |e| e.node_index()),
+            QuerySpace::Links => self.fan_out_merge(queries, fetch, |e| e.link_index()),
+        })
     }
 
     fn insert(&mut self, forward: &[f64], backward: &[f64]) -> Result<usize, ServeError> {
@@ -295,6 +336,62 @@ mod tests {
                 "{shards}-way recommend-links diverged from the exact scan"
             );
         }
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn parallel_fan_out_is_thread_count_invariant() {
+        // The shard fan-out runs concurrently under the thread budget;
+        // results must not depend on how the budget splits across shards
+        // (1 thread = the old sequential scan, 5 > shards oversubscribes).
+        let emb = fixture(90);
+        let root = tmpdir("threads");
+        ShardedStore::init(&root, &emb, &IndexSpec::Flat, &IndexSpec::Flat, 3, 1).unwrap();
+        let nodes: Vec<usize> = (0..90).step_by(5).collect();
+        let baseline = {
+            let eng = ShardedEngine::open(&root, 1).unwrap();
+            (
+                ServeBackend::similar_nodes(&eng, &nodes, 7).unwrap(),
+                ServeBackend::recommend_links(&eng, &nodes, 7, &[1, 2]).unwrap(),
+            )
+        };
+        for threads in [2usize, 3, 5] {
+            let eng = ShardedEngine::open(&root, threads).unwrap();
+            assert_eq!(
+                ServeBackend::similar_nodes(&eng, &nodes, 7).unwrap(),
+                baseline.0,
+                "similar-nodes diverged at {threads} threads"
+            );
+            assert_eq!(
+                ServeBackend::recommend_links(&eng, &nodes, 7, &[1, 2]).unwrap(),
+                baseline.1,
+                "recommend-links diverged at {threads} threads"
+            );
+        }
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn sharded_raw_primitives_match_the_filtered_path() {
+        let emb = fixture(61);
+        let root = tmpdir("raw");
+        ShardedStore::init(&root, &emb, &IndexSpec::Flat, &IndexSpec::Flat, 2, 1).unwrap();
+        let eng = ShardedEngine::open(&root, 2).unwrap();
+        let nodes: Vec<usize> = (0..61).step_by(9).collect();
+        let k = 5;
+        let qv = eng.query_vectors(QuerySpace::Similar, &nodes).unwrap();
+        let raw = eng
+            .search_raw(QuerySpace::Similar, &DenseMatrix::from_rows(&qv), k + 1)
+            .unwrap();
+        let composed: Vec<Vec<Hit>> = nodes
+            .iter()
+            .zip(raw)
+            .map(|(&v, hits)| hits.into_iter().filter(|h| h.node != v).take(k).collect())
+            .collect();
+        assert_eq!(
+            composed,
+            ServeBackend::similar_nodes(&eng, &nodes, k).unwrap()
+        );
         std::fs::remove_dir_all(&root).ok();
     }
 

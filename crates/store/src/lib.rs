@@ -35,7 +35,7 @@ pub mod wal;
 mod proptests;
 
 pub use manifest::{Manifest, MANIFEST_FILE};
-pub use shard::{global_of, local_of, shard_dir, shard_of, ShardedStore};
+pub use shard::{expected_shard_len, global_of, local_of, shard_dir, shard_of, ShardedStore};
 pub use store::{
     build_bases, read_status, OpenStore, Store, StoreStatus, EMBEDDING_FILE, LINK_INDEX_FILE,
     NODE_INDEX_FILE, WAL_FILE,
