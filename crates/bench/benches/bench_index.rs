@@ -9,7 +9,7 @@
 //! benchmark then times a 100-query top-10 workload per index and prints
 //! each approximate index's recall@10 against the flat ground truth.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, note, Criterion};
 use pane_graph::gen::{generate_sbm, SbmConfig};
 use pane_index::{FlatIndex, HnswConfig, HnswIndex, IvfConfig, IvfIndex, Metric, VectorIndex};
 use pane_linalg::{vecops, DenseMatrix, NormalSampler};
@@ -91,6 +91,13 @@ fn fixture() -> &'static Fixture {
         let hnsw = HnswIndex::build(&data, Metric::Cosine, &HnswConfig::default());
         let t_hnsw = t0.elapsed().as_secs_f64();
         eprintln!("index build over n={n}: flat {t_flat:.2}s, ivf {t_ivf:.2}s, hnsw {t_hnsw:.2}s");
+        note("nodes", n);
+        note("dim", DIM);
+        note("k", K);
+        note("queries", NUM_QUERIES);
+        note("build_flat_s", format!("{t_flat:.3}"));
+        note("build_ivf_s", format!("{t_ivf:.3}"));
+        note("build_hnsw_s", format!("{t_hnsw:.3}"));
 
         let queries: Vec<usize> = (0..NUM_QUERIES).map(|i| (i * n) / NUM_QUERIES).collect();
         let truth = search_all(&flat, &data, &queries);
@@ -110,6 +117,10 @@ fn fixture() -> &'static Fixture {
             eprintln!(
                 "recall@{K} {name} vs flat: {:.3} ({overlap}/{total})",
                 overlap as f64 / total as f64
+            );
+            note(
+                format!("recall_at_{K}_{name}"),
+                format!("{:.3}", overlap as f64 / total as f64),
             );
         }
         Fixture {

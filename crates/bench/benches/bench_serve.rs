@@ -1,0 +1,128 @@
+//! Instrumentation overhead on the batched query path — the acceptance
+//! benchmark of the observability tier: the same flat `ServeEngine`
+//! answers an identical 64-query `similar-nodes` request twice, once
+//! behind the bare `RwLock` handler (uninstrumented) and once behind
+//! `ObservedHandler` (per-op counters, latency + batch-size histograms,
+//! slow-query check). The contract is that the instrumented median stays
+//! within ~2% of the plain one; the paired medians and the derived
+//! overhead percentage land in the JSON report (`PANE_BENCH_JSON`) as
+//! notes next to the raw timings.
+//!
+//! The fixture is synthetic: seeded random unit rows instead of a real
+//! embedding run, because the handler cost under test is identical for
+//! any geometry and the flat scan dominated either way. Override the
+//! corpus size with `PANE_SERVE_NODES` (default 10k nodes).
+
+use criterion::{criterion_group, criterion_main, note, Criterion};
+use pane_core::{PaneEmbedding, PaneTimings};
+use pane_linalg::{vecops, DenseMatrix, NormalSampler};
+use pane_obs::Tracer;
+use pane_serve::{IndexSpec, LineHandler, ObservedHandler, ServeEngine, ServeObs};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+
+const HALF_DIM: usize = 32;
+const BATCH: usize = 64;
+const K: usize = 10;
+
+fn nodes_from_env() -> usize {
+    std::env::var("PANE_SERVE_NODES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > BATCH)
+        .unwrap_or(10_000)
+}
+
+/// Seeded random unit rows standing in for `X_f` / `X_b`.
+fn random_embedding(n: usize, seed: u64) -> PaneEmbedding {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sampler = NormalSampler::new();
+    let mut fill = |m: &mut DenseMatrix| {
+        for v in 0..n {
+            let row = m.row_mut(v);
+            for slot in row.iter_mut() {
+                *slot = sampler.sample(&mut rng);
+            }
+            vecops::normalize(row, 1e-300);
+        }
+    };
+    let mut forward = DenseMatrix::zeros(n, HALF_DIM);
+    let mut backward = DenseMatrix::zeros(n, HALF_DIM);
+    fill(&mut forward);
+    fill(&mut backward);
+    PaneEmbedding {
+        forward,
+        backward,
+        attribute: DenseMatrix::zeros(1, HALF_DIM),
+        timings: PaneTimings::default(),
+        objective: 0.0,
+    }
+}
+
+fn engine(n: usize) -> ServeEngine {
+    ServeEngine::build(random_embedding(n, 7), &IndexSpec::Flat, 1)
+}
+
+fn query_line(n: usize) -> String {
+    let nodes: Vec<String> = (0..BATCH).map(|i| ((i * n) / BATCH).to_string()).collect();
+    format!(
+        r#"{{"op":"similar-nodes","nodes":[{}],"k":{K}}}"#,
+        nodes.join(",")
+    )
+}
+
+/// Median per-request seconds over `iters` handled requests (one
+/// discarded warmup), asserting every response succeeded.
+fn median_handle_s(h: &dyn LineHandler, line: &str, iters: usize) -> f64 {
+    let (resp, _) = h.handle(line);
+    assert!(resp.contains("\"ok\":true"), "warmup failed: {resp}");
+    let mut samples: Vec<f64> = (0..iters)
+        .map(|_| {
+            let t0 = Instant::now();
+            let (resp, _) = h.handle(line);
+            let dt = t0.elapsed().as_secs_f64();
+            assert!(resp.contains("\"ok\":true"), "request failed: {resp}");
+            dt
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn bench_instrumentation_overhead(c: &mut Criterion) {
+    let n = nodes_from_env();
+    let line = query_line(n);
+    let plain = RwLock::new(engine(n));
+    let observed = ObservedHandler::new(engine(n), Arc::new(ServeObs::new(Tracer::disabled())));
+
+    let mut group = c.benchmark_group(format!("serve_batched_query/n={n}"));
+    group.sample_size(10);
+    group.bench_function(format!("plain_rwlock_{BATCH}q"), |b| {
+        b.iter(|| plain.handle(&line))
+    });
+    group.bench_function(format!("observed_{BATCH}q"), |b| {
+        b.iter(|| observed.handle(&line))
+    });
+    group.finish();
+
+    // Paired medians over a longer run for the headline overhead number.
+    let iters = 30;
+    let plain_s = median_handle_s(&plain, &line, iters);
+    let observed_s = median_handle_s(&observed, &line, iters);
+    let overhead_pct = 100.0 * (observed_s - plain_s) / plain_s;
+    println!(
+        "bench serve_overhead: plain {plain_s:.6} s, observed {observed_s:.6} s, \
+         overhead {overhead_pct:+.2}% (n={n}, batch {BATCH}, k {K})"
+    );
+    note("nodes", n);
+    note("batch", BATCH);
+    note("k", K);
+    note("plain_median_s", format!("{plain_s:.9}"));
+    note("observed_median_s", format!("{observed_s:.9}"));
+    note("overhead_pct", format!("{overhead_pct:.3}"));
+}
+
+criterion_group!(serve_benches, bench_instrumentation_overhead);
+criterion_main!(serve_benches);

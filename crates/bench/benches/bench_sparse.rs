@@ -16,7 +16,7 @@
 //! 16-byte buffer entirely; the chunked builder reports its own
 //! high-water mark (accumulator + chunk + merge output).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, note, Criterion};
 use pane_sparse::{CooMatrix, CsrBuilder, MergeRule};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -79,6 +79,11 @@ fn bench_one_config(c: &mut Criterion, name: &str, edges: usize, nodes: usize) {
         human(stats.peak_aux_bytes),
         stats.flushes
     );
+    note("edges", edges);
+    note(format!("{name}_nnz_out"), csr.nnz());
+    note(format!("{name}_coo_peak_bytes"), coo_peak);
+    note(format!("{name}_one_shot_peak_bytes"), one_shot_peak);
+    note(format!("{name}_chunked_peak_bytes"), stats.peak_aux_bytes);
 
     let mut group = c.benchmark_group(name);
     group.sample_size(3);

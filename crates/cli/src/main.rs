@@ -20,10 +20,14 @@
 //!                    [--kind flat|ivf|hnsw] [--lists 64] [--nprobe 8]
 //!                    [--m 16] [--efc 100] [--ef 64] [--seed 0])
 //!                   (--stdio | --listen ADDR) [--threads 1]
+//!                   [--log-json PATH] [--log-level warn] [--slow-query-ms N]
 //! pane route        (--shards ADDR,ADDR,… | --store ROOT [--threads 1])
 //!                   (--stdio | --listen ADDR)
 //!                   [--connect-timeout-ms 1000] [--request-timeout-ms 10000]
 //!                   [--retries 2] [--probe-interval-ms 2000]
+//!                   [--log-json PATH] [--log-level warn] [--slow-query-ms N]
+//! pane metrics      --addr ADDR [--json]
+//!                   [--connect-timeout-ms 1000] [--request-timeout-ms 10000]
 //! pane store init     --embedding EMB [--text] --dir DIR [--shards N]
 //!                     [--kind flat|ivf|hnsw + build params] [--threads 1]
 //! pane store snapshot --dir DIR [--threads 1]
@@ -63,6 +67,7 @@ fn main() -> ExitCode {
         "index" => cmd_index(raw),
         "serve" => cmd_serve(raw),
         "route" => cmd_route(raw),
+        "metrics" => cmd_metrics(raw),
         "store" => cmd_store(raw),
         "evaluate" => cmd_evaluate(raw),
         "convert" => cmd_convert(raw),
@@ -90,6 +95,7 @@ fn print_help() {
            index     build / search an ANN index over a saved embedding (flat / ivf / hnsw)\n\
            serve     run the shared-index serving daemon (JSON-lines over TCP or stdio)\n\
            route     run the merging query router over shard daemons (same protocol)\n\
+           metrics   scrape a live serve/route endpoint's metrics (Prometheus text or JSON)\n\
            store     manage durable store directories (init / snapshot / status)\n\
            evaluate  run the three-task quality report on a graph\n\
            convert   convert a text graph to the fast binary format (or back)\n\n\
@@ -533,6 +539,35 @@ fn spec_from_args(a: &Args) -> Result<pane_index::IndexSpec, Box<dyn std::error:
     })
 }
 
+/// Builds the structured tracer shared by `pane serve` and `pane route`
+/// from `--log-json PATH` (JSON-lines file; default stderr),
+/// `--log-level error|warn|info|debug|off` (default `warn`) and
+/// `--slow-query-ms N` (off unless given).
+fn tracer_from_args(a: &Args) -> Result<pane_obs::Tracer, Box<dyn std::error::Error>> {
+    use pane_obs::{Level, Tracer};
+    let slow = a
+        .get("slow-query-ms")
+        .map(|v| {
+            v.parse::<u64>()
+                .map_err(|e| format!("--slow-query-ms: {e}"))
+        })
+        .transpose()?
+        .map(std::time::Duration::from_millis);
+    let spec = a.get("log-level").unwrap_or("warn");
+    let tracer = if spec == "off" {
+        Tracer::disabled()
+    } else {
+        let level = Level::parse(spec)
+            .ok_or_else(|| format!("unknown log level '{spec}' (error|warn|info|debug|off)"))?;
+        match a.get("log-json") {
+            Some(path) => Tracer::to_file(std::path::Path::new(path), level)
+                .map_err(|e| format!("--log-json {path}: {e}"))?,
+            None => Tracer::to_stderr(level),
+        }
+    };
+    Ok(tracer.with_slow_query(slow))
+}
+
 /// Runs the selected transport over any JSON-lines endpoint — an engine
 /// behind a lock or the query router.
 fn run_transport<H: pane_serve::LineHandler + 'static>(handler: H, a: &Args) -> CliResult {
@@ -555,9 +590,13 @@ fn run_transport<H: pane_serve::LineHandler + 'static>(handler: H, a: &Args) -> 
     }
 }
 
-/// Runs the selected transport over any engine (single or sharded).
+/// Runs the selected transport over any engine (single or sharded),
+/// instrumented: per-op metrics, the `metrics` protocol op, structured
+/// boot/snapshot events and the slow-query log all come from the
+/// [`pane_serve::ObservedHandler`] wrapper.
 fn run_serve_transport<B: pane_serve::ServeBackend + 'static>(engine: B, a: &Args) -> CliResult {
-    run_transport(std::sync::RwLock::new(engine), a)
+    let obs = std::sync::Arc::new(pane_serve::ServeObs::new(tracer_from_args(a)?));
+    run_transport(pane_serve::ObservedHandler::new(engine, obs), a)
 }
 
 fn cmd_serve(raw: Vec<String>) -> CliResult {
@@ -579,6 +618,9 @@ fn cmd_serve(raw: Vec<String>) -> CliResult {
         "seed",
         "threads",
         "listen",
+        "log-json",
+        "log-level",
+        "slow-query-ms",
     ])?;
     let threads: usize = a.get_parsed("threads", 1usize)?;
 
@@ -667,6 +709,9 @@ fn cmd_route(raw: Vec<String>) -> CliResult {
         "request-timeout-ms",
         "retries",
         "probe-interval-ms",
+        "log-json",
+        "log-level",
+        "slow-query-ms",
     ])?;
     match (a.get("shards"), a.get("store")) {
         (Some(_), Some(_)) => Err("give --shards or --store, not both".into()),
@@ -689,7 +734,8 @@ fn cmd_route(raw: Vec<String>) -> CliResult {
                 probe_interval: ms(a.get_parsed("probe-interval-ms", 2_000u64)?),
                 ..Default::default()
             };
-            let router = pane_serve::Router::connect(&addrs, config)?;
+            let obs = std::sync::Arc::new(pane_serve::ServeObs::for_router(tracer_from_args(&a)?));
+            let router = pane_serve::Router::connect_with(&addrs, config, obs)?;
             eprintln!(
                 "routing over {} shard daemons: {}",
                 router.num_shards(),
@@ -720,6 +766,44 @@ fn cmd_route(raw: Vec<String>) -> CliResult {
         }
         (None, None) => Err("give --shards ADDR,ADDR,… or --store ROOT".into()),
     }
+}
+
+fn cmd_metrics(raw: Vec<String>) -> CliResult {
+    let a = Args::parse(raw, &["json"])?;
+    reject_positionals(&a)?;
+    a.reject_unknown(&["addr", "connect-timeout-ms", "request-timeout-ms"])?;
+    let addr = a.require("addr")?;
+    let ms = std::time::Duration::from_millis;
+    let config = pane_serve::ClientConfig {
+        connect_timeout: ms(a.get_parsed("connect-timeout-ms", 1_000u64)?),
+        request_timeout: ms(a.get_parsed("request-timeout-ms", 10_000u64)?),
+        retries: 0,
+        ..Default::default()
+    };
+    let client = pane_serve::ShardClient::new(addr, config);
+    let resp = client
+        .request(r#"{"op":"metrics"}"#)
+        .map_err(|e| format!("{addr}: {e}"))?;
+    if resp.get("ok") != Some(&pane_serve::Json::Bool(true)) {
+        let msg = resp
+            .get("error")
+            .and_then(|v| v.as_str())
+            .unwrap_or("request failed");
+        return Err(format!("{addr}: {msg}").into());
+    }
+    if a.flag("json") {
+        let metrics = resp
+            .get("metrics")
+            .ok_or("response carried no metrics object")?;
+        println!("{}", metrics.to_line());
+    } else {
+        let text = resp
+            .get("text")
+            .and_then(|v| v.as_str())
+            .ok_or("response carried no text exposition")?;
+        print!("{text}");
+    }
+    Ok(())
 }
 
 fn cmd_store(mut raw: Vec<String>) -> CliResult {

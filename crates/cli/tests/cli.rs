@@ -997,6 +997,107 @@ fn route_merges_shard_daemons_through_the_binary() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// The observability surface through the binary: `pane serve` with
+/// `--log-json` + `--slow-query-ms`, instrumented `stats`, and the
+/// `pane metrics` scrape subcommand in both text and JSON forms.
+#[test]
+fn serve_metrics_scrape_and_structured_log() {
+    use std::io::{BufRead, BufReader, Write};
+    let (dir, emb) = serve_fixture("metrics");
+    let log = dir.join("serve-log.jsonl");
+
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_pane"))
+        .args([
+            "serve",
+            "--embedding",
+            emb.to_str().unwrap(),
+            "--kind",
+            "flat",
+            "--listen",
+            "127.0.0.1:0",
+            "--log-json",
+            log.to_str().unwrap(),
+            "--log-level",
+            "info",
+            "--slow-query-ms",
+            "0",
+        ])
+        .stdin(std::process::Stdio::null())
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn pane serve");
+    let mut stderr = BufReader::new(child.stderr.take().unwrap());
+    let addr = loop {
+        let mut line = String::new();
+        assert!(
+            stderr.read_line(&mut line).unwrap() > 0,
+            "serve exited before binding"
+        );
+        if let Some(rest) = line.trim().strip_prefix("listening on ") {
+            break rest.to_string();
+        }
+    };
+
+    let mut conn = std::net::TcpStream::connect(&addr).unwrap();
+    let mut reader = BufReader::new(conn.try_clone().unwrap());
+    let mut ask = |req: &str| -> String {
+        conn.write_all(req.as_bytes()).unwrap();
+        conn.write_all(b"\n").unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        line
+    };
+    let resp = ask(r#"{"op":"similar-nodes","nodes":[0,1],"k":3}"#);
+    assert!(resp.contains("\"ok\":true"), "{resp}");
+    // Instrumented stats: uptime and the running request total.
+    let stats = ask(r#"{"op":"stats"}"#);
+    assert!(stats.contains("\"uptime_secs\":"), "{stats}");
+    assert!(stats.contains("\"requests_total\":1"), "{stats}");
+
+    // Text scrape (the default): Prometheus exposition on stdout.
+    let (ok, out, err) = run(&["metrics", "--addr", &addr]);
+    assert!(ok, "pane metrics failed: {err}");
+    assert!(
+        out.contains(r#"pane_requests_total{op="similar-nodes"} 1"#),
+        "scrape output: {out}"
+    );
+    assert!(out.contains("# TYPE pane_requests_total counter"), "{out}");
+    assert!(out.contains("pane_request_seconds"), "{out}");
+
+    // JSON scrape: one parseable object on stdout.
+    let (ok, out, err) = run(&["metrics", "--addr", &addr, "--json"]);
+    assert!(ok, "pane metrics --json failed: {err}");
+    assert!(out.trim_start().starts_with('{'), "{out}");
+    assert!(out.contains("\"counters\""), "{out}");
+    assert!(out.contains("\"histograms\""), "{out}");
+
+    let resp = ask(r#"{"op":"shutdown"}"#);
+    assert!(resp.contains("\"ok\":true"), "{resp}");
+    assert!(child.wait().unwrap().success());
+
+    // The structured log recorded the boot event and the 0ms-threshold
+    // slow-query entries, one JSON object per line.
+    let logged = std::fs::read_to_string(&log).unwrap();
+    assert!(
+        logged.contains("\"event\":\"engine.boot\""),
+        "log: {logged}"
+    );
+    assert!(logged.contains("\"event\":\"slow_query\""), "log: {logged}");
+    for line in logged.lines() {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "log line: {line}"
+        );
+    }
+
+    // Scraping a daemon that is gone is a clean error.
+    let (ok, _, err) = run(&["metrics", "--addr", &addr, "--connect-timeout-ms", "200"]);
+    assert!(!ok);
+    assert!(err.contains("error:"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// `--two-pass` loads are accepted and bit-identical: embedding the same
 /// graph in both modes produces byte-identical output files.
 #[test]

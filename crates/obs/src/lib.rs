@@ -1,0 +1,42 @@
+//! # pane-obs — observability for the PANE serving tier
+//!
+//! Std-only (zero dependencies) metrics and tracing, built for a serving
+//! daemon that must stay fast while being watched:
+//!
+//! * [`MetricsRegistry`] — an explicit, global-free registry of atomic
+//!   [`Counter`]s, [`Gauge`]s, and fixed-boundary log-bucketed
+//!   [`Histogram`]s with exact-from-bucket p50/p95/p99, rendered as a
+//!   Prometheus-style text exposition ([`MetricsRegistry::render_text`])
+//!   or a JSON object ([`MetricsRegistry::render_json`]).
+//! * [`Tracer`] — structured JSON-lines events and duration spans,
+//!   monotonic-clock timed, level-filtered, writing to stderr, a file, or
+//!   any `Write + Send`, with a configurable slow-query log
+//!   ([`Tracer::slow_query`]).
+//!
+//! Handles are plain `Arc`s: the record path is a few relaxed atomic
+//! operations and never takes the registry lock, so instrumentation can
+//! sit on query hot paths.
+//!
+//! ```
+//! use pane_obs::{latency_buckets, MetricsRegistry};
+//!
+//! let registry = MetricsRegistry::new();
+//! let requests = registry.counter("pane_requests_total", "Requests served.");
+//! let latency = registry.histogram(
+//!     "pane_request_seconds",
+//!     "Request latency.",
+//!     &latency_buckets(),
+//! );
+//! requests.inc();
+//! latency.observe(0.00042);
+//! assert!(registry.render_text().contains("pane_requests_total 1"));
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod metrics;
+mod trace;
+
+pub use metrics::{latency_buckets, size_buckets, Counter, Gauge, Histogram, MetricsRegistry};
+pub use trace::{Event, Level, Span, Tracer};

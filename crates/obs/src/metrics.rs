@@ -1,0 +1,698 @@
+//! Atomic metrics: counters, gauges, fixed-boundary histograms, and the
+//! registry that renders them.
+//!
+//! Everything here is lock-free on the record path (relaxed atomics); the
+//! registry's mutex is taken only when creating a series or rendering an
+//! exposition. There are no globals: callers own an explicit
+//! [`MetricsRegistry`] and thread `Arc` handles to whoever records.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// A monotonically increasing `u64` counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed gauge that can move in both directions.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the gauge to `v`.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-boundary histogram with atomic buckets.
+///
+/// Boundaries are **upper** bounds, sorted ascending; an implicit `+Inf`
+/// bucket catches everything beyond the last boundary. Quantiles are
+/// *exact-from-bucket*: [`Histogram::quantile`] returns the upper boundary
+/// of the bucket holding the rank-`q` observation, so the answer is a true
+/// upper bound on the requested percentile (never an interpolation), and
+/// observations landing in the overflow bucket report the largest finite
+/// boundary.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    /// One per boundary plus the trailing `+Inf` bucket.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// Running sum of observations, stored as `f64` bit patterns.
+    sum_bits: AtomicU64,
+}
+
+impl Histogram {
+    /// Creates a histogram over the given ascending upper boundaries.
+    ///
+    /// Boundaries must be non-empty, finite, and strictly increasing;
+    /// violations panic (a mis-specified histogram is a programming error,
+    /// not a runtime condition).
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one boundary");
+        for w in bounds.windows(2) {
+            assert!(w[0] < w[1], "histogram boundaries must strictly increase");
+        }
+        assert!(
+            bounds.iter().all(|b| b.is_finite()),
+            "histogram boundaries must be finite"
+        );
+        Self {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: f64) {
+        let idx = self.bounds.partition_point(|b| *b < v);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        if v.is_finite() {
+            let mut cur = self.sum_bits.load(Ordering::Relaxed);
+            loop {
+                let next = (f64::from_bits(cur) + v).to_bits();
+                match self.sum_bits.compare_exchange_weak(
+                    cur,
+                    next,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(seen) => cur = seen,
+                }
+            }
+        }
+    }
+
+    /// Records a duration in seconds.
+    pub fn observe_duration(&self, d: Duration) {
+        self.observe(d.as_secs_f64());
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// The configured upper boundaries (without the implicit `+Inf`).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts (non-cumulative), including the trailing `+Inf`
+    /// bucket.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Exact-from-bucket quantile for `q` in `[0, 1]`; `0.0` when empty.
+    ///
+    /// Returns the upper boundary of the bucket containing the observation
+    /// of rank `ceil(q * count)`. Observations beyond the last boundary
+    /// saturate to the largest finite boundary.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let counts = self.bucket_counts();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut cumulative = 0u64;
+        for (i, c) in counts.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= rank {
+                return self.bounds[i.min(self.bounds.len() - 1)];
+            }
+        }
+        self.bounds[self.bounds.len() - 1]
+    }
+}
+
+/// Log-spaced latency boundaries in seconds: `1µs · 2^k` for
+/// `k = 0..=27`, i.e. 1µs up to ~134s.
+pub fn latency_buckets() -> Vec<f64> {
+    (0..=27).map(|k| 1e-6 * f64::from(1u32 << k)).collect()
+}
+
+/// Power-of-two size boundaries: 1, 2, 4, … 65536.
+pub fn size_buckets() -> Vec<f64> {
+    (0..=16).map(|k| f64::from(1u32 << k)).collect()
+}
+
+/// Metric kind, for exposition `# TYPE` lines and registration checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl Kind {
+    fn as_str(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Handle {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+#[derive(Debug)]
+struct Family {
+    help: String,
+    kind: Kind,
+    /// Series keyed by their rendered label pairs (`shard="0"`, or `""`
+    /// for the unlabelled series). `BTreeMap` keeps expositions sorted
+    /// and therefore golden-testable.
+    series: BTreeMap<String, Handle>,
+}
+
+/// An explicit, global-free registry of metric families.
+///
+/// Handles returned by the `counter`/`gauge`/`histogram` constructors are
+/// `Arc`s; recording through them never touches the registry lock.
+/// Registering the same `(name, labels)` pair twice returns the existing
+/// handle, so construction is idempotent.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    families: Mutex<BTreeMap<String, Family>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or fetches) an unlabelled counter.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Registers (or fetches) a counter with label pairs.
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        match self.register(name, help, labels, Kind::Counter, || {
+            Handle::Counter(Arc::new(Counter::new()))
+        }) {
+            Handle::Counter(c) => c,
+            _ => unreachable!("kind checked during registration"),
+        }
+    }
+
+    /// Registers (or fetches) an unlabelled gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Registers (or fetches) a gauge with label pairs.
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        match self.register(name, help, labels, Kind::Gauge, || {
+            Handle::Gauge(Arc::new(Gauge::new()))
+        }) {
+            Handle::Gauge(g) => g,
+            _ => unreachable!("kind checked during registration"),
+        }
+    }
+
+    /// Registers (or fetches) an unlabelled histogram over `bounds`.
+    pub fn histogram(&self, name: &str, help: &str, bounds: &[f64]) -> Arc<Histogram> {
+        self.histogram_with(name, help, &[], bounds)
+    }
+
+    /// Registers (or fetches) a histogram with label pairs.
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        bounds: &[f64],
+    ) -> Arc<Histogram> {
+        match self.register(name, help, labels, Kind::Histogram, || {
+            Handle::Histogram(Arc::new(Histogram::new(bounds)))
+        }) {
+            Handle::Histogram(h) => h,
+            _ => unreachable!("kind checked during registration"),
+        }
+    }
+
+    fn register(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        kind: Kind,
+        make: impl FnOnce() -> Handle,
+    ) -> Handle {
+        let key = label_key(labels);
+        let mut families = self.families.lock().unwrap_or_else(|e| e.into_inner());
+        let family = families.entry(name.to_string()).or_insert_with(|| Family {
+            help: help.to_string(),
+            kind,
+            series: BTreeMap::new(),
+        });
+        assert!(
+            family.kind == kind,
+            "metric {name:?} registered as {} and {}",
+            family.kind.as_str(),
+            kind.as_str()
+        );
+        family.series.entry(key).or_insert_with(make).clone()
+    }
+
+    /// Renders the Prometheus-style text exposition.
+    pub fn render_text(&self) -> String {
+        let families = self.families.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = String::new();
+        for (name, family) in families.iter() {
+            let _ = writeln!(out, "# HELP {name} {}", family.help);
+            let _ = writeln!(out, "# TYPE {name} {}", family.kind.as_str());
+            for (labels, handle) in family.series.iter() {
+                match handle {
+                    Handle::Counter(c) => {
+                        let _ = writeln!(out, "{name}{} {}", braced(labels), c.get());
+                    }
+                    Handle::Gauge(g) => {
+                        let _ = writeln!(out, "{name}{} {}", braced(labels), g.get());
+                    }
+                    Handle::Histogram(h) => render_text_histogram(&mut out, name, labels, h),
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders a JSON object form:
+    /// `{"counters":{…},"gauges":{…},"histograms":{…}}`.
+    ///
+    /// Series keys are `name` or `name{label="v",…}`; histogram entries
+    /// carry `count`, `sum`, and exact-from-bucket `p50`/`p95`/`p99`.
+    /// The output stays within the strict JSON subset the serve protocol
+    /// parses, so daemons can embed it structurally in responses.
+    pub fn render_json(&self) -> String {
+        let families = self.families.lock().unwrap_or_else(|e| e.into_inner());
+        let mut counters = Vec::new();
+        let mut gauges = Vec::new();
+        let mut histograms = Vec::new();
+        for (name, family) in families.iter() {
+            for (labels, handle) in family.series.iter() {
+                let key = format!("{name}{}", braced(labels));
+                match handle {
+                    Handle::Counter(c) => {
+                        counters.push(format!("{}:{}", json_string(&key), c.get()))
+                    }
+                    Handle::Gauge(g) => gauges.push(format!("{}:{}", json_string(&key), g.get())),
+                    Handle::Histogram(h) => histograms.push(format!(
+                        "{}:{{\"count\":{},\"sum\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+                        json_string(&key),
+                        h.count(),
+                        json_f64(h.sum()),
+                        json_f64(h.quantile(0.50)),
+                        json_f64(h.quantile(0.95)),
+                        json_f64(h.quantile(0.99)),
+                    )),
+                }
+            }
+        }
+        format!(
+            "{{\"counters\":{{{}}},\"gauges\":{{{}}},\"histograms\":{{{}}}}}",
+            counters.join(","),
+            gauges.join(","),
+            histograms.join(",")
+        )
+    }
+}
+
+fn render_text_histogram(out: &mut String, name: &str, labels: &str, h: &Histogram) {
+    let counts = h.bucket_counts();
+    let mut cumulative = 0u64;
+    for (i, bound) in h.bounds().iter().enumerate() {
+        cumulative += counts[i];
+        let le = format!("le=\"{}\"", json_f64(*bound));
+        let merged = if labels.is_empty() {
+            le
+        } else {
+            format!("{labels},{le}")
+        };
+        let _ = writeln!(out, "{name}_bucket{{{merged}}} {cumulative}");
+    }
+    cumulative += counts[counts.len() - 1];
+    let inf = if labels.is_empty() {
+        "le=\"+Inf\"".to_string()
+    } else {
+        format!("{labels},le=\"+Inf\"")
+    };
+    let _ = writeln!(out, "{name}_bucket{{{inf}}} {cumulative}");
+    let _ = writeln!(out, "{name}_sum{} {}", braced(labels), json_f64(h.sum()));
+    let _ = writeln!(out, "{name}_count{} {cumulative}", braced(labels));
+}
+
+/// Renders label pairs into the canonical `k="v"` comma-joined form.
+fn label_key(labels: &[(&str, &str)]) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    parts.sort();
+    parts.join(",")
+}
+
+fn braced(labels: &str) -> String {
+    if labels.is_empty() {
+        String::new()
+    } else {
+        format!("{{{labels}}}")
+    }
+}
+
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` for JSON/exposition output: plain decimal notation,
+/// never NaN/inf (non-finite values collapse to `0`).
+pub(crate) fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Quotes and escapes `s` as a JSON string literal.
+pub(crate) fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            other => out.push(other),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn counter_concurrent_increments_are_lossless() {
+        let c = Arc::new(Counter::new());
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(c.get(), 80_000);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let g = Gauge::new();
+        g.set(5);
+        g.add(-8);
+        assert_eq!(g.get(), -3);
+    }
+
+    #[test]
+    fn histogram_concurrent_observations_are_lossless() {
+        let h = Arc::new(Histogram::new(&[1.0, 2.0, 4.0]));
+        let threads: Vec<_> = (0..4)
+            .map(|k| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..5_000 {
+                        h.observe(f64::from((k + i) % 5));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.count(), 20_000);
+        assert_eq!(h.bucket_counts().iter().sum::<u64>(), 20_000);
+        // Sum of 0+1+2+3+4 repeated 4000 times.
+        assert!((h.sum() - 40_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bucket_boundaries_are_upper_inclusive() {
+        let h = Histogram::new(&[1.0, 2.0, 4.0]);
+        h.observe(1.0); // lands in the le=1 bucket (upper-inclusive)
+        h.observe(1.5);
+        h.observe(4.0);
+        h.observe(9.0); // overflow
+        assert_eq!(h.bucket_counts(), vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn latency_buckets_are_log_spaced_goldens() {
+        let b = latency_buckets();
+        assert_eq!(b.len(), 28);
+        assert_eq!(b[0], 1e-6);
+        assert_eq!(b[1], 2e-6);
+        assert_eq!(b[10], 1e-6 * 1024.0);
+        assert!((b[27] - 134.217728).abs() < 1e-9);
+        for w in b.windows(2) {
+            assert_eq!(w[1], 2.0 * w[0]);
+        }
+    }
+
+    #[test]
+    fn quantiles_golden_values() {
+        let h = Histogram::new(&[1.0, 2.0, 4.0, 8.0]);
+        // 90 obs ≤ 1, 5 in (1,2], 4 in (2,4], 1 beyond 8.
+        for _ in 0..90 {
+            h.observe(0.5);
+        }
+        for _ in 0..5 {
+            h.observe(1.5);
+        }
+        for _ in 0..4 {
+            h.observe(3.0);
+        }
+        h.observe(100.0);
+        assert_eq!(h.quantile(0.50), 1.0);
+        assert_eq!(h.quantile(0.90), 1.0);
+        assert_eq!(h.quantile(0.95), 2.0);
+        assert_eq!(h.quantile(0.99), 4.0);
+        // The overflow observation saturates to the largest finite bound.
+        assert_eq!(h.quantile(1.0), 8.0);
+        // Empty histogram reports zero.
+        assert_eq!(Histogram::new(&[1.0]).quantile(0.99), 0.0);
+    }
+
+    #[test]
+    fn registry_is_idempotent_and_kind_checked() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("pane_x_total", "x");
+        let b = r.counter("pane_x_total", "x");
+        a.inc();
+        assert_eq!(b.get(), 1);
+        let labelled = r.counter_with("pane_x_total", "x", &[("shard", "0")]);
+        labelled.add(7);
+        assert_eq!(a.get(), 1, "labelled series is distinct");
+        let result = std::panic::catch_unwind(|| r.gauge("pane_x_total", "x"));
+        assert!(result.is_err(), "kind mismatch must panic");
+    }
+
+    #[test]
+    fn text_exposition_golden() {
+        let r = MetricsRegistry::new();
+        r.counter("pane_requests_total", "Requests.").add(3);
+        r.counter_with("pane_requests_total", "Requests.", &[("op", "stats")])
+            .add(2);
+        r.gauge("pane_up", "Liveness.").set(1);
+        let h = r.histogram("pane_lat_seconds", "Latency.", &[0.001, 0.01]);
+        h.observe(0.0005);
+        h.observe(0.0005);
+        h.observe(0.005);
+        h.observe(5.0);
+        let expected = "\
+# HELP pane_lat_seconds Latency.
+# TYPE pane_lat_seconds histogram
+pane_lat_seconds_bucket{le=\"0.001\"} 2
+pane_lat_seconds_bucket{le=\"0.01\"} 3
+pane_lat_seconds_bucket{le=\"+Inf\"} 4
+pane_lat_seconds_sum 5.006
+pane_lat_seconds_count 4
+# HELP pane_requests_total Requests.
+# TYPE pane_requests_total counter
+pane_requests_total 3
+pane_requests_total{op=\"stats\"} 2
+# HELP pane_up Liveness.
+# TYPE pane_up gauge
+pane_up 1
+";
+        assert_eq!(r.render_text(), expected);
+    }
+
+    #[test]
+    fn json_exposition_golden() {
+        let r = MetricsRegistry::new();
+        r.counter_with("pane_c", "c", &[("shard", "1")]).add(4);
+        r.gauge("pane_g", "g").set(-2);
+        let h = r.histogram("pane_h", "h", &[1.0, 2.0]);
+        h.observe(0.5);
+        h.observe(1.5);
+        let expected = concat!(
+            "{\"counters\":{\"pane_c{shard=\\\"1\\\"}\":4},",
+            "\"gauges\":{\"pane_g\":-2},",
+            "\"histograms\":{\"pane_h\":{\"count\":2,\"sum\":2,\"p50\":1,\"p95\":2,\"p99\":2}}}",
+        );
+        assert_eq!(r.render_json(), expected);
+    }
+
+    #[test]
+    fn histogram_sum_survives_text_render_while_observing() {
+        // Smoke: render under concurrent observation must not panic or
+        // produce inconsistent bucket counts beyond the live total.
+        let r = Arc::new(MetricsRegistry::new());
+        let h = r.histogram("pane_h", "h", &latency_buckets());
+        let writer = {
+            let h = Arc::clone(&h);
+            std::thread::spawn(move || {
+                for i in 0..2_000 {
+                    h.observe(1e-6 * f64::from(i));
+                }
+            })
+        };
+        for _ in 0..20 {
+            let _ = r.render_text();
+        }
+        writer.join().unwrap();
+        assert_eq!(h.count(), 2_000);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn quantile_is_monotone_in_q(values in proptest::collection::vec(0.0f64..1000.0, 1..200)) {
+            let h = Histogram::new(&latency_buckets());
+            for v in &values {
+                h.observe(*v * 1e-3);
+            }
+            let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0];
+            let mut last = f64::NEG_INFINITY;
+            for q in qs {
+                let v = h.quantile(q);
+                prop_assert!(v >= last, "quantile({q}) = {v} < {last}");
+                last = v;
+            }
+        }
+
+        #[test]
+        fn quantile_upper_bounds_true_percentile(values in proptest::collection::vec(1e-6f64..10.0, 1..100)) {
+            // For in-range observations the reported quantile is an upper
+            // bound on the true order statistic.
+            let h = Histogram::new(&latency_buckets());
+            let mut sorted = values.clone();
+            sorted.sort_by(f64::total_cmp);
+            for v in &values {
+                h.observe(*v);
+            }
+            for q in [0.5, 0.95, 0.99] {
+                let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+                let truth = sorted[rank - 1];
+                prop_assert!(h.quantile(q) >= truth);
+            }
+        }
+    }
+}

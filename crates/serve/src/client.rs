@@ -21,11 +21,13 @@
 //!   thread calling [`ShardClient::probe`]), so a restarted daemon is
 //!   picked back up automatically.
 
+use crate::obs::ClientObs;
 use crate::protocol::{parse, Json};
 use crate::server::{read_bounded_line, LineRead, MAX_LINE_BYTES};
+use pane_obs::Level;
 use std::io::{BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Tunables for one shard connection. The defaults suit daemons on the
@@ -115,12 +117,25 @@ pub struct ShardClient {
     addr: String,
     config: ClientConfig,
     state: Mutex<ClientState>,
+    /// Instrumentation handles (no-op unless built by a router with
+    /// observability attached).
+    obs: Arc<ClientObs>,
 }
 
 impl ShardClient {
     /// A client for the daemon at `addr` (e.g. `"127.0.0.1:7878"`).
     /// Connects lazily on first use.
     pub fn new(addr: impl Into<String>, config: ClientConfig) -> Self {
+        Self::with_obs(addr, config, ClientObs::noop())
+    }
+
+    /// A client with registered instrumentation handles (what the router
+    /// builds, one labeled set per shard).
+    pub(crate) fn with_obs(
+        addr: impl Into<String>,
+        config: ClientConfig,
+        obs: Arc<ClientObs>,
+    ) -> Self {
         Self {
             addr: addr.into(),
             config,
@@ -129,6 +144,7 @@ impl ShardClient {
                 down_since: None,
                 last_attempt: None,
             }),
+            obs,
         }
     }
 
@@ -224,6 +240,7 @@ impl ShardClient {
     /// the router's health-check thread calls. Returns `true` if the
     /// shard answered.
     pub fn probe(&self) -> bool {
+        self.obs.probes.inc();
         self.send(r#"{"op":"stats"}"#, true, true).is_ok()
     }
 
@@ -240,6 +257,13 @@ impl ShardClient {
         let mut last_io = String::new();
         for attempt in 0..=self.config.retries {
             if attempt > 0 {
+                self.obs.retries.inc();
+                self.obs
+                    .tracer
+                    .event(Level::Debug, "shard.retry")
+                    .str_field("addr", &self.addr)
+                    .int_field("attempt", attempt as u64)
+                    .emit();
                 std::thread::sleep(self.config.backoff * (1u32 << (attempt - 1).min(16)));
             }
             let mut conn = match st.conn.take() {
@@ -247,10 +271,14 @@ impl ShardClient {
                 None => {
                     st.last_attempt = Some(Instant::now());
                     match self.connect() {
-                        Ok(c) => c,
+                        Ok(c) => {
+                            self.obs.connects.inc();
+                            c
+                        }
                         Err(e) => {
                             // Connect failures are retriable even for
                             // non-idempotent requests: nothing was sent.
+                            self.obs.connect_failures.inc();
                             last_io = format!("connect {}: {e}", self.addr);
                             continue;
                         }
@@ -260,7 +288,14 @@ impl ShardClient {
             match Self::roundtrip(&mut conn, line) {
                 Ok(resp) => {
                     st.conn = Some(conn);
-                    st.down_since = None;
+                    if st.down_since.take().is_some() {
+                        self.obs.up.set(1);
+                        self.obs
+                            .tracer
+                            .event(Level::Info, "shard.up")
+                            .str_field("addr", &self.addr)
+                            .emit();
+                    }
                     return self.finish(resp);
                 }
                 Err(e) => {
@@ -271,12 +306,23 @@ impl ShardClient {
                         // may have been applied. Do not mark the shard
                         // down (it may be healthy with a stale pooled
                         // connection); let the caller resync.
+                        self.obs.outcome_unknown.inc();
                         return Err(ClientError::OutcomeUnknown(last_io));
                     }
                 }
             }
         }
-        st.down_since.get_or_insert_with(Instant::now);
+        if st.down_since.is_none() {
+            st.down_since = Some(Instant::now());
+            self.obs.down_transitions.inc();
+            self.obs.up.set(0);
+            self.obs
+                .tracer
+                .event(Level::Warn, "shard.down")
+                .str_field("addr", &self.addr)
+                .str_field("error", &last_io)
+                .emit();
+        }
         Err(ClientError::Io(last_io))
     }
 }

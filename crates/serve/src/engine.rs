@@ -38,11 +38,14 @@
 //! embedding it loaded plus appended rows (eventual consistency; a full
 //! refresh is a restart with the new embedding file).
 
+use crate::obs::{EngineObs, ServeObs};
 use pane_core::PaneEmbedding;
 use pane_index::{AnyIndex, DeltaIndex, IndexError, IndexSpec, VectorIndex};
 use pane_linalg::DenseMatrix;
+use pane_obs::Level;
 use pane_store::{OpenStore, Store, StoreError};
 use std::path::Path;
+use std::time::Instant;
 
 /// Errors a serving request can produce.
 #[derive(Debug)]
@@ -107,6 +110,9 @@ pub struct StoreReport {
     pub generation: u64,
     /// Records currently in the WAL (replayed at boot + appended since).
     pub wal_records: usize,
+    /// Bytes currently in the WAL file (header + records; summed across
+    /// shards when sharded).
+    pub wal_bytes: u64,
     /// Records replayed from the WAL when the engine booted.
     pub replayed: usize,
 }
@@ -224,6 +230,11 @@ pub trait ServeBackend: Send + Sync {
     fn snapshot(&mut self) -> Result<SnapshotOutcome, ServeError>;
     /// Point-in-time status (the `stats` response).
     fn status(&self) -> StatusReport;
+    /// Attaches serving-tier observability: the backend swaps its no-op
+    /// instrumentation handles for ones registered in `obs`'s metrics
+    /// registry (per shard when sharded) and emits its boot event.
+    /// Default: no-op — uninstrumented backends keep working.
+    fn attach_obs(&mut self, _obs: &ServeObs) {}
 }
 
 /// Validates a query's node-id list against the engine's id space —
@@ -252,6 +263,8 @@ pub struct ServeEngine {
     threads: usize,
     /// Durable-store handle; `None` for ephemeral (non-durable) engines.
     store: Option<Store>,
+    /// Instrumentation handles (no-op until [`ServeBackend::attach_obs`]).
+    obs: EngineObs,
 }
 
 impl ServeEngine {
@@ -287,6 +300,7 @@ impl ServeEngine {
             emb,
             threads: threads.max(1),
             store: None,
+            obs: EngineObs::noop(),
         })
     }
 
@@ -326,6 +340,39 @@ impl ServeEngine {
             emb: embedding,
             threads: threads.max(1),
             store: Some(store),
+            obs: EngineObs::noop(),
+        }
+    }
+
+    /// Swaps in registered instrumentation handles, syncs the durability
+    /// gauges to the store's current state, and emits the boot event.
+    /// Called by [`ServeBackend::attach_obs`] (directly, or per shard by
+    /// the sharded engine with `{shard="s"}`-labeled handles).
+    pub(crate) fn set_engine_obs(&mut self, obs: EngineObs) {
+        self.obs = obs;
+        self.sync_store_gauges();
+        let mut boot = self
+            .obs
+            .tracer
+            .event(Level::Info, "engine.boot")
+            .int_field("nodes", self.num_nodes() as u64)
+            .int_field("half_dim", self.half_dim() as u64);
+        if let Some(store) = &self.store {
+            boot = boot
+                .int_field("generation", store.generation())
+                .int_field("wal_records", store.wal_records() as u64)
+                .int_field("replayed", store.replayed() as u64)
+                .int_field("recovered_bytes", store.recovered_bytes());
+        }
+        boot.emit();
+    }
+
+    /// Mirrors the store's WAL size and generation into the gauges.
+    fn sync_store_gauges(&self) {
+        if let Some(store) = &self.store {
+            self.obs.wal_bytes.set(store.wal_bytes() as i64);
+            self.obs.wal_records.set(store.wal_records() as i64);
+            self.obs.generation.set(store.generation() as i64);
         }
     }
 
@@ -387,6 +434,7 @@ impl ServeEngine {
         self.store.as_ref().map(|s| StoreReport {
             generation: s.generation(),
             wal_records: s.wal_records(),
+            wal_bytes: s.wal_bytes(),
             replayed: s.replayed(),
         })
     }
@@ -541,8 +589,13 @@ impl ServeEngine {
         }
         let id = self.num_nodes();
         if let Some(store) = &mut self.store {
-            store.append(id, forward, backward)?;
+            let report = store.append(id, forward, backward)?;
+            self.obs.wal_append.observe_duration(report.write);
+            self.obs.wal_fsync.observe_duration(report.sync);
+            self.obs.wal_bytes.set(store.wal_bytes() as i64);
+            self.obs.wal_records.set(store.wal_records() as i64);
         }
+        self.obs.inserts.inc();
         self.emb.forward.push_row(forward);
         self.emb.backward.push_row(backward);
         let features = self.emb.classifier_features(id);
@@ -581,6 +634,7 @@ impl ServeEngine {
                     .into(),
             ));
         }
+        let started = Instant::now();
         let folded = self.node_index.delta_len();
         let (node_base, link_base) =
             pane_store::build_bases(&self.emb, &self.node_spec, &self.link_spec, self.threads);
@@ -588,6 +642,17 @@ impl ServeEngine {
         let generation = store.snapshot(&self.emb, &node_base, &link_base)?;
         self.node_index = DeltaIndex::new(node_base);
         self.link_index = DeltaIndex::new(link_base);
+        let dur = started.elapsed();
+        self.obs.snapshot_seconds.observe_duration(dur);
+        self.obs.snapshots.inc();
+        self.sync_store_gauges();
+        self.obs
+            .tracer
+            .event(Level::Info, "engine.snapshot")
+            .int_field("generation", generation)
+            .int_field("folded", folded as u64)
+            .int_field("dur_ms", dur.as_millis() as u64)
+            .emit();
         Ok(SnapshotOutcome { generation, folded })
     }
 
@@ -643,6 +708,9 @@ impl ServeBackend for ServeEngine {
     }
     fn status(&self) -> StatusReport {
         ServeEngine::status(self)
+    }
+    fn attach_obs(&mut self, obs: &ServeObs) {
+        self.set_engine_obs(obs.engine_obs(None));
     }
 }
 

@@ -36,7 +36,12 @@
 //! * [`router`] — [`Router`]: one `pane serve` daemon per store shard
 //!   behind a thin merging proxy speaking the same protocol, with
 //!   graceful degradation when shards die (partial results +
-//!   `"degraded":true`) and automatic re-admission when they return.
+//!   `"degraded":true`) and automatic re-admission when they return;
+//! * [`obs`] — [`ServeObs`]: the serving tier's observability schema
+//!   over `pane-obs` (per-op request metrics, engine durability gauges,
+//!   per-shard client health, the slow-query log), exposed by the
+//!   `metrics` protocol op and recorded by [`ObservedHandler`] / the
+//!   router transport.
 //!
 //! Scores are on the unified scale documented in `pane-core::query`:
 //! `cos_f + cos_b ∈ [-2, 2]` for similar-node search, raw Eq. 22 inner
@@ -55,6 +60,7 @@
 
 pub mod client;
 pub mod engine;
+pub mod obs;
 pub mod protocol;
 pub mod router;
 pub mod server;
@@ -65,10 +71,13 @@ pub use engine::{
     Hit, IndexStats, QuerySpace, ServeBackend, ServeEngine, ServeError, SnapshotOutcome,
     StatusReport, StoreReport,
 };
+pub use obs::ServeObs;
 // Re-exported for compatibility: the spec type moved down to
 // `pane-index` when the store layer began recording it in manifests.
 pub use pane_index::IndexSpec;
 pub use protocol::{parse, Json, ParseError};
 pub use router::{Router, RouterError};
-pub use server::{handle_line, serve_lines, serve_tcp, LineHandler, MAX_LINE_BYTES};
+pub use server::{
+    handle_line, serve_lines, serve_tcp, LineHandler, ObservedHandler, MAX_LINE_BYTES,
+};
 pub use sharded::ShardedEngine;

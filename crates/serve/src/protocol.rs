@@ -12,6 +12,7 @@
 //! {"op":"compact"}
 //! {"op":"snapshot"}
 //! {"op":"stats"}
+//! {"op":"metrics"}
 //! {"op":"query-vectors","space":"similar","nodes":[0,1]}
 //! {"op":"search","space":"links","k":10,"queries":[[…floats…],…]}
 //! {"op":"shutdown"}
@@ -30,8 +31,12 @@
 //! daemons only): the grown embedding and rebuilt indexes are written to
 //! disk and the insert-ahead log is truncated, so the next boot replays
 //! nothing. `stats` responses of store-backed daemons carry a `store`
-//! object (`generation`, `wal_records`, `replayed`) and — when serving a
-//! sharded root — a `shards` count.
+//! object (`generation`, `wal_records`, `wal_bytes`, `replayed`) and —
+//! when serving a sharded root — a `shards` count; instrumented
+//! endpoints add `uptime_secs` and `requests_total`. `metrics` (daemon
+//! and router) returns the endpoint's metrics registry as a JSON object
+//! plus a Prometheus-style `text` exposition (see `pane-obs` and the
+//! `ARCHITECTURE.md` Observability section).
 //!
 //! Responses always carry `"ok"`: `{"ok":true,"op":…,…}` on success,
 //! `{"ok":false,"error":"…"}` on failure. Search responses hold one

@@ -43,14 +43,16 @@
 
 use crate::client::{ClientConfig, ClientError, ShardClient};
 use crate::engine::{Hit, QuerySpace};
+use crate::obs::ServeObs;
 use crate::protocol::{parse, Json};
-use crate::server::{error_line, hits_json, LineHandler};
+use crate::server::{batch_size, error_line, hits_json, metrics_fields, LineHandler};
 use pane_index::topk;
+use pane_obs::{Counter, Gauge, Tracer};
 use pane_store::{expected_shard_len, global_of, local_of, shard_of};
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A router-level failure, rendered as the `error` field of an
 /// `{"ok":false,…}` response.
@@ -81,6 +83,11 @@ struct Inner {
     half_dim: usize,
     count: Mutex<NodeCount>,
     probe_interval: Duration,
+    obs: Arc<ServeObs>,
+    /// Responses answered degraded (some shard contributed nothing).
+    degraded: Arc<Counter>,
+    /// Shards currently believed down (refreshed per response).
+    shards_down: Arc<Gauge>,
 }
 
 /// The merging query router. See the [module docs](self). Implements
@@ -97,12 +104,30 @@ impl Router {
     /// the fleet is coherent (see the [module docs](self)). All daemons
     /// must be up to *start*; afterwards reads degrade gracefully.
     pub fn connect(addrs: &[String], config: ClientConfig) -> Result<Self, RouterError> {
+        Self::connect_with(
+            addrs,
+            config,
+            Arc::new(ServeObs::for_router(Tracer::disabled())),
+        )
+    }
+
+    /// [`Router::connect`] with caller-supplied observability: per-shard
+    /// client metrics register in `obs`'s registry, and the router's
+    /// `metrics` protocol op renders it. `pane route` builds the obs from
+    /// its `--log-json` / `--slow-query-ms` flags; [`Router::connect`]
+    /// uses a disabled tracer over a private registry.
+    pub fn connect_with(
+        addrs: &[String],
+        config: ClientConfig,
+        obs: Arc<ServeObs>,
+    ) -> Result<Self, RouterError> {
         if addrs.is_empty() {
             return Err(bad("at least one shard address is required"));
         }
         let clients: Vec<ShardClient> = addrs
             .iter()
-            .map(|a| ShardClient::new(a.clone(), config.clone()))
+            .enumerate()
+            .map(|(s, a)| ShardClient::with_obs(a.clone(), config.clone(), obs.client_obs(s)))
             .collect();
         let n = clients.len();
         let mut totals = vec![0usize; n];
@@ -151,6 +176,19 @@ impl Router {
                 )));
             }
         }
+        let degraded = obs.registry().counter(
+            "pane_router_degraded_responses_total",
+            "Responses answered with degraded=true (some shard was down).",
+        );
+        let shards_down = obs.registry().gauge(
+            "pane_router_shards_down",
+            "Shards currently believed down by the router.",
+        );
+        obs.tracer()
+            .event(pane_obs::Level::Info, "router.boot")
+            .int_field("shards", clients.len() as u64)
+            .int_field("nodes", total as u64)
+            .emit();
         let inner = Arc::new(Inner {
             clients,
             half_dim: half_dim.expect("addrs is non-empty"),
@@ -159,6 +197,9 @@ impl Router {
                 dirty: false,
             }),
             probe_interval: config.probe_interval,
+            obs,
+            degraded,
+            shards_down,
         });
         let stop = Arc::new(AtomicBool::new(false));
         let health = {
@@ -263,6 +304,11 @@ impl Router {
             "insert" => self.insert(raw).map(|r| (r, false)),
             "stats" => self.stats().map(|r| (r, false)),
             "compact" | "snapshot" => self.fan_out_write(&op).map(|r| (r, false)),
+            "metrics" => {
+                let mut pairs = vec![("ok", Json::Bool(true)), ("op", Json::str("metrics"))];
+                pairs.extend(metrics_fields(&self.inner.obs));
+                Ok((Json::obj(pairs), false))
+            }
             "shutdown" => Ok((
                 Json::obj(vec![
                     ("ok", Json::Bool(true)),
@@ -272,16 +318,20 @@ impl Router {
             )),
             other => Err(bad(format!(
                 "unknown op '{other}' (similar-nodes | recommend-links | insert | compact | \
-                 snapshot | stats | shutdown)"
+                 snapshot | stats | metrics | shutdown)"
             ))),
         }
     }
 
-    fn response(op: &str, mut fields: Vec<(&str, Json)>, down: &BTreeSet<usize>) -> Json {
+    fn response(&self, op: &str, mut fields: Vec<(&str, Json)>, down: &BTreeSet<usize>) -> Json {
+        self.inner
+            .shards_down
+            .set(self.inner.clients.iter().filter(|c| c.is_down()).count() as i64);
         let mut pairs = vec![("ok", Json::Bool(true)), ("op", Json::str(op))];
         pairs.append(&mut fields);
         pairs.push(("degraded", Json::Bool(!down.is_empty())));
         if !down.is_empty() {
+            self.inner.degraded.inc();
             pairs.push((
                 "shards_down",
                 Json::Arr(down.iter().map(|&s| Json::num(s)).collect()),
@@ -323,7 +373,7 @@ impl Router {
             )));
         }
         if nodes.is_empty() {
-            return Ok(Self::response(
+            return Ok(self.response(
                 op,
                 vec![("results", Json::Arr(Vec::new()))],
                 &BTreeSet::new(),
@@ -391,11 +441,7 @@ impl Router {
             .collect();
         if live.is_empty() {
             let empty = vec![Json::Arr(Vec::new()); nodes.len()];
-            return Ok(Self::response(
-                op,
-                vec![("results", Json::Arr(empty))],
-                &down,
-            ));
+            return Ok(self.response(op, vec![("results", Json::Arr(empty))], &down));
         }
 
         // Phase 2: every daemon answers an unfiltered local search.
@@ -454,11 +500,7 @@ impl Router {
                 .take(k)
                 .collect();
         }
-        Ok(Self::response(
-            op,
-            vec![("results", hits_json(merged_of))],
-            &down,
-        ))
+        Ok(self.response(op, vec![("results", hits_json(merged_of))], &down))
     }
 
     fn insert(&self, raw: &str) -> Result<Json, RouterError> {
@@ -486,7 +528,7 @@ impl Router {
                 } else {
                     count.total += 1;
                 }
-                Ok(Self::response(
+                Ok(self.response(
                     "insert",
                     vec![("id", Json::num(global)), ("shard", Json::num(owner))],
                     &BTreeSet::new(),
@@ -544,7 +586,7 @@ impl Router {
             count.total = nodes;
             count.dirty = false;
         }
-        Ok(Self::response(
+        Ok(self.response(
             "stats",
             vec![
                 ("router", Json::Bool(true)),
@@ -552,6 +594,14 @@ impl Router {
                 ("nodes", Json::num(nodes)),
                 ("half_dim", Json::num(self.inner.half_dim)),
                 ("shard_stats", Json::Arr(per_shard)),
+                (
+                    "uptime_secs",
+                    Json::num(self.inner.obs.uptime_secs() as usize),
+                ),
+                (
+                    "requests_total",
+                    Json::num(self.inner.obs.requests_total() as usize),
+                ),
             ],
             &down,
         ))
@@ -592,20 +642,36 @@ impl Router {
         if let Some(g) = generation {
             fields.push(("generation", Json::num(g)));
         }
-        Ok(Self::response(op, fields, &down))
+        Ok(self.response(op, fields, &down))
     }
 }
 
 impl LineHandler for Router {
     fn handle(&self, line: &str) -> (String, bool) {
+        let started = Instant::now();
         let req = match parse(line) {
             Ok(v) => v,
-            Err(e) => return (error_line(&e.to_string()), false),
+            Err(e) => {
+                self.inner
+                    .obs
+                    .record("unknown", false, None, started.elapsed());
+                return (error_line(&e.to_string()), false);
+            }
         };
-        match self.dispatch(&req, line) {
+        let op = req
+            .get("op")
+            .and_then(Json::as_str)
+            .unwrap_or("unknown")
+            .to_string();
+        let batch = batch_size(&req);
+        let out = self.dispatch(&req, line);
+        let ok = out.is_ok();
+        let (resp, shutdown) = match out {
             Ok((resp, shutdown)) => (resp.to_line(), shutdown),
             Err(e) => (error_line(&e.0), false),
-        }
+        };
+        self.inner.obs.record(&op, ok, batch, started.elapsed());
+        (resp, shutdown)
     }
 }
 
@@ -739,6 +805,41 @@ mod tests {
             .expect("must refuse");
         assert!(err.0.contains("shard 1"), "{err}");
         ha.join().unwrap();
+    }
+
+    #[test]
+    fn router_metrics_op_reports_request_counters_and_shard_health() {
+        // Two fake shards that answer everything with a stats line; the
+        // canned replies satisfy connect() and the stats fan-out alike.
+        let (a, ha) = fake_shard(r#"{"ok":true,"op":"stats","nodes":4,"half_dim":4}"#);
+        let (b, hb) = fake_shard(r#"{"ok":true,"op":"stats","nodes":3,"half_dim":4}"#);
+        let router = Router::connect(&[a, b], config()).unwrap();
+        let ask = |line: &str| {
+            let (resp, _) = router.handle(line);
+            parse(&resp).unwrap()
+        };
+        let stats = ask(r#"{"op":"stats"}"#);
+        assert_eq!(stats.get("ok"), Some(&Json::Bool(true)), "{stats:?}");
+        assert!(stats.get("uptime_secs").unwrap().as_index().is_some());
+        // Recorded after dispatch: the stats request itself is not yet
+        // counted when its response is rendered.
+        assert_eq!(stats.get("requests_total").unwrap().as_index(), Some(0));
+
+        let m = ask(r#"{"op":"metrics"}"#);
+        assert_eq!(m.get("ok"), Some(&Json::Bool(true)), "{m:?}");
+        assert_eq!(m.get("requests_total").unwrap().as_index(), Some(1));
+        let text = m.get("text").unwrap().as_str().unwrap();
+        assert!(
+            text.contains(r#"pane_router_requests_total{op="stats"} 1"#),
+            "{text}"
+        );
+        assert!(text.contains(r#"pane_shard_up{shard="0"} 1"#), "{text}");
+        assert!(text.contains(r#"pane_shard_up{shard="1"} 1"#));
+        assert!(text.contains(r#"pane_shard_connects_total{shard="0"} 1"#));
+        assert!(text.contains("pane_router_degraded_responses_total 0"));
+        drop(router);
+        ha.join().unwrap();
+        hb.join().unwrap();
     }
 
     #[test]

@@ -19,12 +19,14 @@
 //! bound.
 
 use crate::engine::{Hit, QuerySpace, ServeBackend, ServeError, StatusReport};
+use crate::obs::ServeObs;
 use crate::protocol::{parse, Json};
 use pane_linalg::DenseMatrix;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::Instant;
 
 /// Cap on one request (or proxied response) line. A line that exceeds it
 /// is answered with a structured error and the connection is dropped —
@@ -80,6 +82,7 @@ fn status_json(s: &StatusReport) -> Vec<(&'static str, Json)> {
             Json::obj(vec![
                 ("generation", Json::num(store.generation as usize)),
                 ("wal_records", Json::num(store.wal_records)),
+                ("wal_bytes", Json::num(store.wal_bytes as usize)),
                 ("replayed", Json::num(store.replayed)),
             ]),
         ));
@@ -156,7 +159,22 @@ fn require_f64_matrix(req: &Json, key: &str) -> Result<DenseMatrix, ServeError> 
     Ok(DenseMatrix::from_rows(&data))
 }
 
-fn dispatch<B: ServeBackend>(engine: &RwLock<B>, req: &Json) -> Result<(Json, bool), ServeError> {
+/// Batch size of a request, when it has one: the length of its `nodes`
+/// or `queries` array (what the batch-size histograms record).
+pub(crate) fn batch_size(req: &Json) -> Option<usize> {
+    for key in ["nodes", "queries"] {
+        if let Some(Json::Arr(a)) = req.get(key) {
+            return Some(a.len());
+        }
+    }
+    None
+}
+
+fn dispatch<B: ServeBackend>(
+    engine: &RwLock<B>,
+    req: &Json,
+    obs: Option<&ServeObs>,
+) -> Result<(Json, bool), ServeError> {
     let op = req
         .get("op")
         .and_then(Json::as_str)
@@ -236,14 +254,41 @@ fn dispatch<B: ServeBackend>(engine: &RwLock<B>, req: &Json) -> Result<(Json, bo
         }
         "stats" => {
             let status = read_engine(engine).status();
-            Ok((ok(status_json(&status)), false))
+            let mut fields = status_json(&status);
+            if let Some(obs) = obs {
+                fields.push(("uptime_secs", Json::num(obs.uptime_secs() as usize)));
+                fields.push(("requests_total", Json::num(obs.requests_total() as usize)));
+            }
+            Ok((ok(fields), false))
+        }
+        "metrics" => {
+            let Some(obs) = obs else {
+                return Err(ServeError::BadRequest(
+                    "this endpoint serves no metrics (observability is not attached)".into(),
+                ));
+            };
+            Ok((ok(metrics_fields(obs)), false))
         }
         "shutdown" => Ok((ok(vec![]), true)),
         other => Err(ServeError::BadRequest(format!(
             "unknown op '{other}' (similar-nodes | recommend-links | insert | compact | \
-             snapshot | stats | query-vectors | search | shutdown)"
+             snapshot | stats | metrics | query-vectors | search | shutdown)"
         ))),
     }
+}
+
+/// The shared body of a `metrics` response (daemon and router): uptime,
+/// total requests, the JSON metrics object (counters / gauges /
+/// histogram percentiles), and the Prometheus-style text exposition.
+pub(crate) fn metrics_fields(obs: &ServeObs) -> Vec<(&'static str, Json)> {
+    let metrics = parse(&obs.registry().render_json())
+        .expect("render_json stays inside the wire's JSON subset");
+    vec![
+        ("uptime_secs", Json::num(obs.uptime_secs() as usize)),
+        ("requests_total", Json::num(obs.requests_total() as usize)),
+        ("metrics", metrics),
+        ("text", Json::str(&obs.registry().render_text())),
+    ]
 }
 
 /// Handles one request line, returning the response line and whether the
@@ -254,9 +299,64 @@ pub fn handle_line<B: ServeBackend>(engine: &RwLock<B>, line: &str) -> (String, 
         Ok(v) => v,
         Err(e) => return (error_line(&e.to_string()), false),
     };
-    match dispatch(engine, &req) {
+    match dispatch(engine, &req, None) {
         Ok((resp, shutdown)) => (resp.to_line(), shutdown),
         Err(e) => (error_line(&e.to_string()), false),
+    }
+}
+
+/// A [`ServeBackend`] behind a lock **with observability attached**: what
+/// `pane serve` actually runs. Every request line is timed and recorded
+/// into the shared [`ServeObs`] (per-op counters, latency and batch-size
+/// histograms, the slow-query log), and the `metrics` / `stats` ops
+/// answer from the same registry. [`handle_line`] over a bare `RwLock`
+/// remains the uninstrumented path for embedders and tests.
+pub struct ObservedHandler<B: ServeBackend> {
+    engine: RwLock<B>,
+    obs: Arc<ServeObs>,
+}
+
+impl<B: ServeBackend> ObservedHandler<B> {
+    /// Wraps `engine`, first letting it register its own instrumentation
+    /// handles (and emit its boot event) via [`ServeBackend::attach_obs`].
+    pub fn new(mut engine: B, obs: Arc<ServeObs>) -> Self {
+        engine.attach_obs(&obs);
+        Self {
+            engine: RwLock::new(engine),
+            obs,
+        }
+    }
+
+    /// The shared observability state.
+    pub fn obs(&self) -> &Arc<ServeObs> {
+        &self.obs
+    }
+}
+
+impl<B: ServeBackend> LineHandler for ObservedHandler<B> {
+    fn handle(&self, line: &str) -> (String, bool) {
+        let started = Instant::now();
+        let req = match parse(line) {
+            Ok(v) => v,
+            Err(e) => {
+                self.obs.record("unknown", false, None, started.elapsed());
+                return (error_line(&e.to_string()), false);
+            }
+        };
+        let op = req
+            .get("op")
+            .and_then(Json::as_str)
+            .unwrap_or("unknown")
+            .to_string();
+        let batch = batch_size(&req);
+        let out = dispatch(&self.engine, &req, Some(&self.obs));
+        let ok = out.is_ok();
+        let (resp, shutdown) = match out {
+            Ok((resp, shutdown)) => (resp.to_line(), shutdown),
+            Err(e) => (error_line(&e.to_string()), false),
+        };
+        self.obs.record(&op, ok, batch, started.elapsed());
+        (resp, shutdown)
     }
 }
 
@@ -599,6 +699,90 @@ mod tests {
     fn req_any(engine: &RwLock<ServeEngine>, line: &str) -> Json {
         let (resp, _) = handle_line(engine, line);
         parse(&resp).unwrap()
+    }
+
+    #[test]
+    fn observed_handler_serves_metrics_and_instrumented_stats() {
+        use crate::obs::ServeObs;
+        use pane_obs::Tracer;
+        let eng = engine().into_inner().unwrap();
+        let handler = ObservedHandler::new(eng, Arc::new(ServeObs::new(Tracer::disabled())));
+        let ask = |line: &str| {
+            let (resp, _) = handler.handle(line);
+            parse(&resp).unwrap()
+        };
+        // A bare RwLock-backed endpoint refuses the metrics op cleanly.
+        let bare = engine();
+        let (resp, _) = bare.handle(r#"{"op":"metrics"}"#);
+        assert_eq!(parse(&resp).unwrap().get("ok"), Some(&Json::Bool(false)));
+
+        ask(r#"{"op":"similar-nodes","nodes":[0,1,2],"k":3}"#);
+        ask(r#"{"op":"explode"}"#);
+        let stats = ask(r#"{"op":"stats"}"#);
+        assert_eq!(stats.get("ok"), Some(&Json::Bool(true)));
+        assert!(stats.get("uptime_secs").unwrap().as_index().is_some());
+        // similar-nodes + explode + this stats request itself... the
+        // stats line records *after* dispatch, so the count covers the
+        // two prior requests.
+        assert_eq!(stats.get("requests_total").unwrap().as_index(), Some(2));
+
+        let m = ask(r#"{"op":"metrics"}"#);
+        assert_eq!(m.get("ok"), Some(&Json::Bool(true)), "{m:?}");
+        assert_eq!(m.get("requests_total").unwrap().as_index(), Some(3));
+        let text = m.get("text").unwrap().as_str().unwrap();
+        assert!(
+            text.contains(r#"pane_requests_total{op="similar-nodes"} 1"#),
+            "{text}"
+        );
+        assert!(text.contains("pane_request_errors_total 1"));
+        let counters = m.get("metrics").unwrap().get("counters").unwrap();
+        assert_eq!(
+            counters
+                .get(r#"pane_requests_total{op="similar-nodes"}"#)
+                .unwrap()
+                .as_index(),
+            Some(1)
+        );
+        // The batch-size histogram saw the 3-node batch.
+        let hists = m.get("metrics").unwrap().get("histograms").unwrap();
+        let batch = hists
+            .get(r#"pane_request_batch_size{op="similar-nodes"}"#)
+            .unwrap();
+        assert_eq!(batch.get("count").unwrap().as_index(), Some(1));
+    }
+
+    #[test]
+    fn store_backed_stats_report_wal_bytes() {
+        let dir = std::env::temp_dir().join(format!("pane_server_walb_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let g = generate_sbm(&SbmConfig {
+            nodes: 40,
+            communities: 2,
+            avg_out_degree: 4.0,
+            attributes: 10,
+            attrs_per_node: 3.0,
+            seed: 6,
+            ..Default::default()
+        });
+        let emb = Pane::new(PaneConfig::builder().dimension(8).seed(1).build())
+            .embed(&g)
+            .unwrap();
+        pane_store::Store::init(&dir, &emb, &IndexSpec::Flat, &IndexSpec::Flat, 1).unwrap();
+        let eng = RwLock::new(ServeEngine::open(&dir, 1).unwrap());
+        let stats = req_any(&eng, r#"{"op":"stats"}"#);
+        let store = stats.get("store").expect("store block present");
+        // Empty WAL: just the 8-byte magic header.
+        assert_eq!(store.get("wal_bytes").unwrap().as_index(), Some(8));
+        let vec_json = "[0.1,0.2,0.3,0.4]";
+        req_any(
+            &eng,
+            &format!(r#"{{"op":"insert","forward":{vec_json},"backward":{vec_json}}}"#),
+        );
+        let stats = req_any(&eng, r#"{"op":"stats"}"#);
+        let store = stats.get("store").unwrap();
+        // magic + header + ids + 2 * 4 floats = 8 + 16 + 16 + 64.
+        assert_eq!(store.get("wal_bytes").unwrap().as_index(), Some(104));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

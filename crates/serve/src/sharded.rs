@@ -31,17 +31,23 @@ use crate::engine::{
     Hit, IndexStats, QuerySpace, ServeBackend, ServeEngine, ServeError, SnapshotOutcome,
     StatusReport, StoreReport,
 };
+use crate::obs::ServeObs;
 use pane_index::topk;
 use pane_index::VectorIndex;
 use pane_linalg::DenseMatrix;
+use pane_obs::{latency_buckets, Histogram};
 use pane_parallel::{even_ranges_nonempty, map_blocks};
 use pane_store::{global_of, local_of, shard_of, ShardedStore};
 use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// N shard engines behind one global id space. See the [module docs](self).
 pub struct ShardedEngine {
     shards: Vec<ServeEngine>,
     threads: usize,
+    /// Fan-out + merge latency (unregistered until `attach_obs`).
+    fanout: Arc<Histogram>,
 }
 
 impl ShardedEngine {
@@ -55,6 +61,7 @@ impl ShardedEngine {
                 .map(|o| ServeEngine::from_open_store(o, threads))
                 .collect(),
             threads,
+            fanout: Arc::new(Histogram::new(&latency_buckets())),
         })
     }
 
@@ -95,6 +102,7 @@ impl ShardedEngine {
         fetch: usize,
         pick: impl Sync + Fn(&ServeEngine) -> &dyn VectorIndex,
     ) -> Vec<Vec<Hit>> {
+        let started = Instant::now();
         let n_shards = self.shards.len();
         let groups = even_ranges_nonempty(n_shards, self.threads.min(n_shards));
         let inner_threads = (self.threads / groups.len()).max(1);
@@ -106,7 +114,7 @@ impl ShardedEngine {
         .into_iter()
         .flatten()
         .collect();
-        (0..queries.rows())
+        let merged = (0..queries.rows())
             .map(|qi| {
                 topk::select(
                     per_shard.iter().enumerate().flat_map(|(s, batched)| {
@@ -123,7 +131,9 @@ impl ShardedEngine {
                 })
                 .collect()
             })
-            .collect()
+            .collect();
+        self.fanout.observe_duration(started.elapsed());
+        merged
     }
 }
 
@@ -267,6 +277,12 @@ impl ServeBackend for ShardedEngine {
                 .filter_map(|s| s.store_report())
                 .map(|r| r.wal_records)
                 .sum(),
+            wal_bytes: self
+                .shards
+                .iter()
+                .filter_map(|s| s.store_report())
+                .map(|r| r.wal_bytes)
+                .sum(),
             replayed: self
                 .shards
                 .iter()
@@ -282,6 +298,13 @@ impl ServeBackend for ShardedEngine {
             link_index: sum_stats(ServeEngine::link_stats),
             store,
             shards: Some(self.shards.len()),
+        }
+    }
+
+    fn attach_obs(&mut self, obs: &ServeObs) {
+        self.fanout = obs.fanout_histogram();
+        for (s, shard) in self.shards.iter_mut().enumerate() {
+            shard.set_engine_obs(obs.engine_obs(Some(s)));
         }
     }
 }

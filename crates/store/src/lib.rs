@@ -40,7 +40,7 @@ pub use store::{
     build_bases, read_status, OpenStore, Store, StoreStatus, EMBEDDING_FILE, LINK_INDEX_FILE,
     NODE_INDEX_FILE, WAL_FILE,
 };
-pub use wal::{replay as replay_wal, Wal, WalRecord, WalReplay, WAL_MAGIC};
+pub use wal::{replay as replay_wal, Wal, WalAppend, WalRecord, WalReplay, WAL_MAGIC};
 
 /// Errors from the durable store layer.
 #[derive(Debug)]

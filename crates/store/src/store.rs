@@ -304,15 +304,17 @@ impl Store {
 
     /// Durably records one insert. Must be called (and must succeed)
     /// **before** the in-memory insert is acknowledged to any client.
+    /// Returns the WAL append report (record bytes, write/sync timing)
+    /// so the serving layer can meter durability cost.
     pub fn append(
         &mut self,
         node_id: usize,
         forward: &[f64],
         backward: &[f64],
-    ) -> Result<(), StoreError> {
-        self.wal.append(node_id as u64, forward, backward)?;
+    ) -> Result<wal::WalAppend, StoreError> {
+        let report = self.wal.append(node_id as u64, forward, backward)?;
         self.wal_records += 1;
-        Ok(())
+        Ok(report)
     }
 
     /// Commits a new base generation: writes `emb` and the two compacted
@@ -387,6 +389,11 @@ impl Store {
     /// Records currently in the WAL (replayed at open + appended since).
     pub fn wal_records(&self) -> usize {
         self.wal_records
+    }
+
+    /// Current WAL size in bytes (magic header included).
+    pub fn wal_bytes(&self) -> u64 {
+        self.wal.len_bytes()
     }
 
     /// Records replayed from the WAL when this handle was opened.
@@ -658,6 +665,43 @@ mod tests {
             other => panic!("expected WAL error, got {other:?}"),
         }
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wal_bytes_grow_with_appends_and_reset_on_snapshot() {
+        let dir = tmpdir("walbytes");
+        let emb = fixture(40, 4);
+        let k2 = emb.forward.cols();
+        Store::init(&dir, &emb, &IndexSpec::Flat, &IndexSpec::Flat, 1).unwrap();
+        let mut opened = Store::open(&dir).unwrap();
+        assert_eq!(opened.store.wal_bytes(), 8, "fresh log is just the magic");
+        let row: Vec<f64> = vec![0.5; k2];
+        let report = opened.store.append(40, &row, &row).unwrap();
+        assert_eq!(report.bytes, (16 + 16 + 16 * k2) as u64);
+        assert_eq!(opened.store.wal_bytes(), 8 + report.bytes);
+        opened.embedding.forward.push_row(&row);
+        opened.embedding.backward.push_row(&row);
+        let (node, link) = build_bases(&opened.embedding, &IndexSpec::Flat, &IndexSpec::Flat, 1);
+        opened
+            .store
+            .snapshot(&opened.embedding, &node, &link)
+            .unwrap();
+        assert_eq!(opened.store.wal_bytes(), 8, "snapshot folds the log");
+        drop(opened);
+        // Reopen with a non-empty WAL: the byte count is seeded from the
+        // replayed clean prefix, not reset to the magic.
+        let mut reopened = Store::open(&dir).unwrap();
+        let r = reopened.store.append(41, &row, &row).unwrap();
+        drop_bytes_check(&dir, 8 + r.bytes);
+        assert_eq!(reopened.store.wal_bytes(), 8 + r.bytes);
+        drop(reopened);
+        let opened = Store::open(&dir).unwrap();
+        assert_eq!(opened.store.wal_bytes(), 8 + r.bytes);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn drop_bytes_check(dir: &Path, want: u64) {
+        assert_eq!(std::fs::metadata(dir.join(WAL_FILE)).unwrap().len(), want);
     }
 
     #[test]

@@ -39,6 +39,7 @@ use crate::StoreError;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
 
 /// Magic bytes of the insert-ahead log (version 1).
 pub const WAL_MAGIC: &[u8; 8] = b"PANEWAL1";
@@ -95,6 +96,20 @@ fn serialize_payload(node_id: u64, forward: &[f64], backward: &[f64]) -> Vec<u8>
     payload
 }
 
+/// What one [`Wal::append`] did, for the caller's instrumentation: how
+/// many bytes the record added and how the wall time split between the
+/// buffered write and the `sync_data` barrier (the barrier dominates on
+/// real disks — it is the per-insert durability cost).
+#[derive(Debug, Clone, Copy)]
+pub struct WalAppend {
+    /// Record size on disk (header + payload).
+    pub bytes: u64,
+    /// Time spent in `write_all`.
+    pub write: Duration,
+    /// Time spent in `sync_data`.
+    pub sync: Duration,
+}
+
 /// Append handle over a `PANEWAL1` file. Every append is flushed and
 /// synced before it returns — an acknowledged insert survives a hard
 /// kill of the process.
@@ -102,6 +117,9 @@ fn serialize_payload(node_id: u64, forward: &[f64], backward: &[f64]) -> Vec<u8>
 pub struct Wal {
     path: PathBuf,
     file: File,
+    /// Current log length in bytes (magic included); mirrors the file so
+    /// status reporting never needs a `metadata` syscall.
+    len: u64,
 }
 
 impl Wal {
@@ -117,6 +135,7 @@ impl Wal {
         Ok(Self {
             path: path.to_path_buf(),
             file,
+            len: WAL_MAGIC.len() as u64,
         })
     }
 
@@ -133,26 +152,37 @@ impl Wal {
         Ok(Self {
             path: path.to_path_buf(),
             file,
+            len: valid_len,
         })
     }
 
     /// Appends one insert record and syncs it to disk. Only after this
-    /// returns may the insert be acknowledged.
+    /// returns may the insert be acknowledged. Returns the record size
+    /// and the write/sync timing split for instrumentation.
     pub fn append(
         &mut self,
         node_id: u64,
         forward: &[f64],
         backward: &[f64],
-    ) -> Result<(), StoreError> {
+    ) -> Result<WalAppend, StoreError> {
         debug_assert_eq!(forward.len(), backward.len());
         let payload = serialize_payload(node_id, forward, backward);
         let mut record = Vec::with_capacity(16 + payload.len());
         record.extend_from_slice(&(payload.len() as u64).to_le_bytes());
         record.extend_from_slice(&fnv1a(&payload).to_le_bytes());
         record.extend_from_slice(&payload);
+        let t0 = Instant::now();
         self.file.write_all(&record)?;
+        let write = t0.elapsed();
+        let t1 = Instant::now();
         self.file.sync_data()?;
-        Ok(())
+        let sync = t1.elapsed();
+        self.len += record.len() as u64;
+        Ok(WalAppend {
+            bytes: record.len() as u64,
+            write,
+            sync,
+        })
     }
 
     /// Truncates the log back to just the magic (after a snapshot folded
@@ -161,7 +191,13 @@ impl Wal {
         self.file.set_len(WAL_MAGIC.len() as u64)?;
         self.file.seek(SeekFrom::Start(WAL_MAGIC.len() as u64))?;
         self.file.sync_data()?;
+        self.len = WAL_MAGIC.len() as u64;
         Ok(())
+    }
+
+    /// Current log length in bytes, magic included.
+    pub fn len_bytes(&self) -> u64 {
+        self.len
     }
 
     /// Path of the underlying file.
@@ -316,6 +352,25 @@ mod tests {
         assert!(matches!(replay(&p), Err(StoreError::Format(_))));
         std::fs::write(&p, b"PAN").unwrap();
         assert!(matches!(replay(&p), Err(StoreError::Format(_))));
+    }
+
+    #[test]
+    fn append_reports_bytes_and_len_tracks_file() {
+        let p = tmp("lenbytes.wal");
+        let mut wal = Wal::create(&p).unwrap();
+        assert_eq!(wal.len_bytes(), 8);
+        let a = wal.append(3, &[1.0, 2.0], &[3.0, 4.0]).unwrap();
+        // header(16) + payload(16 + 16·k2) with k2 = 2.
+        assert_eq!(a.bytes, 16 + 16 + 16 * 2);
+        assert_eq!(wal.len_bytes(), 8 + a.bytes);
+        assert_eq!(wal.len_bytes(), std::fs::metadata(&p).unwrap().len());
+        // Reopen at the replayed prefix: the mirror picks up where the
+        // file really is; truncate resets it to the bare magic.
+        let r = replay(&p).unwrap();
+        let mut wal = Wal::open_at(&p, r.valid_len).unwrap();
+        assert_eq!(wal.len_bytes(), r.valid_len);
+        wal.truncate().unwrap();
+        assert_eq!(wal.len_bytes(), 8);
     }
 
     #[test]

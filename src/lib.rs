@@ -47,6 +47,7 @@
 //! | [`pane_index`] | ANN serving layer: exact / IVF / HNSW vector indexes over the embeddings |
 //! | [`pane_store`] | durable store layer: insert-ahead log, generation snapshots, sharded roots |
 //! | [`pane_serve`] | shared-index serving daemon: JSON-lines protocol, durable incremental inserts |
+//! | [`pane_obs`] | observability: atomic metrics registry, JSON-lines tracing, slow-query log |
 //! | [`pane_eval`] | attribute inference / link prediction / node classification + metrics |
 //! | [`pane_baselines`] | competitor stand-ins (NRP-, TADW-, CAN-, BLA-like, SVD baselines, PANE-R) |
 //! | [`pane_datasets`] | the eight dataset analogues of Table 3 |
@@ -62,6 +63,7 @@ pub use pane_eval;
 pub use pane_graph;
 pub use pane_index;
 pub use pane_linalg;
+pub use pane_obs;
 pub use pane_parallel;
 pub use pane_serve;
 pub use pane_sparse;

@@ -329,6 +329,100 @@ fn dead_shard_degrades_reads_and_recovers_after_restart() {
 }
 
 #[test]
+fn router_metrics_track_queries_and_shard_death_over_live_daemons() {
+    const N: usize = 60;
+    const SHARDS: usize = 2;
+    const DEAD: usize = 1;
+    let emb = fixture(N);
+    let root = tmp_root("metrics");
+    ShardedStore::init(&root, &emb, &IndexSpec::Flat, &IndexSpec::Flat, SHARDS, 1).unwrap();
+
+    let mut daemons: Vec<ShardDaemon> = (0..SHARDS)
+        .map(|s| start_daemon(&shard_dir(&root, s), None))
+        .collect();
+    let addrs: Vec<String> = daemons.iter().map(|d| d.addr.to_string()).collect();
+    let router = Router::connect(&addrs, client_config()).unwrap();
+
+    // Healthy traffic: two queries and a stats probe.
+    let query = r#"{"op":"similar-nodes","nodes":[1,5,9],"k":4}"#;
+    for _ in 0..2 {
+        let resp = ask(&router, query);
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{resp:?}");
+    }
+    let st = ask(&router, r#"{"op":"stats"}"#);
+    assert_eq!(
+        st.get("uptime_secs").map(|v| v.as_f64().is_some()),
+        Some(true)
+    );
+    assert_eq!(st.get("requests_total").unwrap().as_index(), Some(2));
+
+    let m = ask(&router, r#"{"op":"metrics"}"#);
+    assert_eq!(m.get("ok"), Some(&Json::Bool(true)), "{m:?}");
+    let text = m.get("text").unwrap().as_str().unwrap().to_string();
+    assert!(
+        text.contains(r#"pane_router_requests_total{op="similar-nodes"} 2"#),
+        "query counter missing:\n{text}"
+    );
+    assert!(text.contains("pane_router_degraded_responses_total 0"));
+    assert!(text.contains(r#"pane_shard_up{shard="0"} 1"#));
+    assert!(text.contains(r#"pane_shard_up{shard="1"} 1"#));
+    // The JSON form is live too, and agrees on the request count.
+    let counters = m.get("metrics").unwrap().get("counters").unwrap();
+    assert_eq!(
+        counters
+            .get(r#"pane_router_requests_total{op="similar-nodes"}"#)
+            .unwrap()
+            .as_index(),
+        Some(2)
+    );
+
+    // Kill one daemon; a degraded query must flip the health metrics.
+    daemons[DEAD].stop();
+    let resp = ask(&router, query);
+    assert_eq!(resp.get("degraded"), Some(&Json::Bool(true)), "{resp:?}");
+
+    let m = ask(&router, r#"{"op":"metrics"}"#);
+    let text = m.get("text").unwrap().as_str().unwrap().to_string();
+    assert!(
+        text.contains(r#"pane_shard_up{shard="1"} 0"#),
+        "dead shard still marked up:\n{text}"
+    );
+    let gauges = m.get("metrics").unwrap().get("gauges").unwrap();
+    assert_eq!(
+        gauges.get("pane_router_shards_down").unwrap().as_index(),
+        Some(1)
+    );
+    let counters = m.get("metrics").unwrap().get("counters").unwrap();
+    let degraded = counters
+        .get("pane_router_degraded_responses_total")
+        .unwrap()
+        .as_f64()
+        .unwrap();
+    assert!(degraded >= 1.0, "degraded counter did not move: {degraded}");
+    let retries = counters
+        .get(r#"pane_shard_retries_total{shard="1"}"#)
+        .unwrap()
+        .as_f64()
+        .unwrap();
+    assert!(retries >= 1.0, "retry counter did not move: {retries}");
+    assert!(
+        counters
+            .get(r#"pane_shard_down_transitions_total{shard="1"}"#)
+            .unwrap()
+            .as_f64()
+            .unwrap()
+            >= 1.0
+    );
+
+    drop(router);
+    daemons.remove(DEAD);
+    for d in &mut daemons {
+        d.stop();
+    }
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
 fn inserts_stats_and_snapshot_work_through_a_routed_tcp_session() {
     const N: usize = 60;
     const SHARDS: usize = 2;

@@ -9,10 +9,110 @@
 //! best-of-N or mean-of-N wall-clock numbers untrustworthy.
 
 use std::fmt::Display;
+use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 /// Re-export of the standard optimization barrier, matching criterion's.
 pub use std::hint::black_box;
+
+/// One finished benchmark: the statistics behind its printed line.
+struct Recorded {
+    label: String,
+    median_s: f64,
+    mad_s: f64,
+    samples: usize,
+}
+
+/// Finished benchmarks plus free-form [`note`] context entries.
+type Collected = (Vec<Recorded>, Vec<(String, String)>);
+
+/// Process-wide results collector feeding [`write_json_report`].
+fn collector() -> &'static Mutex<Collected> {
+    static C: OnceLock<Mutex<Collected>> = OnceLock::new();
+    C.get_or_init(|| Mutex::new((Vec::new(), Vec::new())))
+}
+
+/// Records a machine-readable context entry (dataset size, parameter
+/// choices, derived ratios) alongside the timing results in the JSON
+/// report. Later notes with the same key override earlier ones.
+pub fn note(key: impl Display, value: impl Display) {
+    let mut c = collector().lock().unwrap();
+    let key = key.to_string();
+    c.1.retain(|(k, _)| *k != key);
+    c.1.push((key, value.to_string()));
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Renders every benchmark recorded so far (plus the [`note`] entries)
+/// as one JSON object: `{"results":[…],"notes":{…}}`.
+pub fn render_json() -> String {
+    let c = collector().lock().unwrap();
+    let mut out = String::from("{\"results\":[");
+    for (i, r) in c.0.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"label\":\"{}\",\"median_s\":{},\"mad_s\":{},\"samples\":{}}}",
+            json_escape(&r.label),
+            json_num(r.median_s),
+            json_num(r.mad_s),
+            r.samples
+        ));
+    }
+    out.push_str("],\"notes\":{");
+    for (i, (k, v)) in c.1.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":\"{}\"", json_escape(k), json_escape(v)));
+    }
+    out.push_str("}}");
+    out
+}
+
+/// Writes the JSON report to `path` (trailing newline included).
+pub fn write_json_to(path: &std::path::Path) -> std::io::Result<()> {
+    std::fs::write(path, render_json() + "\n")
+}
+
+/// Writes the JSON report to the path named by the `PANE_BENCH_JSON`
+/// environment variable, if set. Called by the `criterion_main!`
+/// expansion after all groups finish, so every bench binary emits a
+/// machine-readable artifact when asked — no per-bench code needed.
+pub fn write_json_report() {
+    if let Ok(path) = std::env::var("PANE_BENCH_JSON") {
+        if path.is_empty() {
+            return;
+        }
+        let path = std::path::PathBuf::from(path);
+        if let Err(e) = write_json_to(&path) {
+            eprintln!("cannot write bench report {}: {e}", path.display());
+        } else {
+            println!("wrote bench report {}", path.display());
+        }
+    }
+}
 
 /// Top-level benchmark driver handed to every `criterion_group!` target.
 #[derive(Debug, Default)]
@@ -124,6 +224,12 @@ fn run_one(group: &str, id: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher
             "bench {label}: median {med:.6} s ± {mad:.6} s (MAD, n={})",
             b.samples.len()
         );
+        collector().lock().unwrap().0.push(Recorded {
+            label,
+            median_s: med,
+            mad_s: mad,
+            samples: b.samples.len(),
+        });
     }
 }
 
@@ -208,6 +314,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::write_json_report();
         }
     };
 }
@@ -253,6 +360,35 @@ mod tests {
         let (med, mad) = median_mad(&[5.0, 5.0, 5.0]);
         assert_eq!(med, 5.0);
         assert_eq!(mad, 0.0);
+    }
+
+    #[test]
+    fn json_report_collects_results_and_notes() {
+        run_one("json", "case", 2, &mut |b| b.iter(|| black_box(1)));
+        note("edges", 123);
+        note("edges", 456); // same key: later note wins
+        let json = render_json();
+        assert!(json.contains("\"label\":\"json/case\""), "{json}");
+        assert!(json.contains("\"samples\":2"), "{json}");
+        assert!(json.contains("\"edges\":\"456\""), "{json}");
+        assert!(!json.contains("\"edges\":\"123\""), "{json}");
+
+        let path = std::env::temp_dir().join(format!("pane_bench_json_{}", std::process::id()));
+        write_json_to(&path).unwrap();
+        let back = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            back.starts_with('{') && back.trim_end().ends_with('}'),
+            "{back}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        assert_eq!(json_escape(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(json_escape("x\ny"), "x\\u000ay");
+        assert_eq!(json_num(f64::NAN), "0");
+        assert_eq!(json_num(0.25), "0.25");
     }
 
     #[test]
