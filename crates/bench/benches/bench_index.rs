@@ -5,13 +5,26 @@
 //! `PANE_INDEX_NODES`) and derives a 64-d unit feature vector per node
 //! from its community plus per-node seeded noise — the same clustered
 //! geometry real `[X_f ‖ X_b]` features have, without paying for a full
-//! embedding run inside a bench. All three indexes are built once; the
+//! embedding run inside a bench. All four indexes are built once; the
 //! benchmark then times a 100-query top-10 workload per index and prints
-//! each approximate index's recall@10 against the flat ground truth.
+//! each approximate index's recall@10 against the flat ground truth —
+//! for the scalar-quantized index both self-contained (dequantized
+//! re-rank) and with exact re-rank against the resident `f64` rows,
+//! alongside the ~8× resident-byte saving.
+//!
+//! Two further groups cover the storage layer: `store_boot` times
+//! loading a ≥100k-row embedding generation written as a legacy
+//! `PANEEMB1` stream vs a columnar `PANECOL1` container (the zero-parse
+//! bulk read), and `init_crossover` times GreedyInit (Algorithm 3) vs
+//! SMGreedyInit (Algorithm 7) on a tall affinity matrix, where the
+//! split–merge factorization overtakes the single global RandSVD.
 
 use criterion::{criterion_group, criterion_main, note, Criterion};
 use pane_graph::gen::{generate_sbm, SbmConfig};
-use pane_index::{FlatIndex, HnswConfig, HnswIndex, IvfConfig, IvfIndex, Metric, VectorIndex};
+use pane_index::{
+    FlatIndex, HnswConfig, HnswIndex, IvfConfig, IvfIndex, Metric, SqConfig, SqFlatIndex,
+    VectorIndex,
+};
 use pane_linalg::{vecops, DenseMatrix, NormalSampler};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -28,6 +41,7 @@ struct Fixture {
     flat: FlatIndex,
     ivf: IvfIndex,
     hnsw: HnswIndex,
+    sq: SqFlatIndex,
 }
 
 static FIXTURE: OnceLock<Fixture> = OnceLock::new();
@@ -90,7 +104,13 @@ fn fixture() -> &'static Fixture {
         let t0 = Instant::now();
         let hnsw = HnswIndex::build(&data, Metric::Cosine, &HnswConfig::default());
         let t_hnsw = t0.elapsed().as_secs_f64();
-        eprintln!("index build over n={n}: flat {t_flat:.2}s, ivf {t_ivf:.2}s, hnsw {t_hnsw:.2}s");
+        let t0 = Instant::now();
+        let sq = SqFlatIndex::build(&data, Metric::Cosine, SqConfig::default());
+        let t_sq = t0.elapsed().as_secs_f64();
+        eprintln!(
+            "index build over n={n}: flat {t_flat:.2}s, ivf {t_ivf:.2}s, hnsw {t_hnsw:.2}s, \
+             sqflat {t_sq:.2}s"
+        );
         note("nodes", n);
         note("dim", DIM);
         note("k", K);
@@ -98,12 +118,33 @@ fn fixture() -> &'static Fixture {
         note("build_flat_s", format!("{t_flat:.3}"));
         note("build_ivf_s", format!("{t_ivf:.3}"));
         note("build_hnsw_s", format!("{t_hnsw:.3}"));
+        note("build_sqflat_s", format!("{t_sq:.3}"));
+        // The 8× RAM story: flat keeps n·dim f64s resident, sqflat keeps
+        // n·dim i8 codes + one f64 scale per row.
+        let flat_bytes = n * DIM * std::mem::size_of::<f64>();
+        let sq_bytes = sq.resident_bytes();
+        eprintln!(
+            "resident bytes: flat {flat_bytes}, sqflat {sq_bytes} ({:.2}x smaller)",
+            flat_bytes as f64 / sq_bytes as f64
+        );
+        note("flat_resident_bytes", flat_bytes);
+        note("sqflat_resident_bytes", sq_bytes);
+        note(
+            "sqflat_compression",
+            format!("{:.2}", flat_bytes as f64 / sq_bytes as f64),
+        );
 
         let queries: Vec<usize> = (0..NUM_QUERIES).map(|i| (i * n) / NUM_QUERIES).collect();
         let truth = search_all(&flat, &data, &queries);
+        let sq_rerank: Vec<Vec<pane_index::Neighbor>> = queries
+            .iter()
+            .map(|&v| sq.search_rerank(data.row(v), K, &data))
+            .collect();
         for (name, hits) in [
             ("ivf", search_all(&ivf, &data, &queries)),
             ("hnsw", search_all(&hnsw, &data, &queries)),
+            ("sqflat_dequant", search_all(&sq, &data, &queries)),
+            ("sqflat_exact_rerank", sq_rerank),
         ] {
             let mut overlap = 0;
             let mut total = 0;
@@ -129,6 +170,7 @@ fn fixture() -> &'static Fixture {
             flat,
             ivf,
             hnsw,
+            sq,
         }
     })
 }
@@ -157,6 +199,122 @@ fn bench_search(c: &mut Criterion) {
     group.bench_function("hnsw_ef64_100q", |b| {
         b.iter(|| search_all(&f.hnsw, &f.data, &f.queries))
     });
+    group.bench_function("sqflat_dequant_100q", |b| {
+        b.iter(|| search_all(&f.sq, &f.data, &f.queries))
+    });
+    group.bench_function("sqflat_exact_rerank_100q", |b| {
+        b.iter(|| {
+            f.queries
+                .iter()
+                .map(|&v| f.sq.search_rerank(f.data.row(v), K, &f.data))
+                .collect::<Vec<_>>()
+        })
+    });
+    group.finish();
+}
+
+/// Generation boot time: a ≥100k-row embedding artifact written as a
+/// legacy `PANEEMB1` stream vs a columnar `PANECOL1` container. The
+/// columnar path validates the section table against the file length,
+/// then does one bulk read into aligned memory — no per-element parse.
+fn bench_boot(c: &mut Criterion) {
+    use pane_core::{PaneEmbedding, PaneTimings};
+
+    const BOOT_ROWS: usize = 100_000;
+    const BOOT_K2: usize = 32;
+    let mut rng = StdRng::seed_from_u64(77);
+    let mut sampler = NormalSampler::new();
+    let mut fill = |rows: usize, cols: usize| {
+        let mut m = DenseMatrix::zeros(rows, cols);
+        for v in m.data_mut() {
+            *v = sampler.sample(&mut rng);
+        }
+        m
+    };
+    let emb = PaneEmbedding {
+        forward: fill(BOOT_ROWS, BOOT_K2),
+        backward: fill(BOOT_ROWS, BOOT_K2),
+        attribute: fill(64, BOOT_K2),
+        timings: PaneTimings::default(),
+        objective: f64::NAN,
+    };
+    let dir = std::env::temp_dir().join(format!("pane_bench_boot_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let legacy = dir.join("emb_legacy.bin");
+    let columnar = dir.join("emb_columnar.bin");
+    pane_core::save_binary(&emb, &legacy).unwrap();
+    pane_core::save_columns(&emb, &columnar).unwrap();
+    note("boot_rows", BOOT_ROWS);
+    note("boot_half_dim", BOOT_K2);
+    note(
+        "boot_legacy_bytes",
+        std::fs::metadata(&legacy).unwrap().len(),
+    );
+    note(
+        "boot_columnar_bytes",
+        std::fs::metadata(&columnar).unwrap().len(),
+    );
+
+    let mut group = c.benchmark_group(format!("store_boot/n={BOOT_ROWS}"));
+    group.sample_size(10);
+    group.bench_function("legacy_parse", |b| {
+        b.iter(|| pane_core::load_binary(&legacy).unwrap())
+    });
+    group.bench_function("columnar_bulk", |b| {
+        b.iter(|| pane_core::load_binary(&columnar).unwrap())
+    });
+    group.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// GreedyInit (Algorithm 3) vs SMGreedyInit (Algorithm 7) on a tall
+/// affinity matrix (`n ≫ d`): one global RandSVD sketches an `n×d`
+/// matrix, while split–merge factorizes `nb` short blocks and merges the
+/// right factors with one small SVD — the crossover the paper's §4.4
+/// claims for multi-core tall inputs. Both algorithms run at 1 and 4
+/// threads so the recorded numbers separate the two effects: serially,
+/// split–merge pays its merge overhead (it should trail by a few
+/// percent); with real cores the independent blocks scale and it
+/// overtakes. On a single-core runner the t4 rows equal the t1 rows.
+fn bench_init_crossover(c: &mut Criterion) {
+    use pane_core::{greedy_init, sm_greedy_init, InitOptions};
+
+    const TALL_N: usize = 24_000;
+    const TALL_D: usize = 48;
+    let mut rng = StdRng::seed_from_u64(31);
+    let mut sampler = NormalSampler::new();
+    let mut fill = |rows: usize, cols: usize| {
+        let mut m = DenseMatrix::zeros(rows, cols);
+        for v in m.data_mut() {
+            *v = sampler.sample(&mut rng);
+        }
+        m
+    };
+    let f = fill(TALL_N, TALL_D);
+    let b_aff = fill(TALL_N, TALL_D);
+    let opts = InitOptions {
+        half_dim: 16,
+        power_iters: 3,
+        oversample: 8,
+        seed: 5,
+    };
+    note("crossover_rows", TALL_N);
+    note("crossover_cols", TALL_D);
+    note(
+        "crossover_host_cpus",
+        std::thread::available_parallelism().map_or(0, |n| n.get()),
+    );
+
+    let mut group = c.benchmark_group(format!("init_crossover/n={TALL_N}x{TALL_D}"));
+    group.sample_size(10);
+    for threads in [1usize, 4] {
+        group.bench_function(format!("greedy_t{threads}"), |bch| {
+            bch.iter(|| greedy_init(&f, &b_aff, &opts, threads))
+        });
+        group.bench_function(format!("sm_greedy_t{threads}"), |bch| {
+            bch.iter(|| sm_greedy_init(&f, &b_aff, &opts, threads))
+        });
+    }
     group.finish();
 }
 
@@ -176,5 +334,11 @@ fn bench_batch(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(index_benches, bench_search, bench_batch);
+criterion_group!(
+    index_benches,
+    bench_search,
+    bench_batch,
+    bench_boot,
+    bench_init_crossover
+);
 criterion_main!(index_benches);

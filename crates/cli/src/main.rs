@@ -8,10 +8,10 @@
 //! pane stats    --edges E.txt [--attrs A.txt] [--labels L.txt] [--undirected]
 //! pane topk     --embedding EMB [--text] --node V [--k 10]
 //!               [--mode attrs|links|similar]
-//! pane index build  --embedding EMB [--text] [--kind flat|ivf|hnsw]
+//! pane index build  --embedding EMB [--text] [--kind flat|ivf|hnsw|sqflat]
 //!                   [--space similar|links] [--lists 64] [--nprobe 8]
-//!                   [--m 16] [--efc 100] [--ef 64] [--seed 0] [--threads 1]
-//!                   --output IDX
+//!                   [--m 16] [--efc 100] [--ef 64] [--rerank 4]
+//!                   [--seed 0] [--threads 1] --output IDX
 //! pane index search --index IDX --embedding EMB [--text]
 //!                   (--node V | --nodes V1,V2,…) [--k 10]
 //!                   [--space similar|links] [--nprobe N] [--ef N] [--threads 1]
@@ -29,9 +29,11 @@
 //! pane metrics      --addr ADDR [--json]
 //!                   [--connect-timeout-ms 1000] [--request-timeout-ms 10000]
 //! pane store init     --embedding EMB [--text] --dir DIR [--shards N]
-//!                     [--kind flat|ivf|hnsw + build params] [--threads 1]
+//!                     [--kind flat|ivf|hnsw|sqflat + build params]
+//!                     [--format columnar|legacy] [--threads 1]
 //! pane store snapshot --dir DIR [--threads 1]
 //! pane store status   --dir DIR
+//! pane store migrate  --dir DIR
 //! ```
 //!
 //! Graph-loading commands (`embed`, `stats`, `evaluate`, `convert`)
@@ -96,7 +98,7 @@ fn print_help() {
            serve     run the shared-index serving daemon (JSON-lines over TCP or stdio)\n\
            route     run the merging query router over shard daemons (same protocol)\n\
            metrics   scrape a live serve/route endpoint's metrics (Prometheus text or JSON)\n\
-           store     manage durable store directories (init / snapshot / status)\n\
+           store     manage durable store directories (init / snapshot / status / migrate)\n\
            evaluate  run the three-task quality report on a graph\n\
            convert   convert a text graph to the fast binary format (or back)\n\n\
          run `pane <command>` with no options to see its usage in the error message."
@@ -374,6 +376,7 @@ fn cmd_index_build(raw: Vec<String>) -> CliResult {
         "m",
         "efc",
         "ef",
+        "rerank",
         "seed",
         "threads",
         "output",
@@ -407,7 +410,14 @@ fn cmd_index_build(raw: Vec<String>) -> CliResult {
                 seed: a.get_parsed("seed", 0u64)?,
             },
         )),
-        other => return Err(format!("unknown index kind '{other}' (flat|ivf|hnsw)").into()),
+        "sqflat" => AnyIndex::SqFlat(pane_index::SqFlatIndex::build(
+            &vectors,
+            metric,
+            pane_index::SqConfig {
+                rerank: a.get_parsed("rerank", pane_index::SqConfig::default().rerank)?,
+            },
+        )),
+        other => return Err(format!("unknown index kind '{other}' (flat|ivf|hnsw|sqflat)").into()),
     };
     index.save(&output)?;
     eprintln!(
@@ -535,7 +545,10 @@ fn spec_from_args(a: &Args) -> Result<pane_index::IndexSpec, Box<dyn std::error:
             ef_search: a.get_parsed("ef", 64usize)?,
             seed: a.get_parsed("seed", 0u64)?,
         }),
-        other => return Err(format!("unknown index kind '{other}' (flat|ivf|hnsw)").into()),
+        "sqflat" => pane_index::IndexSpec::SqFlat(pane_index::SqConfig {
+            rerank: a.get_parsed("rerank", pane_index::SqConfig::default().rerank)?,
+        }),
+        other => return Err(format!("unknown index kind '{other}' (flat|ivf|hnsw|sqflat)").into()),
     })
 }
 
@@ -615,6 +628,7 @@ fn cmd_serve(raw: Vec<String>) -> CliResult {
         "m",
         "efc",
         "ef",
+        "rerank",
         "seed",
         "threads",
         "listen",
@@ -808,14 +822,17 @@ fn cmd_metrics(raw: Vec<String>) -> CliResult {
 
 fn cmd_store(mut raw: Vec<String>) -> CliResult {
     if raw.is_empty() {
-        return Err("store requires a subcommand: init | snapshot | status".into());
+        return Err("store requires a subcommand: init | snapshot | status | migrate".into());
     }
     let sub = raw.remove(0);
     match sub.as_str() {
         "init" => cmd_store_init(raw),
         "snapshot" => cmd_store_snapshot(raw),
         "status" => cmd_store_status(raw),
-        other => Err(format!("unknown store subcommand '{other}' (init|snapshot|status)").into()),
+        "migrate" => cmd_store_migrate(raw),
+        other => {
+            Err(format!("unknown store subcommand '{other}' (init|snapshot|status|migrate)").into())
+        }
     }
 }
 
@@ -833,33 +850,66 @@ fn cmd_store_init(raw: Vec<String>) -> CliResult {
         "m",
         "efc",
         "ef",
+        "rerank",
         "seed",
         "threads",
+        "format",
     ])?;
     let emb = load_embedding_from_args(&a)?;
     let dir = PathBuf::from(a.require("dir")?);
     let spec = spec_from_args(&a)?;
     let threads: usize = a.get_parsed("threads", 1usize)?;
     let shards: usize = a.get_parsed("shards", 1usize)?;
+    let format_arg = a.get("format").unwrap_or("columnar");
+    let format = pane_store::ArtifactFormat::parse(format_arg)
+        .ok_or_else(|| format!("unknown artifact format '{format_arg}' (columnar|legacy)"))?;
     let t0 = std::time::Instant::now();
     if shards > 1 {
-        pane_store::ShardedStore::init(&dir, &emb, &spec, &spec, shards, threads)?;
+        pane_store::ShardedStore::init_with_format(
+            &dir, &emb, &spec, &spec, shards, threads, format,
+        )?;
         eprintln!(
-            "initialized {shards}-way sharded store over {} nodes ({} indexes) in {:.2}s",
+            "initialized {shards}-way sharded store over {} nodes ({} indexes, {format} \
+             artifacts) in {:.2}s",
             emb.forward.rows(),
             spec.kind_name(),
             t0.elapsed().as_secs_f64()
         );
     } else {
-        pane_store::Store::init(&dir, &emb, &spec, &spec, threads)?;
+        pane_store::Store::init_with_format(&dir, &emb, &spec, &spec, threads, format)?;
         eprintln!(
-            "initialized store over {} nodes ({} indexes) in {:.2}s",
+            "initialized store over {} nodes ({} indexes, {format} artifacts) in {:.2}s",
             emb.forward.rows(),
             spec.kind_name(),
             t0.elapsed().as_secs_f64()
         );
     }
     eprintln!("wrote {}", dir.display());
+    Ok(())
+}
+
+/// `pane store migrate --dir DIR` — rewrite a legacy store (or every
+/// shard of a sharded root) as columnar `PANECOL1` artifacts, in place.
+fn cmd_store_migrate(raw: Vec<String>) -> CliResult {
+    let a = Args::parse(raw, &[])?;
+    reject_positionals(&a)?;
+    a.reject_unknown(&["dir"])?;
+    let dir = PathBuf::from(a.require("dir")?);
+    let t0 = std::time::Instant::now();
+    let reports = match pane_store::ShardedStore::shard_count(&dir)? {
+        Some(_) => pane_store::ShardedStore::migrate(&dir)?,
+        None => vec![pane_store::migrate(&dir)?],
+    };
+    let rewritten = reports.iter().filter(|r| r.migrated).count();
+    if rewritten == 0 {
+        eprintln!("already columnar: nothing to migrate");
+    } else {
+        eprintln!(
+            "migrated {rewritten}/{} store(s) to columnar artifacts in {:.2}s",
+            reports.len(),
+            t0.elapsed().as_secs_f64()
+        );
+    }
     Ok(())
 }
 
@@ -886,14 +936,22 @@ fn cmd_store_snapshot(raw: Vec<String>) -> CliResult {
 
 fn print_store_status(label: &str, s: &pane_store::StoreStatus) {
     println!(
-        "{label}generation {} | base nodes {} | k/2 {} | wal records {} | node index {} | \
-         link index {}",
+        "{label}generation {} | format {} | base nodes {} | k/2 {} | wal records {} | \
+         node index {} | link index {}",
         s.generation,
+        s.format,
         s.base_nodes,
         s.half_dim,
         s.wal_records,
         s.node_spec.to_manifest(),
         s.link_spec.to_manifest(),
+    );
+    println!(
+        "{label}  artifacts: embedding {} B | node index {} B | link index {} B | total {} B",
+        s.embedding_bytes,
+        s.node_index_bytes,
+        s.link_index_bytes,
+        s.artifact_bytes(),
     );
     if s.wal_dropped_bytes > 0 {
         println!(

@@ -43,7 +43,10 @@ pub use greedy_init::{greedy_init, sm_greedy_init, InitOptions, InitState};
 pub use incremental::{grow_embedding, reembed_warm};
 pub use pane::{Pane, PaneEmbedding, PaneTimings};
 pub use papmi::papmi;
-pub use persist::{load_binary, load_text, save_binary, save_text, PersistError, BINARY_MAGIC};
+pub use persist::{
+    load_binary, load_columns, load_text, save_binary, save_columns, save_text, PersistError,
+    BINARY_MAGIC,
+};
 pub use query::{EmbeddingQuery, QueryBackend, Scored};
 
 /// Number of APMI/CCD iterations implied by an error threshold:

@@ -1,19 +1,25 @@
-//! Embedding persistence: save/load `X_f`, `X_b`, `Y` in a text and a
-//! binary format.
+//! Embedding persistence: save/load `X_f`, `X_b`, `Y` in a text and two
+//! binary formats.
 //!
-//! The binary format is a fixed little-endian layout
-//! (`magic ‖ n ‖ d ‖ k/2 ‖ X_f ‖ X_b ‖ Y`), suitable for memory-mapped or
-//! streamed consumption by downstream services; the text format is
-//! line-oriented (`node: values…`) for inspection and interop with the
-//! Python tooling the original evaluation used.
+//! The current binary format is the shared `PANECOL1` column container
+//! (`pane-format`): one section per matrix, 64-byte aligned and
+//! checksummed, loaded with a single bulk read and three `memcpy`s —
+//! see [`save_columns`] / [`load_columns`]. The legacy `PANEEMB1`
+//! layout (`magic ‖ n ‖ d ‖ k/2 ‖ X_f ‖ X_b ‖ Y`, decoded value by
+//! value) is still readable: [`load_binary`] sniffs the magic and
+//! dispatches, so stores written before the columnar migration keep
+//! opening. The text format is line-oriented (`node: values…`) for
+//! inspection and interop with the Python tooling the original
+//! evaluation used.
 
 use crate::pane::{PaneEmbedding, PaneTimings};
+use pane_format::{section, Artifact, ColumnData, ColumnSpec, FormatError};
 use pane_linalg::DenseMatrix;
 use std::fs::File;
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
-/// Magic bytes of the binary format (version 1).
+/// Magic bytes of the legacy binary format (version 1).
 pub const BINARY_MAGIC: &[u8; 8] = b"PANEEMB1";
 
 /// Errors from loading an embedding.
@@ -42,7 +48,97 @@ impl From<io::Error> for PersistError {
     }
 }
 
-/// Writes the embedding in the binary format.
+impl From<FormatError> for PersistError {
+    fn from(e: FormatError) -> Self {
+        match e {
+            FormatError::Io(e) => PersistError::Io(e),
+            FormatError::Format(m) => PersistError::Format(m),
+        }
+    }
+}
+
+/// Writes the embedding as a `PANECOL1` column container (the current
+/// on-disk format: one checksummed section per matrix).
+pub fn save_columns(emb: &PaneEmbedding, path: &Path) -> Result<(), PersistError> {
+    let (n, k2) = emb.forward.shape();
+    let d = emb.attribute.rows();
+    pane_format::write_columns(
+        path,
+        Artifact::Embedding,
+        0,
+        &[
+            ColumnSpec {
+                id: section::EMB_FORWARD,
+                rows: n,
+                cols: k2,
+                data: ColumnData::F64(emb.forward.data()),
+            },
+            ColumnSpec {
+                id: section::EMB_BACKWARD,
+                rows: n,
+                cols: k2,
+                data: ColumnData::F64(emb.backward.data()),
+            },
+            ColumnSpec {
+                id: section::EMB_ATTRIBUTE,
+                rows: d,
+                cols: k2,
+                data: ColumnData::F64(emb.attribute.data()),
+            },
+        ],
+    )?;
+    Ok(())
+}
+
+/// Reads an embedding written by [`save_columns`] via the streaming
+/// section loader: after header + table validation, each matrix's
+/// payload is read once, directly into the `Vec<f64>` it will own, and
+/// checksummed there — no per-value decode loop and no intermediate
+/// whole-file buffer to copy out of.
+pub fn load_columns(path: &Path) -> Result<PaneEmbedding, PersistError> {
+    let (artifact, _meta, sections) = pane_format::read_f64_sections(
+        path,
+        &[
+            section::EMB_FORWARD,
+            section::EMB_BACKWARD,
+            section::EMB_ATTRIBUTE,
+        ],
+    )?;
+    if artifact != Artifact::Embedding {
+        return Err(PersistError::Format(format!(
+            "{artifact:?} artifact where an embedding was expected"
+        )));
+    }
+    let mut it = sections.into_iter();
+    let mut matrix = || -> DenseMatrix {
+        let s = it.next().expect("three sections were requested");
+        DenseMatrix::from_vec(s.rows, s.cols, s.values)
+    };
+    let forward = matrix();
+    let backward = matrix();
+    let attribute = matrix();
+    if forward.shape() != backward.shape() || forward.cols() != attribute.cols() {
+        return Err(PersistError::Format(format!(
+            "inconsistent embedding sections: X_f {:?}, X_b {:?}, Y {:?}",
+            forward.shape(),
+            backward.shape(),
+            attribute.shape()
+        )));
+    }
+    Ok(PaneEmbedding {
+        forward,
+        backward,
+        attribute,
+        timings: PaneTimings::default(),
+        objective: f64::NAN, // not stored; recompute against F'/B' if needed
+    })
+}
+
+/// Writes the embedding in the legacy `PANEEMB1` binary format.
+///
+/// Kept as a writer so compatibility fixtures (tests, the CI
+/// migrate-then-serve smoke) can produce pre-`PANECOL1` stores; new
+/// artifacts use [`save_columns`].
 pub fn save_binary(emb: &PaneEmbedding, path: &Path) -> Result<(), PersistError> {
     let mut w = BufWriter::new(File::create(path)?);
     w.write_all(BINARY_MAGIC)?;
@@ -60,15 +156,23 @@ pub fn save_binary(emb: &PaneEmbedding, path: &Path) -> Result<(), PersistError>
     Ok(())
 }
 
-/// Reads an embedding written by [`save_binary`].
+/// Reads a binary embedding, whichever container it is in: sniffs the
+/// magic and dispatches to the `PANECOL1` bulk path ([`load_columns`])
+/// or the legacy `PANEEMB1` per-value decode loop. Every pre-migration
+/// store keeps opening through this one entry point.
 pub fn load_binary(path: &Path) -> Result<PaneEmbedding, PersistError> {
+    if pane_format::is_columnar(path)? {
+        return load_columns(path);
+    }
     let mut r = BufReader::new(File::open(path)?);
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != BINARY_MAGIC {
         return Err(PersistError::Format(format!(
-            "bad magic {:?} (expected {:?})",
-            magic, BINARY_MAGIC
+            "bad magic {:?} (expected {:?} or {:?})",
+            magic,
+            BINARY_MAGIC,
+            pane_format::MAGIC
         )));
     }
     let mut dims = [0u64; 3];
@@ -237,6 +341,51 @@ mod tests {
         let back = load_text(&p).unwrap();
         assert_eq!(emb.forward.data(), back.forward.data());
         assert_eq!(emb.attribute.data(), back.attribute.data());
+    }
+
+    #[test]
+    fn columnar_roundtrip_is_bit_exact() {
+        let emb = example_embedding();
+        let p = tmp("emb.col");
+        save_columns(&emb, &p).unwrap();
+        let back = load_columns(&p).unwrap();
+        assert_eq!(emb.forward.data(), back.forward.data());
+        assert_eq!(emb.backward.data(), back.backward.data());
+        assert_eq!(emb.attribute.data(), back.attribute.data());
+    }
+
+    #[test]
+    fn load_binary_sniffs_both_containers() {
+        let emb = example_embedding();
+        let legacy = tmp("sniff_legacy.bin");
+        let columnar = tmp("sniff_columnar.bin");
+        save_binary(&emb, &legacy).unwrap();
+        save_columns(&emb, &columnar).unwrap();
+        let a = load_binary(&legacy).unwrap();
+        let b = load_binary(&columnar).unwrap();
+        assert_eq!(a.forward.data(), b.forward.data());
+        assert_eq!(a.backward.data(), b.backward.data());
+        assert_eq!(a.attribute.data(), b.attribute.data());
+    }
+
+    #[test]
+    fn columnar_index_artifact_is_not_an_embedding() {
+        let p = tmp("wrong_artifact.col");
+        let v = [0.0f64; 4];
+        pane_format::write_columns(
+            &p,
+            pane_format::Artifact::Index,
+            0,
+            &[pane_format::ColumnSpec {
+                id: pane_format::section::INDEX_VECTORS,
+                rows: 2,
+                cols: 2,
+                data: pane_format::ColumnData::F64(&v),
+            }],
+        )
+        .unwrap();
+        assert!(matches!(load_columns(&p), Err(PersistError::Format(_))));
+        assert!(matches!(load_binary(&p), Err(PersistError::Format(_))));
     }
 
     #[test]

@@ -1,0 +1,172 @@
+//! Fuzz-style property tests: arbitrary corruptions of a valid
+//! container must yield a structured [`FormatError`] — never a panic,
+//! never an allocation sized by attacker-controlled bytes.
+//!
+//! The deterministic `proptest` shim (see `vendor/README.md`) drives the
+//! case generation, so failures reproduce bit-identically.
+
+use super::*;
+use proptest::prelude::*;
+
+fn tmpfile(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "pane-format-prop-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{tag}.col"))
+}
+
+/// A representative two-section container (f64 matrix + i8 codes).
+fn valid_bytes(rows: usize, cols: usize) -> Vec<u8> {
+    let p = tmpfile("template");
+    let f: Vec<f64> = (0..rows * cols).map(|i| (i as f64).sin()).collect();
+    let q: Vec<i8> = (0..rows * cols).map(|i| (i % 255) as i8).collect();
+    write_columns(
+        &p,
+        Artifact::Index,
+        3,
+        &[
+            ColumnSpec {
+                id: section::INDEX_VECTORS,
+                rows,
+                cols,
+                data: ColumnData::F64(&f),
+            },
+            ColumnSpec {
+                id: section::SQ_CODES,
+                rows,
+                cols,
+                data: ColumnData::I8(&q),
+            },
+        ],
+    )
+    .unwrap();
+    let bytes = std::fs::read(&p).unwrap();
+    std::fs::remove_file(&p).unwrap();
+    bytes
+}
+
+/// Opening arbitrary mutated bytes must never panic and must never
+/// allocate more than the actual file size (the declared-length check
+/// runs before allocation); any outcome other than a clean open is a
+/// structured error.
+fn assert_structured(path: &Path) {
+    let outcome = std::panic::catch_unwind(|| Columns::open(path));
+    match outcome {
+        Ok(Ok(_)) | Ok(Err(FormatError::Format(_))) | Ok(Err(FormatError::Io(_))) => {}
+        Err(_) => panic!("Columns::open panicked on corrupted input"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Truncation at any offset: always a structured error (a truncated
+    /// file can never satisfy declared-length == actual-length unless
+    /// the cut lands exactly at a consistent state, which re-validates).
+    #[test]
+    fn truncation_never_panics(cut in 0usize..600) {
+        let bytes = valid_bytes(7, 9);
+        let cut = cut.min(bytes.len().saturating_sub(1));
+        let p = tmpfile("trunc");
+        std::fs::write(&p, &bytes[..cut]).unwrap();
+        assert_structured(&p);
+        prop_assert!(
+            Columns::open(&p).is_err(),
+            "a truncated container must not open (cut at {cut})"
+        );
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    /// Single-byte flips anywhere in the file are caught by a checksum
+    /// or layout check. Never a panic.
+    #[test]
+    fn byte_flips_never_panic(pos in 0usize..600, bit in 0u32..8) {
+        // 6 × 8 f64 values make the table end and both sections land
+        // exactly on 64-byte boundaries, so this container has no
+        // padding gaps: every byte is covered by a checksum and every
+        // flip must be detected. (Padding bytes in other layouts are
+        // not checksummed — they carry no data.)
+        let mut bytes = valid_bytes(6, 8);
+        let pos = pos % bytes.len();
+        bytes[pos] ^= 1u8 << bit;
+        let p = tmpfile("flip");
+        std::fs::write(&p, &bytes).unwrap();
+        assert_structured(&p);
+        prop_assert!(
+            Columns::open(&p).is_err(),
+            "flip at byte {pos} bit {bit} must be detected"
+        );
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    /// Declared-length lies: rewriting the length field (with a fixed-up
+    /// header checksum, so the lie is "well-formed") must be rejected by
+    /// the declared-vs-actual comparison before any allocation happens —
+    /// including absurd multi-exabyte claims.
+    #[test]
+    fn declared_length_lies_never_allocate(lie in 0u64..u64::MAX) {
+        let mut bytes = valid_bytes(5, 6);
+        let actual = bytes.len() as u64;
+        let lie = if lie == actual { lie + 1 } else { lie };
+        bytes[16..24].copy_from_slice(&lie.to_le_bytes());
+        // Re-seal the header checksum so only the length lies.
+        let count = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
+        let table_end = HEADER_LEN + TABLE_ENTRY_LEN * count;
+        let mut hsum = Vec::new();
+        hsum.extend_from_slice(&bytes[..24]);
+        hsum.extend_from_slice(&bytes[HEADER_LEN..table_end]);
+        let sum = checksum(&hsum);
+        bytes[24..32].copy_from_slice(&sum.to_le_bytes());
+        let p = tmpfile("lie");
+        std::fs::write(&p, &bytes).unwrap();
+        assert_structured(&p);
+        prop_assert!(matches!(Columns::open(&p), Err(FormatError::Format(_))));
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    /// Trailing garbage (with the true declared length left in place)
+    /// fails the declared-vs-actual check; garbage *with* a fixed-up
+    /// declared length fails the layout check (sections no longer end at
+    /// the declared length).
+    #[test]
+    fn trailing_garbage_is_rejected(extra in 1usize..200) {
+        let mut bytes = valid_bytes(4, 5);
+        bytes.extend(std::iter::repeat_n(0xAB, extra));
+        let p = tmpfile("trail");
+        std::fs::write(&p, &bytes).unwrap();
+        assert_structured(&p);
+        prop_assert!(Columns::open(&p).is_err());
+
+        // Second variant: attacker also fixes the declared length and
+        // header checksum. The layout check still rejects.
+        let actual = bytes.len() as u64;
+        bytes[16..24].copy_from_slice(&actual.to_le_bytes());
+        let count = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
+        let table_end = HEADER_LEN + TABLE_ENTRY_LEN * count;
+        let mut hsum = Vec::new();
+        hsum.extend_from_slice(&bytes[..24]);
+        hsum.extend_from_slice(&bytes[HEADER_LEN..table_end]);
+        let sum = checksum(&hsum);
+        bytes[24..32].copy_from_slice(&sum.to_le_bytes());
+        std::fs::write(&p, &bytes).unwrap();
+        assert_structured(&p);
+        prop_assert!(matches!(Columns::open(&p), Err(FormatError::Format(_))));
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    /// Random byte soup with a valid magic prefix: never panics,
+    /// never opens.
+    #[test]
+    fn random_bytes_never_panic(body in proptest::collection::vec(0u32..256, 0..300)) {
+        let mut bytes = MAGIC.to_vec();
+        bytes.extend(body.iter().map(|&b| b as u8));
+        let p = tmpfile("soup");
+        std::fs::write(&p, &bytes).unwrap();
+        assert_structured(&p);
+        prop_assert!(Columns::open(&p).is_err());
+        std::fs::remove_file(&p).unwrap();
+    }
+}

@@ -11,8 +11,9 @@
 //! sequential insertion order this makes every build bit-identical, the
 //! same reproducibility contract the embedding pipeline guarantees.
 
-use crate::persist::{FileReader, FileWriter};
+use crate::persist::{columnar_matrix, columnar_meta, open_index_columns, FileReader, FileWriter};
 use crate::{topk, unit_open, IndexError, IndexKind, Metric, Neighbor, VectorIndex};
+use pane_format::{section, Artifact, ColumnData, ColumnSpec};
 use pane_linalg::{vecops, DenseMatrix};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
@@ -308,7 +309,8 @@ impl HnswIndex {
         self.ef_search = ef.max(1);
     }
 
-    /// Reads an index written by [`VectorIndex::save`].
+    /// Reads an index written by [`VectorIndex::save`] (`PANECOL1`) or by
+    /// [`HnswIndex::save_legacy`] (`PANEIDX1`), sniffing the magic.
     ///
     /// Every graph invariant a search relies on is re-validated here so a
     /// corrupted file fails the *load* with a structured [`IndexError`]
@@ -319,6 +321,10 @@ impl HnswIndex {
     /// `max_level`, and every edge must point at an in-range node of
     /// sufficient level.
     pub fn load(path: &Path) -> Result<Self, IndexError> {
+        if pane_format::is_columnar(path)? {
+            let (c, metric) = open_index_columns(path, IndexKind::Hnsw)?;
+            return Self::from_columns(&c, metric);
+        }
         let mut r = FileReader::open(path, IndexKind::Hnsw)?;
         let metric = r.metric();
         let n = r.read_dim_nonzero(u32::MAX as usize, "n")?;
@@ -384,6 +390,161 @@ impl HnswIndex {
             max_level,
         })
     }
+
+    /// Reconstructs the index from an already-validated container.
+    ///
+    /// The container stores the neighbor lists *flattened*: one `u32`
+    /// links section plus a `u64` offsets section with one entry per
+    /// list (node-major, then level `0..=levels[node]`) and a final
+    /// end sentinel. Every graph invariant the legacy loader checks is
+    /// re-checked here.
+    pub(crate) fn from_columns(
+        c: &pane_format::Columns,
+        metric: Metric,
+    ) -> Result<Self, IndexError> {
+        let data = columnar_matrix(c, section::HNSW_VECTORS)?;
+        let (n, dim) = (data.rows(), data.cols());
+        if n == 0 || dim == 0 || dim > 1 << 24 {
+            return Err(IndexError::Format(format!(
+                "hnsw vectors section is {n}×{dim}; outside the valid range"
+            )));
+        }
+        let meta = c.u64s(section::HNSW_META)?;
+        if meta.len() != 5 {
+            return Err(IndexError::Format(format!(
+                "hnsw meta section holds {} words, expected 5",
+                meta.len()
+            )));
+        }
+        let (m, ef_construction, ef_search) = (meta[0], meta[1], meta[2]);
+        for (v, what) in [
+            (m, "m"),
+            (ef_construction, "ef_construction"),
+            (ef_search, "ef_search"),
+        ] {
+            if v > 1 << 20 {
+                return Err(IndexError::Format(format!(
+                    "{what} = {v} exceeds sanity cap {}",
+                    1 << 20
+                )));
+            }
+        }
+        if meta[3] >= n as u64 {
+            return Err(IndexError::Format(format!(
+                "entry point = {} exceeds sanity cap {}",
+                meta[3],
+                n - 1
+            )));
+        }
+        let entry = meta[3] as u32;
+        if meta[4] > MAX_LEVEL_CAP as u64 {
+            return Err(IndexError::Format(format!(
+                "max level = {} exceeds sanity cap {MAX_LEVEL_CAP}",
+                meta[4]
+            )));
+        }
+        let max_level = meta[4] as u32;
+        let levels = c.u32s(section::HNSW_LEVELS)?;
+        if levels.len() != n {
+            return Err(IndexError::Format(format!(
+                "level array has {} entries, expected {n}",
+                levels.len()
+            )));
+        }
+        if levels[entry as usize] != max_level {
+            return Err(IndexError::Format(format!(
+                "entry point {entry} has level {} but the graph claims max level {max_level}",
+                levels[entry as usize]
+            )));
+        }
+        let offsets = c.u64s(section::HNSW_LINK_OFFSETS)?;
+        let flat = c.u32s(section::HNSW_LINKS)?;
+        let lists: usize = levels.iter().map(|&l| l as usize + 1).sum();
+        if offsets.len() != lists + 1 || offsets[0] != 0 {
+            return Err(IndexError::Format(format!(
+                "link-offset array has {} entries, expected {} (one per list plus sentinel, starting at 0)",
+                offsets.len(),
+                lists + 1
+            )));
+        }
+        if *offsets.last().unwrap() != flat.len() as u64 {
+            return Err(IndexError::Format(format!(
+                "link offsets end at {} but the links section holds {} ids",
+                offsets.last().unwrap(),
+                flat.len()
+            )));
+        }
+        let mut links = Vec::with_capacity(n);
+        let mut list = 0usize;
+        for (node, &l) in levels.iter().enumerate() {
+            if l > max_level {
+                return Err(IndexError::Format(format!(
+                    "node level {l} exceeds max level {max_level}"
+                )));
+            }
+            let mut per_level = Vec::with_capacity(l as usize + 1);
+            for lev in 0..=l {
+                let (start, end) = (offsets[list], offsets[list + 1]);
+                list += 1;
+                if start > end || end as usize > flat.len() {
+                    return Err(IndexError::Format(format!(
+                        "node {node} level {lev}: link offsets [{start}, {end}) invalid for {} link ids",
+                        flat.len()
+                    )));
+                }
+                let nbrs = &flat[start as usize..end as usize];
+                // A corrupted edge must fail the load, not panic the
+                // first search that walks it.
+                for &nb in nbrs {
+                    if nb as usize >= n {
+                        return Err(IndexError::Format(format!(
+                            "node {node} level {lev}: neighbor id {nb} out of range {n}"
+                        )));
+                    }
+                    if levels[nb as usize] < lev {
+                        return Err(IndexError::Format(format!(
+                            "node {node} level {lev}: neighbor {nb} only reaches level {}",
+                            levels[nb as usize]
+                        )));
+                    }
+                }
+                per_level.push(nbrs.to_vec());
+            }
+            links.push(per_level);
+        }
+        Ok(Self {
+            metric,
+            m: (m as usize).max(2),
+            ef_construction: (ef_construction as usize).max(1),
+            ef_search: (ef_search as usize).max(1),
+            data,
+            levels: levels.to_vec(),
+            links,
+            entry,
+            max_level,
+        })
+    }
+
+    /// Writes the legacy `PANEIDX1` form (fixture/migration-test writer;
+    /// [`VectorIndex::save`] writes `PANECOL1`).
+    pub fn save_legacy(&self, path: &Path) -> Result<(), IndexError> {
+        let mut w = FileWriter::create(path, IndexKind::Hnsw, self.metric)?;
+        w.write_u64(self.data.rows() as u64)?;
+        w.write_u64(self.data.cols() as u64)?;
+        w.write_u64(self.m as u64)?;
+        w.write_u64(self.ef_construction as u64)?;
+        w.write_u64(self.ef_search as u64)?;
+        w.write_u64(self.entry as u64)?;
+        w.write_u64(self.max_level as u64)?;
+        w.write_u32_slice(&self.levels)?;
+        for per_level in &self.links {
+            for nbrs in per_level {
+                w.write_u32_slice(nbrs)?;
+            }
+        }
+        w.write_matrix(&self.data)?;
+        w.finish()
+    }
 }
 
 impl VectorIndex for HnswIndex {
@@ -422,22 +583,63 @@ impl VectorIndex for HnswIndex {
     }
 
     fn save(&self, path: &Path) -> Result<(), IndexError> {
-        let mut w = FileWriter::create(path, IndexKind::Hnsw, self.metric)?;
-        w.write_u64(self.data.rows() as u64)?;
-        w.write_u64(self.data.cols() as u64)?;
-        w.write_u64(self.m as u64)?;
-        w.write_u64(self.ef_construction as u64)?;
-        w.write_u64(self.ef_search as u64)?;
-        w.write_u64(self.entry as u64)?;
-        w.write_u64(self.max_level as u64)?;
-        w.write_u32_slice(&self.levels)?;
+        let meta = [
+            self.m as u64,
+            self.ef_construction as u64,
+            self.ef_search as u64,
+            self.entry as u64,
+            self.max_level as u64,
+        ];
+        // Flatten the per-node-per-level neighbor lists: offsets get one
+        // entry per list (node-major, level-minor) plus an end sentinel.
+        let mut offsets = Vec::with_capacity(self.links.iter().map(|p| p.len()).sum::<usize>() + 1);
+        let mut flat = Vec::new();
+        offsets.push(0u64);
         for per_level in &self.links {
             for nbrs in per_level {
-                w.write_u32_slice(nbrs)?;
+                flat.extend_from_slice(nbrs);
+                offsets.push(flat.len() as u64);
             }
         }
-        w.write_matrix(&self.data)?;
-        w.finish()
+        let specs = [
+            ColumnSpec {
+                id: section::HNSW_META,
+                rows: 1,
+                cols: 5,
+                data: ColumnData::U64(&meta),
+            },
+            ColumnSpec {
+                id: section::HNSW_LEVELS,
+                rows: self.levels.len(),
+                cols: 1,
+                data: ColumnData::U32(&self.levels),
+            },
+            ColumnSpec {
+                id: section::HNSW_LINK_OFFSETS,
+                rows: offsets.len(),
+                cols: 1,
+                data: ColumnData::U64(&offsets),
+            },
+            ColumnSpec {
+                id: section::HNSW_LINKS,
+                rows: flat.len(),
+                cols: 1,
+                data: ColumnData::U32(&flat),
+            },
+            ColumnSpec {
+                id: section::HNSW_VECTORS,
+                rows: self.data.rows(),
+                cols: self.data.cols(),
+                data: ColumnData::F64(self.data.data()),
+            },
+        ];
+        pane_format::write_columns(
+            path,
+            Artifact::Index,
+            columnar_meta(IndexKind::Hnsw, self.metric),
+            &specs,
+        )?;
+        Ok(())
     }
 }
 
@@ -503,7 +705,7 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("pane_hnsw_{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let p = dir.join("bad_link.idx");
-        idx.save(&p).unwrap();
+        idx.save_legacy(&p).unwrap();
         // Layout: magic(8) + tags(2) + 7×u64(56) + levels slice (8 + 4n)
         // + node 0 / level 0 slice length (8) + first neighbor id.
         let first_id_at = 8 + 2 + 56 + 8 + 4 * idx.len() + 8;
@@ -525,7 +727,7 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("pane_hnsw_{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let p = dir.join("bad_entry_level.idx");
-        idx.save(&p).unwrap();
+        idx.save_legacy(&p).unwrap();
         // max_level is the 7th u64 after the 10-byte header.
         let max_level_at = 8 + 2 + 6 * 8;
         let mut bytes = std::fs::read(&p).unwrap();
@@ -536,6 +738,34 @@ mod tests {
             Err(IndexError::Format(m)) => assert!(m.contains("entry point"), "{m}"),
             other => panic!("expected format error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn columnar_and_legacy_dumps_load_identically() {
+        let data = clustered_vectors(80, 8, 3, 0.2);
+        let idx = HnswIndex::build(&data, Metric::Cosine, &HnswConfig::default());
+        let dir = std::env::temp_dir().join(format!("pane_hnsw_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let col = dir.join("hnsw.col.idx");
+        let leg = dir.join("hnsw.leg.idx");
+        idx.save(&col).unwrap();
+        idx.save_legacy(&leg).unwrap();
+        let a = HnswIndex::load(&col).unwrap();
+        let b = HnswIndex::load(&leg).unwrap();
+        assert_eq!(a.levels, b.levels);
+        assert_eq!(a.links, b.links);
+        assert_eq!(a.entry, b.entry);
+        assert_eq!(a.max_level, b.max_level);
+        assert_eq!(a.data.data(), b.data.data());
+        assert_eq!(
+            (a.m, a.ef_construction, a.ef_search),
+            (b.m, b.ef_construction, b.ef_search)
+        );
+        for q in [0, 40] {
+            assert_eq!(a.search(data.row(q), 5), b.search(data.row(q), 5));
+        }
+        std::fs::remove_file(&col).ok();
+        std::fs::remove_file(&leg).ok();
     }
 
     #[test]

@@ -12,8 +12,9 @@
 //! parameter.
 
 use crate::kmeans::kmeans;
-use crate::persist::{FileReader, FileWriter};
+use crate::persist::{columnar_matrix, columnar_meta, open_index_columns, FileReader, FileWriter};
 use crate::{topk, IndexError, IndexKind, Metric, Neighbor, VectorIndex};
+use pane_format::{section, Artifact, ColumnData, ColumnSpec};
 use pane_linalg::{vecops, DenseMatrix};
 use std::path::Path;
 
@@ -138,12 +139,17 @@ impl IvfIndex {
         self.nprobe = nprobe.clamp(1, self.nlist());
     }
 
-    /// Reads an index written by [`VectorIndex::save`].
+    /// Reads an index written by [`VectorIndex::save`] (`PANECOL1`) or by
+    /// [`IvfIndex::save_legacy`] (`PANEIDX1`), sniffing the magic.
     ///
     /// Fails with a structured [`IndexError`] on any corruption: empty
     /// dimensions, a zero `nlist`, cell sizes that do not sum to `n`, or
     /// declared lengths the file cannot supply are all load-time errors.
     pub fn load(path: &Path) -> Result<Self, IndexError> {
+        if pane_format::is_columnar(path)? {
+            let (c, metric) = open_index_columns(path, IndexKind::Ivf)?;
+            return Self::from_columns(&c, metric);
+        }
         let mut r = FileReader::open(path, IndexKind::Ivf)?;
         let metric = r.metric();
         let n = r.read_dim_nonzero(u32::MAX as usize, "n")?;
@@ -191,6 +197,98 @@ impl IvfIndex {
             vectors,
         })
     }
+
+    /// Reconstructs the index from an already-validated container,
+    /// re-checking every structural invariant the legacy loader checks.
+    pub(crate) fn from_columns(
+        c: &pane_format::Columns,
+        metric: Metric,
+    ) -> Result<Self, IndexError> {
+        let centroids = columnar_matrix(c, section::IVF_CENTROIDS)?;
+        let vectors = columnar_matrix(c, section::IVF_VECTORS)?;
+        let (n, dim) = (vectors.rows(), vectors.cols());
+        if n == 0 || dim == 0 || dim > 1 << 24 {
+            return Err(IndexError::Format(format!(
+                "ivf vectors section is {n}×{dim}; outside the valid range"
+            )));
+        }
+        let nlist = centroids.rows();
+        if nlist == 0 || nlist > n || centroids.cols() != dim {
+            return Err(IndexError::Format(format!(
+                "ivf centroids section is {nlist}×{}, inconsistent with {n}×{dim} vectors",
+                centroids.cols()
+            )));
+        }
+        let meta = c.u64s(section::IVF_META)?;
+        if meta.len() != 2 || meta[0] as usize != nlist {
+            return Err(IndexError::Format(format!(
+                "ivf meta section {meta:?} disagrees with nlist = {nlist}"
+            )));
+        }
+        let nprobe = meta[1] as usize;
+        if nprobe == 0 || nprobe > nlist {
+            return Err(IndexError::Format(format!(
+                "nprobe {nprobe} outside [1, {nlist}]"
+            )));
+        }
+        let sizes = c.u32s(section::IVF_SIZES)?;
+        if sizes.len() != nlist {
+            return Err(IndexError::Format(format!(
+                "cell-size array has {} entries, expected {nlist}",
+                sizes.len()
+            )));
+        }
+        let mut offsets = Vec::with_capacity(nlist + 1);
+        offsets.push(0usize);
+        for &s in sizes.iter() {
+            offsets.push(offsets.last().unwrap() + s as usize);
+        }
+        if *offsets.last().unwrap() != n {
+            return Err(IndexError::Format(format!(
+                "cell sizes sum to {}, expected {n}",
+                offsets.last().unwrap()
+            )));
+        }
+        let ids = c.u32s(section::IVF_IDS)?;
+        if ids.len() != n {
+            return Err(IndexError::Format(format!(
+                "id array has {} entries, expected {n}",
+                ids.len()
+            )));
+        }
+        let cnorms = (0..nlist)
+            .map(|c| vecops::norm2_sq(centroids.row(c)))
+            .collect();
+        Ok(Self {
+            metric,
+            nprobe,
+            centroids,
+            cnorms,
+            offsets,
+            ids: ids.to_vec(),
+            vectors,
+        })
+    }
+
+    /// Writes the legacy `PANEIDX1` form (fixture/migration-test writer;
+    /// [`VectorIndex::save`] writes `PANECOL1`).
+    pub fn save_legacy(&self, path: &Path) -> Result<(), IndexError> {
+        let mut w = FileWriter::create(path, IndexKind::Ivf, self.metric)?;
+        w.write_u64(self.ids.len() as u64)?;
+        w.write_u64(self.vectors.cols() as u64)?;
+        w.write_u64(self.nlist() as u64)?;
+        w.write_u64(self.nprobe as u64)?;
+        w.write_matrix(&self.centroids)?;
+        let sizes: Vec<u32> = self
+            .offsets
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as u32)
+            .collect();
+        w.write_u32_slice(&sizes)?;
+        w.write_u32_slice(&self.ids)?;
+        w.write_matrix(&self.vectors)?;
+        w.finish()
+    }
 }
 
 impl VectorIndex for IvfIndex {
@@ -237,21 +335,51 @@ impl VectorIndex for IvfIndex {
     }
 
     fn save(&self, path: &Path) -> Result<(), IndexError> {
-        let mut w = FileWriter::create(path, IndexKind::Ivf, self.metric)?;
-        w.write_u64(self.ids.len() as u64)?;
-        w.write_u64(self.vectors.cols() as u64)?;
-        w.write_u64(self.nlist() as u64)?;
-        w.write_u64(self.nprobe as u64)?;
-        w.write_matrix(&self.centroids)?;
+        let meta = [self.nlist() as u64, self.nprobe as u64];
         let sizes: Vec<u32> = self
             .offsets
             .windows(2)
             .map(|w| (w[1] - w[0]) as u32)
             .collect();
-        w.write_u32_slice(&sizes)?;
-        w.write_u32_slice(&self.ids)?;
-        w.write_matrix(&self.vectors)?;
-        w.finish()
+        let specs = [
+            ColumnSpec {
+                id: section::IVF_META,
+                rows: 1,
+                cols: 2,
+                data: ColumnData::U64(&meta),
+            },
+            ColumnSpec {
+                id: section::IVF_CENTROIDS,
+                rows: self.centroids.rows(),
+                cols: self.centroids.cols(),
+                data: ColumnData::F64(self.centroids.data()),
+            },
+            ColumnSpec {
+                id: section::IVF_SIZES,
+                rows: sizes.len(),
+                cols: 1,
+                data: ColumnData::U32(&sizes),
+            },
+            ColumnSpec {
+                id: section::IVF_IDS,
+                rows: self.ids.len(),
+                cols: 1,
+                data: ColumnData::U32(&self.ids),
+            },
+            ColumnSpec {
+                id: section::IVF_VECTORS,
+                rows: self.vectors.rows(),
+                cols: self.vectors.cols(),
+                data: ColumnData::F64(self.vectors.data()),
+            },
+        ];
+        pane_format::write_columns(
+            path,
+            Artifact::Index,
+            columnar_meta(IndexKind::Ivf, self.metric),
+            &specs,
+        )?;
+        Ok(())
     }
 }
 
@@ -295,6 +423,38 @@ mod tests {
         assert_eq!(a.offsets, b.offsets);
         assert_eq!(a.centroids.data(), b.centroids.data());
         assert_eq!(a.vectors.data(), b.vectors.data());
+    }
+
+    #[test]
+    fn columnar_and_legacy_dumps_load_identically() {
+        let dir = std::env::temp_dir().join(format!("pane_ivf_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = clustered_vectors(120, 10, 4, 0.2);
+        let idx = IvfIndex::build(
+            &data,
+            Metric::Cosine,
+            &IvfConfig {
+                nlist: 6,
+                nprobe: 3,
+                ..Default::default()
+            },
+        );
+        let col = dir.join("ivf.col.idx");
+        let leg = dir.join("ivf.leg.idx");
+        idx.save(&col).unwrap();
+        idx.save_legacy(&leg).unwrap();
+        let a = IvfIndex::load(&col).unwrap();
+        let b = IvfIndex::load(&leg).unwrap();
+        assert_eq!(a.ids, b.ids);
+        assert_eq!(a.offsets, b.offsets);
+        assert_eq!(a.nprobe(), 3);
+        assert_eq!(a.centroids.data(), b.centroids.data());
+        assert_eq!(a.vectors.data(), b.vectors.data());
+        for q in [0, 60] {
+            assert_eq!(a.search(data.row(q), 5), b.search(data.row(q), 5));
+        }
+        std::fs::remove_file(&col).ok();
+        std::fs::remove_file(&leg).ok();
     }
 
     #[test]

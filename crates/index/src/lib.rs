@@ -43,6 +43,7 @@ pub mod persist;
 #[cfg(test)]
 mod proptests;
 pub mod spec;
+pub mod sq;
 pub mod topk;
 
 pub use delta::DeltaIndex;
@@ -52,6 +53,7 @@ pub use ivf::{IvfConfig, IvfIndex};
 pub use kmeans::{kmeans, KmeansResult};
 pub use persist::{load_index, AnyIndex};
 pub use spec::IndexSpec;
+pub use sq::{SqConfig, SqFlatIndex};
 
 use pane_linalg::{vecops, DenseMatrix};
 use pane_parallel::{even_ranges_nonempty, map_blocks};
@@ -146,6 +148,9 @@ pub enum IndexKind {
     Ivf,
     /// Hierarchical navigable-small-world graph index.
     Hnsw,
+    /// Scalar-quantized flat scan (i8 codes + per-row scale): the 8×-RAM
+    /// baseline with a re-ranked shortlist.
+    SqFlat,
 }
 
 impl IndexKind {
@@ -155,6 +160,7 @@ impl IndexKind {
             IndexKind::Flat => 0,
             IndexKind::Ivf => 1,
             IndexKind::Hnsw => 2,
+            IndexKind::SqFlat => 3,
         }
     }
 
@@ -164,6 +170,7 @@ impl IndexKind {
             0 => Some(IndexKind::Flat),
             1 => Some(IndexKind::Ivf),
             2 => Some(IndexKind::Hnsw),
+            3 => Some(IndexKind::SqFlat),
             _ => None,
         }
     }
@@ -175,6 +182,7 @@ impl std::fmt::Display for IndexKind {
             IndexKind::Flat => "flat",
             IndexKind::Ivf => "ivf",
             IndexKind::Hnsw => "hnsw",
+            IndexKind::SqFlat => "sqflat",
         })
     }
 }

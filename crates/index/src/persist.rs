@@ -1,12 +1,15 @@
-//! The `PANEIDX1` binary index format.
+//! Index persistence: the columnar `PANECOL1` container and the legacy
+//! `PANEIDX1` stream format.
 //!
-//! Mirrors the embedding format in `pane-core`'s `persist` module: a fixed
-//! little-endian layout of `magic ‖ kind ‖ metric ‖ payload`, where the
-//! payload is each structure's own sequence of `u64` dimensions, `u32`
-//! id arrays, and `f64` matrices. Self-describing: [`load_index`] reads
-//! the header and dispatches to the right loader.
+//! New indexes save as `PANECOL1` containers (see `pane-format`): each
+//! structure's arrays become typed, aligned, checksummed sections, the
+//! meta word packs `kind | metric << 8`, and loading is a single bulk
+//! read plus zero-copy views. [`load_index`] sniffs the first 8 bytes
+//! and dispatches to the columnar or legacy reader, so files written by
+//! either format stay loadable through the same entry point; per-type
+//! `save_legacy` writers remain for fixtures and migration tests.
 //!
-//! # Format layout (version 1)
+//! # Legacy format layout (`PANEIDX1`)
 //!
 //! All integers are little-endian. A `u32[]` is a `u64` length followed by
 //! that many `u32` words; an `f64[r×c]` is `r·c` packed doubles (row-major,
@@ -66,18 +69,79 @@
 //! (`ensure_available`, the same pattern as `pane-graph`'s binary
 //! loader) before any allocation happens.
 
-use crate::{FlatIndex, HnswIndex, IndexError, IndexKind, IvfIndex, Metric, Neighbor, VectorIndex};
+use crate::{
+    FlatIndex, HnswIndex, IndexError, IndexKind, IvfIndex, Metric, Neighbor, SqFlatIndex,
+    VectorIndex,
+};
+use pane_format::{Artifact, Columns, FormatError};
 use pane_linalg::DenseMatrix;
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
-/// Magic bytes of the index format (version 1).
+/// Magic bytes of the legacy index format (version 1).
 pub const INDEX_MAGIC: &[u8; 8] = b"PANEIDX1";
 
 /// Refuse headers implying more than this many `f64`s in one matrix
 /// (~8 GiB) — corrupted dimensions should error, not OOM.
-const MAX_MATRIX_ELEMS: usize = 1 << 30;
+pub(crate) const MAX_MATRIX_ELEMS: usize = 1 << 30;
+
+impl From<FormatError> for IndexError {
+    fn from(e: FormatError) -> Self {
+        match e {
+            FormatError::Io(e) => IndexError::Io(e),
+            FormatError::Format(m) => IndexError::Format(m),
+        }
+    }
+}
+
+/// Packs `(kind, metric)` into the `PANECOL1` meta word for index
+/// artifacts: low byte = [`IndexKind::tag`], high byte = [`Metric::tag`].
+pub(crate) fn columnar_meta(kind: IndexKind, metric: Metric) -> u16 {
+    kind.tag() as u16 | ((metric.tag() as u16) << 8)
+}
+
+/// Unpacks and validates the meta word of an index container.
+pub(crate) fn columnar_kind_metric(c: &Columns) -> Result<(IndexKind, Metric), IndexError> {
+    if c.artifact() != Artifact::Index {
+        return Err(IndexError::Format(format!(
+            "{:?} artifact where an index was expected",
+            c.artifact()
+        )));
+    }
+    let meta = c.meta();
+    let kind = IndexKind::from_tag((meta & 0xFF) as u8)
+        .ok_or_else(|| IndexError::Format(format!("unknown index kind tag {}", meta & 0xFF)))?;
+    let metric = Metric::from_tag((meta >> 8) as u8)
+        .ok_or_else(|| IndexError::Format(format!("unknown metric tag {}", meta >> 8)))?;
+    Ok((kind, metric))
+}
+
+/// Opens a `PANECOL1` index container, checking the stored kind.
+pub(crate) fn open_index_columns(
+    path: &Path,
+    expect: IndexKind,
+) -> Result<(Columns, Metric), IndexError> {
+    let c = Columns::open(path)?;
+    let (kind, metric) = columnar_kind_metric(&c)?;
+    if kind != expect {
+        return Err(IndexError::Format(format!(
+            "index kind mismatch: file holds '{kind}', expected '{expect}'"
+        )));
+    }
+    Ok((c, metric))
+}
+
+/// Pulls one f64 section out as an owned matrix (a single `memcpy` from
+/// the zero-copy view — the container already validated lengths against
+/// the real file size, the cap only guards in-memory blowup).
+pub(crate) fn columnar_matrix(c: &Columns, id: u32) -> Result<DenseMatrix, IndexError> {
+    let (rows, cols) = c.dims(id)?;
+    rows.checked_mul(cols)
+        .filter(|&t| t <= MAX_MATRIX_ELEMS)
+        .ok_or_else(|| IndexError::Format(format!("matrix {rows}×{cols} overflows cap")))?;
+    Ok(DenseMatrix::from_vec(rows, cols, c.f64s(id)?.to_vec()))
+}
 
 /// Buffered little-endian writer for the index format.
 pub(crate) struct FileWriter {
@@ -280,6 +344,8 @@ pub enum AnyIndex {
     Ivf(IvfIndex),
     /// HNSW graph index.
     Hnsw(HnswIndex),
+    /// Scalar-quantized flat index.
+    SqFlat(SqFlatIndex),
 }
 
 impl AnyIndex {
@@ -288,6 +354,7 @@ impl AnyIndex {
             AnyIndex::Flat(x) => x,
             AnyIndex::Ivf(x) => x,
             AnyIndex::Hnsw(x) => x,
+            AnyIndex::SqFlat(x) => x,
         }
     }
 
@@ -338,6 +405,7 @@ impl VectorIndex for AnyIndex {
             AnyIndex::Flat(x) => x.insert(vector),
             AnyIndex::Ivf(x) => x.insert(vector),
             AnyIndex::Hnsw(x) => x.insert(vector),
+            AnyIndex::SqFlat(x) => x.insert(vector),
         }
     }
     fn save(&self, path: &Path) -> Result<(), IndexError> {
@@ -345,13 +413,29 @@ impl VectorIndex for AnyIndex {
     }
 }
 
-/// Loads any `PANEIDX1` file, dispatching on the kind tag in its header.
+/// Loads any index file — `PANECOL1` or legacy `PANEIDX1` — dispatching
+/// on the magic, then on the stored kind.
 pub fn load_index(path: &Path) -> Result<AnyIndex, IndexError> {
+    if pane_format::is_columnar(path)? {
+        let c = Columns::open(path)?;
+        let (kind, metric) = columnar_kind_metric(&c)?;
+        return Ok(match kind {
+            IndexKind::Flat => AnyIndex::Flat(FlatIndex::from_columns(&c, metric)?),
+            IndexKind::Ivf => AnyIndex::Ivf(IvfIndex::from_columns(&c, metric)?),
+            IndexKind::Hnsw => AnyIndex::Hnsw(HnswIndex::from_columns(&c, metric)?),
+            IndexKind::SqFlat => AnyIndex::SqFlat(SqFlatIndex::from_columns(&c, metric)?),
+        });
+    }
     let (kind, _probe) = FileReader::open_any(path)?;
     Ok(match kind {
         IndexKind::Flat => AnyIndex::Flat(FlatIndex::load(path)?),
         IndexKind::Ivf => AnyIndex::Ivf(IvfIndex::load(path)?),
         IndexKind::Hnsw => AnyIndex::Hnsw(HnswIndex::load(path)?),
+        IndexKind::SqFlat => {
+            return Err(IndexError::Format(
+                "sqflat indexes exist only in PANECOL1 containers".into(),
+            ))
+        }
     })
 }
 
@@ -402,15 +486,27 @@ mod tests {
     #[test]
     fn truncated_payload_rejected() {
         use crate::testutil::clustered_vectors;
-        let p = tmp("trunc.idx");
         let data = clustered_vectors(10, 4, 2, 0.1);
-        FlatIndex::build(&data, Metric::Cosine).save(&p).unwrap();
+        let idx = FlatIndex::build(&data, Metric::Cosine);
+        // Legacy stream: the reader notices mid-payload.
+        let p = tmp("trunc.leg.idx");
+        idx.save_legacy(&p).unwrap();
         let bytes = std::fs::read(&p).unwrap();
         std::fs::write(&p, &bytes[..bytes.len() - 7]).unwrap();
         match load_index(&p) {
             Err(IndexError::Format(m)) => {
                 assert!(m.contains("truncated") || m.contains("remain"), "{m}")
             }
+            other => panic!("expected format error, got {other:?}"),
+        }
+        // Columnar container: the declared-vs-actual length check fires
+        // before any section is even read.
+        let p = tmp("trunc.col.idx");
+        idx.save(&p).unwrap();
+        let bytes = std::fs::read(&p).unwrap();
+        std::fs::write(&p, &bytes[..bytes.len() - 7]).unwrap();
+        match load_index(&p) {
+            Err(IndexError::Format(m)) => assert!(m.contains("length"), "{m}"),
             other => panic!("expected format error, got {other:?}"),
         }
     }
@@ -430,6 +526,56 @@ mod tests {
         match FlatIndex::load(&p) {
             Err(IndexError::Format(m)) => assert!(m.contains("remain"), "{m}"),
             other => panic!("expected format error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn load_index_dispatches_every_columnar_kind() {
+        use crate::testutil::clustered_vectors;
+        use crate::{HnswConfig, HnswIndex, IvfConfig, SqConfig, SqFlatIndex};
+        let data = clustered_vectors(60, 8, 3, 0.2);
+        let dumps: Vec<(&str, Box<dyn VectorIndex>)> = vec![
+            (
+                "any_flat.idx",
+                Box::new(FlatIndex::build(&data, Metric::Cosine)),
+            ),
+            (
+                "any_ivf.idx",
+                Box::new(IvfIndex::build(
+                    &data,
+                    Metric::Cosine,
+                    &IvfConfig {
+                        nlist: 4,
+                        ..Default::default()
+                    },
+                )),
+            ),
+            (
+                "any_hnsw.idx",
+                Box::new(HnswIndex::build(
+                    &data,
+                    Metric::Cosine,
+                    &HnswConfig::default(),
+                )),
+            ),
+            (
+                "any_sq.idx",
+                Box::new(SqFlatIndex::build(
+                    &data,
+                    Metric::Cosine,
+                    SqConfig::default(),
+                )),
+            ),
+        ];
+        for (name, idx) in dumps {
+            let p = tmp(name);
+            idx.save(&p).unwrap();
+            let back = load_index(&p).unwrap();
+            assert_eq!(back.kind(), idx.kind(), "{name}");
+            assert_eq!(back.len(), 60);
+            assert_eq!(back.dim(), 8);
+            assert_eq!(back.search(data.row(5), 5), idx.search(data.row(5), 5));
+            std::fs::remove_file(&p).ok();
         }
     }
 

@@ -10,7 +10,10 @@
 //! [`IndexSpec::from_manifest`]) so a store directory's `MANIFEST` can
 //! carry it across restarts.
 
-use crate::{AnyIndex, FlatIndex, HnswConfig, HnswIndex, IndexError, IvfConfig, IvfIndex, Metric};
+use crate::{
+    AnyIndex, FlatIndex, HnswConfig, HnswIndex, IndexError, IvfConfig, IvfIndex, Metric, SqConfig,
+    SqFlatIndex,
+};
 use pane_linalg::DenseMatrix;
 
 /// A buildable description of an index structure.
@@ -22,6 +25,8 @@ pub enum IndexSpec {
     Ivf(IvfConfig),
     /// HNSW graph index with the recorded build parameters.
     Hnsw(HnswConfig),
+    /// Scalar-quantized flat scan with the recorded shortlist multiplier.
+    SqFlat(SqConfig),
 }
 
 impl IndexSpec {
@@ -36,6 +41,7 @@ impl IndexSpec {
                 &IvfConfig { threads, ..*cfg },
             )),
             IndexSpec::Hnsw(cfg) => AnyIndex::Hnsw(HnswIndex::build(data, metric, cfg)),
+            IndexSpec::SqFlat(cfg) => AnyIndex::SqFlat(SqFlatIndex::build(data, metric, *cfg)),
         }
     }
 
@@ -58,15 +64,17 @@ impl IndexSpec {
                 ef_search: x.ef_search(),
                 seed: 0,
             }),
+            AnyIndex::SqFlat(x) => IndexSpec::SqFlat(SqConfig { rerank: x.rerank() }),
         }
     }
 
-    /// Short stable name (`flat` / `ivf` / `hnsw`).
+    /// Short stable name (`flat` / `ivf` / `hnsw` / `sqflat`).
     pub fn kind_name(&self) -> &'static str {
         match self {
             IndexSpec::Flat => "flat",
             IndexSpec::Ivf(_) => "ivf",
             IndexSpec::Hnsw(_) => "hnsw",
+            IndexSpec::SqFlat(_) => "sqflat",
         }
     }
 
@@ -84,6 +92,7 @@ impl IndexSpec {
                 "hnsw m={} efc={} ef={} seed={}",
                 c.m, c.ef_construction, c.ef_search, c.seed
             ),
+            IndexSpec::SqFlat(c) => format!("sqflat rerank={}", c.rerank),
         }
     }
 
@@ -150,8 +159,19 @@ impl IndexSpec {
                     seed: take(&pairs, "seed", d.seed)?,
                 }))
             }
+            "sqflat" => {
+                known(&["rerank"])?;
+                let d = SqConfig::default();
+                let rerank = take(&pairs, "rerank", d.rerank as u64)? as usize;
+                if rerank == 0 {
+                    return Err(IndexError::Format(
+                        "index spec 'rerank' must be positive".into(),
+                    ));
+                }
+                Ok(IndexSpec::SqFlat(SqConfig { rerank }))
+            }
             other => Err(IndexError::Format(format!(
-                "unknown index spec kind '{other}' (flat|ivf|hnsw)"
+                "unknown index spec kind '{other}' (flat|ivf|hnsw|sqflat)"
             ))),
         }
     }
@@ -178,6 +198,7 @@ mod tests {
                 ef_search: 40,
                 seed: 3,
             }),
+            IndexSpec::SqFlat(SqConfig { rerank: 6 }),
         ];
         for spec in specs {
             let line = spec.to_manifest();
@@ -209,6 +230,8 @@ mod tests {
             "ivf m=4",
             "hnsw m=4 m=5",
             "flat nlist=4",
+            "sqflat rerank=0",
+            "sqflat nlist=4",
         ] {
             assert!(
                 matches!(IndexSpec::from_manifest(bad), Err(IndexError::Format(_))),

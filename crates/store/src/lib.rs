@@ -8,9 +8,12 @@
 //! one versioned on-disk **store directory** (the LogBase shape from
 //! PAPERS.md: an append log over immutable bases):
 //!
-//! * **immutable base artifacts** per generation — the `PANEEMB1`
-//!   embedding plus the `PANEIDX1` node/link index pair, all in
-//!   `gen-<g>/`, never modified after the manifest commits to them;
+//! * **immutable base artifacts** per generation — the embedding plus
+//!   the node/link index pair, all in `gen-<g>/`, never modified after
+//!   the manifest commits to them. New generations are written as
+//!   columnar `PANECOL1` containers (`pane-format`); stores created by
+//!   older builds hold legacy `PANEEMB1`/`PANEIDX1` streams, which every
+//!   reader still accepts and [`migrate`] rewrites forward in place;
 //! * the **insert-ahead log** ([`wal`], `PANEWAL1`) — length-prefixed,
 //!   checksummed records of new `X_f`/`X_b` row pairs, synced *before*
 //!   an insert is acknowledged, replayed into delta segments at
@@ -34,11 +37,11 @@ pub mod wal;
 #[cfg(test)]
 mod proptests;
 
-pub use manifest::{Manifest, MANIFEST_FILE};
+pub use manifest::{ArtifactFormat, Manifest, MANIFEST_FILE};
 pub use shard::{expected_shard_len, global_of, local_of, shard_dir, shard_of, ShardedStore};
 pub use store::{
-    build_bases, read_status, OpenStore, Store, StoreStatus, EMBEDDING_FILE, LINK_INDEX_FILE,
-    NODE_INDEX_FILE, WAL_FILE,
+    build_bases, migrate, read_status, MigrateReport, OpenStore, Store, StoreStatus,
+    EMBEDDING_FILE, LINK_INDEX_FILE, NODE_INDEX_FILE, WAL_FILE,
 };
 pub use wal::{replay as replay_wal, Wal, WalAppend, WalRecord, WalReplay, WAL_MAGIC};
 
@@ -88,5 +91,14 @@ impl From<pane_core::PersistError> for StoreError {
 impl From<pane_index::IndexError> for StoreError {
     fn from(e: pane_index::IndexError) -> Self {
         StoreError::Index(e)
+    }
+}
+
+impl From<pane_format::FormatError> for StoreError {
+    fn from(e: pane_format::FormatError) -> Self {
+        match e {
+            pane_format::FormatError::Io(e) => StoreError::Io(e),
+            pane_format::FormatError::Format(m) => StoreError::Format(m),
+        }
     }
 }

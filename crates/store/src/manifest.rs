@@ -38,6 +38,47 @@ pub const MANIFEST_MAGIC: &str = "PANESTR1";
 /// File name of the manifest inside a store directory.
 pub const MANIFEST_FILE: &str = "MANIFEST";
 
+/// On-disk format of a generation's artifacts.
+///
+/// Recorded in the manifest (`format` line) so operators and `status`
+/// reports can tell what a store holds without sniffing files; the
+/// artifact *readers* dispatch on magic bytes regardless, so a wrong or
+/// missing line never misloads data. Manifests written before the
+/// columnar container existed have no `format` line and parse as
+/// [`ArtifactFormat::Legacy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArtifactFormat {
+    /// Original stream formats (`PANEEMB1` embeddings, `PANEIDX1` indexes).
+    Legacy,
+    /// Columnar `PANECOL1` containers (sectioned, aligned, checksummed).
+    Columnar,
+}
+
+impl ArtifactFormat {
+    /// Stable manifest token.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ArtifactFormat::Legacy => "legacy",
+            ArtifactFormat::Columnar => "columnar",
+        }
+    }
+
+    /// Inverse of [`ArtifactFormat::as_str`].
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "legacy" => Some(ArtifactFormat::Legacy),
+            "columnar" => Some(ArtifactFormat::Columnar),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ArtifactFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Parsed contents of a store manifest.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Manifest {
@@ -49,6 +90,8 @@ pub enum Manifest {
         node_spec: IndexSpec,
         /// Build recipe of the link-recommendation index.
         link_spec: IndexSpec,
+        /// Artifact format of the current generation.
+        format: ArtifactFormat,
     },
     /// A sharded root holding `shards` single stores.
     Sharded {
@@ -64,8 +107,9 @@ impl Manifest {
                 generation,
                 node_spec,
                 link_spec,
+                format,
             } => format!(
-                "{MANIFEST_MAGIC}\ngeneration {generation}\nnode_index {}\nlink_index {}\n",
+                "{MANIFEST_MAGIC}\ngeneration {generation}\nnode_index {}\nlink_index {}\nformat {format}\n",
                 node_spec.to_manifest(),
                 link_spec.to_manifest()
             ),
@@ -118,6 +162,7 @@ impl Manifest {
         let mut shards = None;
         let mut node_spec = None;
         let mut link_spec = None;
+        let mut format = None;
         for line in lines {
             let line = line.trim();
             if line.is_empty() {
@@ -162,6 +207,17 @@ impl Manifest {
                         return Err(dup("link_index"));
                     }
                 }
+                "format" => {
+                    let f = ArtifactFormat::parse(rest).ok_or_else(|| {
+                        StoreError::Format(format!(
+                            "{}: unknown artifact format '{rest}' (legacy|columnar)",
+                            path.display()
+                        ))
+                    })?;
+                    if format.replace(f).is_some() {
+                        return Err(dup("format"));
+                    }
+                }
                 other => {
                     return Err(StoreError::Format(format!(
                         "{}: unknown manifest key '{other}'",
@@ -175,8 +231,16 @@ impl Manifest {
                 generation,
                 node_spec,
                 link_spec,
+                // Pre-columnar manifests carry no format line.
+                format: format.unwrap_or(ArtifactFormat::Legacy),
             }),
             (None, Some(shards), None, None) => {
+                if format.is_some() {
+                    return Err(StoreError::Format(format!(
+                        "{}: a sharded root carries no 'format' line (each shard records its own)",
+                        path.display()
+                    )));
+                }
                 if shards < 2 {
                     return Err(StoreError::Format(format!(
                         "{}: a sharded root needs at least 2 shards, got {shards}",
@@ -217,9 +281,24 @@ mod tests {
                 nlist: 32,
                 ..Default::default()
             }),
+            format: ArtifactFormat::Columnar,
         };
         m.write(&dir).unwrap();
         assert_eq!(Manifest::read(&dir).unwrap(), m);
+    }
+
+    #[test]
+    fn manifest_without_format_line_parses_as_legacy() {
+        let dir = tmp("noformat");
+        std::fs::write(
+            dir.join(MANIFEST_FILE),
+            "PANESTR1\ngeneration 2\nnode_index flat\nlink_index flat\n",
+        )
+        .unwrap();
+        match Manifest::read(&dir).unwrap() {
+            Manifest::Single { format, .. } => assert_eq!(format, ArtifactFormat::Legacy),
+            other => panic!("wrong shape: {other:?}"),
+        }
     }
 
     #[test]
@@ -243,6 +322,8 @@ mod tests {
             "PANESTR1\ngeneration 1\nnode_index btree\nlink_index flat\n",
             "PANESTR1\nwhat 3\n",
             "PANESTR1\nshards 2\ngeneration 1\nnode_index flat\nlink_index flat\n",
+            "PANESTR1\ngeneration 1\nnode_index flat\nlink_index flat\nformat parquet\n",
+            "PANESTR1\nshards 2\nformat columnar\n",
         ] {
             std::fs::write(dir.join(MANIFEST_FILE), bad).unwrap();
             assert!(

@@ -76,6 +76,29 @@ impl ShardedStore {
         shards: usize,
         threads: usize,
     ) -> Result<(), StoreError> {
+        Self::init_with_format(
+            root,
+            emb,
+            node_spec,
+            link_spec,
+            shards,
+            threads,
+            crate::ArtifactFormat::Columnar,
+        )
+    }
+
+    /// [`ShardedStore::init`] with an explicit artifact format for every
+    /// shard (see [`Store::init_with_format`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn init_with_format(
+        root: &Path,
+        emb: &PaneEmbedding,
+        node_spec: &IndexSpec,
+        link_spec: &IndexSpec,
+        shards: usize,
+        threads: usize,
+        format: crate::ArtifactFormat,
+    ) -> Result<(), StoreError> {
         let n = emb.forward.rows();
         if shards < 2 {
             return Err(StoreError::Format(format!(
@@ -111,12 +134,13 @@ impl ShardedStore {
                 timings: PaneTimings::default(),
                 objective: f64::NAN,
             };
-            Store::init(
+            Store::init_with_format(
                 &shard_dir(root, s),
                 &shard_emb,
                 node_spec,
                 link_spec,
                 threads,
+                format,
             )?;
         }
         Manifest::Sharded { shards }.write(root)?;
@@ -168,6 +192,24 @@ impl ShardedStore {
             }
         }
         Ok(opened)
+    }
+
+    /// Migrates every shard of a sharded root to the columnar format
+    /// (see [`crate::migrate`]); shards already columnar are no-ops, so
+    /// an interrupted run is safely resumable.
+    pub fn migrate(root: &Path) -> Result<Vec<crate::MigrateReport>, StoreError> {
+        let shards = match Manifest::read(root)? {
+            Manifest::Sharded { shards } => shards,
+            Manifest::Single { .. } => {
+                return Err(StoreError::Format(format!(
+                    "{} is a single store, not a sharded root",
+                    root.display()
+                )))
+            }
+        };
+        (0..shards)
+            .map(|s| crate::migrate(&shard_dir(root, s)))
+            .collect()
     }
 
     /// Offline status of every shard (see [`crate::read_status`]).
@@ -240,6 +282,43 @@ mod tests {
         match ShardedStore::open(&root) {
             Err(StoreError::Format(m)) => assert!(m.contains("round-robin"), "{m}"),
             other => panic!("expected balance error, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn sharded_migrate_rewrites_every_shard() {
+        let root = tmpdir("shard_migrate");
+        let emb = fixture(30, 12);
+        let shards = 2;
+        ShardedStore::init_with_format(
+            &root,
+            &emb,
+            &IndexSpec::Flat,
+            &IndexSpec::Flat,
+            shards,
+            1,
+            crate::ArtifactFormat::Legacy,
+        )
+        .unwrap();
+        for s in ShardedStore::read_status(&root).unwrap() {
+            assert_eq!(s.format, crate::ArtifactFormat::Legacy);
+        }
+
+        let reports = ShardedStore::migrate(&root).unwrap();
+        assert_eq!(reports.len(), 2);
+        assert!(reports.iter().all(|r| r.migrated));
+        for s in ShardedStore::read_status(&root).unwrap() {
+            assert_eq!(s.format, crate::ArtifactFormat::Columnar);
+        }
+        // The partition still opens and routes identically.
+        let opened = ShardedStore::open(&root).unwrap();
+        assert_eq!(opened.len(), 2);
+        for (s, o) in opened.iter().enumerate() {
+            for local in 0..o.embedding.forward.rows() {
+                let g = global_of(s, local, shards);
+                assert_eq!(o.embedding.forward.row(local), emb.forward.row(g));
+            }
         }
         std::fs::remove_dir_all(&root).ok();
     }

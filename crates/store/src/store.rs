@@ -5,10 +5,14 @@
 //!   MANIFEST        PANESTR1 manifest naming the current generation
 //!   wal.log         PANEWAL1 insert-ahead log (see `wal`)
 //!   gen-00003/      the current generation's immutable base artifacts
-//!     embedding.bin   PANEEMB1 embedding store (X_f, X_b, Y)
-//!     node.idx        PANEIDX1 similar-nodes index over [X_f ‖ X_b]
-//!     link.idx        PANEIDX1 link index over X_b
+//!     embedding.bin   PANECOL1 embedding store (X_f, X_b, Y)
+//!     node.idx        PANECOL1 similar-nodes index over [X_f ‖ X_b]
+//!     link.idx        PANECOL1 link index over X_b
 //! ```
+//!
+//! New generations are columnar `PANECOL1` containers; stores written by
+//! older builds hold legacy `PANEEMB1`/`PANEIDX1` streams, which every
+//! loader still reads and [`migrate`] (or any snapshot) rewrites forward.
 //!
 //! The life cycle mirrors a log-structured store (LogBase, PAPERS.md):
 //! [`Store::open`] loads the base generation and **replays** the WAL into
@@ -20,7 +24,7 @@
 //! manifest naming one complete generation plus a WAL whose clean prefix
 //! re-creates the acknowledged inserts.
 
-use crate::manifest::{Manifest, MANIFEST_FILE};
+use crate::manifest::{ArtifactFormat, Manifest, MANIFEST_FILE};
 use crate::wal::{self, Wal};
 use crate::StoreError;
 use pane_core::PaneEmbedding;
@@ -81,6 +85,46 @@ fn sync_dir(path: &Path) {
     }
 }
 
+/// Writes one generation's three artifacts into `gdir` in the requested
+/// format and fsyncs them. The columnar path is what `init`, `snapshot`,
+/// and `migrate` all use; the legacy path exists so tests and CI can
+/// create pre-columnar fixtures (`pane store init --format legacy`).
+fn write_generation(
+    gdir: &Path,
+    emb: &PaneEmbedding,
+    node: &AnyIndex,
+    link: &AnyIndex,
+    format: ArtifactFormat,
+) -> Result<(), StoreError> {
+    match format {
+        ArtifactFormat::Columnar => {
+            pane_core::save_columns(emb, &gdir.join(EMBEDDING_FILE))?;
+            node.save(&gdir.join(NODE_INDEX_FILE))?;
+            link.save(&gdir.join(LINK_INDEX_FILE))?;
+        }
+        ArtifactFormat::Legacy => {
+            pane_core::save_binary(emb, &gdir.join(EMBEDDING_FILE))?;
+            for (idx, file) in [(node, NODE_INDEX_FILE), (link, LINK_INDEX_FILE)] {
+                match idx {
+                    AnyIndex::Flat(x) => x.save_legacy(&gdir.join(file))?,
+                    AnyIndex::Ivf(x) => x.save_legacy(&gdir.join(file))?,
+                    AnyIndex::Hnsw(x) => x.save_legacy(&gdir.join(file))?,
+                    AnyIndex::SqFlat(_) => {
+                        return Err(StoreError::Format(
+                            "sqflat indexes have no legacy form; use the columnar format".into(),
+                        ))
+                    }
+                }
+            }
+        }
+    }
+    for f in [EMBEDDING_FILE, NODE_INDEX_FILE, LINK_INDEX_FILE] {
+        sync_file(&gdir.join(f))?;
+    }
+    sync_dir(gdir);
+    Ok(())
+}
+
 /// Builds the canonical serving index pair for an embedding: the node
 /// index over the `[X_f ‖ X_b]` classifier features and the link index
 /// over `X_b`, both max-inner-product (the unified score scale). The one
@@ -109,6 +153,7 @@ pub struct Store {
     generation: u64,
     node_spec: IndexSpec,
     link_spec: IndexSpec,
+    format: ArtifactFormat,
     wal: Wal,
     wal_records: usize,
     replayed: usize,
@@ -133,14 +178,37 @@ pub struct OpenStore {
 
 impl Store {
     /// Initializes `dir` as a fresh store: generation 1 artifacts built
-    /// from `emb` per the specs, an empty WAL, and the manifest. Refuses
-    /// a directory that already holds a manifest.
+    /// from `emb` per the specs (written as columnar `PANECOL1`
+    /// containers), an empty WAL, and the manifest. Refuses a directory
+    /// that already holds a manifest.
     pub fn init(
         dir: &Path,
         emb: &PaneEmbedding,
         node_spec: &IndexSpec,
         link_spec: &IndexSpec,
         threads: usize,
+    ) -> Result<(), StoreError> {
+        Self::init_with_format(
+            dir,
+            emb,
+            node_spec,
+            link_spec,
+            threads,
+            ArtifactFormat::Columnar,
+        )
+    }
+
+    /// [`Store::init`] with an explicit artifact format. The legacy
+    /// format exists for migration fixtures and compatibility tests
+    /// (`pane store init --format legacy`); new stores should take the
+    /// columnar default.
+    pub fn init_with_format(
+        dir: &Path,
+        emb: &PaneEmbedding,
+        node_spec: &IndexSpec,
+        link_spec: &IndexSpec,
+        threads: usize,
+        format: ArtifactFormat,
     ) -> Result<(), StoreError> {
         if emb.forward.rows() == 0 || emb.forward.cols() == 0 {
             return Err(StoreError::Format(
@@ -158,19 +226,14 @@ impl Store {
         let generation = 1;
         let gdir = gen_dir(dir, generation);
         std::fs::create_dir_all(&gdir)?;
-        pane_core::save_binary(emb, &gdir.join(EMBEDDING_FILE))?;
         let (node, link) = build_bases(emb, node_spec, link_spec, threads);
-        node.save(&gdir.join(NODE_INDEX_FILE))?;
-        link.save(&gdir.join(LINK_INDEX_FILE))?;
-        for f in [EMBEDDING_FILE, NODE_INDEX_FILE, LINK_INDEX_FILE] {
-            sync_file(&gdir.join(f))?;
-        }
-        sync_dir(&gdir);
+        write_generation(&gdir, emb, &node, &link, format)?;
         Wal::create(&dir.join(WAL_FILE))?;
         Manifest::Single {
             generation,
             node_spec: *node_spec,
             link_spec: *link_spec,
+            format,
         }
         .write(dir)?;
         Ok(())
@@ -193,12 +256,13 @@ impl Store {
     /// snapshot` on a live store fails fast instead of corrupting the
     /// log. The kernel drops the lock on any exit, `kill -9` included.
     pub fn open(dir: &Path) -> Result<OpenStore, StoreError> {
-        let (generation, node_spec, link_spec) = match Manifest::read(dir)? {
+        let (generation, node_spec, link_spec, format) = match Manifest::read(dir)? {
             Manifest::Single {
                 generation,
                 node_spec,
                 link_spec,
-            } => (generation, node_spec, link_spec),
+                format,
+            } => (generation, node_spec, link_spec, format),
             Manifest::Sharded { shards } => {
                 return Err(StoreError::Format(format!(
                     "{} is a sharded root ({shards} shards); open it with ShardedStore / \
@@ -290,6 +354,7 @@ impl Store {
                 generation,
                 node_spec,
                 link_spec,
+                format,
                 wal,
                 wal_records,
                 replayed: wal_records,
@@ -322,6 +387,10 @@ impl Store {
     /// truncates the WAL, and removes the previous generation directory
     /// (best-effort — a leftover directory is garbage, not corruption).
     /// Returns the new generation number.
+    ///
+    /// Snapshots always write the columnar format — snapshotting is how
+    /// a legacy store migrates forward as a side effect of normal
+    /// operation (and [`migrate`] is the explicit path).
     pub fn snapshot(
         &mut self,
         emb: &PaneEmbedding,
@@ -347,18 +416,12 @@ impl Store {
             std::fs::remove_dir_all(&gdir)?;
         }
         std::fs::create_dir_all(&gdir)?;
-        pane_core::save_binary(emb, &gdir.join(EMBEDDING_FILE))?;
-        node_base.save(&gdir.join(NODE_INDEX_FILE))?;
-        link_base.save(&gdir.join(LINK_INDEX_FILE))?;
         // The generation must be fully ON DISK before the manifest can
-        // name it: fsync every artifact and the directory entries, or a
-        // power loss after the rename could commit to unwritten pages
-        // while the WAL (the only other copy of the inserts) is about
-        // to be truncated.
-        for f in [EMBEDDING_FILE, NODE_INDEX_FILE, LINK_INDEX_FILE] {
-            sync_file(&gdir.join(f))?;
-        }
-        sync_dir(&gdir);
+        // name it (write_generation fsyncs every artifact and the
+        // directory entry), or a power loss after the rename could
+        // commit to unwritten pages while the WAL (the only other copy
+        // of the inserts) is about to be truncated.
+        write_generation(&gdir, emb, node_base, link_base, ArtifactFormat::Columnar)?;
         sync_dir(&self.dir);
         // Commit point: the manifest rename. Before it, the old
         // generation is current; after it, the new one is.
@@ -366,12 +429,14 @@ impl Store {
             generation: next,
             node_spec: self.node_spec,
             link_spec: self.link_spec,
+            format: ArtifactFormat::Columnar,
         }
         .write(&self.dir)?;
         self.wal.truncate()?;
         let old = gen_dir(&self.dir, self.generation);
         let _ = std::fs::remove_dir_all(old);
         self.generation = next;
+        self.format = ArtifactFormat::Columnar;
         self.wal_records = 0;
         Ok(next)
     }
@@ -415,6 +480,100 @@ impl Store {
     pub fn link_spec(&self) -> IndexSpec {
         self.link_spec
     }
+
+    /// Artifact format of the current base generation.
+    pub fn format(&self) -> ArtifactFormat {
+        self.format
+    }
+
+    /// Total on-disk bytes of the current generation's three artifacts
+    /// (best-effort stat; a vanished file counts as 0 rather than
+    /// failing a stats report).
+    pub fn artifact_bytes(&self) -> u64 {
+        let gdir = gen_dir(&self.dir, self.generation);
+        [EMBEDDING_FILE, NODE_INDEX_FILE, LINK_INDEX_FILE]
+            .iter()
+            .filter_map(|f| std::fs::metadata(gdir.join(f)).ok())
+            .map(|m| m.len())
+            .sum()
+    }
+}
+
+/// Outcome of [`migrate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrateReport {
+    /// Format the store held before the call.
+    pub from_format: ArtifactFormat,
+    /// Current generation after the call (bumped when a rewrite ran).
+    pub generation: u64,
+    /// Whether artifacts were actually rewritten (`false` when the store
+    /// was already columnar — the call is then a no-op).
+    pub migrated: bool,
+}
+
+/// Rewrites a legacy store's current generation as columnar `PANECOL1`
+/// artifacts, in place.
+///
+/// The rewrite is a restricted snapshot: the base artifacts are loaded,
+/// re-saved into `gen-<g+1>/` in the columnar format, the manifest is
+/// atomically swung to the new generation (now recording
+/// `format columnar`), and the old generation directory is removed. The
+/// WAL is **left untouched** — migration changes the container bytes,
+/// not the logical base (same `n` rows), so the replay contract holds
+/// verbatim and un-snapshotted inserts survive. Serving results are
+/// bit-identical before and after: the matrices and index structures
+/// round-trip exactly, only their envelope changes.
+///
+/// Takes the store's exclusive lock; fails fast if a daemon is live.
+/// A store that is already columnar is a successful no-op.
+pub fn migrate(dir: &Path) -> Result<MigrateReport, StoreError> {
+    let (generation, node_spec, link_spec, format) = match Manifest::read(dir)? {
+        Manifest::Single {
+            generation,
+            node_spec,
+            link_spec,
+            format,
+        } => (generation, node_spec, link_spec, format),
+        Manifest::Sharded { shards } => {
+            return Err(StoreError::Format(format!(
+                "{} is a sharded root ({shards} shards); migrate each shard-NNN/ directory",
+                dir.display()
+            )))
+        }
+    };
+    let _lock = take_lock(dir)?;
+    if format == ArtifactFormat::Columnar {
+        return Ok(MigrateReport {
+            from_format: format,
+            generation,
+            migrated: false,
+        });
+    }
+    let gdir = gen_dir(dir, generation);
+    let emb = pane_core::load_binary(&gdir.join(EMBEDDING_FILE))?;
+    let node = pane_index::load_index(&gdir.join(NODE_INDEX_FILE))?;
+    let link = pane_index::load_index(&gdir.join(LINK_INDEX_FILE))?;
+    let next = generation + 1;
+    let ndir = gen_dir(dir, next);
+    if ndir.exists() {
+        std::fs::remove_dir_all(&ndir)?;
+    }
+    std::fs::create_dir_all(&ndir)?;
+    write_generation(&ndir, &emb, &node, &link, ArtifactFormat::Columnar)?;
+    sync_dir(dir);
+    Manifest::Single {
+        generation: next,
+        node_spec,
+        link_spec,
+        format: ArtifactFormat::Columnar,
+    }
+    .write(dir)?;
+    let _ = std::fs::remove_dir_all(&gdir);
+    Ok(MigrateReport {
+        from_format: format,
+        generation: next,
+        migrated: true,
+    })
 }
 
 /// Offline status of a store directory, read without loading any matrix.
@@ -434,17 +593,34 @@ pub struct StoreStatus {
     pub node_spec: IndexSpec,
     /// Build recipe of the link index.
     pub link_spec: IndexSpec,
+    /// Artifact format of the base generation (manifest `format` line).
+    pub format: ArtifactFormat,
+    /// On-disk size of the embedding artifact.
+    pub embedding_bytes: u64,
+    /// On-disk size of the node index artifact.
+    pub node_index_bytes: u64,
+    /// On-disk size of the link index artifact.
+    pub link_index_bytes: u64,
 }
 
-/// Reads a single store's status: manifest, WAL scan, and the embedding
-/// header (32 bytes) — no matrix data is loaded.
+impl StoreStatus {
+    /// Total on-disk size of the base generation's artifacts.
+    pub fn artifact_bytes(&self) -> u64 {
+        self.embedding_bytes + self.node_index_bytes + self.link_index_bytes
+    }
+}
+
+/// Reads a single store's status: manifest, WAL scan, artifact file
+/// sizes, and the embedding header/section table — no matrix data is
+/// loaded in either format.
 pub fn read_status(dir: &Path) -> Result<StoreStatus, StoreError> {
-    let (generation, node_spec, link_spec) = match Manifest::read(dir)? {
+    let (generation, node_spec, link_spec, format) = match Manifest::read(dir)? {
         Manifest::Single {
             generation,
             node_spec,
             link_spec,
-        } => (generation, node_spec, link_spec),
+            format,
+        } => (generation, node_spec, link_spec, format),
         Manifest::Sharded { shards } => {
             return Err(StoreError::Format(format!(
                 "{} is a sharded root ({shards} shards); status each shard or use \
@@ -453,23 +629,47 @@ pub fn read_status(dir: &Path) -> Result<StoreStatus, StoreError> {
             )))
         }
     };
-    let emb_path = gen_dir(dir, generation).join(EMBEDDING_FILE);
-    let mut f = std::fs::File::open(&emb_path)?;
-    let mut header = [0u8; 32];
-    f.read_exact(&mut header).map_err(|_| {
-        StoreError::Format(format!(
-            "{}: truncated embedding header",
-            emb_path.display()
-        ))
-    })?;
-    if &header[..8] != pane_core::BINARY_MAGIC {
-        return Err(StoreError::Format(format!(
-            "{}: not a PANEEMB1 embedding",
-            emb_path.display()
-        )));
-    }
-    let base_nodes = u64::from_le_bytes(header[8..16].try_into().unwrap()) as usize;
-    let half_dim = u64::from_le_bytes(header[24..32].try_into().unwrap()) as usize;
+    let gdir = gen_dir(dir, generation);
+    let emb_path = gdir.join(EMBEDDING_FILE);
+    let (base_nodes, half_dim) = if pane_format::is_columnar(&emb_path)? {
+        let (artifact, _, sections) = pane_format::peek_table(&emb_path)?;
+        if artifact != pane_format::Artifact::Embedding {
+            return Err(StoreError::Format(format!(
+                "{}: {artifact:?} artifact where an embedding was expected",
+                emb_path.display()
+            )));
+        }
+        let fwd = sections
+            .iter()
+            .find(|s| s.id == pane_format::section::EMB_FORWARD)
+            .ok_or_else(|| {
+                StoreError::Format(format!(
+                    "{}: container has no forward-embedding section",
+                    emb_path.display()
+                ))
+            })?;
+        (fwd.rows, fwd.cols)
+    } else {
+        let mut f = std::fs::File::open(&emb_path)?;
+        let mut header = [0u8; 32];
+        f.read_exact(&mut header).map_err(|_| {
+            StoreError::Format(format!(
+                "{}: truncated embedding header",
+                emb_path.display()
+            ))
+        })?;
+        if &header[..8] != pane_core::BINARY_MAGIC {
+            return Err(StoreError::Format(format!(
+                "{}: neither a PANECOL1 nor a PANEEMB1 embedding",
+                emb_path.display()
+            )));
+        }
+        let n = u64::from_le_bytes(header[8..16].try_into().unwrap()) as usize;
+        let k2 = u64::from_le_bytes(header[24..32].try_into().unwrap()) as usize;
+        (n, k2)
+    };
+    let file_len =
+        |name: &str| -> Result<u64, StoreError> { Ok(std::fs::metadata(gdir.join(name))?.len()) };
     let replayed = wal::replay(&dir.join(WAL_FILE))?;
     Ok(StoreStatus {
         generation,
@@ -479,6 +679,10 @@ pub fn read_status(dir: &Path) -> Result<StoreStatus, StoreError> {
         wal_dropped_bytes: replayed.dropped_bytes,
         node_spec,
         link_spec,
+        format,
+        embedding_bytes: file_len(EMBEDDING_FILE)?,
+        node_index_bytes: file_len(NODE_INDEX_FILE)?,
+        link_index_bytes: file_len(LINK_INDEX_FILE)?,
     })
 }
 
@@ -723,6 +927,127 @@ mod tests {
         assert_eq!(s.wal_records, 1);
         assert_eq!(s.wal_dropped_bytes, 0);
         assert_eq!(s.node_spec, IndexSpec::Flat);
+        assert_eq!(s.format, ArtifactFormat::Columnar);
+        let gdir = gen_dir(&dir, 1);
+        for (have, file) in [
+            (s.embedding_bytes, EMBEDDING_FILE),
+            (s.node_index_bytes, NODE_INDEX_FILE),
+            (s.link_index_bytes, LINK_INDEX_FILE),
+        ] {
+            assert_eq!(have, std::fs::metadata(gdir.join(file)).unwrap().len());
+            assert!(have > 0, "{file} reported as empty");
+        }
+        assert_eq!(
+            s.artifact_bytes(),
+            s.embedding_bytes + s.node_index_bytes + s.link_index_bytes
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Both container generations answer `status` identically — the
+    /// legacy path parses the `PANEEMB1` header, the columnar path peeks
+    /// the `PANECOL1` section table; neither loads matrix data.
+    #[test]
+    fn status_reads_both_formats() {
+        for format in [ArtifactFormat::Legacy, ArtifactFormat::Columnar] {
+            let dir = tmpdir(&format!("status_{format}"));
+            let emb = fixture(35, 11);
+            Store::init_with_format(&dir, &emb, &IndexSpec::Flat, &IndexSpec::Flat, 1, format)
+                .unwrap();
+            let s = read_status(&dir).unwrap();
+            assert_eq!(s.format, format);
+            assert_eq!(s.base_nodes, 35);
+            assert_eq!(s.half_dim, emb.forward.cols());
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    /// The tentpole's in-place migration: a legacy store is rewritten as
+    /// columnar artifacts while the WAL — and therefore every
+    /// acknowledged-but-unsnapshotted insert — survives verbatim.
+    #[test]
+    fn migrate_rewrites_legacy_in_place_and_preserves_wal() {
+        let dir = tmpdir("migrate");
+        let emb = fixture(45, 6);
+        let k2 = emb.forward.cols();
+        Store::init_with_format(
+            &dir,
+            &emb,
+            &IndexSpec::Flat,
+            &IndexSpec::Flat,
+            1,
+            ArtifactFormat::Legacy,
+        )
+        .unwrap();
+        {
+            let mut opened = Store::open(&dir).unwrap();
+            assert_eq!(opened.store.format(), ArtifactFormat::Legacy);
+            let row: Vec<f64> = (0..k2).map(|i| 0.3 * (i + 1) as f64).collect();
+            opened.store.append(45, &row, &row).unwrap();
+        }
+        let report = migrate(&dir).unwrap();
+        assert_eq!(report.from_format, ArtifactFormat::Legacy);
+        assert_eq!(report.generation, 2);
+        assert!(report.migrated);
+        assert!(!gen_dir(&dir, 1).exists(), "old generation not removed");
+
+        let s = read_status(&dir).unwrap();
+        assert_eq!(s.format, ArtifactFormat::Columnar);
+        assert_eq!(s.base_nodes, 45, "migration must not fold the WAL");
+        assert_eq!(s.wal_records, 1, "migration must not touch the WAL");
+
+        let opened = Store::open(&dir).unwrap();
+        assert_eq!(opened.store.format(), ArtifactFormat::Columnar);
+        assert_eq!(opened.store.replayed(), 1);
+        assert_eq!(opened.embedding.forward.rows(), 46);
+        assert_eq!(
+            &opened.embedding.forward.data()[..45 * k2],
+            emb.forward.data(),
+            "migrated base rows must be bit-identical"
+        );
+        assert_eq!(
+            opened.embedding.backward.data()[..45 * k2],
+            *emb.backward.data()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn migrate_is_a_noop_on_a_columnar_store() {
+        let dir = tmpdir("migrate_noop");
+        let emb = fixture(25, 8);
+        Store::init(&dir, &emb, &IndexSpec::Flat, &IndexSpec::Flat, 1).unwrap();
+        let report = migrate(&dir).unwrap();
+        assert_eq!(report.from_format, ArtifactFormat::Columnar);
+        assert_eq!(report.generation, 1);
+        assert!(!report.migrated);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Snapshots always write columnar — normal operation migrates a
+    /// legacy store forward without an explicit `migrate` call.
+    #[test]
+    fn snapshot_of_a_legacy_store_migrates_it() {
+        let dir = tmpdir("snap_migrates");
+        let emb = fixture(30, 13);
+        Store::init_with_format(
+            &dir,
+            &emb,
+            &IndexSpec::Flat,
+            &IndexSpec::Flat,
+            1,
+            ArtifactFormat::Legacy,
+        )
+        .unwrap();
+        let mut opened = Store::open(&dir).unwrap();
+        let (node, link) = build_bases(&opened.embedding, &IndexSpec::Flat, &IndexSpec::Flat, 1);
+        opened
+            .store
+            .snapshot(&opened.embedding, &node, &link)
+            .unwrap();
+        assert_eq!(opened.store.format(), ArtifactFormat::Columnar);
+        drop(opened);
+        assert_eq!(read_status(&dir).unwrap().format, ArtifactFormat::Columnar);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

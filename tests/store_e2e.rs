@@ -185,3 +185,76 @@ fn sharded_inserts_survive_restart_and_snapshot() {
     assert_eq!(engine.similar_nodes(&[n, n + 2], 6).unwrap(), before);
     std::fs::remove_dir_all(&root).ok();
 }
+
+/// Acceptance path of the columnar migration (PR 8's tentpole): a store
+/// initialized with legacy `PANEEMB1`/`PANEIDX1` artifacts serves, is
+/// migrated in place to `PANECOL1`, and serves **bit-identical**
+/// similar-nodes and recommend-links answers afterwards — including an
+/// insert acknowledged before the migration, carried across it by the
+/// untouched WAL.
+#[test]
+fn migrate_then_serve_is_bit_identical_to_legacy() {
+    use pane_store::ArtifactFormat;
+
+    let dir = tmpdir("migrate_identical");
+    let g = sbm(180, 21);
+    let emb = Pane::new(cfg()).embed(&g).unwrap();
+    let n = g.num_nodes();
+    let k2 = emb.forward.cols();
+    Store::init_with_format(
+        &dir,
+        &emb,
+        &IndexSpec::Flat,
+        &IndexSpec::Flat,
+        2,
+        ArtifactFormat::Legacy,
+    )
+    .unwrap();
+
+    // Session 1 (legacy artifacts): insert one node, record the answers.
+    let nodes: Vec<usize> = (0..n).step_by(13).chain([n]).collect();
+    let probe: Vec<f64> = (0..k2).map(|i| 0.05 * (i + 1) as f64).collect();
+    let (sim_before, links_before) = {
+        let mut engine = ServeEngine::open(&dir, 2).unwrap();
+        assert_eq!(engine.status().store.unwrap().format, "legacy");
+        assert_eq!(engine.insert(&probe, &probe).unwrap(), n);
+        (
+            engine.similar_nodes(&nodes, 9).unwrap(),
+            engine.recommend_links(&nodes, 7, &[1, 30]).unwrap(),
+        )
+    }; // hard stop — the insert lives only in the WAL
+
+    // Migrate in place: container bytes change, nothing logical does.
+    let report = pane_store::migrate(&dir).unwrap();
+    assert_eq!(report.from_format, ArtifactFormat::Legacy);
+    assert!(report.migrated);
+    let status = pane_store::read_status(&dir).unwrap();
+    assert_eq!(status.format, ArtifactFormat::Columnar);
+    assert_eq!(status.base_nodes, n, "migration must not fold the WAL");
+    assert_eq!(status.wal_records, 1, "migration must not touch the WAL");
+
+    // Session 2 (columnar artifacts): every answer is bit-identical.
+    let mut engine = ServeEngine::open(&dir, 2).unwrap();
+    let store = engine.status().store.unwrap();
+    assert_eq!(store.format, "columnar");
+    assert_eq!(store.replayed, 1, "the pre-migration insert survived");
+    assert_eq!(engine.similar_nodes(&nodes, 9).unwrap(), sim_before);
+    assert_eq!(
+        engine.recommend_links(&nodes, 7, &[1, 30]).unwrap(),
+        links_before
+    );
+
+    // Snapshot on top of the migrated store still works and stays
+    // columnar; the answers hold across one more restart.
+    let out = engine.snapshot().unwrap();
+    assert_eq!(out.folded, 1);
+    drop(engine);
+    let engine = ServeEngine::open(&dir, 2).unwrap();
+    assert_eq!(engine.status().store.unwrap().format, "columnar");
+    assert_eq!(engine.similar_nodes(&nodes, 9).unwrap(), sim_before);
+    assert_eq!(
+        engine.recommend_links(&nodes, 7, &[1, 30]).unwrap(),
+        links_before
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
