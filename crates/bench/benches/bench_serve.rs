@@ -16,6 +16,10 @@
 use criterion::{criterion_group, criterion_main, note, Criterion};
 use pane_core::{PaneEmbedding, PaneTimings};
 use pane_linalg::{vecops, DenseMatrix, NormalSampler};
+use pane_loadgen::{
+    find_knee, generate_requests, run, BatchSpec, Endpoint, HandlerEndpoint, Mix, RunPlan, Skew,
+    WorkloadConfig,
+};
 use pane_obs::Tracer;
 use pane_serve::{IndexSpec, LineHandler, ObservedHandler, ServeEngine, ServeObs};
 use rand::rngs::StdRng;
@@ -124,5 +128,89 @@ fn bench_instrumentation_overhead(c: &mut Criterion) {
     note("overhead_pct", format!("{overhead_pct:.3}"));
 }
 
-criterion_group!(serve_benches, bench_instrumentation_overhead);
+/// Open-loop saturation of the in-process serving stack: the load
+/// generator steps the offered rate geometrically against an
+/// `ObservedHandler`-wrapped engine (the exact handler `pane serve`
+/// deploys) until achieved throughput stops tracking offered load, and
+/// the knee lands in the report notes. In-process endpoints keep the
+/// number transport-free: this is the handler's capacity, an upper
+/// bound for any socket deployment of the same engine.
+///
+/// Override the corpus with `PANE_SERVE_NODES`, the search floor with
+/// `PANE_LOADGEN_START_QPS` (default 250).
+fn bench_open_loop_saturation(_c: &mut Criterion) {
+    let n = nodes_from_env();
+    let handler = Arc::new(ObservedHandler::new(
+        engine(n),
+        Arc::new(ServeObs::new(Tracer::disabled())),
+    ));
+    let wl = WorkloadConfig {
+        mix: Mix {
+            similar: 90,
+            links: 0,
+            insert: 10,
+        },
+        skew: Skew::Zipf(1.1),
+        batch: BatchSpec { min: 1, max: 4 },
+        k: K,
+        seed: 42,
+    };
+    let half_dim = HALF_DIM;
+    let start_qps = std::env::var("PANE_LOADGEN_START_QPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&q| q > 0.0)
+        .unwrap_or(250.0);
+    let step_secs = 1.0;
+    let knee = find_knee(start_qps, 2.0, 6, 0.9, |qps| {
+        let count = ((qps * step_secs).ceil() as usize).max(1);
+        let requests = generate_requests(&wl, n, half_dim, count);
+        let handler = Arc::clone(&handler);
+        let connect =
+            move || Ok(Box::new(HandlerEndpoint::new(Arc::clone(&handler))) as Box<dyn Endpoint>);
+        let plan = RunPlan {
+            qps,
+            connections: 4,
+        };
+        let report = run(&plan, &requests, &connect)?;
+        println!(
+            "bench serve_saturation: offered {qps:.0} qps → achieved {:.1} qps, \
+             p50 {:.6} s, p99 {:.6} s ({} ok / {} sent)",
+            report.achieved_qps, report.p50_s, report.p99_s, report.ok, report.sent
+        );
+        Ok(report)
+    })
+    .expect("knee search over an in-process handler cannot fail to run");
+
+    let trajectory: Vec<String> = knee
+        .steps
+        .iter()
+        .map(|s| format!("{:.0}:{:.1}", s.offered_qps, s.achieved_qps))
+        .collect();
+    println!(
+        "bench serve_saturation: knee at {:.0} qps offered ({:.1} achieved), saturated={}",
+        knee.knee_qps, knee.knee_achieved_qps, knee.saturated
+    );
+    note("loadgen_mix", wl.mix);
+    note("loadgen_skew", "zipf:1.1");
+    note("loadgen_seed", wl.seed);
+    note("loadgen_connections", 4);
+    note("knee_qps", format!("{:.1}", knee.knee_qps));
+    note(
+        "knee_achieved_qps",
+        format!("{:.1}", knee.knee_achieved_qps),
+    );
+    note("knee_saturated", knee.saturated);
+    note("knee_trajectory", trajectory.join(","));
+    if let Some(last) = knee.steps.last() {
+        note("knee_last_step_p50_s", format!("{:.9}", last.p50_s));
+        note("knee_last_step_p99_s", format!("{:.9}", last.p99_s));
+    }
+}
+
+criterion_group!(
+    serve_benches,
+    bench_instrumentation_overhead,
+    bench_open_loop_saturation
+);
 criterion_main!(serve_benches);

@@ -28,6 +28,11 @@
 //!                   [--log-json PATH] [--log-level warn] [--slow-query-ms N]
 //! pane metrics      --addr ADDR [--json]
 //!                   [--connect-timeout-ms 1000] [--request-timeout-ms 10000]
+//! pane bench serve  --addr ADDR [--qps 200] [--duration-ms 2000]
+//!                   [--connections 4] [--mix q90/i10] [--skew uniform|zipf:1.1]
+//!                   [--batch 4|1..16] [--k 10] [--seed 42] [--timeout-ms 5000]
+//!                   [--knee] [--knee-factor 2] [--knee-steps 6]
+//!                   [--knee-threshold 0.9]
 //! pane store init     --embedding EMB [--text] --dir DIR [--shards N]
 //!                     [--kind flat|ivf|hnsw|sqflat + build params]
 //!                     [--format columnar|legacy] [--threads 1]
@@ -70,6 +75,7 @@ fn main() -> ExitCode {
         "serve" => cmd_serve(raw),
         "route" => cmd_route(raw),
         "metrics" => cmd_metrics(raw),
+        "bench" => cmd_bench(raw),
         "store" => cmd_store(raw),
         "evaluate" => cmd_evaluate(raw),
         "convert" => cmd_convert(raw),
@@ -98,6 +104,7 @@ fn print_help() {
            serve     run the shared-index serving daemon (JSON-lines over TCP or stdio)\n\
            route     run the merging query router over shard daemons (same protocol)\n\
            metrics   scrape a live serve/route endpoint's metrics (Prometheus text or JSON)\n\
+           bench     drive a live serve/route endpoint with open-loop load (saturation search)\n\
            store     manage durable store directories (init / snapshot / status / migrate)\n\
            evaluate  run the three-task quality report on a graph\n\
            convert   convert a text graph to the fast binary format (or back)\n\n\
@@ -816,6 +823,185 @@ fn cmd_metrics(raw: Vec<String>) -> CliResult {
             .and_then(|v| v.as_str())
             .ok_or("response carried no text exposition")?;
         print!("{text}");
+    }
+    Ok(())
+}
+
+fn cmd_bench(mut raw: Vec<String>) -> CliResult {
+    if raw.is_empty() {
+        return Err("bench requires a subcommand: serve".into());
+    }
+    let sub = raw.remove(0);
+    match sub.as_str() {
+        "serve" => cmd_bench_serve(raw),
+        other => Err(format!("unknown bench subcommand '{other}' (serve)").into()),
+    }
+}
+
+/// `pane bench serve` — open-loop load against a live `pane serve` or
+/// `pane route` endpoint. Arrivals follow the configured QPS schedule
+/// regardless of completions, so queueing delay lands in the reported
+/// latency; `--knee` steps the rate geometrically until achieved
+/// throughput stops tracking offered load. The report goes to stdout as
+/// a human table and, when `PANE_BENCH_JSON` names a path, to that file
+/// in the same `{"results":…,"notes":…}` shape the criterion benches
+/// emit.
+fn cmd_bench_serve(raw: Vec<String>) -> CliResult {
+    use pane_loadgen as lg;
+    use std::time::Duration;
+    let a = Args::parse(raw, &["knee"])?;
+    reject_positionals(&a)?;
+    a.reject_unknown(&[
+        "addr",
+        "qps",
+        "duration-ms",
+        "connections",
+        "mix",
+        "skew",
+        "batch",
+        "k",
+        "seed",
+        "timeout-ms",
+        "knee-factor",
+        "knee-steps",
+        "knee-threshold",
+    ])?;
+    let addr = a.require("addr")?.to_string();
+    let qps: f64 = a.get_parsed("qps", 200.0f64)?;
+    if qps.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+        return Err("--qps must be > 0".into());
+    }
+    let duration = Duration::from_millis(a.get_parsed("duration-ms", 2_000u64)?.max(1));
+    let connections: usize = a.get_parsed("connections", 4usize)?;
+    let workload = lg::WorkloadConfig {
+        mix: lg::Mix::parse(a.get("mix").unwrap_or("q90/i10")).map_err(ArgError)?,
+        skew: lg::Skew::parse(a.get("skew").unwrap_or("uniform")).map_err(ArgError)?,
+        batch: lg::BatchSpec::parse(a.get("batch").unwrap_or("4")).map_err(ArgError)?,
+        k: a.get_parsed("k", 10usize)?,
+        seed: a.get_parsed("seed", 42u64)?,
+    };
+    let timeout = Duration::from_millis(a.get_parsed("timeout-ms", 5_000u64)?);
+
+    // One control connection probes the deployment shape and brackets
+    // the run with metrics scrapes; load flows over its own connections.
+    let mut control = lg::TcpEndpoint::connect(&addr, timeout)?;
+    let target = lg::probe_target(&mut control)?;
+    eprintln!(
+        "target {addr}: {} nodes, half_dim {} | mix {} skew {} batch {} k {} seed {}",
+        target.nodes,
+        target.half_dim,
+        workload.mix,
+        workload.skew,
+        workload.batch,
+        workload.k,
+        workload.seed
+    );
+    let before = lg::flatten_wire_metrics(&lg::scrape_metrics(&mut control)?);
+
+    let connect_addr = addr.clone();
+    let connect = move |_rate: f64| -> Result<Box<dyn lg::Endpoint>, String> {
+        Ok(Box::new(lg::TcpEndpoint::connect(&connect_addr, timeout)?))
+    };
+    let run_at = |rate: f64| -> Result<lg::RunReport, String> {
+        let count = (rate * duration.as_secs_f64()).ceil().max(1.0) as usize;
+        let requests = lg::generate_requests(&workload, target.nodes, target.half_dim, count);
+        lg::run(
+            &lg::RunPlan {
+                qps: rate,
+                connections,
+            },
+            &requests,
+            &|| connect(rate),
+        )
+    };
+
+    let mut report = lg::BenchReport::new();
+    report.note("addr", &addr);
+    report.note("nodes", target.nodes);
+    report.note("half_dim", target.half_dim);
+    report.note("mix", workload.mix);
+    report.note("skew", workload.skew);
+    report.note("batch", workload.batch);
+    report.note("k", workload.k);
+    report.note("seed", workload.seed);
+    report.note("connections", connections);
+    report.note("duration_ms", duration.as_millis());
+
+    let print_step = |r: &lg::RunReport| {
+        println!(
+            "offered {:>9.1} qps | achieved {:>9.1} qps | p50 {:>9.6}s p95 {:>9.6}s \
+             p99 {:>9.6}s | ok {} err {} degraded {}",
+            r.offered_qps, r.achieved_qps, r.p50_s, r.p95_s, r.p99_s, r.ok, r.errors, r.degraded
+        );
+    };
+
+    if a.flag("knee") {
+        let factor: f64 = a.get_parsed("knee-factor", 2.0f64)?;
+        let max_steps: usize = a.get_parsed("knee-steps", 6usize)?;
+        let threshold: f64 = a.get_parsed("knee-threshold", 0.9f64)?;
+        let knee = lg::find_knee(qps, factor, max_steps, threshold, |rate| {
+            let r = run_at(rate)?;
+            print_step(&r);
+            Ok(r)
+        })?;
+        for step in &knee.steps {
+            report.result(
+                format!("serve_qps_{:.0}", step.offered_qps),
+                step.p50_s,
+                0.0,
+                step.ok,
+            );
+        }
+        let last = knee.steps.last().expect("knee search takes >= 1 step");
+        report.note("offered_qps", format!("{:.2}", last.offered_qps));
+        report.note("achieved_qps", format!("{:.2}", last.achieved_qps));
+        report.note("knee_qps", format!("{:.2}", knee.knee_qps));
+        report.note(
+            "knee_achieved_qps",
+            format!("{:.2}", knee.knee_achieved_qps),
+        );
+        report.note("saturated", knee.saturated);
+        println!(
+            "saturation knee: {:.1} qps offered, {:.1} qps achieved ({})",
+            knee.knee_qps,
+            knee.knee_achieved_qps,
+            if knee.saturated {
+                "next step stopped tracking"
+            } else {
+                "lower bound — never saturated within the step budget"
+            }
+        );
+    } else {
+        let r = run_at(qps)?;
+        print_step(&r);
+        report.result("serve_open_loop", r.p50_s, 0.0, r.ok);
+        report.note("offered_qps", format!("{:.2}", r.offered_qps));
+        report.note("achieved_qps", format!("{:.2}", r.achieved_qps));
+        report.note("p50_s", format!("{}", r.p50_s));
+        report.note("p95_s", format!("{}", r.p95_s));
+        report.note("p99_s", format!("{}", r.p99_s));
+        report.note("errors", r.errors);
+        report.note("degraded", r.degraded);
+    }
+
+    // Server-side deltas for free: scrape again, subtract.
+    let after = lg::flatten_wire_metrics(&lg::scrape_metrics(&mut control)?);
+    let delta = pane_obs::snapshot_delta(&before, &after);
+    let moved: Vec<(&String, &f64)> = delta.iter().filter(|(_, &v)| v != 0.0).collect();
+    eprintln!("server-side deltas ({} series moved):", moved.len());
+    for (key, value) in &moved {
+        eprintln!("  {key} {value:+}");
+    }
+    for (key, value) in &moved {
+        // Requests-total deltas are the cross-check against client-side
+        // accounting, so they ride along in the report notes.
+        if key.starts_with("pane_requests_total") || key.starts_with("pane_router_requests_total") {
+            report.note(format!("delta_{key}"), format!("{value}"));
+        }
+    }
+
+    if let Some(path) = report.write_env_report()? {
+        eprintln!("wrote bench report {}", path.display());
     }
     Ok(())
 }

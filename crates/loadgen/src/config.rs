@@ -1,0 +1,240 @@
+//! Workload configuration: mix, skew, and batch-size grammars.
+//!
+//! All three parse from the compact CLI syntax (`q90/i10`, `zipf:1.1`,
+//! `1..16`) and render back through [`std::fmt::Display`], so a report
+//! can echo exactly what was run.
+
+/// Workload mix as integer percentages that must sum to 100.
+///
+/// Parsed from `/`-separated tokens: `q` (or `s`) for `similar-nodes`,
+/// `l` for `recommend-links`, `i` for `insert` — e.g. `q90/i10` or
+/// `q70/l20/i10`. Omitted ops default to 0%.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mix {
+    /// Percentage of `similar-nodes` requests.
+    pub similar: u32,
+    /// Percentage of `recommend-links` requests.
+    pub links: u32,
+    /// Percentage of `insert` requests.
+    pub insert: u32,
+}
+
+impl Mix {
+    /// Parses the `q90/i10`-style grammar. Errors (rather than guessing)
+    /// on unknown ops, duplicate ops, or percentages not summing to 100.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let mut mix = Mix {
+            similar: 0,
+            links: 0,
+            insert: 0,
+        };
+        let mut seen = [false; 3];
+        for token in s.split('/') {
+            let (op, pct) = token.split_at(token.len().min(1));
+            let pct: u32 = pct
+                .parse()
+                .map_err(|_| format!("bad mix token {token:?}: expected e.g. q90"))?;
+            let slot = match op {
+                "q" | "s" => {
+                    mix.similar = pct;
+                    0
+                }
+                "l" => {
+                    mix.links = pct;
+                    1
+                }
+                "i" => {
+                    mix.insert = pct;
+                    2
+                }
+                _ => return Err(format!("bad mix op {op:?}: expected q, s, l, or i")),
+            };
+            if seen[slot] {
+                return Err(format!("duplicate mix op {op:?} in {s:?}"));
+            }
+            seen[slot] = true;
+        }
+        if mix.similar + mix.links + mix.insert != 100 {
+            return Err(format!(
+                "mix {s:?} sums to {}, must sum to 100",
+                mix.similar + mix.links + mix.insert
+            ));
+        }
+        Ok(mix)
+    }
+}
+
+impl std::fmt::Display for Mix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "q{}/l{}/i{}", self.similar, self.links, self.insert)
+    }
+}
+
+/// Key-skew distribution over node ids.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Skew {
+    /// Every node equally likely.
+    Uniform,
+    /// Zipfian with the given exponent θ > 0: node rank `r` drawn with
+    /// probability ∝ 1/(r+1)^θ. θ ≈ 1 models typical hot-key traffic.
+    Zipf(f64),
+}
+
+impl Skew {
+    /// Parses `uniform` or `zipf:THETA` (θ must be finite and > 0).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        if s == "uniform" {
+            return Ok(Skew::Uniform);
+        }
+        if let Some(theta) = s.strip_prefix("zipf:") {
+            let theta: f64 = theta
+                .parse()
+                .map_err(|_| format!("bad zipf exponent in {s:?}"))?;
+            if !theta.is_finite() || theta <= 0.0 {
+                return Err(format!("zipf exponent must be finite and > 0, got {theta}"));
+            }
+            return Ok(Skew::Zipf(theta));
+        }
+        Err(format!(
+            "bad skew {s:?}: expected 'uniform' or 'zipf:THETA'"
+        ))
+    }
+}
+
+impl std::fmt::Display for Skew {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Skew::Uniform => write!(f, "uniform"),
+            Skew::Zipf(theta) => write!(f, "zipf:{theta}"),
+        }
+    }
+}
+
+/// Batch-size distribution: uniform over `min..=max` nodes per query.
+/// A fixed size is `min == max`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchSpec {
+    /// Smallest batch (≥ 1).
+    pub min: usize,
+    /// Largest batch (≥ `min`).
+    pub max: usize,
+}
+
+impl BatchSpec {
+    /// Parses `N` (fixed) or `MIN..MAX` (inclusive uniform range).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let (min, max) = match s.split_once("..") {
+            Some((lo, hi)) => (
+                lo.parse()
+                    .map_err(|_| format!("bad batch range start in {s:?}"))?,
+                hi.parse()
+                    .map_err(|_| format!("bad batch range end in {s:?}"))?,
+            ),
+            None => {
+                let n = s.parse().map_err(|_| format!("bad batch size {s:?}"))?;
+                (n, n)
+            }
+        };
+        if min == 0 || max < min {
+            return Err(format!("batch range {s:?} must satisfy 1 <= min <= max"));
+        }
+        Ok(BatchSpec { min, max })
+    }
+}
+
+impl std::fmt::Display for BatchSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.min == self.max {
+            write!(f, "{}", self.min)
+        } else {
+            write!(f, "{}..{}", self.min, self.max)
+        }
+    }
+}
+
+/// Everything that determines the synthesized request stream. Two equal
+/// configs with the same target shape produce identical streams.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadConfig {
+    /// Op mix percentages.
+    pub mix: Mix,
+    /// Node-id skew for query batches.
+    pub skew: Skew,
+    /// Batch-size distribution for query ops.
+    pub batch: BatchSpec,
+    /// Top-k requested by each query.
+    pub k: usize,
+    /// Seed for the single generator the whole stream is drawn from.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        Self {
+            mix: Mix {
+                similar: 90,
+                links: 0,
+                insert: 10,
+            },
+            skew: Skew::Uniform,
+            batch: BatchSpec { min: 4, max: 4 },
+            k: 10,
+            seed: 42,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_grammar_round_trips_and_rejects_garbage() {
+        assert_eq!(
+            Mix::parse("q90/i10").unwrap(),
+            Mix {
+                similar: 90,
+                links: 0,
+                insert: 10
+            }
+        );
+        assert_eq!(
+            Mix::parse("s50/l30/i20").unwrap(),
+            Mix {
+                similar: 50,
+                links: 30,
+                insert: 20
+            }
+        );
+        assert_eq!(Mix::parse("q100").unwrap().to_string(), "q100/l0/i0");
+        assert!(Mix::parse("q90/i5").is_err(), "must sum to 100");
+        assert!(Mix::parse("x90/i10").is_err(), "unknown op");
+        assert!(Mix::parse("q50/q50").is_err(), "duplicate op");
+        assert!(Mix::parse("q/i100").is_err(), "missing percentage");
+    }
+
+    #[test]
+    fn skew_grammar_round_trips_and_rejects_garbage() {
+        assert_eq!(Skew::parse("uniform").unwrap(), Skew::Uniform);
+        assert_eq!(Skew::parse("zipf:1.1").unwrap(), Skew::Zipf(1.1));
+        assert_eq!(Skew::parse("zipf:0.75").unwrap().to_string(), "zipf:0.75");
+        assert!(Skew::parse("zipf:0").is_err());
+        assert!(Skew::parse("zipf:-1").is_err());
+        assert!(Skew::parse("zipf:inf").is_err());
+        assert!(Skew::parse("pareto").is_err());
+    }
+
+    #[test]
+    fn batch_grammar_round_trips_and_rejects_garbage() {
+        assert_eq!(BatchSpec::parse("8").unwrap(), BatchSpec { min: 8, max: 8 });
+        assert_eq!(
+            BatchSpec::parse("1..16").unwrap(),
+            BatchSpec { min: 1, max: 16 }
+        );
+        assert_eq!(BatchSpec::parse("1..16").unwrap().to_string(), "1..16");
+        assert_eq!(BatchSpec::parse("8").unwrap().to_string(), "8");
+        assert!(BatchSpec::parse("0").is_err());
+        assert!(BatchSpec::parse("9..2").is_err());
+        assert!(BatchSpec::parse("a..b").is_err());
+    }
+}

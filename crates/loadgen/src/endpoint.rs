@@ -1,0 +1,213 @@
+//! Where generated requests go: a live TCP daemon or an in-process
+//! [`LineHandler`], behind one [`Endpoint`] trait so the runner, the
+//! e2e tests, and the CLI share the same machinery.
+
+use pane_serve::{parse, Json, LineHandler};
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One connection's view of the target: send a request line, get the
+/// response line back. Errors are strings — the runner records them per
+/// request rather than aborting the run (a load generator must survive
+/// the failures it is trying to measure).
+pub trait Endpoint: Send {
+    /// Sends `line` (newline appended) and reads one response line.
+    fn roundtrip(&mut self, line: &str) -> Result<String, String>;
+}
+
+/// A TCP connection to a live `pane serve` or `pane route` daemon,
+/// speaking the JSON-lines protocol with read/write timeouts so a hung
+/// server shows up as a timed-out request, not a hung generator.
+pub struct TcpEndpoint {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl TcpEndpoint {
+    /// Connects to `addr` (e.g. `"127.0.0.1:7878"`); `timeout` bounds
+    /// the connect and each subsequent read/write.
+    pub fn connect(addr: &str, timeout: Duration) -> Result<Self, String> {
+        let mut last = format!("'{addr}' resolved to no addresses");
+        for resolved in addr
+            .to_socket_addrs()
+            .map_err(|e| format!("resolve {addr}: {e}"))?
+        {
+            match TcpStream::connect_timeout(&resolved, timeout) {
+                Ok(stream) => {
+                    stream
+                        .set_read_timeout(Some(timeout))
+                        .map_err(|e| e.to_string())?;
+                    stream
+                        .set_write_timeout(Some(timeout))
+                        .map_err(|e| e.to_string())?;
+                    stream.set_nodelay(true).ok();
+                    let reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+                    return Ok(Self {
+                        reader,
+                        writer: stream,
+                    });
+                }
+                Err(e) => last = format!("connect {addr}: {e}"),
+            }
+        }
+        Err(last)
+    }
+}
+
+impl Endpoint for TcpEndpoint {
+    fn roundtrip(&mut self, line: &str) -> Result<String, String> {
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|_| self.writer.write_all(b"\n"))
+            .and_then(|_| self.writer.flush())
+            .map_err(|e| format!("write: {e}"))?;
+        let mut resp = String::new();
+        match self.reader.read_line(&mut resp) {
+            Ok(0) => Err("connection closed before a response arrived".into()),
+            Ok(_) => Ok(resp.trim_end().to_string()),
+            Err(e) => Err(format!("read: {e}")),
+        }
+    }
+}
+
+/// An in-process endpoint over any [`LineHandler`] — the way the e2e
+/// tests drive a [`pane_serve::ObservedHandler`] or a
+/// [`pane_serve::Router`] without sockets in the measured path.
+pub struct HandlerEndpoint<H: LineHandler> {
+    handler: Arc<H>,
+}
+
+impl<H: LineHandler> HandlerEndpoint<H> {
+    /// Wraps a shared handler; clones of the `Arc` are cheap, so one
+    /// handler serves every connection.
+    pub fn new(handler: Arc<H>) -> Self {
+        Self { handler }
+    }
+}
+
+impl<H: LineHandler + Send + Sync> Endpoint for HandlerEndpoint<H> {
+    fn roundtrip(&mut self, line: &str) -> Result<String, String> {
+        let (resp, _keep_open) = self.handler.handle(line);
+        Ok(resp)
+    }
+}
+
+/// What a deployment looks like to the generator, scraped from `stats`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TargetInfo {
+    /// Node count — the query-id key space.
+    pub nodes: usize,
+    /// Embedding half-width — the insert vector length.
+    pub half_dim: usize,
+}
+
+/// Scrapes `stats` from the endpoint and extracts the [`TargetInfo`]
+/// the workload synthesizer needs. Works against both a single daemon
+/// and a router (both report `nodes` and `half_dim`).
+pub fn probe_target(endpoint: &mut dyn Endpoint) -> Result<TargetInfo, String> {
+    let resp = endpoint.roundtrip(r#"{"op":"stats"}"#)?;
+    let v = parse(&resp).map_err(|e| format!("stats response: {e}"))?;
+    if v.get("ok") != Some(&Json::Bool(true)) {
+        return Err(format!("stats request failed: {resp}"));
+    }
+    let field = |name: &str| {
+        v.get(name)
+            .and_then(Json::as_index)
+            .ok_or_else(|| format!("stats response is missing {name:?}: {resp}"))
+    };
+    Ok(TargetInfo {
+        nodes: field("nodes")?,
+        half_dim: field("half_dim")?,
+    })
+}
+
+/// Scrapes the `metrics` op and returns the parsed response.
+pub fn scrape_metrics(endpoint: &mut dyn Endpoint) -> Result<Json, String> {
+    let resp = endpoint.roundtrip(r#"{"op":"metrics"}"#)?;
+    let v = parse(&resp).map_err(|e| format!("metrics response: {e}"))?;
+    if v.get("ok") != Some(&Json::Bool(true)) {
+        return Err(format!("metrics request failed: {resp}"));
+    }
+    Ok(v)
+}
+
+/// Flattens a `metrics` response into the same `key → value` map shape
+/// as [`pane_obs::MetricsRegistry::snapshot`]: counters and gauges
+/// under their series key, histograms as `key_count` / `key_sum`. Two
+/// scrapes bracketing a run feed [`pane_obs::snapshot_delta`] to
+/// isolate the server-side cost of that run.
+pub fn flatten_wire_metrics(resp: &Json) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    let Some(metrics) = resp.get("metrics") else {
+        return out;
+    };
+    for kind in ["counters", "gauges"] {
+        if let Some(Json::Obj(entries)) = metrics.get(kind) {
+            for (key, value) in entries {
+                if let Some(v) = value.as_f64() {
+                    out.insert(key.clone(), v);
+                }
+            }
+        }
+    }
+    if let Some(Json::Obj(entries)) = metrics.get("histograms") {
+        for (key, value) in entries {
+            if let Some(c) = value.get("count").and_then(Json::as_f64) {
+                out.insert(format!("{key}_count"), c);
+            }
+            if let Some(s) = value.get("sum").and_then(Json::as_f64) {
+                out.insert(format!("{key}_sum"), s);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flatten_matches_the_registry_snapshot_shape() {
+        // A wire metrics response as ObservedHandler builds it.
+        let resp = parse(concat!(
+            r#"{"ok":true,"op":"metrics","metrics":{"#,
+            r#""counters":{"pane_requests_total{op=\"stats\"}":3},"#,
+            r#""gauges":{"pane_up":1},"#,
+            r#""histograms":{"pane_lat_seconds":{"count":4,"sum":0.5,"p50":0.1,"p95":0.2,"p99":0.2}}"#,
+            r#"}}"#,
+        ))
+        .unwrap();
+        let flat = flatten_wire_metrics(&resp);
+        assert_eq!(flat.get(r#"pane_requests_total{op="stats"}"#), Some(&3.0));
+        assert_eq!(flat.get("pane_up"), Some(&1.0));
+        assert_eq!(flat.get("pane_lat_seconds_count"), Some(&4.0));
+        assert_eq!(flat.get("pane_lat_seconds_sum"), Some(&0.5));
+        assert_eq!(flat.len(), 4, "quantiles are not snapshot series");
+
+        // The delta machinery composes directly.
+        let delta = pane_obs::snapshot_delta(&flat, &flat);
+        assert_eq!(delta.get("pane_lat_seconds_count"), Some(&0.0));
+    }
+
+    #[test]
+    fn probe_target_reads_nodes_and_half_dim() {
+        struct Canned;
+        impl Endpoint for Canned {
+            fn roundtrip(&mut self, _line: &str) -> Result<String, String> {
+                Ok(r#"{"ok":true,"op":"stats","nodes":90,"half_dim":16}"#.into())
+            }
+        }
+        let info = probe_target(&mut Canned).unwrap();
+        assert_eq!(
+            info,
+            TargetInfo {
+                nodes: 90,
+                half_dim: 16
+            }
+        );
+    }
+}

@@ -1,0 +1,132 @@
+//! Machine-readable reports through the `PANE_BENCH_JSON` contract.
+//!
+//! The load generator is a standalone binary path (`pane bench serve`),
+//! not a criterion bench, but it emits the **same** report shape as the
+//! vendored criterion shim — `{"results":[{label, median_s, mad_s,
+//! samples}], "notes":{…}}` — so CI's contract assertions and any
+//! downstream tooling read both without caring which produced them.
+
+use std::fmt::Display;
+use std::fmt::Write as _;
+
+/// Collects labeled results and free-form notes, then serializes them
+/// in the `PANE_BENCH_JSON` report shape.
+#[derive(Debug, Default, Clone)]
+pub struct BenchReport {
+    results: Vec<(String, f64, f64, usize)>,
+    notes: Vec<(String, String)>,
+}
+
+impl BenchReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one result row. `median_s` carries the headline seconds
+    /// value (for a load run: median/p50 latency), `mad_s` the spread,
+    /// `samples` how many observations back it.
+    pub fn result(&mut self, label: impl Into<String>, median_s: f64, mad_s: f64, samples: usize) {
+        self.results.push((label.into(), median_s, mad_s, samples));
+    }
+
+    /// Records a context note; later notes with the same key override
+    /// earlier ones (same semantics as the criterion shim's `note`).
+    pub fn note(&mut self, key: impl Display, value: impl Display) {
+        let key = key.to_string();
+        self.notes.retain(|(k, _)| *k != key);
+        self.notes.push((key, value.to_string()));
+    }
+
+    /// Renders the `{"results":[…],"notes":{…}}` JSON object.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\"results\":[");
+        for (i, (label, median, mad, samples)) in self.results.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"label\":\"{}\",\"median_s\":{},\"mad_s\":{},\"samples\":{}}}",
+                escape(label),
+                num(*median),
+                num(*mad),
+                samples
+            );
+        }
+        out.push_str("],\"notes\":{");
+        for (i, (k, v)) in self.notes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":\"{}\"", escape(k), escape(v));
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Writes the report (newline-terminated) to the path named by the
+    /// `PANE_BENCH_JSON` environment variable, if set and non-empty.
+    /// Returns the path written to, if any.
+    pub fn write_env_report(&self) -> std::io::Result<Option<std::path::PathBuf>> {
+        match std::env::var("PANE_BENCH_JSON") {
+            Ok(path) if !path.is_empty() => {
+                let path = std::path::PathBuf::from(path);
+                std::fs::write(&path, self.render_json() + "\n")?;
+                Ok(Some(path))
+            }
+            _ => Ok(None),
+        }
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_shape_matches_the_bench_json_contract() {
+        let mut r = BenchReport::new();
+        r.result("serve_q90_i10", 0.00042, 0.0, 1200);
+        r.note("offered_qps", 500);
+        r.note("offered_qps", 750); // override wins
+        r.note("mix", "q90/l0/i10");
+        let json = r.render_json();
+        // The exact substrings CI's contract check greps for.
+        assert!(json.contains("\"results\":[{"), "{json}");
+        assert!(json.contains("\"notes\":{"), "{json}");
+        assert_eq!(
+            json,
+            concat!(
+                "{\"results\":[{\"label\":\"serve_q90_i10\",",
+                "\"median_s\":0.00042,\"mad_s\":0,\"samples\":1200}],",
+                "\"notes\":{\"offered_qps\":\"750\",\"mix\":\"q90/l0/i10\"}}",
+            )
+        );
+        // The shape stays inside the serve protocol's JSON subset.
+        pane_serve::parse(&json).unwrap();
+    }
+}

@@ -1,0 +1,243 @@
+//! Deterministic request-stream synthesis.
+//!
+//! One seeded [`StdRng`] drives every draw — op choice, batch size,
+//! node ids, insert vectors — in a fixed order, so identical seed +
+//! config produce an identical byte-for-byte request sequence. The
+//! stream is synthesized **before** the run starts; generation cost
+//! never leaks into measured latency.
+
+use crate::config::{Skew, WorkloadConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The protocol op a generated request performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// A batched `similar-nodes` query.
+    SimilarNodes,
+    /// A batched `recommend-links` query.
+    RecommendLinks,
+    /// A single-row `insert`.
+    Insert,
+}
+
+impl OpKind {
+    /// The wire-protocol op string this kind produces (and the server
+    /// echoes back on success).
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            OpKind::SimilarNodes => "similar-nodes",
+            OpKind::RecommendLinks => "recommend-links",
+            OpKind::Insert => "insert",
+        }
+    }
+}
+
+/// One pre-rendered request: the op kind (for per-op accounting and
+/// desync detection) plus the exact JSON line to send.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Which protocol op the line performs.
+    pub op: OpKind,
+    /// The request line, without the trailing newline.
+    pub line: String,
+}
+
+/// Seeded node-id sampler implementing the configured key skew.
+///
+/// The Zipfian variant precomputes the full CDF (probability of rank
+/// `r` ∝ 1/(r+1)^θ) and samples by binary search — exact and
+/// deterministic, at O(n) memory. At load-generator scale (node counts
+/// up to a few million) the table costs a few MiB once per run, which
+/// beats the rejection-inversion samplers' approximation subtleties.
+#[derive(Debug, Clone)]
+pub struct NodeSampler {
+    n: usize,
+    /// Cumulative unnormalized mass per rank; `None` for uniform.
+    cdf: Option<Vec<f64>>,
+}
+
+impl NodeSampler {
+    /// A sampler over node ids `0..n` with the given skew.
+    /// Panics if `n == 0` — an empty key space cannot be sampled.
+    pub fn new(skew: &Skew, n: usize) -> Self {
+        assert!(n > 0, "cannot sample node ids from an empty deployment");
+        let cdf = match skew {
+            Skew::Uniform => None,
+            Skew::Zipf(theta) => {
+                let mut acc = 0.0;
+                Some(
+                    (0..n)
+                        .map(|r| {
+                            acc += 1.0 / ((r + 1) as f64).powf(*theta);
+                            acc
+                        })
+                        .collect(),
+                )
+            }
+        };
+        Self { n, cdf }
+    }
+
+    /// Draws one node id.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        match &self.cdf {
+            None => rng.gen_range(0..self.n),
+            Some(cdf) => {
+                let total = *cdf.last().expect("n > 0");
+                let u = rng.gen::<f64>() * total;
+                // First rank whose cumulative mass reaches u.
+                cdf.partition_point(|&c| c < u).min(self.n - 1)
+            }
+        }
+    }
+}
+
+/// Synthesizes `count` requests against a deployment of `nodes` nodes
+/// with `half_dim`-wide embedding halves.
+///
+/// Query batches sample existing ids only (`0..nodes`); inserts append
+/// rows whose ids the deployment assigns, so the stream stays valid
+/// regardless of how many inserts have landed. The mix draw uses the
+/// integer percentage bands directly (`0..100`), so a `q90/i10` mix is
+/// exactly 90%/10% in expectation and reproducible in realization.
+pub fn generate_requests(
+    cfg: &WorkloadConfig,
+    nodes: usize,
+    half_dim: usize,
+    count: usize,
+) -> Vec<Request> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let sampler = NodeSampler::new(&cfg.skew, nodes);
+    (0..count)
+        .map(|_| {
+            let band = rng.gen_range(0u32..100);
+            let op = if band < cfg.mix.similar {
+                OpKind::SimilarNodes
+            } else if band < cfg.mix.similar + cfg.mix.links {
+                OpKind::RecommendLinks
+            } else {
+                OpKind::Insert
+            };
+            let line = match op {
+                OpKind::Insert => {
+                    let half = |rng: &mut StdRng| {
+                        let vals: Vec<String> = (0..half_dim)
+                            .map(|_| format!("{}", rng.gen_range(-1.0..1.0)))
+                            .collect();
+                        vals.join(",")
+                    };
+                    let fwd = half(&mut rng);
+                    let bwd = half(&mut rng);
+                    format!(r#"{{"op":"insert","forward":[{fwd}],"backward":[{bwd}]}}"#)
+                }
+                query => {
+                    let batch = rng.gen_range(cfg.batch.min..=cfg.batch.max);
+                    let ids: Vec<String> = (0..batch)
+                        .map(|_| sampler.sample(&mut rng).to_string())
+                        .collect();
+                    format!(
+                        r#"{{"op":"{}","nodes":[{}],"k":{}}}"#,
+                        query.wire_name(),
+                        ids.join(","),
+                        cfg.k
+                    )
+                }
+            };
+            Request { op, line }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{BatchSpec, Mix};
+
+    fn cfg() -> WorkloadConfig {
+        WorkloadConfig {
+            mix: Mix {
+                similar: 60,
+                links: 30,
+                insert: 10,
+            },
+            skew: Skew::Zipf(1.1),
+            batch: BatchSpec { min: 1, max: 8 },
+            k: 5,
+            seed: 99,
+        }
+    }
+
+    /// The acceptance-criteria pin: identical seed + config ⇒ identical
+    /// request sequence, byte for byte.
+    #[test]
+    fn identical_seed_and_config_give_identical_request_streams() {
+        let a = generate_requests(&cfg(), 500, 16, 400);
+        let b = generate_requests(&cfg(), 500, 16, 400);
+        assert_eq!(a, b);
+        let different_seed = WorkloadConfig { seed: 100, ..cfg() };
+        assert_ne!(a, generate_requests(&different_seed, 500, 16, 400));
+    }
+
+    #[test]
+    fn mix_percentages_are_respected_in_realization() {
+        let reqs = generate_requests(&cfg(), 500, 16, 4000);
+        let count = |op| reqs.iter().filter(|r| r.op == op).count();
+        let sim = count(OpKind::SimilarNodes) as f64 / 4000.0;
+        let links = count(OpKind::RecommendLinks) as f64 / 4000.0;
+        let ins = count(OpKind::Insert) as f64 / 4000.0;
+        assert!((sim - 0.60).abs() < 0.05, "similar fraction {sim}");
+        assert!((links - 0.30).abs() < 0.05, "links fraction {links}");
+        assert!((ins - 0.10).abs() < 0.05, "insert fraction {ins}");
+    }
+
+    #[test]
+    fn every_generated_line_parses_and_stays_in_bounds() {
+        let reqs = generate_requests(&cfg(), 200, 8, 500);
+        for r in &reqs {
+            let v = pane_serve::parse(&r.line).expect("generated line must parse");
+            assert_eq!(v.get("op").unwrap().as_str(), Some(r.op.wire_name()));
+            match r.op {
+                OpKind::Insert => {
+                    assert_eq!(v.get("forward").unwrap().as_f64_array().unwrap().len(), 8);
+                    assert_eq!(v.get("backward").unwrap().as_f64_array().unwrap().len(), 8);
+                }
+                _ => {
+                    let ids = v.get("nodes").unwrap().as_index_array().unwrap();
+                    assert!(!ids.is_empty() && ids.len() <= 8);
+                    assert!(ids.iter().all(|&id| id < 200), "id out of range: {ids:?}");
+                    assert_eq!(v.get("k").unwrap().as_index(), Some(5));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_skews_toward_low_ranks_and_uniform_does_not() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let zipf = NodeSampler::new(&Skew::Zipf(1.1), 1000);
+        let hot = (0..5000).filter(|_| zipf.sample(&mut rng) < 10).count();
+        assert!(
+            hot > 1000,
+            "zipf(1.1) should put >20% of draws on the 10 hottest of 1000 keys, got {hot}/5000"
+        );
+        let mut rng = StdRng::seed_from_u64(7);
+        let uniform = NodeSampler::new(&Skew::Uniform, 1000);
+        let hot = (0..5000).filter(|_| uniform.sample(&mut rng) < 10).count();
+        assert!(
+            hot < 150,
+            "uniform draws should not concentrate: {hot}/5000"
+        );
+    }
+
+    #[test]
+    fn zipf_sampler_covers_the_whole_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = NodeSampler::new(&Skew::Zipf(0.5), 8);
+        let mut seen = [false; 8];
+        for _ in 0..2000 {
+            seen[s.sample(&mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "some ids never drawn: {seen:?}");
+    }
+}

@@ -38,5 +38,7 @@
 mod metrics;
 mod trace;
 
-pub use metrics::{latency_buckets, size_buckets, Counter, Gauge, Histogram, MetricsRegistry};
+pub use metrics::{
+    latency_buckets, size_buckets, snapshot_delta, Counter, Gauge, Histogram, MetricsRegistry,
+};
 pub use trace::{Event, Level, Span, Tracer};

@@ -389,6 +389,52 @@ impl MetricsRegistry {
             histograms.join(",")
         )
     }
+
+    /// Captures every registered series as a flat `key → value` map:
+    /// counters and gauges under their `name{labels}` key, histograms as
+    /// two derived series `name{labels}_count` and `name{labels}_sum`.
+    ///
+    /// Two snapshots bracket a workload; [`snapshot_delta`] subtracts
+    /// them to isolate what the workload itself did — the measurement
+    /// surface the load harness scrapes before and after a run.
+    pub fn snapshot(&self) -> BTreeMap<String, f64> {
+        let families = self.families.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = BTreeMap::new();
+        for (name, family) in families.iter() {
+            for (labels, handle) in family.series.iter() {
+                let key = format!("{name}{}", braced(labels));
+                match handle {
+                    Handle::Counter(c) => {
+                        out.insert(key, c.get() as f64);
+                    }
+                    Handle::Gauge(g) => {
+                        out.insert(key, g.get() as f64);
+                    }
+                    Handle::Histogram(h) => {
+                        out.insert(format!("{key}_count"), h.count() as f64);
+                        out.insert(format!("{key}_sum"), h.sum());
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Subtracts two flat metric snapshots: `after − before`, per key.
+///
+/// Keys only present in `after` (series born during the interval) keep
+/// their full value; keys only present in `before` are dropped — a
+/// vanished series has no meaningful delta. Zero deltas are retained so
+/// callers can distinguish "untouched" from "unknown".
+pub fn snapshot_delta(
+    before: &BTreeMap<String, f64>,
+    after: &BTreeMap<String, f64>,
+) -> BTreeMap<String, f64> {
+    after
+        .iter()
+        .map(|(k, &v)| (k.clone(), v - before.get(k).copied().unwrap_or(0.0)))
+        .collect()
 }
 
 fn render_text_histogram(out: &mut String, name: &str, labels: &str, h: &Histogram) {
@@ -637,6 +683,42 @@ pane_up 1
             "\"histograms\":{\"pane_h\":{\"count\":2,\"sum\":2,\"p50\":1,\"p95\":2,\"p99\":2}}}",
         );
         assert_eq!(r.render_json(), expected);
+    }
+
+    #[test]
+    fn snapshot_flattens_all_kinds_and_delta_isolates_an_interval() {
+        let r = MetricsRegistry::new();
+        let c = r.counter_with("pane_c", "c", &[("shard", "1")]);
+        let g = r.gauge("pane_g", "g");
+        let h = r.histogram("pane_h", "h", &[1.0, 2.0]);
+        c.add(4);
+        g.set(-2);
+        h.observe(0.5);
+
+        let before = r.snapshot();
+        assert_eq!(before.get("pane_c{shard=\"1\"}"), Some(&4.0));
+        assert_eq!(before.get("pane_g"), Some(&-2.0));
+        assert_eq!(before.get("pane_h_count"), Some(&1.0));
+        assert_eq!(before.get("pane_h_sum"), Some(&0.5));
+
+        // The workload: 3 more requests, a gauge swing, 2 observations,
+        // and a series born mid-interval.
+        c.add(3);
+        g.set(5);
+        h.observe(1.5);
+        h.observe(2.0);
+        r.counter("pane_new_total", "born late").add(9);
+
+        let delta = snapshot_delta(&before, &r.snapshot());
+        assert_eq!(delta.get("pane_c{shard=\"1\"}"), Some(&3.0));
+        assert_eq!(delta.get("pane_g"), Some(&7.0));
+        assert_eq!(delta.get("pane_h_count"), Some(&2.0));
+        assert_eq!(delta.get("pane_h_sum"), Some(&3.5));
+        // A series born during the interval keeps its full value.
+        assert_eq!(delta.get("pane_new_total"), Some(&9.0));
+        // Untouched series report an explicit zero, not absence.
+        let idle = snapshot_delta(&before, &before);
+        assert_eq!(idle.get("pane_g"), Some(&0.0));
     }
 
     #[test]

@@ -30,9 +30,15 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+/// How the client waits out a retry backoff. The default is a real
+/// [`std::thread::sleep`]; tests (and anything else that needs
+/// deterministic timing) inject a recording or no-op closure instead,
+/// so backoff *schedules* stay pinned without wall-clock sleeps.
+pub type SleepFn = Arc<dyn Fn(Duration) + Send + Sync>;
+
 /// Tunables for one shard connection. The defaults suit daemons on the
 /// same host or rack; a WAN deployment raises the timeouts.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ClientConfig {
     /// TCP connect timeout per attempt.
     pub connect_timeout: Duration,
@@ -46,6 +52,20 @@ pub struct ClientConfig {
     /// While a shard is down, at most one request per interval actually
     /// probes the network; the rest fail fast with [`ClientError::Down`].
     pub probe_interval: Duration,
+    /// Injected clock for retry backoff (defaults to a real sleep).
+    pub sleep: SleepFn,
+}
+
+impl std::fmt::Debug for ClientConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClientConfig")
+            .field("connect_timeout", &self.connect_timeout)
+            .field("request_timeout", &self.request_timeout)
+            .field("retries", &self.retries)
+            .field("backoff", &self.backoff)
+            .field("probe_interval", &self.probe_interval)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Default for ClientConfig {
@@ -56,6 +76,7 @@ impl Default for ClientConfig {
             retries: 2,
             backoff: Duration::from_millis(50),
             probe_interval: Duration::from_secs(2),
+            sleep: Arc::new(std::thread::sleep),
         }
     }
 }
@@ -264,7 +285,7 @@ impl ShardClient {
                     .str_field("addr", &self.addr)
                     .int_field("attempt", attempt as u64)
                     .emit();
-                std::thread::sleep(self.config.backoff * (1u32 << (attempt - 1).min(16)));
+                (self.config.sleep)(self.config.backoff * (1u32 << (attempt - 1).min(16)));
             }
             let mut conn = match st.conn.take() {
                 Some(c) => c,
@@ -340,6 +361,9 @@ mod tests {
             retries: 1,
             backoff: Duration::from_millis(5),
             probe_interval: Duration::from_millis(100),
+            // Tests never pay a real backoff; schedules are asserted via
+            // a recording sleeper where the timing itself is under test.
+            sleep: Arc::new(|_| {}),
         }
     }
 
@@ -379,6 +403,47 @@ mod tests {
         }
         assert!(!client.is_down(), "a remote error is not a health failure");
         handle.join().unwrap();
+    }
+
+    #[test]
+    fn retry_backoff_schedule_doubles_and_is_injected_not_slept() {
+        // Bind-then-drop gives an address nothing listens on: every
+        // attempt fails to connect, so all retries (and their backoffs)
+        // are consumed.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let slept: Arc<Mutex<Vec<Duration>>> = Arc::new(Mutex::new(Vec::new()));
+        let recorder = Arc::clone(&slept);
+        let client = ShardClient::new(
+            addr.to_string(),
+            ClientConfig {
+                retries: 3,
+                backoff: Duration::from_millis(5),
+                sleep: Arc::new(move |d| recorder.lock().unwrap().push(d)),
+                ..config()
+            },
+        );
+        let t = Instant::now();
+        assert!(matches!(
+            client.request(r#"{"op":"stats"}"#),
+            Err(ClientError::Io(_))
+        ));
+        // 3 retries → backoffs of 5, 10, 20 ms handed to the hook —
+        // and none of that time actually elapsed.
+        assert_eq!(
+            *slept.lock().unwrap(),
+            vec![
+                Duration::from_millis(5),
+                Duration::from_millis(10),
+                Duration::from_millis(20),
+            ]
+        );
+        assert!(
+            t.elapsed() < Duration::from_millis(35),
+            "injected backoff must not sleep for real"
+        );
     }
 
     #[test]

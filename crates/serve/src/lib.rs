@@ -61,12 +61,14 @@
 pub mod client;
 pub mod engine;
 pub mod obs;
+#[cfg(test)]
+mod proptests;
 pub mod protocol;
 pub mod router;
 pub mod server;
 pub mod sharded;
 
-pub use client::{ClientConfig, ClientError, ShardClient};
+pub use client::{ClientConfig, ClientError, ShardClient, SleepFn};
 pub use engine::{
     Hit, IndexStats, QuerySpace, ServeBackend, ServeEngine, ServeError, SnapshotOutcome,
     StatusReport, StoreReport,

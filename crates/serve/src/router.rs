@@ -738,6 +738,7 @@ mod tests {
             retries: 0,
             backoff: Duration::from_millis(5),
             probe_interval: Duration::from_millis(50),
+            ..Default::default()
         }
     }
 

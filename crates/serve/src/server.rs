@@ -536,6 +536,11 @@ pub fn serve_tcp<H: LineHandler + 'static>(
                 break;
             }
         };
+        // Responses are small two-part writes (payload, then newline);
+        // without TCP_NODELAY the newline sits in Nagle's buffer waiting
+        // on the client's delayed ACK — tens of milliseconds added to
+        // every request-response roundtrip.
+        let _ = stream.set_nodelay(true);
         let Ok(watch) = stream.try_clone() else {
             continue;
         };

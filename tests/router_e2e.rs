@@ -20,6 +20,10 @@
 use pane_core::{Pane, PaneConfig};
 use pane_graph::gen::{generate_sbm, SbmConfig};
 use pane_index::IndexSpec;
+use pane_loadgen::{
+    generate_requests, run, BatchSpec, Endpoint, HandlerEndpoint, Mix, RunPlan, Skew,
+    WorkloadConfig,
+};
 use pane_serve::{
     serve_tcp, ClientConfig, Hit, Json, LineHandler, Router, ServeBackend, ServeEngine,
     ShardedEngine,
@@ -59,6 +63,8 @@ fn client_config() -> ClientConfig {
         retries: 1,
         backoff: Duration::from_millis(10),
         probe_interval: Duration::from_millis(50),
+        // Retry backoff is clock-injected; e2e tests never sleep it.
+        sleep: Arc::new(|_| {}),
     }
 }
 
@@ -416,6 +422,148 @@ fn router_metrics_track_queries_and_shard_death_over_live_daemons() {
 
     drop(router);
     daemons.remove(DEAD);
+    for d in &mut daemons {
+        d.stop();
+    }
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// Chaos e2e (PR 9): the open-loop load generator drives the router
+/// while one shard daemon dies mid-run. Every scheduled request must
+/// resolve — ok (possibly `"degraded":true`) or a recorded error, never
+/// a hang — responses must keep echoing their request's op (no protocol
+/// desync across the unknown-outcome window), and the router must still
+/// answer over the survivors and re-admit the shard when it returns.
+#[test]
+fn open_loop_chaos_shard_death_mid_run_degrades_without_desync() {
+    const N: usize = 90;
+    const SHARDS: usize = 2;
+    const DEAD: usize = 1;
+    let emb = fixture(N);
+    let half_dim = emb.forward.cols();
+    let root = tmp_root("chaos");
+    ShardedStore::init(&root, &emb, &IndexSpec::Flat, &IndexSpec::Flat, SHARDS, 1).unwrap();
+    let mut daemons: Vec<ShardDaemon> = (0..SHARDS)
+        .map(|s| start_daemon(&shard_dir(&root, s), None))
+        .collect();
+    let addrs: Vec<String> = daemons.iter().map(|d| d.addr.to_string()).collect();
+    // A tight request timeout: a connection stuck on a dying daemon
+    // resolves in 0.5 s, not the default 5 s — this test measures
+    // degradation behavior, not timeout patience.
+    let router = Arc::new(
+        Router::connect(
+            &addrs,
+            ClientConfig {
+                request_timeout: Duration::from_millis(500),
+                ..client_config()
+            },
+        )
+        .unwrap(),
+    );
+
+    let wl = WorkloadConfig {
+        mix: Mix {
+            similar: 70,
+            links: 10,
+            insert: 20,
+        },
+        skew: Skew::Zipf(1.1),
+        batch: BatchSpec { min: 1, max: 3 },
+        k: 5,
+        seed: 777,
+    };
+    // 400 requests at 800 qps: the schedule spans ≥ 500 ms of wall
+    // clock, so a kill at 150 ms lands squarely mid-run.
+    let requests = generate_requests(&wl, N, half_dim, 400);
+    let plan = RunPlan {
+        qps: 800.0,
+        connections: 4,
+    };
+    let handler = Arc::clone(&router);
+    let connect =
+        move || Ok(Box::new(HandlerEndpoint::new(Arc::clone(&handler))) as Box<dyn Endpoint>);
+    let mut dead = daemons.pop().expect("shard DEAD is the last daemon");
+    let dead_addr = dead.addr;
+    let (report, _) = std::thread::scope(|s| {
+        let killer = s.spawn(move || {
+            std::thread::sleep(Duration::from_millis(150));
+            dead.stop();
+        });
+        let report = run(&plan, &requests, &connect).unwrap();
+        (report, killer.join().unwrap())
+    });
+    // Every scheduled request resolved, and none took anywhere near a
+    // hang: the whole chaotic run is bounded.
+    assert_eq!(report.sent, 400);
+    assert!(
+        report.wall < Duration::from_secs(30),
+        "chaotic run must not hang: {:?}",
+        report.wall
+    );
+    for o in &report.outcomes {
+        assert!(
+            o.ok || o.error.is_some(),
+            "request {} vanished without ok or error",
+            o.index
+        );
+        if o.ok {
+            // No protocol desync: an ok response always answers the op
+            // that was asked, even right after unknown-outcome inserts.
+            assert_eq!(
+                o.resp_op.as_deref(),
+                Some(o.op.wire_name()),
+                "request {} got an answer for a different op",
+                o.index
+            );
+        }
+    }
+    assert!(report.ok > 0, "the healthy window must have succeeded");
+    assert!(
+        report.degraded + report.errors > 0,
+        "killing a shard mid-run must surface as degradation or errors"
+    );
+
+    // The router still answers over the survivors: reads degrade, and
+    // every returned hit is owned by a surviving shard.
+    let st = ask(&router, r#"{"op":"stats"}"#);
+    assert_eq!(st.get("ok"), Some(&Json::Bool(true)), "{st:?}");
+    assert_eq!(st.get("degraded"), Some(&Json::Bool(true)));
+    assert_eq!(
+        st.get("shards_down").unwrap().as_index_array(),
+        Some(vec![DEAD])
+    );
+    let resp = ask(&router, r#"{"op":"similar-nodes","nodes":[0,2,4],"k":5}"#);
+    assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{resp:?}");
+    assert_eq!(resp.get("degraded"), Some(&Json::Bool(true)));
+    for batch in results_of(&resp) {
+        assert!(!batch.is_empty(), "survivor-owned queries must answer");
+        for (node, _) in batch {
+            assert_ne!(
+                shard_of(node, SHARDS),
+                DEAD,
+                "a hit owned by the dead shard appeared in degraded results"
+            );
+        }
+    }
+    // The shard returns on its old address and is re-admitted.
+    let mut revived = start_daemon(&shard_dir(&root, DEAD), Some(dead_addr));
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let st = ask(&router, r#"{"op":"stats"}"#);
+        if st.get("degraded") == Some(&Json::Bool(false)) {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "router did not re-admit the revived shard: {st:?}"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    let resp = ask(&router, r#"{"op":"similar-nodes","nodes":[0,2,4],"k":5}"#);
+    assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{resp:?}");
+    assert_eq!(resp.get("degraded"), Some(&Json::Bool(false)));
+    drop(router);
+    revived.stop();
     for d in &mut daemons {
         d.stop();
     }

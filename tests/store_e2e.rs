@@ -10,8 +10,13 @@
 use pane::prelude::*;
 use pane_core::{grow_embedding, reembed_warm};
 use pane_graph::gen::{generate_sbm, SbmConfig};
+use pane_loadgen::{
+    generate_requests, run, BatchSpec, Endpoint, HandlerEndpoint, Mix, OpKind, RunPlan, Skew,
+    WorkloadConfig,
+};
 use pane_serve::Hit;
 use pane_store::ShardedStore;
+use std::sync::{Arc, RwLock};
 
 fn sbm(nodes: usize, seed: u64) -> AttributedGraph {
     generate_sbm(&SbmConfig {
@@ -184,6 +189,97 @@ fn sharded_inserts_survive_restart_and_snapshot() {
     assert_eq!((report.wal_records, report.replayed), (0, 0));
     assert_eq!(engine.similar_nodes(&[n, n + 2], 6).unwrap(), before);
     std::fs::remove_dir_all(&root).ok();
+}
+
+/// Concurrency e2e (PR 9): the open-loop load generator drives a
+/// store-backed engine through four concurrent connections with a mixed
+/// insert/query stream at a fixed seed, then the process hard-stops.
+/// Every acknowledged insert must come back through WAL replay, and
+/// probe queries must answer bit-identically across the restart.
+#[test]
+fn open_loop_mixed_load_survives_a_hard_restart() {
+    let dir = tmpdir("loadgen_mixed");
+    let g = sbm(120, 11);
+    let emb = Pane::new(cfg()).embed(&g).unwrap();
+    let n = g.num_nodes();
+    let half_dim = emb.forward.cols();
+    Store::init(&dir, &emb, &IndexSpec::Flat, &IndexSpec::Flat, 2).unwrap();
+
+    let wl = WorkloadConfig {
+        mix: Mix {
+            similar: 70,
+            links: 10,
+            insert: 20,
+        },
+        skew: Skew::Zipf(1.1),
+        batch: BatchSpec { min: 1, max: 4 },
+        k: 6,
+        seed: 4242,
+    };
+    let requests = generate_requests(&wl, n, half_dim, 300);
+    // The acceptance pin, exercised on the e2e path too: same seed +
+    // config ⇒ the identical request sequence.
+    assert_eq!(requests, generate_requests(&wl, n, half_dim, 300));
+
+    // Session 1: open-loop run against the live engine, then hard stop —
+    // no shutdown, no snapshot; acknowledged inserts live in the WAL.
+    let (acked, probe, sim_before, links_before) = {
+        let engine = Arc::new(RwLock::new(ServeEngine::open(&dir, 2).unwrap()));
+        let handler = Arc::clone(&engine);
+        let connect =
+            move || Ok(Box::new(HandlerEndpoint::new(Arc::clone(&handler))) as Box<dyn Endpoint>);
+        let plan = RunPlan {
+            qps: 3000.0,
+            connections: 4,
+        };
+        let report = run(&plan, &requests, &connect).unwrap();
+        assert_eq!(report.sent, 300);
+        assert_eq!(
+            report.errors,
+            0,
+            "in-process mixed load must not fail: {:?}",
+            report
+                .outcomes
+                .iter()
+                .find(|o| o.error.is_some())
+                .map(|o| (&o.index, &o.error))
+        );
+        // Protocol desync check: every response echoes its request's op.
+        for o in &report.outcomes {
+            assert_eq!(
+                o.resp_op.as_deref(),
+                Some(o.op.wire_name()),
+                "request {} got an answer for a different op",
+                o.index
+            );
+        }
+        let acked = report
+            .outcomes
+            .iter()
+            .filter(|o| o.ok && o.op == OpKind::Insert)
+            .count();
+        assert!(acked > 0, "a q70/l10/i20 mix of 300 must insert");
+        let eng = engine.read().unwrap();
+        assert_eq!(eng.num_nodes(), n + acked);
+        // Probe queries spanning base nodes and load-inserted nodes.
+        let probe = vec![0, 7, n, n + acked - 1];
+        let sim = eng.similar_nodes(&probe, 8).unwrap();
+        let links = eng.recommend_links(&probe, 5, &[3]).unwrap();
+        (acked, probe, sim, links)
+    };
+
+    // Session 2: WAL replay restores exactly the acknowledged inserts,
+    // and the probe answers are bit-identical.
+    let engine = ServeEngine::open(&dir, 2).unwrap();
+    let store = engine.status().store.unwrap();
+    assert_eq!(store.replayed, acked, "replay must equal acked inserts");
+    assert_eq!(engine.num_nodes(), n + acked);
+    assert_eq!(engine.similar_nodes(&probe, 8).unwrap(), sim_before);
+    assert_eq!(
+        engine.recommend_links(&probe, 5, &[3]).unwrap(),
+        links_before
+    );
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 /// Acceptance path of the columnar migration (PR 8's tentpole): a store
