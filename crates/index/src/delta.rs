@@ -23,8 +23,8 @@
 //! `base.len() + s`, matching how `pane-core`'s `grow_embedding` assigns
 //! ids to newly arrived nodes.
 
-use crate::{topk, AnyIndex, IndexError, IndexKind, Metric, Neighbor, VectorIndex};
-use pane_linalg::{vecops, DenseMatrix};
+use crate::{scan, topk, AnyIndex, IndexError, IndexKind, Metric, Neighbor, VectorIndex};
+use pane_linalg::DenseMatrix;
 use std::path::Path;
 
 /// A base index plus a flat, append-only delta segment merged into every
@@ -90,23 +90,32 @@ impl VectorIndex for DeltaIndex {
         self.base.dim()
     }
 
-    fn search(&self, query: &[f64], k: usize) -> Vec<Neighbor> {
-        assert_eq!(query.len(), self.dim(), "DeltaIndex::search: dim mismatch");
-        let base_hits = self.base.search(query, k);
+    fn search_prepared(&self, prepared: &[f64], k: usize) -> Vec<Neighbor> {
+        assert_eq!(
+            prepared.len(),
+            self.dim(),
+            "DeltaIndex::search_prepared: dim mismatch"
+        );
+        // One prepared query feeds both the base structure and the delta
+        // scan (the inherited `search` prepares exactly once before
+        // dispatching here — previously cosine queries were normalized
+        // twice, once per sub-scan).
+        let base_hits = self.base.search_prepared(prepared, k);
         if self.delta.rows() == 0 {
             return base_hits;
         }
         // Delta vectors are already metric-prepared, so the scan is a raw
         // dot against the prepared query — the same score the base
         // produces for its own vectors.
-        let q = self.metric().prepare_query(query);
         let offset = self.base.len();
-        topk::select(
-            base_hits.into_iter().map(|h| (h.index, h.score)).chain(
-                (0..self.delta.rows()).map(|s| (offset + s, vecops::dot(&q, self.delta.row(s)))),
-            ),
-            k,
-        )
+        let mut acc = topk::TopK::new(k);
+        for h in base_hits {
+            acc.push(h.index, h.score);
+        }
+        scan::scan_topk(&mut acc, prepared, self.delta.data(), self.dim(), |s| {
+            offset + s
+        });
+        acc.into_sorted()
     }
 
     fn insert(&mut self, vector: &[f64]) -> Result<usize, IndexError> {

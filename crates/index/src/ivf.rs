@@ -13,7 +13,7 @@
 
 use crate::kmeans::kmeans;
 use crate::persist::{columnar_matrix, columnar_meta, open_index_columns, FileReader, FileWriter};
-use crate::{topk, IndexError, IndexKind, Metric, Neighbor, VectorIndex};
+use crate::{scan, topk, IndexError, IndexKind, Metric, Neighbor, VectorIndex};
 use pane_format::{section, Artifact, ColumnData, ColumnSpec};
 use pane_linalg::{vecops, DenseMatrix};
 use std::path::Path;
@@ -308,28 +308,34 @@ impl VectorIndex for IvfIndex {
         self.vectors.cols()
     }
 
-    fn search(&self, query: &[f64], k: usize) -> Vec<Neighbor> {
-        assert_eq!(query.len(), self.dim(), "IvfIndex::search: dim mismatch");
-        let q = self.metric.prepare_query(query);
+    fn search_prepared(&self, prepared: &[f64], k: usize) -> Vec<Neighbor> {
+        assert_eq!(
+            prepared.len(),
+            self.dim(),
+            "IvfIndex::search_prepared: dim mismatch"
+        );
+        let dim = self.dim();
         // Rank cells by squared Euclidean distance to the centroid
         // (‖q‖² is constant, so −(‖c‖² − 2q·c) orders descending-best).
+        // Centroids are one contiguous row-major block, so the panel
+        // kernel scores them all in one pass.
+        let nlist = self.nlist();
+        let mut cdots = vec![0.0f64; nlist];
+        pane_linalg::kernels::dot1xn(prepared, self.centroids.data(), dim, &mut cdots);
         let probes = topk::select(
-            (0..self.nlist()).map(|c| {
-                (
-                    c,
-                    2.0 * vecops::dot(&q, self.centroids.row(c)) - self.cnorms[c],
-                )
-            }),
+            (0..nlist).map(|c| (c, 2.0 * cdots[c] - self.cnorms[c])),
             self.nprobe,
         );
+        // Each probed cell is a contiguous row block — the same fused
+        // panel scan the flat index uses, just restricted to the cell
+        // and mapped through the cell-major id permutation.
         let mut acc = topk::TopK::new(k);
+        let data = self.vectors.data();
         for p in probes {
-            for slot in self.offsets[p.index]..self.offsets[p.index + 1] {
-                acc.push(
-                    self.ids[slot] as usize,
-                    vecops::dot(&q, self.vectors.row(slot)),
-                );
-            }
+            let (lo, hi) = (self.offsets[p.index], self.offsets[p.index + 1]);
+            scan::scan_topk(&mut acc, prepared, &data[lo * dim..hi * dim], dim, |r| {
+                self.ids[lo + r] as usize
+            });
         }
         acc.into_sorted()
     }

@@ -42,6 +42,7 @@ pub mod kmeans;
 pub mod persist;
 #[cfg(test)]
 mod proptests;
+pub(crate) mod scan;
 pub mod spec;
 pub mod sq;
 pub mod topk;
@@ -243,7 +244,30 @@ pub trait VectorIndex: Send + Sync {
     ///
     /// # Panics
     /// Panics if `query.len() != self.dim()`.
-    fn search(&self, query: &[f64], k: usize) -> Vec<Neighbor>;
+    fn search(&self, query: &[f64], k: usize) -> Vec<Neighbor> {
+        assert_eq!(
+            query.len(),
+            self.dim(),
+            "{}::search: dim mismatch",
+            self.kind()
+        );
+        let q = self.metric().prepare_query(query);
+        self.search_prepared(&q, k)
+    }
+
+    /// Top-`k` neighbors of an *already metric-prepared* query (the
+    /// caller has applied the metric's query preparation — cosine
+    /// normalization — exactly once), best first.
+    ///
+    /// [`search`](VectorIndex::search) is `prepare_query` + this.
+    /// Structures that merge several scans over one query (e.g.
+    /// [`delta::DeltaIndex`] merging its base search with the delta
+    /// segment) call this so the query is prepared once, not once per
+    /// sub-scan.
+    ///
+    /// # Panics
+    /// Panics if `prepared.len() != self.dim()`.
+    fn search_prepared(&self, prepared: &[f64], k: usize) -> Vec<Neighbor>;
 
     /// Top-`k` neighbors for each query row, fanned out over `threads`
     /// scoped workers. Queries are independent, so the result is identical

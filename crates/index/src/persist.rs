@@ -397,6 +397,9 @@ impl VectorIndex for AnyIndex {
     fn search(&self, query: &[f64], k: usize) -> Vec<Neighbor> {
         self.inner().search(query, k)
     }
+    fn search_prepared(&self, prepared: &[f64], k: usize) -> Vec<Neighbor> {
+        self.inner().search_prepared(prepared, k)
+    }
     fn batch_search(&self, queries: &DenseMatrix, k: usize, threads: usize) -> Vec<Vec<Neighbor>> {
         self.inner().batch_search(queries, k, threads)
     }

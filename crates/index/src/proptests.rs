@@ -1,16 +1,26 @@
-//! Fuzz-style corruption properties for the `PANEIDX1` loaders.
+//! Fuzz-style corruption properties for the `PANEIDX1` loaders, plus
+//! the kernel-equivalence and thread-invariance properties of the fused
+//! scan paths.
 //!
 //! The serving daemon loads index files produced by other processes, so
 //! the loaders must treat every byte as untrusted: any truncation or
 //! header mutation has to surface as a structured [`IndexError`] — never
 //! a panic, and never a giant allocation from a corrupt declared length
 //! (the harness would hang or OOM long before an assert fired).
+//!
+//! The scan properties pin the determinism contract of the kernel layer
+//! (see `pane-linalg::kernels`): every index's fused panel scan must be
+//! *bit-identical* to a reference reduction over `kernels::dot`, and
+//! batched search must be bit-identical to single search at every thread
+//! count.
 
 use crate::persist::{load_index, INDEX_MAGIC};
 use crate::testutil::clustered_vectors;
 use crate::{
-    FlatIndex, HnswConfig, HnswIndex, IndexError, IvfConfig, IvfIndex, Metric, VectorIndex,
+    topk, DeltaIndex, FlatIndex, HnswConfig, HnswIndex, IndexError, IvfConfig, IvfIndex, Metric,
+    SqConfig, SqFlatIndex, VectorIndex,
 };
+use pane_linalg::{kernels, DenseMatrix};
 use proptest::prelude::*;
 use std::sync::OnceLock;
 
@@ -119,5 +129,130 @@ proptest! {
             let hits = idx.search(&q, 3);
             prop_assert!(hits.len() <= 3);
         }
+    }
+}
+
+/// Shared vector fixture for the scan properties (built once; the
+/// properties vary query, k, and thread count over it).
+fn scan_fixture() -> &'static DenseMatrix {
+    static DATA: OnceLock<DenseMatrix> = OnceLock::new();
+    DATA.get_or_init(|| clustered_vectors(300, 24, 5, 0.2))
+}
+
+/// One prebuilt index per kind over the scan fixture (IVF probes 3 of 8
+/// cells, so its approximation — not just the exact paths — is pinned).
+fn scan_indexes() -> &'static [Box<dyn VectorIndex>; 4] {
+    static IDX: OnceLock<[Box<dyn VectorIndex>; 4]> = OnceLock::new();
+    IDX.get_or_init(|| {
+        let data = scan_fixture();
+        let mut ivf = IvfIndex::build(
+            data,
+            Metric::Cosine,
+            &IvfConfig {
+                nlist: 8,
+                ..Default::default()
+            },
+        );
+        ivf.set_nprobe(3);
+        [
+            Box::new(FlatIndex::build(data, Metric::Cosine)),
+            Box::new(ivf),
+            Box::new(HnswIndex::build(
+                data,
+                Metric::Cosine,
+                &HnswConfig::default(),
+            )),
+            Box::new(SqFlatIndex::build(
+                data,
+                Metric::Cosine,
+                SqConfig::default(),
+            )),
+        ]
+    })
+}
+
+/// Bit-level equality of two result lists (PartialEq would treat any
+/// NaN score as unequal to itself).
+fn same_hits(a: &[crate::Neighbor], b: &[crate::Neighbor]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(x, y)| x.index == y.index && x.score.to_bits() == y.score.to_bits())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The flat index's fused panel scan ≡ a plain bounded-heap select
+    /// over `kernels::dot` scores, bitwise — the kernel layer's central
+    /// equivalence claim, checked end to end through `search`.
+    #[test]
+    fn flat_search_bitwise_equals_kernel_reference(
+        qrow in 0usize..300,
+        k in 1usize..20,
+        metric_ip in 0usize..2,
+    ) {
+        let data = scan_fixture();
+        let metric = if metric_ip == 1 { Metric::InnerProduct } else { Metric::Cosine };
+        let idx = FlatIndex::build(data, metric);
+        let got = idx.search(data.row(qrow), k);
+        let q = match metric {
+            Metric::Cosine => {
+                let mut v = data.row(qrow).to_vec();
+                pane_linalg::vecops::normalize(&mut v, 1e-300);
+                v
+            }
+            Metric::InnerProduct => data.row(qrow).to_vec(),
+        };
+        let want = topk::select(
+            (0..idx.len()).map(|i| (i, kernels::dot(&q, idx.vectors().row(i)))),
+            k,
+        );
+        prop_assert!(same_hits(&got, &want));
+    }
+
+    /// Batched search ≡ single search, bitwise, at every thread count —
+    /// for the blocked flat path and the default per-query fan-out of
+    /// the other index kinds.
+    #[test]
+    fn batch_search_thread_invariant_all_kinds(
+        threads in 1usize..6,
+        k in 1usize..12,
+    ) {
+        let data = scan_fixture();
+        let queries = data.row_block(0..40);
+        for idx in scan_indexes() {
+            let single: Vec<_> = (0..queries.rows())
+                .map(|i| idx.search(queries.row(i), k))
+                .collect();
+            let batch = idx.batch_search(&queries, k, threads);
+            prop_assert_eq!(batch.len(), single.len());
+            for (b, s) in batch.iter().zip(&single) {
+                prop_assert!(same_hits(b, s), "{} diverged at {threads} threads", idx.kind());
+            }
+        }
+    }
+
+    /// A delta-wrapped flat index ≡ a flat rebuild over all vectors,
+    /// bitwise — the prepare-once hoist and the fused delta scan change
+    /// nothing observable.
+    #[test]
+    fn delta_merge_bitwise_equals_rebuild(
+        split in 150usize..290,
+        qrow in 0usize..300,
+        k in 1usize..15,
+    ) {
+        let data = scan_fixture();
+        let full = FlatIndex::build(data, Metric::Cosine);
+        let head = data.row_block(0..split);
+        let mut delta = DeltaIndex::new(crate::AnyIndex::Flat(
+            FlatIndex::build(&head, Metric::Cosine),
+        ));
+        for i in split..data.rows() {
+            delta.insert(data.row(i)).unwrap();
+        }
+        let a = delta.search(data.row(qrow), k);
+        let b = full.search(data.row(qrow), k);
+        prop_assert!(same_hits(&a, &b));
     }
 }

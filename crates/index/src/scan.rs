@@ -1,0 +1,182 @@
+//! Fused panel score + threshold top-k scanning.
+//!
+//! Every brute-force scan in this crate (flat, delta segment, IVF cell
+//! probes, sqflat shortlist) reduces a block of contiguous rows into a
+//! bounded [`TopK`]. Scoring one row at a time through the heap wastes
+//! the panel shape the data already has: the [`kernels::dot1xn`] kernel
+//! scores a whole [`PANEL`] of rows per pass into a stack buffer, and a
+//! pre-filter against the heap's current threshold skips the heap
+//! entirely for rows that cannot qualify — which is almost all of them
+//! once the heap warms up.
+//!
+//! # Exactness
+//!
+//! The fusion is a pure optimization, bit-identical to pushing every
+//! `(id, dot(q, row))` pair in row order:
+//!
+//! * per-row scores come from `dot1xn`, which is bit-identical to
+//!   [`kernels::dot`] per row (fixed 8-lane contract);
+//! * the pre-filter skips a row only when `score < worst.score` with
+//!   both sides non-NaN — exactly the rows [`TopK::push`] would discard
+//!   (equal scores still go to `push`, whose index tie-break decides;
+//!   NaN on either side falls through to `push`'s total order).
+
+use crate::topk::TopK;
+use pane_linalg::kernels;
+
+/// Rows scored per panel pass. 64 keeps the score buffer on the stack
+/// and the panel of rows within L1/L2 for the dims PANE serves.
+pub(crate) const PANEL: usize = 64;
+
+/// Scans `rows` (row-major, `rows.len() / dim` rows) against the
+/// prepared query `q`, offering each row's dot score to `acc` under the
+/// id `id_of(local_row)`. Bit-identical to the unfused per-row loop —
+/// see the module docs.
+pub(crate) fn scan_topk<F: FnMut(usize) -> usize>(
+    acc: &mut TopK,
+    q: &[f64],
+    rows: &[f64],
+    dim: usize,
+    mut id_of: F,
+) {
+    debug_assert_eq!(q.len(), dim);
+    debug_assert_eq!(rows.len() % dim.max(1), 0);
+    if dim == 0 {
+        return;
+    }
+    let n = rows.len() / dim;
+    let mut scores = [0.0f64; PANEL];
+    let mut start = 0;
+    while start < n {
+        let pr = PANEL.min(n - start);
+        kernels::dot1xn(
+            q,
+            &rows[start * dim..(start + pr) * dim],
+            dim,
+            &mut scores[..pr],
+        );
+        for (r, &s) in scores[..pr].iter().enumerate() {
+            if let Some(worst) = acc.threshold() {
+                // Strictly-worse non-NaN scores cannot enter the heap;
+                // everything else gets the exact push decision.
+                if s < worst.score {
+                    continue;
+                }
+            }
+            acc.push(id_of(start + r), s);
+        }
+        start += pr;
+    }
+}
+
+/// Integer variant for the sqflat code scan: panels of i8×i8 dots via
+/// [`kernels::dot1xn_i8`], mapped to the final f64 score by `score_of`
+/// (the caller folds in the query/row dequantization scales), then the
+/// same threshold-fused push as [`scan_topk`].
+pub(crate) fn scan_topk_i8<F: FnMut(usize, i32) -> f64>(
+    acc: &mut TopK,
+    qcodes: &[i8],
+    codes: &[i8],
+    dim: usize,
+    mut score_of: F,
+) {
+    debug_assert_eq!(qcodes.len(), dim);
+    if dim == 0 {
+        return;
+    }
+    let n = codes.len() / dim;
+    let mut raw = [0i32; PANEL];
+    let mut start = 0;
+    while start < n {
+        let pr = PANEL.min(n - start);
+        kernels::dot1xn_i8(
+            qcodes,
+            &codes[start * dim..(start + pr) * dim],
+            dim,
+            &mut raw[..pr],
+        );
+        for (r, &d) in raw[..pr].iter().enumerate() {
+            let s = score_of(start + r, d);
+            if let Some(worst) = acc.threshold() {
+                if s < worst.score {
+                    continue;
+                }
+            }
+            acc.push(start + r, s);
+        }
+        start += pr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pane_linalg::vecops;
+
+    fn splat(seed: u64, i: usize) -> f64 {
+        let mut z = seed
+            .wrapping_add(i as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z ^= z >> 31;
+        z = z.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        ((z >> 11) as f64) / (1u64 << 52) as f64 - 1.0
+    }
+
+    #[test]
+    fn fused_scan_matches_unfused_pushes() {
+        for (n, dim) in [(0usize, 8usize), (1, 8), (63, 16), (64, 16), (200, 5)] {
+            let q: Vec<f64> = (0..dim).map(|i| splat(1, i)).collect();
+            let rows: Vec<f64> = (0..n * dim).map(|i| splat(2, i)).collect();
+            for k in [1usize, 3, 10] {
+                let mut fused = TopK::new(k);
+                scan_topk(&mut fused, &q, &rows, dim, |r| r + 7);
+                let mut plain = TopK::new(k);
+                for r in 0..n {
+                    plain.push(r + 7, vecops::dot(&q, &rows[r * dim..(r + 1) * dim]));
+                }
+                assert_eq!(fused.into_sorted(), plain.into_sorted(), "n {n} k {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_scan_handles_nan_rows_like_push() {
+        let dim = 4;
+        let mut rows: Vec<f64> = (0..40 * dim).map(|i| splat(3, i)).collect();
+        rows[5 * dim] = f64::NAN; // poison row 5
+        let q: Vec<f64> = (0..dim).map(|i| splat(4, i)).collect();
+        let mut fused = TopK::new(50); // k > n: NaN rows must be kept too
+        scan_topk(&mut fused, &q, &rows, dim, |r| r);
+        let mut plain = TopK::new(50);
+        for r in 0..40 {
+            plain.push(r, vecops::dot(&q, &rows[r * dim..(r + 1) * dim]));
+        }
+        // NaN != NaN under PartialEq; compare bit patterns instead.
+        let key = |v: Vec<crate::Neighbor>| -> Vec<(usize, u64)> {
+            v.into_iter()
+                .map(|h| (h.index, h.score.to_bits()))
+                .collect()
+        };
+        assert_eq!(key(fused.into_sorted()), key(plain.into_sorted()));
+    }
+
+    #[test]
+    fn fused_i8_scan_matches_unfused() {
+        let dim = 24;
+        let n = 150;
+        let qc: Vec<i8> = (0..dim).map(|i| ((i * 37) % 255) as i8).collect();
+        let codes: Vec<i8> = (0..n * dim).map(|i| ((i * 13 + 5) % 255) as i8).collect();
+        let scale = |r: usize| 0.001 * (r % 17 + 1) as f64;
+        let mut fused = TopK::new(9);
+        scan_topk_i8(&mut fused, &qc, &codes, dim, |r, d| scale(r) * d as f64);
+        let mut plain = TopK::new(9);
+        for r in 0..n {
+            let mut d = 0i32;
+            for j in 0..dim {
+                d += qc[j] as i32 * codes[r * dim + j] as i32;
+            }
+            plain.push(r, scale(r) * d as f64);
+        }
+        assert_eq!(fused.into_sorted(), plain.into_sorted());
+    }
+}

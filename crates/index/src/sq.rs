@@ -26,9 +26,9 @@
 //! produces identical rankings on every run and thread count.
 
 use crate::persist::{columnar_meta, open_index_columns};
-use crate::{topk, IndexError, IndexKind, Metric, Neighbor, VectorIndex};
+use crate::{scan, topk, IndexError, IndexKind, Metric, Neighbor, VectorIndex};
 use pane_format::{section, Artifact, ColumnData, ColumnSpec};
-use pane_linalg::{vecops, DenseMatrix};
+use pane_linalg::{kernels, vecops, DenseMatrix};
 use std::path::Path;
 
 /// Build-time options for [`SqFlatIndex`].
@@ -78,18 +78,6 @@ fn quantize_row(row: &[f64], codes: &mut Vec<i8>) -> f64 {
         codes.push(q as i8);
     }
     scale
-}
-
-/// Dot of two i8 code rows, accumulated in `i32` (safe: `dim · 127²`
-/// stays under `i32::MAX` for any dim below ~133k, far above the 1<<24
-/// cap enforced at load).
-#[inline]
-fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
-    let mut acc = 0i32;
-    for i in 0..a.len() {
-        acc += a[i] as i32 * b[i] as i32;
-    }
-    acc
 }
 
 impl SqFlatIndex {
@@ -191,24 +179,18 @@ impl SqFlatIndex {
     }
 
     /// Quantized scan: top `shortlist(k)` candidates under the
-    /// approximate (code-domain) score, best first.
+    /// approximate (code-domain) score, best first. Runs as a fused
+    /// panel scan over the contiguous code rows ([`scan::scan_topk_i8`]);
+    /// the integer dots are exact under any unroll, so the scores are
+    /// identical to the one-row-at-a-time loop.
     fn scan(&self, q: &[f64], k: usize) -> (Vec<i8>, f64, Vec<Neighbor>) {
         let mut qcodes = Vec::with_capacity(self.dim);
         let qscale = quantize_row(q, &mut qcodes);
-        let short = topk::select(
-            (0..self.len()).map(|i| {
-                let approx = qscale * self.scales[i] * dot_i8(&qcodes, self.code_row(i)) as f64;
-                (i, approx)
-            }),
-            self.shortlist(k),
-        );
-        (qcodes, qscale, short)
-    }
-
-    /// Dequantized value of element `(i, j)`.
-    #[inline]
-    fn dequant(&self, i: usize, j: usize) -> f64 {
-        self.codes[i * self.dim + j] as f64 * self.scales[i]
+        let mut acc = topk::TopK::new(self.shortlist(k));
+        scan::scan_topk_i8(&mut acc, &qcodes, &self.codes, self.dim, |i, d| {
+            qscale * self.scales[i] * d as f64
+        });
+        (qcodes, qscale, acc.into_sorted())
     }
 
     /// Top-`k` neighbors re-ranked against caller-provided
@@ -266,18 +248,21 @@ impl VectorIndex for SqFlatIndex {
         self.dim
     }
 
-    fn search(&self, query: &[f64], k: usize) -> Vec<Neighbor> {
-        assert_eq!(query.len(), self.dim, "SqFlatIndex::search: dim mismatch");
-        let q = self.metric.prepare_query(query);
-        let (_, _, short) = self.scan(&q, k);
-        // Self-contained re-rank: f64 query against dequantized rows.
+    fn search_prepared(&self, prepared: &[f64], k: usize) -> Vec<Neighbor> {
+        assert_eq!(
+            prepared.len(),
+            self.dim,
+            "SqFlatIndex::search_prepared: dim mismatch"
+        );
+        let (_, _, short) = self.scan(prepared, k);
+        // Self-contained re-rank: f64 query against dequantized rows,
+        // with the per-row scale hoisted out of the sum
+        // (`scale · Σ q[j]·code[j]` via the mixed f64×i8 kernel).
         topk::select(
             short.into_iter().map(|cand| {
-                let mut acc = 0.0;
-                for j in 0..self.dim {
-                    acc += q[j] * self.dequant(cand.index, j);
-                }
-                (cand.index, acc)
+                let s = self.scales[cand.index]
+                    * kernels::dot_f64_i8(prepared, self.code_row(cand.index));
+                (cand.index, s)
             }),
             k,
         )

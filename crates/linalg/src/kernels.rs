@@ -1,0 +1,517 @@
+//! SIMD-blocked distance kernels — the innermost loops of every hot scan
+//! path in the serving tier.
+//!
+//! A plain `acc += x[i] * y[i]` dot product is a *serial* dependency
+//! chain: strict IEEE-754 semantics forbid the compiler from reordering
+//! the additions, so the loop runs at FP-add latency (4–5 cycles per
+//! element) no matter how wide the vector units are. The kernels here
+//! break that chain explicitly with a **fixed number of accumulator
+//! lanes** ([`LANES`] = 8): element `i` always accumulates into lane
+//! `i % 8`, and the lanes reduce in a fixed pairwise tree. LLVM maps the
+//! 8 independent chains onto vector registers (2×AVX2 / 4×NEON f64
+//! vectors), turning a latency-bound loop into a throughput-bound one.
+//!
+//! # Determinism contract
+//!
+//! The lane count is a *semantic constant*, not a tuning knob: results
+//! are a pure function of the input slices — independent of thread
+//! count, platform, target CPU, or whether the panel ([`dot1xn`]) or
+//! single-row ([`dot`]) entry point computed them. Concretely:
+//!
+//! * [`dot`] ≡ the reference in this module's tests: lane `j` sums the
+//!   products at positions `≡ j (mod 8)` in index order, then the lanes
+//!   reduce as `((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7))`;
+//! * [`dot1xn`] (and the interleaved [`dot1xn_blocked`] variant)
+//!   produces, for every row, *bit-identical* output to [`dot`] on that
+//!   row — how rows are blocked never changes a score;
+//! * the integer kernels ([`dot_i8`], [`dot1xn_i8`]) are exact: integer
+//!   addition is associative, so any unroll factor yields the same sum.
+//!
+//! Changing [`LANES`] is a format-level break (every stored score
+//! golden would shift) and must be treated like a file-format bump.
+//!
+//! The scan sites in `pane-index` (flat/delta full scans, IVF cluster
+//! scans, the sqflat integer scan, HNSW neighbor expansion) and the
+//! exact scans in `pane-core`'s query layer all route through these
+//! kernels via [`vecops::dot`](crate::vecops::dot), which keeps every
+//! exact-vs-indexed bit-identity contract in the test suite intact by
+//! construction.
+
+/// Number of independent accumulator lanes in the floating-point
+/// reduction kernels. Fixed at 8 on every platform — see the module
+/// docs for why this is a semantic constant and not a tuning knob.
+pub const LANES: usize = 8;
+
+/// Fixed pairwise reduction of the 8 accumulator lanes.
+#[inline(always)]
+fn reduce8(acc: [f64; LANES]) -> f64 {
+    ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]))
+}
+
+/// Fixed pairwise reduction of the 8 `f32` accumulator lanes.
+#[inline(always)]
+fn reduce8_f32(acc: [f32; LANES]) -> f32 {
+    ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]))
+}
+
+/// Multi-accumulator dot product `x · y` (8 lanes, fixed reduction
+/// order — see the module docs for the exact summation semantics).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "kernels::dot: length mismatch");
+    let split = x.len() - x.len() % LANES;
+    let (xb, xt) = x.split_at(split);
+    let (yb, yt) = y.split_at(split);
+    let mut acc = [0.0f64; LANES];
+    for (cx, cy) in xb.chunks_exact(LANES).zip(yb.chunks_exact(LANES)) {
+        for j in 0..LANES {
+            acc[j] += cx[j] * cy[j];
+        }
+    }
+    for (j, (&a, &b)) in xt.iter().zip(yt.iter()).enumerate() {
+        acc[j] += a * b;
+    }
+    reduce8(acc)
+}
+
+/// Multi-accumulator `f32` dot product — same 8-lane semantics as
+/// [`dot`], for half-precision storage tiers (PQ codebooks, future
+/// f32 columns).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn dot_f32(x: &[f32], y: &[f32]) -> f32 {
+    assert_eq!(x.len(), y.len(), "kernels::dot_f32: length mismatch");
+    let split = x.len() - x.len() % LANES;
+    let (xb, xt) = x.split_at(split);
+    let (yb, yt) = y.split_at(split);
+    let mut acc = [0.0f32; LANES];
+    for (cx, cy) in xb.chunks_exact(LANES).zip(yb.chunks_exact(LANES)) {
+        for j in 0..LANES {
+            acc[j] += cx[j] * cy[j];
+        }
+    }
+    for (j, (&a, &b)) in xt.iter().zip(yt.iter()).enumerate() {
+        acc[j] += a * b;
+    }
+    reduce8_f32(acc)
+}
+
+/// How many rows the panel kernels process per blocked step. Four rows
+/// share every query load and keep 4×8 accumulator lanes live — enough
+/// ILP to saturate the FMA ports without spilling vector registers.
+const PANEL_ROWS: usize = 4;
+
+/// Panel kernel: dot of one query against `out.len()` contiguous
+/// row-major rows ("dot1xN"). Row `r` occupies
+/// `rows[r*dim .. (r+1)*dim]`; `out[r]` receives a score bit-identical
+/// to `dot(q, row_r)`.
+///
+/// Implemented as a per-row [`dot`] loop: on AVX2/AVX-512 hosts the
+/// interleaved multi-row variant ([`dot1xn_blocked`]) measures 2–3×
+/// *slower* than this — the query is L1-resident at serving dims, so
+/// amortizing its loads buys nothing, while interleaving four rows'
+/// accumulators spoils the clean single-row FMA vectorization. The
+/// `kernels` bench group in `bench_index` pins that comparison; a
+/// future blocked or explicit-SIMD implementation must beat it there
+/// before taking over this entry point.
+///
+/// # Panics
+/// Panics if `q.len() != dim` or `rows.len() != out.len() * dim`.
+#[inline]
+pub fn dot1xn(q: &[f64], rows: &[f64], dim: usize, out: &mut [f64]) {
+    assert_eq!(q.len(), dim, "kernels::dot1xn: query length != dim");
+    assert_eq!(
+        rows.len(),
+        out.len() * dim,
+        "kernels::dot1xn: rows buffer is not out.len() × dim"
+    );
+    for (r, o) in out.iter_mut().enumerate() {
+        *o = dot(q, &rows[r * dim..(r + 1) * dim]);
+    }
+}
+
+/// The interleaved four-row variant of [`dot1xn`]: shares
+/// each query load across four rows' accumulators. Bit-identical to
+/// `dot` per row (each row owns a private 8-lane accumulator set), but
+/// measured slower than the per-row loop on AVX2/AVX-512 hosts — kept
+/// as the comparison point the `kernels` bench group publishes, and as
+/// the seam for a future explicit-SIMD blocked kernel.
+///
+/// # Panics
+/// Panics if `q.len() != dim` or `rows.len() != out.len() * dim`.
+#[inline]
+pub fn dot1xn_blocked(q: &[f64], rows: &[f64], dim: usize, out: &mut [f64]) {
+    assert_eq!(q.len(), dim, "kernels::dot1xn_blocked: query length != dim");
+    assert_eq!(
+        rows.len(),
+        out.len() * dim,
+        "kernels::dot1xn_blocked: rows buffer is not out.len() × dim"
+    );
+    let n = out.len();
+    let split = dim - dim % LANES;
+    let mut r = 0;
+    while r + PANEL_ROWS <= n {
+        let base = r * dim;
+        let r0 = &rows[base..base + dim];
+        let r1 = &rows[base + dim..base + 2 * dim];
+        let r2 = &rows[base + 2 * dim..base + 3 * dim];
+        let r3 = &rows[base + 3 * dim..base + 4 * dim];
+        let mut a0 = [0.0f64; LANES];
+        let mut a1 = [0.0f64; LANES];
+        let mut a2 = [0.0f64; LANES];
+        let mut a3 = [0.0f64; LANES];
+        let mut c = 0;
+        while c < split {
+            for j in 0..LANES {
+                let qv = q[c + j];
+                a0[j] += qv * r0[c + j];
+                a1[j] += qv * r1[c + j];
+                a2[j] += qv * r2[c + j];
+                a3[j] += qv * r3[c + j];
+            }
+            c += LANES;
+        }
+        for j in 0..dim - split {
+            let qv = q[split + j];
+            a0[j] += qv * r0[split + j];
+            a1[j] += qv * r1[split + j];
+            a2[j] += qv * r2[split + j];
+            a3[j] += qv * r3[split + j];
+        }
+        out[r] = reduce8(a0);
+        out[r + 1] = reduce8(a1);
+        out[r + 2] = reduce8(a2);
+        out[r + 3] = reduce8(a3);
+        r += PANEL_ROWS;
+    }
+    while r < n {
+        out[r] = dot(q, &rows[r * dim..(r + 1) * dim]);
+        r += 1;
+    }
+}
+
+/// Integer dot of two `i8` code rows, accumulated in `i32`. Exact for
+/// any `dim` below ~133k (`dim · 127² < i32::MAX`), far above the
+/// `1 << 24` dimension cap the index loaders enforce. Unrolled into 8
+/// independent `i32` lanes — integer addition is associative, so the
+/// unroll is invisible in the result.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+    assert_eq!(a.len(), b.len(), "kernels::dot_i8: length mismatch");
+    let split = a.len() - a.len() % LANES;
+    let (ab, at) = a.split_at(split);
+    let (bb, bt) = b.split_at(split);
+    let mut acc = [0i32; LANES];
+    for (ca, cb) in ab.chunks_exact(LANES).zip(bb.chunks_exact(LANES)) {
+        for j in 0..LANES {
+            acc[j] += ca[j] as i32 * cb[j] as i32;
+        }
+    }
+    for (j, (&x, &y)) in at.iter().zip(bt.iter()).enumerate() {
+        acc[j] += x as i32 * y as i32;
+    }
+    acc.iter().sum()
+}
+
+/// Integer panel kernel: [`dot_i8`] of one query code row against
+/// `out.len()` contiguous code rows. `out[r]` is exactly
+/// `dot_i8(q, row_r)`.
+///
+/// # Panics
+/// Panics if `q.len() != dim` or `rows.len() != out.len() * dim`.
+#[inline]
+pub fn dot1xn_i8(q: &[i8], rows: &[i8], dim: usize, out: &mut [i32]) {
+    assert_eq!(q.len(), dim, "kernels::dot1xn_i8: query length != dim");
+    assert_eq!(
+        rows.len(),
+        out.len() * dim,
+        "kernels::dot1xn_i8: rows buffer is not out.len() × dim"
+    );
+    let n = out.len();
+    let mut r = 0;
+    while r + PANEL_ROWS <= n {
+        let base = r * dim;
+        for p in 0..PANEL_ROWS {
+            out[r + p] = dot_i8(q, &rows[base + p * dim..base + (p + 1) * dim]);
+        }
+        r += PANEL_ROWS;
+    }
+    while r < n {
+        out[r] = dot_i8(q, &rows[r * dim..(r + 1) * dim]);
+        r += 1;
+    }
+}
+
+/// Mixed dot of an `f64` query against an `i8` code row: `Σ q[j]·code[j]`
+/// with the same 8-lane accumulation as [`dot`]. The caller applies the
+/// per-row dequantization scale *outside* the sum
+/// (`score = scale · dot_f64_i8(q, codes)`), hoisting one multiply out
+/// of the inner loop.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn dot_f64_i8(q: &[f64], codes: &[i8]) -> f64 {
+    assert_eq!(q.len(), codes.len(), "kernels::dot_f64_i8: length mismatch");
+    let split = q.len() - q.len() % LANES;
+    let (qb, qt) = q.split_at(split);
+    let (cb, ct) = codes.split_at(split);
+    let mut acc = [0.0f64; LANES];
+    for (cq, cc) in qb.chunks_exact(LANES).zip(cb.chunks_exact(LANES)) {
+        for j in 0..LANES {
+            acc[j] += cq[j] * cc[j] as f64;
+        }
+    }
+    for (j, (&x, &y)) in qt.iter().zip(ct.iter()).enumerate() {
+        acc[j] += x * y as f64;
+    }
+    reduce8(acc)
+}
+
+/// Software prefetch of the cache line holding `data[offset]` (and the
+/// next line, covering 16 doubles) into all cache levels. A hint only:
+/// no-op when the offset is out of range or the target has no stable
+/// prefetch intrinsic. HNSW neighbor expansion issues this for upcoming
+/// neighbor rows so their demand loads hit L1/L2 instead of DRAM.
+#[inline(always)]
+pub fn prefetch_f64(data: &[f64], offset: usize) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if offset < data.len() {
+            // SAFETY: `offset` is in range, so the pointer is valid;
+            // prefetch has no other safety requirements.
+            unsafe {
+                use core::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+                let p = data.as_ptr().add(offset) as *const i8;
+                _mm_prefetch(p, _MM_HINT_T0);
+                _mm_prefetch(p.add(64), _MM_HINT_T0);
+            }
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = (data, offset);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Straightforward statement of the lane semantics: lane `j` sums the
+    /// products at positions `≡ j (mod LANES)`, then the fixed pairwise
+    /// reduction. The optimized kernels must be bit-identical to this.
+    fn dot_ref_lanes(x: &[f64], y: &[f64]) -> f64 {
+        let mut acc = [0.0f64; LANES];
+        for i in 0..x.len() {
+            acc[i % LANES] += x[i] * y[i];
+        }
+        reduce8(acc)
+    }
+
+    fn dot_ref_lanes_f32(x: &[f32], y: &[f32]) -> f32 {
+        let mut acc = [0.0f32; LANES];
+        for i in 0..x.len() {
+            acc[i % LANES] += x[i] * y[i];
+        }
+        reduce8_f32(acc)
+    }
+
+    /// Plain left-to-right scalar dot — the pre-kernel baseline, used
+    /// for tolerance (not bitwise) comparison.
+    fn dot_ref_scalar(x: &[f64], y: &[f64]) -> f64 {
+        x.iter().zip(y).map(|(a, b)| a * b).sum()
+    }
+
+    fn dot_i8_ref(a: &[i8], b: &[i8]) -> i32 {
+        a.iter().zip(b).map(|(&x, &y)| x as i32 * y as i32).sum()
+    }
+
+    /// Deterministic pseudo-random f64 in [-1, 1).
+    fn splat(seed: u64, i: usize) -> f64 {
+        let mut z = seed
+            .wrapping_add(i as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z ^= z >> 31;
+        z = z.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        ((z >> 11) as f64) / (1u64 << 52) as f64 - 1.0
+    }
+
+    #[test]
+    fn dot_matches_lane_reference_all_lengths() {
+        // Every length 0..257 and unaligned start offsets 0..3: the tail
+        // handling and lane assignment must agree with the reference at
+        // every (length mod 8, alignment) combination.
+        let x: Vec<f64> = (0..260).map(|i| splat(1, i)).collect();
+        let y: Vec<f64> = (0..260).map(|i| splat(2, i)).collect();
+        for off in 0..3 {
+            for len in 0..257 {
+                let (a, b) = (&x[off..off + len], &y[off..off + len]);
+                assert_eq!(
+                    dot(a, b).to_bits(),
+                    dot_ref_lanes(a, b).to_bits(),
+                    "len {len} off {off}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dot_f32_matches_lane_reference_all_lengths() {
+        let x: Vec<f32> = (0..260).map(|i| splat(3, i) as f32).collect();
+        let y: Vec<f32> = (0..260).map(|i| splat(4, i) as f32).collect();
+        for off in 0..3 {
+            for len in 0..257 {
+                let (a, b) = (&x[off..off + len], &y[off..off + len]);
+                assert_eq!(
+                    dot_f32(a, b).to_bits(),
+                    dot_ref_lanes_f32(a, b).to_bits(),
+                    "len {len} off {off}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dot1xn_bit_identical_to_per_row_dot() {
+        for dim in [1usize, 7, 8, 31, 64, 129] {
+            for n in [0usize, 1, 3, 4, 5, 17] {
+                let q: Vec<f64> = (0..dim).map(|i| splat(5, i)).collect();
+                let rows: Vec<f64> = (0..n * dim).map(|i| splat(6, i)).collect();
+                let mut out = vec![0.0; n];
+                dot1xn(&q, &rows, dim, &mut out);
+                let mut blocked = vec![0.0; n];
+                dot1xn_blocked(&q, &rows, dim, &mut blocked);
+                for r in 0..n {
+                    let want = dot(&q, &rows[r * dim..(r + 1) * dim]).to_bits();
+                    assert_eq!(out[r].to_bits(), want, "dim {dim} n {n} row {r}");
+                    assert_eq!(
+                        blocked[r].to_bits(),
+                        want,
+                        "blocked dim {dim} n {n} row {r}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dot_i8_exact_all_lengths() {
+        let a: Vec<i8> = (0..260).map(|i| ((i * 37 + 11) % 255) as i8).collect();
+        let b: Vec<i8> = (0..260).map(|i| ((i * 53 + 7) % 255) as i8).collect();
+        for off in 0..3 {
+            for len in 0..257 {
+                let (x, y) = (&a[off..off + len], &b[off..off + len]);
+                assert_eq!(dot_i8(x, y), dot_i8_ref(x, y), "len {len} off {off}");
+            }
+        }
+    }
+
+    #[test]
+    fn dot1xn_i8_matches_per_row() {
+        let dim = 48;
+        let n = 11;
+        let q: Vec<i8> = (0..dim).map(|i| ((i * 19) % 255) as i8).collect();
+        let rows: Vec<i8> = (0..n * dim).map(|i| ((i * 7 + 3) % 255) as i8).collect();
+        let mut out = vec![0i32; n];
+        dot1xn_i8(&q, &rows, dim, &mut out);
+        for r in 0..n {
+            assert_eq!(out[r], dot_i8_ref(&q, &rows[r * dim..(r + 1) * dim]));
+        }
+    }
+
+    #[test]
+    fn dot_f64_i8_matches_lane_semantics() {
+        let dim = 100;
+        let q: Vec<f64> = (0..dim).map(|i| splat(7, i)).collect();
+        let c: Vec<i8> = (0..dim).map(|i| ((i * 91 + 5) % 255) as i8).collect();
+        let cf: Vec<f64> = c.iter().map(|&v| v as f64).collect();
+        assert_eq!(dot_f64_i8(&q, &c).to_bits(), dot(&q, &cf).to_bits());
+    }
+
+    #[test]
+    fn extreme_value_lanes_behave() {
+        // ±0.0 inputs: signed zeros must not perturb the sum.
+        assert_eq!(dot(&[0.0, -0.0], &[-0.0, 0.0]), 0.0);
+        // NaN propagates.
+        assert!(dot(&[f64::NAN, 1.0], &[1.0, 1.0]).is_nan());
+        // Empty is exactly zero.
+        assert_eq!(dot(&[], &[]), 0.0);
+        assert_eq!(dot_f32(&[], &[]), 0.0);
+        assert_eq!(dot_i8(&[], &[]), 0);
+    }
+
+    #[test]
+    fn prefetch_is_safe_everywhere() {
+        let v = vec![1.0f64; 64];
+        prefetch_f64(&v, 0);
+        prefetch_f64(&v, 63);
+        prefetch_f64(&v, 64); // out of range: no-op, no panic
+        prefetch_f64(&[], 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_dot_bit_identical_to_lane_reference(
+            v in proptest::collection::vec(-1e6f64..1e6, 0..257),
+            w in proptest::collection::vec(-1e6f64..1e6, 0..257),
+            off in 0usize..4,
+        ) {
+            let n = v.len().min(w.len());
+            let off = off.min(n);
+            let (a, b) = (&v[off..n], &w[off..n]);
+            prop_assert_eq!(dot(a, b).to_bits(), dot_ref_lanes(a, b).to_bits());
+        }
+
+        #[test]
+        fn prop_dot_close_to_scalar_reference(
+            v in proptest::collection::vec(-1e3f64..1e3, 0..257),
+        ) {
+            // Tolerance-bounded vs the old left-to-right sum: the lane
+            // reorder is a rebaseline, not a numerical regression.
+            let w: Vec<f64> = v.iter().map(|x| x * 0.5 + 0.25).collect();
+            let kernel = dot(&v, &w);
+            let scalar = dot_ref_scalar(&v, &w);
+            let mag: f64 = v.iter().zip(&w).map(|(a, b)| (a * b).abs()).sum();
+            prop_assert!((kernel - scalar).abs() <= 1e-12 * (1.0 + mag));
+        }
+
+        #[test]
+        fn prop_dot1xn_equals_per_row(
+            dim in 1usize..40,
+            n in 0usize..12,
+            seed in 0u64..1000,
+        ) {
+            let q: Vec<f64> = (0..dim).map(|i| splat(seed, i)).collect();
+            let rows: Vec<f64> = (0..n * dim).map(|i| splat(seed ^ 0xABCD, i)).collect();
+            let mut out = vec![0.0; n];
+            dot1xn(&q, &rows, dim, &mut out);
+            for r in 0..n {
+                prop_assert_eq!(
+                    out[r].to_bits(),
+                    dot(&q, &rows[r * dim..(r + 1) * dim]).to_bits()
+                );
+            }
+        }
+
+        #[test]
+        fn prop_dot_i8_exact(
+            a in proptest::collection::vec(-127i32..128, 0..257),
+            b in proptest::collection::vec(-127i32..128, 0..257),
+        ) {
+            let a: Vec<i8> = a.iter().map(|&v| v as i8).collect();
+            let b: Vec<i8> = b.iter().map(|&v| v as i8).collect();
+            let n = a.len().min(b.len());
+            prop_assert_eq!(dot_i8(&a[..n], &b[..n]), dot_i8_ref(&a[..n], &b[..n]));
+        }
+    }
+}

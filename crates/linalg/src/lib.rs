@@ -23,6 +23,7 @@
 #![allow(clippy::needless_range_loop)]
 pub mod dense;
 pub mod jacobi;
+pub mod kernels;
 pub mod qr;
 pub mod randsvd;
 pub mod rng;

@@ -2,21 +2,22 @@
 //!
 //! These are the innermost loops of the CCD solver (Equations 16–20 of the
 //! paper evaluate row·column dot products and rank-1 row updates millions of
-//! times), so they are written to auto-vectorize: plain indexed loops over
-//! equal-length slices with the bounds check hoisted by an assert.
+//! times). The reductions ([`dot`], and through it [`norm2`]/[`cosine`])
+//! delegate to the fixed 8-lane kernels in [`crate::kernels`], which breaks
+//! the serial FP dependency chain so the loops vectorize; the lane count is
+//! part of the determinism contract (see the `kernels` module docs), so
+//! results are bit-identical across platforms, thread counts, and entry
+//! points. The element-wise ops stay plain indexed loops with the bounds
+//! check hoisted by an assert.
 
-/// Dot product `x · y`.
+/// Dot product `x · y`, computed with the fixed 8-lane kernel
+/// [`crate::kernels::dot`] (see its docs for the exact summation order).
 ///
 /// # Panics
 /// Panics if the slices have different lengths.
 #[inline]
 pub fn dot(x: &[f64], y: &[f64]) -> f64 {
-    assert_eq!(x.len(), y.len(), "dot: length mismatch");
-    let mut acc = 0.0;
-    for i in 0..x.len() {
-        acc += x[i] * y[i];
-    }
-    acc
+    crate::kernels::dot(x, y)
 }
 
 /// `y += a * x` (the classic axpy).
@@ -54,6 +55,10 @@ pub fn norm2_sq(x: &[f64]) -> f64 {
 }
 
 /// Sum of the entries.
+///
+/// NaN propagates: any NaN entry makes the result NaN (IEEE-754 addition
+/// already guarantees this; stated and pinned by test so it stays part of
+/// the contract).
 #[inline]
 pub fn sum(x: &[f64]) -> f64 {
     let mut acc = 0.0;
@@ -64,9 +69,25 @@ pub fn sum(x: &[f64]) -> f64 {
 }
 
 /// Largest absolute entry (0 for an empty slice).
+///
+/// NaN propagates: any NaN entry makes the result NaN. A bare
+/// `fold(0.0, f64::max)` would silently *drop* NaN (`f64::max` prefers the
+/// non-NaN operand), reporting a plausible-but-wrong maximum for corrupted
+/// input — callers use this for quantizer scales and convergence checks,
+/// where a poisoned input must surface, not vanish.
 #[inline]
 pub fn max_abs(x: &[f64]) -> f64 {
-    x.iter().fold(0.0_f64, |m, &v| m.max(v.abs()))
+    let mut m = 0.0_f64;
+    let mut has_nan = false;
+    for &v in x {
+        has_nan |= v.is_nan();
+        m = m.max(v.abs());
+    }
+    if has_nan {
+        f64::NAN
+    } else {
+        m
+    }
 }
 
 /// In-place normalization to unit Euclidean norm. Vectors with norm below
@@ -132,6 +153,31 @@ mod tests {
     fn max_abs_basic() {
         assert_eq!(max_abs(&[]), 0.0);
         assert_eq!(max_abs(&[-3.0, 2.0]), 3.0);
+    }
+
+    #[test]
+    fn max_abs_propagates_nan() {
+        // `f64::max` drops NaN; max_abs must not — a poisoned vector has
+        // no meaningful maximum. Pinned regardless of NaN position.
+        assert!(max_abs(&[f64::NAN]).is_nan());
+        assert!(max_abs(&[f64::NAN, 5.0]).is_nan());
+        assert!(max_abs(&[5.0, f64::NAN]).is_nan());
+        assert!(max_abs(&[1.0, f64::NAN, 9.0]).is_nan());
+    }
+
+    #[test]
+    fn sum_propagates_nan() {
+        assert!(sum(&[1.0, f64::NAN, 2.0]).is_nan());
+        assert!(sum(&[f64::NAN]).is_nan());
+        assert_eq!(sum(&[1.0, 2.0, 3.0]), 6.0);
+    }
+
+    #[test]
+    fn dot_delegates_to_fixed_lane_kernel() {
+        // vecops::dot IS the 8-lane kernel — one summation order repo-wide.
+        let x: Vec<f64> = (0..37).map(|i| (i as f64).sin()).collect();
+        let y: Vec<f64> = (0..37).map(|i| (i as f64).cos()).collect();
+        assert_eq!(dot(&x, &y).to_bits(), crate::kernels::dot(&x, &y).to_bits());
     }
 
     proptest! {
